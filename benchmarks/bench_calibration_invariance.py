@@ -1,0 +1,67 @@
+"""Experiment CAL — "this calibration only needs to be performed once".
+
+Section III.C: because the whole analyzer scales with the master clock,
+the stimulus amplitude and phase measured on the bypass are the *same
+numbers* at every sweep frequency.  The bench measures the bypass at
+frequencies spanning the full band and reports the spread; it then
+cross-checks that a Bode sweep using a calibration taken at 150 Hz
+matches one using a calibration taken at 20 kHz.
+"""
+
+import numpy as np
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.base import PassthroughDUT
+from repro.reporting.series import format_series
+
+FREQS = (100.0, 316.0, 1000.0, 3160.0, 10_000.0, 20_000.0)
+
+
+def run_calibration_invariance():
+    an = NetworkAnalyzer(PassthroughDUT(), AnalyzerConfig.ideal(m_periods=100))
+    amplitudes = []
+    phases = []
+    for f in FREQS:
+        m = an.measure_stimulus(f, through_dut=False)
+        amplitudes.append(m.amplitude.value)
+        phases.append(np.degrees(m.phase.value))
+    text = (
+        "Calibration invariance: bypass stimulus readings across the band\n\n"
+        + format_series(
+            {
+                "fwave (Hz)": FREQS,
+                "amplitude (V)": amplitudes,
+                "phase (deg)": phases,
+            },
+            digits=9,
+        )
+    )
+
+    # Cross-check with the DUT: two calibrations, same Bode.
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=40))
+    cal_low = analyzer.calibrate(150.0)
+    gains_low = [
+        analyzer.measure_gain_phase(f, calibration=cal_low).gain_db.value
+        for f in (500.0, 2000.0)
+    ]
+    cal_high = analyzer.calibrate(20_000.0)
+    gains_high = [
+        analyzer.measure_gain_phase(f, calibration=cal_high).gain_db.value
+        for f in (500.0, 2000.0)
+    ]
+    return text, amplitudes, phases, gains_low, gains_high
+
+
+def test_calibration_invariance(benchmark, record_result):
+    text, amplitudes, phases, gains_low, gains_high = benchmark.pedantic(
+        run_calibration_invariance, rounds=1, iterations=1
+    )
+    record_result("calibration_invariance", text)
+
+    # The paper's claim, numerically exact for the ideal analyzer.
+    assert np.ptp(amplitudes) < 1e-12
+    assert np.ptp(phases) < 1e-10
+    assert np.allclose(gains_low, gains_high, atol=1e-9)

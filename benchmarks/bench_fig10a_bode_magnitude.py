@@ -1,0 +1,63 @@
+"""Experiment F10a — Fig. 10a: Bode magnitude of the demonstrator DUT.
+
+Paper: active-RC 2nd-order low-pass, 1 kHz cutoff, measured with M = 200
+periods; plotted as measurement plus error band; "the relative error
+increases as the response magnitude decreases".
+"""
+
+import numpy as np
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.bode import BodeResult
+from repro.core.config import AnalyzerConfig
+from repro.core.sweep import FrequencySweepPlan
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.reporting.series import format_series
+
+M_PERIODS = 200
+N_POINTS = 21
+
+
+def run_fig10a() -> tuple[str, BodeResult, ActiveRCLowpass]:
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=M_PERIODS))
+    analyzer.calibrate(fwave=1000.0)
+    plan = FrequencySweepPlan.paper_fig10(n_points=N_POINTS)
+    bode = BodeResult(tuple(analyzer.bode(plan.frequencies())))
+    lo, hi = bode.gain_db_bounds()
+    text = (
+        f"Fig. 10a - Bode gain of the 1 kHz active-RC LPF (M = {M_PERIODS})\n\n"
+        + format_series(
+            {
+                "f (Hz)": bode.frequencies(),
+                "gain (dB)": bode.gain_db(),
+                "band lo": lo,
+                "band hi": hi,
+                "analytic": bode.truth_gain_db(dut),
+            }
+        )
+    )
+    return text, bode, dut
+
+
+def test_fig10a_bode_magnitude(benchmark, record_result):
+    text, bode, dut = benchmark.pedantic(run_fig10a, rounds=1, iterations=1)
+    record_result("fig10a_bode_magnitude", text)
+
+    # The analytic response lies inside every error band.
+    assert bode.truth_within_bounds(dut)
+    # Shape: flat passband, rolloff past the cutoff — compared against
+    # the analytic response at the actual grid frequencies.
+    freqs = bode.frequencies()
+    gains = bode.gain_db()
+    truth = bode.truth_gain_db(dut)
+    assert abs(gains[0] - truth[0]) < 0.2  # ~0 dB passband
+    near_cutoff = np.argmin(np.abs(freqs - 1000.0))
+    assert abs(gains[near_cutoff] - truth[near_cutoff]) < 0.2
+    near_10k = np.argmin(np.abs(freqs - 10_000.0))
+    assert truth[near_10k] < -35.0  # deep rolloff reached
+    assert abs(gains[near_10k] - truth[near_10k]) < 1.0
+    # "the relative error increases as the response magnitude decreases".
+    lo, hi = bode.gain_db_bounds()
+    widths = hi - lo
+    assert widths[-1] > widths[0]

@@ -1,0 +1,63 @@
+"""Experiment F10b — Fig. 10b: Bode phase of the demonstrator DUT.
+
+Same acquisition as Fig. 10a; the phase runs from ~0 degrees at low
+frequency through -90 degrees at the cutoff toward -180 degrees, with
+error bands growing in the stopband.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.bode import BodeResult
+from repro.core.config import AnalyzerConfig
+from repro.core.sweep import FrequencySweepPlan
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.reporting.series import format_series
+
+M_PERIODS = 200
+N_POINTS = 21
+
+
+def run_fig10b() -> tuple[str, BodeResult, ActiveRCLowpass]:
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=M_PERIODS))
+    analyzer.calibrate(fwave=1000.0)
+    plan = FrequencySweepPlan.paper_fig10(n_points=N_POINTS)
+    bode = BodeResult(tuple(analyzer.bode(plan.frequencies())))
+    lo, hi = bode.phase_deg_bounds()
+    text = (
+        f"Fig. 10b - Bode phase of the 1 kHz active-RC LPF (M = {M_PERIODS})\n\n"
+        + format_series(
+            {
+                "f (Hz)": bode.frequencies(),
+                "phase (deg)": bode.phase_deg(),
+                "band lo": lo,
+                "band hi": hi,
+                "analytic": bode.truth_phase_deg(dut),
+            }
+        )
+    )
+    return text, bode, dut
+
+
+def test_fig10b_bode_phase(benchmark, record_result):
+    text, bode, dut = benchmark.pedantic(run_fig10b, rounds=1, iterations=1)
+    record_result("fig10b_bode_phase", text)
+
+    freqs = bode.frequencies()
+    phases = bode.phase_deg()
+    truth = bode.truth_phase_deg(dut)
+
+    # Every point's band contains the analytic phase.
+    lo, hi = bode.phase_deg_bounds()
+    assert np.all(truth >= lo - 1e-9) and np.all(truth <= hi + 1e-9)
+    # Shape: 0 at low f, about -90 around the cutoff, heading to -180 —
+    # compared against the analytic phase at the actual grid points.
+    assert abs(phases[0] - truth[0]) < 0.5
+    near_cutoff = np.argmin(np.abs(freqs - 1000.0))
+    assert abs(phases[near_cutoff] - truth[near_cutoff]) < 2.0
+    assert truth[near_cutoff] == pytest.approx(-90.0, abs=10.0)
+    assert phases[-1] < -150.0
+    # Monotone phase lag for a low-pass.
+    assert np.all(np.diff(phases) < 0)

@@ -1,0 +1,136 @@
+"""Experiment F8b — Fig. 8b: generator output spectrum, SFDR and THD.
+
+Paper: 1 Vpp output at 62.5 kHz; "The SFDR is 70dB and the THD is 67dB.
+However ... these results correspond to the continuous-time analysis of
+a sampled signal.  A discrete-time application will improve these
+figures."
+
+Reproduced with the typical 0.35 um non-idealities (mismatch 0.1 %,
+70 dB amplifiers, kT/C + amplifier noise).  Reported:
+
+* in-band SFDR/THD of the *continuous-time held* output — the paper's
+  measurement condition;
+* the same figures for the discrete-time sequence — the paper's
+  "will improve" remark;
+* the out-of-band sampling images at 15/17 fwave (-23.5/-24.6 dBc by
+  construction), which the audio band of interest excludes.
+"""
+
+import numpy as np
+
+from repro.clocking.master import ClockTree
+from repro.generator.sinewave_generator import SinewaveGenerator
+from repro.reporting.tables import ascii_table
+from repro.sc.mismatch import MismatchModel
+from repro.sc.opamp import OpAmpModel
+from repro.signals import metrics
+from repro.signals.spectrum import Spectrum
+
+FWAVE = 62.5e3
+PERIODS = 256
+IN_BAND = (1.0, 10 * FWAVE)  # through the first 10 harmonics
+
+
+def build_generator(
+    seed: int = 2008, prototype_switches: bool = False
+) -> SinewaveGenerator:
+    from repro.generator.design import PROTOTYPE_SWITCH_NONLINEARITY
+
+    generator = SinewaveGenerator(
+        ClockTree.from_fwave(FWAVE),
+        opamp1=OpAmpModel.folded_cascode_035um(offset=0.3e-3),
+        opamp2=OpAmpModel.folded_cascode_035um(offset=-0.2e-3),
+        mismatch=MismatchModel(sigma_unit=0.001, seed=seed),
+        rng=np.random.default_rng(seed),
+        unit_capacitance=0.25e-12,
+        switch_nonlinearity=(
+            PROTOTYPE_SWITCH_NONLINEARITY if prototype_switches else None
+        ),
+    )
+    generator.set_amplitude(0.5)  # 1 Vpp
+    return generator
+
+
+DIE_SEEDS = (2008, 7, 42, 99, 123)
+
+
+def run_fig8b() -> tuple[str, dict]:
+    # SFDR/THD are die-dependent (mismatch draw); Monte Carlo a few dies
+    # to show the population the paper's single measured die came from.
+    sfdr_dies = []
+    thd_dies = []
+    for seed in DIE_SEEDS:
+        generator = build_generator(seed)
+        held = generator.render_held(PERIODS)
+        spec = Spectrum.from_waveform(held.slice_samples(0, PERIODS * 96))
+        sfdr_dies.append(metrics.sfdr_db(spec, FWAVE, band=IN_BAND))
+        thd_dies.append(metrics.thd_db(spec, FWAVE, n_harmonics=10))
+
+    generator = build_generator(DIE_SEEDS[0])
+    held = generator.render_held(PERIODS)  # continuous-time view
+    discrete = generator.render(PERIODS)  # discrete-time view
+    spec_ct = Spectrum.from_waveform(held.slice_samples(0, PERIODS * 96))
+    spec_dt = Spectrum.from_waveform(discrete.slice_samples(0, PERIODS * 16))
+
+    # With the prototype-calibrated switch nonlinearity (the
+    # transistor-level effect the capacitive model omits), the model
+    # lands on the paper's measured purity.
+    proto = build_generator(DIE_SEEDS[0], prototype_switches=True)
+    spec_proto = Spectrum.from_waveform(
+        proto.render_held(PERIODS).slice_samples(0, PERIODS * 96)
+    )
+
+    figures = {
+        "sfdr_ct_inband": metrics.sfdr_db(spec_ct, FWAVE, band=IN_BAND),
+        "thd_ct": metrics.thd_db(spec_ct, FWAVE, n_harmonics=10),
+        "sfdr_dt_inband": metrics.sfdr_db(spec_dt, FWAVE, band=IN_BAND),
+        "thd_dt": metrics.thd_db(spec_dt, FWAVE, n_harmonics=8),
+        "image15_dbc": spec_ct.dbc(15 * FWAVE, FWAVE),
+        "image17_dbc": spec_ct.dbc(17 * FWAVE, FWAVE),
+        "sfdr_min": float(np.min(sfdr_dies)),
+        "sfdr_median": float(np.median(sfdr_dies)),
+        "sfdr_max": float(np.max(sfdr_dies)),
+        "thd_min": float(np.min(thd_dies)),
+        "sfdr_prototype": metrics.sfdr_db(spec_proto, FWAVE, band=IN_BAND),
+        "thd_prototype": metrics.thd_db(spec_proto, FWAVE, n_harmonics=10),
+    }
+    rows = [
+        ["SFDR, in-band, CT held, die #1 (paper: 70 dB)", figures["sfdr_ct_inband"]],
+        ["THD, CT held, die #1 (paper: 67 dB)", figures["thd_ct"]],
+        ["SFDR with prototype switch NL (paper: 70 dB)", figures["sfdr_prototype"]],
+        ["THD with prototype switch NL (paper: 67 dB)", figures["thd_prototype"]],
+        [f"SFDR across {len(DIE_SEEDS)} dies: min", figures["sfdr_min"]],
+        [f"SFDR across {len(DIE_SEEDS)} dies: median", figures["sfdr_median"]],
+        [f"SFDR across {len(DIE_SEEDS)} dies: max", figures["sfdr_max"]],
+        ["SFDR, in-band, DT sequence ('will improve')", figures["sfdr_dt_inband"]],
+        ["THD, DT sequence", figures["thd_dt"]],
+        ["image at 15 fwave (dBc; theory -23.5)", figures["image15_dbc"]],
+        ["image at 17 fwave (dBc; theory -24.6)", figures["image17_dbc"]],
+    ]
+    text = ascii_table(
+        ["figure", "value (dB)"],
+        rows,
+        title=(
+            "Fig. 8b - generator spectrum at 1 Vpp, 62.5 kHz "
+            "(typical 0.35 um non-idealities)"
+        ),
+    )
+    return text, figures
+
+
+def test_fig8b_spectrum(benchmark, record_result):
+    text, figures = benchmark.pedantic(run_fig8b, rounds=1, iterations=1)
+    record_result("fig8b_generator_spectrum", text)
+    # Shape: SFDR/THD in the neighbourhood of the paper's ~70 dB,
+    # limited by the same mechanism (mismatch-induced harmonics); the
+    # die population brackets the paper's single measured die.
+    assert 55.0 < figures["sfdr_ct_inband"] < 95.0
+    assert 55.0 < figures["thd_ct"] < 95.0
+    assert figures["sfdr_min"] < 90.0
+    assert figures["sfdr_max"] > 65.0
+    # The prototype-calibrated model lands on the paper's measurement.
+    assert abs(figures["sfdr_prototype"] - 70.0) < 3.0
+    assert abs(figures["thd_prototype"] - 67.0) < 5.0
+    # Out-of-band images follow the 1/m law.
+    assert abs(figures["image15_dbc"] + 23.5) < 1.5
+    assert abs(figures["image17_dbc"] + 24.6) < 1.5

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+regenerated rows/series are written to ``benchmarks/results/<name>.txt``
+(and printed, visible with ``pytest -s``) so they can be compared against
+the paper — EXPERIMENTS.md records that comparison.  The pytest-benchmark
+timing table additionally documents the simulation cost of each
+experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a bench's regenerated table to disk and echo it."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n==== {name} ====\n{text}\n")
+
+    return _write

@@ -1,0 +1,64 @@
+"""Evaluator accuracy vs test time (the paper's Fig. 9 scenario).
+
+Feeds the paper's three-tone multitone (0.2 / 0.02 / 0.002 V — tones
+20 dB apart) from the ATE straight into the sinewave evaluator and shows
+how the measured amplitudes converge as the evaluation window M grows:
+the accuracy of a BIST measurement is a *test-time dial*, not a fixed
+property.
+
+Run:  python examples/evaluator_convergence.py
+"""
+
+import numpy as np
+
+from repro.evaluator import SignatureDSP
+from repro.testbench import DigitalATE
+from repro.units import dbm_fs
+
+AMPLITUDES = (0.2, 0.02, 0.002)
+M_GRID = (20, 50, 100, 200, 500, 1000)
+RUNS = 10
+
+
+def main() -> None:
+    ate = DigitalATE(seed=9)
+    evaluator = ate.build_evaluator()
+    dsp = SignatureDSP()
+
+    print(
+        "three-tone multitone: A1 = 200 mV, A2 = 20 mV, A3 = 2 mV "
+        "(-11 / -31 / -51 dBm in the paper's convention)\n"
+    )
+    header = f"{'M':>5} {'MN':>7}"
+    for k in (1, 2, 3):
+        header += f" | A{k} mean (dBm)  spread"
+    print(header)
+
+    for m in M_GRID:
+        readings = {1: [], 2: [], 3: []}
+        for _ in range(RUNS):
+            x = ate.source_harmonic_multitone(
+                AMPLITUDES, m_periods=m, noise_rms=50e-6, random_phase=True
+            )
+            for k in (1, 2, 3):
+                sig = ate.acquire(
+                    evaluator, x, harmonic=k, m_periods=m, randomize_state=True
+                )
+                readings[k].append(float(dbm_fs(dsp.amplitude(sig).value)))
+        line = f"{m:>5} {m * 96:>7}"
+        for k in (1, 2, 3):
+            mean = np.mean(readings[k])
+            spread = np.max(readings[k]) - np.min(readings[k])
+            line += f" | {mean:10.2f}  {spread:6.2f}"
+        print(line)
+
+    print(
+        "\nAs in Fig. 9: the 2nd and 3rd harmonics resolve 20 and 40 dB "
+        "below the fundamental, errors shrink as 1/(MN), and 'in last "
+        "instance the main limitation ... is given by the available test "
+        "time.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Generator deep-dive: waveforms, spectrum, and the step-count trade-off.
+
+Walks through the sinewave generator the way Section III.A and Fig. 8 of
+the paper do:
+
+1. render the 62.5 kHz output at the three programmed amplitudes of
+   Fig. 8a;
+2. show the spectral structure: the pure discrete-time tone, the
+   continuous-time sampling images at 15/17 fwave, and the in-band
+   spurs a mismatched die adds (Fig. 8b);
+3. explore the P-step design space (the generator's natural extension):
+   more array capacitors -> purer staircase.
+
+Run:  python examples/generator_showcase.py
+"""
+
+import numpy as np
+
+from repro.clocking.master import ClockTree
+from repro.generator import SinewaveGenerator, multistep
+from repro.sc.mismatch import MismatchModel
+from repro.signals import metrics
+from repro.signals.spectrum import Spectrum
+
+FWAVE = 62.5e3
+
+
+def waveform_section() -> None:
+    print("-- Fig. 8a: programmable amplitude --")
+    clock = ClockTree.from_fwave(FWAVE)
+    for target_mv in (300.0, 500.0, 600.0):
+        generator = SinewaveGenerator(clock)
+        generator.set_amplitude(target_mv / 1000.0)
+        wave = generator.render(16)
+        spectrum = Spectrum.from_waveform(wave)
+        print(
+            f"  target {target_mv:5.0f} mV -> measured "
+            f"{spectrum.amplitude_at(FWAVE) * 1e3:6.1f} mV "
+            f"(VA diff = {generator.control.va_differential * 1e3:6.1f} mV)"
+        )
+
+
+def spectrum_section() -> None:
+    print("\n-- Fig. 8b: spectral structure --")
+    clock = ClockTree.from_fwave(FWAVE)
+
+    ideal = SinewaveGenerator(clock)
+    ideal.set_amplitude(0.5)
+    held = ideal.render_held(128)
+    spec = Spectrum.from_waveform(held.slice_samples(0, 128 * 96))
+    print(
+        f"  ideal die:  image@15f = {spec.dbc(15 * FWAVE, FWAVE):6.1f} dBc "
+        f"(law: -23.5), image@17f = {spec.dbc(17 * FWAVE, FWAVE):6.1f} dBc "
+        f"(law: -24.6)"
+    )
+    in_band = (1.0, 10 * FWAVE)
+    print(
+        f"              in-band SFDR = "
+        f"{min(metrics.sfdr_db(spec, FWAVE, band=in_band), 200):6.1f} dB "
+        "(pure sampled sine)"
+    )
+
+    for seed in (1, 2, 3):
+        die = SinewaveGenerator(
+            clock, mismatch=MismatchModel(sigma_unit=0.001, seed=seed)
+        )
+        die.set_amplitude(0.5)
+        held = die.render_held(128)
+        spec = Spectrum.from_waveform(held.slice_samples(0, 128 * 96))
+        print(
+            f"  die #{seed}:     in-band SFDR = "
+            f"{metrics.sfdr_db(spec, FWAVE, band=in_band):6.1f} dB "
+            f"(0.1% mismatch; paper measured 70 dB)"
+        )
+
+
+def multistep_section() -> None:
+    print("\n-- design space: steps per period vs purity --")
+    print(f"  {'P':>4} {'caps':>5} {'total C (units)':>16} {'first image':>12}")
+    for row in multistep.purity_comparison((8, 16, 32, 64)):
+        marker = "  <- paper" if row["steps"] == 16 else ""
+        print(
+            f"  {row['steps']:>4} {row['capacitors']:>5} "
+            f"{row['total_capacitance']:>16.2f} "
+            f"{row['first_image_dbc']:>9.1f} dBc{marker}"
+        )
+    print(
+        "  Doubling the steps buys ~6 dB of image suppression per octave "
+        "at the cost of doubling the input capacitor array."
+    )
+
+
+def main() -> None:
+    waveform_section()
+    spectrum_section()
+    multistep_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Harmonic distortion measurement (the paper's Fig. 10c scenario).
+
+Builds a weakly nonlinear DUT (the 1 kHz filter followed by an op-amp
+style polynomial nonlinearity), drives it with the paper's 800 mVpp
+1.6 kHz stimulus, and measures HD2/HD3 with the analyzer — comparing
+against the oscilloscope stand-in exactly as the paper compares against
+the LeCroy WaveSurfer.
+
+Run:  python examples/harmonic_distortion.py
+"""
+
+from repro import AnalyzerConfig, NetworkAnalyzer, measure_distortion
+from repro.dut import ActiveRCLowpass, WienerDUT, polynomial_for_distortion
+from repro.sc.opamp import OpAmpModel
+
+
+def main() -> None:
+    stimulus_amplitude = 0.4  # 800 mVpp
+    fwave = 1600.0
+
+    linear = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    output_fundamental = stimulus_amplitude * linear.gain_at(fwave)
+    nonlinearity = polynomial_for_distortion(
+        output_fundamental, hd2_db=-57.0, hd3_db=-64.5
+    )
+    dut = WienerDUT(linear, nonlinearity)
+    print(f"DUT: {dut.name}")
+    print(
+        f"stimulus: {stimulus_amplitude * 2 * 1e3:.0f} mVpp at {fwave:.0f} Hz; "
+        f"output fundamental ~ {output_fundamental * 1e3:.1f} mV"
+    )
+
+    # The evaluator carries a trace of amplifier noise: at these levels
+    # the harmonic counts are ~10, and noise dithers the quantizer just
+    # as thermal noise did in the silicon.
+    analyzer = NetworkAnalyzer(
+        dut,
+        AnalyzerConfig.ideal(
+            stimulus_amplitude=stimulus_amplitude,
+            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+            noise_seed=1600,
+        ),
+    )
+    report = measure_distortion(analyzer, fwave, m_periods=400)
+
+    print(f"\n{'':>9} | {'analyzer (dBc)':>15} | {'scope (dBc)':>11} | |delta|")
+    for row in report.rows:
+        print(
+            f"{'HD%d' % row.harmonic:>9} | {row.level_dbc.value:15.2f} | "
+            f"{row.reference_dbc:11.2f} | {row.agreement_db:.2f} dB"
+        )
+    print(
+        f"\nworst disagreement: {report.worst_agreement_db():.2f} dB "
+        "(paper: analyzer -56/-65 dB vs scope -58/-66 dB — 'the agreement "
+        "... is excellent')"
+    )
+    print(
+        "Measurements took M = 400 periods, as in the paper; 'if a better "
+        "precision is needed, it can be achieved just by increasing this "
+        "number.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: measure one Bode point of an analog filter with the BIST
+network analyzer.
+
+The flow mirrors how the silicon is used:
+
+1. build the DUT (here: the paper's 1 kHz active-RC low-pass);
+2. bind a NetworkAnalyzer to it;
+3. calibrate once on the bypass path (Section III.C of the paper);
+4. measure gain and phase at any frequency by retuning the master clock.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalyzerConfig, NetworkAnalyzer
+from repro.dut import ActiveRCLowpass
+
+
+def main() -> None:
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    print(f"DUT: {dut.name}  (fc = {dut.cutoff:.1f} Hz, Q = {dut.q_factor:.3f})")
+
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal())
+    calibration = analyzer.calibrate(fwave=1000.0)
+    print(
+        f"calibrated: stimulus amplitude = {calibration.amplitude.value * 1e3:.2f} mV "
+        f"(interval [{calibration.amplitude.lower * 1e3:.2f}, "
+        f"{calibration.amplitude.upper * 1e3:.2f}] mV)"
+    )
+
+    print(f"\n{'f (Hz)':>9} | {'gain (dB)':>22} | {'phase (deg)':>24} | truth")
+    for fwave in (100.0, 500.0, 1000.0, 2000.0, 5000.0, 20_000.0):
+        point = analyzer.measure_gain_phase(fwave)
+        gain = point.gain_db
+        phase = point.phase_deg
+        print(
+            f"{fwave:9.0f} | {gain.value:+7.2f} [{gain.lower:+7.2f},{gain.upper:+7.2f}]"
+            f" | {phase.value:+8.2f} [{phase.lower:+8.2f},{phase.upper:+8.2f}]"
+            f" | {dut.gain_db_at(fwave):+7.2f} dB, {dut.phase_deg_at(fwave):+8.2f} deg"
+        )
+
+    print(
+        "\nEvery bracket is a *guaranteed* interval from the bounded "
+        "sigma-delta quantization error (paper eqs. (3)-(5)) plus the "
+        "stimulus-image budget; note how the analytic truth sits inside."
+    )
+
+
+if __name__ == "__main__":
+    main()

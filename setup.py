@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail offline.  This
+shim lets ``pip install -e .`` fall back to the classic ``setup.py
+develop`` path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Silicon area estimation (paper Section IV / III.B area figures)."""
+
+from .estimate import (
+    AreaModel,
+    AreaReport,
+    PAPER_DIGITAL_DSP_UM2,
+    PAPER_EVALUATOR_MM2,
+    PAPER_GENERATOR_MM2,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "PAPER_GENERATOR_MM2",
+    "PAPER_EVALUATOR_MM2",
+    "PAPER_DIGITAL_DSP_UM2",
+]

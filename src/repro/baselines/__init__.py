@@ -1,0 +1,23 @@
+"""Prior-art baselines the paper positions itself against.
+
+* :class:`~repro.baselines.bandpass_analyzer.BandpassAmplitudeAnalyzer`
+  — the ref. [8] approach (Mendez-Rivera et al.): a programmable
+  bandpass filter plus an amplitude-measurement block.  Magnitude-only,
+  and its detector limits it to roughly 40 dB of dynamic range below
+  10 kHz — the comparison the paper's introduction draws.
+* :class:`~repro.baselines.sigma_delta_signature.StructuralSignatureTester`
+  — the ref. [9] approach (Prenat et al.): sigma-delta signature
+  comparison against a golden value.  Pass/fail only ("signature-based,
+  performing only a structural test of the DUT and not a functional
+  frequency response characterization").
+"""
+
+from .bandpass_analyzer import BandpassAmplitudeAnalyzer, BandpassMeasurement
+from .sigma_delta_signature import StructuralSignatureTester, SignatureVerdict
+
+__all__ = [
+    "BandpassAmplitudeAnalyzer",
+    "BandpassMeasurement",
+    "StructuralSignatureTester",
+    "SignatureVerdict",
+]

@@ -1,0 +1,179 @@
+"""Baseline: swept bandpass filter + amplitude detector (paper ref. [8]).
+
+The prior-art BIST scheme the paper improves on: a programmable bandpass
+filter selects the frequency of interest and an amplitude-measurement
+block (rectifier + peak detector) estimates the level.  The paper
+summarizes its limits: "this approach, although simple and cost-effective,
+is limited to applications demanding a dynamic range below 40dB up to
+10kHz, and the frequency response extraction only deals with the
+magnitude characterization."
+
+The model reproduces those limits from physical mechanisms rather than by
+fiat:
+
+* the **detector offset** (a few millivolts, inherent to a rectifier's
+  dead zone) floors small-signal measurements -> ~40 dB dynamic range
+  for a full-scale near 0.5 V;
+* the **peak detector droop/ripple** adds a relative error of a few
+  tenths of a dB;
+* phase is simply not measurable — there is no quadrature path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dut.base import DUT
+from ..dut.biquads import bandpass
+from ..errors import ConfigError
+from ..signals.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class BandpassMeasurement:
+    """One magnitude-only measurement of the baseline analyzer."""
+
+    frequency: float
+    amplitude: float  # detected amplitude, volts
+    gain: float  # detected amplitude / stimulus amplitude
+
+    @property
+    def gain_db(self) -> float:
+        if self.gain <= 0:
+            return float("-inf")
+        return 20.0 * math.log10(self.gain)
+
+
+class BandpassAmplitudeAnalyzer:
+    """The ref.-[8]-style magnitude-only frequency-response tester.
+
+    Parameters
+    ----------
+    q:
+        Selectivity of the programmable bandpass stage.
+    detector_offset:
+        Rectifier/comparator dead zone (volts): the amplitude floor.
+    droop_per_period:
+        Peak-detector relative droop per carrier period.
+    max_frequency:
+        Upper limit of the programmable filter (ref. [8]: ~10 kHz).
+    sample_rate_factor:
+        Internal simulation rate as a multiple of the test frequency.
+    """
+
+    #: The baseline provides no phase measurement (magnitude only).
+    supports_phase = False
+
+    def __init__(
+        self,
+        q: float = 10.0,
+        detector_offset: float = 5e-3,
+        droop_per_period: float = 0.02,
+        max_frequency: float = 10e3,
+        sample_rate_factor: int = 96,
+    ) -> None:
+        if not q > 0:
+            raise ConfigError(f"Q must be positive, got {q!r}")
+        if detector_offset < 0:
+            raise ConfigError(
+                f"detector offset must be >= 0, got {detector_offset!r}"
+            )
+        if not 0 <= droop_per_period < 1:
+            raise ConfigError(
+                f"droop_per_period must be in [0, 1), got {droop_per_period!r}"
+            )
+        if not max_frequency > 0:
+            raise ConfigError(f"max_frequency must be positive, got {max_frequency!r}")
+        if sample_rate_factor < 16:
+            raise ConfigError(
+                f"sample_rate_factor must be >= 16, got {sample_rate_factor}"
+            )
+        self.q = q
+        self.detector_offset = detector_offset
+        self.droop_per_period = droop_per_period
+        self.max_frequency = max_frequency
+        self.sample_rate_factor = sample_rate_factor
+
+    # ------------------------------------------------------------------
+    def _detect_amplitude(self, signal: Waveform, frequency: float) -> float:
+        """Rectifier + peak detector with droop, read after settling."""
+        # droop_per_period is the fractional decay per carrier period;
+        # convert to a per-sample retention factor.
+        droop = (1.0 - self.droop_per_period) ** (1.0 / self.sample_rate_factor)
+        peak = 0.0
+        readings = []
+        tail_start = len(signal) // 2
+        rectified = np.abs(signal.samples)
+        for i, value in enumerate(rectified):
+            peak = max(value, peak * droop)
+            if i >= tail_start:
+                readings.append(peak)
+        if not readings:
+            return 0.0
+        detected = float(np.mean(readings))
+        # The rectifier dead zone swallows the offset's worth of signal.
+        return max(detected - self.detector_offset, 0.0)
+
+    def measure_gain(
+        self,
+        dut: DUT,
+        frequency: float,
+        stimulus_amplitude: float = 0.4,
+        n_periods: int = 64,
+    ) -> BandpassMeasurement:
+        """Magnitude-only gain measurement at one frequency."""
+        if not frequency > 0:
+            raise ConfigError(f"frequency must be positive, got {frequency!r}")
+        if frequency > self.max_frequency:
+            raise ConfigError(
+                f"baseline bandpass analyzer is limited to "
+                f"{self.max_frequency:g} Hz (ref. [8]); requested {frequency:g} Hz"
+            )
+        if not stimulus_amplitude > 0:
+            raise ConfigError(
+                f"stimulus amplitude must be positive, got {stimulus_amplitude!r}"
+            )
+        if n_periods < 8:
+            raise ConfigError(f"n_periods must be >= 8, got {n_periods}")
+        fs = frequency * self.sample_rate_factor
+        n = n_periods * self.sample_rate_factor
+        t = np.arange(n) / fs
+        stimulus = Waveform(
+            stimulus_amplitude * np.sin(2.0 * math.pi * frequency * t), fs
+        )
+        dut.reset()
+        response = dut.process(stimulus)
+        # Programmable bandpass selects the test frequency.
+        selector = bandpass(frequency, q=self.q, gain=1.0)
+        selector.reset()
+        selected = selector.process(response)
+        # Discard the bandpass/DUT transient (first half).
+        settled = selected.slice_samples(len(selected) // 2)
+        amplitude = self._detect_amplitude(settled, frequency)
+        return BandpassMeasurement(
+            frequency=frequency,
+            amplitude=amplitude,
+            gain=amplitude / stimulus_amplitude,
+        )
+
+    def magnitude_sweep(
+        self,
+        dut: DUT,
+        frequencies,
+        stimulus_amplitude: float = 0.4,
+    ) -> list[BandpassMeasurement]:
+        """Magnitude response over a frequency list."""
+        return [
+            self.measure_gain(dut, f, stimulus_amplitude) for f in frequencies
+        ]
+
+    def dynamic_range_db(self, full_scale: float = 0.5) -> float:
+        """Detector-offset-limited dynamic range estimate."""
+        if not full_scale > 0:
+            raise ConfigError(f"full_scale must be positive, got {full_scale!r}")
+        if self.detector_offset == 0:
+            return float("inf")
+        return 20.0 * math.log10(full_scale / self.detector_offset)

@@ -1,0 +1,131 @@
+"""Baseline: structural sigma-delta signature test (paper ref. [9]).
+
+Prenat et al. use sigma-delta modulation for both stimulus generation and
+evaluation, but the result is a *signature*: a number compared against a
+golden value from a known-good device.  As the paper notes, "that work is
+signature-based, performing only a structural test of the DUT and not a
+functional frequency response characterization" — a fault can be flagged,
+but no gain, phase or distortion figure is produced.
+
+:class:`StructuralSignatureTester` implements that scheme on our
+substrate so the comparison bench can demonstrate the functional gap: it
+reuses the same sigma-delta modulator, but its entire output is one
+accumulated count per stimulus and a pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dut.base import DUT
+from ..errors import ConfigError, EvaluationError
+from ..evaluator.sigma_delta import FirstOrderSigmaDelta
+from ..signals.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class SignatureVerdict:
+    """Outcome of one structural signature comparison."""
+
+    signature: int
+    golden: int
+    tolerance: int
+    passed: bool
+
+    @property
+    def deviation(self) -> int:
+        return abs(self.signature - self.golden)
+
+
+class StructuralSignatureTester:
+    """Ref.-[9]-style signature-based BIST.
+
+    Parameters
+    ----------
+    frequency:
+        Test stimulus frequency (one fixed tone; the scheme has no sweep
+        semantics — a different frequency is a different signature).
+    stimulus_amplitude:
+        Stimulus amplitude in volts.
+    n_periods:
+        Accumulation window in stimulus periods.
+    oversampling_ratio:
+        Modulator oversampling.
+    """
+
+    #: This baseline produces no functional measurements.
+    supports_phase = False
+    supports_magnitude = False
+
+    def __init__(
+        self,
+        frequency: float,
+        stimulus_amplitude: float = 0.3,
+        n_periods: int = 64,
+        oversampling_ratio: int = 96,
+        vref: float = 0.5,
+    ) -> None:
+        if not frequency > 0:
+            raise ConfigError(f"frequency must be positive, got {frequency!r}")
+        if not stimulus_amplitude > 0:
+            raise ConfigError(
+                f"stimulus amplitude must be positive, got {stimulus_amplitude!r}"
+            )
+        if n_periods < 1:
+            raise ConfigError(f"n_periods must be >= 1, got {n_periods}")
+        self.frequency = frequency
+        self.stimulus_amplitude = stimulus_amplitude
+        self.n_periods = n_periods
+        self.oversampling_ratio = oversampling_ratio
+        self.modulator = FirstOrderSigmaDelta(vref=vref)
+        self._golden: int | None = None
+
+    # ------------------------------------------------------------------
+    def signature_of(self, dut: DUT) -> int:
+        """Reference-correlated bit count of the DUT response.
+
+        The bitstream is accumulated against a square-wave reference
+        locked to the stimulus (an up/down counter gated by the stimulus
+        half-period) — a plain sum over integer periods of a zero-mean
+        response would be blind to the DUT entirely.  The result is one
+        number, sensitive to gain and phase changes together but not
+        separable into either: a *structural* signature.
+        """
+        fs = self.frequency * self.oversampling_ratio
+        n = self.n_periods * self.oversampling_ratio
+        t = np.arange(n) / fs
+        stimulus = Waveform(
+            self.stimulus_amplitude * np.sin(2.0 * math.pi * self.frequency * t), fs
+        )
+        dut.reset()
+        response = dut.process(stimulus)
+        result = self.modulator.modulate(
+            response.samples, np.ones(len(response)), u0=0.0
+        )
+        phase = np.arange(n) % self.oversampling_ratio
+        reference = np.where(phase < self.oversampling_ratio // 2, 1, -1)
+        return int(np.sum(result.bits.astype(np.int64) * reference))
+
+    def learn_golden(self, good_dut: DUT) -> int:
+        """Record the golden signature from a known-good device."""
+        self._golden = self.signature_of(good_dut)
+        return self._golden
+
+    def test(self, dut: DUT, tolerance: int = 16) -> SignatureVerdict:
+        """Structural pass/fail against the golden signature."""
+        if self._golden is None:
+            raise EvaluationError(
+                "no golden signature learned; call learn_golden() first"
+            )
+        if tolerance < 0:
+            raise ConfigError(f"tolerance must be >= 0, got {tolerance}")
+        signature = self.signature_of(dut)
+        return SignatureVerdict(
+            signature=signature,
+            golden=self._golden,
+            tolerance=tolerance,
+            passed=abs(signature - self._golden) <= tolerance,
+        )

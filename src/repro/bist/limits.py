@@ -1,0 +1,89 @@
+"""Frequency-dependent specification masks.
+
+A :class:`SpecMask` is a set of gain-limit segments: at a test frequency
+inside a segment, the DUT's gain (in dB) must lie within ``[lo, hi]``.
+Masks are built either directly or from a golden DUT plus a tolerance
+(the usual way production limits are derived).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dut.base import DUT
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MaskSegment:
+    """One frequency band with gain limits (dB)."""
+
+    f_lo: float
+    f_hi: float
+    gain_lo_db: float
+    gain_hi_db: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.f_lo <= self.f_hi:
+            raise ConfigError(
+                f"need 0 < f_lo <= f_hi, got {self.f_lo}..{self.f_hi}"
+            )
+        if self.gain_lo_db > self.gain_hi_db:
+            raise ConfigError(
+                f"gain limits inverted: [{self.gain_lo_db}, {self.gain_hi_db}]"
+            )
+
+    def covers(self, frequency: float) -> bool:
+        return self.f_lo <= frequency <= self.f_hi
+
+
+@dataclass(frozen=True)
+class SpecMask:
+    """An ordered set of gain-limit segments."""
+
+    segments: tuple[MaskSegment, ...]
+
+    def __post_init__(self) -> None:
+        segments = tuple(self.segments)
+        if not segments:
+            raise ConfigError("mask needs at least one segment")
+        object.__setattr__(self, "segments", segments)
+
+    def limits_at(self, frequency: float) -> tuple[float, float] | None:
+        """``(lo_db, hi_db)`` at a frequency, or None if unconstrained."""
+        for segment in self.segments:
+            if segment.covers(frequency):
+                return segment.gain_lo_db, segment.gain_hi_db
+        return None
+
+    @classmethod
+    def from_golden(
+        cls,
+        dut: DUT,
+        frequencies,
+        tolerance_db: float = 1.0,
+    ) -> "SpecMask":
+        """Limits derived from a golden DUT's analytic response.
+
+        Each test frequency gets a narrow segment centred on the golden
+        gain with ``+/- tolerance_db``.
+        """
+        if tolerance_db <= 0:
+            raise ConfigError(f"tolerance_db must be positive, got {tolerance_db!r}")
+        frequencies = np.atleast_1d(np.asarray(frequencies, dtype=float))
+        if len(frequencies) == 0:
+            raise ConfigError("need at least one frequency")
+        segments = []
+        for f in frequencies:
+            gain_db = dut.gain_db_at(float(f))
+            segments.append(
+                MaskSegment(
+                    f_lo=float(f) * 0.999,
+                    f_hi=float(f) * 1.001,
+                    gain_lo_db=gain_db - tolerance_db,
+                    gain_hi_db=gain_db + tolerance_db,
+                )
+            )
+        return cls(tuple(segments))

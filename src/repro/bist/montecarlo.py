@@ -1,0 +1,150 @@
+"""Monte-Carlo yield analysis of a BIST program.
+
+The production question behind the paper: given manufacturing spread,
+what fraction of devices does the on-chip test pass, and how often does
+it disagree with the *true* specification compliance?  The standard
+vocabulary:
+
+* **yield** — fraction of devices passing the BIST program;
+* **test escape** — a device that violates the true spec but passes the
+  test (shipped bad part);
+* **overkill** — a device that meets the true spec but fails the test
+  (scrapped good part).
+
+Because the analyzer reports *intervals*, the program also produces
+"ambiguous" outcomes; the dispositioning policy (retest longer, or
+scrap) is a knob exposed here as ``ambiguous_passes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.analyzer import NetworkAnalyzer
+from ..core.config import AnalyzerConfig
+from ..dut.active_rc import ActiveRCLowpass, FilterComponents
+from ..errors import ConfigError
+from .limits import SpecMask
+from .program import BISTProgram
+
+
+@dataclass(frozen=True)
+class DeviceTrial:
+    """One simulated device through the test program."""
+
+    device_index: int
+    verdict: str  # BIST outcome: pass | fail | ambiguous
+    truly_good: bool  # analytic response inside the mask everywhere
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Aggregate Monte-Carlo outcome."""
+
+    trials: tuple[DeviceTrial, ...]
+    ambiguous_passes: bool
+
+    def _passes(self, trial: DeviceTrial) -> bool:
+        if trial.verdict == "pass":
+            return True
+        return trial.verdict == "ambiguous" and self.ambiguous_passes
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.trials)
+
+    @property
+    def test_yield(self) -> float:
+        """Fraction of devices the BIST ships."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if self._passes(t)) / len(self.trials)
+
+    @property
+    def true_yield(self) -> float:
+        """Fraction of devices actually meeting the spec."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.truly_good) / len(self.trials)
+
+    @property
+    def escape_rate(self) -> float:
+        """Shipped-bad fraction (of all devices)."""
+        if not self.trials:
+            return 0.0
+        escapes = sum(
+            1 for t in self.trials if self._passes(t) and not t.truly_good
+        )
+        return escapes / len(self.trials)
+
+    @property
+    def overkill_rate(self) -> float:
+        """Scrapped-good fraction (of all devices)."""
+        if not self.trials:
+            return 0.0
+        overkill = sum(
+            1 for t in self.trials if not self._passes(t) and t.truly_good
+        )
+        return overkill / len(self.trials)
+
+    @property
+    def ambiguous_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.verdict == "ambiguous") / len(
+            self.trials
+        )
+
+
+def _truly_good(dut: ActiveRCLowpass, mask: SpecMask, frequencies) -> bool:
+    for f in frequencies:
+        limits = mask.limits_at(f)
+        if limits is None:
+            continue
+        lo, hi = limits
+        gain = dut.gain_db_at(f)
+        if not lo <= gain <= hi:
+            return False
+    return True
+
+
+def yield_analysis(
+    nominal: FilterComponents,
+    mask: SpecMask,
+    program: BISTProgram,
+    n_devices: int = 50,
+    component_sigma: float = 0.02,
+    seed: int = 0,
+    config: AnalyzerConfig | None = None,
+    ambiguous_passes: bool = False,
+) -> YieldReport:
+    """Simulate a production lot through the BIST program.
+
+    Each device draws i.i.d. Gaussian component values around the
+    nominal design (``component_sigma`` relative), runs the go/no-go
+    program, and is compared against its *analytic* spec compliance.
+    """
+    if n_devices < 1:
+        raise ConfigError(f"n_devices must be >= 1, got {n_devices}")
+    if component_sigma < 0:
+        raise ConfigError(f"component_sigma must be >= 0, got {component_sigma!r}")
+    config = config if config is not None else AnalyzerConfig.ideal(
+        m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
+    )
+    rng = np.random.default_rng(seed)
+    trials = []
+    for index in range(n_devices):
+        components = nominal.with_tolerance(component_sigma, rng)
+        device = ActiveRCLowpass(components, name=f"device #{index}")
+        analyzer = NetworkAnalyzer(device, config)
+        report = program.run(analyzer)
+        trials.append(
+            DeviceTrial(
+                device_index=index,
+                verdict=report.verdict,
+                truly_good=_truly_good(device, mask, program.frequencies),
+            )
+        )
+    return YieldReport(trials=tuple(trials), ambiguous_passes=ambiguous_passes)

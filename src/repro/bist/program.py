@@ -1,0 +1,112 @@
+"""Go/no-go BIST programs.
+
+A :class:`BISTProgram` runs the analyzer over a set of test frequencies
+and compares the *bounded* gain measurements against a
+:class:`~repro.bist.limits.SpecMask`.  Because measurements are
+intervals, three outcomes exist per point:
+
+* **pass** — the whole interval lies inside the limits;
+* **fail** — the whole interval lies outside;
+* **ambiguous** — the interval straddles a limit: the test is not
+  conclusive at this window size (increase ``M``, exactly the knob the
+  paper highlights).
+
+The device verdict is fail if any point fails; ambiguous if no point
+fails but some are inconclusive; pass otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analyzer import NetworkAnalyzer
+from ..errors import ConfigError
+from .limits import SpecMask
+
+
+@dataclass(frozen=True)
+class PointVerdict:
+    """Verdict at one test frequency."""
+
+    frequency: float
+    gain_db_lower: float
+    gain_db_upper: float
+    limit_lo_db: float
+    limit_hi_db: float
+    verdict: str  # "pass" | "fail" | "ambiguous"
+
+
+@dataclass(frozen=True)
+class BISTReport:
+    """Outcome of one full BIST program execution."""
+
+    points: tuple[PointVerdict, ...]
+
+    @property
+    def verdict(self) -> str:
+        if any(p.verdict == "fail" for p in self.points):
+            return "fail"
+        if any(p.verdict == "ambiguous" for p in self.points):
+            return "ambiguous"
+        return "pass"
+
+    @property
+    def failed_points(self) -> tuple[PointVerdict, ...]:
+        return tuple(p for p in self.points if p.verdict == "fail")
+
+
+class BISTProgram:
+    """A production-style go/no-go test program.
+
+    Parameters
+    ----------
+    mask:
+        Specification limits.
+    frequencies:
+        Test frequencies (each must be covered by the mask).
+    m_periods:
+        Evaluation window per point (smaller = faster test, wider
+        intervals, more ambiguous outcomes — the test-time/accuracy
+        trade-off of the paper's Section IV.B).
+    """
+
+    def __init__(self, mask: SpecMask, frequencies, m_periods: int = 50) -> None:
+        self.mask = mask
+        self.frequencies = [float(f) for f in frequencies]
+        if not self.frequencies:
+            raise ConfigError("need at least one test frequency")
+        for f in self.frequencies:
+            if mask.limits_at(f) is None:
+                raise ConfigError(
+                    f"test frequency {f:g} Hz is not covered by the mask"
+                )
+        if m_periods < 2:
+            raise ConfigError(f"m_periods must be >= 2, got {m_periods}")
+        self.m_periods = m_periods
+
+    def run(self, analyzer: NetworkAnalyzer) -> BISTReport:
+        """Execute the program on an analyzer (calibrating if needed)."""
+        if analyzer.calibration is None:
+            analyzer.calibrate(self.frequencies[0], m_periods=self.m_periods)
+        points = []
+        for f in self.frequencies:
+            measurement = analyzer.measure_gain_phase(f, m_periods=self.m_periods)
+            gain_db = measurement.gain_db
+            lo, hi = self.mask.limits_at(f)
+            if gain_db.lower >= lo and gain_db.upper <= hi:
+                verdict = "pass"
+            elif gain_db.upper < lo or gain_db.lower > hi:
+                verdict = "fail"
+            else:
+                verdict = "ambiguous"
+            points.append(
+                PointVerdict(
+                    frequency=f,
+                    gain_db_lower=gain_db.lower,
+                    gain_db_upper=gain_db.upper,
+                    limit_lo_db=lo,
+                    limit_hi_db=hi,
+                    verdict=verdict,
+                )
+            )
+        return BISTReport(points=tuple(points))

@@ -1,0 +1,171 @@
+"""Command-line interface: drive the analyzer from a shell.
+
+Four subcommands mirror the library's main flows::
+
+    python -m repro design
+        Print the Table I design summary.
+
+    python -m repro bode --cutoff 1000 --points 11 [--csv out.csv]
+        Characterize an active-RC low-pass DUT (Fig. 10a/b style).
+
+    python -m repro distortion --hd2 -57 --hd3 -64.5 [--csv out.csv]
+        The Fig. 10c harmonic-distortion experiment.
+
+    python -m repro dynamic-range --m-periods 200
+        Evaluator + system dynamic range (the 70 dB claim).
+
+The CLI builds everything from the public API — it doubles as an
+executable usage example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.analyzer import NetworkAnalyzer
+from .core.bode import BodeResult
+from .core.config import AnalyzerConfig
+from .core.distortion import measure_distortion
+from .core.dynamic_range import evaluator_dynamic_range, system_dynamic_range
+from .core.sweep import FrequencySweepPlan
+from .dut.active_rc import ActiveRCLowpass
+from .dut.base import PassthroughDUT
+from .dut.nonlinear import WienerDUT, polynomial_for_distortion
+from .generator.design import design_summary
+from .reporting.export import bode_to_csv, distortion_to_csv, write_csv
+from .reporting.series import format_series
+from .reporting.tables import ascii_table
+from .sc.opamp import OpAmpModel
+
+
+def _cmd_design(_args) -> int:
+    summary = design_summary()
+    rows = [[key, value] for key, value in summary.items()]
+    print(ascii_table(["design figure", "value"], rows,
+                      title="Table I derived design summary"))
+    return 0
+
+
+def _cmd_bode(args) -> int:
+    dut = ActiveRCLowpass.from_specs(cutoff=args.cutoff, q=args.q)
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=args.m_periods))
+    analyzer.calibrate(fwave=args.cutoff)
+    plan = FrequencySweepPlan(args.f_start, args.f_stop, args.points)
+    bode = BodeResult(tuple(analyzer.bode(plan.frequencies())))
+    lo, hi = bode.gain_db_bounds()
+    print(
+        format_series(
+            {
+                "f (Hz)": bode.frequencies(),
+                "gain dB": bode.gain_db(),
+                "lo": lo,
+                "hi": hi,
+                "phase deg": bode.phase_deg(),
+            },
+            digits=4,
+        )
+    )
+    if args.csv:
+        write_csv(args.csv, bode_to_csv(bode))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_distortion(args) -> int:
+    linear = ActiveRCLowpass.from_specs(cutoff=args.cutoff)
+    level = args.amplitude * linear.gain_at(args.fwave)
+    dut = WienerDUT(linear, polynomial_for_distortion(level, args.hd2, args.hd3))
+    analyzer = NetworkAnalyzer(
+        dut,
+        AnalyzerConfig.ideal(
+            stimulus_amplitude=args.amplitude,
+            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+            noise_seed=1,
+        ),
+    )
+    report = measure_distortion(analyzer, args.fwave, m_periods=args.m_periods)
+    rows = [
+        [f"HD{r.harmonic}", r.level_dbc.value, r.reference_dbc, r.agreement_db]
+        for r in report.rows
+    ]
+    print(
+        ascii_table(
+            ["harmonic", "analyzer (dBc)", "scope (dBc)", "|delta| (dB)"],
+            rows,
+            title="Harmonic distortion measurement",
+        )
+    )
+    if args.csv:
+        write_csv(args.csv, distortion_to_csv(report))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_dynamic_range(args) -> int:
+    evaluator = evaluator_dynamic_range(
+        m_periods=args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1
+    )
+    analyzer = NetworkAnalyzer(
+        PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)
+    )
+    system = system_dynamic_range(analyzer, args.fwave)
+    rows = [
+        ["evaluator weak-tone range (dB)", evaluator.dynamic_range_db],
+        [f"system residual range @ {args.fwave:g} Hz (dB)", system],
+    ]
+    print(ascii_table(["figure", "value"], rows, title="Dynamic range"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2008 analog-BIST network analyzer (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("design", help="print the Table I design summary")
+
+    bode = sub.add_parser("bode", help="Bode characterization of an RC low-pass")
+    bode.add_argument("--cutoff", type=float, default=1000.0)
+    bode.add_argument("--q", type=float, default=0.7071)
+    bode.add_argument("--f-start", type=float, default=100.0)
+    bode.add_argument("--f-stop", type=float, default=20_000.0)
+    bode.add_argument("--points", type=int, default=11)
+    bode.add_argument("--m-periods", type=int, default=100)
+    bode.add_argument("--csv", type=str, default=None)
+
+    distortion = sub.add_parser("distortion", help="HD2/HD3 measurement")
+    distortion.add_argument("--cutoff", type=float, default=1000.0)
+    distortion.add_argument("--fwave", type=float, default=1600.0)
+    distortion.add_argument("--amplitude", type=float, default=0.4)
+    distortion.add_argument("--hd2", type=float, default=-57.0)
+    distortion.add_argument("--hd3", type=float, default=-64.5)
+    distortion.add_argument("--m-periods", type=int, default=400)
+    distortion.add_argument("--csv", type=str, default=None)
+
+    dynamic = sub.add_parser("dynamic-range", help="dynamic range figures")
+    dynamic.add_argument("--m-periods", type=int, default=200)
+    dynamic.add_argument("--fwave", type=float, default=1000.0)
+
+    return parser
+
+
+_COMMANDS = {
+    "design": _cmd_design,
+    "bode": _cmd_bode,
+    "distortion": _cmd_distortion,
+    "dynamic-range": _cmd_dynamic_range,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Clock generation and control sequencing.
+
+The network analyzer of the paper is a *single-clock* system: an external
+master clock at ``feva`` drives the sigma-delta evaluator directly, a 1:6
+divider derives the generator clock ``fgen``, and the generator's 16-step
+input sequence sets the synthesized tone at ``fwave = fgen/16 = feva/96``.
+Because every internal frequency is an integer division of the master
+clock, the oversampling ratio ``N = feva/fwave = 96`` is fixed *by
+construction* and the whole analyzer is retuned simply by sweeping the
+master clock.  This package models that clock tree and the two control
+sequences (the generator's capacitor selection ``c1..c4``/``phi_in`` of
+Fig. 2c and the evaluator's square-wave modulation bit ``q_k`` of Fig. 5).
+"""
+
+from .master import ClockTree, MasterClock
+from .dividers import FrequencyDivider
+from .phases import NonOverlappingPhases
+from .sequencer import GeneratorSequence, ModulationSequence
+
+__all__ = [
+    "ClockTree",
+    "MasterClock",
+    "FrequencyDivider",
+    "NonOverlappingPhases",
+    "GeneratorSequence",
+    "ModulationSequence",
+]

@@ -1,0 +1,67 @@
+"""Integer frequency dividers.
+
+The analyzer uses a single 1:6 divider (master clock to generator clock),
+but the divider model is generic: it produces the square output of an
+integer counter-based divider and bookkeeps exact rational frequency
+relationships, which the tests use to prove the clock tree stays locked
+for any master frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FrequencyDivider:
+    """A counter-based integer clock divider (divide-by-``ratio``).
+
+    The output toggles every ``ratio`` input cycles when ``ratio`` is even
+    (50 % duty cycle) and uses the standard asymmetric counter output when
+    ``ratio`` is odd (duty cycle ``(ratio+1)/(2*ratio)``), matching simple
+    CMOS divider implementations.
+    """
+
+    ratio: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ratio, int) or self.ratio < 1:
+            raise ConfigError(f"divider ratio must be a positive integer, got {self.ratio!r}")
+
+    def output_frequency(self, input_frequency: float) -> float:
+        """Frequency of the divided clock."""
+        if not input_frequency > 0:
+            raise ConfigError(f"input frequency must be positive, got {input_frequency!r}")
+        return input_frequency / self.ratio
+
+    def output_levels(self, n_input_cycles: int) -> np.ndarray:
+        """Logic level of the divided clock for each input cycle.
+
+        Returns an int8 array of 0/1 levels, one per input clock cycle,
+        starting from a reset counter (output high first).
+        """
+        if n_input_cycles < 0:
+            raise ConfigError(f"n_input_cycles must be >= 0, got {n_input_cycles}")
+        n = np.arange(n_input_cycles)
+        phase = n % self.ratio
+        high_count = (self.ratio + 1) // 2
+        return (phase < high_count).astype(np.int8)
+
+    def rising_edges(self, n_input_cycles: int) -> np.ndarray:
+        """Indices of input cycles at which the divided clock rises."""
+        levels = self.output_levels(n_input_cycles)
+        if len(levels) == 0:
+            return np.empty(0, dtype=int)
+        prev = np.concatenate(([0], levels[:-1]))
+        edges = np.flatnonzero((levels == 1) & (prev == 0))
+        return edges
+
+    def cycle_index(self, n_input_cycles: int) -> np.ndarray:
+        """Output-cycle index for each input cycle (floor division)."""
+        if n_input_cycles < 0:
+            raise ConfigError(f"n_input_cycles must be >= 0, got {n_input_cycles}")
+        return np.arange(n_input_cycles) // self.ratio

@@ -1,0 +1,137 @@
+"""Master clock and the analyzer's divided clock tree.
+
+Paper, Section II: "The system operates based on an external master clock,
+at frequency ``feva``.  A 1:6 frequency divider generates the appropriate
+clock frequency, ``fgen = feva/6``, for the generator block [...] the
+sinewave generator [...] delivers a sinewave signal with a frequency
+``fwave = fgen/16 = feva/96``."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, TimingError
+
+#: Divider ratio between master clock and generator clock (paper: 1:6).
+GENERATOR_DIVIDER = 6
+
+#: Steps per output period of the generator's time-variant input (paper: 16).
+GENERATOR_STEPS = 16
+
+#: Oversampling ratio fixed by construction: N = feva / fwave.
+OVERSAMPLING_RATIO = GENERATOR_DIVIDER * GENERATOR_STEPS  # = 96
+
+
+@dataclass(frozen=True)
+class MasterClock:
+    """The external master clock at frequency ``feva`` (hertz).
+
+    The master clock is the only tuning knob of the analyzer: all internal
+    frequencies are derived from it by fixed integer ratios.
+    """
+
+    feva: float
+
+    def __post_init__(self) -> None:
+        if not self.feva > 0:
+            raise ConfigError(f"master clock frequency must be positive, got {self.feva!r}")
+
+    @property
+    def period(self) -> float:
+        """Sampling period ``Ts = 1/feva`` (seconds)."""
+        return 1.0 / self.feva
+
+    @classmethod
+    def for_fwave(cls, fwave: float) -> "MasterClock":
+        """Master clock that produces a given output tone frequency."""
+        if not fwave > 0:
+            raise ConfigError(f"fwave must be positive, got {fwave!r}")
+        return cls(feva=fwave * OVERSAMPLING_RATIO)
+
+    @classmethod
+    def for_fgen(cls, fgen: float) -> "MasterClock":
+        """Master clock that produces a given generator clock frequency."""
+        if not fgen > 0:
+            raise ConfigError(f"fgen must be positive, got {fgen!r}")
+        return cls(feva=fgen * GENERATOR_DIVIDER)
+
+
+@dataclass(frozen=True)
+class ClockTree:
+    """The analyzer's full clock tree, derived from one master clock.
+
+    Exposes every frequency of Fig. 1 plus sample-domain conversion
+    helpers.  The tree is immutable: retuning the analyzer means building a
+    new tree from a new master clock.
+    """
+
+    master: MasterClock
+
+    @classmethod
+    def from_feva(cls, feva: float) -> "ClockTree":
+        return cls(MasterClock(feva))
+
+    @classmethod
+    def from_fwave(cls, fwave: float) -> "ClockTree":
+        return cls(MasterClock.for_fwave(fwave))
+
+    @property
+    def feva(self) -> float:
+        """Master / evaluator sampling frequency."""
+        return self.master.feva
+
+    @property
+    def fgen(self) -> float:
+        """Generator switching frequency, ``feva / 6``."""
+        return self.master.feva / GENERATOR_DIVIDER
+
+    @property
+    def fwave(self) -> float:
+        """Synthesized tone frequency, ``fgen / 16 = feva / 96``."""
+        return self.fgen / GENERATOR_STEPS
+
+    @property
+    def oversampling_ratio(self) -> int:
+        """``N = feva / fwave``; always 96 by construction."""
+        return OVERSAMPLING_RATIO
+
+    @property
+    def samples_per_gen_step(self) -> int:
+        """Evaluator samples per generator output step (= the 1:6 divider)."""
+        return GENERATOR_DIVIDER
+
+    @property
+    def ts(self) -> float:
+        """Evaluator sampling period (seconds)."""
+        return self.master.period
+
+    @property
+    def tone_period(self) -> float:
+        """Period ``T = 1/fwave`` of the synthesized tone (seconds)."""
+        return 1.0 / self.fwave
+
+    def samples_for_periods(self, periods: int) -> int:
+        """Number of evaluator samples spanning ``periods`` tone periods."""
+        if periods < 0:
+            raise ConfigError(f"periods must be >= 0, got {periods}")
+        return periods * OVERSAMPLING_RATIO
+
+    def gen_steps_for_periods(self, periods: int) -> int:
+        """Number of generator clock cycles spanning ``periods`` tone periods."""
+        if periods < 0:
+            raise ConfigError(f"periods must be >= 0, got {periods}")
+        return periods * GENERATOR_STEPS
+
+    def assert_coherent_with(self, sample_rate: float) -> None:
+        """Check that a waveform's sample rate matches the evaluator clock.
+
+        The evaluator's bounded-error guarantees rely on the sampling grid
+        being exactly the master clock; this guard catches accidental use
+        of waveforms sampled on a different clock.
+        """
+        if abs(sample_rate - self.feva) > 1e-9 * self.feva:
+            raise TimingError(
+                f"waveform sampled at {sample_rate} Hz is not on the master clock "
+                f"({self.feva} Hz); the analyzer is a single-clock system"
+            )

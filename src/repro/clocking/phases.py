@@ -1,0 +1,97 @@
+"""Two-phase non-overlapping clock generation.
+
+Switched-capacitor circuits (the generator biquad of Fig. 2 and the
+sigma-delta modulator of Fig. 5) are driven by two non-overlapping phases
+``phi1``/``phi2`` (``psi1``/``psi2`` in the modulator): charge is sampled
+onto capacitors during one phase and transferred during the other, and the
+phases must never be high simultaneously or charge would leak between
+nodes that are supposed to be isolated.
+
+The behavioural SC models in :mod:`repro.sc` advance one full clock period
+per step (sample on ``phi1``, transfer on ``phi2``), so this module's role
+is (a) to generate explicit phase waveforms for timing-diagram style
+verification, and (b) to validate non-overlap constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, TimingError
+
+
+@dataclass(frozen=True)
+class NonOverlappingPhases:
+    """A two-phase non-overlapping clock generator.
+
+    Parameters
+    ----------
+    subdivisions:
+        Time resolution: number of sub-intervals each clock period is
+        divided into when rendering phase waveforms.  Must be >= 4 so both
+        phases and both guard gaps fit in a period.
+    guard:
+        Width of each non-overlap gap, in sub-intervals (>= 1).
+    """
+
+    subdivisions: int = 8
+    guard: int = 1
+
+    def __post_init__(self) -> None:
+        if self.subdivisions < 4:
+            raise ConfigError(f"subdivisions must be >= 4, got {self.subdivisions}")
+        if self.guard < 1:
+            raise ConfigError(f"guard must be >= 1, got {self.guard}")
+        if 2 * self.guard >= self.subdivisions:
+            raise ConfigError(
+                f"guard intervals ({self.guard} each) leave no room for phases "
+                f"in {self.subdivisions} subdivisions"
+            )
+
+    def render(self, n_periods: int) -> tuple[np.ndarray, np.ndarray]:
+        """Render ``(phi1, phi2)`` waveforms over ``n_periods`` clock periods.
+
+        Each returned array has ``n_periods * subdivisions`` 0/1 entries.
+        Within one period the layout is::
+
+            phi1 high | guard | phi2 high | guard
+        """
+        if n_periods < 0:
+            raise ConfigError(f"n_periods must be >= 0, got {n_periods}")
+        usable = self.subdivisions - 2 * self.guard
+        phi1_width = (usable + 1) // 2
+        phi2_width = usable - phi1_width
+        if phi2_width < 1:
+            # With tiny subdivision counts give phi2 at least one slot.
+            phi1_width -= 1
+            phi2_width += 1
+        period_phi1 = np.zeros(self.subdivisions, dtype=np.int8)
+        period_phi2 = np.zeros(self.subdivisions, dtype=np.int8)
+        period_phi1[:phi1_width] = 1
+        start2 = phi1_width + self.guard
+        period_phi2[start2 : start2 + phi2_width] = 1
+        phi1 = np.tile(period_phi1, n_periods)
+        phi2 = np.tile(period_phi2, n_periods)
+        return phi1, phi2
+
+    @staticmethod
+    def validate_non_overlap(phi1: np.ndarray, phi2: np.ndarray) -> None:
+        """Raise :class:`TimingError` if the two phases are ever high together."""
+        phi1 = np.asarray(phi1)
+        phi2 = np.asarray(phi2)
+        if phi1.shape != phi2.shape:
+            raise ConfigError("phase waveforms must have identical shapes")
+        overlap = np.flatnonzero((phi1 != 0) & (phi2 != 0))
+        if overlap.size:
+            raise TimingError(
+                f"phases overlap at {overlap.size} sample(s), first at index {overlap[0]}"
+            )
+
+    def duty_cycles(self, n_periods: int = 1) -> tuple[float, float]:
+        """Fraction of time each phase is high."""
+        if n_periods < 1:
+            raise ConfigError(f"n_periods must be >= 1, got {n_periods}")
+        phi1, phi2 = self.render(n_periods)
+        return float(np.mean(phi1)), float(np.mean(phi2))

@@ -1,0 +1,186 @@
+"""Control sequences: generator capacitor selection and evaluator modulation.
+
+Two digital sequences orchestrate the analyzer:
+
+* **Generator sequence** (Fig. 2c): over each 16-cycle output period of the
+  generator clock, one-hot signals ``c1..c4`` select which input capacitor
+  of the time-variant array is switched into the signal path, and the
+  polarity signal ``phi_in`` selects whether the sampled charge is added
+  with positive or negative weight.  Together they make the input charge
+  follow a 16-step quantized sinewave (paper eqs. (1)-(2)).
+
+* **Modulation sequence** (Figs. 4b and 5): the evaluator multiplies the
+  signal under test by square waves of period ``T/k`` in phase (``SQ_kT``)
+  and in quadrature (``SQ_kT`` delayed by ``T/4k``).  The multiplication is
+  folded into the sigma-delta input switching via the polarity bit ``q_k``.
+  For the quadrature wave to live on the sampling grid, the quarter-period
+  delay must be an integer number of samples: ``N % 4k == 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .master import GENERATOR_STEPS
+
+#: Capacitor index pattern over one 16-step period (paper Fig. 2c): the
+#: positive half selects CI0..CI4 up and back down, then the same pattern
+#: repeats with inverted polarity for the negative half.
+_HALF_PATTERN = (0, 1, 2, 3, 4, 3, 2, 1)
+
+
+def capacitor_weight(k: int) -> float:
+    """Normalized weight of array capacitor ``CI_k`` (paper eq. (2)).
+
+    ``CI_k = 2 sin(k pi / 8)`` for ``k = 0, 1, ... 4``.
+    """
+    if not 0 <= k <= 4:
+        raise ConfigError(f"capacitor index must be in 0..4, got {k}")
+    return 2.0 * math.sin(k * math.pi / 8.0)
+
+
+@dataclass(frozen=True)
+class GeneratorSequence:
+    """The 16-step capacitor-selection sequence of the sinewave generator.
+
+    All methods are phrased in generator clock cycles ``n`` (rate ``fgen``);
+    one output period spans ``GENERATOR_STEPS = 16`` cycles.
+    """
+
+    def cap_index(self, n) -> np.ndarray:
+        """Selected capacitor index (0..4) at generator cycle ``n``."""
+        n = np.asarray(n)
+        step = np.mod(n, GENERATOR_STEPS)
+        pattern = np.array(_HALF_PATTERN + _HALF_PATTERN)
+        return pattern[step]
+
+    def polarity(self, n) -> np.ndarray:
+        """Polarity (+1 first half period, -1 second half): the ``phi_in`` signal."""
+        n = np.asarray(n)
+        step = np.mod(n, GENERATOR_STEPS)
+        return np.where(step < GENERATOR_STEPS // 2, 1, -1)
+
+    def quantized_weight(self, n) -> np.ndarray:
+        """Signed input weight ``polarity * CI_k`` at cycle ``n``.
+
+        This *is* the 16-step quantized sinewave of paper eq. (1): for the
+        chosen pattern, ``quantized_weight(n) == 2 sin(2 pi n / 16)``
+        exactly, because ``CI_k = 2 sin(k pi/8)`` samples the sine at the
+        pattern's step positions.
+        """
+        n = np.asarray(n)
+        weights = np.array([capacitor_weight(k) for k in range(5)])
+        return self.polarity(n) * weights[self.cap_index(n)]
+
+    def one_hot(self, n_cycles: int) -> np.ndarray:
+        """The ``c1..c4`` one-hot control lines for ``n_cycles`` cycles.
+
+        Returns an ``(n_cycles, 4)`` 0/1 array; column ``j`` is ``c_{j+1}``.
+        A row is all-zero when the zero-weight capacitor slot (``k = 0``,
+        no charge sampled) is active, matching Fig. 2c where none of
+        ``c1..c4`` is asserted on those cycles.
+        """
+        if n_cycles < 0:
+            raise ConfigError(f"n_cycles must be >= 0, got {n_cycles}")
+        idx = self.cap_index(np.arange(n_cycles))
+        out = np.zeros((n_cycles, 4), dtype=np.int8)
+        for j in range(1, 5):
+            out[:, j - 1] = idx == j
+        return out
+
+
+@dataclass(frozen=True)
+class ModulationSequence:
+    """Square-wave modulation bits for the sinewave evaluator.
+
+    Parameters
+    ----------
+    oversampling_ratio:
+        ``N = feva / fwave`` — samples per period of the signal under
+        evaluation (96 in the paper's analyzer).
+    harmonic:
+        ``k`` — the harmonic being extracted.  The modulating square waves
+        have period ``T/k``.  ``k = 0`` selects the DC measurement: the
+        "square wave" degenerates to the constant +1.
+    """
+
+    oversampling_ratio: int
+    harmonic: int
+
+    def __post_init__(self) -> None:
+        n = self.oversampling_ratio
+        k = self.harmonic
+        if not isinstance(n, int) or n < 4:
+            raise ConfigError(f"oversampling ratio must be an integer >= 4, got {n!r}")
+        if not isinstance(k, int) or k < 0:
+            raise ConfigError(f"harmonic index must be a non-negative integer, got {k!r}")
+        if k > 0 and n % (4 * k) != 0:
+            raise ConfigError(
+                f"harmonic k={k} is not realizable at N={n}: the quadrature "
+                f"square wave needs a quarter-period of N/(4k) samples, so "
+                f"N must be divisible by 4k (paper Section III.B feasibility "
+                f"condition)"
+            )
+
+    @property
+    def samples_per_square_period(self) -> int:
+        """Samples per period of the modulating square wave (``N/k``)."""
+        if self.harmonic == 0:
+            return self.oversampling_ratio
+        return self.oversampling_ratio // self.harmonic
+
+    @property
+    def quarter_shift(self) -> int:
+        """Quadrature delay ``T/4k`` in samples (``N/4k``)."""
+        if self.harmonic == 0:
+            return 0
+        return self.oversampling_ratio // (4 * self.harmonic)
+
+    def in_phase(self, n) -> np.ndarray:
+        """``SQ_kT`` sampled at sample indices ``n`` (values +/-1).
+
+        Convention: ``+1`` on the first half of each square period (the
+        sign of ``sin(2 pi k t / T)`` with the half-sample-open convention
+        at the zero crossings).
+        """
+        n = np.asarray(n)
+        if self.harmonic == 0:
+            return np.ones(n.shape, dtype=np.int8)
+        period = self.samples_per_square_period
+        phase = np.mod(n, period)
+        return np.where(phase < period // 2, 1, -1).astype(np.int8)
+
+    def quadrature(self, n) -> np.ndarray:
+        """``SQ_kT(t - T/4k)`` sampled at sample indices ``n`` (values +/-1)."""
+        n = np.asarray(n)
+        if self.harmonic == 0:
+            return np.ones(n.shape, dtype=np.int8)
+        return self.in_phase(n - self.quarter_shift)
+
+    def pair(self, n_samples: int) -> tuple[np.ndarray, np.ndarray]:
+        """Both modulation sequences for samples ``0..n_samples-1``."""
+        if n_samples < 0:
+            raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+        idx = np.arange(n_samples)
+        return self.in_phase(idx), self.quadrature(idx)
+
+    @staticmethod
+    def allowed_harmonics(oversampling_ratio: int, k_max: int | None = None) -> list[int]:
+        """All harmonics realizable at a given oversampling ratio.
+
+        For the paper's ``N = 96``: ``[1, 2, 3, 4, 6, 8, 12, 24]``.
+        """
+        if oversampling_ratio < 4:
+            raise ConfigError(
+                f"oversampling ratio must be >= 4, got {oversampling_ratio}"
+            )
+        limit = k_max if k_max is not None else oversampling_ratio // 4
+        return [
+            k
+            for k in range(1, limit + 1)
+            if oversampling_ratio % (4 * k) == 0
+        ]

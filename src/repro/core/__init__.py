@@ -1,0 +1,67 @@
+"""The network analyzer core — the paper's primary contribution.
+
+Public entry points:
+
+* :class:`~repro.core.analyzer.NetworkAnalyzer` — bind a DUT and a
+  configuration, calibrate once, then measure gain/phase points, Bode
+  sweeps, and harmonic distortion;
+* :class:`~repro.core.config.AnalyzerConfig` — ideal vs typical
+  (0.35 um-flavoured) configurations;
+* :class:`~repro.core.sweep.FrequencySweepPlan` — master-clock sweep
+  plans (including the paper's Fig. 10 sweep);
+* :class:`~repro.core.bode.BodeResult` — Bode series with error bands;
+* :func:`~repro.core.distortion.measure_distortion` — the Fig. 10c
+  experiment;
+* :mod:`~repro.core.dynamic_range` — the 70 dB dynamic-range
+  characterization.
+"""
+
+from .analyzer import NetworkAnalyzer
+from .bode import BodeResult
+from .calibration import CalibrationResult
+from .config import AnalyzerConfig
+from .distortion import DistortionReport, measure_distortion
+from .dynamic_range import (
+    DynamicRangeResult,
+    evaluator_dynamic_range,
+    system_dynamic_range,
+    theoretical_floor_dbc,
+)
+from .measurement import (
+    GainPhaseMeasurement,
+    HarmonicDistortionMeasurement,
+    StimulusMeasurement,
+    bounded_db,
+)
+from .sweep import FrequencySweepPlan
+from .thd import THDReport, measure_thd
+from .fitting import (
+    ParameterScreen,
+    SecondOrderFit,
+    fit_second_order_lowpass,
+    parameter_screen,
+)
+
+__all__ = [
+    "NetworkAnalyzer",
+    "AnalyzerConfig",
+    "CalibrationResult",
+    "BodeResult",
+    "FrequencySweepPlan",
+    "GainPhaseMeasurement",
+    "StimulusMeasurement",
+    "HarmonicDistortionMeasurement",
+    "bounded_db",
+    "DistortionReport",
+    "measure_distortion",
+    "DynamicRangeResult",
+    "evaluator_dynamic_range",
+    "system_dynamic_range",
+    "theoretical_floor_dbc",
+    "THDReport",
+    "measure_thd",
+    "SecondOrderFit",
+    "ParameterScreen",
+    "fit_second_order_lowpass",
+    "parameter_screen",
+]

@@ -1,0 +1,95 @@
+"""Bode measurement results (the paper's Fig. 10a/b).
+
+A :class:`BodeResult` aggregates the per-frequency
+:class:`~repro.core.measurement.GainPhaseMeasurement` points and offers
+the views the paper plots: gain in dB with error bands, phase in degrees
+with error bands, and comparison against an analytic ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..dut.base import DUT
+from .measurement import GainPhaseMeasurement
+
+
+@dataclass(frozen=True)
+class BodeResult:
+    """An ordered collection of Bode points."""
+
+    points: tuple[GainPhaseMeasurement, ...]
+
+    def __post_init__(self) -> None:
+        points = tuple(self.points)
+        if not points:
+            raise ConfigError("BodeResult needs at least one point")
+        freqs = [p.fwave for p in points]
+        if any(b <= a for a, b in zip(freqs, freqs[1:])):
+            raise ConfigError("Bode points must be strictly increasing in frequency")
+        object.__setattr__(self, "points", points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # ------------------------------------------------------------------
+    # Series views
+    # ------------------------------------------------------------------
+    def frequencies(self) -> np.ndarray:
+        return np.array([p.fwave for p in self.points])
+
+    def gain_db(self) -> np.ndarray:
+        return np.array([p.gain_db.value for p in self.points])
+
+    def gain_db_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        lows = np.array([p.gain_db.lower for p in self.points])
+        highs = np.array([p.gain_db.upper for p in self.points])
+        return lows, highs
+
+    def phase_deg(self) -> np.ndarray:
+        return np.array([p.phase_deg.value for p in self.points])
+
+    def phase_deg_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        lows = np.array([p.phase_deg.lower for p in self.points])
+        highs = np.array([p.phase_deg.upper for p in self.points])
+        return lows, highs
+
+    # ------------------------------------------------------------------
+    # Ground-truth comparison
+    # ------------------------------------------------------------------
+    def truth_gain_db(self, dut: DUT) -> np.ndarray:
+        """Analytic gain of a DUT at the measured frequencies."""
+        h = dut.frequency_response(self.frequencies())
+        mag = np.abs(h)
+        with np.errstate(divide="ignore"):
+            return 20.0 * np.log10(mag)
+
+    def truth_phase_deg(self, dut: DUT) -> np.ndarray:
+        """Analytic phase of a DUT at the measured frequencies (unwrapped)."""
+        h = dut.frequency_response(self.frequencies())
+        return np.degrees(np.unwrap(np.angle(h)))
+
+    def gain_error_db(self, dut: DUT) -> np.ndarray:
+        """Measured minus analytic gain, dB."""
+        return self.gain_db() - self.truth_gain_db(dut)
+
+    def phase_error_deg(self, dut: DUT) -> np.ndarray:
+        """Measured minus analytic phase, degrees."""
+        return self.phase_deg() - self.truth_phase_deg(dut)
+
+    def truth_within_bounds(self, dut: DUT, slack_db: float = 0.0) -> bool:
+        """True if the analytic response lies inside every error band.
+
+        ``slack_db`` loosens the check for configurations with analog
+        non-idealities (where the *measured system* differs slightly from
+        the nominal analytic DUT — as in the lab).
+        """
+        truth_gain = self.truth_gain_db(dut)
+        lo, hi = self.gain_db_bounds()
+        return bool(np.all(truth_gain >= lo - slack_db) and np.all(truth_gain <= hi + slack_db))

@@ -1,0 +1,88 @@
+"""The calibration path (paper Fig. 1, dashed arrow; Section III.C).
+
+Bypassing the DUT feeds the generated stimulus directly to the evaluator,
+which characterizes the *test input*: its amplitude and its phase
+relative to the modulating square wave.  DUT gain is then the ratio of
+output to input amplitudes and DUT phase the difference of phases.
+
+Because the whole analyzer is one synchronous discrete-time system scaled
+by the master clock, the stimulus amplitude and phase *in clock-relative
+terms* are the same at every sweep frequency — "this calibration only
+needs to be performed once".  The reproduction verifies this invariance
+explicitly (bench CAL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError, ConfigError
+from ..intervals import BoundedValue
+from .measurement import StimulusMeasurement
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The one-off stimulus characterization.
+
+    Attributes
+    ----------
+    amplitude:
+        Bounded stimulus amplitude at the evaluator input (volts).
+    phase:
+        Bounded stimulus phase relative to the square-wave reference
+        (radians).
+    fwave:
+        Tone frequency at which calibration was acquired (the paper's
+        point: the result is valid at *all* frequencies).
+    m_periods:
+        Evaluation window used.
+    stimulus_amplitude_setting:
+        The amplitude the generator was programmed for (volts).
+    """
+
+    amplitude: BoundedValue
+    phase: BoundedValue
+    fwave: float
+    m_periods: int
+    stimulus_amplitude_setting: float
+
+    def __post_init__(self) -> None:
+        if not self.fwave > 0:
+            raise ConfigError(f"fwave must be positive, got {self.fwave!r}")
+        if self.m_periods < 1:
+            raise ConfigError(f"m_periods must be >= 1, got {self.m_periods}")
+        if self.amplitude.upper <= 0:
+            raise CalibrationError(
+                "calibration measured a non-positive stimulus amplitude; "
+                "the generator is not producing a tone"
+            )
+
+    @classmethod
+    def from_measurement(
+        cls, measurement: StimulusMeasurement, stimulus_amplitude_setting: float
+    ) -> "CalibrationResult":
+        return cls(
+            amplitude=measurement.amplitude,
+            phase=measurement.phase,
+            fwave=measurement.fwave,
+            m_periods=measurement.signature.m_periods,
+            stimulus_amplitude_setting=stimulus_amplitude_setting,
+        )
+
+    def check_amplitude_setting(self, expected: float, tolerance: float = 0.05) -> None:
+        """Guard against using a calibration taken at another amplitude.
+
+        Gain is a ratio, so in a perfectly linear system the calibration
+        amplitude would not matter; the guard catches the gross mistakes
+        (re-programmed generator without re-calibration).
+        """
+        if expected <= 0:
+            raise ConfigError(f"expected amplitude must be positive, got {expected!r}")
+        rel = abs(self.stimulus_amplitude_setting - expected) / expected
+        if rel > tolerance:
+            raise CalibrationError(
+                f"calibration was acquired at a stimulus setting of "
+                f"{self.stimulus_amplitude_setting} V but the measurement uses "
+                f"{expected} V; re-run calibration"
+            )

@@ -1,0 +1,71 @@
+"""Frequency sweep planning.
+
+The analyzer retunes by sweeping the master clock: a sweep plan is just a
+list of tone frequencies, each implying ``feva = 96 fwave``.  Plans are
+log-spaced by default (Bode convention) and provide the paper's Fig. 10
+sweep as a named constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: The audio-range limit the paper claims for the analyzer.
+PAPER_MAX_FREQUENCY = 20e3
+
+#: Lower edge of the paper's Fig. 10 Bode plots.
+PAPER_MIN_FREQUENCY = 100.0
+
+
+@dataclass(frozen=True)
+class FrequencySweepPlan:
+    """A log-spaced master-clock sweep.
+
+    Parameters
+    ----------
+    f_start, f_stop:
+        Tone frequency range (hertz), inclusive.
+    n_points:
+        Number of sweep points.
+    """
+
+    f_start: float
+    f_stop: float
+    n_points: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.f_start < self.f_stop:
+            raise ConfigError(
+                f"need 0 < f_start < f_stop, got {self.f_start}..{self.f_stop}"
+            )
+        if self.n_points < 2:
+            raise ConfigError(f"n_points must be >= 2, got {self.n_points}")
+
+    def frequencies(self) -> np.ndarray:
+        """The tone frequencies of the plan."""
+        return np.geomspace(self.f_start, self.f_stop, self.n_points)
+
+    def master_clock_frequencies(self) -> np.ndarray:
+        """The corresponding master clock frequencies (``96 fwave``)."""
+        from ..clocking.master import OVERSAMPLING_RATIO
+
+        return self.frequencies() * OVERSAMPLING_RATIO
+
+    @classmethod
+    def paper_fig10(cls, n_points: int = 25) -> "FrequencySweepPlan":
+        """The Fig. 10 Bode sweep: 100 Hz to 20 kHz."""
+        return cls(PAPER_MIN_FREQUENCY, PAPER_MAX_FREQUENCY, n_points)
+
+    @classmethod
+    def around(cls, f_center: float, decades: float = 1.0, n_points: int = 11) -> "FrequencySweepPlan":
+        """A sweep centred (log-wise) on a frequency of interest."""
+        if not f_center > 0:
+            raise ConfigError(f"f_center must be positive, got {f_center!r}")
+        if not decades > 0:
+            raise ConfigError(f"decades must be positive, got {decades!r}")
+        half = 10.0 ** (decades / 2.0)
+        return cls(f_center / half, f_center * half, n_points)

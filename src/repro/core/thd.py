@@ -1,0 +1,99 @@
+"""THD measurement on the network analyzer.
+
+The paper's abstract lists "the harmonic distortion" as a deliverable of
+the analyzer; :func:`measure_thd` turns a multi-harmonic acquisition
+into a bounded total-harmonic-distortion figure, the single number most
+datasheets specify.
+
+Interval semantics: THD is the RSS of the distortion-harmonic amplitude
+intervals divided by the fundamental interval, computed with the
+library's conservative interval arithmetic — the reported interval is
+guaranteed under the same assumptions as the per-harmonic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..intervals import BoundedValue
+from .analyzer import NetworkAnalyzer
+from .measurement import bounded_db
+
+
+@dataclass(frozen=True)
+class THDReport:
+    """Bounded THD measurement."""
+
+    fwave: float
+    m_periods: int
+    n_harmonics: int
+    fundamental: BoundedValue  # volts
+    thd_ratio: BoundedValue  # dimensionless amplitude ratio
+    harmonic_amplitudes: dict  # k -> BoundedValue (volts)
+
+    @property
+    def thd_db(self) -> BoundedValue:
+        """THD as a *negative* dBc interval (paper quotes the positive
+        magnitude: 'THD is 67dB' means -67 dBc here)."""
+        return bounded_db(self.thd_ratio)
+
+    @property
+    def thd_db_positive(self) -> float:
+        """The paper's positive-number convention for the point estimate."""
+        return -self.thd_db.value
+
+
+def measure_thd(
+    analyzer: NetworkAnalyzer,
+    fwave: float,
+    n_harmonics: int = 5,
+    m_periods: int | None = None,
+    correct_leakage: bool | None = None,
+) -> THDReport:
+    """Measure the DUT output's THD through the analyzer.
+
+    Harmonics beyond the feasibility condition (``N % 4k != 0``) or the
+    Nyquist limit are skipped — with N = 96 the usable set within the
+    first five is {2, 3, 4}; request ``n_harmonics >= 6`` to include
+    k = 6 and so on.
+    """
+    if n_harmonics < 2:
+        raise ConfigError(f"n_harmonics must be >= 2, got {n_harmonics}")
+    from ..clocking.master import OVERSAMPLING_RATIO
+    from ..clocking.sequencer import ModulationSequence
+
+    m = m_periods if m_periods is not None else analyzer.config.m_periods
+    usable = [
+        k
+        for k in ModulationSequence.allowed_harmonics(OVERSAMPLING_RATIO, n_harmonics)
+        if k >= 2
+    ]
+    if not usable:
+        raise ConfigError(
+            f"no measurable harmonics in 2..{n_harmonics} at N = "
+            f"{OVERSAMPLING_RATIO}"
+        )
+    measured = analyzer.measure_harmonics(
+        fwave, [1] + usable, m_periods=m, correct_leakage=correct_leakage
+    )
+    fundamental = measured[1].amplitude
+    if fundamental.upper <= 0:
+        raise ConfigError("no fundamental measured; THD undefined")
+    # RSS of the distortion harmonics with interval arithmetic.
+    total_sq = BoundedValue.exact(0.0)
+    amplitudes = {}
+    for k in usable:
+        amp = measured[k].amplitude
+        amplitudes[k] = amp
+        total_sq = total_sq + amp.square()
+    rss = total_sq.sqrt()
+    ratio = (rss / fundamental).clamp_nonnegative()
+    return THDReport(
+        fwave=fwave,
+        m_periods=m,
+        n_harmonics=n_harmonics,
+        fundamental=fundamental,
+        thd_ratio=ratio,
+        harmonic_amplitudes=amplitudes,
+    )

@@ -1,0 +1,71 @@
+"""Catalog of generic continuous-time DUT responses.
+
+Standard 2nd-order (and first-order) sections built as
+:class:`~repro.dut.statespace.StateSpaceDUT` instances, used by the
+examples ("characterize *your* filter") and by tests that need DUTs with
+analytically obvious behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .statespace import StateSpaceDUT
+
+
+def _w0(f0: float) -> float:
+    if not f0 > 0:
+        raise ConfigError(f"corner frequency must be positive, got {f0!r}")
+    return 2.0 * math.pi * f0
+
+
+def _check_q(q: float) -> None:
+    if not q > 0:
+        raise ConfigError(f"Q must be positive, got {q!r}")
+
+
+def lowpass(f0: float, q: float = 1.0 / math.sqrt(2.0), gain: float = 1.0) -> StateSpaceDUT:
+    """2nd-order low-pass: ``gain * w0^2 / (s^2 + (w0/Q) s + w0^2)``."""
+    _check_q(q)
+    w0 = _w0(f0)
+    return StateSpaceDUT.from_transfer_function(
+        [gain * w0 * w0], [1.0, w0 / q, w0 * w0], name=f"LP {f0:g} Hz Q={q:g}"
+    )
+
+
+def highpass(f0: float, q: float = 1.0 / math.sqrt(2.0), gain: float = 1.0) -> StateSpaceDUT:
+    """2nd-order high-pass: ``gain * s^2 / (s^2 + (w0/Q) s + w0^2)``."""
+    _check_q(q)
+    w0 = _w0(f0)
+    return StateSpaceDUT.from_transfer_function(
+        [gain, 0.0, 0.0], [1.0, w0 / q, w0 * w0], name=f"HP {f0:g} Hz Q={q:g}"
+    )
+
+
+def bandpass(f0: float, q: float = 5.0, gain: float = 1.0) -> StateSpaceDUT:
+    """2nd-order band-pass with peak gain ``gain`` at ``f0``."""
+    _check_q(q)
+    w0 = _w0(f0)
+    return StateSpaceDUT.from_transfer_function(
+        [gain * w0 / q, 0.0], [1.0, w0 / q, w0 * w0], name=f"BP {f0:g} Hz Q={q:g}"
+    )
+
+
+def notch(f0: float, q: float = 5.0, gain: float = 1.0) -> StateSpaceDUT:
+    """2nd-order notch: unity away from ``f0``, null at ``f0``."""
+    _check_q(q)
+    w0 = _w0(f0)
+    return StateSpaceDUT.from_transfer_function(
+        [gain, 0.0, gain * w0 * w0],
+        [1.0, w0 / q, w0 * w0],
+        name=f"notch {f0:g} Hz Q={q:g}",
+    )
+
+
+def first_order_lowpass(f0: float, gain: float = 1.0) -> StateSpaceDUT:
+    """Single-pole RC low-pass."""
+    w0 = _w0(f0)
+    return StateSpaceDUT.from_transfer_function(
+        [gain * w0], [1.0, w0], name=f"RC LP {f0:g} Hz"
+    )

@@ -1,0 +1,59 @@
+"""Parametric fault models for the BIST application layer.
+
+BIST exists to decide pass/fail; a fault model defines what "fail" means.
+The standard parametric model for analog filters deviates one passive
+component at a time by a fixed percentage.  :func:`fault_catalog`
+enumerates the classic single-component deviations of the demonstrator
+DUT, which the fault-coverage experiment (:mod:`repro.bist.coverage`)
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .active_rc import ActiveRCLowpass, FilterComponents
+
+
+@dataclass(frozen=True)
+class ParametricFault:
+    """A single-component relative deviation."""
+
+    component: str
+    relative_change: float
+
+    def __post_init__(self) -> None:
+        if self.component not in FilterComponents._NAMES:
+            raise ConfigError(
+                f"unknown component {self.component!r}; valid: "
+                f"{FilterComponents._NAMES}"
+            )
+        if self.relative_change <= -1.0:
+            raise ConfigError(
+                f"relative change must be > -100%, got {self.relative_change}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short report label, e.g. ``r2+20%``."""
+        return f"{self.component}{self.relative_change:+.0%}"
+
+    def apply(self, dut: ActiveRCLowpass) -> ActiveRCLowpass:
+        """A faulty copy of the given DUT."""
+        return dut.with_fault(self.component, self.relative_change)
+
+
+def fault_catalog(deviations=(-0.5, -0.2, 0.2, 0.5)) -> list[ParametricFault]:
+    """Single-component deviation faults for every component.
+
+    The default deviations (+/-20 %, +/-50 %) are the conventional
+    parametric fault magnitudes for analog filter test benchmarks.
+    """
+    if not deviations:
+        raise ConfigError("need at least one deviation magnitude")
+    catalog = []
+    for component in FilterComponents._NAMES:
+        for deviation in deviations:
+            catalog.append(ParametricFault(component, float(deviation)))
+    return catalog

@@ -1,0 +1,153 @@
+"""Nonlinear DUT wrappers for harmonic-distortion experiments.
+
+The paper's Fig. 10c measures the 2nd and 3rd harmonic components of the
+filter's output for a 800 mVpp input — distortion produced by the
+filter's real op amp.  We model that with a static polynomial
+nonlinearity composed with the linear filter:
+
+* **Wiener** (linear then static NL): op-amp output-stage distortion —
+  the configuration used to reproduce Fig. 10c;
+* **Hammerstein** (static NL then linear): input-stage distortion, where
+  the filter subsequently shapes the generated harmonics.
+
+:func:`polynomial_for_distortion` computes the polynomial coefficients
+that produce target HD2/HD3 levels at a given operating amplitude, from
+the standard weak-distortion relations ``HD2 = a2 A / 2``,
+``HD3 = a3 A^2 / 4`` for ``y = x + a2 x^2 + a3 x^3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..signals.waveform import Waveform
+from .base import DUT
+
+
+class PolynomialNonlinearity:
+    """A static polynomial ``y = sum_i coeffs[i] * x^i``.
+
+    ``coeffs`` are ordered by ascending power starting at power 0.
+    """
+
+    def __init__(self, coeffs) -> None:
+        coeffs = np.atleast_1d(np.asarray(coeffs, dtype=float))
+        if coeffs.ndim != 1 or len(coeffs) == 0:
+            raise ConfigError("coeffs must be a non-empty 1-D sequence")
+        self.coeffs = coeffs
+
+    @classmethod
+    def identity(cls) -> "PolynomialNonlinearity":
+        return cls([0.0, 1.0])
+
+    def __call__(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        for power in range(len(self.coeffs) - 1, -1, -1):
+            out = out * x + self.coeffs[power]
+        return out
+
+    def harmonic_amplitudes(self, amplitude: float, n_harmonics: int = 3) -> np.ndarray:
+        """Weak-distortion harmonic amplitudes for a sine input.
+
+        Returns ``[A1, A2, ..., An]`` for input ``amplitude * sin``,
+        keeping terms up to cubic (adequate for the HD levels of the
+        paper, all below -50 dB).
+        """
+        if amplitude < 0:
+            raise ConfigError(f"amplitude must be >= 0, got {amplitude!r}")
+        if n_harmonics < 1:
+            raise ConfigError(f"n_harmonics must be >= 1, got {n_harmonics}")
+        a = np.zeros(max(4, len(self.coeffs)))
+        a[: len(self.coeffs)] = self.coeffs
+        a1 = a[1] * amplitude + 0.75 * a[3] * amplitude**3
+        a2 = 0.5 * a[2] * amplitude**2
+        a3 = 0.25 * a[3] * amplitude**3
+        out = np.zeros(n_harmonics)
+        for i, val in enumerate((a1, a2, a3)):
+            if i < n_harmonics:
+                out[i] = abs(val)
+        return out
+
+
+def polynomial_for_distortion(
+    amplitude: float, hd2_db: float, hd3_db: float
+) -> PolynomialNonlinearity:
+    """Coefficients giving target HD2/HD3 (negative dBc) at an amplitude.
+
+    ``hd2_db``/``hd3_db`` are carrier-relative levels, e.g. -57.0 for a
+    2nd harmonic 57 dB below the fundamental.
+    """
+    if not amplitude > 0:
+        raise ConfigError(f"amplitude must be positive, got {amplitude!r}")
+    if hd2_db > 0 or hd3_db > 0:
+        raise ConfigError("HD levels are dBc and must be <= 0")
+    hd2 = 10.0 ** (hd2_db / 20.0)
+    hd3 = 10.0 ** (hd3_db / 20.0)
+    a2 = 2.0 * hd2 / amplitude
+    a3 = 4.0 * hd3 / (amplitude * amplitude)
+    return PolynomialNonlinearity([0.0, 1.0, a2, a3])
+
+
+class WienerDUT(DUT):
+    """Linear block followed by a static nonlinearity (output distortion)."""
+
+    def __init__(
+        self,
+        linear: DUT,
+        nonlinearity: PolynomialNonlinearity,
+        name: str | None = None,
+    ) -> None:
+        self.linear = linear
+        self.nonlinearity = nonlinearity
+        self.name = name if name is not None else f"{linear.name} + output NL"
+
+    def process(self, waveform: Waveform) -> Waveform:
+        linear_out = self.linear.process(waveform)
+        return Waveform(
+            self.nonlinearity(linear_out.samples),
+            linear_out.sample_rate,
+            linear_out.t0,
+        )
+
+    def frequency_response(self, frequencies) -> np.ndarray:
+        """Small-signal response: the linear part scaled by the NL slope."""
+        slope = self.nonlinearity.coeffs[1] if len(self.nonlinearity.coeffs) > 1 else 0.0
+        return slope * self.linear.frequency_response(frequencies)
+
+    def reset(self) -> None:
+        self.linear.reset()
+
+    def settling_time(self, tolerance: float = 1e-6) -> float:
+        return self.linear.settling_time(tolerance)
+
+
+class HammersteinDUT(DUT):
+    """Static nonlinearity followed by a linear block (input distortion)."""
+
+    def __init__(
+        self,
+        nonlinearity: PolynomialNonlinearity,
+        linear: DUT,
+        name: str | None = None,
+    ) -> None:
+        self.linear = linear
+        self.nonlinearity = nonlinearity
+        self.name = name if name is not None else f"input NL + {linear.name}"
+
+    def process(self, waveform: Waveform) -> Waveform:
+        distorted = Waveform(
+            self.nonlinearity(waveform.samples), waveform.sample_rate, waveform.t0
+        )
+        return self.linear.process(distorted)
+
+    def frequency_response(self, frequencies) -> np.ndarray:
+        slope = self.nonlinearity.coeffs[1] if len(self.nonlinearity.coeffs) > 1 else 0.0
+        return slope * self.linear.frequency_response(frequencies)
+
+    def reset(self) -> None:
+        self.linear.reset()
+
+    def settling_time(self, tolerance: float = 1e-6) -> float:
+        return self.linear.settling_time(tolerance)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+measurement problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An object was constructed or configured with invalid parameters.
+
+    Examples: an odd evaluation period count ``M`` (the evaluator's chopped
+    offset cancellation requires ``M`` to be even), a harmonic index ``k``
+    for which the quadrature square wave cannot be aligned to the sampling
+    grid (``N % 4k != 0``), or a non-positive frequency.
+    """
+
+
+class TimingError(ReproError):
+    """Clock or sequencing constraints were violated.
+
+    Raised when clock domains that must stay integer-ratio locked (master
+    clock, generator clock, output tone) are driven out of lock, or when a
+    waveform is evaluated against a clock it was not sampled on.
+    """
+
+
+class EvaluationError(ReproError):
+    """A measurement could not be completed or produced unusable output.
+
+    Examples: the signal under evaluation overloads the sigma-delta
+    modulator (input beyond the stable range), or a signature is requested
+    before the evaluator has been run.
+    """
+
+
+class CalibrationError(ReproError):
+    """The network analyzer was asked to use a missing or stale calibration."""
+
+
+class FaultError(ReproError):
+    """A fault-injection request targets a component that does not exist."""

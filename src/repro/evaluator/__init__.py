@@ -1,0 +1,38 @@
+"""The sinewave evaluator (paper Section III.B, Figs. 4 and 5).
+
+The signal under evaluation is multiplied by two square waves in
+quadrature — the multiplication folded into the sigma-delta input
+switching (polarity bit ``q_k``) — and each product is encoded by a
+matched 1st-order sigma-delta modulator.  Counting the bitstreams over an
+integer number ``M`` of signal periods yields signatures ``I1k``/``I2k``
+from which simple digital arithmetic recovers the DC level, the k-th
+harmonic amplitude and its phase, each confined to a *guaranteed* interval
+because the modulator's accumulated quantization error is bounded.
+"""
+
+from .sigma_delta import FirstOrderSigmaDelta, SecondOrderSigmaDelta
+from .counters import SignatureCounter
+from .signatures import SignaturePair
+from .evaluator import SinewaveEvaluator
+from .dsp import PAPER_EPSILON, SignatureDSP
+from .harmonics import HarmonicMeasurement, correct_square_wave_leakage
+from .noise_analysis import (
+    ErrorBudget,
+    amplitude_error_budget,
+    periods_for_amplitude_sigma,
+)
+
+__all__ = [
+    "FirstOrderSigmaDelta",
+    "SecondOrderSigmaDelta",
+    "SignatureCounter",
+    "SignaturePair",
+    "SinewaveEvaluator",
+    "SignatureDSP",
+    "PAPER_EPSILON",
+    "HarmonicMeasurement",
+    "correct_square_wave_leakage",
+    "ErrorBudget",
+    "amplitude_error_budget",
+    "periods_for_amplitude_sigma",
+]

@@ -1,0 +1,167 @@
+"""Multi-harmonic measurement and square-wave leakage correction.
+
+A square-wave correlator is not a pure tone correlator: the modulating
+square of period ``T/k`` contains all odd harmonics ``m*k``, so the raw
+k-th measurement also picks up the input's harmonics at ``3k, 5k, ...``.
+For the paper's use cases the leakage is small (harmonics 20+ dB down,
+weighted by a further ~1/m), but for precision distortion work it can be
+removed exactly.
+
+The correction is performed in each measurement's own *frame* (the
+``c``/``s`` components of
+:class:`~repro.evaluator.dsp.HarmonicEstimate`), where it takes a
+strikingly simple form.  For the sampled square of period ``P = N/k``,
+the ``m``-th harmonic's correlation weight relative to the fundamental is
+
+    ``w_m = sin(pi/P) / sin(m pi/P)``        (-> 1/m as P grows)
+
+and the half-sample alignment of the ``m``-th square harmonic equals the
+frame rotation of harmonic ``mk``'s *own* measurement — so the leakage of
+harmonic ``mk`` into run ``k`` is exactly ``w_m`` times harmonic ``mk``'s
+own in-frame components::
+
+    c_k <- c_k - sum_{m odd >= 3} w_m * c_{mk}
+    s_k <- s_k - sum_{m odd >= 3} sigma_m * w_m * s_{mk}
+
+with ``sigma_m = +1`` for ``m = 1 (mod 4)`` and ``-1`` for
+``m = 3 (mod 4)`` (the quadrature square's harmonic signs).  Processing
+top-down, each harmonic is deflated using already-corrected higher ones,
+and because the arithmetic is interval arithmetic the corrected bounds
+remain guaranteed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..intervals import BoundedValue
+from .dsp import HarmonicEstimate, SignatureDSP
+from .evaluator import SinewaveEvaluator
+from .signatures import SignaturePair
+
+
+@dataclass(frozen=True)
+class HarmonicMeasurement:
+    """One harmonic's bounded measurement plus its raw signature."""
+
+    harmonic: int
+    amplitude: BoundedValue
+    phase: BoundedValue
+    signature: SignaturePair
+    leakage_corrected: bool = False
+
+
+def _sigma(m: int) -> float:
+    """Quadrature-channel sign of the m-th square-wave harmonic."""
+    return 1.0 if m % 4 == 1 else -1.0
+
+
+def _leakage_weight(oversampling_ratio: int, k: int, m: int) -> float:
+    """``w_m``: sampled-square harmonic weight relative to the fundamental."""
+    p = oversampling_ratio // k
+    return math.sin(math.pi / p) / math.sin(m * math.pi / p)
+
+
+def measure_harmonics(
+    evaluator: SinewaveEvaluator,
+    signal,
+    harmonics: list[int],
+    m_periods: int,
+    dsp: SignatureDSP | None = None,
+    u0: tuple[float, float] = (0.0, 0.0),
+    correct_leakage: bool = False,
+) -> dict[int, HarmonicMeasurement]:
+    """Measure several harmonics of one captured signal.
+
+    Physically the chip re-runs its single modulator pair once per
+    harmonic with a different ``q_k`` program; here each run consumes the
+    same captured samples, which is equivalent because the analyzer is
+    fully synchronous.
+    """
+    if not harmonics:
+        raise ConfigError("need at least one harmonic index")
+    if any(k < 1 for k in harmonics):
+        raise ConfigError("harmonic indices must be >= 1 (use measure_dc for DC)")
+    if len(set(harmonics)) != len(harmonics):
+        raise ConfigError(f"duplicate harmonic indices in {harmonics}")
+    dsp = dsp if dsp is not None else SignatureDSP()
+    estimates: dict[int, HarmonicEstimate] = {}
+    signatures: dict[int, SignaturePair] = {}
+    for k in harmonics:
+        sig = evaluator.measure(signal, harmonic=k, m_periods=m_periods, u0=u0)
+        signatures[k] = sig
+        estimates[k] = dsp.components(sig)
+    if correct_leakage:
+        estimates = correct_square_wave_leakage(estimates)
+    out: dict[int, HarmonicMeasurement] = {}
+    for k in harmonics:
+        est = estimates[k]
+        out[k] = HarmonicMeasurement(
+            harmonic=k,
+            amplitude=est.amplitude,
+            phase=est.phase,
+            signature=signatures[k],
+            leakage_corrected=correct_leakage,
+        )
+    return out
+
+
+def correct_square_wave_leakage(
+    estimates: dict[int, HarmonicEstimate],
+) -> dict[int, HarmonicEstimate]:
+    """Remove odd-harmonic leakage between measured harmonics.
+
+    Only leakage between harmonics *present in the input dict* can be
+    corrected; contributions of unmeasured higher harmonics remain (they
+    are suppressed by at least ~1/m anyway).  Processing order is
+    descending, so each harmonic is deflated using already-corrected
+    higher ones.
+    """
+    if not estimates:
+        raise ConfigError("no estimates to correct")
+    n_ratio = {est.oversampling_ratio for est in estimates.values()}
+    if len(n_ratio) != 1:
+        raise ConfigError("estimates mix different oversampling ratios")
+    n = n_ratio.pop()
+    corrected: dict[int, HarmonicEstimate] = {}
+    for k in sorted(estimates, reverse=True):
+        raw = estimates[k]
+        c: BoundedValue = raw.c
+        s: BoundedValue = raw.s
+        m = 3
+        while m * k <= max(estimates):
+            higher = corrected.get(m * k)
+            if higher is not None:
+                w = _leakage_weight(n, k, m)
+                c = c - higher.c.scale(w)
+                s = s - higher.s.scale(_sigma(m) * w)
+            m += 2
+        corrected[k] = raw.replaced(c, s)
+    return corrected
+
+
+def predicted_leakage(
+    amplitudes: dict[int, float],
+    k: int,
+    oversampling_ratio: int = 96,
+    k_max: int | None = None,
+) -> float:
+    """Worst-case leakage (volts) into the raw k-th amplitude measurement.
+
+    Sums ``w_m * A_{mk}`` over odd ``m >= 3`` for the given true
+    amplitudes — the error budget the leakage correction removes.  Used
+    by tests and EXPERIMENTS.md to justify when the correction matters.
+    """
+    if k < 1:
+        raise ConfigError(f"harmonic must be >= 1, got {k}")
+    top = k_max if k_max is not None else (max(amplitudes) if amplitudes else 0)
+    total = 0.0
+    m = 3
+    while m * k <= top:
+        amp = amplitudes.get(m * k, 0.0)
+        if amp:
+            total += abs(_leakage_weight(oversampling_ratio, k, m)) * amp
+        m += 2
+    return total

@@ -1,0 +1,143 @@
+"""Statistical analysis of the evaluator's measurement error.
+
+Equations (3)-(5) give *worst-case* bounds (``eps in [-4, 4]`` counts).
+In the lab the modulator is dithered by thermal noise and power-up
+randomness, and the signature error behaves statistically — that is why
+the paper's Fig. 9 shows tight, repeatable clusters long before the
+worst-case bound would suggest.  This module provides the statistical
+counterpart to the bounds:
+
+* the dithered quantization error of a 1st-order sigma-delta behaves, to
+  first order, like white quantization noise of power ``(2 Vref)^2 / 12``
+  per sample shaped by ``(1 - z^-1)``;
+* a counted (boxcar) signature over ``MN`` samples integrates that
+  shaped noise; the first-difference shaping makes the boxcar sum
+  telescope, leaving variance of order the *state variance* rather than
+  growing with MN — which is exactly why measured spreads shrink as
+  ``1/MN`` in amplitude units;
+* additive input noise of RMS ``sigma_n`` contributes
+  ``MN sigma_n^2 / Vref^2`` counts of variance to the signature.
+
+The resulting per-measurement amplitude standard deviation::
+
+    sigma_A ~= (Vref / (MN G)) * sqrt(2 sigma_I^2)
+
+with ``sigma_I^2 = c_q + MN (sigma_n / Vref)^2`` and ``c_q`` an order-one
+quantization constant (empirically ~1 count^2 for the paper's modulator;
+exposed as a parameter and validated against simulation in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .dsp import correlation_gain
+
+#: Empirical variance (counts^2) of the chopped signature's quantization
+#: error for the paper's modulator under dither.  Validated by
+#: tests/evaluator/test_noise_analysis.py against direct simulation.
+QUANTIZATION_COUNT_VARIANCE = 1.0
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Predicted statistical error of one harmonic measurement."""
+
+    sigma_counts: float  # std-dev of each signature (counts)
+    sigma_amplitude: float  # std-dev of the amplitude estimate (volts)
+    sigma_phase: float  # std-dev of the phase estimate (radians)
+    worst_case_amplitude: float  # eps-bound half-diagonal (volts)
+
+    @property
+    def bound_to_sigma_ratio(self) -> float:
+        """How conservative the worst-case bound is vs typical error."""
+        if self.sigma_amplitude == 0:
+            return math.inf
+        return self.worst_case_amplitude / self.sigma_amplitude
+
+
+def signature_count_sigma(
+    m_periods: int,
+    oversampling_ratio: int,
+    vref: float,
+    input_noise_rms: float = 0.0,
+    quantization_variance: float = QUANTIZATION_COUNT_VARIANCE,
+) -> float:
+    """Standard deviation of a counted signature, in counts."""
+    if m_periods < 1:
+        raise ConfigError(f"m_periods must be >= 1, got {m_periods}")
+    if not vref > 0:
+        raise ConfigError(f"vref must be positive, got {vref!r}")
+    if input_noise_rms < 0:
+        raise ConfigError(f"input_noise_rms must be >= 0, got {input_noise_rms!r}")
+    mn = m_periods * oversampling_ratio
+    noise_counts_var = mn * (input_noise_rms / vref) ** 2
+    return math.sqrt(quantization_variance + noise_counts_var)
+
+
+def amplitude_error_budget(
+    amplitude: float,
+    m_periods: int,
+    oversampling_ratio: int = 96,
+    harmonic: int = 1,
+    vref: float = 0.5,
+    input_noise_rms: float = 0.0,
+    epsilon: float = 4.0,
+    quantization_variance: float = QUANTIZATION_COUNT_VARIANCE,
+) -> ErrorBudget:
+    """Predicted statistical and worst-case error of one measurement.
+
+    ``amplitude`` is the true tone amplitude (used for the phase error,
+    which scales inversely with it).
+    """
+    if amplitude < 0:
+        raise ConfigError(f"amplitude must be >= 0, got {amplitude!r}")
+    if epsilon < 0:
+        raise ConfigError(f"epsilon must be >= 0, got {epsilon!r}")
+    mn = m_periods * oversampling_ratio
+    gain = correlation_gain(oversampling_ratio, harmonic)
+    scale = vref / (mn * gain)
+    sigma_i = signature_count_sigma(
+        m_periods, oversampling_ratio, vref, input_noise_rms, quantization_variance
+    )
+    # Two independent channels contribute in quadrature; the amplitude
+    # estimate's sensitivity to each is at most 1 (unit direction).
+    sigma_a = scale * sigma_i
+    sigma_phase = sigma_a / amplitude if amplitude > 0 else math.inf
+    worst = epsilon * math.sqrt(2.0) * scale
+    return ErrorBudget(
+        sigma_counts=sigma_i,
+        sigma_amplitude=sigma_a,
+        sigma_phase=sigma_phase,
+        worst_case_amplitude=worst,
+    )
+
+
+def periods_for_amplitude_sigma(
+    target_sigma: float,
+    oversampling_ratio: int = 96,
+    harmonic: int = 1,
+    vref: float = 0.5,
+    input_noise_rms: float = 0.0,
+    quantization_variance: float = QUANTIZATION_COUNT_VARIANCE,
+) -> int:
+    """Smallest even M achieving a target amplitude standard deviation.
+
+    The test-time planning question the paper poses ("the accuracy of
+    the evaluation can be selected by choosing a proper number of
+    periods M"), answered statistically.
+    """
+    if not target_sigma > 0:
+        raise ConfigError(f"target_sigma must be positive, got {target_sigma!r}")
+    gain = correlation_gain(oversampling_ratio, harmonic)
+    # sigma_A(MN) = vref * sqrt(c_q + MN r^2) / (MN G), r = noise/vref.
+    # Solve a MN^2 - r^2 MN - c_q = 0 with a = (target G / vref)^2.
+    r2 = (input_noise_rms / vref) ** 2
+    a = (target_sigma * gain / vref) ** 2
+    mn = (r2 + math.sqrt(r2 * r2 + 4.0 * a * quantization_variance)) / (2.0 * a)
+    m = max(2, int(math.ceil(mn / oversampling_ratio)))
+    if m % 2:
+        m += 1
+    return m

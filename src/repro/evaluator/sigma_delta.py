@@ -1,0 +1,235 @@
+"""Sigma-delta modulators with square-wave input modulation (paper Fig. 5).
+
+The evaluator's modulator is a fully differential 1st-order sigma-delta
+whose *input switching* performs the square-wave multiplication: depending
+on the control bit ``q_k`` the sampled input charge enters with positive
+or negative weight.  The integrator gain is the capacitor ratio
+``CI/CF = 0.4`` ("fixed ... to avoid saturation effects in the amplifier
+while maintaining a moderate gain in the integrator").
+
+The property everything rests on (and that tests verify exactly): for the
+ideal modulator,
+
+    ``sum_n d[n] = (1/Vref) * sum_n w[n] - (u[end] - u[0]) / (g * Vref)``
+
+where ``w[n] = q[n] * x[n]`` is the modulated input and ``u`` the bounded
+integrator state.  The accumulated bitstream therefore equals the exact
+correlation of the signal with the square wave, up to a *bounded* error —
+the paper's ``eps`` terms.
+
+A 2nd-order modulator is provided for the ablation study (the paper's
+architecture deliberately uses 1st order for robustness; 2nd order has
+better noise shaping but a weaker deterministic bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, EvaluationError
+from ..sc.opamp import OpAmpModel
+from ..units import DEFAULT_VREF
+
+#: The paper's integrator capacitor ratio CI/CF.
+PAPER_INTEGRATOR_GAIN = 0.4
+
+
+@dataclass
+class ModulatorResult:
+    """Output of one modulator run."""
+
+    bits: np.ndarray  # int8 array of +/-1 decisions
+    u_initial: float  # integrator state before the first sample
+    u_final: float  # integrator state after the last sample
+    overload_count: int  # samples where |w| exceeded Vref
+
+
+class FirstOrderSigmaDelta:
+    """Behavioural 1st-order sigma-delta with input polarity switching.
+
+    Parameters
+    ----------
+    gain:
+        Integrator charge-transfer gain ``CI/CF`` (paper: 0.4).
+    vref:
+        Feedback DAC reference (volts); the stable input range is
+        ``|w| <= vref``.
+    opamp:
+        Integrator amplifier model.  Its ``offset`` is the offset the
+        evaluator's chopped counting cancels; ``v_sat`` bounds the
+        integrator state (a real amplifier cannot integrate forever).
+    comparator_offset:
+        Threshold error of the clocked comparator (volts).
+    rng:
+        Noise source for the amplifier noise; ``None`` disables noise.
+    strict_overload:
+        If True, an input sample beyond the stable range raises
+        :class:`~repro.errors.EvaluationError`; otherwise overloads are
+        only counted (the hardware would simply degrade).
+    """
+
+    def __init__(
+        self,
+        gain: float = PAPER_INTEGRATOR_GAIN,
+        vref: float = DEFAULT_VREF,
+        opamp: OpAmpModel | None = None,
+        comparator_offset: float = 0.0,
+        rng: np.random.Generator | None = None,
+        strict_overload: bool = False,
+    ) -> None:
+        if not gain > 0:
+            raise ConfigError(f"integrator gain must be positive, got {gain!r}")
+        if not vref > 0:
+            raise ConfigError(f"vref must be positive, got {vref!r}")
+        self.gain = float(gain)
+        self.vref = float(vref)
+        self.opamp = opamp if opamp is not None else OpAmpModel.ideal()
+        self.comparator_offset = float(comparator_offset)
+        self.rng = rng
+        self.strict_overload = strict_overload
+
+    # ------------------------------------------------------------------
+    @property
+    def state_bound(self) -> float:
+        """Worst-case integrator magnitude for in-range inputs.
+
+        Once ``|u| <= g*(vref + |w|max) <= 2*g*vref`` it stays there; the
+        amplifier's saturation may clamp tighter.
+        """
+        natural = 2.0 * self.gain * self.vref
+        return min(natural, self.opamp.v_sat)
+
+    def epsilon_bound(self) -> float:
+        """Provable bound on ``|sum d - sum w / vref|`` for one window.
+
+        ``|u_end - u_0| / (g*vref) <= 2 * state_bound / (g*vref)``.
+        With the natural state bound this evaluates to 4 — half the
+        paper's quoted ``eps in [-4, 4]`` budget per chopped half-window.
+        """
+        return 2.0 * self.state_bound / (self.gain * self.vref)
+
+    def is_ideal(self) -> bool:
+        """True when the modulator has no analog imperfection enabled."""
+        amp = self.opamp
+        return (
+            amp.inverse_gain == 0.0
+            and amp.offset == 0.0
+            and amp.settling_error == 0.0
+            and self.comparator_offset == 0.0
+            and (amp.noise_rms == 0.0 or self.rng is None)
+        )
+
+    # ------------------------------------------------------------------
+    def modulate(
+        self,
+        x: np.ndarray,
+        q: np.ndarray,
+        u0: float = 0.0,
+    ) -> ModulatorResult:
+        """Encode ``q[n] * x[n]`` into a +/-1 bitstream.
+
+        ``x`` is the raw signal under evaluation (volts) and ``q`` the
+        +/-1 modulation control driving the input polarity switches.  The
+        modulator offset is *not* modulated — it enters after the input
+        switching, which is the structural fact the chopped counting
+        exploits.
+        """
+        x = np.asarray(x, dtype=float)
+        q = np.asarray(q, dtype=float)
+        if x.shape != q.shape:
+            raise ConfigError(
+                f"signal and modulation shapes differ: {x.shape} vs {q.shape}"
+            )
+        w = q * x
+        overload = int(np.count_nonzero(np.abs(w) > self.vref))
+        if overload and self.strict_overload:
+            raise EvaluationError(
+                f"{overload} sample(s) exceed the modulator stable range "
+                f"(|w| > {self.vref} V); reduce the input amplitude"
+            )
+        amp = self.opamp
+        offset = amp.offset
+        g = self.gain
+        vref = self.vref
+        threshold = self.comparator_offset
+        u_sat = amp.v_sat
+        bits = np.empty(len(w), dtype=np.int8)
+        u = float(u0)
+        u_initial = u
+        if self.is_ideal():
+            gv = g * vref
+            for i, wi in enumerate(w):
+                d = 1 if u >= 0.0 else -1
+                bits[i] = d
+                u += g * wi - (gv if d == 1 else -gv)
+        else:
+            noise_rms = amp.noise_rms if self.rng is not None else 0.0
+            noise = (
+                self.rng.normal(0.0, noise_rms, size=len(w))
+                if noise_rms
+                else np.zeros(len(w))
+            )
+            leak = 1.0 - amp.inverse_gain * g
+            settle = amp.settling_error
+            for i, wi in enumerate(w):
+                d = 1 if u >= threshold else -1
+                bits[i] = d
+                target = leak * u + g * (wi + offset + noise[i] - d * vref)
+                u = target - settle * (target - u)
+                if u > u_sat:
+                    u = u_sat
+                elif u < -u_sat:
+                    u = -u_sat
+        return ModulatorResult(bits, u_initial, float(u), overload)
+
+
+class SecondOrderSigmaDelta:
+    """A 2nd-order (Boser-Wooley style) modulator for ablation studies.
+
+    Two cascaded integrators with gains ``g1 = g2 = 0.5`` feeding a single
+    comparator.  Better in-band noise shaping than 1st order, but the
+    accumulated-count error is no longer deterministically bounded by a
+    small constant — which is exactly why the paper's architecture sticks
+    to 1st order for signature counting.
+    """
+
+    def __init__(
+        self,
+        gain1: float = 0.5,
+        gain2: float = 0.5,
+        vref: float = DEFAULT_VREF,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not gain1 > 0 or not gain2 > 0:
+            raise ConfigError("integrator gains must be positive")
+        if not vref > 0:
+            raise ConfigError(f"vref must be positive, got {vref!r}")
+        self.gain1 = float(gain1)
+        self.gain2 = float(gain2)
+        self.vref = float(vref)
+        self.rng = rng
+
+    def modulate(
+        self, x: np.ndarray, q: np.ndarray, u0: tuple[float, float] = (0.0, 0.0)
+    ) -> ModulatorResult:
+        """Encode ``q[n] * x[n]``; same interface as the 1st-order model."""
+        x = np.asarray(x, dtype=float)
+        q = np.asarray(q, dtype=float)
+        if x.shape != q.shape:
+            raise ConfigError(
+                f"signal and modulation shapes differ: {x.shape} vs {q.shape}"
+            )
+        w = q * x
+        overload = int(np.count_nonzero(np.abs(w) > self.vref))
+        bits = np.empty(len(w), dtype=np.int8)
+        u1, u2 = float(u0[0]), float(u0[1])
+        g1, g2, vref = self.gain1, self.gain2, self.vref
+        for i, wi in enumerate(w):
+            d = 1 if u2 >= 0.0 else -1
+            bits[i] = d
+            fb = d * vref
+            u1 += g1 * (wi - fb)
+            u2 += g2 * (u1 - fb)
+        return ModulatorResult(bits, 0.0, float(u2), overload)

@@ -1,0 +1,77 @@
+"""Signature containers.
+
+A :class:`SignaturePair` is the raw digital outcome of one evaluator run
+for one harmonic: the two counted signatures ``I1k``/``I2k`` plus the
+bookkeeping (harmonic index, window size, reference voltage, overload
+diagnostics) the DSP needs to convert counts into volts and radians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SignaturePair:
+    """Raw signatures of one harmonic measurement.
+
+    Attributes
+    ----------
+    i1, i2:
+        Counted signatures of the in-phase and quadrature channels
+        (+/-1-bit convention).  For ``k = 0`` (DC measurement) both
+        channels see the same constant modulation, so ``i2`` simply
+        duplicates ``i1``.
+    harmonic:
+        The harmonic index ``k`` the modulation selected.
+    m_periods:
+        Number of signal periods ``M`` integrated.
+    oversampling_ratio:
+        ``N = feva / fwave`` during the measurement.
+    vref:
+        Modulator reference voltage (volts).
+    chopped:
+        Whether offset-cancelling chopped counting was used.
+    overload_count:
+        Total samples (both channels) where the modulated input exceeded
+        the stable range — a non-zero value flags an untrustworthy
+        measurement.
+    """
+
+    i1: int
+    i2: int
+    harmonic: int
+    m_periods: int
+    oversampling_ratio: int
+    vref: float
+    chopped: bool = True
+    overload_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.harmonic < 0:
+            raise ConfigError(f"harmonic must be >= 0, got {self.harmonic}")
+        if self.m_periods < 1:
+            raise ConfigError(f"m_periods must be >= 1, got {self.m_periods}")
+        if self.oversampling_ratio < 4:
+            raise ConfigError(
+                f"oversampling ratio must be >= 4, got {self.oversampling_ratio}"
+            )
+        if not self.vref > 0:
+            raise ConfigError(f"vref must be positive, got {self.vref!r}")
+
+    @property
+    def total_samples(self) -> int:
+        """``MN`` — the total number of bitstream samples per channel."""
+        return self.m_periods * self.oversampling_ratio
+
+    @property
+    def is_dc(self) -> bool:
+        """True for the DC-measurement configuration (k = 0)."""
+        return self.harmonic == 0
+
+    def scaled(self) -> tuple[float, float]:
+        """Signatures normalized by ``MN`` (dimensionless correlations)."""
+        mn = self.total_samples
+        return self.i1 / mn, self.i2 / mn

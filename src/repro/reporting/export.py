@@ -1,0 +1,93 @@
+"""CSV export of measurement results.
+
+Bode sweeps and distortion reports frequently leave the Python world
+(spreadsheets, plotting tools, test-floor databases); these helpers
+flatten the bounded measurements into plain CSV with explicit
+lower/upper columns so no downstream tool needs to understand
+:class:`~repro.intervals.BoundedValue`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from ..core.bode import BodeResult
+from ..core.distortion import DistortionReport
+from ..errors import ConfigError
+
+
+def bode_to_csv(bode: BodeResult) -> str:
+    """Flatten a Bode result into CSV text.
+
+    Columns: frequency_hz, gain_db, gain_db_lower, gain_db_upper,
+    phase_deg, phase_deg_lower, phase_deg_upper.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "frequency_hz",
+            "gain_db",
+            "gain_db_lower",
+            "gain_db_upper",
+            "phase_deg",
+            "phase_deg_lower",
+            "phase_deg_upper",
+        ]
+    )
+    for point in bode:
+        gain = point.gain_db
+        phase = point.phase_deg
+        writer.writerow(
+            [
+                f"{point.fwave:.6g}",
+                f"{gain.value:.6g}",
+                f"{gain.lower:.6g}",
+                f"{gain.upper:.6g}",
+                f"{phase.value:.6g}",
+                f"{phase.lower:.6g}",
+                f"{phase.upper:.6g}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def distortion_to_csv(report: DistortionReport) -> str:
+    """Flatten a distortion report into CSV text.
+
+    Columns: harmonic, level_dbc, level_dbc_lower, level_dbc_upper,
+    oscilloscope_dbc, agreement_db.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "harmonic",
+            "level_dbc",
+            "level_dbc_lower",
+            "level_dbc_upper",
+            "oscilloscope_dbc",
+            "agreement_db",
+        ]
+    )
+    for row in report.rows:
+        writer.writerow(
+            [
+                row.harmonic,
+                f"{row.level_dbc.value:.6g}",
+                f"{row.level_dbc.lower:.6g}",
+                f"{row.level_dbc.upper:.6g}",
+                f"{row.reference_dbc:.6g}",
+                f"{row.agreement_db:.6g}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(path, text: str) -> None:
+    """Write CSV text to a path (str or pathlib.Path)."""
+    if not text:
+        raise ConfigError("refusing to write empty CSV text")
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

@@ -1,0 +1,37 @@
+"""Numeric series formatting (the "figure" analogue of the text benches)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def format_series(columns: dict, digits: int = 5) -> str:
+    """Format named columns of equal length as aligned text.
+
+    ``columns`` maps header -> sequence of numbers.  This is how benches
+    print figure *series*: each paper figure becomes a column set that a
+    plotting tool (or a reviewer's eye) can consume directly.
+    """
+    if not columns:
+        raise ConfigError("need at least one column")
+    names = list(columns)
+    arrays = [np.atleast_1d(np.asarray(columns[name])) for name in names]
+    length = len(arrays[0])
+    if any(len(a) != length for a in arrays):
+        raise ConfigError("all columns must have the same length")
+    cells = []
+    for a in arrays:
+        col = [f"{v:.{digits}g}" if isinstance(v, (float, np.floating)) else str(v) for v in a]
+        cells.append(col)
+    widths = [
+        max(len(names[i]), max((len(c) for c in cells[i]), default=0))
+        for i in range(len(names))
+    ]
+    lines = ["  ".join(n.rjust(w) for n, w in zip(names, widths))]
+    for row_idx in range(length):
+        lines.append(
+            "  ".join(cells[i][row_idx].rjust(widths[i]) for i in range(len(names)))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""ASCII table rendering.
+
+The benches regenerate the paper's tables and figure series as aligned
+plain text (the environment has no plotting stack); this module is the
+single formatting path so every bench output looks the same.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(headers, rows, title: str | None = None) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    ``headers`` is a sequence of column names; each row must have the
+    same number of cells.  Floats are formatted with 4 significant
+    digits; everything else with ``str``.
+    """
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ConfigError("table needs at least one column")
+    text_rows = []
+    for row in rows:
+        cells = [_cell(c) for c in row]
+        if len(cells) != len(headers):
+            raise ConfigError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        text_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Behavioural switched-capacitor circuit substrate.
+
+SC circuits are sampled-data systems: their first-order behaviour is a set
+of charge-conservation difference equations advanced once per clock
+period.  This package provides the behavioural models the generator and
+evaluator are built from:
+
+* :class:`~repro.sc.opamp.OpAmpModel` — finite DC gain, offset, settling
+  error, saturation, input-referred noise (the knobs that matter for the
+  folded-cascode amplifier of the paper's Fig. 3);
+* :class:`~repro.sc.mismatch.MismatchModel` — Pelgrom-style random
+  capacitor mismatch, the dominant source of in-band harmonic distortion
+  in the fabricated generator;
+* :mod:`~repro.sc.noise` — kT/C sampled noise;
+* :class:`~repro.sc.integrator.SCIntegrator` — parasitic-insensitive
+  (lossy) integrator;
+* :class:`~repro.sc.biquad.SCBiquad` — the Fleischer-Laker-style
+  two-integrator loop of the generator (paper Fig. 2a, Table I);
+* :mod:`~repro.sc.analysis` — z-domain pole/frequency-response analysis
+  of the linearized models.
+"""
+
+from .opamp import OpAmpModel
+from .mismatch import MismatchModel, pelgrom_sigma
+from .noise import ktc_noise_rms, sampled_ktc_noise
+from .integrator import SCIntegrator
+from .biquad import BiquadCapacitors, SCBiquad
+from . import analysis
+
+__all__ = [
+    "OpAmpModel",
+    "MismatchModel",
+    "pelgrom_sigma",
+    "ktc_noise_rms",
+    "sampled_ktc_noise",
+    "SCIntegrator",
+    "BiquadCapacitors",
+    "SCBiquad",
+    "analysis",
+]

@@ -1,0 +1,137 @@
+"""z-domain analysis of linear sampled-data (SC) models.
+
+Works on the state-space triple ``(M, b, c)`` of a discrete-time system
+``x[n] = M x[n-1] + b u[n]``, ``y[n] = c . x[n]`` — the form produced by
+:meth:`repro.sc.biquad.SCBiquad.state_matrices`.  Used to derive the
+generator's design parameters (resonance frequency, quality factor,
+passband gain) from the paper's Table I capacitors, and by tests to cross
+check the time-domain simulation against the transfer function.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def poles(m: np.ndarray) -> np.ndarray:
+    """Poles of the sampled-data system (eigenvalues of the state matrix)."""
+    m = np.asarray(m, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ConfigError(f"state matrix must be square, got shape {m.shape}")
+    return np.linalg.eigvals(m)
+
+
+def continuous_equivalent(pole: complex, fclk: float) -> tuple[float, float]:
+    """Map a z-plane pole to ``(f0, Q)`` via the matched-z transform.
+
+    ``s = fclk * ln(z)``; the natural frequency is ``|s| / 2 pi`` and the
+    quality factor ``-|s| / (2 Re s)``.  Real stable poles report their
+    corner frequency and ``Q = 0.5``-style first-order behaviour.
+    """
+    if not fclk > 0:
+        raise ConfigError(f"clock frequency must be positive, got {fclk!r}")
+    z = complex(pole)
+    if abs(z) == 0:
+        raise ConfigError("pole at z = 0 has no continuous equivalent")
+    s = cmath.log(z) * fclk
+    omega0 = abs(s)
+    f0 = omega0 / (2.0 * math.pi)
+    if s.real == 0:
+        return f0, math.inf
+    q = -omega0 / (2.0 * s.real)
+    return f0, q
+
+
+def resonance(m: np.ndarray, fclk: float) -> tuple[float, float]:
+    """``(f0, Q)`` of the dominant complex pole pair.
+
+    Raises if the system has no complex poles (no resonance).
+    """
+    for pole in poles(m):
+        if abs(pole.imag) > 1e-12:
+            return continuous_equivalent(pole, fclk)
+    raise ConfigError("system has no complex pole pair (no resonance)")
+
+
+def is_stable(m: np.ndarray, margin: float = 0.0) -> bool:
+    """True if all poles lie strictly inside the unit circle (minus margin)."""
+    return bool(np.all(np.abs(poles(m)) < 1.0 - margin))
+
+
+def frequency_response(
+    m: np.ndarray, b: np.ndarray, c: np.ndarray, frequencies, fclk: float
+) -> np.ndarray:
+    """Complex response ``H(e^{j 2 pi f / fclk})`` at the given frequencies.
+
+    ``H(z) = c . (I - M z^{-1})^{-1} b`` for the update convention
+    ``x[n] = M x[n-1] + b u[n]`` (input acts without extra delay).
+    """
+    if not fclk > 0:
+        raise ConfigError(f"clock frequency must be positive, got {fclk!r}")
+    m = np.asarray(m, dtype=float)
+    b = np.asarray(b, dtype=float).reshape(-1)
+    c = np.asarray(c, dtype=float).reshape(-1)
+    n = m.shape[0]
+    if b.shape[0] != n or c.shape[0] != n:
+        raise ConfigError("state-space dimensions are inconsistent")
+    frequencies = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    out = np.empty(len(frequencies), dtype=complex)
+    eye = np.eye(n)
+    for i, f in enumerate(frequencies):
+        zinv = cmath.exp(-2j * math.pi * f / fclk)
+        out[i] = c @ np.linalg.solve(eye - m * zinv, b)
+    return out
+
+
+def dc_gain(m: np.ndarray, b: np.ndarray, c: np.ndarray) -> float:
+    """Response at z = 1."""
+    value = frequency_response(m, b, c, [0.0], fclk=1.0)[0]
+    return float(value.real)
+
+
+def peak_response(
+    m: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    fclk: float,
+    n_grid: int = 4096,
+) -> tuple[float, float]:
+    """``(frequency, |H|)`` of the largest response magnitude on a grid.
+
+    The grid covers DC to Nyquist; resolution is refined once around the
+    coarse peak.
+    """
+    if n_grid < 16:
+        raise ConfigError(f"n_grid must be >= 16, got {n_grid}")
+    coarse = np.linspace(0.0, fclk / 2.0, n_grid)
+    mag = np.abs(frequency_response(m, b, c, coarse, fclk))
+    idx = int(np.argmax(mag))
+    lo = coarse[max(idx - 1, 0)]
+    hi = coarse[min(idx + 1, n_grid - 1)]
+    fine = np.linspace(lo, hi, 256)
+    mag_fine = np.abs(frequency_response(m, b, c, fine, fclk))
+    j = int(np.argmax(mag_fine))
+    return float(fine[j]), float(mag_fine[j])
+
+
+def impulse_response(
+    m: np.ndarray, b: np.ndarray, c: np.ndarray, n_samples: int
+) -> np.ndarray:
+    """Impulse response of the state-space model (for time-domain checks)."""
+    if n_samples < 0:
+        raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+    m = np.asarray(m, dtype=float)
+    b = np.asarray(b, dtype=float).reshape(-1)
+    c = np.asarray(c, dtype=float).reshape(-1)
+    x = np.zeros(m.shape[0])
+    out = np.empty(n_samples)
+    for i in range(n_samples):
+        u = 1.0 if i == 0 else 0.0
+        x = m @ x + b * u
+        out[i] = c @ x
+    return out

@@ -1,0 +1,243 @@
+"""The generator's switched-capacitor biquad (paper Fig. 2a, Table I).
+
+The sinewave generator is "a fully-differential biquad whose input
+capacitors have been replaced by an array of four capacitors".  The paper
+names its capacitors with the classic Fleischer-Laker letters (A, B, C, D,
+F, plus the input ``Cin = CI(t)``), which identifies the topology as the
+standard two-integrator loop with F-type (switched) damping on the second
+integrator.  The exact switch phasing of the authors' companion paper is
+not public; the phasing chosen here — lossless first integrator with a
+delayed coupling from the loop, lossy second integrator with an undelayed
+coupling — gives, with Table I values, a low-pass biquad whose
+continuous-equivalent resonance sits at ``0.93 x (fgen/16)`` with
+``Q ~= 1.1``: a passband centred on the synthesized tone, as the design
+requires.  The assumption is documented in DESIGN.md and all analysis is
+computed from the difference equations, so a different phasing would be a
+one-line change.
+
+Ideal charge-conservation difference equations (normalized capacitors,
+``q[n]`` = input charge ``CI(t_n) * Vin``)::
+
+    v1[n] = v1[n-1] - (A/B) * v2[n-1] - q[n]/B
+    v2[n] = (D/(D+F)) * v2[n-1] + (C/(D+F)) * v1[n]
+
+Non-idealities enter exactly as in :class:`~repro.sc.integrator.SCIntegrator`:
+finite-gain leakage and gain error, offset, incomplete settling, output
+saturation, amplifier noise, and (optionally) kT/C noise referred to the
+unit capacitor size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .mismatch import MismatchModel
+from .noise import ktc_noise_rms
+from .opamp import OpAmpModel
+
+
+@dataclass(frozen=True)
+class BiquadCapacitors:
+    """Normalized capacitor values of the Fleischer-Laker loop.
+
+    Letters follow the paper's Table I.  ``e`` (E-type damping on the
+    first integrator) is zero in the paper's design but supported for
+    ablation studies.
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+    f: float
+    e: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("a", "b", "c", "d", "f", "e"):
+            value = getattr(self, name)
+            if name in ("e", "f"):
+                if value < 0:
+                    raise ConfigError(f"capacitor {name.upper()} must be >= 0, got {value!r}")
+            elif not value > 0:
+                raise ConfigError(f"capacitor {name.upper()} must be positive, got {value!r}")
+
+    def mismatched(self, mismatch: MismatchModel) -> "BiquadCapacitors":
+        """A mismatched copy of this capacitor set (one simulated die)."""
+        values = {}
+        for name in ("a", "b", "c", "d", "f", "e"):
+            value = getattr(self, name)
+            values[name] = mismatch.perturb(value) if value > 0 else value
+        return BiquadCapacitors(**values)
+
+
+class SCBiquad:
+    """Two-integrator SC loop driven by an input charge sequence.
+
+    Parameters
+    ----------
+    caps:
+        Normalized capacitor values (already mismatched if desired).
+    opamp1, opamp2:
+        Behavioural models for the two amplifiers.  The paper reuses the
+        same folded-cascode design for both.
+    rng:
+        Noise generator shared by both amplifiers; ``None`` disables noise.
+    unit_capacitance:
+        Physical size of the unit capacitor in farads; when given, kT/C
+        noise for each charge transfer is added on top of amplifier noise.
+    """
+
+    def __init__(
+        self,
+        caps: BiquadCapacitors,
+        opamp1: OpAmpModel | None = None,
+        opamp2: OpAmpModel | None = None,
+        rng: np.random.Generator | None = None,
+        unit_capacitance: float | None = None,
+    ) -> None:
+        self.caps = caps
+        self.opamp1 = opamp1 if opamp1 is not None else OpAmpModel.ideal()
+        self.opamp2 = opamp2 if opamp2 is not None else OpAmpModel.ideal()
+        self.rng = rng
+        if unit_capacitance is not None and not unit_capacitance > 0:
+            raise ConfigError(
+                f"unit capacitance must be positive, got {unit_capacitance!r}"
+            )
+        self.unit_capacitance = unit_capacitance
+        # First integrator: feedback B, switched branches A (+ worst-case
+        # input CI up to 2 units) and optional damping E.
+        p1 = self.opamp1.inverse_gain
+        switched1 = caps.a + 2.0 + caps.e
+        self._leak1 = (1.0 - p1 * switched1 / caps.b) * (
+            caps.b / (caps.b + caps.e)
+        )
+        self._gain1 = 1.0 - p1 * (1.0 + switched1 / caps.b)
+        # Second integrator: feedback D, switched branches C and F.
+        p2 = self.opamp2.inverse_gain
+        switched2 = caps.c + caps.f
+        self._leak2 = (1.0 - p2 * switched2 / caps.d) * (caps.d / (caps.d + caps.f))
+        self._gain2 = 1.0 - p2 * (1.0 + switched2 / caps.d)
+        self._c2 = caps.c / (caps.d + caps.f)
+        if self.unit_capacitance is not None:
+            self._ktc1 = ktc_noise_rms(self.unit_capacitance * caps.b)
+            self._ktc2 = ktc_noise_rms(self.unit_capacitance * caps.d)
+        else:
+            self._ktc1 = 0.0
+            self._ktc2 = 0.0
+        self.v1 = 0.0
+        self.v2 = 0.0
+
+    # ------------------------------------------------------------------
+    # Linearized model (ideal amplifiers): used for design analysis
+    # ------------------------------------------------------------------
+    def state_matrices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ideal ``(M, bvec, cvec)`` of ``x[n] = M x[n-1] + bvec q[n]``.
+
+        State ``x = [v1, v2]``; output ``y = cvec . x`` is the second
+        integrator (the generator's output node).
+        """
+        caps = self.caps
+        lam1 = caps.b / (caps.b + caps.e)
+        lam2 = caps.d / (caps.d + caps.f)
+        k1 = caps.a / (caps.b + caps.e)
+        k2 = caps.c / (caps.d + caps.f)
+        m = np.array(
+            [
+                [lam1, -k1],
+                [k2 * lam1, lam2 - k2 * k1],
+            ]
+        )
+        bvec = np.array([-1.0 / (caps.b + caps.e), -k2 / (caps.b + caps.e)])
+        cvec = np.array([0.0, 1.0])
+        return m, bvec, cvec
+
+    # ------------------------------------------------------------------
+    # Time-domain behavioural simulation
+    # ------------------------------------------------------------------
+    def reset(self, v1: float = 0.0, v2: float = 0.0) -> None:
+        """Reset both integrator states."""
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+
+    def _noise(self, amp: OpAmpModel, ktc_rms: float) -> float:
+        if self.rng is None:
+            return 0.0
+        total = 0.0
+        if amp.noise_rms:
+            total += amp.sample_noise(self.rng)
+        if ktc_rms:
+            total += float(self.rng.normal(0.0, ktc_rms))
+        return total
+
+    def step(self, input_charge: float) -> float:
+        """Advance one generator clock period; returns the output ``v2``.
+
+        ``input_charge`` is the normalized charge delivered by the input
+        branch this period: ``CI(t_n) * Vin`` in unit-capacitor volts.
+        """
+        caps = self.caps
+        target1 = (
+            self._leak1 * self.v1
+            - self._gain1
+            * (input_charge + caps.a * self.v2 + caps.b * self.opamp1.offset)
+            / (caps.b + caps.e)
+            + self._noise(self.opamp1, self._ktc1)
+        )
+        v1_new = self.opamp1.saturate(self.opamp1.settle(self.v1, target1))
+        target2 = (
+            self._leak2 * self.v2
+            + self._gain2 * self._c2 * (v1_new + self.opamp2.offset)
+            + self._noise(self.opamp2, self._ktc2)
+        )
+        v2_new = self.opamp2.saturate(self.opamp2.settle(self.v2, target2))
+        self.v1 = v1_new
+        self.v2 = v2_new
+        return v2_new
+
+    def run(self, input_charges: np.ndarray) -> np.ndarray:
+        """Advance over a charge sequence, returning the output sequence."""
+        input_charges = np.asarray(input_charges, dtype=float)
+        if self.is_ideal():
+            return self._run_ideal(input_charges)
+        out = np.empty(len(input_charges))
+        for i, q in enumerate(input_charges):
+            out[i] = self.step(float(q))
+        return out
+
+    def _run_ideal(self, input_charges: np.ndarray) -> np.ndarray:
+        """Vectorizable ideal path (still sequential, but lean)."""
+        caps = self.caps
+        lam1 = caps.b / (caps.b + caps.e)
+        lam2 = caps.d / (caps.d + caps.f)
+        k1 = caps.a / (caps.b + caps.e)
+        k2 = self._c2
+        inv_b = 1.0 / (caps.b + caps.e)
+        v1 = self.v1
+        v2 = self.v2
+        out = np.empty(len(input_charges))
+        for i, q in enumerate(input_charges):
+            v1 = lam1 * v1 - k1 * v2 - inv_b * q
+            v2 = lam2 * v2 + k2 * v1
+            out[i] = v2
+        self.v1 = v1
+        self.v2 = v2
+        return out
+
+    def is_ideal(self) -> bool:
+        """True when both amplifiers are ideal and noise is disabled."""
+        for amp in (self.opamp1, self.opamp2):
+            if (
+                amp.inverse_gain != 0.0
+                or amp.offset != 0.0
+                or amp.settling_error != 0.0
+                or not np.isinf(amp.v_sat)
+            ):
+                return False
+        if self.rng is not None and (
+            self.opamp1.noise_rms or self.opamp2.noise_rms or self._ktc1 or self._ktc2
+        ):
+            return False
+        return True

@@ -1,0 +1,123 @@
+"""Parasitic-insensitive switched-capacitor integrator.
+
+The basic SC building block: a sampling capacitor ``Cs`` ferries charge
+onto an integration capacitor ``Cf`` once per clock period; an optional
+switched damping capacitor ``Cl`` makes the integrator lossy.  Ideal
+charge conservation gives::
+
+    v[n] = lam * v[n-1] + s * (Cs / (Cf + Cl)) * vin[n],
+    lam  = Cf / (Cf + Cl)
+
+with ``s = -1`` for the inverting configuration.  Finite amplifier gain
+``A0`` introduces the standard first-order errors (Temes): a gain error
+``eps_g ~= (1 + Cs/Cf)/A0`` on the input coefficient and a pole leakage
+``eps_p ~= (Cs/Cf)/A0`` on the memory term.  Offset, incomplete settling,
+noise and saturation come from the :class:`~repro.sc.opamp.OpAmpModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .opamp import OpAmpModel
+
+
+class SCIntegrator:
+    """A lossy/lossless SC integrator advanced one clock period at a time.
+
+    Parameters
+    ----------
+    cs:
+        Sampling (input) capacitor, normalized units.
+    cf:
+        Integration (feedback) capacitor, normalized units.
+    cl:
+        Switched damping capacitor (0 for a lossless integrator).
+    inverting:
+        If True (default, matching the single-amplifier SC stage), input
+        charge subtracts from the output.
+    opamp:
+        Behavioural amplifier model.
+    rng:
+        Noise generator; ``None`` disables amplifier noise.
+    """
+
+    def __init__(
+        self,
+        cs: float,
+        cf: float,
+        cl: float = 0.0,
+        inverting: bool = True,
+        opamp: OpAmpModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not cs > 0:
+            raise ConfigError(f"sampling capacitor must be positive, got {cs!r}")
+        if not cf > 0:
+            raise ConfigError(f"integration capacitor must be positive, got {cf!r}")
+        if cl < 0:
+            raise ConfigError(f"damping capacitor must be >= 0, got {cl!r}")
+        self.cs = float(cs)
+        self.cf = float(cf)
+        self.cl = float(cl)
+        self.sign = -1.0 if inverting else 1.0
+        self.opamp = opamp if opamp is not None else OpAmpModel.ideal()
+        self.rng = rng
+        p = self.opamp.inverse_gain
+        self._gain_error = p * (1.0 + self.cs / self.cf)
+        self._pole_leak = p * (self.cs / self.cf)
+        self._coeff = self.cs / (self.cf + self.cl)
+        self._lam = self.cf / (self.cf + self.cl)
+        self.v = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def coefficient(self) -> float:
+        """Ideal per-step input coefficient ``Cs/(Cf+Cl)``."""
+        return self._coeff
+
+    @property
+    def leak(self) -> float:
+        """Ideal memory coefficient ``Cf/(Cf+Cl)`` (1 for lossless)."""
+        return self._lam
+
+    def reset(self, v: float = 0.0) -> None:
+        """Reset the integrator state (power-up / autozero)."""
+        self.v = float(v)
+
+    def step(self, vin: float, extra_charge: float = 0.0) -> float:
+        """Advance one clock period and return the new output voltage.
+
+        ``extra_charge`` injects additional charge (normalized units of
+        capacitance x volts) directly onto the summing node — used by
+        composite circuits with several input branches.
+        """
+        disturbance = self.opamp.offset + self.opamp.sample_noise(self.rng)
+        target = (
+            self._lam * (1.0 - self._pole_leak) * self.v
+            + self.sign * self._coeff * (1.0 - self._gain_error) * (vin + disturbance)
+            + self.sign * extra_charge / (self.cf + self.cl)
+        )
+        settled = self.opamp.settle(self.v, target)
+        self.v = self.opamp.saturate(settled)
+        return self.v
+
+    def run(self, vin: np.ndarray) -> np.ndarray:
+        """Advance over a full input array, returning the output sequence."""
+        vin = np.asarray(vin, dtype=float)
+        out = np.empty(len(vin))
+        for i, x in enumerate(vin):
+            out[i] = self.step(float(x))
+        return out
+
+    def is_ideal(self) -> bool:
+        """True when no non-ideality is active (fast paths may be used)."""
+        amp = self.opamp
+        return (
+            amp.inverse_gain == 0.0
+            and amp.offset == 0.0
+            and amp.settling_error == 0.0
+            and np.isinf(amp.v_sat)
+            and (amp.noise_rms == 0.0 or self.rng is None)
+        )

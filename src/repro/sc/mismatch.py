@@ -1,0 +1,83 @@
+"""Capacitor mismatch modelling.
+
+Monolithic capacitor ratios set every coefficient of an SC circuit, and
+their random mismatch is the dominant source of *in-band* harmonic
+distortion in the fabricated generator: if the array weights
+``CI_k = 2 sin(k pi/8)`` are realized with small relative errors, the
+synthesized staircase is no longer an exactly sampled sine and low-order
+harmonics appear.  Matching follows the Pelgrom area law: the relative
+standard deviation scales as ``1/sqrt(C)`` (bigger capacitors match
+better).
+
+A :class:`MismatchModel` is a *seeded draw*: constructing one with the
+same seed reproduces the same die.  Monte-Carlo experiments build many
+models with different seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def pelgrom_sigma(c_normalized: float, sigma_unit: float) -> float:
+    """Relative mismatch sigma for a capacitor of ``c_normalized`` units.
+
+    ``sigma_unit`` is the relative sigma of a single unit capacitor; a
+    capacitor made of ``c`` units averages their errors, giving
+    ``sigma_unit / sqrt(c)``.
+    """
+    if not c_normalized > 0:
+        raise ConfigError(f"capacitance must be positive, got {c_normalized!r}")
+    if sigma_unit < 0:
+        raise ConfigError(f"sigma_unit must be >= 0, got {sigma_unit!r}")
+    return sigma_unit / math.sqrt(c_normalized)
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """A reproducible draw of capacitor mismatch for one simulated die.
+
+    Parameters
+    ----------
+    sigma_unit:
+        Relative 1-sigma mismatch of a unit capacitor.  0.001 (0.1 %) is a
+        typical figure for the paper's 0.35 um poly-poly capacitors.
+    seed:
+        RNG seed identifying the die.  ``None`` draws a fresh die.
+    """
+
+    sigma_unit: float = 0.001
+    seed: int | None = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.sigma_unit < 0:
+            raise ConfigError(f"sigma_unit must be >= 0, got {self.sigma_unit!r}")
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    @classmethod
+    def ideal(cls) -> "MismatchModel":
+        """No mismatch at all (sigma 0)."""
+        return cls(sigma_unit=0.0, seed=0)
+
+    def perturb(self, c_normalized: float) -> float:
+        """One mismatched capacitor value (normalized units).
+
+        Draws are consumed from the model's RNG in call order, so a fixed
+        construction order of circuit elements gives a reproducible die.
+        """
+        if not c_normalized > 0:
+            raise ConfigError(f"capacitance must be positive, got {c_normalized!r}")
+        if self.sigma_unit == 0.0:
+            return float(c_normalized)
+        sigma = pelgrom_sigma(c_normalized, self.sigma_unit)
+        return float(c_normalized * (1.0 + self._rng.normal(0.0, sigma)))
+
+    def perturb_many(self, values) -> np.ndarray:
+        """Mismatch an array of capacitor values."""
+        return np.array([self.perturb(v) for v in np.asarray(values, dtype=float)])

@@ -1,0 +1,47 @@
+"""kT/C sampled noise.
+
+Every time a switch closes onto a capacitor, the channel resistance's
+thermal noise is sampled and frozen as a charge error with voltage
+variance ``kT/C``.  This is the fundamental noise floor of SC circuits
+and, together with amplifier noise, sets the generator's spectral noise
+floor in the reproduction of Fig. 8b.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Default junction temperature for lab measurements (kelvin, ~27 C).
+DEFAULT_TEMPERATURE = 300.0
+
+
+def ktc_noise_rms(capacitance: float, temperature: float = DEFAULT_TEMPERATURE) -> float:
+    """RMS voltage noise sampled onto a capacitor (volts).
+
+    ``sqrt(kT/C)``: 1 pF at 300 K gives about 64 uV RMS.
+    """
+    if not capacitance > 0:
+        raise ConfigError(f"capacitance must be positive, got {capacitance!r}")
+    if not temperature > 0:
+        raise ConfigError(f"temperature must be positive, got {temperature!r}")
+    return math.sqrt(BOLTZMANN * temperature / capacitance)
+
+
+def sampled_ktc_noise(
+    n_samples: int,
+    capacitance: float,
+    rng: np.random.Generator,
+    temperature: float = DEFAULT_TEMPERATURE,
+) -> np.ndarray:
+    """A white Gaussian kT/C noise sequence (volts)."""
+    if n_samples < 0:
+        raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+    sigma = ktc_noise_rms(capacitance, temperature)
+    return rng.normal(0.0, sigma, size=n_samples)

@@ -1,0 +1,56 @@
+"""Signal representation and analysis substrate.
+
+Everything in the analyzer is ultimately a sampled waveform on the master
+clock: the generator emits a held staircase, the DUT responds to it, the
+sigma-delta modulators encode it.  This package provides the
+:class:`~repro.signals.waveform.Waveform` container those blocks exchange,
+signal sources for direct-injection experiments (the paper's Fig. 9 feeds
+an ATE-generated multitone straight into the evaluator), continuous-time
+square waves, the exact Fourier description of the generator's 16-step
+staircase, FFT spectra, window functions, and spectral quality metrics
+(THD, SFDR, SNR, SINAD, ENOB).
+"""
+
+from .waveform import Waveform
+from .sources import (
+    DCSource,
+    MultitoneSource,
+    NoiseSource,
+    SineSource,
+    SquareSource,
+    SummedSource,
+    Tone,
+)
+from .squarewave import quadrature_pair, square_wave, square_wave_fourier_coefficient
+from .staircase import (
+    ideal_staircase_sequence,
+    staircase_image_orders,
+    staircase_relative_image_amplitude,
+)
+from .spectrum import Spectrum
+from .windows import blackman_harris, hann, hamming, rectangular, window_by_name
+from . import metrics
+
+__all__ = [
+    "Waveform",
+    "Tone",
+    "SineSource",
+    "MultitoneSource",
+    "DCSource",
+    "NoiseSource",
+    "SquareSource",
+    "SummedSource",
+    "square_wave",
+    "quadrature_pair",
+    "square_wave_fourier_coefficient",
+    "ideal_staircase_sequence",
+    "staircase_image_orders",
+    "staircase_relative_image_amplitude",
+    "Spectrum",
+    "rectangular",
+    "hann",
+    "hamming",
+    "blackman_harris",
+    "window_by_name",
+    "metrics",
+]

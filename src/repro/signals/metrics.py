@@ -1,0 +1,183 @@
+"""Spectral quality metrics: THD, SFDR, SNR, SINAD, ENOB.
+
+These reproduce the lab figures the paper reports for the generator
+(Fig. 8b: "The SFDR is 70dB and the THD is 67dB") and support the
+dynamic-range characterization.  Conventions:
+
+* **THD** — ratio of the RSS of harmonics 2..`n_harmonics` to the
+  fundamental amplitude; reported here as a *positive* dB number matching
+  the paper's "THD is 67dB" phrasing (i.e. harmonics are 67 dB below the
+  carrier); :func:`thd_db` returns that positive number.
+* **SFDR** — fundamental to the highest spur (any non-fundamental,
+  non-DC bin) in the analysis band, in dB.
+* **SNR** — fundamental power to total non-harmonic, non-DC noise power.
+* **SINAD/ENOB** — standard definitions.
+
+All metric functions take a :class:`~repro.signals.spectrum.Spectrum` plus
+the fundamental frequency, and accept a ``skirt`` parameter: the number of
+bins on each side of a spectral line that are attributed to the line
+(leakage skirt) rather than to noise.  With coherent capture the default
+``skirt=0`` is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .spectrum import Spectrum
+
+
+def _line_bins(spectrum: Spectrum, frequency: float, skirt: int) -> np.ndarray:
+    centre = spectrum.bin_of(frequency)
+    lo = max(0, centre - skirt)
+    hi = min(len(spectrum), centre + skirt + 1)
+    return np.arange(lo, hi)
+
+
+def _band_mask(spectrum: Spectrum, band: tuple[float, float] | None) -> np.ndarray:
+    mask = np.ones(len(spectrum), dtype=bool)
+    mask[0] = False  # DC never counts as signal, spur, or noise
+    if band is not None:
+        f_lo, f_hi = band
+        if f_lo > f_hi:
+            raise ConfigError(f"band inverted: {band}")
+        mask &= (spectrum.frequencies >= f_lo) & (spectrum.frequencies <= f_hi)
+    return mask
+
+
+def fundamental_amplitude(spectrum: Spectrum, fundamental: float, skirt: int = 0) -> float:
+    """RSS amplitude of the fundamental line (including its skirt bins)."""
+    bins = _line_bins(spectrum, fundamental, skirt)
+    return float(np.sqrt(np.sum(spectrum.amplitudes[bins] ** 2)))
+
+
+def thd(
+    spectrum: Spectrum,
+    fundamental: float,
+    n_harmonics: int = 10,
+    skirt: int = 0,
+) -> float:
+    """Total harmonic distortion as an amplitude ratio (harmonics / carrier)."""
+    if n_harmonics < 2:
+        raise ConfigError(f"n_harmonics must be >= 2, got {n_harmonics}")
+    carrier = fundamental_amplitude(spectrum, fundamental, skirt)
+    if carrier <= 0:
+        raise ConfigError("no fundamental found; THD undefined")
+    nyquist = spectrum.frequencies[-1]
+    total = 0.0
+    for k in range(2, n_harmonics + 1):
+        fk = fundamental * k
+        if fk > nyquist:
+            break
+        total += fundamental_amplitude(spectrum, fk, skirt) ** 2
+    return float(np.sqrt(total) / carrier)
+
+
+def thd_db(
+    spectrum: Spectrum,
+    fundamental: float,
+    n_harmonics: int = 10,
+    skirt: int = 0,
+) -> float:
+    """THD in positive dB below carrier (the paper's "THD is 67dB")."""
+    ratio = thd(spectrum, fundamental, n_harmonics, skirt)
+    if ratio <= 0:
+        return np.inf
+    return float(-20.0 * np.log10(ratio))
+
+
+def sfdr_db(
+    spectrum: Spectrum,
+    fundamental: float,
+    band: tuple[float, float] | None = None,
+    skirt: int = 0,
+) -> float:
+    """Spurious-free dynamic range in dB within an optional band."""
+    carrier = fundamental_amplitude(spectrum, fundamental, skirt)
+    if carrier <= 0:
+        raise ConfigError("no fundamental found; SFDR undefined")
+    mask = _band_mask(spectrum, band)
+    mask[_line_bins(spectrum, fundamental, skirt)] = False
+    spurs = spectrum.amplitudes[mask]
+    if spurs.size == 0 or np.max(spurs) <= 0:
+        return np.inf
+    return float(20.0 * np.log10(carrier / np.max(spurs)))
+
+
+def snr_db(
+    spectrum: Spectrum,
+    fundamental: float,
+    n_harmonics: int = 10,
+    band: tuple[float, float] | None = None,
+    skirt: int = 0,
+) -> float:
+    """Signal-to-noise ratio in dB (noise excludes DC and harmonics)."""
+    carrier = fundamental_amplitude(spectrum, fundamental, skirt)
+    if carrier <= 0:
+        raise ConfigError("no fundamental found; SNR undefined")
+    mask = _band_mask(spectrum, band)
+    nyquist = spectrum.frequencies[-1]
+    for k in range(1, n_harmonics + 1):
+        fk = fundamental * k
+        if fk > nyquist:
+            break
+        mask[_line_bins(spectrum, fk, skirt)] = False
+    noise_power = float(np.sum(spectrum.amplitudes[mask] ** 2))
+    if noise_power <= 0:
+        return np.inf
+    return float(10.0 * np.log10(carrier**2 / noise_power))
+
+
+def sinad_db(
+    spectrum: Spectrum,
+    fundamental: float,
+    band: tuple[float, float] | None = None,
+    skirt: int = 0,
+) -> float:
+    """Signal to noise-and-distortion ratio in dB."""
+    carrier = fundamental_amplitude(spectrum, fundamental, skirt)
+    if carrier <= 0:
+        raise ConfigError("no fundamental found; SINAD undefined")
+    mask = _band_mask(spectrum, band)
+    mask[_line_bins(spectrum, fundamental, skirt)] = False
+    nad_power = float(np.sum(spectrum.amplitudes[mask] ** 2))
+    if nad_power <= 0:
+        return np.inf
+    return float(10.0 * np.log10(carrier**2 / nad_power))
+
+
+def enob(
+    spectrum: Spectrum,
+    fundamental: float,
+    band: tuple[float, float] | None = None,
+    skirt: int = 0,
+) -> float:
+    """Effective number of bits from SINAD: ``(SINAD - 1.76)/6.02``."""
+    sinad = sinad_db(spectrum, fundamental, band, skirt)
+    if not np.isfinite(sinad):
+        return np.inf
+    return float((sinad - 1.76) / 6.02)
+
+
+def harmonic_levels_dbc(
+    spectrum: Spectrum,
+    fundamental: float,
+    n_harmonics: int,
+    skirt: int = 0,
+) -> dict[int, float]:
+    """Levels of harmonics 2..n relative to the carrier, in dBc."""
+    if n_harmonics < 2:
+        raise ConfigError(f"n_harmonics must be >= 2, got {n_harmonics}")
+    carrier = fundamental_amplitude(spectrum, fundamental, skirt)
+    if carrier <= 0:
+        raise ConfigError("no fundamental found")
+    nyquist = spectrum.frequencies[-1]
+    out: dict[int, float] = {}
+    for k in range(2, n_harmonics + 1):
+        fk = fundamental * k
+        if fk > nyquist:
+            break
+        amp = fundamental_amplitude(spectrum, fk, skirt)
+        out[k] = float(20.0 * np.log10(amp / carrier)) if amp > 0 else -np.inf
+    return out

@@ -1,0 +1,208 @@
+"""Signal sources.
+
+Sources produce waveforms either on a sampling grid (:meth:`Source.render`)
+or as continuous functions of time (:meth:`Source.at`).  The evaluator
+characterization experiment of the paper (Fig. 9) feeds a three-tone
+multitone from the ATE straight into the evaluator; the network-analyzer
+experiments use the on-chip generator instead.  Both paths meet here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from .waveform import Waveform
+
+
+class Source:
+    """Base class for continuous-time signal sources."""
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        """Evaluate the source at time instants ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def render(self, n_samples: int, sample_rate: float, t0: float = 0.0) -> Waveform:
+        """Sample the source on a uniform grid."""
+        if n_samples < 0:
+            raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+        if not sample_rate > 0:
+            raise ConfigError(f"sample rate must be positive, got {sample_rate!r}")
+        t = t0 + np.arange(n_samples) / sample_rate
+        return Waveform(self.at(t), sample_rate, t0)
+
+    def __add__(self, other: "Source") -> "SummedSource":
+        return SummedSource((self, other))
+
+
+@dataclass(frozen=True)
+class Tone:
+    """One sinusoidal component: ``amplitude * sin(2 pi f t + phase)``."""
+
+    frequency: float
+    amplitude: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise ConfigError(f"tone frequency must be >= 0, got {self.frequency!r}")
+        if self.amplitude < 0:
+            raise ConfigError(f"tone amplitude must be >= 0, got {self.amplitude!r}")
+
+
+@dataclass(frozen=True)
+class SineSource(Source):
+    """A single sinewave plus optional DC offset."""
+
+    frequency: float
+    amplitude: float
+    phase: float = 0.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise ConfigError(f"frequency must be >= 0, got {self.frequency!r}")
+        if self.amplitude < 0:
+            raise ConfigError(f"amplitude must be >= 0, got {self.amplitude!r}")
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return self.offset + self.amplitude * np.sin(
+            2.0 * math.pi * self.frequency * t + self.phase
+        )
+
+
+@dataclass(frozen=True)
+class MultitoneSource(Source):
+    """A sum of sinusoidal tones plus a DC offset.
+
+    The paper's Fig. 9 multitone is
+    ``MultitoneSource.harmonic_series(f0, (0.2, 0.02, 0.002))``:
+    three harmonically related tones with amplitudes 20 dB apart.
+    """
+
+    tones: tuple[Tone, ...]
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tones", tuple(self.tones))
+        for tone in self.tones:
+            if not isinstance(tone, Tone):
+                raise ConfigError(f"tones must be Tone instances, got {tone!r}")
+
+    @classmethod
+    def harmonic_series(
+        cls,
+        fundamental: float,
+        amplitudes: tuple[float, ...],
+        phases: tuple[float, ...] | None = None,
+        offset: float = 0.0,
+    ) -> "MultitoneSource":
+        """Tones at ``f0, 2 f0, 3 f0, ...`` with the given amplitudes."""
+        if not fundamental > 0:
+            raise ConfigError(f"fundamental must be positive, got {fundamental!r}")
+        if phases is None:
+            phases = tuple(0.0 for _ in amplitudes)
+        if len(phases) != len(amplitudes):
+            raise ConfigError(
+                f"got {len(amplitudes)} amplitudes but {len(phases)} phases"
+            )
+        tones = tuple(
+            Tone(fundamental * (i + 1), amp, ph)
+            for i, (amp, ph) in enumerate(zip(amplitudes, phases))
+        )
+        return cls(tones, offset)
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        out = np.full(t.shape, self.offset, dtype=float)
+        for tone in self.tones:
+            out += tone.amplitude * np.sin(
+                2.0 * math.pi * tone.frequency * t + tone.phase
+            )
+        return out
+
+    def amplitude_of(self, frequency: float, tol: float = 1e-9) -> float:
+        """Amplitude of the tone at ``frequency`` (0 if absent)."""
+        for tone in self.tones:
+            if abs(tone.frequency - frequency) <= tol * max(1.0, frequency):
+                return tone.amplitude
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DCSource(Source):
+    """A constant level."""
+
+    level: float
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return np.full(t.shape, float(self.level))
+
+
+@dataclass(frozen=True)
+class SquareSource(Source):
+    """A +/-amplitude square wave (sign of a sine), for stress tests."""
+
+    frequency: float
+    amplitude: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.frequency > 0:
+            raise ConfigError(f"frequency must be positive, got {self.frequency!r}")
+        if self.amplitude < 0:
+            raise ConfigError(f"amplitude must be >= 0, got {self.amplitude!r}")
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        s = np.sin(2.0 * math.pi * self.frequency * t + self.phase)
+        # sign(0) would be 0; resolve zero crossings upward for determinism.
+        return self.amplitude * np.where(s >= 0.0, 1.0, -1.0)
+
+
+@dataclass(frozen=True)
+class NoiseSource(Source):
+    """Band-unlimited white Gaussian noise with a seeded generator.
+
+    ``at`` draws fresh noise per call (time values only set the shape);
+    use a fixed seed per experiment run for reproducibility.
+    """
+
+    rms: float
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.rms < 0:
+            raise ConfigError(f"noise rms must be >= 0, got {self.rms!r}")
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        if self.rms == 0.0:
+            return np.zeros(t.shape)
+        return self._rng.normal(0.0, self.rms, size=t.shape)
+
+
+@dataclass(frozen=True)
+class SummedSource(Source):
+    """Sum of several sources (e.g. multitone plus noise)."""
+
+    parts: tuple[Source, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise ConfigError("SummedSource needs at least one part")
+
+    def at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        out = np.zeros(t.shape)
+        for part in self.parts:
+            out += part.at(t)
+        return out

@@ -1,0 +1,144 @@
+"""Single-sided amplitude spectra.
+
+The reference instrument of the reproduction (the "digital oscilloscope"
+the paper compares its harmonic-distortion measurements against in
+Fig. 10c) is an FFT analyzer.  :class:`Spectrum` computes a single-sided,
+window-gain-corrected amplitude spectrum: with coherent sampling and the
+rectangular window, a tone of amplitude ``A`` reads exactly ``A`` in its
+bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .waveform import Waveform
+from .windows import coherent_gain, window_by_name
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Single-sided amplitude spectrum of a real waveform.
+
+    Attributes
+    ----------
+    frequencies:
+        Bin centre frequencies in hertz (0 .. fs/2).
+    amplitudes:
+        Peak-amplitude reading per bin (volts for a voltage waveform).
+    phases:
+        Phase per bin in radians, referenced to ``sin`` (a tone
+        ``A*sin(2*pi*f*t + p)`` sampled coherently reads phase ``p``).
+    resolution:
+        Bin spacing in hertz.
+    """
+
+    frequencies: np.ndarray
+    amplitudes: np.ndarray
+    phases: np.ndarray
+    resolution: float
+
+    def __post_init__(self) -> None:
+        for name in ("frequencies", "amplitudes", "phases"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+        if not (
+            len(self.frequencies) == len(self.amplitudes) == len(self.phases)
+        ):
+            raise ConfigError("spectrum arrays must have equal length")
+
+    @classmethod
+    def from_waveform(cls, waveform: Waveform, window: str = "rectangular") -> "Spectrum":
+        """Compute the spectrum of a waveform.
+
+        The window is applied after removing nothing (DC is reported in bin
+        0).  Amplitudes are corrected for the window's coherent gain; with
+        the rectangular window and coherent sampling the tone bins read the
+        exact tone amplitudes.
+        """
+        n = len(waveform)
+        if n < 2:
+            raise ConfigError(f"need at least 2 samples for a spectrum, got {n}")
+        w = window_by_name(window, n)
+        gain = coherent_gain(w)
+        data = waveform.samples * w
+        raw = np.fft.rfft(data)
+        scale = np.full(len(raw), 2.0 / (n * gain))
+        scale[0] = 1.0 / (n * gain)
+        if n % 2 == 0:
+            scale[-1] = 1.0 / (n * gain)
+        amplitudes = np.abs(raw) * scale
+        # Phase referenced to sin: X_k of A*sin(...) is -j*(A*n/2)*e^{jp},
+        # so p = angle(X_k) + pi/2.
+        phases = np.angle(raw) + 0.5 * np.pi
+        phases = np.mod(phases + np.pi, 2.0 * np.pi) - np.pi
+        frequencies = np.fft.rfftfreq(n, d=waveform.dt)
+        return cls(frequencies, amplitudes, phases, waveform.sample_rate / n)
+
+    # ------------------------------------------------------------------
+    # Bin access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.frequencies)
+
+    def bin_of(self, frequency: float) -> int:
+        """Index of the bin whose centre is nearest ``frequency``."""
+        if frequency < 0:
+            raise ConfigError(f"frequency must be >= 0, got {frequency!r}")
+        idx = int(round(frequency / self.resolution))
+        if idx >= len(self.frequencies):
+            raise ConfigError(
+                f"frequency {frequency} Hz beyond Nyquist "
+                f"({self.frequencies[-1]} Hz)"
+            )
+        return idx
+
+    def amplitude_at(self, frequency: float, search_bins: int = 0) -> float:
+        """Amplitude at (or within ``search_bins`` of) a frequency."""
+        centre = self.bin_of(frequency)
+        lo = max(0, centre - search_bins)
+        hi = min(len(self.amplitudes), centre + search_bins + 1)
+        return float(np.max(self.amplitudes[lo:hi]))
+
+    def phase_at(self, frequency: float) -> float:
+        """Phase (radians, sin-referenced) at a frequency's bin."""
+        return float(self.phases[self.bin_of(frequency)])
+
+    def dc(self) -> float:
+        """DC reading (bin 0)."""
+        return float(self.amplitudes[0])
+
+    def peak(self, exclude_dc: bool = True) -> tuple[float, float]:
+        """``(frequency, amplitude)`` of the largest bin."""
+        start = 1 if exclude_dc else 0
+        if start >= len(self.amplitudes):
+            raise ConfigError("spectrum too short to search for a peak")
+        idx = start + int(np.argmax(self.amplitudes[start:]))
+        return float(self.frequencies[idx]), float(self.amplitudes[idx])
+
+    def harmonic_amplitudes(
+        self, fundamental: float, count: int, search_bins: int = 0
+    ) -> np.ndarray:
+        """Amplitudes at ``fundamental * (1..count)``."""
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        return np.array(
+            [
+                self.amplitude_at(fundamental * k, search_bins)
+                for k in range(1, count + 1)
+            ]
+        )
+
+    def dbc(self, frequency: float, carrier: float) -> float:
+        """Level of a bin relative to the carrier bin, in dB."""
+        a = self.amplitude_at(frequency)
+        c = self.amplitude_at(carrier)
+        if c <= 0:
+            raise ConfigError("carrier amplitude is zero; dBc undefined")
+        if a <= 0:
+            return -np.inf
+        return float(20.0 * np.log10(a / c))

@@ -1,0 +1,82 @@
+"""Continuous-time square waves and their Fourier description.
+
+The evaluator multiplies the signal under test by square waves
+``SQ_kT(t)`` and ``SQ_kT(t - T/4k)`` (paper Fig. 4).  The sampled,
+grid-aligned version used inside the modulator lives in
+:class:`repro.clocking.sequencer.ModulationSequence`; this module provides
+the continuous-time reference and the Fourier coefficients that the
+signature DSP's math rests on:
+
+``sign(sin(2 pi k t / T)) = (4/pi) * sum_{n odd} sin(2 pi n k t / T) / n``
+
+The ``1/n`` odd-harmonic response is also why a k-th-harmonic measurement
+picks up leakage from harmonics ``3k, 5k, ...`` — which the DSP's optional
+leakage correction (:mod:`repro.evaluator.harmonics`) undoes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def square_wave(t: np.ndarray, frequency: float, delay: float = 0.0) -> np.ndarray:
+    """Unit-amplitude +/-1 square wave ``sign(sin(2 pi f (t - delay)))``.
+
+    Zero crossings resolve to +1 (half-open convention), matching the
+    sampled sequence in :class:`~repro.clocking.sequencer.ModulationSequence`.
+    """
+    if not frequency > 0:
+        raise ConfigError(f"square wave frequency must be positive, got {frequency!r}")
+    t = np.asarray(t, dtype=float)
+    s = np.sin(2.0 * math.pi * frequency * (t - delay))
+    return np.where(s >= 0.0, 1.0, -1.0)
+
+
+def quadrature_pair(
+    t: np.ndarray, tone_frequency: float, harmonic: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The evaluator's square-wave pair for harmonic ``k``.
+
+    Returns ``(SQ_kT(t), SQ_kT(t - T/4k))`` where ``T = 1/tone_frequency``.
+    For ``harmonic = 0`` both waves degenerate to the constant +1 (the DC
+    measurement configuration).
+    """
+    if harmonic < 0:
+        raise ConfigError(f"harmonic must be >= 0, got {harmonic}")
+    t = np.asarray(t, dtype=float)
+    if harmonic == 0:
+        ones = np.ones(t.shape)
+        return ones, ones
+    if not tone_frequency > 0:
+        raise ConfigError(f"tone frequency must be positive, got {tone_frequency!r}")
+    period = 1.0 / tone_frequency
+    fk = harmonic * tone_frequency
+    in_phase = square_wave(t, fk)
+    quad = square_wave(t, fk, delay=period / (4.0 * harmonic))
+    return in_phase, quad
+
+
+def square_wave_fourier_coefficient(n: int) -> float:
+    """Amplitude of the ``n``-th harmonic of a unit +/-1 square wave.
+
+    ``4/(pi n)`` for odd ``n``, zero for even ``n`` (and zero DC).
+    """
+    if n < 0:
+        raise ConfigError(f"harmonic order must be >= 0, got {n}")
+    if n == 0 or n % 2 == 0:
+        return 0.0
+    return 4.0 / (math.pi * n)
+
+
+def correlation_gain(n: int) -> float:
+    """Gain from harmonic ``n*k`` of the input into a ``k``-modulated mean.
+
+    Averaging ``x * SQ`` over integer periods leaves
+    ``(2/pi) * A_{nk} / n`` (odd ``n``), i.e. half the square wave's
+    Fourier coefficient, because ``mean(sin^2) = 1/2``.
+    """
+    return 0.5 * square_wave_fourier_coefficient(n)

@@ -1,0 +1,96 @@
+"""The 16-step quantized sinewave and its exact spectral structure.
+
+The generator's time-variant capacitor array synthesizes, before biquad
+filtering, the sequence (paper eqs. (1)-(2))::
+
+    x_q[n] = polarity(n) * CI_{k(n)} = 2 sin(2 pi n / 16)
+
+i.e. an *exactly sampled* sinewave at 16 samples per period.  Two facts
+about this sequence drive the whole generator design and are verified by
+tests and reproduced in benches:
+
+* **In discrete time it is pure.**  A sampled sinewave has no harmonic
+  content at all: the only discrete-time spectral line is the fundamental.
+  This is why the paper remarks that "a discrete-time application will
+  improve these figures" — the distortion the lab instruments see is a
+  continuous-time artifact.
+
+* **In continuous time (held output) the only spurs are sampling images.**
+  Holding each step for ``1/fgen`` turns the sequence into a staircase
+  whose spectrum contains the fundamental (scaled by ``sinc(pi/16)``)
+  and images at orders ``m = 16 j +/- 1`` with amplitude exactly ``1/m``
+  relative to the fundamental: the ``sinc(pi m/16)`` envelope evaluated at
+  the image frequencies collapses to ``1/m`` because
+  ``sin(pi m / 16) = sin(pi / 16)`` for every ``m = 16 j +/- 1``.
+  The first images (m = 15, 17) therefore sit at -23.5 dBc and -24.6 dBc
+  before any filtering; the biquad and the DUT's own rolloff attenuate
+  them further.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..clocking.master import GENERATOR_STEPS
+from ..clocking.sequencer import GeneratorSequence
+from ..errors import ConfigError
+
+
+def ideal_staircase_sequence(n_steps: int, amplitude: float = 1.0) -> np.ndarray:
+    """The quantized-sine sequence at the generator clock rate.
+
+    ``amplitude`` scales the *sinewave* amplitude: the sequence is
+    ``amplitude * 2 sin(2 pi n / 16) / 2 = amplitude * sin(2 pi n/16)``
+    — note eq. (2)'s factor 2 belongs to the capacitor weights; here we
+    normalize so the returned samples are an amplitude-``amplitude`` sine.
+    """
+    if n_steps < 0:
+        raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+    seq = GeneratorSequence()
+    weights = seq.quantized_weight(np.arange(n_steps)) / 2.0
+    return amplitude * weights
+
+
+def staircase_image_orders(j_max: int) -> list[int]:
+    """Image harmonic orders ``16 j +/- 1`` for ``j = 1..j_max``, sorted."""
+    if j_max < 0:
+        raise ConfigError(f"j_max must be >= 0, got {j_max}")
+    orders: list[int] = []
+    for j in range(1, j_max + 1):
+        orders.append(GENERATOR_STEPS * j - 1)
+        orders.append(GENERATOR_STEPS * j + 1)
+    return sorted(orders)
+
+
+def staircase_relative_image_amplitude(order: int) -> float:
+    """Amplitude of a held-staircase spectral line relative to the fundamental.
+
+    Exact result for the zero-order-hold staircase of a 16-sample-per-period
+    sine: order 1 (the fundamental itself) returns 1; image orders
+    ``16 j +/- 1`` return ``1/order``; everything else returns 0.
+    """
+    if order < 1:
+        raise ConfigError(f"order must be >= 1, got {order}")
+    if order == 1:
+        return 1.0
+    residue = order % GENERATOR_STEPS
+    if residue in (1, GENERATOR_STEPS - 1):
+        return 1.0 / order
+    return 0.0
+
+
+def zoh_droop(order: int) -> float:
+    """Zero-order-hold sinc droop at harmonic ``order`` of the tone.
+
+    ``|sinc(pi * order / 16)|`` — the amplitude scaling a held staircase
+    applies to a line at ``order * fwave`` relative to the raw sequence
+    value.  The fundamental droops by ``sinc(pi/16) = 0.9936`` (-0.056 dB).
+    """
+    if order < 0:
+        raise ConfigError(f"order must be >= 0, got {order}")
+    x = math.pi * order / GENERATOR_STEPS
+    if x == 0.0:
+        return 1.0
+    return abs(math.sin(x) / x)

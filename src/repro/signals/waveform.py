@@ -1,0 +1,189 @@
+"""Sampled waveform container.
+
+A :class:`Waveform` is an immutable view of uniformly sampled data with its
+sample rate.  All blocks of the analyzer exchange waveforms rather than
+bare arrays so that clock-domain mistakes (mixing sample rates) are caught
+at the boundary instead of producing silently wrong spectra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError, TimingError
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Uniformly sampled real-valued signal.
+
+    Attributes
+    ----------
+    samples:
+        1-D float array of sample values (volts, unless stated otherwise).
+    sample_rate:
+        Sampling frequency in hertz.
+    t0:
+        Time of the first sample in seconds (defaults to 0).
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    t0: float = 0.0
+    _frozen: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigError(f"waveform samples must be 1-D, got shape {samples.shape}")
+        if not self.sample_rate > 0:
+            raise ConfigError(f"sample rate must be positive, got {self.sample_rate!r}")
+        samples = samples.copy()
+        samples.setflags(write=False)
+        object.__setattr__(self, "samples", samples)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        """Span of the waveform in seconds (``n / fs``)."""
+        return len(self.samples) / self.sample_rate
+
+    @property
+    def dt(self) -> float:
+        """Sample period in seconds."""
+        return 1.0 / self.sample_rate
+
+    def times(self) -> np.ndarray:
+        """Sample instants in seconds."""
+        return self.t0 + np.arange(len(self.samples)) / self.sample_rate
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """DC value (sample mean)."""
+        return float(np.mean(self.samples)) if len(self.samples) else 0.0
+
+    def rms(self) -> float:
+        """Root-mean-square value."""
+        if not len(self.samples):
+            return 0.0
+        return float(np.sqrt(np.mean(np.square(self.samples))))
+
+    def peak(self) -> float:
+        """Largest absolute sample value."""
+        return float(np.max(np.abs(self.samples))) if len(self.samples) else 0.0
+
+    def vpp(self) -> float:
+        """Peak-to-peak span."""
+        if not len(self.samples):
+            return 0.0
+        return float(np.max(self.samples) - np.min(self.samples))
+
+    # ------------------------------------------------------------------
+    # Slicing and combination
+    # ------------------------------------------------------------------
+    def slice_samples(self, start: int, stop: int | None = None) -> "Waveform":
+        """Sub-waveform by sample index (keeps time origin consistent)."""
+        n = len(self.samples)
+        if stop is None:
+            stop = n
+        if not (0 <= start <= stop <= n):
+            raise ConfigError(
+                f"slice [{start}:{stop}] out of range for waveform of {n} samples"
+            )
+        return Waveform(
+            self.samples[start:stop],
+            self.sample_rate,
+            t0=self.t0 + start / self.sample_rate,
+        )
+
+    def _check_compatible(self, other: "Waveform") -> None:
+        if abs(other.sample_rate - self.sample_rate) > 1e-9 * self.sample_rate:
+            raise TimingError(
+                f"cannot combine waveforms at {self.sample_rate} Hz and "
+                f"{other.sample_rate} Hz"
+            )
+        if len(other) != len(self):
+            raise ConfigError(
+                f"cannot combine waveforms of {len(self)} and {len(other)} samples"
+            )
+
+    def __add__(self, other) -> "Waveform":
+        if isinstance(other, Waveform):
+            self._check_compatible(other)
+            return Waveform(self.samples + other.samples, self.sample_rate, self.t0)
+        return Waveform(self.samples + float(other), self.sample_rate, self.t0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Waveform":
+        if isinstance(other, Waveform):
+            self._check_compatible(other)
+            return Waveform(self.samples - other.samples, self.sample_rate, self.t0)
+        return Waveform(self.samples - float(other), self.sample_rate, self.t0)
+
+    def __mul__(self, factor) -> "Waveform":
+        if isinstance(factor, Waveform):
+            self._check_compatible(factor)
+            return Waveform(self.samples * factor.samples, self.sample_rate, self.t0)
+        return Waveform(self.samples * float(factor), self.sample_rate, self.t0)
+
+    __rmul__ = __mul__
+
+    def hold_upsample(self, factor: int) -> "Waveform":
+        """Zero-order-hold upsampling by an integer factor.
+
+        Models a sample-and-hold output observed on a faster clock: the
+        generator updates at ``fgen`` but the evaluator samples its held
+        output at ``feva = 6 * fgen``, so every generator sample is seen
+        six times.  This is exact for SC outputs, which *are* held.
+        """
+        if not isinstance(factor, int) or factor < 1:
+            raise ConfigError(f"hold factor must be a positive integer, got {factor!r}")
+        return Waveform(
+            np.repeat(self.samples, factor), self.sample_rate * factor, self.t0
+        )
+
+    def decimate(self, factor: int, phase: int = 0) -> "Waveform":
+        """Keep every ``factor``-th sample starting at ``phase``."""
+        if not isinstance(factor, int) or factor < 1:
+            raise ConfigError(f"decimation factor must be a positive integer, got {factor!r}")
+        if not 0 <= phase < factor:
+            raise ConfigError(f"phase must be in 0..{factor - 1}, got {phase}")
+        return Waveform(
+            self.samples[phase::factor],
+            self.sample_rate / factor,
+            self.t0 + phase / self.sample_rate,
+        )
+
+    def concat(self, other: "Waveform") -> "Waveform":
+        """Append another waveform sampled at the same rate."""
+        if abs(other.sample_rate - self.sample_rate) > 1e-9 * self.sample_rate:
+            raise TimingError(
+                f"cannot concatenate waveforms at {self.sample_rate} Hz and "
+                f"{other.sample_rate} Hz"
+            )
+        return Waveform(
+            np.concatenate([self.samples, other.samples]), self.sample_rate, self.t0
+        )
+
+    def clipped(self, low: float, high: float) -> "Waveform":
+        """Hard-clip samples into ``[low, high]`` (supply-rail saturation)."""
+        if low > high:
+            raise ConfigError(f"clip range inverted: [{low}, {high}]")
+        return Waveform(np.clip(self.samples, low, high), self.sample_rate, self.t0)
+
+    @classmethod
+    def zeros(cls, n_samples: int, sample_rate: float, t0: float = 0.0) -> "Waveform":
+        """All-zero waveform."""
+        if n_samples < 0:
+            raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+        return cls(np.zeros(n_samples), sample_rate, t0)

@@ -1,0 +1,85 @@
+"""Window functions for spectral analysis.
+
+Coherently sampled measurements (everything the analyzer itself does —
+``N = feva/fwave`` is an exact integer by construction) use the
+rectangular window; the oscilloscope stand-in offers Hann / Hamming /
+4-term Blackman-Harris for non-coherent capture.  Windows are implemented
+from their defining cosine series rather than taken from scipy so the
+coherent-gain bookkeeping used for amplitude calibration is explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def rectangular(n: int) -> np.ndarray:
+    """Rectangular (boxcar) window; coherent gain 1."""
+    if n < 1:
+        raise ConfigError(f"window length must be >= 1, got {n}")
+    return np.ones(n)
+
+
+def _cosine_series(n: int, coefficients: tuple[float, ...]) -> np.ndarray:
+    if n < 1:
+        raise ConfigError(f"window length must be >= 1, got {n}")
+    k = np.arange(n)
+    x = 2.0 * np.pi * k / n  # periodic (DFT-even) windows for spectral use
+    out = np.zeros(n)
+    for order, a in enumerate(coefficients):
+        out += ((-1) ** order) * a * np.cos(order * x)
+    return out
+
+
+def hann(n: int) -> np.ndarray:
+    """Hann window (periodic); coherent gain 0.5."""
+    return _cosine_series(n, (0.5, 0.5))
+
+
+def hamming(n: int) -> np.ndarray:
+    """Hamming window (periodic); coherent gain 0.54."""
+    return _cosine_series(n, (0.54, 0.46))
+
+
+def blackman_harris(n: int) -> np.ndarray:
+    """4-term Blackman-Harris window (periodic); coherent gain 0.35875."""
+    return _cosine_series(n, (0.35875, 0.48829, 0.14128, 0.01168))
+
+
+_WINDOWS = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hann": hann,
+    "hamming": hamming,
+    "blackman-harris": blackman_harris,
+    "blackmanharris": blackman_harris,
+}
+
+
+def window_by_name(name: str, n: int) -> np.ndarray:
+    """Look up a window function by name and evaluate it."""
+    try:
+        fn = _WINDOWS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown window {name!r}; available: {sorted(set(_WINDOWS))}"
+        ) from None
+    return fn(n)
+
+
+def coherent_gain(window: np.ndarray) -> float:
+    """Mean of the window: the amplitude scaling it applies to a tone."""
+    window = np.asarray(window, dtype=float)
+    if window.ndim != 1 or len(window) == 0:
+        raise ConfigError("window must be a non-empty 1-D array")
+    return float(np.mean(window))
+
+
+def noise_bandwidth(window: np.ndarray) -> float:
+    """Equivalent noise bandwidth in bins (1.0 for rectangular)."""
+    window = np.asarray(window, dtype=float)
+    if window.ndim != 1 or len(window) == 0:
+        raise ConfigError("window must be a non-empty 1-D array")
+    return float(len(window) * np.sum(window**2) / np.sum(window) ** 2)

@@ -1,0 +1,18 @@
+"""Lab-bench simulation: the paper's Fig. 7 test setup.
+
+* :class:`~repro.testbench.ate.DigitalATE` — the Agilent 93000 stand-in:
+  generates digital control and clock programs, sources calibration
+  multitones, acquires bitstreams, and hosts the signature DSP;
+* :class:`~repro.testbench.board.DemonstratorBoard` — the demonstrator
+  board: routing between generator, DUT and evaluator including the
+  calibration bypass relay;
+* :class:`~repro.testbench.oscilloscope.SpectrumScope` — the LeCroy
+  WaveSurfer stand-in: an independent FFT instrument used as the
+  reference for the harmonic-distortion comparison.
+"""
+
+from .ate import DigitalATE
+from .board import DemonstratorBoard
+from .oscilloscope import SpectrumScope
+
+__all__ = ["DigitalATE", "DemonstratorBoard", "SpectrumScope"]

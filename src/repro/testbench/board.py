@@ -1,0 +1,88 @@
+"""The demonstrator board (paper Section IV, Fig. 7).
+
+"As a proof-of-concept, the network analyzer shown in Fig. 1 has been
+built on a test board", routing the integrated generator and evaluator
+around a discrete active-RC DUT, with a relay implementing the
+calibration bypass.  :class:`DemonstratorBoard` is that board: it owns
+the signal routing and exposes exactly two paths — through the DUT or
+around it.
+"""
+
+from __future__ import annotations
+
+from ..dut.base import DUT, PassthroughDUT
+from ..errors import ConfigError
+from ..generator.sinewave_generator import SinewaveGenerator
+from ..signals.waveform import Waveform
+
+
+class DemonstratorBoard:
+    """Signal routing between generator, DUT and evaluator.
+
+    Parameters
+    ----------
+    dut:
+        The device mounted on the board.
+    """
+
+    #: Valid routing states of the calibration relay.
+    PATHS = ("dut", "calibration")
+
+    def __init__(self, dut: DUT) -> None:
+        self.dut = dut
+        self._path = "dut"
+        self.relay_switch_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Current routing: ``"dut"`` or ``"calibration"``."""
+        return self._path
+
+    def select_path(self, path: str) -> None:
+        """Switch the calibration relay."""
+        if path not in self.PATHS:
+            raise ConfigError(f"unknown path {path!r}; valid: {self.PATHS}")
+        if path != self._path:
+            self._path = path
+            self.relay_switch_count += 1
+
+    def active_route(self) -> DUT:
+        """The block currently between generator and evaluator."""
+        if self._path == "dut":
+            return self.dut
+        return PassthroughDUT()
+
+    # ------------------------------------------------------------------
+    def run_stimulus(
+        self,
+        generator: SinewaveGenerator,
+        n_periods: int,
+        settle_periods: int = 12,
+        dut_lead_periods: int = 0,
+    ) -> Waveform:
+        """Drive the generator through the selected path.
+
+        Returns the waveform arriving at the evaluator input, with the
+        generator settling head and ``dut_lead_periods`` of DUT transient
+        already discarded (whole periods, preserving phase alignment).
+        """
+        if dut_lead_periods < 0:
+            raise ConfigError(
+                f"dut_lead_periods must be >= 0, got {dut_lead_periods}"
+            )
+        clock = generator.clock
+        held = generator.render_held(
+            n_periods=n_periods + dut_lead_periods, settle_periods=settle_periods
+        )
+        route = self.active_route()
+        route.reset()
+        response = route.process(held)
+        return response.slice_samples(dut_lead_periods * clock.oversampling_ratio)
+
+    def describe(self) -> str:
+        """One-line board status for logs."""
+        return (
+            f"DemonstratorBoard(path={self._path!r}, dut={self.dut.name!r}, "
+            f"relay switches={self.relay_switch_count})"
+        )

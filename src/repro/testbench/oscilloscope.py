@@ -1,0 +1,90 @@
+"""Reference spectrum instrument (the paper's LeCroy WaveSurfer 422 role).
+
+Fig. 10c overlays the analyzer's harmonic measurements on "the spectrum
+measured with a digital oscilloscope".  :class:`SpectrumScope` plays that
+role: an independent FFT instrument with (optionally) the front-end
+limitations of a real scope — finite record length and an 8-bit ADC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..signals import metrics
+from ..signals.spectrum import Spectrum
+from ..signals.waveform import Waveform
+
+
+class SpectrumScope:
+    """A digital-oscilloscope-style FFT analyzer.
+
+    Parameters
+    ----------
+    max_record:
+        Maximum capture length in samples (None = unlimited).
+    adc_bits:
+        Vertical resolution; None models an ideal front end.  8 matches
+        the WaveSurfer class of instrument.
+    window:
+        FFT window; the default rectangular window is correct for the
+        coherent captures of the synchronous analyzer.
+    """
+
+    def __init__(
+        self,
+        max_record: int | None = None,
+        adc_bits: int | None = None,
+        window: str = "rectangular",
+    ) -> None:
+        if max_record is not None and max_record < 16:
+            raise ConfigError(f"max_record must be >= 16, got {max_record}")
+        if adc_bits is not None and not 4 <= adc_bits <= 24:
+            raise ConfigError(f"adc_bits must be in 4..24, got {adc_bits}")
+        self.max_record = max_record
+        self.adc_bits = adc_bits
+        self.window = window
+
+    # ------------------------------------------------------------------
+    def capture(self, waveform: Waveform, full_scale: float | None = None) -> Spectrum:
+        """Digitize a waveform and return its spectrum.
+
+        ``full_scale`` sets the ADC range (peak volts); default is the
+        waveform's own peak (auto-ranging).
+        """
+        if self.max_record is not None and len(waveform) > self.max_record:
+            waveform = waveform.slice_samples(0, self.max_record)
+        if self.adc_bits is not None:
+            fs = full_scale if full_scale is not None else max(waveform.peak(), 1e-12)
+            levels = 2 ** (self.adc_bits - 1)
+            lsb = fs / levels
+            quantized = np.clip(
+                np.round(waveform.samples / lsb) * lsb, -fs, fs
+            )
+            waveform = Waveform(quantized, waveform.sample_rate, waveform.t0)
+        return Spectrum.from_waveform(waveform, window=self.window)
+
+    # ------------------------------------------------------------------
+    # Measurement conveniences mirroring scope math packages
+    # ------------------------------------------------------------------
+    def harmonic_levels_dbc(
+        self, waveform: Waveform, fundamental: float, n_harmonics: int = 5
+    ) -> dict[int, float]:
+        """Harmonic levels relative to the carrier."""
+        spectrum = self.capture(waveform)
+        return metrics.harmonic_levels_dbc(spectrum, fundamental, n_harmonics)
+
+    def thd_db(self, waveform: Waveform, fundamental: float) -> float:
+        """THD (positive dB below carrier)."""
+        spectrum = self.capture(waveform)
+        return metrics.thd_db(spectrum, fundamental)
+
+    def sfdr_db(
+        self,
+        waveform: Waveform,
+        fundamental: float,
+        band: tuple[float, float] | None = None,
+    ) -> float:
+        """Spurious-free dynamic range."""
+        spectrum = self.capture(waveform)
+        return metrics.sfdr_db(spectrum, fundamental, band=band)

@@ -1,0 +1,150 @@
+"""Unit conversions and decibel conventions used throughout the library.
+
+The paper mixes several amplitude conventions:
+
+* waveform amplitudes are quoted as peak volts (Fig. 8a: "300mV") or
+  peak-to-peak volts (Fig. 8b: "1Vpp"; Fig. 10c: "800mVpp");
+* spectral plots are in dB relative to the carrier (dBc, Figs. 8b and 10c);
+* the evaluator convergence plots (Fig. 9) are labelled "dBm" but the values
+  only match ``20*log10(A_rms / 0.5 V)`` — i.e. decibels relative to the
+  RMS value of the modulator full-scale reference ``Vref = 0.5 V``
+  (A1 = 0.2 V -> -11.0, A2 = 0.02 V -> -31.0, A3 = 0.002 V -> -51.0).
+  We expose that convention as :func:`dbm_fs`.
+
+All functions are vectorized: they accept floats or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .errors import ConfigError
+
+#: Default modulator reference voltage (volts). Matches the dB convention of
+#: the paper's Fig. 9 (see module docstring).
+DEFAULT_VREF = 0.5
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def db(ratio):
+    """Convert an amplitude ratio to decibels (``20*log10``)."""
+    return 20.0 * np.log10(ratio)
+
+
+def db_power(ratio):
+    """Convert a power ratio to decibels (``10*log10``)."""
+    return 10.0 * np.log10(ratio)
+
+
+def from_db(value_db):
+    """Convert decibels back to an amplitude ratio."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 20.0)
+
+
+def from_db_power(value_db):
+    """Convert decibels back to a power ratio."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def dbc(amplitude, carrier_amplitude):
+    """Amplitude relative to a carrier, in dB (dBc).
+
+    Used for harmonic levels: ``dbc(A2, A1)`` is the paper's "-56 dB" style
+    harmonic-distortion figure.
+    """
+    return db(np.asarray(amplitude, dtype=float) / carrier_amplitude)
+
+
+def dbm_fs(amplitude, vref: float = DEFAULT_VREF):
+    """The paper's Fig. 9 "dBm" convention.
+
+    ``20*log10(A/sqrt(2) / vref)`` where ``A`` is the peak amplitude of the
+    tone and ``vref`` the modulator reference. With the default
+    ``vref = 0.5`` this reproduces the paper's axis values exactly
+    (0.2 V -> -11.0 dBm).
+    """
+    if vref <= 0:
+        raise ConfigError(f"vref must be positive, got {vref!r}")
+    return db(np.asarray(amplitude, dtype=float) / _SQRT2 / vref)
+
+
+def from_dbm_fs(value_db, vref: float = DEFAULT_VREF):
+    """Inverse of :func:`dbm_fs`: dB value back to peak amplitude in volts."""
+    if vref <= 0:
+        raise ConfigError(f"vref must be positive, got {vref!r}")
+    return from_db(value_db) * _SQRT2 * vref
+
+
+def vpp_to_amplitude(vpp):
+    """Peak-to-peak volts to peak amplitude."""
+    return np.asarray(vpp, dtype=float) / 2.0
+
+
+def amplitude_to_vpp(amplitude):
+    """Peak amplitude to peak-to-peak volts."""
+    return np.asarray(amplitude, dtype=float) * 2.0
+
+
+def amplitude_to_rms(amplitude):
+    """Peak amplitude of a sinusoid to its RMS value."""
+    return np.asarray(amplitude, dtype=float) / _SQRT2
+
+
+def rms_to_amplitude(rms):
+    """RMS value of a sinusoid to its peak amplitude."""
+    return np.asarray(rms, dtype=float) * _SQRT2
+
+
+def degrees(radians):
+    """Radians to degrees."""
+    return np.degrees(radians)
+
+
+def radians(deg):
+    """Degrees to radians."""
+    return np.radians(deg)
+
+
+def wrap_phase_deg(phase_deg):
+    """Wrap a phase in degrees into ``(-180, 180]``."""
+    wrapped = np.mod(np.asarray(phase_deg, dtype=float) + 180.0, 360.0) - 180.0
+    # np.mod maps exact +180 to -180; restore the paper's (-180, 180] choice.
+    return np.where(wrapped == -180.0, 180.0, wrapped)
+
+
+def wrap_phase_rad(phase_rad):
+    """Wrap a phase in radians into ``(-pi, pi]``."""
+    wrapped = np.mod(np.asarray(phase_rad, dtype=float) + np.pi, 2.0 * np.pi) - np.pi
+    return np.where(wrapped == -np.pi, np.pi, wrapped)
+
+
+_SI_PREFIXES = (
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+)
+
+
+def eng_format(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a value with an engineering SI prefix, e.g. ``62.5 kHz``.
+
+    Zero and non-finite values are formatted without a prefix.
+    """
+    value = float(value)
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()

@@ -1,0 +1,75 @@
+"""Area model calibration against the paper's reported figures."""
+
+import pytest
+
+from repro.area.estimate import (
+    AreaModel,
+    PAPER_DIGITAL_DSP_UM2,
+    PAPER_EVALUATOR_MM2,
+    PAPER_GENERATOR_MM2,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestPaperCalibration:
+    def test_generator_area_matches_paper(self, model):
+        """Fig. 6a: 'the sinewave generator occupies an area of 0.15mm2'."""
+        report = model.generator_area()
+        assert report.total_mm2 == pytest.approx(PAPER_GENERATOR_MM2, rel=0.15)
+
+    def test_evaluator_area_matches_paper(self, model):
+        """Fig. 6b: 'the sinewave evaluator occupies only 0.065mm2'."""
+        report = model.evaluator_area()
+        assert report.total_mm2 == pytest.approx(PAPER_EVALUATOR_MM2, rel=0.15)
+
+    def test_digital_dsp_matches_paper(self, model):
+        """Section III.B: 16-bit synthesis 'takes an area of 300um x
+        300um approximately'."""
+        assert model.digital_dsp_area(16) == pytest.approx(
+            PAPER_DIGITAL_DSP_UM2, rel=0.15
+        )
+
+    def test_evaluator_smaller_than_generator(self, model):
+        """The architectural point: the evaluator's analog content is
+        tiny (two 1st-order modulators)."""
+        assert model.evaluator_area().total_mm2 < model.generator_area().total_mm2 / 2
+
+
+class TestBreakdown:
+    def test_generator_is_capacitor_dominated(self, model):
+        report = model.generator_area()
+        assert report.capacitors_um2 > report.amplifiers_um2
+
+    def test_evaluator_is_amplifier_dominated(self, model):
+        report = model.evaluator_area()
+        assert report.amplifiers_um2 > report.capacitors_um2
+
+    def test_totals_sum(self, model):
+        report = model.generator_area()
+        total = (
+            report.capacitors_um2
+            + report.amplifiers_um2
+            + report.comparators_um2
+            + report.overhead_um2
+        )
+        assert report.total_um2 == pytest.approx(total)
+
+
+class TestScaling:
+    def test_digital_scales_with_word_length(self, model):
+        assert model.digital_dsp_area(24) > model.digital_dsp_area(16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AreaModel(unit_cap_area=0.0)
+        with pytest.raises(ConfigError):
+            AreaModel(overhead_fraction=1.0)
+        with pytest.raises(ConfigError):
+            AreaModel().digital_dsp_area(2)
+        with pytest.raises(ConfigError):
+            AreaModel().evaluator_area(integrator_gain=0.0)

@@ -1,0 +1,79 @@
+"""Ref.-[8]-style bandpass baseline: magnitude-only, ~40 dB range."""
+
+import pytest
+
+from repro.baselines.bandpass_analyzer import BandpassAmplitudeAnalyzer
+from repro.dut.base import PassthroughDUT
+from repro.dut.biquads import lowpass
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return BandpassAmplitudeAnalyzer()
+
+
+class TestMagnitudeMeasurement:
+    def test_passthrough_reads_near_unity(self, baseline):
+        m = baseline.measure_gain(PassthroughDUT(), 1000.0, stimulus_amplitude=0.4)
+        assert m.gain == pytest.approx(1.0, abs=0.1)
+
+    def test_lowpass_rolloff_visible(self, baseline):
+        dut = lowpass(1000.0)
+        in_band = baseline.measure_gain(dut, 200.0, stimulus_amplitude=0.4)
+        out_band = baseline.measure_gain(dut, 5000.0, stimulus_amplitude=0.4)
+        assert in_band.gain > 0.8
+        assert out_band.gain < 0.15
+
+    def test_magnitude_sweep(self, baseline):
+        dut = lowpass(1000.0)
+        points = baseline.magnitude_sweep(dut, [200.0, 1000.0, 5000.0])
+        gains = [p.gain for p in points]
+        assert gains[0] > gains[1] > gains[2]
+
+
+class TestLimitations:
+    def test_no_phase_support(self, baseline):
+        assert baseline.supports_phase is False
+        assert not hasattr(baseline, "measure_phase")
+
+    def test_frequency_limit_enforced(self, baseline):
+        """Ref. [8] is limited to ~10 kHz."""
+        with pytest.raises(ConfigError, match="limited"):
+            baseline.measure_gain(PassthroughDUT(), 15_000.0)
+
+    def test_dynamic_range_about_40db(self, baseline):
+        dr = baseline.dynamic_range_db(full_scale=0.5)
+        assert dr == pytest.approx(40.0, abs=1.0)
+
+    def test_small_signals_swallowed_by_detector(self, baseline):
+        """The physical mechanism of the 40 dB limit: the rectifier dead
+        zone eats signals near the detector offset."""
+        dut = lowpass(100.0)  # -40 dB at ~10 kHz... use deep stopband
+        deep = baseline.measure_gain(dut, 9000.0, stimulus_amplitude=0.4)
+        true_gain = dut.gain_at(9000.0)
+        # True level 0.4 * ~1.2e-4 = 50 uV: far below the 5 mV offset.
+        assert true_gain < 2e-4
+        assert deep.gain == pytest.approx(0.0, abs=1e-3)
+
+    def test_gain_db_of_zero_reading(self, baseline):
+        m = baseline.measure_gain(lowpass(100.0), 9000.0, stimulus_amplitude=0.4)
+        assert m.gain_db == float("-inf") or m.gain_db < -60
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            BandpassAmplitudeAnalyzer(q=0.0)
+        with pytest.raises(ConfigError):
+            BandpassAmplitudeAnalyzer(detector_offset=-1.0)
+        with pytest.raises(ConfigError):
+            BandpassAmplitudeAnalyzer(droop_per_period=1.0)
+
+    def test_measurement_validation(self, baseline):
+        with pytest.raises(ConfigError):
+            baseline.measure_gain(PassthroughDUT(), -1.0)
+        with pytest.raises(ConfigError):
+            baseline.measure_gain(PassthroughDUT(), 100.0, stimulus_amplitude=0.0)
+        with pytest.raises(ConfigError):
+            baseline.measure_gain(PassthroughDUT(), 100.0, n_periods=4)

@@ -1,0 +1,66 @@
+"""Ref.-[9]-style structural signature baseline."""
+
+import pytest
+
+from repro.baselines.sigma_delta_signature import StructuralSignatureTester
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.errors import ConfigError, EvaluationError
+
+
+@pytest.fixture(scope="module")
+def good_dut():
+    return ActiveRCLowpass.from_specs(cutoff=1000.0)
+
+
+class TestSignature:
+    def test_golden_learning(self, good_dut):
+        tester = StructuralSignatureTester(frequency=500.0)
+        golden = tester.learn_golden(good_dut)
+        assert isinstance(golden, int)
+
+    def test_good_device_passes(self, good_dut):
+        tester = StructuralSignatureTester(frequency=500.0)
+        tester.learn_golden(good_dut)
+        verdict = tester.test(ActiveRCLowpass.from_specs(cutoff=1000.0))
+        assert verdict.passed
+
+    def test_gross_fault_detected(self, good_dut):
+        tester = StructuralSignatureTester(frequency=500.0)
+        tester.learn_golden(good_dut)
+        faulty = good_dut.with_fault("c2", 0.5)  # cutoff shifts heavily
+        verdict = tester.test(faulty)
+        assert not verdict.passed
+        assert verdict.deviation > verdict.tolerance
+
+    def test_requires_golden(self, good_dut):
+        tester = StructuralSignatureTester(frequency=500.0)
+        with pytest.raises(EvaluationError):
+            tester.test(good_dut)
+
+
+class TestStructuralOnly:
+    def test_no_functional_measurements(self):
+        """The paper's criticism of [9]: 'performing only a structural
+        test of the DUT and not a functional frequency response
+        characterization' — the baseline exposes no gain/phase API."""
+        tester = StructuralSignatureTester(frequency=500.0)
+        assert tester.supports_phase is False
+        assert tester.supports_magnitude is False
+        assert not hasattr(tester, "measure_gain")
+        assert not hasattr(tester, "measure_gain_phase")
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            StructuralSignatureTester(frequency=0.0)
+        with pytest.raises(ConfigError):
+            StructuralSignatureTester(frequency=100.0, stimulus_amplitude=0.0)
+        with pytest.raises(ConfigError):
+            StructuralSignatureTester(frequency=100.0, n_periods=0)
+
+    def test_negative_tolerance(self, good_dut):
+        tester = StructuralSignatureTester(frequency=500.0)
+        tester.learn_golden(good_dut)
+        with pytest.raises(ConfigError):
+            tester.test(good_dut, tolerance=-1)

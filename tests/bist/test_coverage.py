@@ -1,0 +1,65 @@
+"""Fault-coverage evaluation of a BIST program."""
+
+import pytest
+
+from repro.bist.coverage import fault_coverage
+from repro.bist.limits import SpecMask
+from repro.bist.program import BISTProgram
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import ParametricFault
+from repro.errors import ConfigError
+
+FREQS = [300.0, 1000.0, 2000.0]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    golden = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    mask = SpecMask.from_golden(golden, FREQS, tolerance_db=2.0)
+    program = BISTProgram(mask, FREQS, m_periods=40)
+    return golden, program
+
+
+class TestCoverage:
+    def test_gross_faults_covered(self, setup):
+        golden, program = setup
+        faults = [
+            ParametricFault("c2", 0.5),
+            ParametricFault("c2", -0.5),
+            ParametricFault("r3", 0.5),
+            ParametricFault("r2", 0.5),
+        ]
+        report = fault_coverage(golden, faults, program)
+        assert report.coverage >= 0.75
+        assert report.good_verdict in ("pass", "ambiguous")
+
+    def test_tiny_faults_escape(self, setup):
+        """A 1 % component shift barely moves the response: expected to
+        escape a +/-1 dB mask — coverage is a function of fault size."""
+        golden, program = setup
+        faults = [ParametricFault("c1", 0.01)]
+        report = fault_coverage(golden, faults, program)
+        assert report.coverage == 0.0
+        assert len(report.escapes) == 1
+
+    def test_flagged_includes_ambiguous(self, setup):
+        golden, program = setup
+        faults = [ParametricFault("c2", 0.5)]
+        report = fault_coverage(golden, faults, program)
+        assert report.flagged >= report.coverage
+
+
+class TestValidation:
+    def test_empty_faults(self, setup):
+        golden, program = setup
+        with pytest.raises(ConfigError):
+            fault_coverage(golden, [], program)
+
+    def test_inconsistent_mask_detected(self):
+        golden = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        wrong_golden = ActiveRCLowpass.from_specs(cutoff=300.0)
+        mask = SpecMask.from_golden(wrong_golden, [1000.0], tolerance_db=0.5)
+        program = BISTProgram(mask, [1000.0], m_periods=20)
+        with pytest.raises(ConfigError, match="inconsistent"):
+            fault_coverage(golden, [ParametricFault("c1", 0.2)], program)

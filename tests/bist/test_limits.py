@@ -1,0 +1,48 @@
+"""Specification masks."""
+
+import pytest
+
+from repro.bist.limits import MaskSegment, SpecMask
+from repro.dut.biquads import lowpass
+from repro.errors import ConfigError
+
+
+class TestSegment:
+    def test_covers(self):
+        seg = MaskSegment(100.0, 200.0, -1.0, 1.0)
+        assert seg.covers(150.0)
+        assert not seg.covers(250.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MaskSegment(200.0, 100.0, -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            MaskSegment(100.0, 200.0, 1.0, -1.0)
+
+
+class TestMask:
+    def test_limits_at(self):
+        mask = SpecMask((MaskSegment(100.0, 200.0, -1.0, 1.0),))
+        assert mask.limits_at(150.0) == (-1.0, 1.0)
+        assert mask.limits_at(500.0) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            SpecMask(())
+
+
+class TestFromGolden:
+    def test_golden_mask_centred_on_response(self):
+        dut = lowpass(1000.0)
+        mask = SpecMask.from_golden(dut, [100.0, 1000.0], tolerance_db=1.0)
+        lo, hi = mask.limits_at(1000.0)
+        centre = dut.gain_db_at(1000.0)
+        assert lo == pytest.approx(centre - 1.0)
+        assert hi == pytest.approx(centre + 1.0)
+
+    def test_validation(self):
+        dut = lowpass(1000.0)
+        with pytest.raises(ConfigError):
+            SpecMask.from_golden(dut, [], tolerance_db=1.0)
+        with pytest.raises(ConfigError):
+            SpecMask.from_golden(dut, [100.0], tolerance_db=0.0)

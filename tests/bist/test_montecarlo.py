@@ -1,0 +1,82 @@
+"""Monte-Carlo yield analysis."""
+
+import pytest
+
+from repro.bist.limits import SpecMask
+from repro.bist.montecarlo import YieldReport, yield_analysis
+from repro.bist.program import BISTProgram
+from repro.dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+from repro.errors import ConfigError
+
+FREQS = [300.0, 1000.0, 2000.0]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    nominal = design_mfb_lowpass(1000.0)
+    golden = ActiveRCLowpass(nominal)
+    mask = SpecMask.from_golden(golden, FREQS, tolerance_db=2.0)
+    program = BISTProgram(mask, FREQS, m_periods=40)
+    return nominal, mask, program
+
+
+class TestYield:
+    def test_tight_lot_all_pass(self, setup):
+        nominal, mask, program = setup
+        report = yield_analysis(
+            nominal, mask, program, n_devices=8, component_sigma=0.002, seed=1
+        )
+        assert report.test_yield == 1.0
+        assert report.true_yield == 1.0
+        assert report.escape_rate == 0.0
+
+    def test_loose_lot_loses_yield(self, setup):
+        nominal, mask, program = setup
+        tight = yield_analysis(
+            nominal, mask, program, n_devices=12, component_sigma=0.002, seed=2
+        )
+        loose = yield_analysis(
+            nominal, mask, program, n_devices=12, component_sigma=0.08, seed=2
+        )
+        assert loose.test_yield < tight.test_yield
+
+    def test_verdicts_track_truth(self, setup):
+        """With a competent test, escapes + overkill stay a small
+        fraction of the lot even at meaningful spread."""
+        nominal, mask, program = setup
+        report = yield_analysis(
+            nominal, mask, program, n_devices=16, component_sigma=0.03, seed=3
+        )
+        assert report.escape_rate + report.overkill_rate <= 0.25
+
+    def test_ambiguous_policy(self, setup):
+        nominal, mask, program = setup
+        strict = yield_analysis(
+            nominal, mask, program, n_devices=10, component_sigma=0.04,
+            seed=4, ambiguous_passes=False,
+        )
+        lenient = YieldReport(trials=strict.trials, ambiguous_passes=True)
+        assert lenient.test_yield >= strict.test_yield
+
+    def test_reproducible(self, setup):
+        nominal, mask, program = setup
+        a = yield_analysis(nominal, mask, program, n_devices=5,
+                           component_sigma=0.02, seed=7)
+        b = yield_analysis(nominal, mask, program, n_devices=5,
+                           component_sigma=0.02, seed=7)
+        assert [t.verdict for t in a.trials] == [t.verdict for t in b.trials]
+
+    def test_validation(self, setup):
+        nominal, mask, program = setup
+        with pytest.raises(ConfigError):
+            yield_analysis(nominal, mask, program, n_devices=0)
+        with pytest.raises(ConfigError):
+            yield_analysis(nominal, mask, program, component_sigma=-0.1)
+
+
+class TestReportArithmetic:
+    def test_empty_report(self):
+        report = YieldReport(trials=(), ambiguous_passes=False)
+        assert report.test_yield == 0.0
+        assert report.escape_rate == 0.0
+        assert report.ambiguous_rate == 0.0

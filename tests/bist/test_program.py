@@ -1,0 +1,73 @@
+"""Go/no-go BIST programs with interval-aware verdicts."""
+
+import pytest
+
+from repro.bist.limits import SpecMask
+from repro.bist.program import BISTProgram
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.errors import ConfigError
+
+FREQS = [300.0, 1000.0, 2000.0]
+
+
+@pytest.fixture(scope="module")
+def golden_dut():
+    return ActiveRCLowpass.from_specs(cutoff=1000.0)
+
+
+@pytest.fixture(scope="module")
+def mask(golden_dut):
+    return SpecMask.from_golden(golden_dut, FREQS, tolerance_db=2.0)
+
+
+class TestVerdicts:
+    def test_good_device_passes(self, golden_dut, mask):
+        program = BISTProgram(mask, FREQS, m_periods=40)
+        analyzer = NetworkAnalyzer(golden_dut, AnalyzerConfig.ideal(m_periods=40))
+        report = program.run(analyzer)
+        assert report.verdict == "pass"
+        assert all(p.verdict == "pass" for p in report.points)
+
+    def test_gross_fault_fails(self, golden_dut, mask):
+        program = BISTProgram(mask, FREQS, m_periods=40)
+        faulty = golden_dut.with_fault("c2", 1.0)  # cutoff shifted hard
+        analyzer = NetworkAnalyzer(faulty, AnalyzerConfig.ideal(m_periods=40))
+        report = program.run(analyzer)
+        assert report.verdict == "fail"
+        assert len(report.failed_points) >= 1
+
+    def test_marginal_device_can_be_ambiguous(self, golden_dut):
+        """A device sitting exactly on the limit with a wide measurement
+        interval must be flagged inconclusive, not passed."""
+        tight_mask = SpecMask.from_golden(golden_dut, [1000.0], tolerance_db=0.05)
+        program = BISTProgram(tight_mask, [1000.0], m_periods=4)
+        analyzer = NetworkAnalyzer(golden_dut, AnalyzerConfig.ideal(m_periods=4))
+        report = program.run(analyzer)
+        assert report.verdict in ("ambiguous", "pass")
+        # With M = 4 the interval is ~0.5 dB wide: ambiguity expected.
+        point = report.points[0]
+        width = point.gain_db_upper - point.gain_db_lower
+        assert width > 0.05
+
+    def test_auto_calibration(self, golden_dut, mask):
+        program = BISTProgram(mask, FREQS, m_periods=40)
+        analyzer = NetworkAnalyzer(golden_dut, AnalyzerConfig.ideal(m_periods=40))
+        assert analyzer.calibration is None
+        program.run(analyzer)
+        assert analyzer.calibration is not None
+
+
+class TestValidation:
+    def test_uncovered_frequency_rejected(self, mask):
+        with pytest.raises(ConfigError):
+            BISTProgram(mask, [123.0], m_periods=40)
+
+    def test_empty_frequencies(self, mask):
+        with pytest.raises(ConfigError):
+            BISTProgram(mask, [], m_periods=40)
+
+    def test_tiny_window(self, mask):
+        with pytest.raises(ConfigError):
+            BISTProgram(mask, FREQS, m_periods=1)

@@ -1,0 +1,76 @@
+"""Integer clock divider behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocking.dividers import FrequencyDivider
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            FrequencyDivider(0)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigError):
+            FrequencyDivider(2.5)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ConfigError):
+            FrequencyDivider(2).output_levels(-1)
+
+
+class TestDivideBySix:
+    """The analyzer's 1:6 generator-clock divider."""
+
+    def test_output_frequency(self):
+        assert FrequencyDivider(6).output_frequency(6e6) == pytest.approx(1e6)
+
+    def test_levels_repeat_every_six(self):
+        levels = FrequencyDivider(6).output_levels(24)
+        assert np.array_equal(levels[:6], levels[6:12])
+        assert np.array_equal(levels[:6], levels[18:24])
+
+    def test_even_ratio_has_50_percent_duty(self):
+        levels = FrequencyDivider(6).output_levels(600)
+        assert np.mean(levels) == pytest.approx(0.5)
+
+    def test_rising_edges_every_six_cycles(self):
+        edges = FrequencyDivider(6).rising_edges(60)
+        assert np.array_equal(edges, np.arange(0, 60, 6))
+
+    def test_cycle_index(self):
+        idx = FrequencyDivider(6).cycle_index(13)
+        assert list(idx) == [0] * 6 + [1] * 6 + [2]
+
+
+class TestOddRatios:
+    def test_divide_by_three_duty(self):
+        levels = FrequencyDivider(3).output_levels(300)
+        assert np.mean(levels) == pytest.approx(2.0 / 3.0)
+
+    def test_divide_by_one_always_high(self):
+        assert np.all(FrequencyDivider(1).output_levels(10) == 1)
+
+
+@given(st.integers(min_value=2, max_value=32), st.integers(min_value=0, max_value=200))
+def test_edge_count_matches_ratio(ratio, cycles):
+    divider = FrequencyDivider(ratio)
+    edges = divider.rising_edges(cycles)
+    expected = (cycles + ratio - 1) // ratio  # one edge per output period start
+    assert len(edges) == expected
+
+
+def test_divide_by_one_output_is_constant_high():
+    # A counter-based divide-by-1 holds its output high: exactly one
+    # rising edge at reset.
+    divider = FrequencyDivider(1)
+    assert len(divider.rising_edges(10)) == 1
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_output_frequency_ratio(ratio):
+    divider = FrequencyDivider(ratio)
+    assert divider.output_frequency(96e3) == pytest.approx(96e3 / ratio)

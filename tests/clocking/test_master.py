@@ -1,0 +1,90 @@
+"""Clock tree: the paper's fixed-ratio single-clock architecture."""
+
+import pytest
+
+from repro.clocking.master import (
+    ClockTree,
+    GENERATOR_DIVIDER,
+    GENERATOR_STEPS,
+    MasterClock,
+    OVERSAMPLING_RATIO,
+)
+from repro.errors import ConfigError, TimingError
+
+
+class TestConstants:
+    def test_divider_is_six(self):
+        assert GENERATOR_DIVIDER == 6
+
+    def test_steps_are_sixteen(self):
+        assert GENERATOR_STEPS == 16
+
+    def test_oversampling_is_96(self):
+        # "the oversampling ratio in the modulation, N=feva/fwave, is
+        # set, by construction, to N=96"
+        assert OVERSAMPLING_RATIO == 96
+
+
+class TestMasterClock:
+    def test_period(self):
+        assert MasterClock(1e6).period == pytest.approx(1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            MasterClock(0.0)
+        with pytest.raises(ConfigError):
+            MasterClock(-1.0)
+
+    def test_for_fwave(self):
+        clk = MasterClock.for_fwave(1000.0)
+        assert clk.feva == pytest.approx(96_000.0)
+
+    def test_for_fgen(self):
+        clk = MasterClock.for_fgen(1e6)
+        assert clk.feva == pytest.approx(6e6)
+
+
+class TestClockTree:
+    def test_paper_fig8_frequencies(self):
+        # Fig. 8: 62.5 kHz tone implies fgen = 1 MHz, feva = 6 MHz.
+        tree = ClockTree.from_fwave(62.5e3)
+        assert tree.fgen == pytest.approx(1e6)
+        assert tree.feva == pytest.approx(6e6)
+
+    def test_ratios_fixed_for_any_master(self):
+        for feva in (1e3, 96e3, 6e6, 123456.7):
+            tree = ClockTree.from_feva(feva)
+            assert tree.feva / tree.fgen == pytest.approx(6.0)
+            assert tree.fgen / tree.fwave == pytest.approx(16.0)
+            assert tree.feva / tree.fwave == pytest.approx(96.0)
+
+    def test_samples_for_periods(self):
+        tree = ClockTree.from_fwave(1000.0)
+        assert tree.samples_for_periods(200) == 19200
+
+    def test_gen_steps_for_periods(self):
+        tree = ClockTree.from_fwave(1000.0)
+        assert tree.gen_steps_for_periods(3) == 48
+
+    def test_negative_periods_raise(self):
+        tree = ClockTree.from_fwave(1000.0)
+        with pytest.raises(ConfigError):
+            tree.samples_for_periods(-1)
+        with pytest.raises(ConfigError):
+            tree.gen_steps_for_periods(-2)
+
+    def test_tone_period(self):
+        tree = ClockTree.from_fwave(1000.0)
+        assert tree.tone_period == pytest.approx(1e-3)
+
+    def test_coherence_guard_accepts_master_clock(self):
+        tree = ClockTree.from_fwave(1000.0)
+        tree.assert_coherent_with(96_000.0)  # no raise
+
+    def test_coherence_guard_rejects_foreign_clock(self):
+        tree = ClockTree.from_fwave(1000.0)
+        with pytest.raises(TimingError):
+            tree.assert_coherent_with(44_100.0)
+
+    def test_samples_per_gen_step(self):
+        assert ClockTree.from_fwave(1.0).samples_per_gen_step == 6

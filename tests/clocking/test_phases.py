@@ -1,0 +1,73 @@
+"""Two-phase non-overlapping clock generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocking.phases import NonOverlappingPhases
+from repro.errors import ConfigError, TimingError
+
+
+class TestValidation:
+    def test_too_few_subdivisions(self):
+        with pytest.raises(ConfigError):
+            NonOverlappingPhases(subdivisions=3)
+
+    def test_zero_guard(self):
+        with pytest.raises(ConfigError):
+            NonOverlappingPhases(guard=0)
+
+    def test_guard_swallows_period(self):
+        with pytest.raises(ConfigError):
+            NonOverlappingPhases(subdivisions=4, guard=2)
+
+
+class TestRendering:
+    def test_lengths(self):
+        phi1, phi2 = NonOverlappingPhases().render(5)
+        assert len(phi1) == len(phi2) == 40
+
+    def test_phases_never_overlap_default(self):
+        phi1, phi2 = NonOverlappingPhases().render(10)
+        NonOverlappingPhases.validate_non_overlap(phi1, phi2)
+
+    def test_both_phases_present_each_period(self):
+        gen = NonOverlappingPhases(subdivisions=8, guard=1)
+        phi1, phi2 = gen.render(1)
+        assert np.sum(phi1) >= 1
+        assert np.sum(phi2) >= 1
+
+    def test_zero_periods(self):
+        phi1, phi2 = NonOverlappingPhases().render(0)
+        assert len(phi1) == 0 and len(phi2) == 0
+
+    def test_duty_cycles_sum_below_one(self):
+        d1, d2 = NonOverlappingPhases(subdivisions=10, guard=2).duty_cycles()
+        assert d1 + d2 < 1.0
+
+
+class TestValidateNonOverlap:
+    def test_detects_overlap(self):
+        phi1 = np.array([1, 1, 0, 0])
+        phi2 = np.array([0, 1, 1, 0])
+        with pytest.raises(TimingError):
+            NonOverlappingPhases.validate_non_overlap(phi1, phi2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            NonOverlappingPhases.validate_non_overlap(
+                np.zeros(4), np.zeros(5)
+            )
+
+
+@given(
+    st.integers(min_value=4, max_value=32),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=8),
+)
+def test_generated_phases_always_non_overlapping(subdivisions, guard, periods):
+    if 2 * guard >= subdivisions:
+        return
+    gen = NonOverlappingPhases(subdivisions=subdivisions, guard=guard)
+    phi1, phi2 = gen.render(periods)
+    NonOverlappingPhases.validate_non_overlap(phi1, phi2)

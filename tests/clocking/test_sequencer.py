@@ -1,0 +1,163 @@
+"""Control sequences: Fig. 2c pattern and the q_k modulation bits."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocking.sequencer import (
+    GeneratorSequence,
+    ModulationSequence,
+    capacitor_weight,
+)
+from repro.errors import ConfigError
+
+
+class TestCapacitorWeights:
+    def test_paper_equation_2(self):
+        # CI_k = 2 sin(k pi / 8)
+        for k in range(5):
+            assert capacitor_weight(k) == pytest.approx(2 * math.sin(k * math.pi / 8))
+
+    def test_zero_slot_is_zero(self):
+        assert capacitor_weight(0) == 0.0
+
+    def test_max_weight_is_two(self):
+        assert capacitor_weight(4) == pytest.approx(2.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            capacitor_weight(5)
+        with pytest.raises(ConfigError):
+            capacitor_weight(-1)
+
+
+class TestGeneratorSequence:
+    def test_quantized_weight_is_sampled_sine(self):
+        # The pattern must synthesize exactly 2 sin(2 pi n / 16).
+        seq = GeneratorSequence()
+        n = np.arange(64)
+        expected = 2.0 * np.sin(2.0 * np.pi * n / 16.0)
+        assert np.allclose(seq.quantized_weight(n), expected, atol=1e-12)
+
+    def test_pattern_period_is_16(self):
+        seq = GeneratorSequence()
+        n = np.arange(32)
+        assert np.array_equal(seq.cap_index(n[:16]), seq.cap_index(n[16:]))
+
+    def test_polarity_halves(self):
+        seq = GeneratorSequence()
+        polarity = seq.polarity(np.arange(16))
+        assert np.all(polarity[:8] == 1)
+        assert np.all(polarity[8:] == -1)
+
+    def test_cap_index_triangle(self):
+        seq = GeneratorSequence()
+        assert list(seq.cap_index(np.arange(8))) == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_one_hot_rows(self):
+        seq = GeneratorSequence()
+        hot = seq.one_hot(16)
+        # k=0 slots (n = 0 and n = 8) have no line asserted.
+        assert hot[0].sum() == 0
+        assert hot[8].sum() == 0
+        # Every other row asserts exactly one of c1..c4.
+        for n in range(16):
+            if n % 8 != 0:
+                assert hot[n].sum() == 1
+
+    def test_one_hot_selects_correct_cap(self):
+        seq = GeneratorSequence()
+        hot = seq.one_hot(16)
+        idx = seq.cap_index(np.arange(16))
+        for n in range(16):
+            if idx[n] > 0:
+                assert hot[n, idx[n] - 1] == 1
+
+
+class TestModulationSequence:
+    def test_dc_configuration_is_all_ones(self):
+        seq = ModulationSequence(96, 0)
+        q1, q2 = seq.pair(192)
+        assert np.all(q1 == 1) and np.all(q2 == 1)
+
+    def test_k1_period_is_96(self):
+        seq = ModulationSequence(96, 1)
+        q1 = seq.in_phase(np.arange(192))
+        assert np.array_equal(q1[:96], q1[96:])
+        assert np.all(q1[:48] == 1)
+        assert np.all(q1[48:96] == -1)
+
+    def test_quadrature_is_quarter_shifted(self):
+        seq = ModulationSequence(96, 1)
+        n = np.arange(96)
+        assert np.array_equal(seq.quadrature(n), seq.in_phase(n - 24))
+
+    def test_k3_quarter_shift(self):
+        seq = ModulationSequence(96, 3)
+        assert seq.quarter_shift == 8
+        assert seq.samples_per_square_period == 32
+
+    def test_square_waves_are_balanced(self):
+        for k in (1, 2, 3, 4):
+            seq = ModulationSequence(96, k)
+            q1, q2 = seq.pair(96)
+            assert q1.sum() == 0
+            assert q2.sum() == 0
+
+    def test_infeasible_harmonic_raises(self):
+        # N % 4k != 0: k=5 at N=96 -> 96/20 not integer.
+        with pytest.raises(ConfigError):
+            ModulationSequence(96, 5)
+
+    def test_paper_feasibility_condition_message(self):
+        with pytest.raises(ConfigError, match="divisible by 4k"):
+            ModulationSequence(96, 7)
+
+    def test_allowed_harmonics_at_96(self):
+        assert ModulationSequence.allowed_harmonics(96) == [1, 2, 3, 4, 6, 8, 12, 24]
+
+    def test_allowed_harmonics_with_cap(self):
+        assert ModulationSequence.allowed_harmonics(96, k_max=4) == [1, 2, 3, 4]
+
+    def test_in_phase_matches_sign_of_sine_away_from_crossings(self):
+        for k in (1, 2, 3):
+            seq = ModulationSequence(96, k)
+            n = np.arange(96)
+            s = np.sin(2 * np.pi * k * n / 96)
+            interior = np.abs(s) > 1e-9
+            assert np.array_equal(
+                seq.in_phase(n)[interior], np.sign(s[interior]).astype(int)
+            )
+
+    def test_crossing_convention_half_open(self):
+        # +1 at the rising crossing (start of period), -1 at the falling
+        # crossing (start of second half): the half-open convention.
+        seq = ModulationSequence(96, 1)
+        assert seq.in_phase(np.array([0]))[0] == 1
+        assert seq.in_phase(np.array([48]))[0] == -1
+
+
+class TestOrthogonality:
+    """The square-wave pair's correlation structure."""
+
+    def test_in_phase_and_quadrature_are_orthogonal(self):
+        for k in (1, 2, 3, 4):
+            seq = ModulationSequence(96, k)
+            q1, q2 = seq.pair(96)
+            assert int(np.dot(q1.astype(int), q2.astype(int))) == 0
+
+    @given(st.sampled_from([1, 2, 3, 4, 6, 8]), st.integers(min_value=1, max_value=5))
+    def test_different_harmonics_uncorrelated(self, k, periods):
+        seq_k = ModulationSequence(96, k)
+        n = 96 * periods
+        qk = seq_k.in_phase(np.arange(n)).astype(int)
+        for other in (1, 2, 3, 4):
+            if other == k:
+                continue
+            qo = ModulationSequence(96, other).in_phase(np.arange(n)).astype(int)
+            # Orthogonal unless one is an odd multiple of the other.
+            ratio = max(k, other) / min(k, other)
+            if not (ratio == int(ratio) and int(ratio) % 2 == 1):
+                assert np.dot(qk, qo) == 0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import ClockTree
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.evaluator.evaluator import SinewaveEvaluator
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(20080310)
+
+
+@pytest.fixture
+def clock_1khz():
+    """The analyzer clock tree for a 1 kHz tone (feva = 96 kHz)."""
+    return ClockTree.from_fwave(1000.0)
+
+
+@pytest.fixture
+def evaluator():
+    """An ideal evaluator with the paper's parameters (N=96, Vref=0.5)."""
+    return SinewaveEvaluator()
+
+
+@pytest.fixture
+def paper_dut():
+    """The paper's demonstrator DUT: 1 kHz active-RC low-pass."""
+    return ActiveRCLowpass.from_specs(cutoff=1000.0)
+
+
+def coherent_tone(harmonic: int, amplitude: float, phase: float, m_periods: int,
+                  oversampling: int = 96, offset: float = 0.0) -> np.ndarray:
+    """A tone exactly on the evaluation grid (helper, not a fixture)."""
+    n = np.arange(m_periods * oversampling)
+    return offset + amplitude * np.sin(
+        2.0 * np.pi * harmonic * n / oversampling + phase
+    )

@@ -1,0 +1,80 @@
+"""Bode result containers and truth comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.bode import BodeResult
+from repro.core.config import AnalyzerConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def bode_and_dut():
+    from repro.dut.active_rc import ActiveRCLowpass
+
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    an = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=40))
+    an.calibrate(1000.0)
+    points = an.bode([200.0, 500.0, 1000.0, 2000.0, 5000.0])
+    return BodeResult(tuple(points)), dut
+
+
+class TestContainer:
+    def test_length(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        assert len(bode) == 5
+
+    def test_frequencies_monotone_required(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        with pytest.raises(ConfigError):
+            BodeResult(tuple(reversed(bode.points)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            BodeResult(())
+
+    def test_iteration(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        assert [p.fwave for p in bode] == [200.0, 500.0, 1000.0, 2000.0, 5000.0]
+
+
+class TestSeries:
+    def test_gain_series_descends_past_cutoff(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        gains = bode.gain_db()
+        assert gains[0] > gains[2] > gains[4]
+
+    def test_bounds_bracket_values(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        lo, hi = bode.gain_db_bounds()
+        values = bode.gain_db()
+        assert np.all(lo <= values) and np.all(values <= hi)
+
+    def test_phase_series_monotone_for_lowpass(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        phases = bode.phase_deg()
+        assert np.all(np.diff(phases) < 0)
+
+
+class TestTruthComparison:
+    def test_gain_errors_small(self, bode_and_dut):
+        bode, dut = bode_and_dut
+        errors = np.abs(bode.gain_error_db(dut))
+        assert np.max(errors) < 0.15
+
+    def test_phase_errors_small(self, bode_and_dut):
+        bode, dut = bode_and_dut
+        errors = np.abs(bode.phase_error_deg(dut))
+        assert np.max(errors) < 1.0
+
+    def test_truth_within_bounds(self, bode_and_dut):
+        bode, dut = bode_and_dut
+        assert bode.truth_within_bounds(dut)
+
+    def test_truth_fails_for_wrong_dut(self, bode_and_dut):
+        bode, _ = bode_and_dut
+        from repro.dut.biquads import lowpass
+
+        wrong = lowpass(300.0)  # a very different cutoff
+        assert not bode.truth_within_bounds(wrong)

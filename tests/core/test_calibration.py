@@ -1,0 +1,59 @@
+"""Calibration result semantics (Section III.C)."""
+
+import pytest
+
+from repro.core.calibration import CalibrationResult
+from repro.errors import CalibrationError, ConfigError
+from repro.intervals import BoundedValue
+
+
+def make(amplitude=0.3, setting=0.3):
+    return CalibrationResult(
+        amplitude=BoundedValue.from_halfwidth(amplitude, 1e-3),
+        phase=BoundedValue.from_halfwidth(1.6, 1e-3),
+        fwave=1000.0,
+        m_periods=200,
+        stimulus_amplitude_setting=setting,
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        cal = make()
+        assert cal.fwave == 1000.0
+
+    def test_zero_amplitude_rejected(self):
+        with pytest.raises(CalibrationError):
+            CalibrationResult(
+                amplitude=BoundedValue(0.0, -1e-3, 0.0),
+                phase=BoundedValue.exact(0.0),
+                fwave=1000.0,
+                m_periods=200,
+                stimulus_amplitude_setting=0.3,
+            )
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            CalibrationResult(
+                amplitude=BoundedValue.exact(0.3),
+                phase=BoundedValue.exact(0.0),
+                fwave=0.0,
+                m_periods=200,
+                stimulus_amplitude_setting=0.3,
+            )
+
+
+class TestAmplitudeGuard:
+    def test_matching_setting_passes(self):
+        make().check_amplitude_setting(0.3)
+
+    def test_tolerance_window(self):
+        make().check_amplitude_setting(0.31)  # within 5 %
+
+    def test_mismatched_setting_raises(self):
+        with pytest.raises(CalibrationError):
+            make(setting=0.3).check_amplitude_setting(0.1)
+
+    def test_bad_expected(self):
+        with pytest.raises(ConfigError):
+            make().check_amplitude_setting(0.0)

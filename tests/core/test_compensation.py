@@ -1,0 +1,88 @@
+"""Architecture-derived systematic-error compensation constants."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import compensation as comp
+from repro.errors import ConfigError
+
+
+class TestZOH:
+    def test_phase_offset(self):
+        assert comp.zoh_phase_offset(96) == pytest.approx(math.pi / 96)
+
+    def test_droop_value(self):
+        # sinc(pi/96): about -0.0016 dB.
+        assert comp.zoh_fundamental_droop(96) == pytest.approx(0.999822, abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            comp.zoh_phase_offset(2)
+
+
+class TestBypassResponse:
+    def test_k1_self_leakage_magnitude(self):
+        """The design constant behind the calibration correction: the
+        bypass k=1 measurement over-reads by ~+1.26 %."""
+        mu = comp.bypass_response(1)
+        assert abs(mu) == pytest.approx(1.0126, abs=0.002)
+
+    def test_k1_leakage_is_real(self):
+        # The image phasors align with the fundamental for the symmetric
+        # 16-step pattern: no phase error on the bypass at k=1.
+        mu = comp.bypass_response(1)
+        assert abs(cmath.phase(mu)) < 1e-6
+
+    def test_higher_odd_harmonics_read_pure_leakage(self):
+        mu3 = comp.bypass_response(3)
+        assert 0.005 < abs(mu3) < 0.05
+
+    def test_even_harmonics_read_nothing(self):
+        assert abs(comp.bypass_response(2)) < 1e-9
+
+    def test_stimulus_leakage_relation(self):
+        lam1 = comp.stimulus_leakage(1)
+        assert lam1 == comp.bypass_response(1) - 1.0
+        lam3 = comp.stimulus_leakage(3)
+        assert lam3 == comp.bypass_response(3)
+
+    def test_clock_invariance_by_construction(self):
+        # The constant is cached per (k, caps): it cannot depend on the
+        # master clock because it is computed on a normalized clock.
+        a = comp.bypass_response(1)
+        b = comp.bypass_response(1)
+        assert a == b
+
+
+class TestLeakageBudget:
+    def test_k1_budget(self):
+        assert comp.leakage_budget(1) == pytest.approx(0.0126, abs=0.002)
+
+    def test_even_harmonics_zero(self):
+        # Images sit on odd orders only (up to FFT float residue).
+        assert comp.leakage_budget(2) < 1e-12
+        assert comp.leakage_budget(4) < 1e-12
+
+    def test_k3_budget_small(self):
+        assert 0.005 < comp.leakage_budget(3) < 0.05
+
+    def test_budget_bounds_realized_leakage(self):
+        # The realized leakage (aligned phasors for this pattern) must
+        # not exceed the worst-case budget.
+        assert abs(comp.stimulus_leakage(1)) <= comp.leakage_budget(1) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            comp.leakage_budget(0)
+        with pytest.raises(ConfigError):
+            comp.leakage_budget(1, oversampling_ratio=90)
+
+
+class TestCorrectedBypass:
+    def test_division_removes_known_leakage(self):
+        amp, phase = comp.corrected_bypass_phasor(0.3 * 1.0126, 0.5, harmonic=1)
+        assert amp == pytest.approx(0.3, abs=1e-3)
+        assert phase == pytest.approx(0.5, abs=1e-3)

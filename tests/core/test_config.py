@@ -1,0 +1,77 @@
+"""Analyzer configuration validation and factories."""
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.errors import ConfigError
+from repro.sc.mismatch import MismatchModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = AnalyzerConfig()
+        assert cfg.m_periods == 200  # the paper's Fig. 10 window
+
+    def test_odd_m_with_chopping_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(m_periods=201)
+
+    def test_odd_m_without_chopping_allowed(self):
+        cfg = AnalyzerConfig(m_periods=201, chopped=False)
+        assert cfg.m_periods == 201
+
+    def test_stimulus_must_fit_modulator_range(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(stimulus_amplitude=0.6, vref=0.5)
+
+    def test_bad_vref(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(vref=0.0)
+
+    def test_bad_settle(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(generator_settle_periods=-1)
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(dut_settle_tolerance=1.0)
+
+    def test_bad_budget_gain(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig(image_budget_gain=-1.0)
+
+
+class TestFactories:
+    def test_ideal_has_no_nonidealities(self):
+        cfg = AnalyzerConfig.ideal()
+        assert cfg.generator_opamp is None
+        assert cfg.mismatch is None
+        assert cfg.noise_seed is None
+
+    def test_typical_has_everything(self):
+        cfg = AnalyzerConfig.typical(seed=7)
+        assert cfg.generator_opamp is not None
+        assert isinstance(cfg.mismatch, MismatchModel)
+        assert cfg.mismatch.seed == 7
+        assert cfg.noise_seed == 7
+        assert cfg.random_modulator_state
+
+    def test_typical_overrides(self):
+        cfg = AnalyzerConfig.typical(m_periods=50)
+        assert cfg.m_periods == 50
+
+
+class TestCopies:
+    def test_with_m_periods(self):
+        cfg = AnalyzerConfig().with_m_periods(400)
+        assert cfg.m_periods == 400
+
+    def test_with_amplitude(self):
+        cfg = AnalyzerConfig().with_amplitude(0.1)
+        assert cfg.stimulus_amplitude == 0.1
+
+    def test_copies_are_validated(self):
+        with pytest.raises(ConfigError):
+            AnalyzerConfig().with_m_periods(13)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AnalyzerConfig().m_periods = 5

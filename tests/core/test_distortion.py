@@ -1,0 +1,85 @@
+"""Harmonic distortion measurement (the Fig. 10c experiment)."""
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.distortion import measure_distortion
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.nonlinear import WienerDUT, polynomial_for_distortion
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def distortion_report():
+    """The paper's setup: 800 mVpp, 1.6 kHz into a nonlinear 1 kHz LPF,
+    HD2/HD3 tuned near the measured -56/-65 dB levels, M = 400.
+
+    The evaluator carries a realistic trace of amplifier noise: harmonic
+    levels this deep sit at ~10 counts, where the noiseless modulator's
+    deterministic quantization error dominates; thermal noise dithers it
+    — exactly as in the silicon the paper measured.
+    """
+    from repro.sc.opamp import OpAmpModel
+
+    linear = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    stimulus_amplitude = 0.4  # 800 mVpp
+    output_fundamental = stimulus_amplitude * linear.gain_at(1600.0)
+    poly = polynomial_for_distortion(output_fundamental, hd2_db=-57.0, hd3_db=-64.5)
+    dut = WienerDUT(linear, poly)
+    analyzer = NetworkAnalyzer(
+        dut,
+        AnalyzerConfig.ideal(
+            stimulus_amplitude=stimulus_amplitude,
+            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+            noise_seed=10,
+        ),
+    )
+    return measure_distortion(analyzer, fwave=1600.0, m_periods=400), dut
+
+
+class TestReport:
+    def test_harmonic_levels_near_target(self, distortion_report):
+        report, _ = distortion_report
+        assert report.level_dbc(2).level_dbc.value == pytest.approx(-57.0, abs=1.5)
+        assert report.level_dbc(3).level_dbc.value == pytest.approx(-64.5, abs=2.5)
+
+    def test_agreement_with_oscilloscope(self, distortion_report):
+        """The paper's headline for Fig. 10c: 'the agreement between the
+        commercial system and the proposed network analyzer is
+        excellent' — within ~2 dB at these levels."""
+        report, _ = distortion_report
+        assert report.worst_agreement_db() < 2.0
+
+    def test_fundamental_amplitude_sane(self, distortion_report):
+        report, _ = distortion_report
+        # 0.4 V in, |H(1.6k)| ~ 0.36 for the Butterworth 1 kHz LPF.
+        assert report.fundamental_amplitude == pytest.approx(0.145, abs=0.02)
+
+    def test_rows_sorted(self, distortion_report):
+        report, _ = distortion_report
+        assert [r.harmonic for r in report.rows] == [2, 3]
+
+    def test_missing_harmonic_lookup(self, distortion_report):
+        report, _ = distortion_report
+        with pytest.raises(ConfigError):
+            report.level_dbc(5)
+
+
+class TestValidation:
+    def test_harmonics_must_be_distortion(self):
+        dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal())
+        with pytest.raises(ConfigError):
+            measure_distortion(analyzer, 1600.0, harmonics=(1, 2))
+
+
+class TestLinearDUTFloor:
+    def test_linear_dut_reads_deep_floor(self):
+        """A linear DUT has no distortion: the analyzer must report
+        levels far below the paper's measured -56 dB."""
+        dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(stimulus_amplitude=0.4))
+        report = measure_distortion(analyzer, 1600.0, m_periods=400)
+        for row in report.rows:
+            assert row.level_dbc.value < -70.0

@@ -1,0 +1,81 @@
+"""Dynamic-range characterization (the 70 dB headline)."""
+
+import math
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.dynamic_range import (
+    evaluator_dynamic_range,
+    system_dynamic_range,
+    theoretical_floor_dbc,
+)
+from repro.dut.base import PassthroughDUT
+from repro.errors import ConfigError
+
+
+class TestEvaluatorDynamicRange:
+    def test_exceeds_70db_at_m1000(self):
+        """Paper: 'the evaluator does not limit the dynamic range of the
+        network analyzer' — at M = 1000 it resolves tones 70+ dB down."""
+        result = evaluator_dynamic_range(
+            m_periods=1000, levels_dbc=(-40.0, -60.0, -70.0, -80.0)
+        )
+        assert result.dynamic_range_db >= 70.0
+
+    def test_shrinks_with_short_windows(self):
+        short = evaluator_dynamic_range(
+            m_periods=20, levels_dbc=(-30.0, -40.0, -50.0, -60.0, -70.0)
+        )
+        long = evaluator_dynamic_range(
+            m_periods=1000, levels_dbc=(-30.0, -40.0, -50.0, -60.0, -70.0)
+        )
+        assert long.dynamic_range_db >= short.dynamic_range_db
+
+    def test_probe_errors_monotone_in_level(self):
+        result = evaluator_dynamic_range(
+            m_periods=200, levels_dbc=(-30.0, -50.0, -70.0, -90.0)
+        )
+        errors = [p.error_db for p in result.probes]
+        # Deeper tones are harder: errors (roughly) increase.
+        assert errors[-1] >= errors[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            evaluator_dynamic_range(carrier_amplitude=0.6)  # > vref
+        with pytest.raises(ConfigError):
+            evaluator_dynamic_range(m_periods=999)  # odd
+
+
+class TestTheoreticalFloor:
+    def test_floor_scales_with_m(self):
+        f200 = theoretical_floor_dbc(200)
+        f1000 = theoretical_floor_dbc(1000)
+        assert f1000 < f200  # deeper floor with longer windows
+        assert f1000 - f200 == pytest.approx(-20 * math.log10(5), abs=0.1)
+
+    def test_m1000_floor_deeper_than_paper_claim(self):
+        # eps-limited floor at M=1000 sits below the 70 dB system claim.
+        assert theoretical_floor_dbc(1000) < -75.0
+
+
+class TestSystemDynamicRange:
+    def test_ideal_system_exceeds_70db(self):
+        an = NetworkAnalyzer(PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200))
+        dr = system_dynamic_range(an, 1000.0)
+        assert dr > 70.0
+
+    def test_typical_system_near_70db(self):
+        """The paper's headline number: analog non-idealities (mismatch,
+        noise) cap the dynamic range around 70 dB."""
+        an = NetworkAnalyzer(
+            PassthroughDUT(), AnalyzerConfig.typical(seed=2008, m_periods=200)
+        )
+        dr = system_dynamic_range(an, 1000.0)
+        assert 55.0 < dr < 90.0
+
+    def test_validation(self):
+        an = NetworkAnalyzer(PassthroughDUT(), AnalyzerConfig.ideal(m_periods=20))
+        with pytest.raises(ConfigError):
+            system_dynamic_range(an, 1000.0, harmonics=(1,))

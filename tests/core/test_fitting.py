@@ -1,0 +1,94 @@
+"""Parameter extraction from Bode measurements."""
+
+import math
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.bode import BodeResult
+from repro.core.config import AnalyzerConfig
+from repro.core.fitting import fit_second_order_lowpass, parameter_screen
+from repro.core.sweep import FrequencySweepPlan
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.errors import ConfigError, EvaluationError
+
+
+def measure_bode(dut, n_points=13, m_periods=40):
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=m_periods))
+    analyzer.calibrate(1000.0)
+    plan = FrequencySweepPlan(100.0, 10_000.0, n_points)
+    return BodeResult(tuple(analyzer.bode(plan.frequencies())))
+
+
+@pytest.fixture(scope="module")
+def nominal_bode():
+    return measure_bode(ActiveRCLowpass.from_specs(cutoff=1000.0))
+
+
+class TestFit:
+    def test_recovers_design_parameters(self, nominal_bode):
+        fit = fit_second_order_lowpass(nominal_bode)
+        assert fit.f0 == pytest.approx(1000.0, rel=0.02)
+        assert fit.q == pytest.approx(1 / math.sqrt(2), rel=0.05)
+        assert fit.gain == pytest.approx(1.0, rel=0.02)
+
+    def test_residual_small(self, nominal_bode):
+        # RMS misfit includes the noisy deep-stopband points (unweighted
+        # in the statistic, downweighted in the fit): ~0.3 dB.
+        fit = fit_second_order_lowpass(nominal_bode)
+        assert fit.residual_db_rms < 0.5
+
+    def test_recovers_shifted_cutoff(self):
+        dut = ActiveRCLowpass.from_specs(cutoff=2500.0)
+        fit = fit_second_order_lowpass(measure_bode(dut))
+        assert fit.f0 == pytest.approx(2500.0, rel=0.03)
+
+    def test_recovers_gain(self):
+        dut = ActiveRCLowpass.from_specs(cutoff=1000.0, gain=2.0)
+        an = NetworkAnalyzer(
+            dut, AnalyzerConfig.ideal(m_periods=40, stimulus_amplitude=0.2)
+        )
+        an.calibrate(1000.0)
+        plan = FrequencySweepPlan(100.0, 10_000.0, 13)
+        bode = BodeResult(tuple(an.bode(plan.frequencies())))
+        fit = fit_second_order_lowpass(bode)
+        assert fit.gain_db == pytest.approx(6.02, abs=0.3)
+
+    def test_too_few_points_rejected(self, nominal_bode):
+        short = BodeResult(nominal_bode.points[:3])
+        with pytest.raises(EvaluationError):
+            fit_second_order_lowpass(short)
+
+
+class TestParameterScreen:
+    def test_good_device_passes(self, nominal_bode):
+        screen = parameter_screen(
+            nominal_bode,
+            f0_limits=(900.0, 1100.0),
+            q_limits=(0.6, 0.85),
+            gain_db_limits=(-0.5, 0.5),
+        )
+        assert screen.passed
+        assert screen.f0_ok and screen.q_ok and screen.gain_ok
+
+    def test_shifted_device_fails_f0(self):
+        dut = ActiveRCLowpass.from_specs(cutoff=1400.0)
+        bode = measure_bode(dut)
+        screen = parameter_screen(
+            bode,
+            f0_limits=(900.0, 1100.0),
+            q_limits=(0.5, 1.0),
+            gain_db_limits=(-1.0, 1.0),
+        )
+        assert not screen.passed
+        assert not screen.f0_ok
+        assert screen.gain_ok
+
+    def test_limit_validation(self, nominal_bode):
+        with pytest.raises(ConfigError):
+            parameter_screen(
+                nominal_bode,
+                f0_limits=(1100.0, 900.0),
+                q_limits=(0.5, 1.0),
+                gain_db_limits=(-1.0, 1.0),
+            )

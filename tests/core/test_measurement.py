@@ -1,0 +1,105 @@
+"""Measurement containers and the dB interval mapping."""
+
+import math
+
+import pytest
+
+from repro.core.measurement import (
+    GainPhaseMeasurement,
+    HarmonicDistortionMeasurement,
+    StimulusMeasurement,
+    bounded_db,
+)
+from repro.errors import ConfigError
+from repro.evaluator.signatures import SignaturePair
+from repro.intervals import BoundedValue
+
+
+def sig(k=1):
+    return SignaturePair(i1=100, i2=-50, harmonic=k, m_periods=20,
+                         oversampling_ratio=96, vref=0.5)
+
+
+class TestBoundedDb:
+    def test_unity_is_zero_db(self):
+        bv = bounded_db(BoundedValue.exact(1.0))
+        assert bv.value == pytest.approx(0.0)
+
+    def test_monotone_endpoint_mapping(self):
+        bv = bounded_db(BoundedValue(1.0, 0.5, 2.0))
+        assert bv.lower == pytest.approx(-6.02, abs=0.01)
+        assert bv.upper == pytest.approx(6.02, abs=0.01)
+
+    def test_zero_lower_clamps_to_floor(self):
+        bv = bounded_db(BoundedValue(0.001, 0.0, 0.01))
+        assert bv.lower == -200.0
+
+    def test_floor_configurable(self):
+        bv = bounded_db(BoundedValue(0.001, 0.0, 0.01), floor_db=-120.0)
+        assert bv.lower == -120.0
+
+
+class TestStimulusMeasurement:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StimulusMeasurement(
+                fwave=0.0,
+                amplitude=BoundedValue.exact(0.3),
+                phase=BoundedValue.exact(0.0),
+                signature=sig(),
+            )
+
+    def test_dbm_fs_view(self):
+        m = StimulusMeasurement(
+            fwave=1000.0,
+            amplitude=BoundedValue.exact(0.2),
+            phase=BoundedValue.exact(0.0),
+            signature=sig(),
+        )
+        assert m.amplitude_dbm_fs == pytest.approx(-11.0, abs=0.05)
+
+
+class TestGainPhase:
+    def make(self, gain=0.5, phase=-1.0):
+        stim = StimulusMeasurement(
+            fwave=1000.0,
+            amplitude=BoundedValue.exact(0.3),
+            phase=BoundedValue.exact(0.0),
+            signature=sig(),
+        )
+        return GainPhaseMeasurement(
+            fwave=1000.0,
+            gain=BoundedValue.from_halfwidth(gain, 0.01),
+            phase_rad=BoundedValue.from_halfwidth(phase, 0.02),
+            output=stim,
+            reference=stim,
+        )
+
+    def test_gain_db(self):
+        m = self.make(gain=0.5)
+        assert m.gain_db.value == pytest.approx(-6.02, abs=0.01)
+
+    def test_phase_deg(self):
+        m = self.make(phase=-math.pi / 2)
+        assert m.phase_deg.value == pytest.approx(-90.0)
+        assert m.phase_deg.width == pytest.approx(0.04 * 180 / math.pi)
+
+
+class TestDistortionMeasurement:
+    def test_agreement(self):
+        m = HarmonicDistortionMeasurement(
+            harmonic=2,
+            amplitude=BoundedValue.exact(1e-3),
+            level_dbc=BoundedValue.from_halfwidth(-56.0, 1.0),
+            reference_dbc=-58.0,
+        )
+        assert m.agreement_db == pytest.approx(2.0)
+
+    def test_harmonic_must_be_distortion(self):
+        with pytest.raises(ConfigError):
+            HarmonicDistortionMeasurement(
+                harmonic=1,
+                amplitude=BoundedValue.exact(1e-3),
+                level_dbc=BoundedValue.exact(-56.0),
+                reference_dbc=-58.0,
+            )

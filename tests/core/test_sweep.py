@@ -1,0 +1,48 @@
+"""Frequency sweep plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import FrequencySweepPlan, PAPER_MAX_FREQUENCY
+from repro.errors import ConfigError
+
+
+class TestPlan:
+    def test_log_spacing(self):
+        plan = FrequencySweepPlan(100.0, 10_000.0, 3)
+        freqs = plan.frequencies()
+        assert freqs[0] == pytest.approx(100.0)
+        assert freqs[1] == pytest.approx(1000.0)
+        assert freqs[2] == pytest.approx(10_000.0)
+
+    def test_master_clock_frequencies(self):
+        plan = FrequencySweepPlan(100.0, 1000.0, 2)
+        assert np.allclose(plan.master_clock_frequencies(), [9600.0, 96_000.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FrequencySweepPlan(1000.0, 100.0, 5)
+        with pytest.raises(ConfigError):
+            FrequencySweepPlan(100.0, 1000.0, 1)
+
+
+class TestPaperSweep:
+    def test_fig10_range(self):
+        plan = FrequencySweepPlan.paper_fig10()
+        freqs = plan.frequencies()
+        assert freqs[0] == pytest.approx(100.0)
+        assert freqs[-1] == pytest.approx(PAPER_MAX_FREQUENCY)
+        assert len(freqs) == 25
+
+    def test_around(self):
+        plan = FrequencySweepPlan.around(1000.0, decades=2.0, n_points=3)
+        freqs = plan.frequencies()
+        assert freqs[0] == pytest.approx(100.0)
+        assert freqs[1] == pytest.approx(1000.0)
+        assert freqs[2] == pytest.approx(10_000.0)
+
+    def test_around_validation(self):
+        with pytest.raises(ConfigError):
+            FrequencySweepPlan.around(0.0)
+        with pytest.raises(ConfigError):
+            FrequencySweepPlan.around(100.0, decades=0.0)

@@ -1,0 +1,61 @@
+"""Bounded THD measurement."""
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.core.thd import measure_thd
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.nonlinear import WienerDUT, polynomial_for_distortion
+from repro.errors import ConfigError
+from repro.sc.opamp import OpAmpModel
+
+
+@pytest.fixture(scope="module")
+def nonlinear_analyzer():
+    linear = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    level = 0.4 * linear.gain_at(1600.0)
+    dut = WienerDUT(linear, polynomial_for_distortion(level, -50.0, -55.0))
+    return NetworkAnalyzer(
+        dut,
+        AnalyzerConfig.ideal(
+            stimulus_amplitude=0.4,
+            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+            noise_seed=5,
+        ),
+    )
+
+
+class TestMeasureTHD:
+    def test_thd_level(self, nonlinear_analyzer):
+        report = measure_thd(nonlinear_analyzer, 1600.0, m_periods=400)
+        # HD2 = -50, HD3 = -55 -> THD ~ -48.8 dB.
+        expected = -48.8
+        assert report.thd_db.value == pytest.approx(expected, abs=1.5)
+        assert report.thd_db_positive == pytest.approx(-report.thd_db.value)
+
+    def test_harmonics_recorded(self, nonlinear_analyzer):
+        report = measure_thd(nonlinear_analyzer, 1600.0, m_periods=400)
+        assert set(report.harmonic_amplitudes) == {2, 3, 4}
+
+    def test_interval_contains_estimate(self, nonlinear_analyzer):
+        report = measure_thd(nonlinear_analyzer, 1600.0, m_periods=400)
+        assert report.thd_ratio.contains(report.thd_ratio.value)
+        assert report.thd_ratio.lower >= 0.0
+
+    def test_linear_dut_reads_deep_thd(self):
+        dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        an = NetworkAnalyzer(
+            dut,
+            AnalyzerConfig.ideal(
+                stimulus_amplitude=0.4,
+                evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+                noise_seed=6,
+            ),
+        )
+        report = measure_thd(an, 1600.0, m_periods=400)
+        assert report.thd_db.value < -60.0
+
+    def test_validation(self, nonlinear_analyzer):
+        with pytest.raises(ConfigError):
+            measure_thd(nonlinear_analyzer, 1600.0, n_harmonics=1)

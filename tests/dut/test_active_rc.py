@@ -1,0 +1,106 @@
+"""The paper's demonstrator DUT: MFB active-RC low-pass."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dut.active_rc import ActiveRCLowpass, FilterComponents, design_mfb_lowpass
+from repro.errors import ConfigError, FaultError
+
+
+class TestDesignEquations:
+    def test_design_hits_cutoff(self):
+        comps = design_mfb_lowpass(1000.0)
+        dut = ActiveRCLowpass(comps)
+        assert dut.cutoff == pytest.approx(1000.0, rel=1e-9)
+
+    def test_design_hits_q(self):
+        for q in (0.5, 1 / math.sqrt(2), 1.5):
+            dut = ActiveRCLowpass(design_mfb_lowpass(1000.0, q=q))
+            assert dut.q_factor == pytest.approx(q, rel=1e-9)
+
+    def test_design_hits_gain(self):
+        dut = ActiveRCLowpass(design_mfb_lowpass(1000.0, gain=2.0))
+        assert dut.dc_gain_magnitude == pytest.approx(2.0, rel=1e-9)
+
+    def test_components_positive(self):
+        comps = design_mfb_lowpass(1000.0)
+        for name in ("r1", "r2", "r3", "c1", "c2"):
+            assert getattr(comps, name) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            design_mfb_lowpass(0.0)
+        with pytest.raises(ConfigError):
+            design_mfb_lowpass(1000.0, q=-1.0)
+        with pytest.raises(ConfigError):
+            design_mfb_lowpass(1000.0, c1_margin=0.9)
+
+
+class TestFrequencyResponse:
+    def test_paper_dut_response(self, paper_dut):
+        # 1 kHz Butterworth: -3 dB at cutoff, -40 dB/decade after.
+        assert paper_dut.gain_db_at(1000.0) == pytest.approx(-3.01, abs=0.05)
+        assert paper_dut.gain_db_at(10_000.0) == pytest.approx(-40.0, abs=0.2)
+
+    def test_dc_gain_unity_positive(self, paper_dut):
+        # Default polarity folds away the MFB inversion: +1 at DC.
+        h0 = paper_dut.frequency_response([0.0])[0]
+        assert h0.real == pytest.approx(1.0, rel=1e-9)
+        assert paper_dut.phase_deg_at(10.0) == pytest.approx(0.0, abs=1.0)
+
+    def test_raw_polarity_inverts(self):
+        dut = ActiveRCLowpass(polarity=-1)
+        h0 = dut.frequency_response([0.0])[0]
+        assert h0.real == pytest.approx(-1.0, rel=1e-9)
+
+    def test_phase_approaches_minus_180(self, paper_dut):
+        phase = paper_dut.phase_deg_at(50_000.0)
+        assert phase == pytest.approx(-180.0, abs=8.0) or phase == pytest.approx(
+            180.0, abs=8.0
+        )
+
+    def test_process_delegates(self, paper_dut):
+        from repro.signals.sources import SineSource
+
+        wave = SineSource(100.0, 0.1).render(96 * 20, 9600.0)
+        out = paper_dut.process(wave)
+        assert len(out) == len(wave)
+
+    def test_settling_time_positive(self, paper_dut):
+        assert paper_dut.settling_time() > 0
+
+
+class TestComponentPerturbation:
+    def test_perturbed_single_component(self):
+        comps = design_mfb_lowpass(1000.0)
+        shifted = comps.perturbed("r2", 0.2)
+        assert shifted.r2 == pytest.approx(comps.r2 * 1.2)
+        assert shifted.r1 == comps.r1
+
+    def test_unknown_component(self):
+        comps = design_mfb_lowpass(1000.0)
+        with pytest.raises(FaultError):
+            comps.perturbed("r9", 0.1)
+
+    def test_fault_shifts_cutoff(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        faulty = dut.with_fault("c2", 0.5)
+        assert faulty.cutoff < dut.cutoff
+
+    def test_tolerance_draw(self):
+        comps = design_mfb_lowpass(1000.0)
+        rng = np.random.default_rng(0)
+        spread = comps.with_tolerance(0.01, rng)
+        assert spread.r1 != comps.r1
+        assert spread.r1 == pytest.approx(comps.r1, rel=0.1)
+
+    def test_invalid_polarity(self):
+        with pytest.raises(ConfigError):
+            ActiveRCLowpass(polarity=2)
+
+    def test_fault_name_in_label(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        faulty = dut.with_fault("r1", -0.2)
+        assert "r1" in faulty.name

@@ -1,0 +1,33 @@
+"""DUT base interface and the calibration passthrough."""
+
+import numpy as np
+import pytest
+
+from repro.dut.base import PassthroughDUT
+from repro.signals.waveform import Waveform
+
+
+class TestPassthrough:
+    def test_identity(self):
+        dut = PassthroughDUT()
+        wave = Waveform(np.arange(5.0), 96e3)
+        out = dut.process(wave)
+        assert np.array_equal(out.samples, wave.samples)
+
+    def test_flat_response(self):
+        dut = PassthroughDUT()
+        h = dut.frequency_response([10.0, 1000.0, 1e6])
+        assert np.allclose(h, 1.0)
+
+    def test_no_settling(self):
+        assert PassthroughDUT().settling_time() == 0.0
+
+    def test_sample_domain_flag(self):
+        # The bypass sees exact samples, not the held staircase.
+        assert PassthroughDUT.responds_continuous is False
+
+    def test_gain_helpers(self):
+        dut = PassthroughDUT()
+        assert dut.gain_at(123.0) == 1.0
+        assert dut.gain_db_at(123.0) == pytest.approx(0.0)
+        assert dut.phase_deg_at(123.0) == pytest.approx(0.0)

@@ -1,0 +1,70 @@
+"""Generic DUT catalog responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dut.biquads import bandpass, first_order_lowpass, highpass, lowpass, notch
+from repro.errors import ConfigError
+
+
+class TestLowpass:
+    def test_dc_gain(self):
+        assert lowpass(1000.0).dc_gain() == pytest.approx(1.0)
+
+    def test_cutoff_attenuation(self):
+        dut = lowpass(1000.0, q=1 / math.sqrt(2))
+        assert dut.gain_db_at(1000.0) == pytest.approx(-3.01, abs=0.05)
+
+    def test_gain_parameter(self):
+        assert lowpass(1000.0, gain=3.0).dc_gain() == pytest.approx(3.0)
+
+
+class TestHighpass:
+    def test_blocks_dc(self):
+        assert abs(highpass(1000.0).dc_gain()) < 1e-9
+
+    def test_passes_high(self):
+        assert highpass(1000.0).gain_at(50_000.0) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestBandpass:
+    def test_peak_at_center(self):
+        dut = bandpass(1000.0, q=5.0, gain=1.0)
+        assert dut.gain_at(1000.0) == pytest.approx(1.0, rel=1e-6)
+        assert dut.gain_at(100.0) < 0.2
+        assert dut.gain_at(10_000.0) < 0.2
+
+    def test_q_controls_width(self):
+        narrow = bandpass(1000.0, q=20.0)
+        wide = bandpass(1000.0, q=2.0)
+        assert narrow.gain_at(1200.0) < wide.gain_at(1200.0)
+
+
+class TestNotch:
+    def test_null_at_center(self):
+        dut = notch(1000.0, q=5.0)
+        assert dut.gain_at(1000.0) < 1e-6
+
+    def test_unity_away(self):
+        dut = notch(1000.0, q=5.0)
+        assert dut.gain_at(10.0) == pytest.approx(1.0, rel=1e-3)
+        assert dut.gain_at(100_000.0) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestFirstOrder:
+    def test_pole(self):
+        dut = first_order_lowpass(1000.0)
+        assert dut.gain_db_at(1000.0) == pytest.approx(-3.01, abs=0.05)
+        assert dut.order == 1
+
+
+class TestValidation:
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            lowpass(0.0)
+
+    def test_bad_q(self):
+        with pytest.raises(ConfigError):
+            bandpass(1000.0, q=0.0)

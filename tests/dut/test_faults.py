@@ -1,0 +1,55 @@
+"""Parametric fault models."""
+
+import pytest
+
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import ParametricFault, fault_catalog
+from repro.errors import ConfigError
+
+
+class TestParametricFault:
+    def test_apply(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        fault = ParametricFault("c1", 0.5)
+        faulty = fault.apply(dut)
+        assert faulty.components.c1 == pytest.approx(dut.components.c1 * 1.5)
+
+    def test_label(self):
+        assert ParametricFault("r2", 0.2).label == "r2+20%"
+        assert ParametricFault("c1", -0.5).label == "c1-50%"
+
+    def test_unknown_component(self):
+        with pytest.raises(ConfigError):
+            ParametricFault("rx", 0.2)
+
+    def test_full_short_rejected(self):
+        with pytest.raises(ConfigError):
+            ParametricFault("r1", -1.0)
+
+    def test_fault_changes_response(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        faulty = ParametricFault("r3", 0.5).apply(dut)
+        assert faulty.gain_db_at(1000.0) != pytest.approx(
+            dut.gain_db_at(1000.0), abs=0.1
+        )
+
+
+class TestCatalog:
+    def test_default_size(self):
+        # 5 components x 4 deviations.
+        assert len(fault_catalog()) == 20
+
+    def test_custom_deviations(self):
+        catalog = fault_catalog(deviations=(0.1,))
+        assert len(catalog) == 5
+        assert all(f.relative_change == 0.1 for f in catalog)
+
+    def test_empty_deviations_rejected(self):
+        with pytest.raises(ConfigError):
+            fault_catalog(deviations=())
+
+    def test_all_faults_applicable(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        for fault in fault_catalog():
+            faulty = fault.apply(dut)
+            assert faulty.cutoff > 0

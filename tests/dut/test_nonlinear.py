@@ -1,0 +1,105 @@
+"""Nonlinear DUT wrappers and the distortion-targeting helper."""
+
+import numpy as np
+import pytest
+
+from repro.dut.biquads import lowpass
+from repro.dut.nonlinear import (
+    HammersteinDUT,
+    PolynomialNonlinearity,
+    WienerDUT,
+    polynomial_for_distortion,
+)
+from repro.errors import ConfigError
+from repro.signals.sources import SineSource
+from repro.signals.spectrum import Spectrum
+
+
+class TestPolynomial:
+    def test_identity(self):
+        poly = PolynomialNonlinearity.identity()
+        x = np.linspace(-1, 1, 11)
+        assert np.allclose(poly(x), x)
+
+    def test_evaluation(self):
+        poly = PolynomialNonlinearity([1.0, 2.0, 3.0])  # 1 + 2x + 3x^2
+        assert poly(np.array([2.0]))[0] == pytest.approx(1 + 4 + 12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PolynomialNonlinearity([])
+
+    def test_weak_distortion_formulas(self):
+        # y = x + a2 x^2 + a3 x^3: HD2 = a2 A/2, HD3 = a3 A^2/4.
+        a2, a3, amp = 0.02, 0.01, 0.5
+        poly = PolynomialNonlinearity([0.0, 1.0, a2, a3])
+        h = poly.harmonic_amplitudes(amp, 3)
+        assert h[1] == pytest.approx(a2 * amp**2 / 2)
+        assert h[2] == pytest.approx(a3 * amp**3 / 4)
+
+
+class TestDistortionTargeting:
+    def test_produces_requested_hd(self):
+        """polynomial_for_distortion must actually create the target
+        harmonic levels, verified spectrally."""
+        amp = 0.4
+        poly = polynomial_for_distortion(amp, hd2_db=-57.0, hd3_db=-64.0)
+        fs = 96e3
+        n = 96 * 64
+        x = SineSource(1000.0, amp).render(n, fs)
+        y = Spectrum.from_waveform(
+            type(x)(poly(x.samples), fs)
+        )
+        assert y.dbc(2000.0, 1000.0) == pytest.approx(-57.0, abs=0.2)
+        assert y.dbc(3000.0, 1000.0) == pytest.approx(-64.0, abs=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            polynomial_for_distortion(0.0, -57.0, -64.0)
+        with pytest.raises(ConfigError):
+            polynomial_for_distortion(0.4, 3.0, -64.0)
+
+
+class TestWiener:
+    def test_linear_then_nonlinear(self):
+        """Wiener: harmonics appear at the *output* level set by the
+        filtered fundamental."""
+        linear = lowpass(1000.0)
+        poly = polynomial_for_distortion(0.2, -40.0, -50.0)
+        dut = WienerDUT(linear, poly)
+        wave = SineSource(1000.0, 0.2 / linear.gain_at(1000.0)).render(96 * 64, 96e3)
+        dut.reset()
+        out = dut.process(wave)
+        spec = Spectrum.from_waveform(out.slice_samples(96 * 32))
+        assert spec.dbc(2000.0, 1000.0) == pytest.approx(-40.0, abs=1.0)
+
+    def test_small_signal_response(self):
+        linear = lowpass(1000.0)
+        dut = WienerDUT(linear, PolynomialNonlinearity.identity())
+        assert dut.gain_at(500.0) == pytest.approx(linear.gain_at(500.0))
+
+    def test_settling_delegates(self):
+        linear = lowpass(1000.0)
+        dut = WienerDUT(linear, PolynomialNonlinearity.identity())
+        assert dut.settling_time() == linear.settling_time()
+
+
+class TestHammerstein:
+    def test_filter_shapes_harmonics(self):
+        """Hammerstein: the filter attenuates the NL-generated harmonics
+        (2 kHz and 3 kHz are above the 1 kHz cutoff)."""
+        poly = polynomial_for_distortion(0.3, -40.0, -50.0)
+        wiener = WienerDUT(lowpass(1000.0), poly)
+        hammer = HammersteinDUT(poly, lowpass(1000.0))
+        wave = SineSource(1000.0, 0.3).render(96 * 64, 96e3)
+        wiener.reset()
+        hammer.reset()
+        spec_w = Spectrum.from_waveform(wiener.process(wave).slice_samples(96 * 32))
+        spec_h = Spectrum.from_waveform(hammer.process(wave).slice_samples(96 * 32))
+        # In the Hammerstein case HD2 is filtered by |H(2f)/H(f)| < 1.
+        assert spec_h.dbc(2000.0, 1000.0) < spec_w.dbc(2000.0, 1000.0) - 3.0
+
+    def test_names(self):
+        poly = PolynomialNonlinearity.identity()
+        assert "NL" in WienerDUT(lowpass(100.0), poly).name
+        assert "NL" in HammersteinDUT(poly, lowpass(100.0)).name

@@ -1,0 +1,166 @@
+"""Continuous state-space DUT: exact ZOH simulation vs analytic response."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dut.statespace import StateSpaceDUT
+from repro.errors import ConfigError
+from repro.signals.sources import SineSource
+from repro.signals.waveform import Waveform
+
+
+def rc_lowpass(fc=1000.0):
+    w0 = 2 * np.pi * fc
+    return StateSpaceDUT.from_transfer_function([w0], [1.0, w0])
+
+
+class TestConstruction:
+    def test_rejects_unstable(self):
+        with pytest.raises(ConfigError):
+            StateSpaceDUT([[1.0]], [1.0], [1.0])
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ConfigError):
+            StateSpaceDUT([[-1.0]], [1.0, 2.0], [1.0])
+
+    def test_from_transfer_function_improper(self):
+        with pytest.raises(ConfigError):
+            StateSpaceDUT.from_transfer_function([1.0, 0.0, 0.0], [1.0, 1.0])
+
+    def test_order(self):
+        dut = StateSpaceDUT.from_transfer_function([1.0], [1.0, 2.0, 1.0])
+        assert dut.order == 2
+
+
+class TestFrequencyResponse:
+    def test_rc_pole(self):
+        dut = rc_lowpass(1000.0)
+        assert dut.dc_gain() == pytest.approx(1.0)
+        assert dut.gain_at(1000.0) == pytest.approx(1 / np.sqrt(2), rel=1e-9)
+        assert dut.phase_deg_at(1000.0) == pytest.approx(-45.0, abs=1e-6)
+
+    def test_second_order(self):
+        w0 = 2 * np.pi * 1000.0
+        dut = StateSpaceDUT.from_transfer_function(
+            [w0 * w0], [1.0, w0 / 0.707, w0 * w0]
+        )
+        assert dut.gain_at(1000.0) == pytest.approx(0.707, rel=1e-2)
+        assert dut.gain_at(10_000.0) == pytest.approx(0.01, rel=0.02)
+
+    def test_feedthrough(self):
+        # H(s) = (s + w0) / (s + 2 w0) has D = 1 at infinity... use a
+        # proper-with-feedthrough example: H = 1 - w0/(s + w0).
+        w0 = 2 * np.pi * 100.0
+        dut = StateSpaceDUT.from_transfer_function([1.0, 0.0], [1.0, w0])
+        assert abs(dut.frequency_response([1e6])[0]) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestZOHSimulation:
+    def test_steady_state_sine_matches_analytic(self):
+        """The exactness claim: driving with a held sine and comparing
+        the steady-state output fundamental against |H| and arg H.
+
+        The held input's fundamental is drooped by ``sinc(pi f/fs)`` and
+        delayed by half a sample (the remaining ripple in the waveform is
+        the DUT-filtered sampling images — real physics, excluded here by
+        reading the fundamental bin coherently).
+        """
+        from repro.signals.spectrum import Spectrum
+
+        dut = rc_lowpass(1000.0)
+        fs = 96e3
+        f = 1000.0
+        n = int(fs / f) * 40
+        wave = SineSource(f, 0.3).render(n, fs)
+        out = dut.process(wave)
+        tail = out.slice_samples(n // 2)
+        spec = Spectrum.from_waveform(tail)
+        h = dut.frequency_response([f])[0]
+        x = np.pi * f / fs
+        droop = np.sin(x) / x
+        # Residual tolerance: the DUT's response to images at 95f/97f
+        # folds back onto the fundamental bin when re-sampling (~3e-4
+        # relative for this RC filter).
+        assert spec.amplitude_at(f) == pytest.approx(
+            0.3 * droop * abs(h), rel=1e-3
+        )
+        expected_phase = np.angle(h) - np.pi * f / fs
+        measured = spec.phase_at(f)
+        diff = (measured - expected_phase + np.pi) % (2 * np.pi) - np.pi
+        assert abs(diff) < 1e-3
+
+    def test_dc_input_settles_to_dc_gain(self):
+        dut = rc_lowpass(1000.0)
+        wave = Waveform(np.full(2000, 0.5), 96e3)
+        out = dut.process(wave)
+        assert out.samples[-1] == pytest.approx(0.5 * dut.dc_gain(), rel=1e-6)
+
+    def test_fast_path_matches_loop(self):
+        """lfilter fast path (zero initial state) vs explicit recursion."""
+        dut_a = rc_lowpass(500.0)
+        dut_b = rc_lowpass(500.0)
+        rng = np.random.default_rng(0)
+        wave = Waveform(rng.normal(0, 0.1, size=300), 96e3)
+        out_fast = dut_a.process(wave)
+        # Force the slow path with a tiny nonzero state.
+        dut_b._x = np.array([1e-300])
+        out_slow = dut_b.process(wave)
+        assert np.allclose(out_fast.samples, out_slow.samples, atol=1e-12)
+
+    def test_state_continuity_across_calls(self):
+        dut = rc_lowpass(200.0)
+        wave = Waveform(np.ones(1000), 96e3)
+        full = dut.process(wave)
+        dut.reset()
+        first = dut.process(wave.slice_samples(0, 400))
+        second = dut.process(wave.slice_samples(400))
+        stitched = np.concatenate([first.samples, second.samples])
+        assert np.allclose(stitched, full.samples, atol=1e-12)
+
+    def test_reset_clears_state(self):
+        dut = rc_lowpass(200.0)
+        dut.process(Waveform(np.ones(500), 96e3))
+        dut.reset()
+        out = dut.process(Waveform(np.zeros(10), 96e3))
+        assert np.allclose(out.samples, 0.0)
+
+
+class TestSettlingTime:
+    def test_single_pole(self):
+        fc = 1000.0
+        dut = rc_lowpass(fc)
+        tau = 1 / (2 * np.pi * fc)
+        assert dut.settling_time(np.exp(-5.0)) == pytest.approx(5 * tau, rel=1e-6)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ConfigError):
+            rc_lowpass().settling_time(0.0)
+
+    def test_transient_actually_decays(self):
+        dut = rc_lowpass(1000.0)
+        settle = dut.settling_time(1e-6)
+        fs = 96e3
+        n_settle = int(settle * fs) + 1
+        out = dut.process(Waveform(np.ones(n_settle + 100), fs))
+        tail = out.samples[n_settle:]
+        assert np.all(np.abs(tail - dut.dc_gain()) < 2e-6)
+
+
+@given(
+    st.floats(min_value=100.0, max_value=5000.0),
+    st.floats(min_value=0.4, max_value=3.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_simulated_gain_matches_analytic_property(fc, q):
+    w0 = 2 * np.pi * fc
+    dut = StateSpaceDUT.from_transfer_function([w0 * w0], [1.0, w0 / q, w0 * w0])
+    f_test = 1000.0
+    fs = 96e3
+    n = 96 * 60
+    wave = SineSource(f_test, 0.2).render(n, fs)
+    settle_samples = min(int(dut.settling_time(1e-8) * fs), n - 96 * 4)
+    out = dut.process(wave)
+    tail = out.samples[max(settle_samples, n // 2):]
+    measured = (np.max(tail) - np.min(tail)) / 2
+    assert measured == pytest.approx(0.2 * dut.gain_at(f_test), rel=0.02)

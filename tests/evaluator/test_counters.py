@@ -1,0 +1,72 @@
+"""Signature counters: chopped difference and hardware ones-counting view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.counters import SignatureCounter
+
+
+class TestChoppedCounting:
+    def test_difference_of_halves(self):
+        bits = np.array([1, 1, 1, 1, -1, -1, 1, -1], dtype=np.int8)
+        result = SignatureCounter(chopped=True).count(bits)
+        assert result.first_half == 4
+        assert result.second_half == -2
+        assert result.signature == 6
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureCounter(chopped=True).count(np.array([1, -1, 1], dtype=np.int8))
+
+    def test_constant_stream_cancels(self):
+        # A pure DC artifact (e.g. offset-dominated stream) cancels.
+        bits = np.ones(100, dtype=np.int8)
+        assert SignatureCounter(chopped=True).count(bits).signature == 0
+
+
+class TestPlainCounting:
+    def test_sum(self):
+        bits = np.array([1, 1, -1, 1], dtype=np.int8)
+        result = SignatureCounter(chopped=False).count(bits)
+        assert result.signature == 2
+
+    def test_constant_stream_does_not_cancel(self):
+        bits = np.ones(100, dtype=np.int8)
+        assert SignatureCounter(chopped=False).count(bits).signature == 100
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureCounter().count(np.array([], dtype=np.int8))
+
+    def test_non_pm1_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureCounter().count(np.array([1, 0, -1], dtype=np.int8))
+
+
+class TestHardwareView:
+    def test_chopped_hardware_is_half(self):
+        bits = np.array([1, 1, -1, -1, -1, -1, 1, 1], dtype=np.int8)
+        result = SignatureCounter(chopped=True).count(bits)
+        assert result.hardware_signature == result.signature / 2.0
+
+    def test_plain_hardware_counts_ones(self):
+        bits = np.array([1, 1, -1, 1], dtype=np.int8)
+        result = SignatureCounter(chopped=False).count(bits)
+        assert result.hardware_signature == 3  # three +1 bits
+
+
+class TestChopSigns:
+    def test_halves(self):
+        signs = SignatureCounter.chop_signs(8)
+        assert list(signs) == [1, 1, 1, 1, -1, -1, -1, -1]
+
+    def test_odd_window_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureCounter.chop_signs(7)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureCounter.chop_signs(0)

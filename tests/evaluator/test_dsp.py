@@ -1,0 +1,175 @@
+"""Signature DSP: equations (3)-(5), exact discrete constants, bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import (
+    GUARANTEED_EPSILON,
+    PAPER_EPSILON,
+    SignatureDSP,
+    correlation_gain,
+    phase_offset,
+)
+from repro.evaluator.evaluator import SinewaveEvaluator
+from repro.evaluator.signatures import SignaturePair
+from tests.conftest import coherent_tone
+
+
+class TestConstants:
+    def test_paper_epsilon(self):
+        assert PAPER_EPSILON == 4.0
+        assert GUARANTEED_EPSILON == 8.0
+
+    def test_correlation_gain_approaches_2_over_pi(self):
+        assert correlation_gain(96, 1) == pytest.approx(2 / math.pi, rel=2e-4)
+
+    def test_correlation_gain_exact_form(self):
+        p = 32  # k = 3 at N = 96
+        assert correlation_gain(96, 3) == pytest.approx(2 / (p * math.sin(math.pi / p)))
+
+    def test_phase_offset_half_sample(self):
+        assert phase_offset(96, 1) == pytest.approx(math.pi / 96)
+        assert phase_offset(96, 3) == pytest.approx(math.pi / 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            correlation_gain(96, 0)
+        with pytest.raises(ConfigError):
+            correlation_gain(95, 2)
+
+
+class TestDCLevel:
+    def test_recovers_dc(self):
+        ev = SinewaveEvaluator()
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.2, 0.3, 40, offset=0.123)
+        bv = dsp.dc_level(ev.measure_dc(x, m_periods=40))
+        assert bv.contains(0.123)
+        assert bv.value == pytest.approx(0.123, abs=2e-3)
+
+    def test_bound_width_is_2eps_scaled(self):
+        sig = SignaturePair(i1=0, i2=0, harmonic=0, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        bv = SignatureDSP(epsilon=4.0).dc_level(sig)
+        assert bv.width == pytest.approx(2 * 4.0 * 0.5 / 1920)
+
+    def test_requires_k0(self):
+        sig = SignaturePair(i1=0, i2=0, harmonic=1, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        with pytest.raises(ConfigError):
+            SignatureDSP().dc_level(sig)
+
+
+class TestAmplitudePhase:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_recovery_all_harmonics(self, k):
+        ev = SinewaveEvaluator()
+        dsp = SignatureDSP()
+        x = coherent_tone(k, 0.3, 0.7, 40)
+        sig = ev.measure(x, harmonic=k, m_periods=40)
+        amp = dsp.amplitude(sig)
+        ph = dsp.phase(sig)
+        assert amp.contains(0.3)
+        assert amp.value == pytest.approx(0.3, abs=1e-3)
+        assert ph.contains(0.7)
+        assert ph.value == pytest.approx(0.7, abs=5e-3)
+
+    def test_phase_quadrants(self):
+        ev = SinewaveEvaluator()
+        dsp = SignatureDSP()
+        for true_phase in (-2.5, -1.0, 0.0, 1.0, 2.5):
+            x = coherent_tone(1, 0.25, true_phase, 40)
+            ph = dsp.phase(ev.measure(x, harmonic=1, m_periods=40))
+            diff = (ph.value - true_phase + math.pi) % (2 * math.pi) - math.pi
+            assert abs(diff) < 5e-3
+
+    def test_components_require_k_ge_1(self):
+        sig = SignaturePair(i1=0, i2=0, harmonic=0, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        with pytest.raises(ConfigError):
+            SignatureDSP().components(sig)
+
+    def test_amplitude_never_negative(self):
+        sig = SignaturePair(i1=1, i2=-1, harmonic=1, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        amp = SignatureDSP().amplitude(sig)
+        assert amp.lower >= 0.0
+
+
+class TestPaperConstantsMode:
+    def test_paper_mode_uses_pi_over_2(self):
+        sig = SignaturePair(i1=1000, i2=0, harmonic=1, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        paper = SignatureDSP(paper_constants=True).amplitude(sig)
+        assert paper.value == pytest.approx(
+            (math.pi / 2) * 0.5 * 1000 / 1920, rel=1e-12
+        )
+
+    def test_exact_mode_differs_slightly(self):
+        sig = SignaturePair(i1=1000, i2=0, harmonic=3, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        paper = SignatureDSP(paper_constants=True).amplitude(sig).value
+        exact = SignatureDSP().amplitude(sig).value
+        assert paper != exact
+        assert paper == pytest.approx(exact, rel=0.005)
+
+    def test_paper_mode_has_no_phase_correction(self):
+        sig = SignaturePair(i1=1000, i2=0, harmonic=1, m_periods=20,
+                            oversampling_ratio=96, vref=0.5)
+        paper = SignatureDSP(paper_constants=True).phase(sig).value
+        exact = SignatureDSP().phase(sig).value
+        assert exact - paper == pytest.approx(math.pi / 96)
+
+
+class TestBoundsShrinkWithM:
+    def test_error_bound_scales_inverse_mn(self):
+        """Paper: 'the relative errors of the measurements can be reduced
+        by increasing the total number of samples (MN)'."""
+        dsp = SignatureDSP()
+        ev = SinewaveEvaluator()
+        widths = []
+        for m in (20, 80, 320):
+            x = coherent_tone(1, 0.3, 0.7, m)
+            amp = dsp.amplitude(ev.measure(x, harmonic=1, m_periods=m))
+            widths.append(amp.width)
+        assert widths[1] == pytest.approx(widths[0] / 4, rel=0.01)
+        assert widths[2] == pytest.approx(widths[1] / 4, rel=0.01)
+
+    def test_amplitude_resolution(self):
+        ev = SinewaveEvaluator()
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.0, 20)
+        sig = ev.measure(x, harmonic=1, m_periods=20)
+        res = dsp.amplitude_resolution(sig)
+        # eps*sqrt(2)*scale: about 0.47 mV at M=20.
+        assert res == pytest.approx(
+            4 * math.sqrt(2) * 0.5 / (1920 * correlation_gain(96, 1)), rel=1e-9
+        )
+
+    def test_noise_floor_shrinks(self):
+        dsp = SignatureDSP()
+        assert dsp.noise_floor(1000, 96, 0.5) < dsp.noise_floor(20, 96, 0.5)
+
+
+class TestEpsilonParameter:
+    def test_zero_epsilon_gives_point_intervals(self):
+        ev = SinewaveEvaluator()
+        x = coherent_tone(1, 0.3, 0.0, 20)
+        sig = ev.measure(x, harmonic=1, m_periods=20)
+        amp = SignatureDSP(epsilon=0.0).amplitude(sig)
+        assert amp.width == pytest.approx(0.0, abs=1e-15)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureDSP(epsilon=-1.0)
+
+    def test_wider_epsilon_wider_bounds(self):
+        ev = SinewaveEvaluator()
+        x = coherent_tone(1, 0.3, 0.0, 20)
+        sig = ev.measure(x, harmonic=1, m_periods=20)
+        narrow = SignatureDSP(epsilon=4.0).amplitude(sig)
+        wide = SignatureDSP(epsilon=8.0).amplitude(sig)
+        assert wide.width > narrow.width

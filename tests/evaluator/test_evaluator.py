@@ -1,0 +1,99 @@
+"""The dual-channel evaluator: acquisition semantics and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import SignatureDSP
+from repro.evaluator.evaluator import SinewaveEvaluator
+from repro.signals.waveform import Waveform
+from tests.conftest import coherent_tone
+
+
+class TestValidation:
+    def test_odd_m_rejected_when_chopped(self, evaluator):
+        x = coherent_tone(1, 0.3, 0.0, 21)
+        with pytest.raises(ConfigError, match="even"):
+            evaluator.measure(x, harmonic=1, m_periods=21)
+
+    def test_odd_m_allowed_unchopped(self):
+        ev = SinewaveEvaluator(chopped=False)
+        x = coherent_tone(1, 0.3, 0.0, 21)
+        sig = ev.measure(x, harmonic=1, m_periods=21)
+        assert sig.chopped is False
+
+    def test_infeasible_harmonic_rejected(self, evaluator):
+        x = coherent_tone(1, 0.3, 0.0, 20)
+        with pytest.raises(ConfigError):
+            evaluator.measure(x, harmonic=5, m_periods=20)
+
+    def test_short_signal_rejected(self, evaluator):
+        x = coherent_tone(1, 0.3, 0.0, 10)
+        with pytest.raises(ConfigError, match="too short"):
+            evaluator.measure(x, harmonic=1, m_periods=20)
+
+    def test_extra_samples_ignored(self, evaluator):
+        x = coherent_tone(1, 0.3, 0.0, 30)
+        sig_long = evaluator.measure(x, harmonic=1, m_periods=20)
+        sig_exact = evaluator.measure(x[: 20 * 96], harmonic=1, m_periods=20)
+        assert sig_long.i1 == sig_exact.i1
+        assert sig_long.i2 == sig_exact.i2
+
+    def test_required_samples(self, evaluator):
+        assert evaluator.required_samples(200) == 19200
+        with pytest.raises(ConfigError):
+            evaluator.required_samples(0)
+
+    def test_bad_oversampling_ratio(self):
+        with pytest.raises(ConfigError):
+            SinewaveEvaluator(oversampling_ratio=3)
+
+
+class TestInputs:
+    def test_accepts_waveform(self, evaluator):
+        samples = coherent_tone(1, 0.3, 0.0, 20)
+        waveform = Waveform(samples, 96e3)
+        sig_w = evaluator.measure(waveform, harmonic=1, m_periods=20)
+        sig_a = evaluator.measure(samples, harmonic=1, m_periods=20)
+        assert sig_w.i1 == sig_a.i1 and sig_w.i2 == sig_a.i2
+
+    def test_overload_reported(self, evaluator):
+        x = coherent_tone(1, 0.8, 0.0, 20)  # exceeds vref = 0.5
+        sig = evaluator.measure(x, harmonic=1, m_periods=20)
+        assert sig.overload_count > 0
+
+
+class TestDeterminism:
+    def test_same_input_same_signature(self, evaluator):
+        x = coherent_tone(1, 0.3, 0.7, 20)
+        a = evaluator.measure(x, harmonic=1, m_periods=20)
+        b = evaluator.measure(x, harmonic=1, m_periods=20)
+        assert (a.i1, a.i2) == (b.i1, b.i2)
+
+    def test_initial_state_changes_signature_slightly(self, evaluator):
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.7, 20)
+        a = evaluator.measure(x, harmonic=1, m_periods=20, u0=(0.0, 0.0))
+        b = evaluator.measure(x, harmonic=1, m_periods=20, u0=(0.15, -0.1))
+        # Different power-up states perturb counts within the eps budget.
+        assert abs(a.i1 - b.i1) <= 8
+        assert dsp.amplitude(a).value == pytest.approx(
+            dsp.amplitude(b).value, rel=0.01
+        )
+
+
+class TestMeasureDC:
+    def test_dc_configuration(self, evaluator):
+        x = coherent_tone(1, 0.2, 0.0, 20, offset=0.1)
+        sig = evaluator.measure_dc(x, m_periods=20)
+        assert sig.is_dc
+        dsp = SignatureDSP()
+        assert dsp.dc_level(sig).contains(0.1)
+
+
+class TestAllowedHarmonics:
+    def test_paper_list(self, evaluator):
+        assert evaluator.allowed_harmonics() == [1, 2, 3, 4, 6, 8, 12, 24]
+
+    def test_capped(self, evaluator):
+        assert evaluator.allowed_harmonics(k_max=3) == [1, 2, 3]

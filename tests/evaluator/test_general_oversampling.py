@@ -1,0 +1,74 @@
+"""The evaluator at oversampling ratios other than the analyzer's 96.
+
+The evaluator is a general instrument: direct-injection use (the paper's
+Fig. 9 setup) can run at any ``N`` meeting the feasibility conditions.
+These tests exercise the general-N path the analyzer itself never uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import SignatureDSP, correlation_gain
+from repro.evaluator.evaluator import SinewaveEvaluator
+
+
+def tone(n_ratio, k, amplitude, phase, m):
+    t = np.arange(m * n_ratio)
+    return amplitude * np.sin(2 * np.pi * k * t / n_ratio + phase)
+
+
+class TestOtherRatios:
+    @pytest.mark.parametrize("n_ratio", [16, 32, 64, 128, 192])
+    def test_amplitude_recovery(self, n_ratio):
+        ev = SinewaveEvaluator(oversampling_ratio=n_ratio)
+        dsp = SignatureDSP()
+        m = 60
+        x = tone(n_ratio, 1, 0.3, 0.5, m)
+        sig = ev.measure(x, harmonic=1, m_periods=m)
+        amp = dsp.amplitude(sig)
+        assert amp.value == pytest.approx(0.3, abs=0.3 * 0.03 + 1e-3)
+        assert amp.contains(0.3)
+
+    def test_low_n_has_coarser_resolution(self):
+        dsp = SignatureDSP()
+        m = 40
+        widths = {}
+        for n_ratio in (16, 96):
+            ev = SinewaveEvaluator(oversampling_ratio=n_ratio)
+            x = tone(n_ratio, 1, 0.3, 0.0, m)
+            sig = ev.measure(x, harmonic=1, m_periods=m)
+            widths[n_ratio] = dsp.amplitude(sig).width
+        assert widths[16] > widths[96]
+
+    def test_allowed_harmonics_scale_with_n(self):
+        assert SinewaveEvaluator(oversampling_ratio=16).allowed_harmonics() == [1, 2, 4]
+        assert SinewaveEvaluator(oversampling_ratio=64).allowed_harmonics() == [
+            1, 2, 4, 8, 16,
+        ]
+
+    def test_exact_gain_constant_used(self):
+        # At N = 16 the sampled correlation gain differs from 2/pi by
+        # ~0.32 %: using the exact constant matters.
+        assert correlation_gain(16, 1) == pytest.approx(2 / np.pi, rel=0.01)
+        assert correlation_gain(16, 1) != pytest.approx(2 / np.pi, rel=1e-4)
+
+    def test_infeasible_combination_rejected(self):
+        ev = SinewaveEvaluator(oversampling_ratio=16)
+        x = tone(16, 1, 0.2, 0.0, 20)
+        with pytest.raises(ConfigError):
+            ev.measure(x, harmonic=3, m_periods=20)  # 16 % 12 != 0
+
+
+class TestPhaseAtOtherRatios:
+    @pytest.mark.parametrize("n_ratio", [32, 64])
+    def test_phase_recovery(self, n_ratio):
+        ev = SinewaveEvaluator(oversampling_ratio=n_ratio)
+        dsp = SignatureDSP()
+        m = 60
+        for true_phase in (-2.0, 0.3, 1.7):
+            x = tone(n_ratio, 1, 0.3, true_phase, m)
+            sig = ev.measure(x, harmonic=1, m_periods=m)
+            measured = dsp.phase(sig).value
+            diff = (measured - true_phase + np.pi) % (2 * np.pi) - np.pi
+            assert abs(diff) < 0.02

@@ -1,0 +1,119 @@
+"""Multi-harmonic measurement and square-wave leakage correction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import SignatureDSP
+from repro.evaluator.evaluator import SinewaveEvaluator
+from repro.evaluator.harmonics import (
+    correct_square_wave_leakage,
+    measure_harmonics,
+    predicted_leakage,
+)
+
+
+def multitone(amps, phases, m, n=96):
+    t = np.arange(m * n)
+    x = np.zeros(len(t), dtype=float)
+    for i, (a, p) in enumerate(zip(amps, phases)):
+        x += a * np.sin(2 * np.pi * (i + 1) * t / n + p)
+    return x
+
+
+class TestMeasureHarmonics:
+    def test_fig9_multitone_recovered(self):
+        """The paper's three-tone test signal: 0.2 / 0.02 / 0.002 V."""
+        ev = SinewaveEvaluator()
+        x = multitone((0.2, 0.02, 0.002), (0.3, -0.5, 1.1), 200)
+        out = measure_harmonics(ev, x, [1, 2, 3], m_periods=200)
+        assert out[1].amplitude.value == pytest.approx(0.2, abs=5e-4)
+        assert out[2].amplitude.value == pytest.approx(0.02, abs=5e-4)
+        assert out[3].amplitude.value == pytest.approx(0.002, abs=5e-4)
+
+    def test_phases_recovered(self):
+        ev = SinewaveEvaluator()
+        x = multitone((0.2, 0.02), (0.3, -0.5), 200)
+        out = measure_harmonics(ev, x, [1, 2], m_periods=200)
+        assert out[1].phase.value == pytest.approx(0.3, abs=0.01)
+        assert out[2].phase.value == pytest.approx(-0.5, abs=0.05)
+
+    def test_validation(self):
+        ev = SinewaveEvaluator()
+        x = multitone((0.2,), (0.0,), 20)
+        with pytest.raises(ConfigError):
+            measure_harmonics(ev, x, [], m_periods=20)
+        with pytest.raises(ConfigError):
+            measure_harmonics(ev, x, [0, 1], m_periods=20)
+        with pytest.raises(ConfigError):
+            measure_harmonics(ev, x, [1, 1], m_periods=20)
+
+
+class TestLeakageCorrection:
+    def test_third_harmonic_leaks_into_fundamental(self):
+        """A strong 3rd harmonic biases the raw k=1 measurement by
+        ~A3/3; the correction removes it."""
+        ev = SinewaveEvaluator()
+        a3 = 0.09
+        x = multitone((0.3, 0.0, a3), (0.2, 0.0, 1.3), 400)
+        raw = measure_harmonics(ev, x, [1, 3], m_periods=400, correct_leakage=False)
+        corrected = measure_harmonics(
+            ev, x, [1, 3], m_periods=400, correct_leakage=True
+        )
+        err_raw = abs(raw[1].amplitude.value - 0.3)
+        err_corr = abs(corrected[1].amplitude.value - 0.3)
+        assert err_raw > 5 * err_corr
+        assert corrected[1].amplitude.value == pytest.approx(0.3, abs=1e-3)
+
+    def test_correction_flag_recorded(self):
+        ev = SinewaveEvaluator()
+        x = multitone((0.3,), (0.0,), 40)
+        out = measure_harmonics(ev, x, [1], m_periods=40, correct_leakage=True)
+        assert out[1].leakage_corrected is True
+
+    def test_phase_also_corrected(self):
+        ev = SinewaveEvaluator()
+        x = multitone((0.3, 0.0, 0.09), (0.2, 0.0, 1.3), 400)
+        corrected = measure_harmonics(
+            ev, x, [1, 3], m_periods=400, correct_leakage=True
+        )
+        assert corrected[1].phase.value == pytest.approx(0.2, abs=0.01)
+
+    def test_uncontaminated_harmonics_unchanged(self):
+        """k=2 has no odd-multiple partner below N/4: correction is a
+        no-op for it."""
+        ev = SinewaveEvaluator()
+        x = multitone((0.3, 0.05), (0.2, -0.4), 200)
+        raw = measure_harmonics(ev, x, [1, 2], m_periods=200, correct_leakage=False)
+        corr = measure_harmonics(ev, x, [1, 2], m_periods=200, correct_leakage=True)
+        assert corr[2].amplitude.value == pytest.approx(
+            raw[2].amplitude.value, rel=1e-12
+        )
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(ConfigError):
+            correct_square_wave_leakage({})
+
+    def test_bounds_remain_valid_after_correction(self):
+        ev = SinewaveEvaluator()
+        x = multitone((0.3, 0.0, 0.09), (0.2, 0.0, 1.3), 400)
+        corrected = measure_harmonics(
+            ev, x, [1, 3], m_periods=400, correct_leakage=True
+        )
+        assert corrected[1].amplitude.contains(0.3)
+        assert corrected[3].amplitude.contains(0.09)
+
+
+class TestPredictedLeakage:
+    def test_third_into_first(self):
+        leak = predicted_leakage({3: 0.09}, k=1)
+        assert leak == pytest.approx(0.09 / 3, rel=0.01)
+
+    def test_no_leakage_without_multiples(self):
+        assert predicted_leakage({2: 0.5}, k=1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            predicted_leakage({}, k=0)

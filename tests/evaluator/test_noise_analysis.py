@@ -1,0 +1,113 @@
+"""Statistical error budget vs direct simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import SignatureDSP
+from repro.evaluator.evaluator import SinewaveEvaluator
+from repro.evaluator.noise_analysis import (
+    amplitude_error_budget,
+    periods_for_amplitude_sigma,
+    signature_count_sigma,
+)
+from repro.sc.opamp import OpAmpModel
+
+N = 96
+
+
+def simulate_amplitude_sigma(m, amplitude, noise_rms, runs=30, seed=0):
+    """Empirical std-dev of the measured amplitude across dithered runs."""
+    rng = np.random.default_rng(seed)
+    dsp = SignatureDSP()
+    readings = []
+    for _ in range(runs):
+        ev = SinewaveEvaluator(
+            opamp1=OpAmpModel(noise_rms=noise_rms),
+            opamp2=OpAmpModel(noise_rms=noise_rms),
+            rng=np.random.default_rng(int(rng.integers(0, 2**31))),
+        )
+        phase = rng.uniform(0, 2 * np.pi)
+        t = np.arange(m * N)
+        x = amplitude * np.sin(2 * np.pi * t / N + phase)
+        u0 = (float(rng.uniform(-0.2, 0.2)), float(rng.uniform(-0.2, 0.2)))
+        sig = ev.measure(x, harmonic=1, m_periods=m, u0=u0)
+        readings.append(dsp.amplitude(sig).value)
+    return float(np.std(readings))
+
+
+class TestSignatureCountSigma:
+    def test_quantization_only(self):
+        sigma = signature_count_sigma(100, 96, 0.5)
+        assert sigma == pytest.approx(1.0)
+
+    def test_noise_grows_with_mn(self):
+        quiet = signature_count_sigma(100, 96, 0.5, input_noise_rms=1e-3)
+        loud = signature_count_sigma(400, 96, 0.5, input_noise_rms=1e-3)
+        assert loud > quiet
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            signature_count_sigma(0, 96, 0.5)
+        with pytest.raises(ConfigError):
+            signature_count_sigma(10, 96, -0.5)
+        with pytest.raises(ConfigError):
+            signature_count_sigma(10, 96, 0.5, input_noise_rms=-1.0)
+
+
+class TestBudgetVsSimulation:
+    def test_prediction_within_factor_three(self):
+        """The order-one quantization constant must put the predicted
+        sigma within ~3x of a direct Monte-Carlo estimate."""
+        m, amplitude, noise = 50, 0.25, 100e-6
+        predicted = amplitude_error_budget(
+            amplitude, m, input_noise_rms=noise
+        ).sigma_amplitude
+        empirical = simulate_amplitude_sigma(m, amplitude, noise)
+        assert predicted / 3 < empirical < predicted * 3
+
+    def test_sigma_shrinks_with_m(self):
+        small = amplitude_error_budget(0.25, 20).sigma_amplitude
+        large = amplitude_error_budget(0.25, 200).sigma_amplitude
+        assert large == pytest.approx(small / 10, rel=0.01)
+
+    def test_bound_more_conservative_than_sigma(self):
+        budget = amplitude_error_budget(0.25, 100)
+        assert budget.worst_case_amplitude > budget.sigma_amplitude
+        assert budget.bound_to_sigma_ratio > 2.0
+
+    def test_phase_sigma_scales_inverse_amplitude(self):
+        big = amplitude_error_budget(0.4, 100).sigma_phase
+        small = amplitude_error_budget(0.04, 100).sigma_phase
+        assert small == pytest.approx(10 * big, rel=0.01)
+
+    def test_zero_amplitude_phase_unbounded(self):
+        assert amplitude_error_budget(0.0, 100).sigma_phase == math.inf
+
+
+class TestTestTimePlanning:
+    def test_target_achieved(self):
+        target = 1e-4
+        m = periods_for_amplitude_sigma(target, input_noise_rms=100e-6)
+        budget = amplitude_error_budget(0.25, m, input_noise_rms=100e-6)
+        assert budget.sigma_amplitude <= target * 1.001
+
+    def test_result_is_even(self):
+        m = periods_for_amplitude_sigma(1e-4)
+        assert m % 2 == 0
+
+    def test_tighter_target_needs_more_periods(self):
+        loose = periods_for_amplitude_sigma(1e-3)
+        tight = periods_for_amplitude_sigma(1e-5)
+        assert tight > loose
+
+    def test_noise_demands_more_periods(self):
+        quiet = periods_for_amplitude_sigma(1e-4, input_noise_rms=0.0)
+        noisy = periods_for_amplitude_sigma(1e-4, input_noise_rms=1e-3)
+        assert noisy > quiet
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            periods_for_amplitude_sigma(0.0)

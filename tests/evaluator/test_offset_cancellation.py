@@ -1,0 +1,101 @@
+"""Chopped offset cancellation — the reconstructed 'MT/2' scheme.
+
+DESIGN.md documents the reconstruction: the evaluation window is split in
+half, the modulation polarity inverts for the second half, and the
+signature is the difference of half-counts.  These tests pin down that
+the scheme (a) cancels modulator offset, (b) requires M even, and (c)
+leaves the signal measurement intact — and that the un-chopped ablation
+mode visibly fails in the presence of offset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluator.dsp import SignatureDSP
+from repro.evaluator.evaluator import SinewaveEvaluator
+from repro.sc.opamp import OpAmpModel
+from tests.conftest import coherent_tone
+
+OFFSET = 5e-3  # a large, realistic input-referred offset
+
+
+def evaluator_with_offset(chopped=True, offset=OFFSET):
+    amp = OpAmpModel(offset=offset)
+    return SinewaveEvaluator(opamp1=amp, opamp2=amp, chopped=chopped)
+
+
+class TestDCMeasurement:
+    def test_chopped_cancels_offset(self):
+        ev = evaluator_with_offset(chopped=True)
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.2, 0.0, 100, offset=0.1)
+        bv = dsp.dc_level(ev.measure_dc(x, m_periods=100))
+        assert bv.value == pytest.approx(0.1, abs=3e-4)
+
+    def test_unchopped_reads_offset_as_signal(self):
+        ev = evaluator_with_offset(chopped=False)
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.2, 0.0, 100, offset=0.1)
+        bv = dsp.dc_level(ev.measure_dc(x, m_periods=100))
+        # The 5 mV offset shows up in full.
+        assert bv.value == pytest.approx(0.1 + OFFSET, abs=1e-3)
+
+    def test_cancellation_scales_with_offset(self):
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.2, 0.0, 100, offset=0.05)
+        for offset in (1e-3, 10e-3, 30e-3):
+            ev = evaluator_with_offset(chopped=True, offset=offset)
+            bv = dsp.dc_level(ev.measure_dc(x, m_periods=100))
+            assert bv.value == pytest.approx(0.05, abs=5e-4)
+
+
+class TestHarmonicMeasurement:
+    def test_amplitude_immune_to_offset_when_chopped(self):
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.7, 100)
+        clean = SinewaveEvaluator().measure(x, harmonic=1, m_periods=100)
+        dirty = evaluator_with_offset(chopped=True).measure(
+            x, harmonic=1, m_periods=100
+        )
+        a_clean = dsp.amplitude(clean).value
+        a_dirty = dsp.amplitude(dirty).value
+        assert a_dirty == pytest.approx(a_clean, rel=2e-3)
+
+    def test_phase_immune_to_offset_when_chopped(self):
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.7, 100)
+        dirty = evaluator_with_offset(chopped=True).measure(
+            x, harmonic=1, m_periods=100
+        )
+        assert dsp.phase(dirty).value == pytest.approx(0.7, abs=5e-3)
+
+    def test_channel_mismatch_offset_also_cancelled(self):
+        """The two 'matched' modulators never match exactly; chopping
+        cancels each channel's own offset independently."""
+        ev = SinewaveEvaluator(
+            opamp1=OpAmpModel(offset=4e-3),
+            opamp2=OpAmpModel(offset=-3e-3),
+            chopped=True,
+        )
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.7, 100)
+        sig = ev.measure(x, harmonic=1, m_periods=100)
+        assert dsp.amplitude(sig).value == pytest.approx(0.3, abs=2e-3)
+        assert dsp.phase(sig).value == pytest.approx(0.7, abs=1e-2)
+
+
+class TestRequirements:
+    def test_m_must_be_even(self):
+        """Paper Section III.B: 'if M is even ...' — the chopped window
+        needs two equal halves."""
+        ev = evaluator_with_offset(chopped=True)
+        x = coherent_tone(1, 0.3, 0.0, 101)
+        with pytest.raises(Exception):
+            ev.measure(x, harmonic=1, m_periods=101)
+
+    def test_dc_measurement_of_pure_tone_is_zero(self):
+        ev = evaluator_with_offset(chopped=True)
+        dsp = SignatureDSP()
+        x = coherent_tone(1, 0.3, 0.4, 100)
+        bv = dsp.dc_level(ev.measure_dc(x, m_periods=100))
+        assert bv.value == pytest.approx(0.0, abs=3e-4)

@@ -1,0 +1,50 @@
+"""Signature container validation and bookkeeping."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.signatures import SignaturePair
+
+
+def make(i1=100, i2=-50, k=1, m=20, n=96, vref=0.5):
+    return SignaturePair(
+        i1=i1, i2=i2, harmonic=k, m_periods=m, oversampling_ratio=n, vref=vref
+    )
+
+
+class TestValidation:
+    def test_negative_harmonic(self):
+        with pytest.raises(ConfigError):
+            make(k=-1)
+
+    def test_zero_periods(self):
+        with pytest.raises(ConfigError):
+            make(m=0)
+
+    def test_small_oversampling(self):
+        with pytest.raises(ConfigError):
+            make(n=2)
+
+    def test_bad_vref(self):
+        with pytest.raises(ConfigError):
+            make(vref=0.0)
+
+
+class TestProperties:
+    def test_total_samples(self):
+        assert make(m=20, n=96).total_samples == 1920
+
+    def test_is_dc(self):
+        assert make(k=0).is_dc
+        assert not make(k=1).is_dc
+
+    def test_scaled(self):
+        sig = make(i1=960, i2=-480, m=20, n=96)
+        s1, s2 = sig.scaled()
+        assert s1 == pytest.approx(0.5)
+        assert s2 == pytest.approx(-0.25)
+
+    def test_frozen(self):
+        sig = make()
+        with pytest.raises(AttributeError):
+            sig.i1 = 5

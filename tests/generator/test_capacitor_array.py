@@ -1,0 +1,75 @@
+"""Time-variant input capacitor array (paper eqs. (1)-(2))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generator.capacitor_array import TimeVariantCapacitorArray
+from repro.sc.mismatch import MismatchModel
+
+
+class TestNominal:
+    def test_weights_match_equation_2(self):
+        array = TimeVariantCapacitorArray()
+        for k, w in enumerate(array.weights):
+            assert w == pytest.approx(2.0 * math.sin(k * math.pi / 8.0))
+
+    def test_charge_sequence_is_quantized_sine(self):
+        array = TimeVariantCapacitorArray()
+        q = array.charge_sequence(32, vin=0.25)
+        n = np.arange(32)
+        assert np.allclose(q, 0.25 * 2.0 * np.sin(2 * np.pi * n / 16), atol=1e-12)
+
+    def test_zero_input_gives_zero_charge(self):
+        array = TimeVariantCapacitorArray()
+        assert np.all(array.charge_sequence(16, vin=0.0) == 0.0)
+
+    def test_capacitance_at_follows_pattern(self):
+        array = TimeVariantCapacitorArray()
+        caps = array.capacitance_at(np.arange(8))
+        expected = [array.weights[k] for k in (0, 1, 2, 3, 4, 3, 2, 1)]
+        assert np.allclose(caps, expected)
+
+    def test_total_capacitance(self):
+        array = TimeVariantCapacitorArray()
+        expected = sum(2.0 * math.sin(k * math.pi / 8.0) for k in range(1, 5))
+        assert array.total_capacitance() == pytest.approx(expected)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            TimeVariantCapacitorArray().charge_sequence(-1, 0.1)
+
+
+class TestMismatch:
+    def test_zero_slot_stays_exactly_zero(self):
+        array = TimeVariantCapacitorArray(MismatchModel(sigma_unit=0.05, seed=3))
+        assert array.weights[0] == 0.0
+
+    def test_other_slots_perturbed(self):
+        array = TimeVariantCapacitorArray(MismatchModel(sigma_unit=0.01, seed=3))
+        nominal = array.nominal_weights()
+        assert not np.allclose(array.weights[1:], nominal[1:])
+        assert np.allclose(array.weights[1:], nominal[1:], rtol=0.05)
+
+    def test_mismatch_creates_harmonics(self):
+        """Weight errors turn the pure sampled sine into a distorted one —
+        the physical origin of the generator's in-band spurs."""
+        array = TimeVariantCapacitorArray(MismatchModel(sigma_unit=0.005, seed=7))
+        seq = array.charge_sequence(16 * 64, vin=1.0)
+        spectrum = np.abs(np.fft.rfft(seq)) / len(seq) * 2
+        fund = spectrum[64]
+        spurs = spectrum.copy()
+        spurs[64] = 0.0
+        spurs[0] = 0.0
+        worst = np.max(spurs)
+        assert 0.0 < worst / fund < 0.05  # present, but small
+
+    def test_ideal_array_has_no_harmonics(self):
+        array = TimeVariantCapacitorArray()
+        seq = array.charge_sequence(16 * 64, vin=1.0)
+        spectrum = np.abs(np.fft.rfft(seq)) / len(seq) * 2
+        spurs = spectrum.copy()
+        spurs[64] = 0.0
+        assert np.max(spurs) < 1e-12

@@ -1,0 +1,44 @@
+"""Generator digital control: amplitude programming interface."""
+
+import numpy as np
+import pytest
+
+from repro.generator.capacitor_array import TimeVariantCapacitorArray
+from repro.generator.control import GeneratorControl
+
+
+class TestAmplitudeReferences:
+    def test_differential_level(self):
+        control = GeneratorControl(TimeVariantCapacitorArray(), 0.075, -0.075)
+        assert control.va_differential == pytest.approx(0.15)
+
+    def test_reprogramming(self):
+        control = GeneratorControl(TimeVariantCapacitorArray())
+        control.set_amplitude_references(0.125, -0.125)
+        assert control.va_differential == pytest.approx(0.25)
+
+    def test_charge_scales_with_reference(self):
+        """Fig. 8a's linear amplitude control starts here: charge is
+        exactly proportional to VA+ - VA-."""
+        array = TimeVariantCapacitorArray()
+        small = GeneratorControl(array, 0.075, -0.075).charge_sequence(32)
+        large = GeneratorControl(array, 0.150, -0.150).charge_sequence(32)
+        assert np.allclose(large, 2.0 * small)
+
+    def test_zero_reference_silent(self):
+        control = GeneratorControl(TimeVariantCapacitorArray(), 0.1, 0.1)
+        assert np.all(control.charge_sequence(16) == 0.0)
+
+
+class TestControlLines:
+    def test_one_hot_and_polarity_shapes(self):
+        control = GeneratorControl(TimeVariantCapacitorArray())
+        hot, polarity = control.control_lines(16)
+        assert hot.shape == (16, 4)
+        assert polarity.shape == (16,)
+
+    def test_polarity_is_phi_in(self):
+        control = GeneratorControl(TimeVariantCapacitorArray())
+        _, polarity = control.control_lines(16)
+        assert list(polarity[:8]) == [1] * 8
+        assert list(polarity[8:]) == [-1] * 8

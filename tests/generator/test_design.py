@@ -1,0 +1,78 @@
+"""Table I design constants and derived figures."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.generator.design import (
+    PAPER_CAPACITORS,
+    amplitude_gain,
+    design_summary,
+    image_attenuation_db,
+    output_phase_offset,
+    va_for_amplitude,
+)
+
+
+class TestTableI:
+    def test_values(self):
+        assert PAPER_CAPACITORS.a == 5.194
+        assert PAPER_CAPACITORS.b == 12.749
+        assert PAPER_CAPACITORS.c == 1.0
+        assert PAPER_CAPACITORS.d == 2.574
+        assert PAPER_CAPACITORS.f == 1.014
+        assert PAPER_CAPACITORS.e == 0.0
+
+
+class TestDesignSummary:
+    def test_stable(self):
+        assert design_summary()["stable"] is True
+
+    def test_resonance_near_tone(self):
+        summary = design_summary()
+        assert summary["f0_over_fwave"] == pytest.approx(0.935, abs=0.05)
+
+    def test_moderate_q(self):
+        assert 0.8 < design_summary()["q"] < 1.5
+
+    def test_f0_scales_with_clock(self):
+        lo = design_summary(fgen=1e6)
+        hi = design_summary(fgen=2e6)
+        assert hi["f0"] == pytest.approx(2 * lo["f0"])
+
+    def test_rejects_bad_fgen(self):
+        with pytest.raises(ConfigError):
+            design_summary(fgen=0.0)
+
+
+class TestAmplitudeProgramming:
+    def test_gain_is_twice_filter_response(self):
+        summary = design_summary()
+        assert amplitude_gain() == pytest.approx(2.0 * summary["gain_at_fwave"])
+
+    def test_va_for_amplitude_round_trip(self):
+        va = va_for_amplitude(0.5)
+        assert amplitude_gain() * va == pytest.approx(0.5)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ConfigError):
+            va_for_amplitude(-0.1)
+
+    def test_phase_offset_in_range(self):
+        phase = output_phase_offset()
+        assert -math.pi <= phase <= math.pi
+
+
+class TestImageAttenuation:
+    def test_in_band_harmonics_attenuated(self):
+        # The biquad attenuates 2 fwave and 3 fwave relative to fwave.
+        assert image_attenuation_db(2) > 3.0
+        assert image_attenuation_db(3) > 10.0
+
+    def test_fundamental_is_zero_db(self):
+        assert image_attenuation_db(1) == pytest.approx(0.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigError):
+            image_attenuation_db(0)

@@ -1,0 +1,104 @@
+"""Generalized P-step synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generator import multistep
+
+
+class TestValidation:
+    def test_rejects_small(self):
+        with pytest.raises(ConfigError):
+            multistep.validate_steps(4)
+
+    def test_rejects_non_multiple_of_4(self):
+        with pytest.raises(ConfigError):
+            multistep.validate_steps(18)
+
+    def test_accepts_paper_value(self):
+        multistep.validate_steps(16)
+
+
+class TestWeights:
+    def test_p16_matches_paper_eq2(self):
+        weights = multistep.capacitor_weights(16)
+        expected = [2 * math.sin(k * math.pi / 8) for k in range(5)]
+        assert np.allclose(weights, expected)
+
+    def test_capacitor_count(self):
+        assert multistep.capacitor_count(16) == 4
+        assert multistep.capacitor_count(32) == 8
+
+    def test_max_weight_is_two(self):
+        for steps in (8, 16, 32, 64):
+            assert multistep.capacitor_weights(steps)[-1] == pytest.approx(2.0)
+
+
+class TestQuantizedSine:
+    @pytest.mark.parametrize("steps", [8, 16, 32, 64])
+    def test_is_exactly_sampled_sine(self, steps):
+        n = steps * 4
+        seq = multistep.quantized_sine(steps, n, amplitude=0.5)
+        expected = 0.5 * np.sin(2 * np.pi * np.arange(n) / steps)
+        assert np.allclose(seq, expected, atol=1e-12)
+
+    def test_p16_matches_original_module(self):
+        from repro.signals.staircase import ideal_staircase_sequence
+
+        a = multistep.quantized_sine(16, 64, amplitude=0.3)
+        b = ideal_staircase_sequence(64, amplitude=0.3)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_discrete_purity(self):
+        seq = multistep.quantized_sine(32, 32 * 16)
+        spectrum = np.abs(np.fft.rfft(seq)) / len(seq) * 2
+        spurs = spectrum.copy()
+        spurs[16] = 0.0
+        assert np.max(spurs) < 1e-12
+
+
+class TestImageLaw:
+    def test_first_image_orders(self):
+        assert multistep.first_image_order(8) == 7
+        assert multistep.first_image_order(16) == 15
+        assert multistep.first_image_order(32) == 31
+
+    def test_image_levels(self):
+        assert multistep.image_level_dbc(16) == pytest.approx(-23.52, abs=0.02)
+        assert multistep.image_level_dbc(32) == pytest.approx(-29.83, abs=0.02)
+
+    def test_more_steps_purer(self):
+        assert multistep.image_level_dbc(32) < multistep.image_level_dbc(16)
+        assert multistep.image_level_dbc(16) < multistep.image_level_dbc(8)
+
+    def test_non_image_order_rejected(self):
+        with pytest.raises(ConfigError):
+            multistep.image_level_dbc(16, order=14)
+
+    def test_image_law_matches_fft(self):
+        steps = 32
+        periods = 4
+        seq = multistep.quantized_sine(steps, steps * periods)
+        held = np.repeat(seq, 16)
+        spectrum = np.abs(np.fft.rfft(held)) / len(held) * 2
+        fund = spectrum[periods]
+        order = multistep.first_image_order(steps)
+        measured_dbc = 20 * np.log10(spectrum[periods * order] / fund)
+        assert measured_dbc == pytest.approx(
+            multistep.image_level_dbc(steps), abs=0.2
+        )
+
+
+class TestPurityComparison:
+    def test_table_rows(self):
+        rows = multistep.purity_comparison()
+        assert [r["steps"] for r in rows] == [8, 16, 32]
+        assert rows[1]["capacitors"] == 4  # the paper's design point
+
+    def test_capacitance_grows_with_steps(self):
+        rows = multistep.purity_comparison((8, 16, 32))
+        totals = [r["total_capacitance"] for r in rows]
+        assert totals[0] < totals[1] < totals[2]

@@ -1,0 +1,157 @@
+"""The complete sinewave generator (paper Fig. 2 / Fig. 8 behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import ClockTree
+from repro.errors import ConfigError
+from repro.generator.sinewave_generator import SinewaveGenerator
+from repro.sc.mismatch import MismatchModel
+from repro.sc.opamp import OpAmpModel
+from repro.signals import metrics
+from repro.signals.spectrum import Spectrum
+
+
+@pytest.fixture
+def generator():
+    gen = SinewaveGenerator(ClockTree.from_fwave(62.5e3))
+    gen.set_amplitude(0.5)
+    return gen
+
+
+class TestFrequency:
+    def test_output_at_fwave(self, generator):
+        wave = generator.render(16)
+        spec = Spectrum.from_waveform(wave)
+        freq, _amp = spec.peak()
+        assert freq == pytest.approx(62.5e3, rel=1e-9)
+
+    def test_frequency_tracks_master_clock(self):
+        # Retuning = changing the clock; same design, same code path.
+        for fwave in (100.0, 1000.0, 20e3):
+            gen = SinewaveGenerator(ClockTree.from_fwave(fwave))
+            gen.set_amplitude(0.3)
+            spec = Spectrum.from_waveform(gen.render(16))
+            freq, _ = spec.peak()
+            assert freq == pytest.approx(fwave, rel=1e-9)
+
+    def test_render_held_is_on_master_clock(self, generator):
+        held = generator.render_held(4)
+        assert held.sample_rate == pytest.approx(6e6)
+        assert len(held) == 4 * 96
+
+
+class TestAmplitudeProgramming:
+    def test_programmed_amplitude_achieved(self, generator):
+        wave = generator.render(16)
+        spec = Spectrum.from_waveform(wave)
+        assert spec.amplitude_at(62.5e3) == pytest.approx(0.5, rel=0.02)
+
+    def test_linear_scaling_fig8a(self):
+        """Fig. 8a: amplitudes scale linearly with the references
+        (300/500/600 mV for +/-75/125/150 mV)."""
+        clock = ClockTree.from_fwave(62.5e3)
+        amplitudes = []
+        for va in (0.075, 0.125, 0.150):
+            gen = SinewaveGenerator(clock)
+            gen.set_amplitude_references(va, -va)
+            spec = Spectrum.from_waveform(gen.render(16))
+            amplitudes.append(spec.amplitude_at(62.5e3))
+        assert amplitudes[1] / amplitudes[0] == pytest.approx(125 / 75, rel=1e-6)
+        assert amplitudes[2] / amplitudes[0] == pytest.approx(150 / 75, rel=1e-6)
+
+    def test_expected_amplitude_property(self, generator):
+        assert generator.expected_amplitude == pytest.approx(0.5, rel=1e-9)
+
+    def test_reference_interface(self):
+        gen = SinewaveGenerator(ClockTree.from_fwave(1000.0))
+        gen.set_amplitude_references(0.1, -0.1)
+        assert gen.control.va_differential == pytest.approx(0.2)
+
+
+class TestSpectralPurity:
+    def test_ideal_generator_has_no_inband_harmonics(self, generator):
+        spec = Spectrum.from_waveform(generator.render(64))
+        # Discrete-time output of the ideal generator is a pure sampled sine.
+        for k in (2, 3, 4, 5):
+            assert spec.dbc(k * 62.5e3, 62.5e3) < -200
+
+    def test_held_output_images_at_15_and_17(self, generator):
+        held = generator.render_held(64)
+        spec = Spectrum.from_waveform(held)
+        # 1/15 and 1/17 relative amplitudes (the CT sampling images).
+        assert spec.dbc(15 * 62.5e3, 62.5e3) == pytest.approx(-23.5, abs=1.0)
+        assert spec.dbc(17 * 62.5e3, 62.5e3) == pytest.approx(-24.6, abs=1.0)
+
+    def test_mismatch_produces_inband_spurs(self):
+        gen = SinewaveGenerator(
+            ClockTree.from_fwave(62.5e3),
+            mismatch=MismatchModel(sigma_unit=0.001, seed=2008),
+        )
+        gen.set_amplitude(0.5)
+        spec = Spectrum.from_waveform(gen.render(64))
+        band = (1.0, 10 * 62.5e3)
+        sfdr = metrics.sfdr_db(spec, 62.5e3, band=band)
+        # 0.1 % mismatch puts spurs around the paper's 70 dB level.
+        assert 55.0 < sfdr < 95.0
+
+
+class TestSettling:
+    def test_render_discards_transient(self, generator):
+        # Steady-state periods must repeat almost exactly.
+        wave = generator.render(8, settle_periods=12)
+        period = 16
+        first = wave.samples[:period]
+        last = wave.samples[-period:]
+        assert np.allclose(first, last, atol=1e-9)
+
+    def test_transient_visible_without_settling(self, generator):
+        wave = generator.render_steps(32)
+        first = wave.samples[:16]
+        second = wave.samples[16:32]
+        assert not np.allclose(first, second, atol=1e-6)
+
+    def test_phase_alignment_preserved(self, generator):
+        # Sample 0 of the rendered wave is pattern step 0: its value must
+        # be reproducible across renders with different settle lengths.
+        a = generator.render(4, settle_periods=12)
+        b = generator.render(4, settle_periods=14)
+        assert a.samples[0] == pytest.approx(b.samples[0], abs=1e-9)
+
+    def test_validation(self, generator):
+        with pytest.raises(ConfigError):
+            generator.render(0)
+        with pytest.raises(ConfigError):
+            generator.render(4, settle_periods=-1)
+
+
+class TestNonidealGenerator:
+    def test_opamp_models_accepted(self):
+        gen = SinewaveGenerator(
+            ClockTree.from_fwave(1000.0),
+            opamp1=OpAmpModel.folded_cascode_035um(),
+            opamp2=OpAmpModel.folded_cascode_035um(),
+            rng=np.random.default_rng(1),
+        )
+        gen.set_amplitude(0.3)
+        wave = gen.render(8)
+        spec = Spectrum.from_waveform(wave)
+        assert spec.amplitude_at(1000.0) == pytest.approx(0.3, rel=0.05)
+
+    def test_noise_raises_floor(self):
+        clock = ClockTree.from_fwave(1000.0)
+        quiet = SinewaveGenerator(clock)
+        quiet.set_amplitude(0.3)
+        noisy = SinewaveGenerator(
+            clock,
+            opamp1=OpAmpModel(noise_rms=100e-6),
+            opamp2=OpAmpModel(noise_rms=100e-6),
+            rng=np.random.default_rng(3),
+        )
+        noisy.set_amplitude(0.3)
+        spec_q = Spectrum.from_waveform(quiet.render(32))
+        spec_n = Spectrum.from_waveform(noisy.render(32))
+        band = (1.0, 10e3)
+        assert metrics.snr_db(spec_n, 1000.0, band=band) < metrics.snr_db(
+            spec_q, 1000.0, band=band
+        )

@@ -1,0 +1,68 @@
+"""Switch charge-domain nonlinearity (the prototype-calibration knob)."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import ClockTree
+from repro.errors import ConfigError
+from repro.generator.capacitor_array import TimeVariantCapacitorArray
+from repro.generator.design import PROTOTYPE_SWITCH_NONLINEARITY
+from repro.generator.sinewave_generator import SinewaveGenerator
+from repro.signals import metrics
+from repro.signals.spectrum import Spectrum
+
+
+class TestChargeDeformation:
+    def test_identity_when_disabled(self):
+        clean = TimeVariantCapacitorArray()
+        assert clean.switch_nonlinearity is None
+        q = clean.charge_sequence(32, 0.5)
+        expected = 0.5 * 2 * np.sin(2 * np.pi * np.arange(32) / 16)
+        assert np.allclose(q, expected)
+
+    def test_cubic_term_applied(self):
+        nl = TimeVariantCapacitorArray(switch_nonlinearity=(0.0, 1e-2))
+        clean = TimeVariantCapacitorArray()
+        q_nl = nl.charge_sequence(32, 0.5)
+        q = clean.charge_sequence(32, 0.5)
+        assert np.allclose(q_nl, q + 1e-2 * q**3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimeVariantCapacitorArray(switch_nonlinearity=(1e-3,))
+
+
+class TestSpectralEffect:
+    def test_generates_harmonics(self):
+        clock = ClockTree.from_fwave(62.5e3)
+        gen = SinewaveGenerator(clock, switch_nonlinearity=(1e-3, 5e-4))
+        gen.set_amplitude(0.5)
+        spec = Spectrum.from_waveform(gen.render(64))
+        hd2 = spec.dbc(2 * 62.5e3, 62.5e3)
+        hd3 = spec.dbc(3 * 62.5e3, 62.5e3)
+        assert -90.0 < hd2 < -50.0
+        assert -90.0 < hd3 < -50.0
+
+    def test_prototype_constant_lands_near_70db(self):
+        """The calibration claim: the prototype constant reproduces the
+        paper's measured SFDR within a few dB (mismatch/noise disabled
+        here isolates the switch contribution near that level)."""
+        clock = ClockTree.from_fwave(62.5e3)
+        gen = SinewaveGenerator(
+            clock, switch_nonlinearity=PROTOTYPE_SWITCH_NONLINEARITY
+        )
+        gen.set_amplitude(0.5)
+        held = gen.render_held(128)
+        spec = Spectrum.from_waveform(held.slice_samples(0, 128 * 96))
+        sfdr = metrics.sfdr_db(spec, 62.5e3, band=(1.0, 10 * 62.5e3))
+        assert 65.0 < sfdr < 80.0
+
+    def test_distortion_scales_with_coefficient(self):
+        clock = ClockTree.from_fwave(1000.0)
+        weak = SinewaveGenerator(clock, switch_nonlinearity=(1e-4, 0.0))
+        strong = SinewaveGenerator(clock, switch_nonlinearity=(1e-3, 0.0))
+        for gen in (weak, strong):
+            gen.set_amplitude(0.4)
+        spec_weak = Spectrum.from_waveform(weak.render(64))
+        spec_strong = Spectrum.from_waveform(strong.render(64))
+        assert spec_strong.dbc(2000.0, 1000.0) > spec_weak.dbc(2000.0, 1000.0) + 15.0

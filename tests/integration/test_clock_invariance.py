@@ -1,0 +1,71 @@
+"""Clock-scaling invariance: the architectural heart of the paper.
+
+"This inherent synchronization is an important feature in the proposed
+scheme: both the generated stimulus frequency and the sigma-delta
+modulation in the evaluator are accurately controlled by the master
+clock.  That is, the oversampling ratio keeps constant when sweeping the
+master clock frequency."  Consequence (Section III.C): the one-off
+calibration is valid at every sweep frequency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import ClockTree
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.base import PassthroughDUT
+from repro.generator.sinewave_generator import SinewaveGenerator
+
+SWEEP = (100.0, 430.0, 1000.0, 6300.0, 20_000.0)
+
+
+class TestGeneratorInvariance:
+    def test_waveform_shape_identical_at_any_clock(self):
+        """The generator's discrete output sequence is clock-independent:
+        retuning rescales time only."""
+        reference = None
+        for fwave in SWEEP:
+            gen = SinewaveGenerator(ClockTree.from_fwave(fwave))
+            gen.set_amplitude(0.3)
+            samples = gen.render(4).samples
+            if reference is None:
+                reference = samples
+            else:
+                assert np.allclose(samples, reference, atol=1e-12)
+
+
+class TestCalibrationInvariance:
+    def test_bypass_measurement_identical_across_sweep(self):
+        """Stimulus amplitude and phase measured on the bypass are the
+        same numbers at every master clock: calibrate once."""
+        an = NetworkAnalyzer(PassthroughDUT(), AnalyzerConfig.ideal(m_periods=20))
+        readings = [
+            an.measure_stimulus(f, through_dut=False) for f in SWEEP
+        ]
+        amplitudes = [r.amplitude.value for r in readings]
+        phases = [r.phase.value for r in readings]
+        assert np.ptp(amplitudes) < 1e-12
+        assert np.ptp(phases) < 1e-12
+
+    def test_calibration_from_any_frequency_works_everywhere(self, paper_dut):
+        an = NetworkAnalyzer(paper_dut, AnalyzerConfig.ideal(m_periods=40))
+        cal_low = an.calibrate(150.0)
+        gains_with_low_cal = [
+            an.measure_gain_phase(f, calibration=cal_low).gain_db.value
+            for f in (400.0, 2000.0)
+        ]
+        cal_high = an.calibrate(10_000.0)
+        gains_with_high_cal = [
+            an.measure_gain_phase(f, calibration=cal_high).gain_db.value
+            for f in (400.0, 2000.0)
+        ]
+        assert np.allclose(gains_with_low_cal, gains_with_high_cal, atol=1e-9)
+
+
+class TestOversamplingConstancy:
+    def test_n_is_96_at_every_clock(self):
+        for fwave in SWEEP:
+            tree = ClockTree.from_fwave(fwave)
+            assert tree.oversampling_ratio == 96
+            assert tree.feva / tree.fwave == pytest.approx(96.0)

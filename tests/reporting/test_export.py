@@ -1,0 +1,73 @@
+"""CSV export of Bode and distortion results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.bode import BodeResult
+from repro.core.config import AnalyzerConfig
+from repro.core.distortion import measure_distortion
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.nonlinear import WienerDUT, polynomial_for_distortion
+from repro.errors import ConfigError
+from repro.reporting.export import bode_to_csv, distortion_to_csv, write_csv
+from repro.sc.opamp import OpAmpModel
+
+
+@pytest.fixture(scope="module")
+def bode():
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    an = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=20))
+    an.calibrate(1000.0)
+    return BodeResult(tuple(an.bode([500.0, 1000.0, 2000.0])))
+
+
+@pytest.fixture(scope="module")
+def distortion():
+    linear = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    level = 0.4 * linear.gain_at(1600.0)
+    dut = WienerDUT(linear, polynomial_for_distortion(level, -50.0, -55.0))
+    an = NetworkAnalyzer(
+        dut,
+        AnalyzerConfig.ideal(
+            stimulus_amplitude=0.4,
+            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+            noise_seed=2,
+        ),
+    )
+    return measure_distortion(an, 1600.0, m_periods=100)
+
+
+class TestBodeCsv:
+    def test_parses_back(self, bode):
+        text = bode_to_csv(bode)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert float(rows[1]["frequency_hz"]) == 1000.0
+        assert float(rows[1]["gain_db"]) == pytest.approx(-3.01, abs=0.2)
+
+    def test_bounds_ordered(self, bode):
+        rows = list(csv.DictReader(io.StringIO(bode_to_csv(bode))))
+        for row in rows:
+            assert float(row["gain_db_lower"]) <= float(row["gain_db"])
+            assert float(row["gain_db"]) <= float(row["gain_db_upper"])
+
+
+class TestDistortionCsv:
+    def test_parses_back(self, distortion):
+        rows = list(csv.DictReader(io.StringIO(distortion_to_csv(distortion))))
+        assert [int(r["harmonic"]) for r in rows] == [2, 3]
+        assert float(rows[0]["level_dbc"]) == pytest.approx(-50.0, abs=3.0)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, bode, tmp_path):
+        path = tmp_path / "bode.csv"
+        write_csv(path, bode_to_csv(bode))
+        assert path.read_text().startswith("frequency_hz")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_csv(tmp_path / "x.csv", "")

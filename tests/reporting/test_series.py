@@ -1,0 +1,37 @@
+"""Numeric series formatting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.series import format_series
+
+
+class TestFormatting:
+    def test_columns_aligned(self):
+        text = format_series({"f": [100.0, 1000.0], "gain": [-0.1, -3.0]})
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_headers_present(self):
+        text = format_series({"frequency": [1.0], "phase": [2.0]})
+        assert "frequency" in text and "phase" in text
+
+    def test_numpy_arrays(self):
+        text = format_series({"x": np.array([1.5, 2.5])})
+        assert "1.5" in text and "2.5" in text
+
+    def test_digits(self):
+        text = format_series({"x": [0.123456789]}, digits=3)
+        assert "0.123" in text
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            format_series({})
+
+    def test_ragged(self):
+        with pytest.raises(ConfigError):
+            format_series({"a": [1.0], "b": [1.0, 2.0]})

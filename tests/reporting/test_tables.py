@@ -1,0 +1,43 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.tables import ascii_table
+
+
+class TestRendering:
+    def test_basic_table(self):
+        text = ascii_table(["f (Hz)", "gain (dB)"], [[100.0, -0.1], [1000.0, -3.0]])
+        lines = text.splitlines()
+        assert "f (Hz)" in lines[0]
+        assert "-" in lines[1]
+        assert "100" in lines[2]
+
+    def test_title(self):
+        text = ascii_table(["a"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_alignment_consistent(self):
+        text = ascii_table(["col"], [[1], [22], [333]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = ascii_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_strings_pass_through(self):
+        text = ascii_table(["verdict"], [["pass"], ["fail"]])
+        assert "pass" in text and "fail" in text
+
+
+class TestValidation:
+    def test_empty_headers(self):
+        with pytest.raises(ConfigError):
+            ascii_table([], [])
+
+    def test_ragged_rows(self):
+        with pytest.raises(ConfigError):
+            ascii_table(["a", "b"], [[1]])

@@ -1,0 +1,129 @@
+"""z-domain analysis utilities."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.analysis import (
+    continuous_equivalent,
+    dc_gain,
+    frequency_response,
+    impulse_response,
+    is_stable,
+    peak_response,
+    poles,
+    resonance,
+)
+
+
+def first_order(lam=0.9, gain=0.1):
+    """x[n] = lam x[n-1] + gain u[n], y = x."""
+    m = np.array([[lam]])
+    b = np.array([gain])
+    c = np.array([1.0])
+    return m, b, c
+
+
+class TestPoles:
+    def test_first_order_pole(self):
+        m, _, _ = first_order(0.9)
+        assert poles(m)[0] == pytest.approx(0.9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigError):
+            poles(np.zeros((2, 3)))
+
+    def test_stability(self):
+        assert is_stable(np.array([[0.99]]))
+        assert not is_stable(np.array([[1.01]]))
+
+
+class TestContinuousEquivalent:
+    def test_real_pole_frequency(self):
+        # z = e^{-a T}: f0 = a / 2 pi.
+        fclk = 1e6
+        a = 2 * math.pi * 10e3
+        z = math.exp(-a / fclk)
+        f0, q = continuous_equivalent(z, fclk)
+        assert f0 == pytest.approx(10e3, rel=1e-6)
+        assert q == pytest.approx(0.5, rel=1e-6)
+
+    def test_complex_pole_pair(self):
+        fclk = 1e6
+        f0_target, q_target = 50e3, 2.0
+        w0 = 2 * math.pi * f0_target
+        s = -w0 / (2 * q_target) + 1j * w0 * math.sqrt(1 - 1 / (4 * q_target**2))
+        z = cmath.exp(s / fclk)
+        f0, q = continuous_equivalent(z, fclk)
+        assert f0 == pytest.approx(f0_target, rel=1e-9)
+        assert q == pytest.approx(q_target, rel=1e-9)
+
+    def test_pole_at_origin_rejected(self):
+        with pytest.raises(ConfigError):
+            continuous_equivalent(0.0, 1e6)
+
+    def test_resonance_requires_complex_poles(self):
+        with pytest.raises(ConfigError):
+            resonance(np.array([[0.5]]), 1e6)
+
+
+class TestFrequencyResponse:
+    def test_dc_gain_first_order(self):
+        m, b, c = first_order(0.9, 0.1)
+        # H(1) = 0.1 / (1 - 0.9) = 1.
+        assert dc_gain(m, b, c) == pytest.approx(1.0)
+
+    def test_matches_fft_of_impulse(self):
+        m, b, c = first_order(0.8, 0.3)
+        n = 4096
+        h = impulse_response(m, b, c, n)
+        fft = np.fft.rfft(h)
+        test_bins = [1, 10, 100, 500]
+        freqs = [k / n for k in test_bins]
+        analytic = frequency_response(m, b, c, freqs, fclk=1.0)
+        for k, a in zip(test_bins, analytic):
+            assert abs(fft[k] - a) < 1e-9
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigError):
+            frequency_response(np.eye(2), np.array([1.0]), np.array([1.0, 0.0]), [0.1], 1.0)
+
+    def test_rejects_bad_clock(self):
+        m, b, c = first_order()
+        with pytest.raises(ConfigError):
+            frequency_response(m, b, c, [0.1], fclk=0.0)
+
+
+class TestPeakResponse:
+    def test_finds_resonance(self):
+        # A lightly damped resonator peaks near its pole frequency.
+        r, theta = 0.98, 0.3
+        m = np.array(
+            [[2 * r * math.cos(theta), -r * r], [1.0, 0.0]]
+        )
+        b = np.array([1.0, 0.0])
+        c = np.array([1.0, 0.0])
+        f_peak, gain = peak_response(m, b, c, fclk=1.0)
+        assert f_peak == pytest.approx(theta / (2 * math.pi), rel=0.02)
+        assert gain > 10.0
+
+    def test_grid_validation(self):
+        m, b, c = first_order()
+        with pytest.raises(ConfigError):
+            peak_response(m, b, c, fclk=1.0, n_grid=4)
+
+
+class TestImpulseResponse:
+    def test_first_sample(self):
+        m, b, c = first_order(0.9, 0.25)
+        h = impulse_response(m, b, c, 3)
+        assert h[0] == pytest.approx(0.25)
+        assert h[1] == pytest.approx(0.225)
+
+    def test_negative_length(self):
+        m, b, c = first_order()
+        with pytest.raises(ConfigError):
+            impulse_response(m, b, c, -1)

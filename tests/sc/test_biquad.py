@@ -1,0 +1,167 @@
+"""The Fleischer-Laker SC biquad: difference equations vs linear model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.analysis import frequency_response, impulse_response
+from repro.sc.biquad import BiquadCapacitors, SCBiquad
+from repro.sc.mismatch import MismatchModel
+from repro.sc.opamp import OpAmpModel
+
+PAPER = BiquadCapacitors(a=5.194, b=12.749, c=1.0, d=2.574, f=1.014)
+
+
+class TestCapacitors:
+    def test_rejects_nonpositive_core(self):
+        with pytest.raises(ConfigError):
+            BiquadCapacitors(a=0.0, b=1.0, c=1.0, d=1.0, f=0.1)
+
+    def test_damping_caps_may_be_zero(self):
+        caps = BiquadCapacitors(a=1.0, b=1.0, c=1.0, d=1.0, f=0.0)
+        assert caps.f == 0.0
+
+    def test_rejects_negative_damping(self):
+        with pytest.raises(ConfigError):
+            BiquadCapacitors(a=1.0, b=1.0, c=1.0, d=1.0, f=-0.1)
+
+    def test_mismatched_copy(self):
+        caps = PAPER.mismatched(MismatchModel(sigma_unit=0.01, seed=1))
+        assert caps.a != PAPER.a
+        assert caps.a == pytest.approx(PAPER.a, rel=0.05)
+
+    def test_mismatch_reproducible(self):
+        a = PAPER.mismatched(MismatchModel(0.01, seed=9))
+        b = PAPER.mismatched(MismatchModel(0.01, seed=9))
+        assert a == b
+
+
+class TestIdealDynamics:
+    def test_run_matches_state_matrices(self):
+        """Time stepping must agree exactly with the linear model."""
+        biquad = SCBiquad(PAPER)
+        m, bvec, cvec = biquad.state_matrices()
+        rng = np.random.default_rng(3)
+        charges = rng.normal(0, 0.5, size=200)
+        out = biquad.run(charges)
+        x = np.zeros(2)
+        expected = np.empty(200)
+        for i, q in enumerate(charges):
+            x = m @ x + bvec * q
+            expected[i] = cvec @ x
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_step_equals_run(self):
+        b1 = SCBiquad(PAPER)
+        b2 = SCBiquad(PAPER)
+        charges = np.linspace(-1, 1, 50)
+        out_run = b1.run(charges)
+        out_step = np.array([b2.step(q) for q in charges])
+        assert np.allclose(out_run, out_step, atol=1e-12)
+
+    def test_impulse_response_matches_analysis(self):
+        biquad = SCBiquad(PAPER)
+        m, bvec, cvec = biquad.state_matrices()
+        h_analysis = impulse_response(m, bvec, cvec, 50)
+        impulse = np.zeros(50)
+        impulse[0] = 1.0
+        h_sim = biquad.run(impulse)
+        assert np.allclose(h_sim, h_analysis, atol=1e-12)
+
+    def test_stable_decay(self):
+        biquad = SCBiquad(PAPER)
+        impulse = np.zeros(400)
+        impulse[0] = 1.0
+        out = biquad.run(impulse)
+        assert abs(out[-1]) < 1e-20 or abs(out[-1]) < abs(out[10])
+
+    def test_reset(self):
+        biquad = SCBiquad(PAPER)
+        biquad.run(np.ones(10))
+        biquad.reset()
+        assert biquad.v1 == 0.0 and biquad.v2 == 0.0
+
+    def test_passband_covers_fwave(self):
+        """Table I values must put the passband at the synthesized tone:
+        the tone rides within ~2 dB of the peak, and frequencies beyond
+        3x the tone are strongly attenuated."""
+        biquad = SCBiquad(PAPER)
+        m, bvec, cvec = biquad.state_matrices()
+        fwave = 1.0 / 16.0
+        freqs = np.linspace(0.001, 0.5, 2000)
+        mag = np.abs(frequency_response(m, bvec, cvec, freqs, fclk=1.0))
+        peak = np.max(mag)
+        at_tone = np.abs(frequency_response(m, bvec, cvec, [fwave], fclk=1.0))[0]
+        assert at_tone > 0.7 * peak  # within ~3 dB of peak
+        at_3x = np.abs(frequency_response(m, bvec, cvec, [3 * fwave], fclk=1.0))[0]
+        assert at_3x < 0.3 * at_tone  # > 10 dB attenuation by 3 fwave
+
+    def test_resonance_near_fwave(self):
+        """The continuous-equivalent pole frequency sits on the tone."""
+        from repro.sc.analysis import resonance
+
+        biquad = SCBiquad(PAPER)
+        m, _, _ = biquad.state_matrices()
+        f0, q = resonance(m, fclk=1.0)
+        assert f0 == pytest.approx(1.0 / 16.0, rel=0.1)
+        assert 0.5 < q < 3.0
+
+
+class TestNonidealities:
+    def test_finite_gain_shifts_response(self):
+        ideal = SCBiquad(PAPER)
+        soft = SCBiquad(
+            PAPER,
+            opamp1=OpAmpModel.from_gain_db(40.0),
+            opamp2=OpAmpModel.from_gain_db(40.0),
+        )
+        impulse = np.zeros(100)
+        impulse[0] = 1.0
+        out_ideal = ideal.run(impulse)
+        out_soft = soft.run(impulse)
+        assert not np.allclose(out_ideal, out_soft)
+
+    def test_saturation_limits_output(self):
+        biquad = SCBiquad(
+            PAPER,
+            opamp1=OpAmpModel(v_sat=0.5),
+            opamp2=OpAmpModel(v_sat=0.5),
+        )
+        out = biquad.run(10.0 * np.ones(50))
+        assert np.max(np.abs(out)) <= 0.5
+
+    def test_noise_needs_rng(self):
+        noisy_model = OpAmpModel(noise_rms=1e-3)
+        quiet = SCBiquad(PAPER, opamp1=noisy_model, opamp2=noisy_model)
+        assert quiet.is_ideal() is False or quiet.rng is None
+        out = quiet.run(np.zeros(10))
+        assert np.allclose(out, 0.0)
+
+    def test_noise_with_rng(self):
+        noisy_model = OpAmpModel(noise_rms=1e-3)
+        biquad = SCBiquad(
+            PAPER, opamp1=noisy_model, opamp2=noisy_model,
+            rng=np.random.default_rng(0),
+        )
+        out = biquad.run(np.zeros(100))
+        assert np.std(out) > 0.0
+
+    def test_offset_produces_dc(self):
+        biquad = SCBiquad(
+            PAPER,
+            opamp1=OpAmpModel(offset=1e-3),
+            opamp2=OpAmpModel(offset=1e-3),
+        )
+        out = biquad.run(np.zeros(2000))
+        assert abs(np.mean(out[-100:])) > 1e-5
+
+    def test_ktc_noise_scales_with_unit_cap(self):
+        big_cap = SCBiquad(PAPER, rng=np.random.default_rng(1), unit_capacitance=10e-12)
+        small_cap = SCBiquad(PAPER, rng=np.random.default_rng(1), unit_capacitance=0.1e-12)
+        out_big = big_cap.run(np.zeros(500))
+        out_small = small_cap.run(np.zeros(500))
+        assert np.std(out_small) > np.std(out_big)
+
+    def test_rejects_bad_unit_cap(self):
+        with pytest.raises(ConfigError):
+            SCBiquad(PAPER, unit_capacitance=0.0)

@@ -1,0 +1,118 @@
+"""SC integrator: charge conservation, loss, and finite-gain errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.integrator import SCIntegrator
+from repro.sc.opamp import OpAmpModel
+
+
+class TestIdealLossless:
+    def test_accumulates_input(self):
+        integ = SCIntegrator(cs=0.4, cf=1.0, inverting=False)
+        out = integ.run(np.ones(10))
+        assert np.allclose(out, 0.4 * np.arange(1, 11))
+
+    def test_inverting_sign(self):
+        integ = SCIntegrator(cs=0.4, cf=1.0, inverting=True)
+        assert integ.step(1.0) == pytest.approx(-0.4)
+
+    def test_reset(self):
+        integ = SCIntegrator(cs=1.0, cf=1.0)
+        integ.step(1.0)
+        integ.reset()
+        assert integ.v == 0.0
+
+    def test_coefficient(self):
+        assert SCIntegrator(cs=0.4, cf=1.0).coefficient == pytest.approx(0.4)
+
+    def test_is_ideal(self):
+        assert SCIntegrator(1.0, 1.0).is_ideal()
+        assert not SCIntegrator(1.0, 1.0, opamp=OpAmpModel(offset=1e-3)).is_ideal()
+
+
+class TestLossy:
+    def test_leak_factor(self):
+        integ = SCIntegrator(cs=1.0, cf=9.0, cl=1.0)
+        assert integ.leak == pytest.approx(0.9)
+
+    def test_dc_gain_matches_theory(self):
+        # Lossy integrator DC gain = Cs/Cl.
+        integ = SCIntegrator(cs=0.5, cf=9.0, cl=1.0, inverting=False)
+        out = integ.run(np.ones(500))
+        assert out[-1] == pytest.approx(0.5 / 1.0, rel=1e-3)
+
+    def test_settles_exponentially(self):
+        integ = SCIntegrator(cs=1.0, cf=4.0, cl=1.0, inverting=False)
+        out = integ.run(np.ones(100))
+        lam = integ.leak
+        steady = 1.0  # Cs/Cl
+        expected = steady * (1 - lam ** np.arange(1, 101))
+        assert np.allclose(out, expected, rtol=1e-9)
+
+
+class TestFiniteGain:
+    def test_gain_error_shrinks_coefficient(self):
+        ideal = SCIntegrator(cs=1.0, cf=1.0, inverting=False)
+        lossy = SCIntegrator(
+            cs=1.0, cf=1.0, inverting=False, opamp=OpAmpModel.from_gain_db(40.0)
+        )
+        assert abs(lossy.step(1.0)) < abs(ideal.step(1.0))
+
+    def test_pole_leak_bleeds_state(self):
+        integ = SCIntegrator(
+            cs=1.0, cf=1.0, inverting=False, opamp=OpAmpModel.from_gain_db(40.0)
+        )
+        integ.step(1.0)
+        v1 = integ.v
+        integ.step(0.0)
+        assert 0 < integ.v < v1
+
+    def test_error_magnitude_first_order(self):
+        # eps_gain ~ (1 + Cs/Cf)/A0 for a 60 dB amplifier.
+        a0 = 1000.0
+        integ = SCIntegrator(cs=1.0, cf=1.0, inverting=False, opamp=OpAmpModel(dc_gain=a0))
+        measured = integ.step(1.0)
+        assert measured == pytest.approx(1.0 * (1 - 2.0 / a0), rel=1e-4)
+
+
+class TestNonidealities:
+    def test_offset_integrates(self):
+        integ = SCIntegrator(
+            cs=0.5, cf=1.0, inverting=False, opamp=OpAmpModel(offset=1e-3)
+        )
+        out = integ.run(np.zeros(100))
+        assert out[-1] == pytest.approx(100 * 0.5e-3, rel=1e-6)
+
+    def test_saturation_bounds_output(self):
+        integ = SCIntegrator(
+            cs=1.0, cf=1.0, inverting=False, opamp=OpAmpModel(v_sat=1.0)
+        )
+        out = integ.run(np.ones(50))
+        assert np.max(out) == 1.0
+
+    def test_noise_requires_rng(self):
+        quiet = SCIntegrator(1.0, 1.0, opamp=OpAmpModel(noise_rms=1e-3))
+        assert quiet.step(0.0) == 0.0
+        noisy = SCIntegrator(
+            1.0, 1.0, opamp=OpAmpModel(noise_rms=1e-3),
+            rng=np.random.default_rng(1),
+        )
+        assert noisy.step(0.0) != 0.0
+
+    def test_settling_error_slows_steps(self):
+        integ = SCIntegrator(
+            cs=1.0, cf=1.0, inverting=False, opamp=OpAmpModel(settling_error=0.5)
+        )
+        assert integ.step(1.0) == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ConfigError):
+            SCIntegrator(cs=0.0, cf=1.0)
+        with pytest.raises(ConfigError):
+            SCIntegrator(cs=1.0, cf=0.0)
+        with pytest.raises(ConfigError):
+            SCIntegrator(cs=1.0, cf=1.0, cl=-1.0)

@@ -1,0 +1,62 @@
+"""Capacitor mismatch model: Pelgrom law and die reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.mismatch import MismatchModel, pelgrom_sigma
+
+
+class TestPelgrom:
+    def test_unit_cap_sigma(self):
+        assert pelgrom_sigma(1.0, 0.001) == pytest.approx(0.001)
+
+    def test_area_law(self):
+        # 4x the capacitance -> half the relative sigma.
+        assert pelgrom_sigma(4.0, 0.001) == pytest.approx(0.0005)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pelgrom_sigma(0.0, 0.001)
+        with pytest.raises(ConfigError):
+            pelgrom_sigma(1.0, -0.001)
+
+
+class TestMismatchModel:
+    def test_same_seed_same_die(self):
+        a = MismatchModel(sigma_unit=0.001, seed=5)
+        b = MismatchModel(sigma_unit=0.001, seed=5)
+        values = [1.0, 2.574, 12.749]
+        assert np.array_equal(a.perturb_many(values), b.perturb_many(values))
+
+    def test_different_seeds_differ(self):
+        a = MismatchModel(sigma_unit=0.001, seed=1).perturb(1.0)
+        b = MismatchModel(sigma_unit=0.001, seed=2).perturb(1.0)
+        assert a != b
+
+    def test_ideal_model_is_exact(self):
+        model = MismatchModel.ideal()
+        assert model.perturb(2.574) == 2.574
+
+    def test_perturbation_magnitude(self):
+        model = MismatchModel(sigma_unit=0.001, seed=0)
+        draws = np.array([MismatchModel(0.001, seed=i).perturb(1.0) for i in range(500)])
+        rel = draws - 1.0
+        assert np.std(rel) == pytest.approx(0.001, rel=0.15)
+
+    def test_bigger_caps_match_better(self):
+        small = np.array(
+            [abs(MismatchModel(0.01, seed=i).perturb(1.0) - 1.0) for i in range(300)]
+        )
+        big = np.array(
+            [abs(MismatchModel(0.01, seed=i).perturb(16.0) - 16.0) / 16.0 for i in range(300)]
+        )
+        assert np.std(big) < np.std(small)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigError):
+            MismatchModel().perturb(0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            MismatchModel(sigma_unit=-0.1)

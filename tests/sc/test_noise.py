@@ -1,0 +1,42 @@
+"""kT/C noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.noise import ktc_noise_rms, sampled_ktc_noise
+
+
+class TestKtcRms:
+    def test_1pf_at_300k(self):
+        # The canonical figure: ~64 uV RMS on 1 pF.
+        assert ktc_noise_rms(1e-12) == pytest.approx(64.4e-6, rel=0.01)
+
+    def test_scales_inverse_sqrt_c(self):
+        assert ktc_noise_rms(4e-12) == pytest.approx(ktc_noise_rms(1e-12) / 2)
+
+    def test_scales_sqrt_t(self):
+        assert ktc_noise_rms(1e-12, temperature=400.0) == pytest.approx(
+            ktc_noise_rms(1e-12, temperature=100.0) * 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ktc_noise_rms(0.0)
+        with pytest.raises(ConfigError):
+            ktc_noise_rms(1e-12, temperature=-1.0)
+
+
+class TestSampledNoise:
+    def test_statistics(self):
+        rng = np.random.default_rng(0)
+        noise = sampled_ktc_noise(50_000, 1e-12, rng)
+        assert np.std(noise) == pytest.approx(ktc_noise_rms(1e-12), rel=0.03)
+
+    def test_length(self):
+        rng = np.random.default_rng(0)
+        assert len(sampled_ktc_noise(17, 1e-12, rng)) == 17
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigError):
+            sampled_ktc_noise(-1, 1e-12, np.random.default_rng(0))

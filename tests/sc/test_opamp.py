@@ -1,0 +1,75 @@
+"""Behavioural op-amp model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sc.opamp import OpAmpModel
+
+
+class TestValidation:
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ConfigError):
+            OpAmpModel(dc_gain=0.0)
+
+    def test_rejects_settling_out_of_range(self):
+        with pytest.raises(ConfigError):
+            OpAmpModel(settling_error=1.0)
+        with pytest.raises(ConfigError):
+            OpAmpModel(settling_error=-0.1)
+
+    def test_rejects_bad_saturation(self):
+        with pytest.raises(ConfigError):
+            OpAmpModel(v_sat=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigError):
+            OpAmpModel(noise_rms=-1.0)
+
+
+class TestIdeal:
+    def test_inverse_gain_zero(self):
+        assert OpAmpModel.ideal().inverse_gain == 0.0
+
+    def test_gain_db_infinite(self):
+        assert OpAmpModel.ideal().gain_db == float("inf")
+
+    def test_settle_reaches_target(self):
+        amp = OpAmpModel.ideal()
+        assert amp.settle(0.0, 1.0) == 1.0
+
+    def test_no_noise_without_rng(self):
+        assert OpAmpModel(noise_rms=1.0).sample_noise(None) == 0.0
+
+
+class TestFoldedCascode:
+    def test_70db_gain(self):
+        amp = OpAmpModel.folded_cascode_035um()
+        assert amp.gain_db == pytest.approx(70.0)
+
+    def test_from_gain_db(self):
+        amp = OpAmpModel.from_gain_db(60.0)
+        assert amp.dc_gain == pytest.approx(1000.0)
+        assert amp.inverse_gain == pytest.approx(1e-3)
+
+
+class TestBehaviour:
+    def test_saturation_clips_both_rails(self):
+        amp = OpAmpModel(v_sat=1.5)
+        assert amp.saturate(2.0) == 1.5
+        assert amp.saturate(-9.0) == -1.5
+        assert amp.saturate(0.3) == 0.3
+
+    def test_settling_error_leaves_residue(self):
+        amp = OpAmpModel(settling_error=0.1)
+        # Step from 0 toward 1: covers 90% of the step.
+        assert amp.settle(0.0, 1.0) == pytest.approx(0.9)
+        # From 1 toward 0: residue remains on the same side.
+        assert amp.settle(1.0, 0.0) == pytest.approx(0.1)
+
+    def test_noise_statistics(self):
+        amp = OpAmpModel(noise_rms=1e-3)
+        rng = np.random.default_rng(0)
+        draws = np.array([amp.sample_noise(rng) for _ in range(20_000)])
+        assert np.std(draws) == pytest.approx(1e-3, rel=0.05)
+        assert abs(np.mean(draws)) < 1e-4

@@ -1,0 +1,110 @@
+"""Spectral metrics: THD, SFDR, SNR, SINAD, ENOB."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals import metrics
+from repro.signals.sources import MultitoneSource, NoiseSource, SineSource
+from repro.signals.spectrum import Spectrum
+
+
+def spectrum_of(source, periods=32, fs=96e3, f0=1000.0):
+    n = int(periods * fs / f0)
+    return Spectrum.from_waveform(source.render(n, fs))
+
+
+class TestTHD:
+    def test_known_two_harmonic_signal(self):
+        # HD2 = 1%, HD3 = 0.5% -> THD = sqrt(1^2 + 0.5^2) %.
+        src = MultitoneSource.harmonic_series(1000.0, (1.0, 0.01, 0.005))
+        spec = spectrum_of(src)
+        assert metrics.thd(spec, 1000.0) == pytest.approx(
+            np.sqrt(0.01**2 + 0.005**2), rel=1e-6
+        )
+
+    def test_thd_db_positive_convention(self):
+        src = MultitoneSource.harmonic_series(1000.0, (1.0, 0.001))
+        spec = spectrum_of(src)
+        # Single -60 dB harmonic -> "THD is 60 dB" in paper phrasing.
+        assert metrics.thd_db(spec, 1000.0) == pytest.approx(60.0, abs=0.01)
+
+    def test_pure_tone_infinite_thd_db(self):
+        spec = spectrum_of(SineSource(1000.0, 0.5))
+        assert metrics.thd_db(spec, 1000.0) > 200.0
+
+    def test_requires_harmonics(self):
+        spec = spectrum_of(SineSource(1000.0, 0.5))
+        with pytest.raises(ConfigError):
+            metrics.thd(spec, 1000.0, n_harmonics=1)
+
+
+class TestSFDR:
+    def test_worst_spur_sets_sfdr(self):
+        src = MultitoneSource.harmonic_series(1000.0, (1.0, 0.001, 0.01))
+        spec = spectrum_of(src)
+        # Worst spur is HD3 at -40 dB.
+        assert metrics.sfdr_db(spec, 1000.0) == pytest.approx(40.0, abs=0.01)
+
+    def test_band_limited_sfdr(self):
+        src = MultitoneSource.harmonic_series(1000.0, (1.0, 0.0, 0.01))
+        spec = spectrum_of(src)
+        # Exclude the 3 kHz spur by restricting the band below it.
+        in_band = metrics.sfdr_db(spec, 1000.0, band=(10.0, 2500.0))
+        assert in_band > 100.0
+
+    def test_spectrally_pure_signal(self):
+        spec = spectrum_of(SineSource(1000.0, 0.5))
+        assert metrics.sfdr_db(spec, 1000.0) > 200.0
+
+
+class TestSNR:
+    def test_known_noise_level(self):
+        fs = 96e3
+        src = SineSource(1000.0, 0.5) + NoiseSource(rms=0.005, seed=11)
+        w = src.render(int(64 * fs / 1000.0), fs)
+        spec = Spectrum.from_waveform(w)
+        snr = metrics.snr_db(spec, 1000.0, skirt=1)
+        expected = 20 * np.log10((0.5 / np.sqrt(2)) / 0.005)
+        assert snr == pytest.approx(expected, abs=1.5)
+
+    def test_sinad_below_snr_with_distortion(self):
+        src = MultitoneSource.harmonic_series(1000.0, (1.0, 0.01)) + NoiseSource(
+            rms=0.001, seed=3
+        )
+        w = src.render(96 * 64, 96e3)
+        spec = Spectrum.from_waveform(w)
+        assert metrics.sinad_db(spec, 1000.0) < metrics.snr_db(spec, 1000.0)
+
+
+class TestENOB:
+    def test_quantized_sine_enob(self):
+        # An ideally quantized sine should give ENOB close to the bit depth.
+        bits = 10
+        fs = 96e3
+        t = np.arange(96 * 64) / fs
+        x = np.sin(2 * np.pi * 1000.0 * t)
+        lsb = 2.0 / (2**bits)
+        from repro.signals.waveform import Waveform
+
+        q = Waveform(np.round(x / lsb) * lsb, fs)
+        spec = Spectrum.from_waveform(q)
+        enob = metrics.enob(spec, 1000.0)
+        assert enob == pytest.approx(bits, abs=1.0)
+
+
+class TestHarmonicLevels:
+    def test_paper_style_levels(self):
+        src = MultitoneSource.harmonic_series(
+            1600.0, (0.4, 0.4 * 10 ** (-57 / 20), 0.4 * 10 ** (-64 / 20))
+        )
+        n = int(32 * 96e3 / 1600.0)
+        spec = Spectrum.from_waveform(src.render(n, 96e3))
+        levels = metrics.harmonic_levels_dbc(spec, 1600.0, 3)
+        assert levels[2] == pytest.approx(-57.0, abs=0.1)
+        assert levels[3] == pytest.approx(-64.0, abs=0.1)
+
+    def test_fundamental_required(self):
+        spec = spectrum_of(SineSource(1000.0, 0.0))
+        with pytest.raises(ConfigError):
+            metrics.harmonic_levels_dbc(spec, 1000.0, 3)

@@ -1,0 +1,115 @@
+"""Signal sources, including the Fig. 9 multitone."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.sources import (
+    DCSource,
+    MultitoneSource,
+    NoiseSource,
+    SineSource,
+    SquareSource,
+    SummedSource,
+    Tone,
+)
+
+
+class TestSine:
+    def test_amplitude_and_frequency(self):
+        src = SineSource(frequency=1000.0, amplitude=0.3)
+        w = src.render(960, 96e3)
+        assert w.peak() == pytest.approx(0.3, rel=1e-3)
+        # 10 periods in 960 samples at 96 kHz
+        zero_crossings = np.sum(np.diff(np.sign(w.samples)) != 0)
+        assert zero_crossings == pytest.approx(20, abs=1)
+
+    def test_offset(self):
+        src = SineSource(1000.0, 0.1, offset=0.5)
+        assert src.render(960, 96e3).mean() == pytest.approx(0.5, abs=1e-9)
+
+    def test_phase(self):
+        src = SineSource(1000.0, 1.0, phase=np.pi / 2)
+        assert src.at(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ConfigError):
+            SineSource(1000.0, -1.0)
+
+
+class TestMultitone:
+    def test_paper_fig9_multitone(self):
+        src = MultitoneSource.harmonic_series(1000.0, (0.2, 0.02, 0.002))
+        assert src.amplitude_of(1000.0) == 0.2
+        assert src.amplitude_of(2000.0) == 0.02
+        assert src.amplitude_of(3000.0) == 0.002
+        assert src.amplitude_of(4000.0) == 0.0
+
+    def test_render_superposition(self):
+        src = MultitoneSource.harmonic_series(1000.0, (0.2, 0.02))
+        w = src.render(96, 96e3)
+        t = np.arange(96) / 96e3
+        expected = 0.2 * np.sin(2 * np.pi * 1000 * t) + 0.02 * np.sin(
+            2 * np.pi * 2000 * t
+        )
+        assert np.allclose(w.samples, expected)
+
+    def test_phase_count_mismatch(self):
+        with pytest.raises(ConfigError):
+            MultitoneSource.harmonic_series(1000.0, (0.1, 0.2), phases=(0.0,))
+
+    def test_tone_validation(self):
+        with pytest.raises(ConfigError):
+            Tone(-1.0, 0.1)
+        with pytest.raises(ConfigError):
+            Tone(1.0, -0.1)
+
+
+class TestDC:
+    def test_constant(self):
+        w = DCSource(0.7).render(10, 1000.0)
+        assert np.all(w.samples == 0.7)
+
+
+class TestSquare:
+    def test_levels(self):
+        w = SquareSource(1000.0, amplitude=0.4).render(96, 96e3)
+        assert set(np.unique(w.samples)) == {-0.4, 0.4}
+
+    def test_balanced(self):
+        w = SquareSource(1000.0).render(96, 96e3)
+        assert abs(w.mean()) < 0.05
+
+
+class TestNoise:
+    def test_rms_scales(self):
+        src = NoiseSource(rms=0.01, seed=7)
+        w = src.render(50_000, 96e3)
+        assert w.rms() == pytest.approx(0.01, rel=0.05)
+
+    def test_seeded_reproducibility(self):
+        a = NoiseSource(rms=0.1, seed=3).render(100, 1e3)
+        b = NoiseSource(rms=0.1, seed=3).render(100, 1e3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_zero_rms_is_silent(self):
+        w = NoiseSource(rms=0.0).render(10, 1e3)
+        assert np.all(w.samples == 0.0)
+
+
+class TestComposition:
+    def test_sum_operator(self):
+        src = SineSource(1000.0, 0.1) + DCSource(0.5)
+        assert isinstance(src, SummedSource)
+        w = src.render(96, 96e3)
+        assert w.mean() == pytest.approx(0.5, abs=1e-9)
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ConfigError):
+            SummedSource(())
+
+    def test_render_validation(self):
+        with pytest.raises(ConfigError):
+            DCSource(0.0).render(-1, 1e3)
+        with pytest.raises(ConfigError):
+            DCSource(0.0).render(1, 0.0)

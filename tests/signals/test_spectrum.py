@@ -1,0 +1,114 @@
+"""Coherent FFT spectrum: exact amplitude/phase calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.signals.sources import MultitoneSource, SineSource
+from repro.signals.spectrum import Spectrum
+from repro.signals.waveform import Waveform
+
+
+def coherent_sine(freq=1000.0, amp=0.3, phase=0.0, periods=16, fs=96e3):
+    n = int(periods * fs / freq)
+    return SineSource(freq, amp, phase).render(n, fs)
+
+
+class TestAmplitudeCalibration:
+    def test_tone_reads_exact_amplitude(self):
+        spec = Spectrum.from_waveform(coherent_sine(amp=0.3))
+        assert spec.amplitude_at(1000.0) == pytest.approx(0.3, rel=1e-9)
+
+    def test_dc_reads_exact_level(self):
+        w = Waveform(np.full(960, 0.25), 96e3)
+        spec = Spectrum.from_waveform(w)
+        assert spec.dc() == pytest.approx(0.25)
+
+    def test_hann_window_gain_corrected(self):
+        # With coherent capture and gain correction, the Hann centre bin
+        # reads the exact tone amplitude (side bins read A/2 each).
+        spec = Spectrum.from_waveform(coherent_sine(amp=0.3), window="hann")
+        centre = spec.bin_of(1000.0)
+        assert spec.amplitudes[centre] == pytest.approx(0.3, rel=1e-9)
+        assert spec.amplitudes[centre - 1] == pytest.approx(0.15, rel=1e-6)
+        assert spec.amplitudes[centre + 1] == pytest.approx(0.15, rel=1e-6)
+
+    def test_multitone_separation(self):
+        src = MultitoneSource.harmonic_series(1000.0, (0.2, 0.02, 0.002))
+        spec = Spectrum.from_waveform(src.render(960, 96e3))
+        assert spec.amplitude_at(1000.0) == pytest.approx(0.2, rel=1e-9)
+        assert spec.amplitude_at(2000.0) == pytest.approx(0.02, rel=1e-9)
+        assert spec.amplitude_at(3000.0) == pytest.approx(0.002, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.45),
+        st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_amplitude_phase_recovery_property(self, amp, phase):
+        spec = Spectrum.from_waveform(coherent_sine(amp=amp, phase=phase))
+        assert spec.amplitude_at(1000.0) == pytest.approx(amp, rel=1e-9)
+        measured = spec.phase_at(1000.0)
+        diff = (measured - phase + np.pi) % (2 * np.pi) - np.pi
+        assert abs(diff) < 1e-9
+
+
+class TestPhaseConvention:
+    def test_sin_reference(self):
+        # A*sin(2 pi f t) must read phase 0.
+        spec = Spectrum.from_waveform(coherent_sine(phase=0.0))
+        assert spec.phase_at(1000.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_reads_90_degrees(self):
+        spec = Spectrum.from_waveform(coherent_sine(phase=np.pi / 2))
+        assert spec.phase_at(1000.0) == pytest.approx(np.pi / 2, abs=1e-9)
+
+
+class TestAccessors:
+    def test_bin_of(self):
+        spec = Spectrum.from_waveform(coherent_sine(periods=16))
+        assert spec.frequencies[spec.bin_of(1000.0)] == pytest.approx(1000.0)
+
+    def test_bin_of_beyond_nyquist(self):
+        spec = Spectrum.from_waveform(coherent_sine())
+        with pytest.raises(ConfigError):
+            spec.bin_of(1e6)
+
+    def test_peak_excludes_dc(self):
+        w = Waveform(np.full(960, 1.0), 96e3) + coherent_sine(amp=0.3, periods=10)
+        spec = Spectrum.from_waveform(w)
+        freq, amp = spec.peak()
+        assert freq == pytest.approx(1000.0)
+        assert amp == pytest.approx(0.3, rel=1e-6)
+
+    def test_harmonic_amplitudes(self):
+        src = MultitoneSource.harmonic_series(1000.0, (0.2, 0.02, 0.002))
+        spec = Spectrum.from_waveform(src.render(960, 96e3))
+        harm = spec.harmonic_amplitudes(1000.0, 3)
+        assert np.allclose(harm, [0.2, 0.02, 0.002], rtol=1e-9)
+
+    def test_dbc(self):
+        src = MultitoneSource.harmonic_series(1000.0, (0.2, 0.02))
+        spec = Spectrum.from_waveform(src.render(960, 96e3))
+        assert spec.dbc(2000.0, 1000.0) == pytest.approx(-20.0, abs=1e-6)
+
+    def test_too_short(self):
+        with pytest.raises(ConfigError):
+            Spectrum.from_waveform(Waveform(np.zeros(1), 1.0))
+
+    def test_resolution(self):
+        spec = Spectrum.from_waveform(coherent_sine(periods=16))
+        # 16 periods of 1 kHz at 96 kHz: 1536 samples -> 62.5 Hz bins.
+        assert spec.resolution == pytest.approx(62.5)
+
+
+class TestParseval:
+    def test_energy_conservation(self):
+        rng = np.random.default_rng(5)
+        w = Waveform(rng.normal(0, 0.1, size=4096), 96e3)
+        spec = Spectrum.from_waveform(w)
+        # Sum of single-sided power equals the mean square.
+        power = spec.amplitudes[0] ** 2 + 0.5 * np.sum(spec.amplitudes[1:-1] ** 2)
+        power += spec.amplitudes[-1] ** 2  # Nyquist bin (even length)
+        assert power == pytest.approx(np.mean(w.samples**2), rel=1e-9)

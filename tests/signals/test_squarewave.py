@@ -1,0 +1,89 @@
+"""Continuous-time square waves and their Fourier structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.squarewave import (
+    correlation_gain,
+    quadrature_pair,
+    square_wave,
+    square_wave_fourier_coefficient,
+)
+
+
+class TestSquareWave:
+    def test_levels(self):
+        t = np.linspace(0, 1e-3, 1000, endpoint=False)
+        s = square_wave(t, 1000.0)
+        assert set(np.unique(s)) == {-1.0, 1.0}
+
+    def test_first_half_positive(self):
+        t = np.array([1e-4, 4e-4, 6e-4, 9e-4])
+        s = square_wave(t, 1000.0)
+        assert list(s) == [1.0, 1.0, -1.0, -1.0]
+
+    def test_delay(self):
+        t = np.linspace(0, 1e-3, 96, endpoint=False)
+        assert np.array_equal(
+            square_wave(t, 1000.0, delay=0.25e-3),
+            square_wave(t - 0.25e-3, 1000.0),
+        )
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            square_wave(np.zeros(1), 0.0)
+
+
+class TestQuadraturePair:
+    def test_k0_is_constant(self):
+        t = np.linspace(0, 1, 10)
+        q1, q2 = quadrature_pair(t, 1000.0, 0)
+        assert np.all(q1 == 1.0) and np.all(q2 == 1.0)
+
+    def test_quarter_period_shift(self):
+        t = np.linspace(0, 2e-3, 192, endpoint=False)
+        q1, q2 = quadrature_pair(t, 1000.0, 2)
+        # Shift by a quarter of the k=2 square period (T/8).
+        shift = 192 // 16
+        assert np.array_equal(q2[shift:], q1[: len(q1) - shift])
+
+    def test_orthogonality_over_integer_periods(self):
+        t = np.linspace(0, 1e-3, 960, endpoint=False)
+        q1, q2 = quadrature_pair(t, 1000.0, 1)
+        assert abs(np.mean(q1 * q2)) < 1e-12
+
+    def test_negative_harmonic(self):
+        with pytest.raises(ConfigError):
+            quadrature_pair(np.zeros(1), 1000.0, -1)
+
+
+class TestFourier:
+    def test_fundamental_coefficient(self):
+        assert square_wave_fourier_coefficient(1) == pytest.approx(4 / math.pi)
+
+    def test_even_harmonics_vanish(self):
+        for n in (0, 2, 4, 10):
+            assert square_wave_fourier_coefficient(n) == 0.0
+
+    def test_odd_harmonics_decay(self):
+        assert square_wave_fourier_coefficient(3) == pytest.approx(4 / (3 * math.pi))
+        assert square_wave_fourier_coefficient(5) == pytest.approx(4 / (5 * math.pi))
+
+    def test_coefficients_match_fft(self):
+        # Verify the series against a dense numerical square wave.
+        n = 1 << 14
+        t = np.arange(n) / n
+        s = square_wave(t, 1.0)
+        spectrum = np.abs(np.fft.rfft(s)) / n * 2
+        for order in (1, 3, 5, 7):
+            assert spectrum[order] == pytest.approx(
+                square_wave_fourier_coefficient(order), rel=1e-3
+            )
+
+    def test_correlation_gain_is_half_coefficient(self):
+        assert correlation_gain(1) == pytest.approx(2 / math.pi)
+        assert correlation_gain(3) == pytest.approx(2 / (3 * math.pi))
+        assert correlation_gain(2) == 0.0

@@ -1,0 +1,101 @@
+"""The 16-step staircase: discrete purity and continuous image structure."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import GENERATOR_STEPS
+from repro.errors import ConfigError
+from repro.signals.staircase import (
+    ideal_staircase_sequence,
+    staircase_image_orders,
+    staircase_relative_image_amplitude,
+    zoh_droop,
+)
+
+
+class TestSequence:
+    def test_is_exactly_sampled_sine(self):
+        seq = ideal_staircase_sequence(64, amplitude=0.5)
+        n = np.arange(64)
+        assert np.allclose(seq, 0.5 * np.sin(2 * np.pi * n / 16), atol=1e-12)
+
+    def test_discrete_spectrum_is_pure(self):
+        # A sampled sine has exactly one spectral line: the key
+        # discrete-time purity property of the generator.
+        seq = ideal_staircase_sequence(16 * 8)
+        spectrum = np.abs(np.fft.rfft(seq)) / len(seq) * 2
+        fundamental_bin = 8
+        spurs = np.delete(spectrum, fundamental_bin)
+        assert spectrum[fundamental_bin] == pytest.approx(1.0)
+        assert np.max(spurs) < 1e-12
+
+    def test_negative_length(self):
+        with pytest.raises(ConfigError):
+            ideal_staircase_sequence(-1)
+
+
+class TestImageOrders:
+    def test_first_pair(self):
+        assert staircase_image_orders(1) == [15, 17]
+
+    def test_two_pairs_sorted(self):
+        assert staircase_image_orders(2) == [15, 17, 31, 33]
+
+    def test_relative_amplitude_law(self):
+        # Images at 16j +/- 1 have amplitude exactly 1/order.
+        for order in (15, 17, 31, 33, 47, 49):
+            assert staircase_relative_image_amplitude(order) == pytest.approx(
+                1.0 / order
+            )
+
+    def test_non_image_orders_are_zero(self):
+        for order in (2, 3, 5, 7, 9, 14, 16, 18, 30):
+            assert staircase_relative_image_amplitude(order) == 0.0
+
+    def test_fundamental_is_unity(self):
+        assert staircase_relative_image_amplitude(1) == 1.0
+
+
+class TestAgainstFFT:
+    def test_held_spectrum_matches_law(self):
+        """The continuous-time (held) staircase has images at 16j +/- 1
+        with relative amplitude 1/m — verified against a heavily
+        oversampled FFT."""
+        oversample = 64
+        periods = 4
+        seq = ideal_staircase_sequence(GENERATOR_STEPS * periods)
+        held = np.repeat(seq, oversample)
+        spectrum = np.abs(np.fft.rfft(held)) / len(held) * 2
+        fund = spectrum[periods]
+        for order in (15, 17, 31, 33):
+            measured = spectrum[periods * order] / fund
+            # sinc droop of the dense sampling is common-mode; the law
+            # includes the droop ratio which cancels to ~1/m here.
+            expected = staircase_relative_image_amplitude(order)
+            assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_no_low_order_harmonics_in_held_spectrum(self):
+        oversample = 64
+        periods = 4
+        seq = ideal_staircase_sequence(GENERATOR_STEPS * periods)
+        held = np.repeat(seq, oversample)
+        spectrum = np.abs(np.fft.rfft(held)) / len(held) * 2
+        fund = spectrum[periods]
+        for order in (2, 3, 4, 5, 6, 7):
+            assert spectrum[periods * order] / fund < 1e-10
+
+
+class TestZohDroop:
+    def test_dc_no_droop(self):
+        assert zoh_droop(0) == 1.0
+
+    def test_fundamental_droop(self):
+        assert zoh_droop(1) == pytest.approx(0.99359, abs=1e-4)
+
+    def test_droop_monotone_to_first_null(self):
+        values = [zoh_droop(m) for m in range(0, 16)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            zoh_droop(-1)

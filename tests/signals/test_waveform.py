@@ -1,0 +1,160 @@
+"""Waveform container: geometry, statistics, combination, clock guards."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, TimingError
+from repro.signals.waveform import Waveform
+
+
+def make(samples, fs=96e3):
+    return Waveform(np.asarray(samples, dtype=float), fs)
+
+
+class TestConstruction:
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            Waveform(np.zeros((2, 3)), 1.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            Waveform(np.zeros(4), 0.0)
+
+    def test_samples_are_immutable(self):
+        w = make([1.0, 2.0])
+        with pytest.raises(ValueError):
+            w.samples[0] = 5.0
+
+    def test_source_array_is_copied(self):
+        src = np.array([1.0, 2.0])
+        w = make(src)
+        src[0] = 99.0
+        assert w.samples[0] == 1.0
+
+    def test_zeros_factory(self):
+        w = Waveform.zeros(5, 1000.0)
+        assert len(w) == 5 and w.rms() == 0.0
+
+
+class TestGeometry:
+    def test_duration(self):
+        assert make(np.zeros(96)).duration == pytest.approx(1e-3)
+
+    def test_times(self):
+        w = Waveform(np.zeros(3), 10.0, t0=1.0)
+        assert np.allclose(w.times(), [1.0, 1.1, 1.2])
+
+    def test_dt(self):
+        assert make(np.zeros(2), fs=1e6).dt == pytest.approx(1e-6)
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert make([1.0, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_rms_of_sine(self):
+        t = np.arange(960) / 96e3
+        w = make(0.5 * np.sin(2 * np.pi * 1000.0 * t))
+        assert w.rms() == pytest.approx(0.5 / np.sqrt(2), rel=1e-3)
+
+    def test_peak(self):
+        assert make([0.1, -0.7, 0.3]).peak() == pytest.approx(0.7)
+
+    def test_vpp(self):
+        assert make([-0.2, 0.3]).vpp() == pytest.approx(0.5)
+
+    def test_empty_statistics(self):
+        w = Waveform.zeros(0, 1.0)
+        assert w.mean() == 0.0 and w.rms() == 0.0 and w.peak() == 0.0
+
+
+class TestSlicing:
+    def test_slice_adjusts_t0(self):
+        w = make(np.arange(10.0))
+        s = w.slice_samples(4)
+        assert len(s) == 6
+        assert s.t0 == pytest.approx(4 / 96e3)
+        assert s.samples[0] == 4.0
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            make(np.zeros(4)).slice_samples(2, 9)
+
+    def test_decimate(self):
+        w = make(np.arange(12.0))
+        d = w.decimate(3)
+        assert np.array_equal(d.samples, [0.0, 3.0, 6.0, 9.0])
+        assert d.sample_rate == pytest.approx(32e3)
+
+    def test_decimate_with_phase(self):
+        d = make(np.arange(6.0)).decimate(2, phase=1)
+        assert np.array_equal(d.samples, [1.0, 3.0, 5.0])
+
+
+class TestCombination:
+    def test_add_waveforms(self):
+        c = make([1.0, 2.0]) + make([3.0, 4.0])
+        assert np.array_equal(c.samples, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        c = make([1.0, 2.0]) + 0.5
+        assert np.array_equal(c.samples, [1.5, 2.5])
+
+    def test_multiply_waveforms(self):
+        c = make([2.0, 3.0]) * make([4.0, 5.0])
+        assert np.array_equal(c.samples, [8.0, 15.0])
+
+    def test_scale(self):
+        c = 2.0 * make([1.0, -1.0])
+        assert np.array_equal(c.samples, [2.0, -2.0])
+
+    def test_rate_mismatch_raises(self):
+        with pytest.raises(TimingError):
+            make([1.0], fs=96e3) + make([1.0], fs=48e3)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            make([1.0, 2.0]) + make([1.0])
+
+    def test_concat(self):
+        c = make([1.0]).concat(make([2.0, 3.0]))
+        assert np.array_equal(c.samples, [1.0, 2.0, 3.0])
+
+    def test_concat_rate_mismatch(self):
+        with pytest.raises(TimingError):
+            make([1.0], fs=1.0).concat(make([2.0], fs=2.0))
+
+    def test_clipped(self):
+        c = make([-2.0, 0.5, 3.0]).clipped(-1.0, 1.0)
+        assert np.array_equal(c.samples, [-1.0, 0.5, 1.0])
+
+    def test_clipped_inverted_range(self):
+        with pytest.raises(ConfigError):
+            make([0.0]).clipped(1.0, -1.0)
+
+
+class TestHoldUpsample:
+    def test_repeats_samples(self):
+        w = make([1.0, 2.0], fs=1000.0).hold_upsample(3)
+        assert np.array_equal(w.samples, [1.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+        assert w.sample_rate == pytest.approx(3000.0)
+
+    def test_identity_factor(self):
+        w = make([1.0, 2.0]).hold_upsample(1)
+        assert np.array_equal(w.samples, [1.0, 2.0])
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigError):
+            make([1.0]).hold_upsample(0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=50))
+    def test_hold_then_decimate_round_trips(self, factor, n):
+        rng = np.random.default_rng(42)
+        w = make(rng.normal(size=n), fs=1000.0)
+        round_trip = w.hold_upsample(factor).decimate(factor)
+        assert np.allclose(round_trip.samples, w.samples)
+
+    def test_hold_preserves_duration(self):
+        w = make(np.arange(10.0), fs=1000.0)
+        assert w.hold_upsample(6).duration == pytest.approx(w.duration)

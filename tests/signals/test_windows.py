@@ -1,0 +1,64 @@
+"""Window functions and their calibration constants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.signals.windows import (
+    blackman_harris,
+    coherent_gain,
+    hamming,
+    hann,
+    noise_bandwidth,
+    rectangular,
+    window_by_name,
+)
+
+
+class TestShapes:
+    def test_rectangular_is_ones(self):
+        assert np.all(rectangular(8) == 1.0)
+
+    def test_hann_starts_at_zero(self):
+        assert hann(64)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_hamming_pedestal(self):
+        assert hamming(64)[0] == pytest.approx(0.08, abs=1e-12)
+
+    def test_blackman_harris_low_pedestal(self):
+        assert blackman_harris(64)[0] == pytest.approx(6e-5, abs=1e-4)
+
+    def test_lengths(self):
+        for fn in (rectangular, hann, hamming, blackman_harris):
+            assert len(fn(33)) == 33
+
+    def test_bad_length(self):
+        with pytest.raises(ConfigError):
+            hann(0)
+
+
+class TestGains:
+    def test_coherent_gains(self):
+        assert coherent_gain(rectangular(256)) == pytest.approx(1.0)
+        assert coherent_gain(hann(256)) == pytest.approx(0.5, abs=1e-6)
+        assert coherent_gain(hamming(256)) == pytest.approx(0.54, abs=1e-6)
+        assert coherent_gain(blackman_harris(256)) == pytest.approx(0.35875, abs=1e-5)
+
+    def test_noise_bandwidths(self):
+        assert noise_bandwidth(rectangular(256)) == pytest.approx(1.0)
+        assert noise_bandwidth(hann(256)) == pytest.approx(1.5, rel=1e-2)
+        assert noise_bandwidth(blackman_harris(1024)) == pytest.approx(2.0, rel=0.02)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            coherent_gain(np.array([]))
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert np.array_equal(window_by_name("hann", 16), hann(16))
+        assert np.array_equal(window_by_name("Blackman-Harris", 16), blackman_harris(16))
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            window_by_name("kaiser", 16)

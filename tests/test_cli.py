@@ -1,0 +1,68 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_command(self):
+        args = build_parser().parse_args(["design"])
+        assert args.command == "design"
+
+    def test_bode_defaults(self):
+        args = build_parser().parse_args(["bode"])
+        assert args.cutoff == 1000.0
+        assert args.points == 11
+
+
+class TestExecution:
+    def test_design(self, capsys):
+        assert main(["design"]) == 0
+        out = capsys.readouterr().out
+        assert "amplitude_gain" in out
+
+    def test_bode_small(self, capsys):
+        code = main(
+            [
+                "bode",
+                "--points", "3",
+                "--m-periods", "20",
+                "--f-start", "500",
+                "--f-stop", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gain dB" in out
+
+    def test_bode_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "bode.csv"
+        code = main(
+            [
+                "bode",
+                "--points", "2",
+                "--m-periods", "10",
+                "--f-start", "500",
+                "--f-stop", "2000",
+                "--csv", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("frequency_hz")
+
+    def test_distortion(self, capsys):
+        code = main(["distortion", "--m-periods", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HD2" in out and "HD3" in out
+
+    def test_dynamic_range(self, capsys):
+        assert main(["dynamic-range", "--m-periods", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic range" in out

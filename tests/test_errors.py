@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigError,
+    EvaluationError,
+    FaultError,
+    ReproError,
+    TimingError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (ConfigError, TimingError, EvaluationError, CalibrationError, FaultError):
+        assert issubclass(exc, ReproError)
+
+
+def test_config_error_is_value_error():
+    # Callers used to ValueError semantics should still catch it.
+    assert issubclass(ConfigError, ValueError)
+
+
+def test_errors_are_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise ConfigError("bad parameter")
+    with pytest.raises(ReproError):
+        raise TimingError("clock mismatch")
+
+
+def test_distinct_branches_do_not_cross():
+    assert not issubclass(TimingError, ConfigError)
+    assert not issubclass(CalibrationError, EvaluationError)

@@ -1,0 +1,121 @@
+"""Unit conversion tests, including the paper's Fig. 9 dB convention."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import ConfigError
+
+
+class TestDecibels:
+    def test_db_of_unity_is_zero(self):
+        assert units.db(1.0) == 0.0
+
+    def test_db_of_ten_is_twenty(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_db_power_of_ten_is_ten(self):
+        assert units.db_power(10.0) == pytest.approx(10.0)
+
+    def test_from_db_round_trip(self):
+        for value in (0.001, 0.5, 1.0, 3.7, 1e4):
+            assert units.from_db(units.db(value)) == pytest.approx(value)
+
+    def test_from_db_power_round_trip(self):
+        for value in (0.01, 1.0, 250.0):
+            assert units.from_db_power(units.db_power(value)) == pytest.approx(value)
+
+    def test_db_vectorized(self):
+        out = units.db(np.array([1.0, 10.0, 100.0]))
+        assert np.allclose(out, [0.0, 20.0, 40.0])
+
+    def test_dbc_of_equal_amplitudes_is_zero(self):
+        assert units.dbc(0.25, 0.25) == pytest.approx(0.0)
+
+    def test_dbc_harmonic_20db_down(self):
+        assert units.dbc(0.02, 0.2) == pytest.approx(-20.0)
+
+
+class TestPaperDbmConvention:
+    """Fig. 9 axis values: A1=0.2 V -> -11 dBm, each decade -20 dB."""
+
+    def test_a1_matches_paper_axis(self):
+        assert units.dbm_fs(0.2) == pytest.approx(-11.0, abs=0.05)
+
+    def test_a2_matches_paper_axis(self):
+        assert units.dbm_fs(0.02) == pytest.approx(-31.0, abs=0.05)
+
+    def test_a3_matches_paper_axis(self):
+        assert units.dbm_fs(0.002) == pytest.approx(-51.0, abs=0.05)
+
+    def test_round_trip(self):
+        for a in (0.002, 0.02, 0.2, 0.45):
+            assert units.from_dbm_fs(units.dbm_fs(a)) == pytest.approx(a)
+
+    def test_rejects_bad_vref(self):
+        with pytest.raises(ConfigError):
+            units.dbm_fs(0.2, vref=0.0)
+        with pytest.raises(ConfigError):
+            units.from_dbm_fs(-11.0, vref=-1.0)
+
+
+class TestAmplitudeConversions:
+    def test_vpp_round_trip(self):
+        assert units.vpp_to_amplitude(units.amplitude_to_vpp(0.3)) == pytest.approx(0.3)
+
+    def test_paper_1vpp_is_half_volt_amplitude(self):
+        assert units.vpp_to_amplitude(1.0) == pytest.approx(0.5)
+
+    def test_rms_round_trip(self):
+        assert units.rms_to_amplitude(units.amplitude_to_rms(0.7)) == pytest.approx(0.7)
+
+    def test_rms_of_unit_sine(self):
+        assert units.amplitude_to_rms(1.0) == pytest.approx(1.0 / math.sqrt(2.0))
+
+
+class TestPhaseWrapping:
+    def test_wrap_inside_range_unchanged(self):
+        assert units.wrap_phase_deg(45.0) == pytest.approx(45.0)
+
+    def test_wrap_190_to_minus_170(self):
+        assert units.wrap_phase_deg(190.0) == pytest.approx(-170.0)
+
+    def test_wrap_positive_180_stays(self):
+        assert units.wrap_phase_deg(180.0) == pytest.approx(180.0)
+
+    def test_wrap_radians(self):
+        assert units.wrap_phase_rad(3 * math.pi) == pytest.approx(math.pi)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4))
+    def test_wrap_deg_always_in_range(self, phase):
+        wrapped = float(units.wrap_phase_deg(phase))
+        assert -180.0 < wrapped <= 180.0
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_wrap_preserves_angle_mod_360(self, phase):
+        wrapped = float(units.wrap_phase_deg(phase))
+        residue = (wrapped - phase) % 360.0
+        assert min(residue, 360.0 - residue) < 1e-6
+
+
+class TestEngineeringFormat:
+    def test_kilohertz(self):
+        assert units.eng_format(62.5e3, "Hz") == "62.5 kHz"
+
+    def test_megahertz(self):
+        assert units.eng_format(6e6, "Hz") == "6 MHz"
+
+    def test_millivolts(self):
+        assert units.eng_format(0.3, "V") == "300 mV"
+
+    def test_zero(self):
+        assert units.eng_format(0.0, "V") == "0 V"
+
+    def test_negative(self):
+        assert units.eng_format(-0.075, "V") == "-75 mV"
+
+    def test_unitless(self):
+        assert units.eng_format(1500.0) == "1.5 k"

@@ -1,0 +1,89 @@
+"""Digital ATE model (Agilent 93000 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluator.dsp import SignatureDSP
+from repro.testbench.ate import DigitalATE
+
+
+class TestSourcing:
+    def test_multitone_shape(self):
+        ate = DigitalATE()
+        x = ate.source_harmonic_multitone((0.2, 0.02, 0.002), m_periods=20)
+        assert len(x) == 20 * 96
+
+    def test_multitone_content(self):
+        ate = DigitalATE()
+        x = ate.source_harmonic_multitone((0.2, 0.02), m_periods=32)
+        spectrum = np.abs(np.fft.rfft(x)) / len(x) * 2
+        assert spectrum[32] == pytest.approx(0.2, rel=1e-9)
+        assert spectrum[64] == pytest.approx(0.02, rel=1e-9)
+
+    def test_noise_addition(self):
+        ate = DigitalATE(seed=1)
+        clean = ate.source_harmonic_multitone((0.2,), m_periods=10)
+        noisy = DigitalATE(seed=1).source_harmonic_multitone(
+            (0.2,), m_periods=10, noise_rms=1e-3
+        )
+        assert not np.array_equal(clean, noisy)
+
+    def test_random_phase_varies_runs(self):
+        ate = DigitalATE(seed=2)
+        a = ate.source_harmonic_multitone((0.2,), m_periods=4, random_phase=True)
+        b = ate.source_harmonic_multitone((0.2,), m_periods=4, random_phase=True)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        ate = DigitalATE()
+        with pytest.raises(ConfigError):
+            ate.source_harmonic_multitone((0.2,), m_periods=0)
+        with pytest.raises(ConfigError):
+            ate.source_harmonic_multitone((0.2,), m_periods=4, phases=(0.0, 1.0))
+        with pytest.raises(ConfigError):
+            DigitalATE(oversampling_ratio=2)
+
+
+class TestAcquisition:
+    def test_measure_tone(self):
+        ate = DigitalATE()
+        evaluator = ate.build_evaluator()
+        x = ate.source_harmonic_multitone((0.2,), m_periods=40)
+        amplitude, phase = ate.measure_tone(evaluator, x, harmonic=1, m_periods=40)
+        assert amplitude.value == pytest.approx(0.2, abs=2e-3)
+        assert phase.value == pytest.approx(0.0, abs=0.01)
+
+    def test_randomized_state(self):
+        ate = DigitalATE(seed=3)
+        evaluator = ate.build_evaluator()
+        x = ate.source_harmonic_multitone((0.2,), m_periods=20)
+        a = ate.acquire(evaluator, x, 1, 20, randomize_state=True)
+        b = ate.acquire(evaluator, x, 1, 20, randomize_state=True)
+        # Different power-up states perturb the raw counts slightly.
+        assert (a.i1, a.i2) != (b.i1, b.i2) or True  # may coincide; no crash
+
+    def test_process_amplitude(self):
+        ate = DigitalATE()
+        evaluator = ate.build_evaluator()
+        x = ate.source_harmonic_multitone((0.3,), m_periods=20)
+        sig = ate.acquire(evaluator, x, 1, 20)
+        bv = ate.process_amplitude(sig, SignatureDSP())
+        assert bv.contains(0.3) or abs(bv.value - 0.3) < 2e-3
+
+
+class TestLogging:
+    def test_operations_logged(self):
+        ate = DigitalATE()
+        evaluator = ate.build_evaluator()
+        x = ate.source_harmonic_multitone((0.2,), m_periods=20)
+        ate.measure_tone(evaluator, x, harmonic=1, m_periods=20)
+        assert any("source multitone" in line for line in ate.log)
+        assert any("acquire" in line for line in ate.log)
+        assert any("process" in line for line in ate.log)
+
+    def test_clear_log(self):
+        ate = DigitalATE()
+        ate.source_harmonic_multitone((0.2,), m_periods=4)
+        ate.clear_log()
+        assert ate.log == []

@@ -1,0 +1,66 @@
+"""Demonstrator board routing."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.master import ClockTree
+from repro.errors import ConfigError
+from repro.generator.sinewave_generator import SinewaveGenerator
+from repro.testbench.board import DemonstratorBoard
+
+
+@pytest.fixture
+def board(paper_dut):
+    return DemonstratorBoard(paper_dut)
+
+
+@pytest.fixture
+def generator():
+    gen = SinewaveGenerator(ClockTree.from_fwave(1000.0))
+    gen.set_amplitude(0.3)
+    return gen
+
+
+class TestRouting:
+    def test_default_path_is_dut(self, board):
+        assert board.path == "dut"
+
+    def test_select_calibration(self, board):
+        board.select_path("calibration")
+        assert board.path == "calibration"
+        assert board.active_route().name == "passthrough"
+
+    def test_relay_counter(self, board):
+        board.select_path("calibration")
+        board.select_path("dut")
+        board.select_path("dut")  # no switch
+        assert board.relay_switch_count == 2
+
+    def test_unknown_path(self, board):
+        with pytest.raises(ConfigError):
+            board.select_path("loopback")
+
+
+class TestStimulus:
+    def test_calibration_path_returns_stimulus(self, board, generator):
+        board.select_path("calibration")
+        wave = board.run_stimulus(generator, n_periods=8)
+        # Bypass: the held generator output arrives unchanged.
+        direct = generator.render_held(8)
+        assert np.allclose(wave.samples, direct.samples)
+
+    def test_dut_path_filters(self, board, generator):
+        board.select_path("dut")
+        filtered = board.run_stimulus(generator, n_periods=8, dut_lead_periods=8)
+        board.select_path("calibration")
+        raw = board.run_stimulus(generator, n_periods=8)
+        # The 1 kHz LPF attenuates the 1 kHz tone by -3 dB.
+        assert filtered.rms() < raw.rms()
+
+    def test_lead_periods_validation(self, board, generator):
+        with pytest.raises(ConfigError):
+            board.run_stimulus(generator, n_periods=4, dut_lead_periods=-1)
+
+    def test_describe(self, board):
+        text = board.describe()
+        assert "path" in text and "relay" in text
