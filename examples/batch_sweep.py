@@ -1,0 +1,73 @@
+"""Batch execution: production-throughput sweeps and Monte-Carlo lots.
+
+The paper's analyzer is a production-test instrument, and production
+cares about throughput — Bode sweeps per second, devices dispositioned
+per wafer.  This example drives the batch engine through both flows:
+
+1. a frequency sweep as a parallel job batch, demonstrating that the
+   numbers are bit-identical to the serial run (deterministic per-job
+   seeding);
+2. repeated sweeps sharing one cached calibration (the paper's
+   "calibration only needs to be performed once", enforced by the
+   engine);
+3. a Monte-Carlo yield analysis of a 20-device lot.
+
+Run:  PYTHONPATH=src python examples/batch_sweep.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import AnalyzerConfig, BatchRunner
+from repro.bist import BISTProgram, SpecMask, run_yield_analysis
+from repro.dut import ActiveRCLowpass, design_mfb_lowpass
+
+
+def main() -> None:
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    config = AnalyzerConfig.ideal(m_periods=100)
+    frequencies = np.geomspace(100.0, 20_000.0, 15)
+
+    # -- 1. parallel == serial --------------------------------------
+    serial = BatchRunner(n_workers=1)
+    parallel = BatchRunner(n_workers=4)
+    t0 = time.perf_counter()
+    bode_serial = serial.run_bode(dut, config, frequencies)
+    t1 = time.perf_counter()
+    bode_parallel = parallel.run_bode(dut, config, frequencies)
+    t2 = time.perf_counter()
+    identical = np.array_equal(bode_serial.gain_db(), bode_parallel.gain_db())
+    print(f"serial sweep  : {1e3 * (t1 - t0):6.1f} ms")
+    print(f"parallel sweep: {1e3 * (t2 - t1):6.1f} ms  (4 workers)")
+    print(f"bit-identical : {identical}\n")
+
+    # -- 2. calibration cache across repeated sweeps ----------------
+    for repeat in range(3):
+        serial.run_bode(dut, config, frequencies)
+    cache = serial.cache
+    print(
+        f"calibration cache after 4 sweeps: {cache.hits} hits, "
+        f"{cache.misses} miss(es), hit rate {cache.hit_rate:.2f}\n"
+    )
+
+    # -- 3. Monte-Carlo yield through a BIST program ----------------
+    nominal = design_mfb_lowpass(1000.0)
+    golden = ActiveRCLowpass(nominal)
+    test_freqs = [300.0, 1000.0, 2000.0]
+    mask = SpecMask.from_golden(golden, test_freqs, tolerance_db=2.0)
+    program = BISTProgram(mask, test_freqs, m_periods=40)
+    report = run_yield_analysis(
+        nominal, mask, program,
+        n_devices=20, component_sigma=0.08, seed=1, n_workers=4,
+    )
+    print(
+        f"lot of {report.n_devices}: test yield {report.test_yield:.2f}, "
+        f"true yield {report.true_yield:.2f}, escapes {report.escape_rate:.2f}, "
+        f"overkill {report.overkill_rate:.2f}, "
+        f"ambiguous {report.ambiguous_rate:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,17 @@ Quickstart::
     point = analyzer.measure_gain_phase(fwave=1000.0)
     print(point.gain_db, point.phase_deg)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-vs-measured record of every table and figure.
+Batch execution (sweeps and Monte-Carlo lots as parallel job batches)
+lives in :mod:`repro.engine`::
+
+    from repro import BatchRunner
+
+    runner = BatchRunner(n_workers=4)
+    bode = runner.run_bode(dut, AnalyzerConfig.ideal(), [250.0, 1000.0, 4000.0])
+
+See ``README.md`` for installation and a tour, ``DESIGN.md`` for the
+system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record
+of every table and figure.
 """
 
 from .core import (
@@ -41,6 +50,7 @@ from .core import (
     measure_thd,
     system_dynamic_range,
 )
+from .engine import BatchRunner, BatchStats, CalibrationCache
 from .errors import (
     CalibrationError,
     ConfigError,
@@ -70,6 +80,9 @@ __all__ = [
     "system_dynamic_range",
     "bounded_db",
     "BoundedValue",
+    "BatchRunner",
+    "BatchStats",
+    "CalibrationCache",
     "ReproError",
     "ConfigError",
     "TimingError",

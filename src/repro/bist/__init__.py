@@ -10,13 +10,16 @@ closes the loop from *measurement* to *test decision*:
   using the measurement *bounds* so a device is only passed/failed when
   the guaranteed interval is conclusive;
 * :mod:`~repro.bist.coverage` — parametric fault-coverage evaluation of
-  a test program against a fault catalog.
+  a test program against a fault catalog;
+* :func:`~repro.bist.montecarlo.run_yield_analysis` — Monte-Carlo yield
+  analysis of a lot, batch-executed by :mod:`repro.engine` (pass
+  ``n_workers`` to parallelize).
 """
 
 from .limits import MaskSegment, SpecMask
 from .program import BISTProgram, BISTReport, PointVerdict
 from .coverage import CoverageReport, FaultTrial, fault_coverage
-from .montecarlo import DeviceTrial, YieldReport, yield_analysis
+from .montecarlo import DeviceTrial, YieldReport, run_yield_analysis, yield_analysis
 
 __all__ = [
     "MaskSegment",
@@ -29,5 +32,6 @@ __all__ = [
     "fault_coverage",
     "DeviceTrial",
     "YieldReport",
+    "run_yield_analysis",
     "yield_analysis",
 ]

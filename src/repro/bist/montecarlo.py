@@ -20,12 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.analyzer import NetworkAnalyzer
 from ..core.config import AnalyzerConfig
 from ..dut.active_rc import ActiveRCLowpass, FilterComponents
-from ..errors import ConfigError
 from .limits import SpecMask
 from .program import BISTProgram
 
@@ -110,6 +106,53 @@ def _truly_good(dut: ActiveRCLowpass, mask: SpecMask, frequencies) -> bool:
     return True
 
 
+def run_yield_analysis(
+    nominal: FilterComponents,
+    mask: SpecMask,
+    program: BISTProgram,
+    n_devices: int = 50,
+    component_sigma: float = 0.02,
+    seed: int = 0,
+    config: AnalyzerConfig | None = None,
+    ambiguous_passes: bool = False,
+    n_workers: int = 1,
+    runner=None,
+) -> YieldReport:
+    """Simulate a production lot through the BIST program.
+
+    Each device draws i.i.d. Gaussian component values around the
+    nominal design (``component_sigma`` relative), runs the go/no-go
+    program, and is compared against its *analytic* spec compliance.
+
+    Execution goes through the batch engine: the lot's component values
+    are drawn serially from one seeded RNG (so the lot is a function of
+    ``seed`` alone), the program's one-off calibration is acquired once
+    via the engine's cache instead of once per device, and the device
+    trials are dispatched as independent jobs — ``n_workers > 1``
+    parallelizes them with results bit-identical to the serial run.
+
+    Pass an existing :class:`~repro.engine.runner.BatchRunner` as
+    ``runner`` to share its calibration cache across lots (``n_workers``
+    is then ignored in favour of the runner's own setting).
+    """
+    from ..engine.runner import BatchRunner
+
+    config = config if config is not None else AnalyzerConfig.ideal(
+        m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
+    )
+    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    trials = engine.run_trials(
+        nominal,
+        mask,
+        program,
+        n_devices=n_devices,
+        component_sigma=component_sigma,
+        seed=seed,
+        config=config,
+    )
+    return YieldReport(trials=tuple(trials), ambiguous_passes=ambiguous_passes)
+
+
 def yield_analysis(
     nominal: FilterComponents,
     mask: SpecMask,
@@ -120,31 +163,15 @@ def yield_analysis(
     config: AnalyzerConfig | None = None,
     ambiguous_passes: bool = False,
 ) -> YieldReport:
-    """Simulate a production lot through the BIST program.
-
-    Each device draws i.i.d. Gaussian component values around the
-    nominal design (``component_sigma`` relative), runs the go/no-go
-    program, and is compared against its *analytic* spec compliance.
-    """
-    if n_devices < 1:
-        raise ConfigError(f"n_devices must be >= 1, got {n_devices}")
-    if component_sigma < 0:
-        raise ConfigError(f"component_sigma must be >= 0, got {component_sigma!r}")
-    config = config if config is not None else AnalyzerConfig.ideal(
-        m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
+    """Serial-API wrapper over :func:`run_yield_analysis` (one worker)."""
+    return run_yield_analysis(
+        nominal,
+        mask,
+        program,
+        n_devices=n_devices,
+        component_sigma=component_sigma,
+        seed=seed,
+        config=config,
+        ambiguous_passes=ambiguous_passes,
+        n_workers=1,
     )
-    rng = np.random.default_rng(seed)
-    trials = []
-    for index in range(n_devices):
-        components = nominal.with_tolerance(component_sigma, rng)
-        device = ActiveRCLowpass(components, name=f"device #{index}")
-        analyzer = NetworkAnalyzer(device, config)
-        report = program.run(analyzer)
-        trials.append(
-            DeviceTrial(
-                device_index=index,
-                verdict=report.verdict,
-                truly_good=_truly_good(device, mask, program.frequencies),
-            )
-        )
-    return YieldReport(trials=tuple(trials), ambiguous_passes=ambiguous_passes)

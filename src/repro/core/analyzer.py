@@ -255,6 +255,20 @@ class NetworkAnalyzer:
         """The stored calibration, if any."""
         return self._calibration
 
+    def use_calibration(self, calibration: CalibrationResult) -> None:
+        """Adopt a calibration acquired elsewhere (e.g. the engine cache).
+
+        The paper's calibration characterizes the *test input*, which
+        depends only on the analyzer configuration — never on the DUT —
+        so a calibration acquired by one analyzer instance is valid for
+        any other instance with an equal config.
+        """
+        if not isinstance(calibration, CalibrationResult):
+            raise ConfigError(
+                f"expected a CalibrationResult, got {type(calibration).__name__}"
+            )
+        self._calibration = calibration
+
     # ------------------------------------------------------------------
     # Gain/phase measurement
     # ------------------------------------------------------------------
@@ -293,15 +307,34 @@ class NetworkAnalyzer:
         frequencies,
         m_periods: int | None = None,
         calibration: CalibrationResult | None = None,
+        n_workers: int = 1,
     ) -> list[GainPhaseMeasurement]:
-        """Sweep the master clock over a list of tone frequencies."""
+        """Sweep the master clock over a list of tone frequencies.
+
+        A thin wrapper over the batch engine: each sweep point is an
+        independent job with its own derived noise substream, so
+        ``n_workers > 1`` fans the sweep out over worker processes with
+        results bit-identical to the serial run (and returned in the
+        requested frequency order).
+        """
+        from ..engine.runner import BatchRunner
+
         frequencies = list(frequencies)
         if not frequencies:
             raise ConfigError("frequency list is empty")
-        return [
-            self.measure_gain_phase(f, m_periods=m_periods, calibration=calibration)
-            for f in frequencies
-        ]
+        cal = calibration if calibration is not None else self._calibration
+        if cal is None:
+            raise CalibrationError(
+                "no calibration available; run calibrate() first (the paper's "
+                "one-off bypass measurement)"
+            )
+        return BatchRunner(n_workers=n_workers).run_sweep(
+            self.dut,
+            self.config,
+            frequencies,
+            m_periods=m_periods,
+            calibration=cal,
+        )
 
     # ------------------------------------------------------------------
     # DC level (the evaluator's k = 0 mode: DUT offset testing)

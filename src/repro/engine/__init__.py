@@ -1,0 +1,45 @@
+"""Batch execution engine: sweeps and Monte-Carlo lots as job batches.
+
+The paper's analyzer is a production-test instrument; its figure of
+merit is throughput — Bode sweeps per second, devices dispositioned per
+wafer.  This subsystem turns the per-point measurement loop into
+schedulable batches:
+
+* :class:`BatchRunner` — process-parallel execution with deterministic
+  per-job seeding (parallel results are bit-identical to serial) and
+  ordered results;
+* :class:`CalibrationCache` — the paper's "calibration only needs to be
+  performed once", enforced across sweeps and lots;
+* :mod:`repro.engine.seeding` — order-independent derivation of per-job
+  noise substreams;
+* :mod:`repro.engine.jobs` — the picklable job payloads and their
+  worker-process entry points.
+
+The serial public APIs (:meth:`repro.NetworkAnalyzer.bode`,
+:func:`repro.bist.run_yield_analysis`, the CLI ``sweep`` and ``yield``
+subcommands) are thin wrappers over this engine.
+"""
+
+from .cache import CalibrationCache, acquire_calibration
+from .jobs import (
+    DeviceTrialJob,
+    SweepPointJob,
+    execute_device_trial,
+    execute_sweep_point,
+)
+from .runner import BatchRunner, BatchStats, default_workers
+from .seeding import config_for_job, derive_seed
+
+__all__ = [
+    "BatchRunner",
+    "BatchStats",
+    "CalibrationCache",
+    "DeviceTrialJob",
+    "SweepPointJob",
+    "acquire_calibration",
+    "config_for_job",
+    "default_workers",
+    "derive_seed",
+    "execute_device_trial",
+    "execute_sweep_point",
+]

@@ -1,0 +1,97 @@
+"""Calibration caching.
+
+The paper's central economy: "this calibration only needs to be
+performed once" — the stimulus characterization is a property of the
+analyzer configuration, not of the DUT (it runs on the bypass path) nor
+of the sweep frequency (the system is synchronous in clock-relative
+terms).  A production tester re-running sweeps over a wafer therefore
+re-derives the *same* calibration thousands of times.
+
+:class:`CalibrationCache` memoizes :class:`~repro.core.calibration.CalibrationResult`
+objects keyed on ``(AnalyzerConfig, fwave, m_periods)``.
+``AnalyzerConfig`` is a frozen dataclass whose fields all participate in
+equality, so two configs hash equal exactly when they would produce the
+same calibration — any config change (amplitude, window, opamp model,
+mismatch die, ...) is automatically a cache miss, which is the
+invalidation policy.
+
+For noisy configurations the cached calibration is acquired on the
+dedicated ``"calibration"`` seed stream (see
+:mod:`repro.engine.seeding`), so it is one fixed, reproducible
+acquisition regardless of which job asked for it first.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import CalibrationResult
+from ..core.config import AnalyzerConfig
+from ..errors import ConfigError
+
+
+class CalibrationCache:
+    """Memoized one-off calibrations with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, CalibrationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(config: AnalyzerConfig, fwave: float, m_periods: int) -> tuple:
+        """The cache key: the full config plus the acquisition window."""
+        if not fwave > 0:
+            raise ConfigError(f"fwave must be positive, got {fwave!r}")
+        return (config, float(fwave), int(m_periods))
+
+    def get_or_acquire(
+        self,
+        config: AnalyzerConfig,
+        fwave: float,
+        m_periods: int | None = None,
+    ) -> CalibrationResult:
+        """Return the cached calibration, acquiring it on first use."""
+        m = m_periods if m_periods is not None else config.m_periods
+        key = self.key(config, fwave, m)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        calibration = acquire_calibration(config, fwave, m)
+        self._store[key] = calibration
+        return calibration
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def acquire_calibration(
+    config: AnalyzerConfig, fwave: float, m_periods: int
+) -> CalibrationResult:
+    """One fresh bypass-path calibration for a configuration.
+
+    DUT-independent: the calibration measurement routes the stimulus
+    straight to the evaluator, so a passthrough stand-in serves.
+    """
+    from ..core.analyzer import NetworkAnalyzer
+    from ..dut.base import PassthroughDUT
+    from .seeding import config_for_job
+
+    analyzer = NetworkAnalyzer(
+        PassthroughDUT(), config_for_job(config, "calibration", 0)
+    )
+    return analyzer.calibrate(fwave, m_periods=m_periods)

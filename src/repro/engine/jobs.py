@@ -1,0 +1,84 @@
+"""Job definitions: the picklable unit of batch work.
+
+A job payload carries everything one worker process needs to reproduce a
+measurement from scratch — DUT description, analyzer configuration,
+pre-acquired calibration, and the job's batch index (which fixes its
+derived noise substream).  Payloads are plain frozen dataclasses of
+picklable parts, and the executor functions are module-level, which is
+what :mod:`concurrent.futures` process pools require.
+
+Every executor builds a *fresh* analyzer.  That is not an implementation
+shortcut but the semantic contract that makes parallelism exact: a fresh
+analyzer re-seeds the same mismatch die from the config and consumes
+only its own job-derived noise stream, so the result depends on the job
+payload alone — never on which worker ran it, or what ran before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bist.limits import SpecMask
+from ..bist.program import BISTProgram
+from ..core.analyzer import NetworkAnalyzer
+from ..core.calibration import CalibrationResult
+from ..core.config import AnalyzerConfig
+from ..core.measurement import GainPhaseMeasurement
+from ..dut.active_rc import ActiveRCLowpass, FilterComponents
+from ..dut.base import DUT
+from .seeding import config_for_job
+
+
+@dataclass(frozen=True)
+class SweepPointJob:
+    """One Bode point: measure DUT gain/phase at one tone frequency."""
+
+    index: int
+    fwave: float
+    m_periods: int | None
+    dut: DUT
+    config: AnalyzerConfig
+    calibration: CalibrationResult
+
+
+def execute_sweep_point(job: SweepPointJob) -> GainPhaseMeasurement:
+    """Run one sweep point in isolation (worker-process entry point)."""
+    config = config_for_job(job.config, "sweep", job.index)
+    analyzer = NetworkAnalyzer(job.dut, config)
+    return analyzer.measure_gain_phase(
+        job.fwave, m_periods=job.m_periods, calibration=job.calibration
+    )
+
+
+@dataclass(frozen=True)
+class DeviceTrialJob:
+    """One Monte-Carlo device: component draw + go/no-go program run.
+
+    The component values are drawn *serially* by the dispatcher (drawing
+    is cheap; simulating is not), so the lot is identical no matter how
+    the trials are scheduled afterwards.
+    """
+
+    index: int
+    components: FilterComponents
+    mask: SpecMask
+    program: BISTProgram
+    config: AnalyzerConfig
+    calibration: CalibrationResult | None
+
+
+def execute_device_trial(job: DeviceTrialJob):
+    """Run one device through the BIST program (worker-process entry)."""
+    from ..bist.montecarlo import DeviceTrial, _truly_good
+
+    config = config_for_job(job.config, "trial", job.index)
+    device = ActiveRCLowpass(job.components, name=f"device #{job.index}")
+    analyzer = NetworkAnalyzer(device, config)
+    if job.calibration is not None:
+        analyzer.use_calibration(job.calibration)
+    report = job.program.run(analyzer)
+    return DeviceTrial(
+        device_index=job.index,
+        verdict=report.verdict,
+        truly_good=_truly_good(device, job.mask, job.program.frequencies),
+    )

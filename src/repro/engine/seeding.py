@@ -1,0 +1,71 @@
+"""Deterministic per-job seeding for batch execution.
+
+The batch engine runs measurement jobs in arbitrary order across worker
+processes, so nothing may depend on a *shared* RNG stream being consumed
+sequentially.  Instead every job derives its own independent substream
+from the analyzer's ``noise_seed`` via :class:`numpy.random.SeedSequence`
+— the derivation depends only on ``(noise_seed, stream, job index)``,
+never on execution order or worker count, which is what makes parallel
+results bit-identical to serial ones.
+
+Streams partition the derived seed space so a sweep point and a
+Monte-Carlo trial with the same index never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.config import AnalyzerConfig
+from ..errors import ConfigError
+
+#: Named substream identifiers (stable across releases: changing these
+#: renumbers every derived seed and breaks recorded experiments).
+STREAMS = {
+    "calibration": 0,
+    "sweep": 1,
+    "trial": 2,
+}
+
+
+def derive_seed(base_seed: int, stream: str, index: int) -> int:
+    """A deterministic, order-independent seed for one job.
+
+    Parameters
+    ----------
+    base_seed:
+        The analyzer's ``noise_seed``.
+    stream:
+        One of :data:`STREAMS` — which job family the seed is for.
+    index:
+        The job's position in its batch (sweep point index, device
+        index, ...).
+    """
+    if stream not in STREAMS:
+        raise ConfigError(
+            f"unknown seed stream {stream!r}; expected one of {sorted(STREAMS)}"
+        )
+    if index < 0:
+        raise ConfigError(f"job index must be >= 0, got {index}")
+    sequence = np.random.SeedSequence([int(base_seed), STREAMS[stream], int(index)])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def config_for_job(
+    config: AnalyzerConfig, stream: str, index: int
+) -> AnalyzerConfig:
+    """The per-job analyzer configuration.
+
+    Noise-free configurations (``noise_seed is None``) pass through
+    unchanged — they are deterministic regardless of execution order.
+    Noisy configurations get their ``noise_seed`` replaced by the derived
+    per-job seed; the mismatch model (the simulated *die*) is left
+    untouched, so every job still runs on the same board.
+    """
+    if config.noise_seed is None:
+        return config
+    return replace(
+        config, noise_seed=derive_seed(config.noise_seed, stream, index)
+    )

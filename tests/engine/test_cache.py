@@ -1,0 +1,89 @@
+"""Calibration cache: reuse, invalidation, accounting."""
+
+import pytest
+
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.base import PassthroughDUT
+from repro.engine.cache import CalibrationCache, acquire_calibration
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache():
+    return CalibrationCache()
+
+
+CFG = AnalyzerConfig.ideal(m_periods=20)
+
+
+class TestReuse:
+    def test_first_lookup_is_a_miss(self, cache):
+        cache.get_or_acquire(CFG, 1000.0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 1
+
+    def test_second_lookup_is_a_hit(self, cache):
+        first = cache.get_or_acquire(CFG, 1000.0)
+        second = cache.get_or_acquire(CFG, 1000.0)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_equal_config_objects_share_an_entry(self, cache):
+        """Keying is by config *value*, not identity: a re-built equal
+        config must hit."""
+        cache.get_or_acquire(AnalyzerConfig.ideal(m_periods=20), 1000.0)
+        cache.get_or_acquire(AnalyzerConfig.ideal(m_periods=20), 1000.0)
+        assert cache.hits == 1
+
+    def test_matches_direct_calibration(self, cache):
+        """The cached result is the same calibration a NetworkAnalyzer
+        acquires itself (the cache is transparent)."""
+        cached = cache.get_or_acquire(CFG, 1000.0)
+        an = NetworkAnalyzer(PassthroughDUT(), CFG)
+        direct = an.calibrate(1000.0)
+        assert cached.amplitude.value == direct.amplitude.value
+        assert cached.phase.value == direct.phase.value
+
+
+class TestInvalidation:
+    def test_changed_amplitude_misses(self, cache):
+        cache.get_or_acquire(CFG, 1000.0)
+        cache.get_or_acquire(CFG.with_amplitude(0.2), 1000.0)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_changed_window_misses(self, cache):
+        cache.get_or_acquire(CFG, 1000.0)
+        cache.get_or_acquire(CFG, 1000.0, m_periods=40)
+        assert cache.misses == 2
+
+    def test_changed_frequency_misses(self, cache):
+        cache.get_or_acquire(CFG, 1000.0)
+        cache.get_or_acquire(CFG, 2000.0)
+        assert cache.misses == 2
+
+    def test_changed_die_misses(self, cache):
+        cache.get_or_acquire(AnalyzerConfig.typical(seed=1, m_periods=20), 1000.0)
+        cache.get_or_acquire(AnalyzerConfig.typical(seed=2, m_periods=20), 1000.0)
+        assert cache.misses == 2
+
+    def test_clear(self, cache):
+        cache.get_or_acquire(CFG, 1000.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_bad_frequency_rejected(self, cache):
+        with pytest.raises(ConfigError):
+            cache.get_or_acquire(CFG, -5.0)
+
+
+class TestAcquireCalibration:
+    def test_noisy_calibration_is_reproducible(self):
+        cfg = AnalyzerConfig.typical(seed=4, m_periods=20)
+        a = acquire_calibration(cfg, 1000.0, 20)
+        b = acquire_calibration(cfg, 1000.0, 20)
+        assert a.amplitude.value == b.amplitude.value
+        assert a.phase.value == b.phase.value

@@ -1,0 +1,46 @@
+"""Deterministic per-job seed derivation."""
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.engine.seeding import STREAMS, config_for_job, derive_seed
+from repro.errors import ConfigError
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "sweep", 3) == derive_seed(7, "sweep", 3)
+
+    def test_distinct_across_indices(self):
+        seeds = {derive_seed(7, "sweep", i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_across_streams(self):
+        assert len({derive_seed(7, s, 0) for s in STREAMS}) == len(STREAMS)
+
+    def test_distinct_across_base_seeds(self):
+        assert derive_seed(1, "trial", 0) != derive_seed(2, "trial", 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            derive_seed(0, "nope", 0)
+        with pytest.raises(ConfigError):
+            derive_seed(0, "sweep", -1)
+
+
+class TestConfigForJob:
+    def test_noise_free_config_passes_through(self):
+        cfg = AnalyzerConfig.ideal(m_periods=20)
+        assert config_for_job(cfg, "sweep", 5) is cfg
+
+    def test_noisy_config_gets_derived_seed(self):
+        cfg = AnalyzerConfig.typical(seed=9, m_periods=20)
+        derived = config_for_job(cfg, "sweep", 5)
+        assert derived.noise_seed == derive_seed(9, "sweep", 5)
+
+    def test_die_is_preserved(self):
+        """Per-job seeding must not re-draw the mismatch die: every job
+        runs on the same simulated board."""
+        cfg = AnalyzerConfig.typical(seed=9, m_periods=20)
+        derived = config_for_job(cfg, "trial", 17)
+        assert derived.mismatch == cfg.mismatch
