@@ -33,21 +33,20 @@ def tone(k, amplitude, phase, m, offset=0.0):
     return offset + amplitude * np.sin(2 * np.pi * k * t / N + phase)
 
 
-def ablation_chopping():
+def ablation_chopping(m: int = 100):
     amp = OpAmpModel(offset=5e-3)
     dsp = SignatureDSP()
-    x = tone(1, 0.2, 0.0, 100, offset=0.1)
+    x = tone(1, 0.2, 0.0, m, offset=0.1)
     chopped = SinewaveEvaluator(opamp1=amp, opamp2=amp, chopped=True)
     plain = SinewaveEvaluator(opamp1=amp, opamp2=amp, chopped=False)
-    b_chop = dsp.dc_level(chopped.measure_dc(x, m_periods=100)).value
-    b_plain = dsp.dc_level(plain.measure_dc(x, m_periods=100)).value
+    b_chop = dsp.dc_level(chopped.measure_dc(x, m_periods=m)).value
+    b_plain = dsp.dc_level(plain.measure_dc(x, m_periods=m)).value
     return abs(b_chop - 0.1), abs(b_plain - 0.1)
 
 
-def ablation_synchronization():
+def ablation_synchronization(m: int = 100):
     dsp = SignatureDSP()
     ev = SinewaveEvaluator()
-    m = 100
     x_locked = tone(1, 0.3, 0.0, m)
     locked = dsp.amplitude(ev.measure(x_locked, harmonic=1, m_periods=m)).value
     # 1 % clock mismatch: the tone no longer sits on the grid.
@@ -57,14 +56,14 @@ def ablation_synchronization():
     return abs(locked - 0.3), abs(unlocked - 0.3)
 
 
-def ablation_constants():
+def ablation_constants(m: int = 200):
     ev = SinewaveEvaluator()
     exact_dsp = SignatureDSP()
     paper_dsp = SignatureDSP(paper_constants=True)
     errors = {}
     for k in (1, 3):
-        x = tone(k, 0.3, 0.4, 200)
-        sig = ev.measure(x, harmonic=k, m_periods=200)
+        x = tone(k, 0.3, 0.4, m)
+        sig = ev.measure(x, harmonic=k, m_periods=m)
         errors[k] = (
             abs(exact_dsp.amplitude(sig).value - 0.3),
             abs(paper_dsp.amplitude(sig).value - 0.3),
@@ -102,11 +101,11 @@ def ablation_step_count():
     }
 
 
-def run_ablations():
-    chop_err, plain_err = ablation_chopping()
-    locked_err, unlocked_err = ablation_synchronization()
-    const_errors = ablation_constants()
-    eps1, eps2 = ablation_modulator_order()
+def run_ablations(m: int = 100, n_trials: int = 40):
+    chop_err, plain_err = ablation_chopping(m)
+    locked_err, unlocked_err = ablation_synchronization(m)
+    const_errors = ablation_constants(2 * m)
+    eps1, eps2 = ablation_modulator_order(n_trials)
     step_images = ablation_step_count()
     rows = [
         ["DC error, chopped counting (V)", chop_err],
@@ -140,7 +139,14 @@ def run_ablations():
     )
 
 
-def test_ablations(benchmark, record_result):
+def test_ablations(benchmark, record_result, smoke):
+    if smoke:
+        text, results = run_ablations(m=20, n_trials=5)
+        record_result("ablations", text)
+        # The deterministic 1st-order bound holds at any size.
+        eps1 = results[5]
+        assert eps1 <= 4.0 + 1e-9
+        return
     text, results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
     record_result("ablations", text)
     (

@@ -22,15 +22,17 @@ from repro.reporting.tables import ascii_table
 TEST_FREQ = 500.0
 
 
-def run_comparison():
+def run_comparison(m_periods: int = 200):
     dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
 
     # Proposed network analyzer.
-    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=200))
+    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=m_periods))
     analyzer.calibrate(TEST_FREQ)
     point = analyzer.measure_gain_phase(TEST_FREQ)
     dr_analyzer = system_dynamic_range(
-        NetworkAnalyzer(PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)),
+        NetworkAnalyzer(
+            PassthroughDUT(), AnalyzerConfig.ideal(m_periods=m_periods)
+        ),
         TEST_FREQ,
     )
 
@@ -84,7 +86,13 @@ def run_comparison():
     return text, point, bp_point, verdict, dr_analyzer
 
 
-def test_comparison_prior_art(benchmark, record_result):
+def test_comparison_prior_art(benchmark, record_result, smoke):
+    if smoke:
+        text, point, bp_point, verdict, dr_analyzer = run_comparison(
+            m_periods=20
+        )
+        record_result("comparison_prior_art", text)
+        return
     text, point, bp_point, verdict, dr_analyzer = benchmark.pedantic(
         run_comparison, rounds=1, iterations=1
     )

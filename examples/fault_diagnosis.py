@@ -1,0 +1,97 @@
+"""Fault dictionary & diagnosis: from pass/fail to *which component*.
+
+The BIST program says a device failed; the next question on every test
+floor is which fault explains the measurement.  This example walks the
+whole `repro.faults` flow on the demonstrator DUT:
+
+1. enumerate a fault catalog — parametric deviations plus catastrophic
+   shorts/opens — and run it as an engine **fault campaign** (one cached
+   calibration for the entire catalog, bit-identical at any worker
+   count);
+2. inspect the resulting **fault dictionary**: which faults are
+   detectable at all, and which form ambiguity groups no measurement at
+   these probes can split;
+3. compact the dictionary to the three most discriminating **probe
+   frequencies** (the production program measures 3 points, not 10);
+4. **diagnose** devices with injected faults from their measured
+   signatures — ranked candidates plus the honest ambiguity group;
+5. round-trip the dictionary through JSON, the form a test floor stores
+   next to the program.
+
+Run:  PYTHONPATH=src python examples/fault_diagnosis.py
+"""
+
+import time
+
+from repro.core.sweep import FrequencySweepPlan
+from repro.dut import ActiveRCLowpass, CatastrophicFault, ParametricFault
+from repro.dut.faults import full_catalog
+from repro.engine import BatchRunner
+from repro.faults import (
+    FaultCampaign,
+    FaultDictionary,
+    diagnose,
+    measure_signature,
+    select_probe_frequencies,
+)
+
+
+def main() -> None:
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    catalog = full_catalog((-0.5, -0.2, 0.2, 0.5))
+    plan = FrequencySweepPlan.around(1000.0, decades=1.5, n_points=10)
+
+    # -- 1. the campaign: one job per faulty device -----------------
+    campaign = FaultCampaign(dut, catalog, plan, m_periods=40)
+    runner = BatchRunner(n_workers=2)
+    t0 = time.perf_counter()
+    dictionary = campaign.run(runner=runner)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"campaign: {len(catalog)} faults x {len(dictionary.frequencies)} "
+        f"frequencies in {elapsed:.2f} s "
+        f"({runner.cache.misses} calibration acquisition(s))\n"
+    )
+
+    # -- 2. what the dictionary knows --------------------------------
+    undetectable = [l for l in dictionary.labels if not dictionary.detectable(l)]
+    print(f"undetectable faults at this plan: {undetectable or 'none'}")
+    groups = [g for g in dictionary.ambiguity_groups() if len(g) > 1]
+    print(f"ambiguity groups (full plan): {groups or 'none'}\n")
+
+    # -- 3. compact to the most discriminating probes ----------------
+    probes = select_probe_frequencies(dictionary, 3)
+    production = dictionary.restrict(probes)
+    print("production probes:", ", ".join(f"{f:.0f} Hz" for f in probes))
+    groups = [g for g in production.ambiguity_groups() if len(g) > 1]
+    print(f"ambiguity groups (3 probes): {groups or 'none'}\n")
+
+    # -- 4. diagnose injected faults ---------------------------------
+    for fault in (
+        ParametricFault("r2", 0.5),
+        CatastrophicFault("c1", "open"),
+        CatastrophicFault("r1", "open"),  # lives in an ambiguity group
+    ):
+        signature = measure_signature(
+            fault.apply(dut),
+            probes,
+            m_periods=40,
+            label=fault.label,
+            runner=runner,
+        )
+        result = diagnose(signature, production, top_n=3)
+        ranked = ", ".join(
+            f"{c.label} (gap {c.separation:.1f})" for c in result.candidates
+        )
+        print(f"injected {fault.label:10s} -> best {result.best.label:10s}")
+        print(f"  ranked    : {ranked}")
+        print(f"  ambiguity : {', '.join(result.ambiguity_group)}")
+        print(f"  correct   : {result.names(fault.label)}\n")
+
+    # -- 5. the dictionary survives a round trip to disk -------------
+    clone = FaultDictionary.from_json(production.to_json())
+    print(f"JSON round-trip exact: {clone == production}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,10 @@ lives in :mod:`repro.engine`::
     runner = BatchRunner(n_workers=4)
     bode = runner.run_bode(dut, AnalyzerConfig.ideal(), [250.0, 1000.0, 4000.0])
 
+Fault dictionaries and component-level diagnosis (which fault explains
+a failing signature, with honest ambiguity groups) live in
+:mod:`repro.faults`.
+
 See ``README.md`` for installation and a tour, ``DESIGN.md`` for the
 system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record
 of every table and figure.

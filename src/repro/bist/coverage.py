@@ -1,29 +1,36 @@
-"""Parametric fault-coverage evaluation.
+"""Fault-coverage evaluation.
 
-Runs a BIST program against a catalog of single-component parametric
-faults of the demonstrator DUT and reports which are detected.  This is
-the standard way an analog BIST scheme's usefulness is quantified, and it
-exercises the full stack: fault -> shifted frequency response ->
-out-of-mask bounded measurement -> fail verdict.
+Runs a BIST program against a catalog of faults of the demonstrator DUT
+and reports which are detected.  This is the standard way an analog BIST
+scheme's usefulness is quantified, and it exercises the full stack:
+fault -> shifted frequency response -> out-of-mask bounded measurement
+-> fail verdict.
+
+Execution rides the fault-campaign subsystem (:mod:`repro.faults`): the
+good device and every faulty one are measured as batch-engine jobs, the
+program's one-off calibration is paid once for the entire catalog, and
+``n_workers > 1`` parallelizes the campaign with results bit-identical
+to the serial run.  The verdicts are then derived from the measured
+signatures with exactly the tri-state interval logic of
+:class:`~repro.bist.program.BISTProgram`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.analyzer import NetworkAnalyzer
 from ..core.config import AnalyzerConfig
 from ..dut.active_rc import ActiveRCLowpass
-from ..dut.faults import ParametricFault
+from ..dut.faults import Fault
 from ..errors import ConfigError
-from .program import BISTProgram
+from .program import BISTProgram, BISTReport, point_verdict
 
 
 @dataclass(frozen=True)
 class FaultTrial:
     """Outcome of testing one faulty device."""
 
-    fault: ParametricFault
+    fault: Fault
     verdict: str
     detected: bool  # fail or ambiguous counts as flagged for review
 
@@ -56,33 +63,77 @@ class CoverageReport:
         return tuple(t for t in self.trials if t.verdict == "pass")
 
 
+def _signature_report(signature, program: BISTProgram) -> BISTReport:
+    """A campaign signature scored against the program's mask.
+
+    Scored at the *program's* frequencies (a program may list one
+    frequency twice; the campaign measures it once).
+    """
+    by_frequency = {p.frequency: p for p in signature.points}
+    points = []
+    for f in program.frequencies:
+        point = by_frequency[f]
+        lo, hi = program.mask.limits_at(f)
+        points.append(point_verdict(f, point.gain_db, lo, hi))
+    return BISTReport(points=tuple(points))
+
+
 def fault_coverage(
     good_dut: ActiveRCLowpass,
-    faults: list[ParametricFault],
+    faults,
     program: BISTProgram,
     config: AnalyzerConfig | None = None,
+    n_workers: int = 1,
+    runner=None,
 ) -> CoverageReport:
     """Evaluate a BIST program's coverage of a fault catalog.
 
-    The good device is tested first (it must not fail — otherwise the
-    mask is mis-centred and the coverage numbers are meaningless).
+    The good device is measured first and must not fail — otherwise the
+    mask is mis-centred, the coverage numbers would be meaningless, and
+    the error is raised before the catalog is paid for.
+    ``n_workers > 1`` fans the campaign out over worker processes; pass
+    an existing :class:`~repro.engine.runner.BatchRunner` as ``runner``
+    to share its calibration cache across experiments.
     """
+    from ..engine.runner import BatchRunner
+    from ..faults.campaign import FaultCampaign, measure_signature
+
+    faults = list(faults)
     if not faults:
         raise ConfigError("fault list is empty")
     config = config if config is not None else AnalyzerConfig.ideal()
+    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    frequencies = list(dict.fromkeys(program.frequencies))  # measured once each
 
-    good_analyzer = NetworkAnalyzer(good_dut, config)
-    good_report = program.run(good_analyzer)
+    # Fail fast on a mis-centred mask: one job (on the calibration the
+    # campaign will reuse) before the whole catalog is paid for.
+    good_signature = measure_signature(
+        good_dut,
+        frequencies,
+        config=config,
+        m_periods=program.m_periods,
+        runner=engine,
+    )
+    good_report = _signature_report(good_signature, program)
     if good_report.verdict == "fail":
         raise ConfigError(
             "the known-good DUT fails the program; mask and DUT are inconsistent"
         )
 
+    campaign = FaultCampaign(
+        good_dut,
+        faults,
+        frequencies,
+        config=config,
+        m_periods=program.m_periods,
+    )
+    # The good device is already measured: the campaign adopts its
+    # signature instead of simulating it a second time.
+    dictionary = campaign.run(runner=engine, nominal=good_signature)
+
     trials = []
     for fault in faults:
-        faulty = fault.apply(good_dut)
-        analyzer = NetworkAnalyzer(faulty, config)
-        report = program.run(analyzer)
+        report = _signature_report(dictionary.entry(fault.label), program)
         trials.append(
             FaultTrial(
                 fault=fault,

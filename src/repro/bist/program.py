@@ -36,6 +36,31 @@ class PointVerdict:
     verdict: str  # "pass" | "fail" | "ambiguous"
 
 
+def point_verdict(
+    frequency: float, gain_db, lo: float, hi: float
+) -> PointVerdict:
+    """Tri-state comparison of one bounded gain against its limits.
+
+    ``gain_db`` is a :class:`~repro.intervals.BoundedValue`; the verdict
+    is conclusive only when the *whole* interval clears (or violates)
+    the limits.
+    """
+    if gain_db.lower >= lo and gain_db.upper <= hi:
+        verdict = "pass"
+    elif gain_db.upper < lo or gain_db.lower > hi:
+        verdict = "fail"
+    else:
+        verdict = "ambiguous"
+    return PointVerdict(
+        frequency=frequency,
+        gain_db_lower=gain_db.lower,
+        gain_db_upper=gain_db.upper,
+        limit_lo_db=lo,
+        limit_hi_db=hi,
+        verdict=verdict,
+    )
+
+
 @dataclass(frozen=True)
 class BISTReport:
     """Outcome of one full BIST program execution."""
@@ -91,22 +116,6 @@ class BISTProgram:
         points = []
         for f in self.frequencies:
             measurement = analyzer.measure_gain_phase(f, m_periods=self.m_periods)
-            gain_db = measurement.gain_db
             lo, hi = self.mask.limits_at(f)
-            if gain_db.lower >= lo and gain_db.upper <= hi:
-                verdict = "pass"
-            elif gain_db.upper < lo or gain_db.lower > hi:
-                verdict = "fail"
-            else:
-                verdict = "ambiguous"
-            points.append(
-                PointVerdict(
-                    frequency=f,
-                    gain_db_lower=gain_db.lower,
-                    gain_db_upper=gain_db.upper,
-                    limit_lo_db=lo,
-                    limit_hi_db=hi,
-                    verdict=verdict,
-                )
-            )
+            points.append(point_verdict(f, measurement.gain_db, lo, hi))
         return BISTReport(points=tuple(points))

@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Six subcommands mirror the library's main flows::
+Eight subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -17,16 +17,27 @@ Six subcommands mirror the library's main flows::
         Monte-Carlo yield analysis of a production lot through a
         go/no-go BIST program.
 
-    python -m repro distortion --hd2 -57 --hd3 -64.5 [--csv out.csv]
-        The Fig. 10c harmonic-distortion experiment.
+    python -m repro coverage --catastrophic --workers 4
+        Fault coverage of a go/no-go program over a fault catalog,
+        batch-executed as an engine fault campaign.
 
-    python -m repro dynamic-range --m-periods 200
-        Evaluator + system dynamic range (the 70 dB claim).
+    python -m repro diagnose --inject r2+50% --probes 3 --workers 4
+        Build a fault dictionary, select the most discriminating probe
+        frequencies, and diagnose an injected fault from its measured
+        signature (ranked candidates + ambiguity group).
+
+    python -m repro distortion --hd2 -57 --hd3 -64.5 --workers 2
+        The Fig. 10c harmonic-distortion experiment, one engine job per
+        stimulus frequency (pass several --fwave values).
+
+    python -m repro dynamic-range --m-periods 200 --workers 4
+        Evaluator + system dynamic range (the 70 dB claim); the
+        evaluator's weak-tone probes run as engine jobs.
 
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all six.
+through all eight.
 """
 
 from __future__ import annotations
@@ -35,22 +46,30 @@ import argparse
 import sys
 import time
 
+from .bist.coverage import fault_coverage
 from .bist.limits import SpecMask
 from .bist.montecarlo import run_yield_analysis
 from .bist.program import BISTProgram
 from .core.analyzer import NetworkAnalyzer
 from .core.bode import BodeResult
 from .core.config import AnalyzerConfig
-from .core.distortion import measure_distortion
 from .core.dynamic_range import evaluator_dynamic_range, system_dynamic_range
 from .core.sweep import FrequencySweepPlan
 from .dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+from .dut.faults import fault_catalog, full_catalog
 from .errors import ConfigError
 from .dut.base import PassthroughDUT
 from .dut.nonlinear import WienerDUT, polynomial_for_distortion
 from .engine.runner import BatchRunner
+from .faults import diagnose, measure_signature, select_probe_frequencies
+from .faults.campaign import FaultCampaign
 from .generator.design import design_summary
-from .reporting.export import bode_to_csv, distortion_to_csv, write_csv
+from .reporting.export import (
+    bode_to_csv,
+    distortion_sweep_to_csv,
+    write_csv,
+    write_json,
+)
 from .reporting.series import format_series
 from .reporting.tables import ascii_table
 from .sc.opamp import OpAmpModel
@@ -194,37 +213,51 @@ def _cmd_distortion(args) -> int:
 
     Builds a Wiener DUT with programmable distortion, measures its
     harmonics with the analyzer, and compares against the oscilloscope
-    stand-in.
+    stand-in.  Each requested stimulus frequency is an independent
+    engine job, so several ``--fwave`` values plus ``--workers N``
+    parallelize the experiment with bit-identical numbers.
 
     Usage example::
 
         python -m repro distortion --hd2 -57 --hd3 -64.5 --csv hd.csv
+        python -m repro distortion --fwave 800 1600 3200 --workers 3
     """
     linear = ActiveRCLowpass.from_specs(cutoff=args.cutoff)
-    level = args.amplitude * linear.gain_at(args.fwave)
+    # The polynomial is a property of the device: tune it once, at the
+    # first requested operating point.
+    level = args.amplitude * linear.gain_at(args.fwave[0])
     dut = WienerDUT(linear, polynomial_for_distortion(level, args.hd2, args.hd3))
-    analyzer = NetworkAnalyzer(
-        dut,
-        AnalyzerConfig.ideal(
-            stimulus_amplitude=args.amplitude,
-            evaluator_opamp=OpAmpModel(noise_rms=50e-6),
-            noise_seed=1,
-        ),
+    config = AnalyzerConfig.ideal(
+        stimulus_amplitude=args.amplitude,
+        evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+        noise_seed=1,
     )
-    report = measure_distortion(analyzer, args.fwave, m_periods=args.m_periods)
+    runner = BatchRunner(n_workers=args.workers)
+    started = time.perf_counter()
+    reports = runner.run_distortion(
+        dut, config, args.fwave, m_periods=args.m_periods
+    )
+    elapsed = time.perf_counter() - started
     rows = [
-        [f"HD{r.harmonic}", r.level_dbc.value, r.reference_dbc, r.agreement_db]
+        [f"{report.fwave:g}", f"HD{r.harmonic}", r.level_dbc.value,
+         r.reference_dbc, r.agreement_db]
+        for report in reports
         for r in report.rows
     ]
     print(
         ascii_table(
-            ["harmonic", "analyzer (dBc)", "scope (dBc)", "|delta| (dB)"],
+            ["fwave (Hz)", "harmonic", "analyzer (dBc)", "scope (dBc)",
+             "|delta| (dB)"],
             rows,
             title="Harmonic distortion measurement",
         )
     )
+    print(
+        f"{len(reports)} experiment(s) on {runner.last_stats.n_workers} "
+        f"worker(s) in {elapsed:.2f} s"
+    )
     if args.csv:
-        write_csv(args.csv, distortion_to_csv(report))
+        write_csv(args.csv, distortion_sweep_to_csv(reports))
         print(f"wrote {args.csv}")
     return 0
 
@@ -234,24 +267,156 @@ def _cmd_dynamic_range(args) -> int:
 
     Reproduces the abstract's headline claim (over 70 dB of dynamic
     range) from the weak-tone resolution of the evaluator and the
-    residual floor of the full system.
+    residual floor of the full system.  The evaluator's weak-tone
+    probes are independent engine jobs: ``--workers N`` runs them in
+    parallel with identical numbers.
 
     Usage example::
 
-        python -m repro dynamic-range --m-periods 200
+        python -m repro dynamic-range --m-periods 200 --workers 4
     """
+    started = time.perf_counter()
     evaluator = evaluator_dynamic_range(
-        m_periods=args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1
+        m_periods=args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1,
+        n_workers=args.workers,
     )
     analyzer = NetworkAnalyzer(
         PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)
     )
     system = system_dynamic_range(analyzer, args.fwave)
+    elapsed = time.perf_counter() - started
     rows = [
         ["evaluator weak-tone range (dB)", evaluator.dynamic_range_db],
         [f"system residual range @ {args.fwave:g} Hz (dB)", system],
+        ["wall time (s)", f"{elapsed:.2f}"],
+        ["workers", args.workers],
     ]
     print(ascii_table(["figure", "value"], rows, title="Dynamic range"))
+    return 0
+
+
+def _build_catalog(args):
+    """The fault catalog implied by --deviations / --catastrophic."""
+    deviations = sorted(
+        {s * d for d in args.deviations for s in (-1.0, 1.0)}
+    )
+    if args.catastrophic:
+        return full_catalog(deviations)
+    return fault_catalog(deviations)
+
+
+def _cmd_coverage(args) -> int:
+    """Fault coverage of a go/no-go program over a fault catalog.
+
+    Builds the demonstrator DUT, derives a gain mask from it, then runs
+    the whole catalog (parametric deviations, plus shorts/opens with
+    ``--catastrophic``) as an engine fault campaign — one cached
+    calibration for the entire catalog, ``--workers N`` parallel, with
+    bit-identical results at any worker count.
+
+    Usage example::
+
+        python -m repro coverage --deviations 0.2 0.5 --catastrophic --workers 4
+    """
+    golden = ActiveRCLowpass.from_specs(cutoff=args.cutoff)
+    frequencies = [args.cutoff * r for r in (0.3, 1.0, 2.0)]
+    mask = SpecMask.from_golden(golden, frequencies, tolerance_db=args.tolerance_db)
+    program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
+    catalog = _build_catalog(args)
+    started = time.perf_counter()
+    report = fault_coverage(golden, catalog, program, n_workers=args.workers)
+    elapsed = time.perf_counter() - started
+    rows = [[t.fault.label, t.verdict] for t in report.trials]
+    print(ascii_table(["fault", "verdict"], rows, title="Fault trials"))
+    summary = [
+        ["faults", len(report.trials)],
+        ["coverage (fail)", f"{report.coverage:.3f}"],
+        ["flagged (fail+ambiguous)", f"{report.flagged:.3f}"],
+        ["escapes", len(report.escapes)],
+        ["good device verdict", report.good_verdict],
+        ["wall time (s)", f"{elapsed:.2f}"],
+        ["workers", args.workers],
+    ]
+    print(ascii_table(["figure", "value"], summary, title="Fault coverage"))
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    """Dictionary-based fault diagnosis of an injected fault.
+
+    Measures a fault dictionary over a candidate sweep plan (an engine
+    fault campaign), greedily selects the ``--probes`` most
+    discriminating frequencies, then measures the device with the
+    ``--inject`` fault at those probes and ranks the dictionary
+    candidates against the signature.  Ambiguity is reported honestly:
+    faults the intervals cannot separate come back as a group.
+
+    Usage example::
+
+        python -m repro diagnose --inject r2+50% --probes 3 --workers 4
+        python -m repro diagnose --catastrophic --inject r2:open
+    """
+    golden = ActiveRCLowpass.from_specs(cutoff=args.cutoff)
+    catalog = _build_catalog(args)
+    plan = FrequencySweepPlan.around(
+        args.cutoff, decades=args.decades, n_points=args.points
+    )
+    campaign = FaultCampaign(
+        golden, catalog, plan, m_periods=args.m_periods
+    )
+    started = time.perf_counter()
+    runner = BatchRunner(n_workers=args.workers)
+    dictionary = campaign.run(runner=runner)
+    probes = select_probe_frequencies(dictionary, args.probes)
+    production = dictionary.restrict(probes)
+
+    if args.inject == "nominal":
+        device = golden
+    else:
+        by_label = {f.label: f for f in catalog}
+        if args.inject not in by_label:
+            raise ConfigError(
+                f"--inject {args.inject!r} is not in the catalog; "
+                f"choose from {sorted(by_label)} or 'nominal'"
+            )
+        device = by_label[args.inject].apply(golden)
+    signature = measure_signature(
+        device,
+        probes,
+        config=campaign.config,
+        m_periods=args.m_periods,
+        label=args.inject,
+        runner=runner,
+    )
+    result = diagnose(signature, production, top_n=args.top)
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        [c.label, f"{c.separation:.3f}", f"{c.estimate_distance:.3f}",
+         "yes" if c.consistent else "no"]
+        for c in result.candidates
+    ]
+    print(
+        ascii_table(
+            ["candidate", "interval gap", "estimate distance", "consistent"],
+            rows,
+            title=f"Diagnosis of injected fault {args.inject!r}",
+        )
+    )
+    summary = [
+        ["best candidate", result.best.label],
+        ["ambiguity group", ", ".join(result.ambiguity_group)],
+        ["conclusive", "yes" if result.conclusive else "no"],
+        ["correct", "yes" if result.names(args.inject) else "no"],
+        ["dictionary faults", len(dictionary)],
+        ["probe frequencies", ", ".join(f"{f:.0f} Hz" for f in probes)],
+        ["wall time (s)", f"{elapsed:.2f}"],
+        ["workers", args.workers],
+    ]
+    print(ascii_table(["figure", "value"], summary, title="Diagnosis summary"))
+    if args.dictionary:
+        write_json(args.dictionary, production.to_json())
+        print(f"wrote {args.dictionary}")
     return 0
 
 
@@ -314,20 +479,65 @@ def build_parser() -> argparse.ArgumentParser:
     yld.add_argument("--ambiguous-passes", action="store_true",
                      help="disposition ambiguous devices as passing")
 
+    coverage = sub.add_parser(
+        "coverage", help="fault coverage of a BIST program (engine campaign)"
+    )
+    _add_fault_catalog(coverage)
+    coverage.add_argument("--tolerance-db", type=float, default=2.0,
+                          help="gain mask half-width around the golden device (dB)")
+
+    diagnose_cmd = sub.add_parser(
+        "diagnose", help="dictionary-based fault diagnosis of an injected fault"
+    )
+    _add_fault_catalog(diagnose_cmd)
+    diagnose_cmd.add_argument("--inject", type=str, default="r2+50%",
+                              help="catalog label of the fault to inject "
+                                   "('nominal' for the good device)")
+    diagnose_cmd.add_argument("--points", type=int, default=8,
+                              help="candidate sweep points for the dictionary")
+    diagnose_cmd.add_argument("--decades", type=float, default=1.5,
+                              help="candidate sweep span around the cutoff")
+    diagnose_cmd.add_argument("--probes", type=int, default=3,
+                              help="probe frequencies the diagnosis measures")
+    diagnose_cmd.add_argument("--top", type=int, default=5,
+                              help="ranked candidates to print")
+    diagnose_cmd.add_argument("--dictionary", type=str, default=None,
+                              help="also export the production dictionary "
+                                   "as JSON to this path")
+
     distortion = sub.add_parser("distortion", help="HD2/HD3 measurement")
     distortion.add_argument("--cutoff", type=float, default=1000.0)
-    distortion.add_argument("--fwave", type=float, default=1600.0)
+    distortion.add_argument("--fwave", type=float, nargs="+", default=[1600.0],
+                            help="stimulus frequencies (one engine job each)")
     distortion.add_argument("--amplitude", type=float, default=0.4)
     distortion.add_argument("--hd2", type=float, default=-57.0)
     distortion.add_argument("--hd3", type=float, default=-64.5)
     distortion.add_argument("--m-periods", type=int, default=400)
     distortion.add_argument("--csv", type=str, default=None)
+    distortion.add_argument("--workers", type=int, default=1,
+                            help="worker processes (results identical at any count)")
 
     dynamic = sub.add_parser("dynamic-range", help="dynamic range figures")
     dynamic.add_argument("--m-periods", type=int, default=200)
     dynamic.add_argument("--fwave", type=float, default=1000.0)
+    dynamic.add_argument("--workers", type=int, default=1,
+                         help="worker processes (results identical at any count)")
 
     return parser
+
+
+def _add_fault_catalog(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the fault-campaign subcommands."""
+    parser.add_argument("--cutoff", type=float, default=1000.0,
+                        help="nominal DUT cutoff frequency in Hz")
+    parser.add_argument("--deviations", type=float, nargs="+", default=[0.2, 0.5],
+                        help="parametric deviation magnitudes (each applied +/-)")
+    parser.add_argument("--catastrophic", action="store_true",
+                        help="also include short/open faults for every component")
+    parser.add_argument("--m-periods", type=int, default=40,
+                        help="evaluation window M per probe point")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (results identical at any count)")
 
 
 _COMMANDS = {
@@ -335,6 +545,8 @@ _COMMANDS = {
     "bode": _cmd_bode,
     "sweep": _cmd_sweep,
     "yield": _cmd_yield,
+    "coverage": _cmd_coverage,
+    "diagnose": _cmd_diagnose,
     "distortion": _cmd_distortion,
     "dynamic-range": _cmd_dynamic_range,
 }

@@ -58,6 +58,40 @@ class DynamicRangeResult:
         return max(detected) if detected else 0.0
 
 
+def run_evaluator_probe(job) -> ProbeResult:
+    """One weak-tone detectability probe (pure function of the payload).
+
+    The probe synthesizes its own two-tone signal and runs a fresh ideal
+    evaluator, so it is deterministic and schedulable as an independent
+    :class:`~repro.engine.jobs.EvaluatorProbeJob` — no seeding needed.
+    """
+    mn = job.m_periods * job.oversampling_ratio
+    n = np.arange(mn)
+    carrier = job.carrier_amplitude * np.sin(
+        2.0 * np.pi * n / job.oversampling_ratio
+    )
+    weak_amplitude = job.carrier_amplitude * 10.0 ** (job.level_dbc / 20.0)
+    x = carrier + weak_amplitude * np.sin(
+        2.0 * np.pi * job.harmonic * n / job.oversampling_ratio
+    )
+    evaluator = SinewaveEvaluator(
+        oversampling_ratio=job.oversampling_ratio, vref=job.vref
+    )
+    sig = evaluator.measure(x, harmonic=job.harmonic, m_periods=job.m_periods)
+    measured = SignatureDSP().amplitude(sig).value
+    if measured <= 0:
+        error_db = math.inf
+    else:
+        error_db = abs(20.0 * math.log10(measured / weak_amplitude))
+    return ProbeResult(
+        level_dbc=job.level_dbc,
+        true_amplitude=weak_amplitude,
+        measured_amplitude=measured,
+        error_db=error_db,
+        detected=error_db <= job.threshold_db,
+    )
+
+
 def evaluator_dynamic_range(
     m_periods: int = 1000,
     carrier_amplitude: float = 0.4,
@@ -66,6 +100,8 @@ def evaluator_dynamic_range(
     levels_dbc=(-30.0, -40.0, -50.0, -60.0, -70.0, -80.0, -90.0),
     threshold_db: float = 3.0,
     oversampling_ratio: int = OVERSAMPLING_RATIO,
+    n_workers: int = 1,
+    runner=None,
 ) -> DynamicRangeResult:
     """Weak-tone detectability of the evaluator alone (Fig. 9 style).
 
@@ -73,7 +109,16 @@ def evaluator_dynamic_range(
     ``harmonic``; the weak tone's level is stepped down until the
     evaluator's measurement departs from the truth by more than
     ``threshold_db``.
+
+    Each level is an independent, deterministic probe, dispatched
+    through the batch engine: ``n_workers > 1`` runs them on worker
+    processes with identical numbers (pass an existing
+    :class:`~repro.engine.runner.BatchRunner` as ``runner`` to reuse its
+    pool; its calibration cache is not involved).
     """
+    from ..engine.jobs import EvaluatorProbeJob, execute_evaluator_probe
+    from ..engine.runner import BatchRunner
+
     if not 0 < carrier_amplitude < vref:
         raise ConfigError(
             f"carrier amplitude must be within the stable range (0, {vref}), "
@@ -81,32 +126,20 @@ def evaluator_dynamic_range(
         )
     if m_periods % 2 != 0:
         raise ConfigError(f"m_periods must be even, got {m_periods}")
-    evaluator = SinewaveEvaluator(oversampling_ratio=oversampling_ratio, vref=vref)
-    dsp = SignatureDSP()
-    mn = m_periods * oversampling_ratio
-    n = np.arange(mn)
-    carrier = carrier_amplitude * np.sin(2.0 * np.pi * n / oversampling_ratio)
-    probes = []
-    for level in sorted(levels_dbc, reverse=True):
-        weak_amplitude = carrier_amplitude * 10.0 ** (level / 20.0)
-        x = carrier + weak_amplitude * np.sin(
-            2.0 * np.pi * harmonic * n / oversampling_ratio
+    jobs = [
+        EvaluatorProbeJob(
+            level_dbc=float(level),
+            m_periods=m_periods,
+            carrier_amplitude=carrier_amplitude,
+            vref=vref,
+            harmonic=harmonic,
+            threshold_db=threshold_db,
+            oversampling_ratio=oversampling_ratio,
         )
-        sig = evaluator.measure(x, harmonic=harmonic, m_periods=m_periods)
-        measured = dsp.amplitude(sig).value
-        if measured <= 0:
-            error_db = math.inf
-        else:
-            error_db = abs(20.0 * math.log10(measured / weak_amplitude))
-        probes.append(
-            ProbeResult(
-                level_dbc=level,
-                true_amplitude=weak_amplitude,
-                measured_amplitude=measured,
-                error_db=error_db,
-                detected=error_db <= threshold_db,
-            )
-        )
+        for level in sorted(levels_dbc, reverse=True)
+    ]
+    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    probes = engine.map_jobs(execute_evaluator_probe, jobs)
     return DynamicRangeResult(
         m_periods=m_periods,
         carrier_amplitude=carrier_amplitude,

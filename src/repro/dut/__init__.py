@@ -29,7 +29,15 @@ from .nonlinear import (
     WienerDUT,
     polynomial_for_distortion,
 )
-from .faults import ParametricFault, fault_catalog
+from .faults import (
+    CatastrophicFault,
+    Fault,
+    MultiFault,
+    ParametricFault,
+    catastrophic_catalog,
+    fault_catalog,
+    full_catalog,
+)
 
 __all__ = [
     "DUT",
@@ -47,6 +55,11 @@ __all__ = [
     "WienerDUT",
     "HammersteinDUT",
     "polynomial_for_distortion",
+    "Fault",
     "ParametricFault",
+    "CatastrophicFault",
+    "MultiFault",
     "fault_catalog",
+    "catastrophic_catalog",
+    "full_catalog",
 ]

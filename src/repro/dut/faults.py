@@ -1,19 +1,46 @@
-"""Parametric fault models for the BIST application layer.
+"""Fault models for the BIST application layer.
 
 BIST exists to decide pass/fail; a fault model defines what "fail" means.
-The standard parametric model for analog filters deviates one passive
-component at a time by a fixed percentage.  :func:`fault_catalog`
-enumerates the classic single-component deviations of the demonstrator
-DUT, which the fault-coverage experiment (:mod:`repro.bist.coverage`)
-sweeps.
+Three model families cover the analog-test literature's standard
+taxonomy, all satisfying the common :class:`Fault` protocol (a ``label``
+and an ``apply``):
+
+* :class:`ParametricFault` — the classic single-component relative
+  deviation (a drifted resistor or capacitor);
+* :class:`CatastrophicFault` — component shorts and opens, modelled as
+  extreme-value limits of the component value (the behavioural analogue
+  of a ~0 Ω short or a broken lead);
+* :class:`MultiFault` — a combination of faults on distinct components
+  (the double-fault scenarios a single-fault dictionary cannot name).
+
+:func:`fault_catalog` enumerates the classic single-component deviations
+of the demonstrator DUT, :func:`catastrophic_catalog` the short/open set,
+and :func:`full_catalog` both; the fault-coverage experiment
+(:mod:`repro.bist.coverage`) and the fault-dictionary subsystem
+(:mod:`repro.faults`) consume these catalogs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from ..errors import ConfigError
 from .active_rc import ActiveRCLowpass, FilterComponents
+
+
+@runtime_checkable
+class Fault(Protocol):
+    """What every fault model provides: a report label and an injector."""
+
+    @property
+    def label(self) -> str:
+        """Short, unique report/dictionary label (e.g. ``r2+20%``)."""
+        ...
+
+    def apply(self, dut: ActiveRCLowpass) -> ActiveRCLowpass:
+        """A faulty copy of the given DUT (the original is untouched)."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -33,15 +60,125 @@ class ParametricFault:
             raise ConfigError(
                 f"relative change must be > -100%, got {self.relative_change}"
             )
+        if self.relative_change == 0.0:
+            raise ConfigError(
+                "a zero deviation is not a fault (it would dilute coverage "
+                "figures with trials of the good device)"
+            )
 
     @property
     def label(self) -> str:
-        """Short report label, e.g. ``r2+20%``."""
-        return f"{self.component}{self.relative_change:+.0%}"
+        """Short report label, e.g. ``r2+20%`` (sub-percent deviations
+        keep their digits: ``c1+0.5%``, never ``c1+0%``)."""
+        return f"{self.component}{self.relative_change * 100.0:+.4g}%"
 
     def apply(self, dut: ActiveRCLowpass) -> ActiveRCLowpass:
         """A faulty copy of the given DUT."""
         return dut.with_fault(self.component, self.relative_change)
+
+
+#: Component-value scale of a catastrophic fault.  100x is far outside
+#: any parametric spread while keeping the behavioural state-space model
+#: well conditioned (a literal 0 Ω short would put a pole at infinity
+#: and the slow residual pole of an open would stretch the settling
+#: transient across millions of stimulus periods).
+CATASTROPHIC_SEVERITY = 100.0
+
+
+@dataclass(frozen=True)
+class CatastrophicFault:
+    """A component short or open, as an extreme-value limit.
+
+    The mapping follows the element's impedance: a shorted resistor
+    loses its resistance (value / severity) and an open one its
+    conductance (value * severity); a shorted capacitor approaches a
+    wire (value * severity) and an open one disappears from the circuit
+    (value / severity).
+    """
+
+    component: str
+    mode: str  # "short" | "open"
+    severity: float = CATASTROPHIC_SEVERITY
+
+    def __post_init__(self) -> None:
+        if self.component not in FilterComponents._NAMES:
+            raise ConfigError(
+                f"unknown component {self.component!r}; valid: "
+                f"{FilterComponents._NAMES}"
+            )
+        if self.mode not in ("short", "open"):
+            raise ConfigError(
+                f"catastrophic mode must be 'short' or 'open', got {self.mode!r}"
+            )
+        if not self.severity > 1.0:
+            raise ConfigError(
+                f"severity must be > 1 (an extreme-value limit), got {self.severity!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short report label, e.g. ``r2:short``."""
+        return f"{self.component}:{self.mode}"
+
+    @property
+    def value_scale(self) -> float:
+        """Multiplier applied to the nominal component value."""
+        is_resistor = self.component.startswith("r")
+        shrinks = (self.mode == "short") == is_resistor
+        return 1.0 / self.severity if shrinks else self.severity
+
+    def apply(self, dut: ActiveRCLowpass) -> ActiveRCLowpass:
+        """A faulty copy of the given DUT."""
+        components = dut.components.perturbed(
+            self.component, self.value_scale - 1.0
+        )
+        return ActiveRCLowpass(
+            components, polarity=dut.polarity, name=f"{dut.name} [{self.label}]"
+        )
+
+
+@dataclass(frozen=True)
+class MultiFault:
+    """A simultaneous combination of faults on distinct components."""
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        faults = tuple(self.faults)
+        object.__setattr__(self, "faults", faults)
+        if len(faults) < 2:
+            raise ConfigError(
+                f"a multi-fault combines at least two faults, got {len(faults)}"
+            )
+        for fault in faults:
+            # Single-component constituents only (no nesting): the
+            # distinctness check and the label ordering are defined on
+            # components.
+            if not hasattr(fault, "component"):
+                raise ConfigError(
+                    f"multi-fault constituents must be single-component "
+                    f"faults, got {type(fault).__name__}"
+                )
+        components = [f.component for f in faults]
+        if len(set(components)) != len(components):
+            raise ConfigError(
+                f"multi-fault components must be distinct, got {components}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Component-ordered combination label, e.g. ``r1+20%&c2:open``."""
+        ordered = sorted(
+            self.faults, key=lambda f: FilterComponents._NAMES.index(f.component)
+        )
+        return "&".join(f.label for f in ordered)
+
+    def apply(self, dut: ActiveRCLowpass) -> ActiveRCLowpass:
+        """A faulty copy with every constituent fault injected."""
+        faulty = dut
+        for fault in self.faults:
+            faulty = fault.apply(faulty)
+        return faulty
 
 
 def fault_catalog(deviations=(-0.5, -0.2, 0.2, 0.5)) -> list[ParametricFault]:
@@ -57,3 +194,19 @@ def fault_catalog(deviations=(-0.5, -0.2, 0.2, 0.5)) -> list[ParametricFault]:
         for deviation in deviations:
             catalog.append(ParametricFault(component, float(deviation)))
     return catalog
+
+
+def catastrophic_catalog(
+    severity: float = CATASTROPHIC_SEVERITY,
+) -> list[CatastrophicFault]:
+    """Short and open faults for every component (10 faults)."""
+    catalog = []
+    for component in FilterComponents._NAMES:
+        for mode in ("short", "open"):
+            catalog.append(CatastrophicFault(component, mode, severity))
+    return catalog
+
+
+def full_catalog(deviations=(-0.5, -0.2, 0.2, 0.5)) -> list[Fault]:
+    """The parametric catalog followed by the catastrophic one."""
+    return list(fault_catalog(deviations)) + list(catastrophic_catalog())

@@ -23,8 +23,14 @@ subcommands) are thin wrappers over this engine.
 from .cache import CalibrationCache, acquire_calibration
 from .jobs import (
     DeviceTrialJob,
+    DistortionJob,
+    EvaluatorProbeJob,
+    FaultTrialJob,
     SweepPointJob,
     execute_device_trial,
+    execute_distortion,
+    execute_evaluator_probe,
+    execute_fault_trial,
     execute_sweep_point,
 )
 from .runner import BatchRunner, BatchStats, default_workers
@@ -35,11 +41,17 @@ __all__ = [
     "BatchStats",
     "CalibrationCache",
     "DeviceTrialJob",
+    "DistortionJob",
+    "EvaluatorProbeJob",
+    "FaultTrialJob",
     "SweepPointJob",
     "acquire_calibration",
     "config_for_job",
     "default_workers",
     "derive_seed",
     "execute_device_trial",
+    "execute_distortion",
+    "execute_evaluator_probe",
+    "execute_fault_trial",
     "execute_sweep_point",
 ]

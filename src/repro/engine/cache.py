@@ -23,16 +23,30 @@ acquisition regardless of which job asked for it first.
 
 from __future__ import annotations
 
+import threading
+
 from ..core.calibration import CalibrationResult
 from ..core.config import AnalyzerConfig
 from ..errors import ConfigError
 
 
 class CalibrationCache:
-    """Memoized one-off calibrations with hit/miss accounting."""
+    """Memoized one-off calibrations with hit/miss accounting.
+
+    Thread-safe: a fault campaign (or any batch dispatcher) may consult
+    one shared cache from several dispatch threads, and hit/miss
+    accounting must stay exact — each lookup is either one hit or one
+    miss, and a key is acquired at most once.  Concurrent first lookups
+    of the same key collapse into a single acquisition (one miss, the
+    waiters hit), while acquisitions of *distinct* keys run fully in
+    parallel: the lock only guards the bookkeeping, and in-flight
+    acquisitions are tracked per key.
+    """
 
     def __init__(self) -> None:
         self._store: dict[tuple, CalibrationResult] = {}
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
@@ -53,14 +67,31 @@ class CalibrationCache:
         """Return the cached calibration, acquiring it on first use."""
         m = m_periods if m_periods is not None else config.m_periods
         key = self.key(config, fwave, m)
-        cached = self._store.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        calibration = acquire_calibration(config, fwave, m)
-        self._store[key] = calibration
-        return calibration
+        while True:
+            with self._lock:
+                cached = self._store.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+                pending = self._inflight.get(key)
+                if pending is None:
+                    # This thread owns the acquisition.
+                    pending = threading.Event()
+                    self._inflight[key] = pending
+                    self.misses += 1
+                    break
+            # Another thread is acquiring this key: wait, then re-check
+            # (on its failure, one waiter becomes the next owner).
+            pending.wait()
+        try:
+            calibration = acquire_calibration(config, fwave, m)
+            with self._lock:
+                self._store[key] = calibration
+            return calibration
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -74,9 +105,10 @@ class CalibrationCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 def acquire_calibration(

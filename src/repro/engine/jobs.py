@@ -51,6 +51,85 @@ def execute_sweep_point(job: SweepPointJob) -> GainPhaseMeasurement:
 
 
 @dataclass(frozen=True)
+class FaultTrialJob:
+    """One fault-campaign trial: measure a (possibly faulty) DUT at a
+    tuple of probe frequencies.
+
+    The whole multi-frequency signature is one job (not one job per
+    point): a fault dictionary compares *signatures*, so keeping the
+    signature's acquisition order fixed inside a single job is what
+    makes the dictionary independent of how the campaign is scheduled.
+    """
+
+    index: int
+    dut: DUT
+    frequencies: tuple[float, ...]
+    m_periods: int | None
+    config: AnalyzerConfig
+    calibration: CalibrationResult
+
+
+def execute_fault_trial(job: FaultTrialJob) -> tuple[GainPhaseMeasurement, ...]:
+    """Measure one faulty device's signature (worker-process entry)."""
+    config = config_for_job(job.config, "fault", job.index)
+    analyzer = NetworkAnalyzer(job.dut, config)
+    return tuple(
+        analyzer.measure_gain_phase(
+            f, m_periods=job.m_periods, calibration=job.calibration
+        )
+        for f in job.frequencies
+    )
+
+
+@dataclass(frozen=True)
+class DistortionJob:
+    """One full harmonic-distortion experiment at one stimulus frequency."""
+
+    index: int
+    fwave: float
+    harmonics: tuple[int, ...]
+    m_periods: int
+    dut: DUT
+    config: AnalyzerConfig
+
+
+def execute_distortion(job: DistortionJob):
+    """Run one Fig. 10c experiment in isolation (worker-process entry)."""
+    from ..core.distortion import measure_distortion
+
+    config = config_for_job(job.config, "distortion", job.index)
+    analyzer = NetworkAnalyzer(job.dut, config)
+    return measure_distortion(
+        analyzer, job.fwave, harmonics=job.harmonics, m_periods=job.m_periods
+    )
+
+
+@dataclass(frozen=True)
+class EvaluatorProbeJob:
+    """One weak-tone detectability probe of the evaluator alone.
+
+    Probes are synthetic (the signal is generated from the payload, no
+    RNG involved), so the job needs no seed derivation: any schedule
+    reproduces the same numbers.
+    """
+
+    level_dbc: float
+    m_periods: int
+    carrier_amplitude: float
+    vref: float
+    harmonic: int
+    threshold_db: float
+    oversampling_ratio: int
+
+
+def execute_evaluator_probe(job: EvaluatorProbeJob):
+    """Run one dynamic-range probe (worker-process entry)."""
+    from ..core.dynamic_range import run_evaluator_probe
+
+    return run_evaluator_probe(job)
+
+
+@dataclass(frozen=True)
 class DeviceTrialJob:
     """One Monte-Carlo device: component draw + go/no-go program run.
 

@@ -42,8 +42,12 @@ from ..errors import ConfigError
 from .cache import CalibrationCache
 from .jobs import (
     DeviceTrialJob,
+    DistortionJob,
+    FaultTrialJob,
     SweepPointJob,
     execute_device_trial,
+    execute_distortion,
+    execute_fault_trial,
     execute_sweep_point,
 )
 
@@ -228,6 +232,93 @@ class BatchRunner:
             calibration_fwave=calibration_fwave,
         )
         return BodeResult(tuple(points))
+
+    # ------------------------------------------------------------------
+    # Fault campaigns
+    # ------------------------------------------------------------------
+    def run_fault_trials(
+        self,
+        duts,
+        config: AnalyzerConfig,
+        frequencies,
+        m_periods: int | None = None,
+        calibration_fwave: float | None = None,
+        start_index: int = 0,
+    ) -> list[tuple[GainPhaseMeasurement, ...]]:
+        """Measure each DUT's multi-frequency signature as one job.
+
+        The workload of a fault campaign: one (faulty) device per job,
+        each measured at every probe frequency.  Calibration is fault-
+        independent — it runs on the bypass path, never through the DUT
+        — so the whole campaign shares one cached acquisition.
+
+        ``start_index`` offsets the per-job seed indices: a batch that
+        re-measures part of a larger logical campaign (e.g. the catalog
+        after a separately measured nominal) keeps every device on the
+        noise substream it would have had in the full batch.
+        """
+        frequencies = tuple(float(f) for f in frequencies)
+        if not frequencies:
+            raise ConfigError("frequency list is empty")
+        duts = list(duts)
+        if not duts:
+            raise ConfigError("DUT list is empty")
+        if start_index < 0:
+            raise ConfigError(f"start_index must be >= 0, got {start_index}")
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        fcal = (
+            calibration_fwave if calibration_fwave is not None else frequencies[0]
+        )
+        calibration = self.calibration_for(config, fcal, m_periods)
+        jobs = [
+            FaultTrialJob(
+                index=start_index + i,
+                dut=dut,
+                frequencies=frequencies,
+                m_periods=m_periods,
+                config=config,
+                calibration=calibration,
+            )
+            for i, dut in enumerate(duts)
+        ]
+        results = self.map_jobs(execute_fault_trial, jobs)
+        self._record(len(jobs), hits0, misses0)
+        return results
+
+    # ------------------------------------------------------------------
+    # Harmonic distortion
+    # ------------------------------------------------------------------
+    def run_distortion(
+        self,
+        dut: DUT,
+        config: AnalyzerConfig,
+        fwaves,
+        harmonics: tuple[int, ...] = (2, 3),
+        m_periods: int = 400,
+    ) -> list:
+        """One Fig. 10c distortion experiment per stimulus frequency.
+
+        Needs no calibration (distortion is a ratio against the measured
+        fundamental), so each frequency is simply an independent job.
+        """
+        fwaves = [float(f) for f in fwaves]
+        if not fwaves:
+            raise ConfigError("stimulus frequency list is empty")
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        jobs = [
+            DistortionJob(
+                index=i,
+                fwave=f,
+                harmonics=tuple(harmonics),
+                m_periods=m_periods,
+                dut=dut,
+                config=config,
+            )
+            for i, f in enumerate(fwaves)
+        ]
+        reports = self.map_jobs(execute_distortion, jobs)
+        self._record(len(jobs), hits0, misses0)
+        return reports
 
     # ------------------------------------------------------------------
     # Monte-Carlo yield analysis

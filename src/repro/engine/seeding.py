@@ -27,6 +27,8 @@ STREAMS = {
     "calibration": 0,
     "sweep": 1,
     "trial": 2,
+    "fault": 3,
+    "distortion": 4,
 }
 
 

@@ -1,0 +1,272 @@
+"""Interval-valued fault signatures and the fault dictionary.
+
+The classical fault-dictionary method: simulate every cataloged fault
+once, store each fault's measured frequency-response *signature*, and
+diagnose a failing device by matching its measured signature against the
+stored ones.  Because this analyzer reports guaranteed intervals rather
+than point estimates, the dictionary can be honest about a question the
+classical method fumbles: *which faults are distinguishable at all*.
+Two faults whose signature intervals overlap at every probe frequency
+cannot be told apart by this measurement — they form an **ambiguity
+group**, and a diagnosis reports the group instead of silently
+mis-ranking its members.
+
+Distance conventions: gains are compared in decibels and phases in
+degrees, treated as commensurate display units (the standard pragmatic
+choice for mixed gain/phase signature matching).  The *separation*
+between two signatures is the Euclidean norm over probe points of the
+interval gaps (zero wherever the intervals overlap), so separation 0
+means "consistent — the measurement cannot exclude this fault".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..intervals import BoundedValue
+
+#: Label reserved for the fault-free device's signature.
+NOMINAL_LABEL = "nominal"
+
+
+def interval_gap(a: BoundedValue, b: BoundedValue) -> float:
+    """Distance between two intervals (0 when they overlap)."""
+    return max(0.0, max(a.lower, b.lower) - min(a.upper, b.upper))
+
+
+@dataclass(frozen=True)
+class SignaturePoint:
+    """One probe frequency's bounded gain/phase reading."""
+
+    frequency: float
+    gain_db: BoundedValue
+    phase_deg: BoundedValue
+
+    def __post_init__(self) -> None:
+        if not self.frequency > 0:
+            raise ConfigError(f"frequency must be positive, got {self.frequency!r}")
+
+    def gap(self, other: "SignaturePoint") -> float:
+        """Euclidean gap between two readings (0 iff both overlap)."""
+        return math.hypot(
+            interval_gap(self.gain_db, other.gain_db),
+            interval_gap(self.phase_deg, other.phase_deg),
+        )
+
+    def estimate_distance(self, other: "SignaturePoint") -> float:
+        """Euclidean distance between the point estimates."""
+        return math.hypot(
+            self.gain_db.value - other.gain_db.value,
+            self.phase_deg.value - other.phase_deg.value,
+        )
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """A labelled multi-frequency gain/phase signature."""
+
+    label: str
+    points: tuple[SignaturePoint, ...]
+
+    def __post_init__(self) -> None:
+        points = tuple(self.points)
+        object.__setattr__(self, "points", points)
+        if not self.label:
+            raise ConfigError("signature label must be non-empty")
+        if not points:
+            raise ConfigError("signature needs at least one probe point")
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        return tuple(p.frequency for p in self.points)
+
+    def _check_comparable(self, other: "FaultSignature") -> None:
+        if self.frequencies != other.frequencies:
+            raise ConfigError(
+                f"signatures probe different frequencies: "
+                f"{self.frequencies} vs {other.frequencies}"
+            )
+
+    def separation(self, other: "FaultSignature") -> float:
+        """Guaranteed separation: 0 iff the signatures are consistent."""
+        self._check_comparable(other)
+        return math.sqrt(
+            sum(a.gap(b) ** 2 for a, b in zip(self.points, other.points))
+        )
+
+    def overlaps(self, other: "FaultSignature") -> bool:
+        """True when no probe frequency can tell the two apart."""
+        return self.separation(other) == 0.0
+
+    def estimate_distance(self, other: "FaultSignature") -> float:
+        """Point-estimate distance (the ranking tie-breaker)."""
+        self._check_comparable(other)
+        return math.sqrt(
+            sum(
+                a.estimate_distance(b) ** 2
+                for a, b in zip(self.points, other.points)
+            )
+        )
+
+    def restrict(self, frequencies) -> "FaultSignature":
+        """The signature cut down to a subset of its probe frequencies."""
+        wanted = tuple(float(f) for f in frequencies)
+        by_freq = {p.frequency: p for p in self.points}
+        missing = [f for f in wanted if f not in by_freq]
+        if missing:
+            raise ConfigError(
+                f"signature has no reading at {missing}; available: "
+                f"{self.frequencies}"
+            )
+        return FaultSignature(
+            label=self.label, points=tuple(by_freq[f] for f in wanted)
+        )
+
+
+def signature_from_measurements(label: str, measurements) -> FaultSignature:
+    """Build a signature from analyzer gain/phase measurements."""
+    points = tuple(
+        SignaturePoint(
+            frequency=m.fwave, gain_db=m.gain_db, phase_deg=m.phase_deg
+        )
+        for m in measurements
+    )
+    return FaultSignature(label=label, points=points)
+
+
+@dataclass(frozen=True)
+class FaultDictionary:
+    """Nominal plus per-fault signatures on a common probe grid.
+
+    Built by a :class:`~repro.faults.campaign.FaultCampaign`; serialized
+    with :func:`repro.reporting.export.dictionary_to_json`.
+    """
+
+    nominal: FaultSignature
+    entries: tuple[FaultSignature, ...]
+    m_periods: int | None = None
+
+    def __post_init__(self) -> None:
+        entries = tuple(self.entries)
+        object.__setattr__(self, "entries", entries)
+        if not entries:
+            raise ConfigError("dictionary needs at least one fault entry")
+        labels = [e.label for e in entries]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({l for l in labels if labels.count(l) > 1})
+            raise ConfigError(f"duplicate dictionary labels: {duplicates}")
+        if NOMINAL_LABEL in labels:
+            raise ConfigError(
+                f"{NOMINAL_LABEL!r} is reserved for the fault-free signature"
+            )
+        for entry in entries:
+            self.nominal._check_comparable(entry)
+
+    # ------------------------------------------------------------------
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """The common probe grid."""
+        return self.nominal.frequencies
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(e.label for e in self.entries)
+
+    def entry(self, label: str) -> FaultSignature:
+        if label == NOMINAL_LABEL:
+            return self.nominal
+        for entry in self.entries:
+            if entry.label == label:
+                return entry
+        raise ConfigError(f"no dictionary entry {label!r}; have {self.labels}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Detectability and ambiguity
+    # ------------------------------------------------------------------
+    def detectable(self, label: str) -> bool:
+        """True when the fault's signature excludes the nominal one.
+
+        An undetectable fault is a guaranteed test escape at this probe
+        plan and window size — the knobs are more/better probe
+        frequencies or a larger ``M``.
+        """
+        return not self.entry(label).overlaps(self.nominal)
+
+    def ambiguity_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Partition of the fault labels into indistinguishability groups.
+
+        Signature overlap is not transitive, so groups are the connected
+        components of the pairwise-overlap graph: a diagnosis inside a
+        component may not be able to single out one member.  Singleton
+        groups are uniquely diagnosable faults.
+        """
+        labels = list(self.labels)
+        adjacency = {label: set() for label in labels}
+        for i, a in enumerate(self.entries):
+            for b in self.entries[i + 1 :]:
+                if a.overlaps(b):
+                    adjacency[a.label].add(b.label)
+                    adjacency[b.label].add(a.label)
+        groups = []
+        unseen = set(labels)
+        for label in labels:  # catalog order keeps the output stable
+            if label not in unseen:
+                continue
+            component = set()
+            frontier = [label]
+            while frontier:
+                current = frontier.pop()
+                if current in component:
+                    continue
+                component.add(current)
+                frontier.extend(adjacency[current] - component)
+            unseen -= component
+            groups.append(tuple(sorted(component)))
+        return tuple(groups)
+
+    def group_of(self, label: str) -> tuple[str, ...]:
+        """The ambiguity group containing a fault label."""
+        self.entry(label)  # validates the label
+        for group in self.ambiguity_groups():
+            if label in group:
+                return group
+        raise ConfigError(f"no ambiguity group for {label!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def restrict(self, frequencies) -> "FaultDictionary":
+        """The dictionary cut down to a probe-frequency subset.
+
+        This is how a production diagnosis program is derived: build the
+        dictionary on a dense candidate plan once, select the most
+        discriminating probes (:func:`repro.faults.probes.select_probe_frequencies`),
+        then restrict — the test floor only ever measures the subset.
+        """
+        return FaultDictionary(
+            nominal=self.nominal.restrict(frequencies),
+            entries=tuple(e.restrict(frequencies) for e in self.entries),
+            m_periods=self.m_periods,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (see repro.reporting.export)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """JSON text round-trippable via :meth:`from_json`."""
+        from ..reporting.export import dictionary_to_json
+
+        return dictionary_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultDictionary":
+        """Rebuild a dictionary serialized by :meth:`to_json`."""
+        from ..reporting.export import dictionary_from_json
+
+        return dictionary_from_json(text)

@@ -1,0 +1,88 @@
+"""Probe-frequency selection: the fewest sweep points that diagnose.
+
+Test time on a production floor is dominated by the number of measured
+sweep points, so a diagnosis program wants the *most discriminating*
+subset of a candidate plan, not the whole plan.  The dictionary already
+knows, per frequency, which fault pairs a measurement there can tell
+apart (their intervals are disjoint); selecting probes is then a
+set-cover problem over fault pairs, solved greedily here (the classical
+dictionary-compaction heuristic).
+
+Build a dictionary on a dense candidate plan once, select, then
+:meth:`~repro.faults.dictionary.FaultDictionary.restrict` — the
+production program measures only the selected frequencies.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .dictionary import FaultDictionary, FaultSignature
+
+
+def _pairs(signatures: list[FaultSignature]):
+    for i, a in enumerate(signatures):
+        for b in signatures[i + 1 :]:
+            yield a, b
+
+
+def pair_separation_at(
+    a: FaultSignature, b: FaultSignature, point_index: int
+) -> float:
+    """Interval gap between two signatures at one probe point."""
+    return a.points[point_index].gap(b.points[point_index])
+
+
+def select_probe_frequencies(
+    dictionary: FaultDictionary,
+    n_probes: int,
+    include_nominal: bool = True,
+) -> tuple[float, ...]:
+    """Greedily pick the most discriminating probe frequencies.
+
+    Each round selects the frequency that separates the most not-yet-
+    separated signature pairs (ties: the larger summed separation
+    margin, then the lower frequency).  Once every separable pair is
+    covered, remaining slots go to the frequencies with the largest
+    total margin — redundancy that buys noise immunity rather than new
+    coverage.  Pairs no candidate frequency separates are intrinsic
+    ambiguity — no subset selection can resolve them.
+
+    Returns the selected frequencies in ascending order.
+    """
+    frequencies = dictionary.frequencies
+    if not 1 <= n_probes <= len(frequencies):
+        raise ConfigError(
+            f"n_probes must be in 1..{len(frequencies)}, got {n_probes}"
+        )
+    signatures = list(dictionary.entries)
+    if include_nominal:
+        signatures.append(dictionary.nominal)
+
+    # Precompute, per frequency: which pairs it separates, with margins.
+    pair_ids = {}
+    separated_by: list[set[int]] = [set() for _ in frequencies]
+    margin: list[float] = [0.0 for _ in frequencies]
+    for a, b in _pairs(signatures):
+        pair_id = pair_ids.setdefault((a.label, b.label), len(pair_ids))
+        for i in range(len(frequencies)):
+            gap = pair_separation_at(a, b, i)
+            if gap > 0.0:
+                separated_by[i].add(pair_id)
+                margin[i] += gap
+
+    chosen: list[int] = []
+    covered: set[int] = set()
+    remaining = set(range(len(frequencies)))
+    while len(chosen) < n_probes and remaining:
+        best = min(
+            remaining,
+            key=lambda i: (
+                -len(separated_by[i] - covered),
+                -margin[i],
+                frequencies[i],
+            ),
+        )
+        chosen.append(best)
+        covered |= separated_by[best]
+        remaining.remove(best)
+    return tuple(sorted(frequencies[i] for i in chosen))

@@ -2,12 +2,24 @@
 
 from .tables import ascii_table
 from .series import format_series
-from .export import bode_to_csv, distortion_to_csv, write_csv
+from .export import (
+    bode_to_csv,
+    dictionary_from_json,
+    dictionary_to_json,
+    distortion_sweep_to_csv,
+    distortion_to_csv,
+    write_csv,
+    write_json,
+)
 
 __all__ = [
     "ascii_table",
     "format_series",
     "bode_to_csv",
     "distortion_to_csv",
+    "distortion_sweep_to_csv",
+    "dictionary_to_json",
+    "dictionary_from_json",
     "write_csv",
+    "write_json",
 ]

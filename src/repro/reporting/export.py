@@ -1,20 +1,27 @@
-"""CSV export of measurement results.
+"""CSV and JSON export of measurement results.
 
 Bode sweeps and distortion reports frequently leave the Python world
 (spreadsheets, plotting tools, test-floor databases); these helpers
 flatten the bounded measurements into plain CSV with explicit
 lower/upper columns so no downstream tool needs to understand
 :class:`~repro.intervals.BoundedValue`.
+
+Fault dictionaries (:mod:`repro.faults`) round-trip through JSON: a
+dictionary is built once by an expensive campaign, stored next to the
+test program, and reloaded by every diagnosis run — so the on-disk form
+must carry the *intervals*, not just point estimates.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 
 from ..core.bode import BodeResult
 from ..core.distortion import DistortionReport
 from ..errors import ConfigError
+from ..intervals import BoundedValue
 
 
 def bode_to_csv(bode: BodeResult) -> str:
@@ -85,9 +92,153 @@ def distortion_to_csv(report: DistortionReport) -> str:
     return buffer.getvalue()
 
 
+def distortion_sweep_to_csv(reports) -> str:
+    """Flatten distortion reports at several stimulus frequencies.
+
+    Same columns as :func:`distortion_to_csv` with a leading
+    ``fwave_hz`` — the shape of the engine's ``run_distortion`` output.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ConfigError("no distortion reports to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "fwave_hz",
+            "harmonic",
+            "level_dbc",
+            "level_dbc_lower",
+            "level_dbc_upper",
+            "oscilloscope_dbc",
+            "agreement_db",
+        ]
+    )
+    for report in reports:
+        for row in report.rows:
+            writer.writerow(
+                [
+                    f"{report.fwave:.6g}",
+                    row.harmonic,
+                    f"{row.level_dbc.value:.6g}",
+                    f"{row.level_dbc.lower:.6g}",
+                    f"{row.level_dbc.upper:.6g}",
+                    f"{row.reference_dbc:.6g}",
+                    f"{row.agreement_db:.6g}",
+                ]
+            )
+    return buffer.getvalue()
+
+
 def write_csv(path, text: str) -> None:
     """Write CSV text to a path (str or pathlib.Path)."""
     if not text:
         raise ConfigError("refusing to write empty CSV text")
     with open(path, "w", newline="") as handle:
+        handle.write(text)
+
+
+# ----------------------------------------------------------------------
+# Fault-dictionary JSON round-trip
+# ----------------------------------------------------------------------
+
+DICTIONARY_FORMAT = "repro-fault-dictionary"
+DICTIONARY_VERSION = 1
+
+
+def _bounded(value: BoundedValue) -> list[float]:
+    return [value.value, value.lower, value.upper]
+
+
+def _signature_payload(signature) -> dict:
+    return {
+        "label": signature.label,
+        "points": [
+            {
+                "frequency_hz": point.frequency,
+                "gain_db": _bounded(point.gain_db),
+                "phase_deg": _bounded(point.phase_deg),
+            }
+            for point in signature.points
+        ],
+    }
+
+
+def _signature_from_payload(payload: dict):
+    from ..faults.dictionary import FaultSignature, SignaturePoint
+
+    try:
+        points = tuple(
+            SignaturePoint(
+                frequency=float(point["frequency_hz"]),
+                gain_db=BoundedValue(*map(float, point["gain_db"])),
+                phase_deg=BoundedValue(*map(float, point["phase_deg"])),
+            )
+            for point in payload["points"]
+        )
+        return FaultSignature(label=payload["label"], points=points)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed fault-signature payload: {exc}") from exc
+
+
+def dictionary_to_json(dictionary) -> str:
+    """Serialize a :class:`~repro.faults.dictionary.FaultDictionary`.
+
+    The schema keeps every bounded value as ``[value, lower, upper]`` so
+    a reloaded dictionary diagnoses *identically* to the freshly built
+    one — including its ambiguity groups.
+    """
+    payload = {
+        "format": DICTIONARY_FORMAT,
+        "version": DICTIONARY_VERSION,
+        "m_periods": dictionary.m_periods,
+        "frequencies_hz": list(dictionary.frequencies),
+        "nominal": _signature_payload(dictionary.nominal),
+        "entries": [_signature_payload(entry) for entry in dictionary.entries],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def dictionary_from_json(text: str):
+    """Rebuild a fault dictionary serialized by :func:`dictionary_to_json`."""
+    from ..faults.dictionary import FaultDictionary
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"fault dictionary is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != DICTIONARY_FORMAT:
+        raise ConfigError(
+            f"not a fault dictionary (expected format {DICTIONARY_FORMAT!r})"
+        )
+    if payload.get("version") != DICTIONARY_VERSION:
+        raise ConfigError(
+            f"unsupported dictionary version {payload.get('version')!r}; "
+            f"this build reads version {DICTIONARY_VERSION}"
+        )
+    try:
+        nominal_payload = payload["nominal"]
+        entry_payloads = payload["entries"]
+        m_periods = payload["m_periods"]
+        frequencies = tuple(float(f) for f in payload["frequencies_hz"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"fault dictionary missing/malformed field: {exc}") from exc
+    dictionary = FaultDictionary(
+        nominal=_signature_from_payload(nominal_payload),
+        entries=tuple(_signature_from_payload(p) for p in entry_payloads),
+        m_periods=None if m_periods is None else int(m_periods),
+    )
+    if dictionary.frequencies != frequencies:
+        raise ConfigError(
+            f"dictionary frequencies_hz {frequencies} disagree with its "
+            f"signature points {dictionary.frequencies} (hand-edited file?)"
+        )
+    return dictionary
+
+
+def write_json(path, text: str) -> None:
+    """Write JSON text to a path (str or pathlib.Path)."""
+    if not text:
+        raise ConfigError("refusing to write empty JSON text")
+    with open(path, "w") as handle:
         handle.write(text)

@@ -50,6 +50,73 @@ class TestCoverage:
         assert report.flagged >= report.coverage
 
 
+class TestEngineExecution:
+    """fault_coverage is a thin wrapper over a FaultCampaign."""
+
+    def test_parallel_matches_serial(self, setup):
+        golden, program = setup
+        faults = [
+            ParametricFault("c2", 0.5),
+            ParametricFault("r3", 0.5),
+            ParametricFault("r2", -0.5),
+            ParametricFault("c1", 0.3),
+        ]
+        serial = fault_coverage(golden, faults, program)
+        parallel = fault_coverage(golden, faults, program, n_workers=2)
+        assert [(t.fault.label, t.verdict) for t in serial.trials] == [
+            (t.fault.label, t.verdict) for t in parallel.trials
+        ]
+
+    def test_calibration_paid_once_for_the_catalog(self, setup):
+        from repro.engine import BatchRunner
+
+        golden, program = setup
+        runner = BatchRunner(n_workers=1)
+        faults = [ParametricFault("c2", 0.5), ParametricFault("r3", 0.5)]
+        fault_coverage(golden, faults, program, runner=runner)
+        assert runner.cache.misses == 1
+        # The fail-fast good-device measurement is adopted by the
+        # campaign: the catalog batch holds exactly one job per fault.
+        assert runner.last_stats.n_jobs == len(faults)
+
+    def test_program_with_repeated_frequency_still_works(self):
+        """A program may list a frequency twice; the campaign measures
+        it once and scores it at every program position."""
+        golden = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        mask = SpecMask.from_golden(golden, [1000.0, 2000.0], tolerance_db=2.0)
+        program = BISTProgram(
+            mask, [1000.0, 2000.0, 1000.0], m_periods=20
+        )
+        report = fault_coverage(golden, [ParametricFault("c2", 0.5)], program)
+        assert report.good_verdict in ("pass", "ambiguous")
+        assert len(report.trials) == 1
+
+    def test_miscentred_mask_fails_fast(self):
+        """The good-device check raises before the catalog is measured."""
+        from repro.engine import BatchRunner
+
+        golden = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        wrong = ActiveRCLowpass.from_specs(cutoff=300.0)
+        mask = SpecMask.from_golden(wrong, [1000.0], tolerance_db=0.5)
+        program = BISTProgram(mask, [1000.0], m_periods=20)
+        runner = BatchRunner(n_workers=1)
+        with pytest.raises(ConfigError, match="inconsistent"):
+            fault_coverage(
+                golden, [ParametricFault("c1", 0.2)], program, runner=runner
+            )
+        # Only the good device was dispatched, not the catalog.
+        assert runner.last_stats.n_jobs == 1
+
+    def test_catastrophic_faults_all_detected(self, setup):
+        """Shorts and opens are gross: a +/-2 dB mask must fail every
+        one of them outright."""
+        from repro.dut.faults import catastrophic_catalog
+
+        golden, program = setup
+        report = fault_coverage(golden, catastrophic_catalog(), program)
+        assert report.coverage == 1.0
+
+
 class TestValidation:
     def test_empty_faults(self, setup):
         golden, program = setup

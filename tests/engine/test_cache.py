@@ -1,4 +1,6 @@
-"""Calibration cache: reuse, invalidation, accounting."""
+"""Calibration cache: reuse, invalidation, accounting, concurrency."""
+
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -78,6 +80,81 @@ class TestInvalidation:
     def test_bad_frequency_rejected(self, cache):
         with pytest.raises(ConfigError):
             cache.get_or_acquire(CFG, -5.0)
+
+
+class TestConcurrentAccess:
+    """A fault campaign's dispatchers may share one cache across
+    threads; hit/miss accounting must stay exact."""
+
+    N_THREADS = 8
+    LOOKUPS_PER_THREAD = 5
+
+    def test_shared_entry_accounting_is_exact(self, cache):
+        """Many concurrent lookups of one key: exactly one miss (the
+        single acquisition), everything else hits, and every lookup is
+        accounted once."""
+        total = self.N_THREADS * self.LOOKUPS_PER_THREAD
+
+        def worker(_):
+            results = []
+            for _ in range(self.LOOKUPS_PER_THREAD):
+                results.append(cache.get_or_acquire(CFG, 1000.0))
+            return results
+
+        with ThreadPoolExecutor(max_workers=self.N_THREADS) as pool:
+            all_results = [
+                r for chunk in pool.map(worker, range(self.N_THREADS))
+                for r in chunk
+            ]
+
+        assert len(cache) == 1
+        assert cache.misses == 1
+        assert cache.hits == total - 1
+        assert cache.hits + cache.misses == total
+        # Every thread got the very same calibration object.
+        assert all(r is all_results[0] for r in all_results)
+
+    def test_distinct_keys_account_one_miss_each(self, cache):
+        frequencies = [500.0, 1000.0, 2000.0, 4000.0]
+
+        def worker(f):
+            for _ in range(self.LOOKUPS_PER_THREAD):
+                cache.get_or_acquire(CFG, f)
+
+        with ThreadPoolExecutor(max_workers=len(frequencies)) as pool:
+            list(pool.map(worker, frequencies * 2))
+
+        assert len(cache) == len(frequencies)
+        assert cache.misses == len(frequencies)
+        lookups = 2 * len(frequencies) * self.LOOKUPS_PER_THREAD
+        assert cache.hits + cache.misses == lookups
+
+    def test_campaign_jobs_sharing_one_entry(self, cache):
+        """The satellite scenario end to end: a fault campaign's jobs all
+        lean on one cached calibration while campaigns run concurrently
+        on threads sharing the cache."""
+        from repro.dut.active_rc import ActiveRCLowpass
+        from repro.dut.faults import fault_catalog
+        from repro.engine import BatchRunner
+        from repro.faults import FaultCampaign
+
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        campaign = FaultCampaign(
+            dut, fault_catalog(deviations=(0.5,)), (500.0, 2000.0), m_periods=10
+        )
+
+        def run_campaign(_):
+            return campaign.run(runner=BatchRunner(n_workers=1, cache=cache))
+
+        n_campaigns = 4
+        with ThreadPoolExecutor(max_workers=n_campaigns) as pool:
+            dictionaries = list(pool.map(run_campaign, range(n_campaigns)))
+
+        # One acquisition total; one accounted lookup per campaign.
+        assert cache.misses == 1
+        assert cache.hits == n_campaigns - 1
+        # And the shared entry changes nothing about the results.
+        assert all(d == dictionaries[0] for d in dictionaries)
 
 
 class TestAcquireCalibration:

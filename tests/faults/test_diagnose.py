@@ -1,0 +1,129 @@
+"""Interval-aware diagnosis: ranking, ambiguity, acceptance criterion."""
+
+import pytest
+
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import full_catalog
+from repro.errors import ConfigError
+from repro.faults import (
+    NOMINAL_LABEL,
+    FaultCampaign,
+    FaultSignature,
+    SignaturePoint,
+    diagnose,
+    measure_signature,
+)
+from repro.intervals import BoundedValue
+
+FREQS = (250.0, 700.0, 1000.0, 2800.0)
+M = 20
+
+
+@pytest.fixture(scope="module")
+def dut():
+    return ActiveRCLowpass.from_specs(1000.0)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return full_catalog((-0.5, -0.2, 0.2, 0.5))
+
+
+@pytest.fixture(scope="module")
+def dictionary(dut, catalog):
+    return FaultCampaign(dut, catalog, FREQS, m_periods=M).run()
+
+
+class TestAcceptance:
+    def test_every_catalog_entry_diagnosed(self, dut, catalog, dictionary):
+        """The PR's acceptance criterion: for every catalog entry of the
+        demonstrator DUT, diagnosing its measured signature names the
+        injected fault — as best candidate or inside the reported
+        ambiguity group."""
+        for fault in catalog:
+            signature = measure_signature(
+                fault.apply(dut), FREQS, m_periods=M, label=fault.label
+            )
+            result = diagnose(signature, dictionary)
+            assert result.names(fault.label), (
+                f"injected {fault.label}, best {result.best.label}, "
+                f"group {result.ambiguity_group}"
+            )
+
+    def test_good_device_diagnoses_as_nominal(self, dut, dictionary):
+        signature = measure_signature(dut, FREQS, m_periods=M)
+        result = diagnose(signature, dictionary)
+        assert result.best.label == NOMINAL_LABEL
+
+
+class TestRanking:
+    def test_candidates_sorted_by_separation_then_distance(self, dut, catalog, dictionary):
+        fault = catalog[0]
+        signature = measure_signature(
+            fault.apply(dut), FREQS, m_periods=M, label=fault.label
+        )
+        result = diagnose(signature, dictionary)
+        keys = [
+            (c.separation, c.estimate_distance) for c in result.candidates
+        ]
+        assert keys == sorted(keys)
+
+    def test_top_n_truncates_candidates_not_group(self, dut, catalog, dictionary):
+        fault = catalog[0]
+        signature = measure_signature(
+            fault.apply(dut), FREQS, m_periods=M, label=fault.label
+        )
+        full = diagnose(signature, dictionary)
+        short = diagnose(signature, dictionary, top_n=3)
+        assert len(short.candidates) == 3
+        assert short.ambiguity_group == full.ambiguity_group
+
+    def test_bad_top_n_rejected(self, dut, dictionary):
+        signature = measure_signature(dut, FREQS, m_periods=M)
+        with pytest.raises(ConfigError):
+            diagnose(signature, dictionary, top_n=0)
+
+    def test_exclude_nominal(self, dut, dictionary):
+        signature = measure_signature(dut, FREQS, m_periods=M)
+        result = diagnose(signature, dictionary, include_nominal=False)
+        assert all(c.label != NOMINAL_LABEL for c in result.candidates)
+
+
+class TestAmbiguity:
+    def test_consistent_candidates_form_the_group(self, dictionary):
+        """A synthetic signature straddling two stored entries must get
+        both into the ambiguity group, not a silent mis-ranking."""
+        a = dictionary.entries[0]
+        wide = FaultSignature(
+            "wide",
+            tuple(
+                SignaturePoint(
+                    frequency=p.frequency,
+                    gain_db=p.gain_db.widen(200.0),
+                    phase_deg=p.phase_deg.widen(200.0),
+                )
+                for p in a.points
+            ),
+        )
+        result = diagnose(wide, dictionary)
+        assert len(result.ambiguity_group) > 1
+        assert not result.conclusive
+
+    def test_unknown_fault_falls_back_to_dictionary_group(self, dictionary):
+        """A signature consistent with nothing reports the nearest
+        entry's own ambiguity neighbourhood."""
+        narrow = FaultSignature(
+            "alien",
+            tuple(
+                SignaturePoint(
+                    frequency=f,
+                    gain_db=BoundedValue.exact(77.0),
+                    phase_deg=BoundedValue.exact(123.0),
+                )
+                for f in FREQS
+            ),
+        )
+        result = diagnose(narrow, dictionary)
+        assert result.consistent_labels == ()
+        assert result.best.label in result.ambiguity_group
+        assert result.ambiguity_group == dictionary.group_of(result.best.label)

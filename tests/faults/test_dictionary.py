@@ -1,0 +1,148 @@
+"""Fault dictionary: signatures, ambiguity, JSON round-trip."""
+
+import pytest
+
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import fault_catalog, full_catalog
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultCampaign,
+    FaultDictionary,
+    FaultSignature,
+    SignaturePoint,
+    interval_gap,
+)
+from repro.intervals import BoundedValue
+
+FREQS = (300.0, 1000.0, 3000.0)
+M = 20
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    dut = ActiveRCLowpass.from_specs(1000.0)
+    catalog = fault_catalog(deviations=(-0.5, 0.5))
+    return FaultCampaign(dut, catalog, FREQS, m_periods=M).run()
+
+
+def _point(f, gain, phase, half=0.5):
+    return SignaturePoint(
+        frequency=f,
+        gain_db=BoundedValue.from_halfwidth(gain, half),
+        phase_deg=BoundedValue.from_halfwidth(phase, half),
+    )
+
+
+class TestIntervalGap:
+    def test_overlapping_intervals_have_zero_gap(self):
+        a = BoundedValue.from_halfwidth(0.0, 1.0)
+        b = BoundedValue.from_halfwidth(1.5, 1.0)
+        assert interval_gap(a, b) == 0.0
+
+    def test_disjoint_intervals_measure_their_gap(self):
+        a = BoundedValue.from_halfwidth(0.0, 1.0)
+        b = BoundedValue.from_halfwidth(5.0, 1.0)
+        assert interval_gap(a, b) == pytest.approx(3.0)
+        assert interval_gap(b, a) == pytest.approx(3.0)
+
+
+class TestSignature:
+    def test_separation_zero_iff_overlapping_everywhere(self):
+        a = FaultSignature("a", (_point(100.0, 0.0, 0.0),))
+        b = FaultSignature("b", (_point(100.0, 0.5, 0.2),))
+        c = FaultSignature("c", (_point(100.0, 5.0, 0.0),))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.separation(c) == pytest.approx(4.0)  # 5 - 2*0.5
+
+    def test_different_grids_not_comparable(self):
+        a = FaultSignature("a", (_point(100.0, 0.0, 0.0),))
+        b = FaultSignature("b", (_point(200.0, 0.0, 0.0),))
+        with pytest.raises(ConfigError, match="different"):
+            a.separation(b)
+
+    def test_restrict_selects_and_orders(self, dictionary):
+        sig = dictionary.nominal.restrict([3000.0, 300.0])
+        assert sig.frequencies == (3000.0, 300.0)
+        with pytest.raises(ConfigError, match="no reading"):
+            dictionary.nominal.restrict([123.0])
+
+
+class TestDictionary:
+    def test_every_fault_detectable_at_this_plan(self, dictionary):
+        """The +/-50 % catalog is gross: all entries must separate from
+        nominal at a 3-point probe plan with M = 20."""
+        assert all(dictionary.detectable(label) for label in dictionary.labels)
+
+    def test_ambiguity_groups_partition_the_catalog(self, dictionary):
+        groups = dictionary.ambiguity_groups()
+        flat = [label for group in groups for label in group]
+        assert sorted(flat) == sorted(dictionary.labels)
+
+    def test_group_of_contains_the_label(self, dictionary):
+        for label in dictionary.labels:
+            assert label in dictionary.group_of(label)
+
+    def test_entry_lookup(self, dictionary):
+        assert dictionary.entry("r1+50%").label == "r1+50%"
+        assert dictionary.entry("nominal") is dictionary.nominal
+        with pytest.raises(ConfigError, match="no dictionary entry"):
+            dictionary.entry("r9+50%")
+
+    def test_restrict_preserves_entries(self, dictionary):
+        cut = dictionary.restrict([300.0, 3000.0])
+        assert cut.frequencies == (300.0, 3000.0)
+        assert cut.labels == dictionary.labels
+
+    def test_duplicate_labels_rejected(self, dictionary):
+        entry = dictionary.entries[0]
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultDictionary(nominal=dictionary.nominal, entries=(entry, entry))
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_exact(self, dictionary):
+        """A reloaded dictionary must diagnose identically — every
+        interval endpoint survives the round trip bit-exactly."""
+        clone = FaultDictionary.from_json(dictionary.to_json())
+        assert clone == dictionary
+        assert clone.ambiguity_groups() == dictionary.ambiguity_groups()
+
+    def test_round_trip_with_catastrophic_entries(self):
+        dut = ActiveRCLowpass.from_specs(1000.0)
+        d = FaultCampaign(
+            dut, full_catalog((-0.5, 0.5)), (300.0, 1000.0), m_periods=10
+        ).run()
+        assert FaultDictionary.from_json(d.to_json()) == d
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ConfigError, match="not a fault dictionary"):
+            FaultDictionary.from_json('{"hello": 1}')
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            FaultDictionary.from_json("not json at all")
+
+    def test_rejects_future_version(self, dictionary):
+        import json
+
+        payload = json.loads(dictionary.to_json())
+        payload["version"] = 999
+        with pytest.raises(ConfigError, match="version"):
+            FaultDictionary.from_json(json.dumps(payload))
+
+    def test_rejects_inconsistent_frequency_header(self, dictionary):
+        """A hand-edited frequencies_hz that disagrees with the stored
+        signature points must not load silently."""
+        import json
+
+        payload = json.loads(dictionary.to_json())
+        payload["frequencies_hz"][0] = 123.0
+        with pytest.raises(ConfigError, match="disagree"):
+            FaultDictionary.from_json(json.dumps(payload))
+
+    def test_rejects_malformed_numeric_payload(self, dictionary):
+        import json
+
+        payload = json.loads(dictionary.to_json())
+        payload["entries"][0]["points"][0]["gain_db"] = ["x", "y", "z"]
+        with pytest.raises(ConfigError, match="malformed"):
+            FaultDictionary.from_json(json.dumps(payload))

@@ -1,0 +1,148 @@
+"""Fault models: protocol, catastrophic limits, combinations."""
+
+import pytest
+
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import (
+    CatastrophicFault,
+    Fault,
+    MultiFault,
+    ParametricFault,
+    catastrophic_catalog,
+    fault_catalog,
+    full_catalog,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def dut():
+    return ActiveRCLowpass.from_specs(1000.0)
+
+
+class TestProtocol:
+    def test_all_models_satisfy_fault(self):
+        assert isinstance(ParametricFault("r1", 0.2), Fault)
+        assert isinstance(CatastrophicFault("c1", "open"), Fault)
+        assert isinstance(
+            MultiFault((ParametricFault("r1", 0.2), ParametricFault("c1", 0.2))),
+            Fault,
+        )
+
+    def test_labels_unique_across_full_catalog(self):
+        labels = [f.label for f in full_catalog()]
+        assert len(set(labels)) == len(labels)
+
+
+class TestParametricValidation:
+    def test_zero_deviation_rejected(self):
+        """A zero deviation is the good device, not a fault — counting
+        it would silently dilute coverage figures."""
+        with pytest.raises(ConfigError, match="zero deviation"):
+            ParametricFault("r1", 0.0)
+
+    def test_sub_percent_label_keeps_digits(self):
+        assert ParametricFault("c1", 0.005).label == "c1+0.5%"
+        assert ParametricFault("r3", -0.001).label == "r3-0.1%"
+
+    def test_classic_labels_unchanged(self):
+        assert ParametricFault("r2", 0.2).label == "r2+20%"
+        assert ParametricFault("c1", -0.5).label == "c1-50%"
+
+
+class TestCatastrophic:
+    def test_short_resistor_shrinks_value(self, dut):
+        faulty = CatastrophicFault("r1", "short").apply(dut)
+        assert faulty.components.r1 == pytest.approx(dut.components.r1 / 100.0)
+
+    def test_open_resistor_grows_value(self, dut):
+        faulty = CatastrophicFault("r1", "open").apply(dut)
+        assert faulty.components.r1 == pytest.approx(dut.components.r1 * 100.0)
+
+    def test_short_capacitor_grows_value(self, dut):
+        """A shorted capacitor tends to a wire: impedance 1/(sC) -> 0."""
+        faulty = CatastrophicFault("c2", "short").apply(dut)
+        assert faulty.components.c2 == pytest.approx(dut.components.c2 * 100.0)
+
+    def test_open_capacitor_shrinks_value(self, dut):
+        faulty = CatastrophicFault("c2", "open").apply(dut)
+        assert faulty.components.c2 == pytest.approx(dut.components.c2 / 100.0)
+
+    def test_label(self):
+        assert CatastrophicFault("r2", "short").label == "r2:short"
+        assert CatastrophicFault("c1", "open").label == "c1:open"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            CatastrophicFault("r1", "leaky")
+
+    def test_bad_component_rejected(self):
+        with pytest.raises(ConfigError):
+            CatastrophicFault("rx", "short")
+
+    def test_severity_must_be_extreme(self):
+        with pytest.raises(ConfigError):
+            CatastrophicFault("r1", "short", severity=1.0)
+
+    def test_catalog_covers_every_component_both_ways(self, dut):
+        catalog = catastrophic_catalog()
+        assert len(catalog) == 10  # 5 components x short/open
+        for fault in catalog:
+            faulty = fault.apply(dut)
+            assert faulty.cutoff > 0
+
+    def test_fault_moves_the_response(self, dut):
+        """Every short/open shifts the gain grossly somewhere in band
+        (not necessarily at one particular frequency — a shifted cutoff
+        can cancel the gain change at a single point)."""
+        probes = (100.0, 300.0, 1000.0, 3000.0, 10_000.0)
+        for fault in catastrophic_catalog():
+            faulty = fault.apply(dut)
+            worst = max(
+                abs(faulty.gain_db_at(f) - dut.gain_db_at(f)) for f in probes
+            )
+            assert worst > 3.0, fault.label
+
+
+class TestMultiFault:
+    def test_applies_all_constituents(self, dut):
+        fault = MultiFault(
+            (ParametricFault("r1", 0.2), CatastrophicFault("c2", "open"))
+        )
+        faulty = fault.apply(dut)
+        assert faulty.components.r1 == pytest.approx(dut.components.r1 * 1.2)
+        assert faulty.components.c2 == pytest.approx(dut.components.c2 / 100.0)
+
+    def test_label_is_component_ordered(self):
+        fault = MultiFault(
+            (CatastrophicFault("c2", "open"), ParametricFault("r1", 0.2))
+        )
+        assert fault.label == "r1+20%&c2:open"
+
+    def test_single_fault_rejected(self):
+        with pytest.raises(ConfigError, match="at least two"):
+            MultiFault((ParametricFault("r1", 0.2),))
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(ConfigError, match="distinct"):
+            MultiFault(
+                (ParametricFault("r1", 0.2), CatastrophicFault("r1", "open"))
+            )
+
+    def test_nested_multifault_rejected(self):
+        inner = MultiFault(
+            (ParametricFault("r1", 0.2), ParametricFault("c1", 0.2))
+        )
+        with pytest.raises(ConfigError, match="single-component"):
+            MultiFault((inner, ParametricFault("r2", 0.2)))
+
+
+class TestCatalogs:
+    def test_full_catalog_is_parametric_plus_catastrophic(self):
+        assert len(full_catalog()) == len(fault_catalog()) + len(
+            catastrophic_catalog()
+        )
+
+    def test_catalog_rejects_zero_deviation(self):
+        with pytest.raises(ConfigError):
+            fault_catalog(deviations=(0.2, 0.0))

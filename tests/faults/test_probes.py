@@ -1,0 +1,95 @@
+"""Probe-frequency selection."""
+
+import pytest
+
+from repro.core.sweep import FrequencySweepPlan
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import fault_catalog
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultCampaign,
+    diagnose,
+    measure_signature,
+    select_probe_frequencies,
+)
+
+M = 20
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dut = ActiveRCLowpass.from_specs(1000.0)
+    catalog = fault_catalog(deviations=(-0.5, 0.5))
+    plan = FrequencySweepPlan.around(1000.0, decades=1.5, n_points=8)
+    dictionary = FaultCampaign(dut, catalog, plan, m_periods=M).run()
+    return dut, catalog, dictionary
+
+
+class TestSelection:
+    def test_returns_sorted_subset(self, setup):
+        _, _, dictionary = setup
+        probes = select_probe_frequencies(dictionary, 3)
+        assert len(probes) == 3
+        assert probes == tuple(sorted(probes))
+        assert set(probes) <= set(dictionary.frequencies)
+
+    def test_selection_is_deterministic(self, setup):
+        _, _, dictionary = setup
+        assert select_probe_frequencies(dictionary, 3) == select_probe_frequencies(
+            dictionary, 3
+        )
+
+    def test_full_plan_is_allowed(self, setup):
+        _, _, dictionary = setup
+        probes = select_probe_frequencies(dictionary, len(dictionary.frequencies))
+        assert probes == tuple(sorted(dictionary.frequencies))
+
+    def test_bounds_checked(self, setup):
+        _, _, dictionary = setup
+        with pytest.raises(ConfigError):
+            select_probe_frequencies(dictionary, 0)
+        with pytest.raises(ConfigError):
+            select_probe_frequencies(dictionary, 99)
+
+
+class TestDiscrimination:
+    def test_selected_probes_discriminate_like_the_full_plan(self, setup):
+        """The point of selection: the restricted program distinguishes
+        exactly the pairs the full candidate plan could — fewer sweep
+        points, same partition (on this gross catalog)."""
+        _, _, dictionary = setup
+        probes = select_probe_frequencies(dictionary, 3)
+        restricted = dictionary.restrict(probes)
+        assert restricted.ambiguity_groups() == dictionary.ambiguity_groups()
+
+    def test_diagnosis_still_correct_on_selected_probes(self, setup):
+        dut, catalog, dictionary = setup
+        probes = select_probe_frequencies(dictionary, 3)
+        restricted = dictionary.restrict(probes)
+        for fault in catalog[:4]:
+            signature = measure_signature(
+                fault.apply(dut), probes, m_periods=M, label=fault.label
+            )
+            assert diagnose(signature, restricted).names(fault.label)
+
+    def test_greedy_beats_worst_subset(self, setup):
+        """The greedy picks must separate at least as many pairs as the
+        three lowest-information frequencies (sanity of the heuristic)."""
+        _, _, dictionary = setup
+
+        def separated_pairs(frequencies):
+            cut = dictionary.restrict(frequencies)
+            signatures = list(cut.entries) + [cut.nominal]
+            count = 0
+            for i, a in enumerate(signatures):
+                for b in signatures[i + 1 :]:
+                    if not a.overlaps(b):
+                        count += 1
+            return count
+
+        greedy = separated_pairs(select_probe_frequencies(dictionary, 3))
+        worst = min(
+            separated_pairs(dictionary.frequencies[i : i + 3])
+            for i in range(len(dictionary.frequencies) - 2)
+        )
+        assert greedy >= worst

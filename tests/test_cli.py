@@ -62,7 +62,122 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "HD2" in out and "HD3" in out
 
+    def test_distortion_multi_fwave_with_workers(self, capsys):
+        code = main(
+            [
+                "distortion",
+                "--m-periods", "100",
+                "--fwave", "1600", "3200",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 experiment(s) on 2 worker(s)" in out
+        assert "1600" in out and "3200" in out
+
+    def test_distortion_workers_do_not_change_numbers(self, capsys):
+        args = ["distortion", "--m-periods", "100", "--fwave", "1600", "3200"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical except the wall-time/worker footer line.
+        strip = lambda text: [
+            line for line in text.splitlines() if "experiment(s)" not in line
+        ]
+        assert strip(serial) == strip(parallel)
+
+    def test_distortion_csv_covers_every_fwave(self, tmp_path, capsys):
+        target = tmp_path / "hd.csv"
+        code = main(
+            [
+                "distortion",
+                "--m-periods", "100",
+                "--fwave", "1600", "3200",
+                "--csv", str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert text.startswith("fwave_hz")
+        assert "1600" in text and "3200" in text
+
     def test_dynamic_range(self, capsys):
         assert main(["dynamic-range", "--m-periods", "100"]) == 0
         out = capsys.readouterr().out
         assert "Dynamic range" in out
+
+    def test_dynamic_range_workers(self, capsys):
+        code = main(["dynamic-range", "--m-periods", "100", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dynamic range" in out and "workers" in out
+
+    def test_coverage(self, capsys):
+        code = main(["coverage", "--m-periods", "20", "--deviations", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault coverage" in out
+        assert "coverage (fail)" in out
+
+    def test_coverage_parallel_catastrophic(self, capsys):
+        code = main(
+            [
+                "coverage",
+                "--m-periods", "20",
+                "--deviations", "0.5",
+                "--catastrophic",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r1:short" in out and "c2:open" in out
+
+    def test_diagnose(self, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--m-periods", "20",
+                "--points", "6",
+                "--deviations", "0.5",
+                "--inject", "r2+50%",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Diagnosis summary" in out
+        assert "ambiguity group" in out
+
+    def test_diagnose_exports_dictionary(self, tmp_path, capsys):
+        target = tmp_path / "dictionary.json"
+        code = main(
+            [
+                "diagnose",
+                "--m-periods", "20",
+                "--points", "6",
+                "--deviations", "0.5",
+                "--probes", "2",
+                "--dictionary", str(target),
+            ]
+        )
+        assert code == 0
+        from repro.faults import FaultDictionary
+
+        dictionary = FaultDictionary.from_json(target.read_text())
+        assert len(dictionary.frequencies) == 2
+
+    def test_diagnose_unknown_fault_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="not in the catalog"):
+            main(
+                [
+                    "diagnose",
+                    "--m-periods", "20",
+                    "--points", "6",
+                    "--deviations", "0.5",
+                    "--inject", "r9:short",
+                ]
+            )
