@@ -29,6 +29,10 @@ lives in :mod:`repro.engine`::
     runner = BatchRunner(n_workers=4)
     bode = runner.run_bode(dut, AnalyzerConfig.ideal(), [250.0, 1000.0, 4000.0])
 
+On a single-core host use ``BatchRunner(backend="vectorized")`` instead:
+whole populations evaluated as array batches, result-equivalent to the
+per-job reference backend (:mod:`repro.engine.vectorized`).
+
 Fault dictionaries and component-level diagnosis (which fault explains
 a failing signature, with honest ambiguity groups) live in
 :mod:`repro.faults`.
@@ -54,7 +58,7 @@ from .core import (
     measure_thd,
     system_dynamic_range,
 )
-from .engine import BatchRunner, BatchStats, CalibrationCache
+from .engine import BatchRunner, BatchStats, CalibrationCache, supports_vectorized
 from .errors import (
     CalibrationError,
     ConfigError,
@@ -63,7 +67,7 @@ from .errors import (
     ReproError,
     TimingError,
 )
-from .intervals import BoundedValue
+from .intervals import BoundedArray, BoundedValue, angular_gap, angular_overlap
 
 __version__ = "1.0.0"
 
@@ -84,9 +88,13 @@ __all__ = [
     "system_dynamic_range",
     "bounded_db",
     "BoundedValue",
+    "BoundedArray",
+    "angular_gap",
+    "angular_overlap",
     "BatchRunner",
     "BatchStats",
     "CalibrationCache",
+    "supports_vectorized",
     "ReproError",
     "ConfigError",
     "TimingError",

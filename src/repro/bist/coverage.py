@@ -85,15 +85,20 @@ def fault_coverage(
     config: AnalyzerConfig | None = None,
     n_workers: int = 1,
     runner=None,
+    backend: str = "reference",
 ) -> CoverageReport:
     """Evaluate a BIST program's coverage of a fault catalog.
 
     The good device is measured first and must not fail — otherwise the
     mask is mis-centred, the coverage numbers would be meaningless, and
     the error is raised before the catalog is paid for.
-    ``n_workers > 1`` fans the campaign out over worker processes; pass
-    an existing :class:`~repro.engine.runner.BatchRunner` as ``runner``
-    to share its calibration cache across experiments.
+    ``n_workers > 1`` fans the campaign out over worker processes;
+    ``backend="vectorized"`` batches the whole catalog as in-process
+    array operations instead (see :mod:`repro.engine.vectorized`).
+    Pass an existing :class:`~repro.engine.runner.BatchRunner` as
+    ``runner`` to share its calibration cache across experiments
+    (``n_workers`` and ``backend`` then defer to the runner's own
+    settings).
     """
     from ..engine.runner import BatchRunner
     from ..faults.campaign import FaultCampaign, measure_signature
@@ -102,7 +107,11 @@ def fault_coverage(
     if not faults:
         raise ConfigError("fault list is empty")
     config = config if config is not None else AnalyzerConfig.ideal()
-    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    engine = (
+        runner
+        if runner is not None
+        else BatchRunner(n_workers=n_workers, backend=backend)
+    )
     frequencies = list(dict.fromkeys(program.frequencies))  # measured once each
 
     # Fail fast on a mis-centred mask: one job (on the calibration the

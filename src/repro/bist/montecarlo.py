@@ -117,6 +117,7 @@ def run_yield_analysis(
     ambiguous_passes: bool = False,
     n_workers: int = 1,
     runner=None,
+    backend: str = "reference",
 ) -> YieldReport:
     """Simulate a production lot through the BIST program.
 
@@ -130,17 +131,26 @@ def run_yield_analysis(
     via the engine's cache instead of once per device, and the device
     trials are dispatched as independent jobs — ``n_workers > 1``
     parallelizes them with results bit-identical to the serial run.
+    ``backend="vectorized"`` evaluates the whole lot as one in-process
+    population batch instead (see :mod:`repro.engine.vectorized`) — the
+    single-core throughput path, result-equivalent to the reference
+    backend.
 
     Pass an existing :class:`~repro.engine.runner.BatchRunner` as
     ``runner`` to share its calibration cache across lots (``n_workers``
-    is then ignored in favour of the runner's own setting).
+    and ``backend`` are then ignored in favour of the runner's own
+    settings).
     """
     from ..engine.runner import BatchRunner
 
     config = config if config is not None else AnalyzerConfig.ideal(
         m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
     )
-    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    engine = (
+        runner
+        if runner is not None
+        else BatchRunner(n_workers=n_workers, backend=backend)
+    )
     trials = engine.run_trials(
         nominal,
         mask,

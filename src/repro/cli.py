@@ -75,6 +75,22 @@ from .reporting.tables import ascii_table
 from .sc.opamp import OpAmpModel
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (e.g. ``--workers``).
+
+    Rejecting zero/negative values at the parser gives every subcommand
+    the same clear usage error instead of a deep ``ConfigError``
+    traceback from whichever layer first validates.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _cmd_design(_args) -> int:
     """Print the derived Table I design summary.
 
@@ -123,12 +139,10 @@ def _cmd_sweep(args) -> int:
 
         python -m repro sweep --points 25 --workers 4 --repeat 2
     """
-    if args.repeat < 1:
-        raise ConfigError(f"--repeat must be >= 1, got {args.repeat}")
     dut = ActiveRCLowpass.from_specs(cutoff=args.cutoff, q=args.q)
     config = AnalyzerConfig.ideal(m_periods=args.m_periods)
     plan = FrequencySweepPlan(args.f_start, args.f_stop, args.points)
-    runner = BatchRunner(n_workers=args.workers)
+    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
     started = time.perf_counter()
     for _ in range(args.repeat):
         bode = runner.run_bode(
@@ -139,7 +153,8 @@ def _cmd_sweep(args) -> int:
     stats = runner.last_stats
     print(
         f"{args.repeat} sweep(s) x {stats.n_jobs} points on "
-        f"{stats.n_workers} worker(s) in {elapsed:.2f} s; calibration cache "
+        f"{stats.n_workers} worker(s) ({stats.backend} backend) in "
+        f"{elapsed:.2f} s; calibration cache "
         f"{runner.cache.hits} hit(s) / {runner.cache.misses} miss(es)"
     )
     if args.csv:
@@ -182,6 +197,7 @@ def _cmd_yield(args) -> int:
     frequencies = [args.cutoff * r for r in (0.3, 1.0, 2.0)]
     mask = SpecMask.from_golden(golden, frequencies, tolerance_db=args.tolerance_db)
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
+    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
     started = time.perf_counter()
     report = run_yield_analysis(
         nominal,
@@ -191,7 +207,7 @@ def _cmd_yield(args) -> int:
         component_sigma=args.sigma,
         seed=args.seed,
         ambiguous_passes=args.ambiguous_passes,
-        n_workers=args.workers,
+        runner=runner,
     )
     elapsed = time.perf_counter() - started
     rows = [
@@ -203,6 +219,7 @@ def _cmd_yield(args) -> int:
         ["ambiguous rate", f"{report.ambiguous_rate:.3f}"],
         ["wall time (s)", f"{elapsed:.2f}"],
         ["workers", args.workers],
+        ["backend", runner.last_stats.backend],
     ]
     print(ascii_table(["figure", "value"], rows, title="Monte-Carlo yield"))
     return 0
@@ -324,7 +341,8 @@ def _cmd_coverage(args) -> int:
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
     catalog = _build_catalog(args)
     started = time.perf_counter()
-    report = fault_coverage(golden, catalog, program, n_workers=args.workers)
+    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
+    report = fault_coverage(golden, catalog, program, runner=runner)
     elapsed = time.perf_counter() - started
     rows = [[t.fault.label, t.verdict] for t in report.trials]
     print(ascii_table(["fault", "verdict"], rows, title="Fault trials"))
@@ -336,6 +354,7 @@ def _cmd_coverage(args) -> int:
         ["good device verdict", report.good_verdict],
         ["wall time (s)", f"{elapsed:.2f}"],
         ["workers", args.workers],
+        ["backend", runner.last_stats.backend],
     ]
     print(ascii_table(["figure", "value"], summary, title="Fault coverage"))
     return 0
@@ -454,10 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="engine-batched Bode sweep (parallel workers, cached calibration)"
     )
     _add_sweep_grid(sweep)
-    sweep.add_argument("--workers", type=int, default=1,
+    sweep.add_argument("--workers", type=_positive_int, default=1,
                        help="worker processes (results identical at any count)")
-    sweep.add_argument("--repeat", type=int, default=1,
+    sweep.add_argument("--repeat", type=_positive_int, default=1,
                        help="re-run the sweep N times (exercises the calibration cache)")
+    _add_backend(sweep)
 
     yld = sub.add_parser(
         "yield", help="Monte-Carlo yield analysis through a BIST program"
@@ -474,10 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evaluation window M per test point")
     yld.add_argument("--seed", type=int, default=0,
                      help="lot seed (fixes every component draw)")
-    yld.add_argument("--workers", type=int, default=1,
+    yld.add_argument("--workers", type=_positive_int, default=1,
                      help="worker processes (results identical at any count)")
     yld.add_argument("--ambiguous-passes", action="store_true",
                      help="disposition ambiguous devices as passing")
+    _add_backend(yld)
 
     coverage = sub.add_parser(
         "coverage", help="fault coverage of a BIST program (engine campaign)"
@@ -485,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_catalog(coverage)
     coverage.add_argument("--tolerance-db", type=float, default=2.0,
                           help="gain mask half-width around the golden device (dB)")
+    _add_backend(coverage)
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="dictionary-based fault diagnosis of an injected fault"
@@ -514,16 +536,28 @@ def build_parser() -> argparse.ArgumentParser:
     distortion.add_argument("--hd3", type=float, default=-64.5)
     distortion.add_argument("--m-periods", type=int, default=400)
     distortion.add_argument("--csv", type=str, default=None)
-    distortion.add_argument("--workers", type=int, default=1,
+    distortion.add_argument("--workers", type=_positive_int, default=1,
                             help="worker processes (results identical at any count)")
 
     dynamic = sub.add_parser("dynamic-range", help="dynamic range figures")
     dynamic.add_argument("--m-periods", type=int, default=200)
     dynamic.add_argument("--fwave", type=float, default=1000.0)
-    dynamic.add_argument("--workers", type=int, default=1,
+    dynamic.add_argument("--workers", type=_positive_int, default=1,
                          help="worker processes (results identical at any count)")
 
     return parser
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    """The engine backend selector shared by the batch subcommands."""
+    parser.add_argument(
+        "--backend", choices=("reference", "vectorized"), default="reference",
+        help="execution backend: 'reference' runs one job per "
+             "measurement (parallelizable with --workers); 'vectorized' "
+             "batches the whole population as in-process array "
+             "operations — the single-core throughput path, "
+             "result-equivalent to the reference backend",
+    )
 
 
 def _add_fault_catalog(parser: argparse.ArgumentParser) -> None:
@@ -536,7 +570,7 @@ def _add_fault_catalog(parser: argparse.ArgumentParser) -> None:
                         help="also include short/open faults for every component")
     parser.add_argument("--m-periods", type=int, default=40,
                         help="evaluation window M per probe point")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes (results identical at any count)")
 
 

@@ -44,6 +44,38 @@ from .config import AnalyzerConfig
 from .measurement import GainPhaseMeasurement, StimulusMeasurement
 
 
+def build_evaluator(
+    config: AnalyzerConfig, rng: np.random.Generator | None
+) -> SinewaveEvaluator:
+    """The analyzer's evaluator wiring for a configuration.
+
+    The single source of truth for how an :class:`AnalyzerConfig` maps
+    onto a :class:`~repro.evaluator.evaluator.SinewaveEvaluator`
+    (including the quadrature channel's residual offset).  Shared by
+    :class:`NetworkAnalyzer` and the vectorized population backend
+    (:mod:`repro.engine.vectorized`), whose exact-equivalence contract
+    depends on both paths building identical evaluators.
+    """
+    opamp1 = config.evaluator_opamp
+    if config.evaluator_offset2 != 0.0:
+        import dataclasses
+
+        base = opamp1 if opamp1 is not None else OpAmpModel.ideal()
+        opamp2 = dataclasses.replace(
+            base, offset=base.offset + config.evaluator_offset2
+        )
+    else:
+        opamp2 = opamp1
+    return SinewaveEvaluator(
+        vref=config.vref,
+        gain=config.sd_gain,
+        opamp1=opamp1,
+        opamp2=opamp2,
+        rng=rng,
+        chopped=config.chopped,
+    )
+
+
 class NetworkAnalyzer:
     """On-chip network analyzer bound to one DUT.
 
@@ -89,25 +121,7 @@ class NetworkAnalyzer:
         return generator
 
     def _build_evaluator(self) -> SinewaveEvaluator:
-        cfg = self.config
-        opamp1 = cfg.evaluator_opamp
-        if cfg.evaluator_offset2 != 0.0:
-            base = opamp1 if opamp1 is not None else OpAmpModel.ideal()
-            import dataclasses
-
-            opamp2 = dataclasses.replace(
-                base, offset=base.offset + cfg.evaluator_offset2
-            )
-        else:
-            opamp2 = opamp1
-        return SinewaveEvaluator(
-            vref=cfg.vref,
-            gain=cfg.sd_gain,
-            opamp1=opamp1,
-            opamp2=opamp2,
-            rng=self._rng,
-            chopped=cfg.chopped,
-        )
+        return build_evaluator(self.config, self._rng)
 
     def _initial_states(self, evaluator: SinewaveEvaluator) -> tuple[float, float]:
         if not self.config.random_modulator_state or self._rng is None:
@@ -308,6 +322,7 @@ class NetworkAnalyzer:
         m_periods: int | None = None,
         calibration: CalibrationResult | None = None,
         n_workers: int = 1,
+        backend: str = "reference",
     ) -> list[GainPhaseMeasurement]:
         """Sweep the master clock over a list of tone frequencies.
 
@@ -315,7 +330,10 @@ class NetworkAnalyzer:
         independent job with its own derived noise substream, so
         ``n_workers > 1`` fans the sweep out over worker processes with
         results bit-identical to the serial run (and returned in the
-        requested frequency order).
+        requested frequency order).  ``backend="vectorized"`` instead
+        evaluates the whole sweep as one in-process population batch
+        (see :mod:`repro.engine.vectorized`) — the single-core
+        throughput path, result-equivalent to the reference backend.
         """
         from ..engine.runner import BatchRunner
 
@@ -328,7 +346,7 @@ class NetworkAnalyzer:
                 "no calibration available; run calibrate() first (the paper's "
                 "one-off bypass measurement)"
             )
-        return BatchRunner(n_workers=n_workers).run_sweep(
+        return BatchRunner(n_workers=n_workers, backend=backend).run_sweep(
             self.dut,
             self.config,
             frequencies,

@@ -52,12 +52,52 @@ class BodeResult:
         highs = np.array([p.gain_db.upper for p in self.points])
         return lows, highs
 
+    def _phase_offsets_deg(self) -> np.ndarray:
+        """Per-point multiples of 360 degrees that unwrap the measured trace.
+
+        Each point's phase estimate comes from an ``atan2`` centred in
+        ``(-180, 180]``; a smooth response crossing ``-180`` degrees
+        therefore shows a spurious ``+360`` jump between neighbouring
+        points.  The same ``np.unwrap`` policy already applied to the
+        analytic reference (:meth:`truth_phase_deg`) is applied here:
+        whenever consecutive values jump by more than half a turn, all
+        later points shift by a whole number of turns.  Offsets are
+        exact multiples of 360, applied identically to values and
+        bounds, so each interval keeps its width and stays a band
+        around its point.
+
+        Deep-stopband points whose phase is unconstrained (interval
+        width of a full turn or more — the estimate is essentially
+        noise) are *bridged*: they inherit the running offset but never
+        contribute a turn, so one meaningless point cannot shift every
+        valid point after it by 360 degrees.
+        """
+        values = np.array([p.phase_deg.value for p in self.points])
+        constrained = np.array(
+            [p.phase_deg.width < 360.0 for p in self.points]
+        )
+        offsets = np.zeros(len(values))
+        turns = 0.0
+        previous = None  # raw value of the last constrained point
+        for i, value in enumerate(values):
+            if constrained[i]:
+                if previous is not None:
+                    turns -= np.round((value - previous) / 360.0)
+                previous = value
+            offsets[i] = 360.0 * turns
+        return offsets
+
     def phase_deg(self) -> np.ndarray:
-        return np.array([p.phase_deg.value for p in self.points])
+        """Measured phase in degrees, unwrapped across the branch cut."""
+        values = np.array([p.phase_deg.value for p in self.points])
+        return values + self._phase_offsets_deg()
 
     def phase_deg_bounds(self) -> tuple[np.ndarray, np.ndarray]:
-        lows = np.array([p.phase_deg.lower for p in self.points])
-        highs = np.array([p.phase_deg.upper for p in self.points])
+        """Error-band bounds, shifted by the same unwrap offsets as
+        :meth:`phase_deg` so the bands stay contiguous."""
+        offsets = self._phase_offsets_deg()
+        lows = np.array([p.phase_deg.lower for p in self.points]) + offsets
+        highs = np.array([p.phase_deg.upper for p in self.points]) + offsets
         return lows, highs
 
     # ------------------------------------------------------------------

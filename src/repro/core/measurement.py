@@ -76,7 +76,14 @@ class GainPhaseMeasurement:
     @property
     def phase_deg(self) -> BoundedValue:
         """Phase in degrees (interval scaled; not wrapped, so bands stay
-        contiguous across the -180 degree crossing)."""
+        contiguous across the -180 degree crossing).
+
+        A single point's estimate still comes from an ``atan2`` centred
+        in ``(-180, 180]``; a *sweep* of points therefore unwraps the
+        trace as a whole (:meth:`repro.core.bode.BodeResult.phase_deg`),
+        and phase-interval *comparisons* must be circle-aware
+        (:func:`repro.intervals.angular_gap`).
+        """
         factor = 180.0 / math.pi
         return self.phase_rad.scale(factor)
 

@@ -61,11 +61,52 @@ class FrequencySweepPlan:
         return cls(PAPER_MIN_FREQUENCY, PAPER_MAX_FREQUENCY, n_points)
 
     @classmethod
-    def around(cls, f_center: float, decades: float = 1.0, n_points: int = 11) -> "FrequencySweepPlan":
-        """A sweep centred (log-wise) on a frequency of interest."""
+    def around(
+        cls,
+        f_center: float,
+        decades: float = 1.0,
+        n_points: int = 11,
+        clamp: bool = True,
+    ) -> "FrequencySweepPlan":
+        """A sweep centred (log-wise) on a frequency of interest.
+
+        The requested window is intersected with the analyzer's valid
+        band ``[PAPER_MIN_FREQUENCY, PAPER_MAX_FREQUENCY]`` — a wide
+        window around a cutoff near the band edge would otherwise
+        silently plan points the instrument cannot measure (above the
+        audio-range limit, or at arbitrarily low tones).  A window
+        lying entirely outside the band raises
+        :class:`~repro.errors.ConfigError`; pass ``clamp=False`` to
+        make *any* out-of-band edge an error instead of a clamp.
+        """
         if not f_center > 0:
             raise ConfigError(f"f_center must be positive, got {f_center!r}")
         if not decades > 0:
             raise ConfigError(f"decades must be positive, got {decades!r}")
         half = 10.0 ** (decades / 2.0)
-        return cls(f_center / half, f_center * half, n_points)
+        f_start = f_center / half
+        f_stop = f_center * half
+        if f_start > PAPER_MAX_FREQUENCY or f_stop < PAPER_MIN_FREQUENCY:
+            raise ConfigError(
+                f"sweep around {f_center:g} Hz ({decades:g} decades) spans "
+                f"{f_start:g}..{f_stop:g} Hz, entirely outside the "
+                f"analyzer's valid band "
+                f"[{PAPER_MIN_FREQUENCY:g}, {PAPER_MAX_FREQUENCY:g}] Hz"
+            )
+        if not clamp and (
+            f_start < PAPER_MIN_FREQUENCY or f_stop > PAPER_MAX_FREQUENCY
+        ):
+            raise ConfigError(
+                f"sweep around {f_center:g} Hz ({decades:g} decades) spans "
+                f"{f_start:g}..{f_stop:g} Hz, beyond the analyzer's valid "
+                f"band [{PAPER_MIN_FREQUENCY:g}, {PAPER_MAX_FREQUENCY:g}] Hz "
+                f"(pass clamp=True to intersect with the band)"
+            )
+        f_start = max(f_start, PAPER_MIN_FREQUENCY)
+        f_stop = min(f_stop, PAPER_MAX_FREQUENCY)
+        if not f_start < f_stop:
+            raise ConfigError(
+                f"sweep around {f_center:g} Hz collapses after clamping to "
+                f"the analyzer band: {f_start:g}..{f_stop:g} Hz"
+            )
+        return cls(f_start, f_stop, n_points)

@@ -47,6 +47,19 @@ class DUT(abc.ABC):
         """
         return 0.0
 
+    def batch_response(self, samples: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Zero-state response samples for one batch-engine measurement.
+
+        The population backend measures many devices against one shared
+        stimulus and only needs the output *samples* — not the final
+        device state the stateful :meth:`process` contract maintains.
+        The default resets and delegates to :meth:`process`, which any
+        DUT supports; LTI devices override with a leaner filter that
+        skips the final-state recovery.
+        """
+        self.reset()
+        return self.process(Waveform(samples, sample_rate)).samples
+
     # ------------------------------------------------------------------
     # Convenience ground-truth accessors
     # ------------------------------------------------------------------

@@ -59,6 +59,7 @@ class StateSpaceDUT(DUT):
         self.name = name
         self._x = np.zeros(n)
         self._disc_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+        self._tf_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -119,6 +120,29 @@ class StateSpaceDUT(DUT):
         bd = ed[:n, n]
         self._disc_cache[key] = (ad, bd)
         return ad, bd
+
+    def _zoh_transfer(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Cached z-domain ``(num, den)`` of the exact ZOH discretization."""
+        key = round(dt, 18)
+        cached = self._tf_cache.get(key)
+        if cached is not None:
+            return cached
+        ad, bd = self._discretize(dt)
+        num, den = ss2tf(ad, bd.reshape(-1, 1), self.c.reshape(1, -1), [[self.d]])
+        self._tf_cache[key] = (num[0], den)
+        return num[0], den
+
+    def batch_response(self, samples: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Zero-state ZOH output samples, final state not recovered.
+
+        Sample-identical to :meth:`process` from a reset state (the same
+        ``ss2tf`` + :func:`scipy.signal.lfilter` evaluation), but skips
+        the state-recovery replay the stateful contract pays for — the
+        population backend measures each device from reset every time
+        and never observes the carried state.
+        """
+        num, den = self._zoh_transfer(1.0 / sample_rate)
+        return lfilter(num, den, np.asarray(samples, dtype=float))
 
     def process(self, waveform: Waveform) -> Waveform:
         """Exact ZOH response to a (held) input waveform.

@@ -7,7 +7,9 @@ schedulable batches:
 
 * :class:`BatchRunner` — process-parallel execution with deterministic
   per-job seeding (parallel results are bit-identical to serial) and
-  ordered results;
+  ordered results; its ``backend="vectorized"`` seam swaps the per-job
+  strategy for in-process population batches
+  (:mod:`repro.engine.vectorized`) — the single-core throughput path;
 * :class:`CalibrationCache` — the paper's "calibration only needs to be
   performed once", enforced across sweeps and lots;
 * :mod:`repro.engine.seeding` — order-independent derivation of per-job
@@ -33,12 +35,16 @@ from .jobs import (
     execute_fault_trial,
     execute_sweep_point,
 )
-from .runner import BatchRunner, BatchStats, default_workers
+from .runner import BACKENDS, BatchRunner, BatchStats, default_workers
 from .seeding import config_for_job, derive_seed
+from .vectorized import PopulationMeasurer, supports_vectorized
 
 __all__ = [
+    "BACKENDS",
     "BatchRunner",
     "BatchStats",
+    "PopulationMeasurer",
+    "supports_vectorized",
     "CalibrationCache",
     "DeviceTrialJob",
     "DistortionJob",

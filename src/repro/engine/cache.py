@@ -24,10 +24,16 @@ acquisition regardless of which job asked for it first.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from ..core.calibration import CalibrationResult
 from ..core.config import AnalyzerConfig
 from ..errors import ConfigError
+
+#: Default bound on cached calibrations.  Each entry is small, but a
+#: long multi-configuration campaign (config studies, window-size
+#: scans) would otherwise grow the cache without limit.
+DEFAULT_MAX_ENTRIES = 128
 
 
 class CalibrationCache:
@@ -41,14 +47,26 @@ class CalibrationCache:
     waiters hit), while acquisitions of *distinct* keys run fully in
     parallel: the lock only guards the bookkeeping, and in-flight
     acquisitions are tracked per key.
+
+    Growth is bounded: at most ``max_entries`` calibrations are kept,
+    evicting least-recently-used entries (a hit refreshes recency).
+    Evictions are counted in ``evictions``; an evicted key simply
+    re-acquires on next use, so boundedness trades recomputation for
+    memory — never correctness.
     """
 
-    def __init__(self) -> None:
-        self._store: dict[tuple, CalibrationResult] = {}
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if not isinstance(max_entries, int) or max_entries < 1:
+            raise ConfigError(
+                f"max_entries must be an integer >= 1, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple, CalibrationResult] = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: dict[tuple, threading.Event] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -71,6 +89,7 @@ class CalibrationCache:
             with self._lock:
                 cached = self._store.get(key)
                 if cached is not None:
+                    self._store.move_to_end(key)
                     self.hits += 1
                     return cached
                 pending = self._inflight.get(key)
@@ -87,6 +106,10 @@ class CalibrationCache:
             calibration = acquire_calibration(config, fwave, m)
             with self._lock:
                 self._store[key] = calibration
+                self._store.move_to_end(key)
+                while len(self._store) > self.max_entries:
+                    self._store.popitem(last=False)
+                    self.evictions += 1
             return calibration
         finally:
             with self._lock:
@@ -109,6 +132,7 @@ class CalibrationCache:
             self._store.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 def acquire_calibration(

@@ -20,6 +20,12 @@ a bare ``Pool.map``:
 The per-process simulation is already NumPy-vectorized (see the fast
 path in :mod:`repro.evaluator.sigma_delta`), so worker processes scale
 the remaining irreducibly serial recurrences across cores.
+
+Where cores are scarce (a single-CPU tester host), the runner's
+``backend="vectorized"`` seam instead batches whole *populations* —
+Monte-Carlo lots, fault catalogs, sweep grids — as stacked array
+operations in one process (:mod:`repro.engine.vectorized`), result-
+equivalent to the reference per-job path.
 """
 
 from __future__ import annotations
@@ -57,19 +63,27 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+#: The two execution backends a runner can schedule batches on.
+BACKENDS = ("reference", "vectorized")
+
+
 @dataclass(frozen=True)
 class BatchStats:
     """Accounting for one engine batch.
 
     ``n_workers`` is the *effective* worker count the batch actually
     used (1 when the batch ran inline), not the runner's configured
-    maximum.
+    maximum.  ``backend`` is the backend that actually executed the
+    batch — ``"reference"`` even on a vectorized runner when the
+    configuration forced a fallback (see
+    :func:`repro.engine.vectorized.supports_vectorized`).
     """
 
     n_jobs: int
     n_workers: int
     cache_hits: int
     cache_misses: int
+    backend: str = "reference"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -89,18 +103,44 @@ class BatchRunner:
         Calibration cache to consult and fill; a private one is created
         when not provided.  Share one cache across runners to amortize
         calibration over many sweeps.
+    backend:
+        ``"reference"`` (default) executes one Python job per
+        measurement — the shape process parallelism fans out.
+        ``"vectorized"`` evaluates whole populations as stacked array
+        operations in this process (see
+        :mod:`repro.engine.vectorized`): the single-core throughput
+        path, result-equivalent to the reference backend.  Vectorized
+        batches run inline — ``n_workers`` only affects batches that
+        fall back to the reference backend (e.g. noisy-generator
+        configurations, or the distortion workload).
     """
 
     def __init__(
-        self, n_workers: int = 1, cache: CalibrationCache | None = None
+        self,
+        n_workers: int = 1,
+        cache: CalibrationCache | None = None,
+        backend: str = "reference",
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigError(f"n_workers must be an integer >= 1, got {n_workers!r}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.n_workers = n_workers
+        self.backend = backend
         self.cache = cache if cache is not None else CalibrationCache()
         self.last_stats: BatchStats | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._last_effective_workers = 1
+
+    def _vectorize(self, config: AnalyzerConfig) -> bool:
+        """Whether this batch runs on the vectorized backend."""
+        if self.backend != "vectorized":
+            return False
+        from .vectorized import supports_vectorized
+
+        return supports_vectorized(config)
 
     # ------------------------------------------------------------------
     # Generic dispatch
@@ -145,12 +185,15 @@ class BatchRunner:
         except Exception:
             pass
 
-    def _record(self, n_jobs: int, hits0: int, misses0: int) -> None:
+    def _record(
+        self, n_jobs: int, hits0: int, misses0: int, backend: str = "reference"
+    ) -> None:
         self.last_stats = BatchStats(
             n_jobs=n_jobs,
             n_workers=self._last_effective_workers,
             cache_hits=self.cache.hits - hits0,
             cache_misses=self.cache.misses - misses0,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -192,6 +235,15 @@ class BatchRunner:
                 else frequencies[0]
             )
             calibration = self.calibration_for(config, fcal, m_periods)
+        if self._vectorize(config):
+            from .vectorized import run_sweep_vectorized
+
+            results = run_sweep_vectorized(
+                dut, config, frequencies, m_periods, calibration
+            )
+            self._last_effective_workers = 1
+            self._record(len(frequencies), hits0, misses0, backend="vectorized")
+            return results
         jobs = [
             SweepPointJob(
                 index=i,
@@ -270,6 +322,20 @@ class BatchRunner:
             calibration_fwave if calibration_fwave is not None else frequencies[0]
         )
         calibration = self.calibration_for(config, fcal, m_periods)
+        if self._vectorize(config):
+            from .vectorized import run_fault_trials_vectorized
+
+            results = run_fault_trials_vectorized(
+                duts,
+                config,
+                frequencies,
+                m_periods,
+                calibration,
+                start_index=start_index,
+            )
+            self._last_effective_workers = 1
+            self._record(len(duts), hits0, misses0, backend="vectorized")
+            return results
         jobs = [
             FaultTrialJob(
                 index=start_index + i,
@@ -351,6 +417,22 @@ class BatchRunner:
         calibration = self.calibration_for(
             config, program.frequencies[0], program.m_periods
         )
+        if self._vectorize(config):
+            from .vectorized import run_trials_vectorized
+
+            trials = run_trials_vectorized(
+                nominal,
+                mask,
+                program,
+                n_devices=n_devices,
+                component_sigma=component_sigma,
+                seed=seed,
+                config=config,
+                calibration=calibration,
+            )
+            self._last_effective_workers = 1
+            self._record(n_devices, hits0, misses0, backend="vectorized")
+            return trials
         rng = np.random.default_rng(seed)
         jobs = [
             DeviceTrialJob(

@@ -1,0 +1,676 @@
+"""The vectorized population backend: whole job sets as array batches.
+
+The reference backend (:mod:`repro.engine.jobs`) simulates one Python
+job per device — the right shape for process-parallel fan-out, but on a
+single-CPU host the per-job Python overhead is the throughput ceiling.
+This backend evaluates an entire population — a Monte-Carlo lot, a fault
+catalog, a multi-point sweep — as stacked ``(devices x samples)`` array
+operations:
+
+* **One shared stimulus render per batch.**  The generator's sample
+  values are clock-invariant (the whole analyzer scales with the master
+  clock — the same fact that makes the paper's one-off calibration
+  valid), so a single render serves every device and every sweep
+  frequency; each job's lead-in is a prefix of the same sequence.
+* **Lean per-device DUT response** via :meth:`~repro.dut.base.DUT.batch_response`
+  (the same exact ZOH ``lfilter`` evaluation as the reference, minus the
+  final-state recovery the population path never observes).
+* **Population-batched modulators.**  The exact closed-form bitstream of
+  the ideal modulator runs as row-wise ``cumsum``/``floor`` over the
+  whole population at once; non-ideal (noisy) modulators run the
+  reference recurrence as a time loop over device-axis vectors instead
+  of a Python loop per sample per device.
+* **Array interval arithmetic.**  Signatures become bounded gain/phase
+  through :class:`~repro.intervals.BoundedArray` — one set of array
+  expressions for the whole population instead of per-device
+  :class:`~repro.intervals.BoundedValue` chains.
+
+Equivalence contract
+--------------------
+The backend reproduces the reference path's *acquisition* exactly: the
+per-job derived noise substreams are consumed in the same order, the
+shared stimulus prefix is bit-identical to each job's private render,
+and the batched modulators produce bit-identical bitstreams — so the
+integer signatures (and verdict-relevant counts) are **exactly equal**
+to the reference backend's.  The derived float intervals go through
+NumPy's elementwise ``arctan2``/``hypot`` instead of :mod:`math`'s,
+which may differ in the last bit; results agree to within a few ulp
+(asserted by the equivalence test suite).
+
+Configurations whose *generator* consumes the noise stream (a noisy
+``generator_opamp`` with ``noise_seed`` set) cannot share one stimulus
+render; :func:`supports_vectorized` reports them and the
+:class:`~repro.engine.runner.BatchRunner` falls back to the reference
+backend for those batches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..clocking.master import OVERSAMPLING_RATIO, ClockTree
+from ..clocking.sequencer import ModulationSequence
+from ..core import compensation
+from ..core.calibration import CalibrationResult
+from ..core.config import AnalyzerConfig
+from ..core.measurement import GainPhaseMeasurement, StimulusMeasurement
+from ..errors import ConfigError
+from ..evaluator.counters import SignatureCounter
+from ..evaluator.dsp import SignatureDSP, correlation_gain, phase_offset
+from ..evaluator.evaluator import SinewaveEvaluator
+from ..evaluator.sigma_delta import FirstOrderSigmaDelta
+from ..evaluator.signatures import SignaturePair
+from ..generator.design import PAPER_CAPACITORS
+from ..generator.sinewave_generator import SinewaveGenerator
+from ..intervals import BoundedArray, atan2_array, hypot_array
+from ..sc.mismatch import MismatchModel
+from .seeding import derive_seed
+
+
+def supports_vectorized(config: AnalyzerConfig) -> bool:
+    """True when the population backend reproduces the reference path.
+
+    The only unsupported case is a *noisy generator*: with
+    ``noise_seed`` set and a ``generator_opamp`` carrying noise, every
+    job renders its own noise-perturbed stimulus, so a shared render
+    cannot match.  Everything else — mismatch dies, deterministic
+    non-ideal amplifiers, noisy evaluators, random modulator power-up
+    states — is supported exactly.
+    """
+    if config.noise_seed is None:
+        return True
+    generator_opamp = config.generator_opamp
+    return generator_opamp is None or generator_opamp.noise_rms == 0.0
+
+
+def _job_rng(
+    config: AnalyzerConfig, stream: str, index: int
+) -> np.random.Generator | None:
+    """The job's private noise generator (None for noise-free configs).
+
+    Seeded exactly as the reference path seeds a fresh analyzer for the
+    job (:func:`repro.engine.seeding.config_for_job`), so the substream
+    consumed here is the substream the reference job would consume.
+    """
+    if config.noise_seed is None:
+        return None
+    return np.random.default_rng(derive_seed(config.noise_seed, stream, index))
+
+
+def _channel_is_ideal(channel: FirstOrderSigmaDelta, has_rng: bool) -> bool:
+    """The reference branch condition of ``FirstOrderSigmaDelta.modulate``.
+
+    Evaluated against the *job's* RNG presence (the template channels
+    here carry no RNG of their own).
+    """
+    amp = channel.opamp
+    return (
+        amp.inverse_gain == 0.0
+        and amp.offset == 0.0
+        and amp.settling_error == 0.0
+        and channel.comparator_offset == 0.0
+        and (amp.noise_rms == 0.0 or not has_rng)
+    )
+
+
+def _build_evaluator(config: AnalyzerConfig) -> SinewaveEvaluator:
+    """The analyzer's evaluator wiring, without a noise source.
+
+    The same :func:`repro.core.analyzer.build_evaluator` the reference
+    path uses; the RNG is deliberately absent — the population path
+    draws each job's noise itself, in the reference consumption order.
+    """
+    from ..core.analyzer import build_evaluator
+
+    return build_evaluator(config, rng=None)
+
+
+def _closed_form_counts(
+    channel: FirstOrderSigmaDelta, w: np.ndarray, u0: np.ndarray, chopped: bool
+) -> np.ndarray:
+    """Row-batched exact closed-form signatures of the ideal modulator.
+
+    The population form of ``FirstOrderSigmaDelta._modulate_ideal_vectorized``
+    composed with the signature counter, with the counting *telescoped*:
+    the running-floor solution makes the cumulative ones count through
+    sample ``k`` exactly ``floor(y0 + T_k) + 1``, so each half-window
+    count — and hence the chopped signature — needs only the floor of
+    two specific prefix sums.  The prefix sums come from the same
+    sequential ``cumsum`` the per-device fast path performs (summation
+    order is what fixes the floating-point values), so the resulting
+    integer signatures are bit-identical to the reference path's; the
+    whole bitstream is never materialized.
+
+    ``w`` is consumed in place (the caller passes a private copy).
+    """
+    half_span = 2.0 * channel.gain * channel.vref
+    y0 = u0 / half_span
+    t = w
+    t /= channel.vref
+    t += 1.0
+    t *= 0.5
+    np.cumsum(t, axis=1, out=t)  # t[:, j] = T_{j+1} = t_0 + ... + t_j
+    n = t.shape[1]
+    half = n // 2
+    # Cumulative ones through sample k: floor(y0 + T_k) + 1, where T_k
+    # excludes sample k itself (the decision precedes the integration).
+    ones_first = np.floor(y0 + t[:, half - 2]) + 1.0
+    ones_total = np.floor(y0 + t[:, n - 2]) + 1.0
+    if chopped:
+        ones_second = ones_total - ones_first
+        return (2.0 * (ones_first - ones_second)).astype(np.int64)
+    return (2.0 * ones_total - n).astype(np.int64)
+
+
+def _nonideal_bits(
+    channel: FirstOrderSigmaDelta,
+    w: np.ndarray,
+    u0: np.ndarray,
+    noise: np.ndarray,
+) -> np.ndarray:
+    """Device-batched non-ideal modulator recurrence.
+
+    The reference per-sample loop, restated as a time loop over
+    device-axis vectors: each step performs the same IEEE operations in
+    the same order as the scalar recurrence, so the bitstreams are
+    bit-identical — the win is amortizing the Python loop over the
+    whole population.
+    """
+    amp = channel.opamp
+    g = channel.gain
+    vref = channel.vref
+    threshold = channel.comparator_offset
+    leak = 1.0 - amp.inverse_gain * g
+    settle = amp.settling_error
+    u_sat = amp.v_sat
+    offset = amp.offset
+    u = np.array(u0, dtype=float)
+    bits = np.empty(w.shape, dtype=np.int8)
+    w_t = np.ascontiguousarray(w.T)
+    noise_t = np.ascontiguousarray(noise.T)
+    for i in range(w.shape[1]):
+        decide = u >= threshold
+        bits[:, i] = np.where(decide, 1, -1)
+        feedback = np.where(decide, vref, -vref)
+        target = leak * u + g * (w_t[i] + offset + noise_t[i] - feedback)
+        u = target - settle * (target - u)
+        np.clip(u, -u_sat, u_sat, out=u)
+    return bits
+
+
+#: Below this population size the time-stepped device-axis loops lose to
+#: the reference per-device modulators (NumPy per-op overhead dominates
+#: small vectors); the measurer switches strategy on it.
+_BATCH_MIN_DEVICES = 10
+
+
+def _count_signatures(bits: np.ndarray, chopped: bool) -> np.ndarray:
+    """Row-batched signature counting (the counter's +/-1 convention)."""
+    n = bits.shape[1]
+    if chopped:
+        half = n // 2
+        first = bits[:, :half].sum(axis=1, dtype=np.int64)
+        second = bits[:, half:].sum(axis=1, dtype=np.int64)
+        return first - second
+    return bits.sum(axis=1, dtype=np.int64)
+
+
+class PopulationMeasurer:
+    """Batched gain/phase measurement of a device population.
+
+    One measurer is bound to ``(config, m_periods, calibration)`` — the
+    invariants of a campaign — and measures *slots*: lists of
+    ``(dut, fwave, rng)`` entries evaluated together as array batches.
+    A fault campaign calls one slot per probe frequency (the population
+    axis is devices); a sweep calls a single slot whose population axis
+    is the sweep points themselves.
+
+    The per-entry ``rng`` is the job's private noise stream (or None);
+    streams are consumed across consecutive slots in exactly the order
+    the reference per-job path consumes them, which is what makes the
+    batched results match the reference backend.
+    """
+
+    def __init__(
+        self,
+        config: AnalyzerConfig,
+        m_periods: int | None,
+        calibration: CalibrationResult,
+    ) -> None:
+        if not supports_vectorized(config):
+            raise ConfigError(
+                "configuration has a noisy generator; the vectorized "
+                "population backend cannot share one stimulus render "
+                "(use the reference backend)"
+            )
+        self.config = config
+        self.m_periods = m_periods if m_periods is not None else config.m_periods
+        calibration.check_amplitude_setting(config.stimulus_amplitude)
+        self.calibration = calibration
+        self.dsp = SignatureDSP(config.epsilon)
+        self.evaluator = _build_evaluator(config)
+        self.evaluator.validate_window(self.m_periods, 1)
+        self.mn = self.m_periods * OVERSAMPLING_RATIO
+        sequence = ModulationSequence(OVERSAMPLING_RATIO, 1)
+        q1, q2 = sequence.pair(self.mn)
+        if config.chopped:
+            chop = SignatureCounter.chop_signs(self.mn)
+            q1 = q1 * chop
+            q2 = q2 * chop
+        self._q1 = np.asarray(q1, dtype=float)
+        self._q2 = np.asarray(q2, dtype=float)
+        self._has_rng = config.noise_seed is not None
+        self._stimulus = np.empty(0)
+        self._settle_cache: dict[int, tuple[object, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Shared stimulus
+    # ------------------------------------------------------------------
+    def _stimulus_samples(self, n_periods: int) -> np.ndarray:
+        """The held stimulus for ``n_periods`` tone periods (shared).
+
+        The generator's sample values depend only on the period count —
+        not on the master clock (every internal rate is a fixed ratio of
+        it) and, under the supported configurations, not on the job —
+        and a longer render extends a shorter one sample-for-sample
+        (the recurrences are causal).  One cached render therefore
+        serves every device, lead-in and sweep frequency as a prefix.
+        """
+        needed = n_periods * OVERSAMPLING_RATIO
+        if len(self._stimulus) < needed:
+            config = self.config
+            template = config.mismatch
+            mismatch = (
+                MismatchModel(sigma_unit=template.sigma_unit, seed=template.seed)
+                if template is not None
+                else None
+            )
+            generator = SinewaveGenerator(
+                ClockTree.from_fwave(1000.0),
+                opamp1=config.generator_opamp,
+                opamp2=config.generator_opamp,
+                mismatch=mismatch,
+                rng=None,
+            )
+            generator.set_amplitude(config.stimulus_amplitude)
+            held = generator.render_held(
+                n_periods=n_periods,
+                settle_periods=config.generator_settle_periods,
+            )
+            self._stimulus = held.samples
+        return self._stimulus[:needed]
+
+    def _settle_seconds(self, dut) -> float:
+        settle = getattr(dut, "settling_time", None)
+        if settle is None:
+            return 0.0
+        cached = self._settle_cache.get(id(dut))
+        if cached is None or cached[0] is not dut:
+            seconds = settle(self.config.dut_settle_tolerance)
+            self._settle_cache[id(dut)] = (dut, seconds)
+        else:
+            seconds = cached[1]
+        return seconds
+
+    def _lead_periods(self, dut, fwave: float) -> int:
+        """The DUT settling lead-in, in whole tone periods (as the analyzer)."""
+        return int(math.ceil(self._settle_seconds(dut) * fwave))
+
+    def reserve(self, duts, fwaves) -> None:
+        """Pre-render the stimulus for a whole campaign's worst lead-in.
+
+        A multi-slot campaign (one slot per probe frequency) otherwise
+        re-renders whenever a later slot needs a longer lead; rendering
+        the worst case once up front makes every slot a prefix hit.
+        """
+        fwaves = [float(f) for f in fwaves]
+        if not fwaves:
+            return
+        worst_seconds = max(
+            (self._settle_seconds(dut) for dut in duts), default=0.0
+        )
+        self._stimulus_samples(
+            int(math.ceil(worst_seconds * max(fwaves))) + self.m_periods
+        )
+
+    # ------------------------------------------------------------------
+    # One batched slot
+    # ------------------------------------------------------------------
+    def measure(self, entries) -> list[GainPhaseMeasurement]:
+        """Measure one slot of ``(dut, fwave, rng)`` entries, batched."""
+        entries = list(entries)
+        if not entries:
+            raise ConfigError("population slot is empty")
+        config = self.config
+        m = self.m_periods
+        n = OVERSAMPLING_RATIO
+        n_devices = len(entries)
+        leads = [self._lead_periods(dut, fwave) for dut, fwave, _ in entries]
+        stimulus = self._stimulus_samples(max(leads) + m)
+
+        responses = np.empty((n_devices, self.mn))
+        for i, ((dut, fwave, _), lead) in enumerate(zip(entries, leads)):
+            prefix = stimulus[: (lead + m) * n]
+            output = dut.batch_response(prefix, fwave * n)
+            responses[i] = output[lead * n : lead * n + self.mn]
+
+        # Per-job RNG consumption, reference order: power-up states
+        # first, then channel-1 noise, then channel-2 noise.
+        u0 = np.zeros((n_devices, 2))
+        if config.random_modulator_state and self._has_rng:
+            bound = 0.5 * self.evaluator.channel1.state_bound
+            for i, (_, _, rng) in enumerate(entries):
+                if rng is not None:
+                    u0[i, 0] = float(rng.uniform(-bound, bound))
+                    u0[i, 1] = float(rng.uniform(-bound, bound))
+
+        channel1 = self.evaluator.channel1
+        channel2 = self.evaluator.channel2
+        if n_devices < _BATCH_MIN_DEVICES:
+            # Tiny populations (a diagnosis-time signature, a short
+            # sweep): per-device NumPy array ops already amortize well,
+            # and the time-stepped device-axis loop would not — run the
+            # reference modulator per device, wired to the job's RNG.
+            i1, i2, overload = self._per_device_counts(entries, responses, u0)
+        else:
+            rngs = [rng for _, _, rng in entries]
+            noise1 = self._draw_noise(channel1, rngs)
+            noise2 = self._draw_noise(channel2, rngs)
+            # The modulation bits are +/-1, so |q * x| == |x| exactly:
+            # both channels share one overload count per device.
+            overload_row = (np.abs(responses) > channel1.vref).sum(
+                axis=1, dtype=np.int64
+            )
+            i1 = self._channel_counts(
+                channel1, self._q1, responses, u0[:, 0], overload_row, noise1
+            )
+            i2 = self._channel_counts(
+                channel2, self._q2, responses, u0[:, 1], overload_row, noise2
+            )
+            overload = 2 * overload_row
+
+        amplitude, phase = self._intervals(i1, i2)
+        if config.image_compensation:
+            amplitude, phase = self._compensate(
+                amplitude, phase, [e[0] for e in entries]
+            )
+        gain = amplitude.div_scalar(self.calibration.amplitude).clamp_nonnegative()
+        phase_rad = phase.sub_scalar(self.calibration.phase)
+
+        results = []
+        for i, (dut, fwave, _) in enumerate(entries):
+            signature = SignaturePair(
+                i1=int(i1[i]),
+                i2=int(i2[i]),
+                harmonic=1,
+                m_periods=m,
+                oversampling_ratio=n,
+                vref=config.vref,
+                chopped=config.chopped,
+                overload_count=int(overload[i]),
+            )
+            output = StimulusMeasurement(
+                fwave=fwave,
+                amplitude=amplitude.item(i),
+                phase=phase.item(i),
+                signature=signature,
+            )
+            reference = StimulusMeasurement(
+                fwave=fwave,
+                amplitude=self.calibration.amplitude,
+                phase=self.calibration.phase,
+                signature=signature,
+            )
+            results.append(
+                GainPhaseMeasurement(
+                    fwave=fwave,
+                    gain=gain.item(i),
+                    phase_rad=phase_rad.item(i),
+                    output=output,
+                    reference=reference,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _per_device_counts(
+        self,
+        entries,
+        responses: np.ndarray,
+        u0: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference modulators per device (small-population path).
+
+        Each device gets fresh modulator instances wired to its job RNG,
+        so branch selection, noise consumption and arithmetic are the
+        reference path's own.
+        """
+        channel1 = self.evaluator.channel1
+        channel2 = self.evaluator.channel2
+        chopped = self.config.chopped
+        n = len(entries)
+        i1 = np.empty(n, dtype=np.int64)
+        i2 = np.empty(n, dtype=np.int64)
+        overload = np.empty(n, dtype=np.int64)
+        for i, (_, _, rng) in enumerate(entries):
+            modulator1 = FirstOrderSigmaDelta(
+                gain=channel1.gain,
+                vref=channel1.vref,
+                opamp=channel1.opamp,
+                comparator_offset=channel1.comparator_offset,
+                rng=rng,
+            )
+            modulator2 = FirstOrderSigmaDelta(
+                gain=channel2.gain,
+                vref=channel2.vref,
+                opamp=channel2.opamp,
+                comparator_offset=channel2.comparator_offset,
+                rng=rng,
+            )
+            result1 = modulator1.modulate(responses[i], self._q1, u0=float(u0[i, 0]))
+            result2 = modulator2.modulate(responses[i], self._q2, u0=float(u0[i, 1]))
+            i1[i] = _count_signatures(result1.bits[None, :], chopped)[0]
+            i2[i] = _count_signatures(result2.bits[None, :], chopped)[0]
+            overload[i] = result1.overload_count + result2.overload_count
+        return i1, i2, overload
+
+    def _draw_noise(
+        self, channel: FirstOrderSigmaDelta, rngs
+    ) -> np.ndarray | None:
+        """Each job's modulator noise, drawn in the reference order.
+
+        The reference draws channel 1's window, then channel 2's, from
+        the job's stream — but only on the non-ideal branch; the caller
+        invokes this for channel 1 first.
+        """
+        rms = channel.opamp.noise_rms
+        if _channel_is_ideal(channel, self._has_rng) or not self._has_rng or rms == 0.0:
+            return None
+        noise = np.zeros((len(rngs), self.mn))
+        for i, rng in enumerate(rngs):
+            if rng is not None:
+                noise[i] = rng.normal(0.0, rms, size=self.mn)
+        return noise
+
+    def _channel_counts(
+        self,
+        channel: FirstOrderSigmaDelta,
+        q: np.ndarray,
+        responses: np.ndarray,
+        u0: np.ndarray,
+        overload: np.ndarray,
+        noise: np.ndarray | None,
+    ) -> np.ndarray:
+        """One channel's signature counts for the whole population."""
+        chopped = self.config.chopped
+        if not _channel_is_ideal(channel, self._has_rng):
+            w = q * responses
+            if noise is None:
+                noise = np.zeros_like(w)
+            return _count_signatures(
+                _nonideal_bits(channel, w, u0, noise), chopped
+            )
+        half_span = 2.0 * channel.gain * channel.vref
+        fast = (
+            (overload == 0)
+            & (u0 >= -half_span)
+            & (u0 <= half_span * (1.0 - 1e-12))
+        )
+        counts = np.empty(len(responses), dtype=np.int64)
+        if fast.all():
+            return _closed_form_counts(channel, q * responses, u0, chopped)
+        idx = np.flatnonzero(fast)
+        if len(idx):
+            counts[idx] = _closed_form_counts(
+                channel, q * responses[idx], u0[idx], chopped
+            )
+        for i in np.flatnonzero(~fast):
+            # Rare overload / out-of-range power-up state: run the
+            # reference scalar path for just that device (no RNG is
+            # consumed on the ideal branches).
+            result = channel.modulate(responses[i], q, u0=float(u0[i]))
+            counts[i] = _count_signatures(result.bits[None, :], chopped)[0]
+        return counts
+
+    # ------------------------------------------------------------------
+    def _intervals(
+        self, i1: np.ndarray, i2: np.ndarray
+    ) -> tuple[BoundedArray, BoundedArray]:
+        """Counts to bounded amplitude/phase: the array form of eqs. (4)-(5)."""
+        config = self.config
+        gain = correlation_gain(OVERSAMPLING_RATIO, 1)
+        rotation = phase_offset(OVERSAMPLING_RATIO, 1)
+        scale = config.vref / (self.mn * gain)
+        epsilon = self.dsp.epsilon
+        c = BoundedArray.from_halfwidth(i1.astype(float), epsilon).scale(scale)
+        s = (-BoundedArray.from_halfwidth(i2.astype(float), epsilon)).scale(scale)
+        amplitude = hypot_array(c, s).clamp_nonnegative()
+        phase = atan2_array(s, c).shift(rotation)
+        return amplitude, phase
+
+    def _compensate(
+        self, amplitude: BoundedArray, phase: BoundedArray, duts
+    ) -> tuple[BoundedArray, BoundedArray]:
+        """Array form of the analyzer's systematic compensation (k = 1)."""
+        config = self.config
+        n = OVERSAMPLING_RATIO
+        budget = compensation.leakage_budget(1, n)
+        continuous = np.array([dut.responds_continuous for dut in duts])
+        droop = compensation.zoh_fundamental_droop(n)
+        bypass = compensation.bypass_response(1, PAPER_CAPACITORS)
+        amp_factor = np.where(continuous, 1.0 / droop, 1.0 / abs(bypass))
+        phase_shift = np.where(
+            continuous,
+            compensation.zoh_phase_offset(n),
+            -math.atan2(bypass.imag, bypass.real),
+        )
+        widen_amp = np.where(
+            continuous,
+            budget * config.image_budget_gain * config.stimulus_amplitude,
+            0.1 * budget * config.stimulus_amplitude,
+        )
+        amplitude = amplitude.scale(amp_factor)
+        phase = phase.shift(phase_shift)
+        amplitude = amplitude.widen(widen_amp).clamp_nonnegative()
+        reference = np.maximum(np.maximum(amplitude.value, widen_amp), 1e-15)
+        phase = phase.widen(np.minimum(widen_amp / reference, math.pi))
+        return amplitude, phase
+
+
+# ----------------------------------------------------------------------
+# Workload entry points (used by BatchRunner's backend seam)
+# ----------------------------------------------------------------------
+
+
+def run_sweep_vectorized(
+    dut,
+    config: AnalyzerConfig,
+    frequencies,
+    m_periods: int | None,
+    calibration: CalibrationResult,
+) -> list[GainPhaseMeasurement]:
+    """A frequency sweep as one population slot (points are the axis)."""
+    measurer = PopulationMeasurer(config, m_periods, calibration)
+    entries = [
+        (dut, float(f), _job_rng(config, "sweep", i))
+        for i, f in enumerate(frequencies)
+    ]
+    return measurer.measure(entries)
+
+
+def run_fault_trials_vectorized(
+    duts,
+    config: AnalyzerConfig,
+    frequencies,
+    m_periods: int | None,
+    calibration: CalibrationResult,
+    start_index: int = 0,
+) -> list[tuple[GainPhaseMeasurement, ...]]:
+    """A fault campaign batched per probe frequency (devices are the axis)."""
+    measurer = PopulationMeasurer(config, m_periods, calibration)
+    duts = list(duts)
+    measurer.reserve(duts, frequencies)
+    rngs = [
+        _job_rng(config, "fault", start_index + i) for i in range(len(duts))
+    ]
+    per_frequency = [
+        measurer.measure(
+            [(dut, float(f), rng) for dut, rng in zip(duts, rngs)]
+        )
+        for f in frequencies
+    ]
+    return [
+        tuple(slot[i] for slot in per_frequency) for i in range(len(duts))
+    ]
+
+
+def run_trials_vectorized(
+    nominal,
+    mask,
+    program,
+    n_devices: int,
+    component_sigma: float,
+    seed: int,
+    config: AnalyzerConfig,
+    calibration: CalibrationResult,
+) -> list:
+    """A Monte-Carlo lot batched per program frequency.
+
+    The lot's component values are drawn exactly as the reference
+    dispatcher draws them (one seeded RNG, device order), so the
+    population is the same lot; the measurements then run as one slot
+    per program frequency, and the go/no-go verdicts reuse the same
+    tri-state interval logic.
+    """
+    from ..bist.montecarlo import DeviceTrial, _truly_good
+    from ..bist.program import BISTReport, point_verdict
+    from ..dut.active_rc import ActiveRCLowpass
+
+    rng = np.random.default_rng(seed)
+    devices = [
+        ActiveRCLowpass(
+            nominal.with_tolerance(component_sigma, rng), name=f"device #{i}"
+        )
+        for i in range(n_devices)
+    ]
+    job_rngs = [_job_rng(config, "trial", i) for i in range(n_devices)]
+    measurer = PopulationMeasurer(config, program.m_periods, calibration)
+    measurer.reserve(devices, program.frequencies)
+    points: list[list] = [[] for _ in range(n_devices)]
+    for f in program.frequencies:
+        slot = measurer.measure(
+            [(device, f, job_rng) for device, job_rng in zip(devices, job_rngs)]
+        )
+        lo, hi = program.mask.limits_at(f)
+        for i, measurement in enumerate(slot):
+            points[i].append(point_verdict(f, measurement.gain_db, lo, hi))
+    return [
+        DeviceTrial(
+            device_index=i,
+            verdict=BISTReport(points=tuple(points[i])).verdict,
+            truly_good=_truly_good(devices[i], mask, program.frequencies),
+        )
+        for i in range(n_devices)
+    ]

@@ -94,22 +94,30 @@ class FaultCampaign:
         n_workers: int = 1,
         runner=None,
         nominal: FaultSignature | None = None,
+        backend: str = "reference",
     ) -> FaultDictionary:
         """Measure the whole catalog (plus the good device) once.
 
         Pass an existing :class:`~repro.engine.runner.BatchRunner` as
         ``runner`` to share its calibration cache and worker pool across
-        campaigns (``n_workers`` is then ignored in favour of the
-        runner's own setting).  A ``nominal`` signature already measured
-        on this campaign's probe grid (e.g. the fail-fast good-device
-        check of :func:`repro.bist.coverage.fault_coverage`) is adopted
-        instead of re-simulating the good device; the faulty devices
-        keep the seed indices they would have had in the full batch, so
-        the dictionary is bit-identical either way.
+        campaigns (``n_workers`` and ``backend`` are then ignored in
+        favour of the runner's own settings).  ``backend="vectorized"``
+        batches the whole catalog as in-process array operations (see
+        :mod:`repro.engine.vectorized`) — the single-core throughput
+        path.  A ``nominal`` signature already measured on this
+        campaign's probe grid (e.g. the fail-fast good-device check of
+        :func:`repro.bist.coverage.fault_coverage`) is adopted instead
+        of re-simulating the good device; the faulty devices keep the
+        seed indices they would have had in the full batch, so the
+        dictionary is bit-identical either way.
         """
         from ..engine.runner import BatchRunner
 
-        engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+        engine = (
+            runner
+            if runner is not None
+            else BatchRunner(n_workers=n_workers, backend=backend)
+        )
         if nominal is None:
             duts = [self.good_dut] + [f.apply(self.good_dut) for f in self.faults]
             results = engine.run_fault_trials(
@@ -148,6 +156,7 @@ def measure_signature(
     m_periods: int | None = None,
     label: str = "measured",
     runner=None,
+    backend: str = "reference",
 ) -> FaultSignature:
     """Measure one device's signature on the dictionary's probe grid.
 
@@ -158,7 +167,9 @@ def measure_signature(
     """
     from ..engine.runner import BatchRunner
 
-    engine = runner if runner is not None else BatchRunner(n_workers=1)
+    engine = (
+        runner if runner is not None else BatchRunner(n_workers=1, backend=backend)
+    )
     config = config if config is not None else AnalyzerConfig.ideal()
     results = engine.run_fault_trials(
         [dut], config, _plan_frequencies(frequencies), m_periods=m_periods

@@ -17,6 +17,17 @@ choice for mixed gain/phase signature matching).  The *separation*
 between two signatures is the Euclidean norm over probe points of the
 interval gaps (zero wherever the intervals overlap), so separation 0
 means "consistent — the measurement cannot exclude this fault".
+
+Phase is an *angle*: its intervals live on the circle, not the line.
+:func:`repro.intervals.atan2_interval` deliberately unwraps each
+interval around its centre so the band stays contiguous, which means a
+signature near the ``+/-180`` degree cut may be reported as
+``[174, 186]`` by one acquisition and ``[-186, -174]`` by a physically
+identical one.  All phase comparisons here therefore go through the
+angular helpers (:func:`repro.intervals.angular_gap`,
+:func:`repro.intervals.angular_distance`), which work modulo 360
+degrees — overlap, detectability, ambiguity groups and diagnosis
+ranking are invariant under any global phase rotation of the catalog.
 """
 
 from __future__ import annotations
@@ -25,7 +36,10 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
-from ..intervals import BoundedValue
+from ..intervals import BoundedValue, angular_distance, angular_gap
+
+#: Phase intervals are degrees on the circle: comparisons wrap at 360.
+PHASE_PERIOD_DEG = 360.0
 
 #: Label reserved for the fault-free device's signature.
 NOMINAL_LABEL = "nominal"
@@ -49,17 +63,28 @@ class SignaturePoint:
             raise ConfigError(f"frequency must be positive, got {self.frequency!r}")
 
     def gap(self, other: "SignaturePoint") -> float:
-        """Euclidean gap between two readings (0 iff both overlap)."""
+        """Euclidean gap between two readings (0 iff both overlap).
+
+        The phase component is compared on the circle (modulo 360
+        degrees), so two intervals on opposite sides of the ``+/-180``
+        branch cut overlap when the underlying angles do.
+        """
         return math.hypot(
             interval_gap(self.gain_db, other.gain_db),
-            interval_gap(self.phase_deg, other.phase_deg),
+            angular_gap(self.phase_deg, other.phase_deg, PHASE_PERIOD_DEG),
         )
 
     def estimate_distance(self, other: "SignaturePoint") -> float:
-        """Euclidean distance between the point estimates."""
+        """Euclidean distance between the point estimates.
+
+        The phase term is the shortest angular distance, so the ranking
+        tie-breaker is as rotation-invariant as the gap itself.
+        """
         return math.hypot(
             self.gain_db.value - other.gain_db.value,
-            self.phase_deg.value - other.phase_deg.value,
+            angular_distance(
+                self.phase_deg.value, other.phase_deg.value, PHASE_PERIOD_DEG
+            ),
         )
 
 

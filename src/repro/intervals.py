@@ -12,12 +12,30 @@ affine maps, products, quotients, Euclidean norm of two intervals, and the
 angular range of a rectangle (for the phase estimate).  All operations are
 *conservative*: the result interval always contains every value attainable
 from inputs inside their intervals.
+
+Two extensions serve the rest of the system:
+
+* :class:`BoundedArray` is the population form of :class:`BoundedValue`:
+  one interval per array element, with the same conservative semantics,
+  implemented as whole-array NumPy operations.  The vectorized batch
+  backend (:mod:`repro.engine.vectorized`) pushes entire device
+  populations through the signature arithmetic with it.
+* **Angular helpers** (:func:`angular_gap`, :func:`angular_overlap`,
+  :func:`angular_distance`) compare *phase* intervals on the circle.
+  :func:`atan2_interval` deliberately unwraps around the centre angle so
+  a phase interval stays contiguous across the ``+/-pi`` branch cut —
+  which means a linear endpoint comparison of two physically identical
+  phases can silently fail (``[3.04, 3.24]`` rad never linearly overlaps
+  ``[-3.14, -3.10]`` rad).  Every phase-interval comparison must go
+  through the angular helpers, which work modulo the period.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from .errors import ConfigError
 
@@ -297,3 +315,272 @@ def intersection(a: BoundedValue, b: BoundedValue) -> BoundedValue:
         raise ConfigError("intervals are disjoint")
     value = min(max(0.5 * (a.value + b.value), lower), upper)
     return BoundedValue(value, lower, upper)
+
+
+# ----------------------------------------------------------------------
+# Angular (circular) interval comparisons
+# ----------------------------------------------------------------------
+
+TWO_PI = 2.0 * math.pi
+
+
+def angular_distance(x: float, y: float, period: float = TWO_PI) -> float:
+    """Shortest distance between two angles on the circle.
+
+    Always in ``[0, period/2]``; invariant under rotating both angles by
+    the same amount and under adding any multiple of ``period`` to
+    either.
+    """
+    if not period > 0:
+        raise ConfigError(f"period must be positive, got {period!r}")
+    d = math.fmod(x - y, period)
+    if d < 0:
+        d += period
+    return min(d, period - d)
+
+
+def angular_gap(a: BoundedValue, b: BoundedValue, period: float = TWO_PI) -> float:
+    """Distance between two *angular* intervals, modulo the period.
+
+    The intervals are arcs on the circle: ``a`` covers the directed arc
+    from ``a.lower`` to ``a.upper``.  The gap is the smallest angular
+    distance between any point of one arc and any point of the other —
+    0 when the arcs intersect anywhere on the circle, even when their
+    linear representations sit on opposite sides of the branch cut
+    (``[174, 186]`` degrees overlaps ``[-180, -178]`` degrees).  An arc
+    spanning a full period covers the whole circle and overlaps
+    everything.
+    """
+    if not period > 0:
+        raise ConfigError(f"period must be positive, got {period!r}")
+    width_a = a.width
+    width_b = b.width
+    if width_a >= period or width_b >= period:
+        return 0.0
+    # Place B's start relative to A's start, wrapped into [0, period).
+    start = math.fmod(b.lower - a.lower, period)
+    if start < 0:
+        start += period
+    if start <= width_a or start + width_b >= period:
+        return 0.0
+    # Two ways around the circle from arc A to arc B; report the shorter.
+    return min(start - width_a, period - start - width_b)
+
+
+def angular_overlap(a: BoundedValue, b: BoundedValue, period: float = TWO_PI) -> bool:
+    """True when two angular intervals intersect anywhere on the circle."""
+    return angular_gap(a, b, period) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Population (array) form
+# ----------------------------------------------------------------------
+
+
+def _as_float_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=float)
+
+
+@dataclass(frozen=True)
+class BoundedArray:
+    """An array of intervals: the population form of :class:`BoundedValue`.
+
+    Element ``i`` is the interval ``[lower[i], upper[i]]`` with point
+    estimate ``value[i]``.  Operations mirror :class:`BoundedValue`'s
+    with identical conservative semantics, executed as whole-array NumPy
+    expressions — this is what lets the vectorized batch backend push an
+    entire device population through the signature/interval arithmetic
+    in a handful of array operations instead of a Python loop per device.
+    """
+
+    value: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        value = _as_float_array(self.value)
+        lower = _as_float_array(self.lower)
+        upper = _as_float_array(self.upper)
+        if not (value.shape == lower.shape == upper.shape):
+            raise ConfigError(
+                f"BoundedArray field shapes differ: {value.shape}, "
+                f"{lower.shape}, {upper.shape}"
+            )
+        if np.isnan(value).any() or np.isnan(lower).any() or np.isnan(upper).any():
+            raise ConfigError("BoundedArray does not accept NaN endpoints")
+        if not bool(np.all(lower <= upper)):
+            raise ConfigError("BoundedArray ordering violated: lower > upper")
+        # The point estimate may drift out of the bounds by a last-bit
+        # rounding error when value and endpoints come from different
+        # (equally valid) floating-point expressions; clamp it in, as
+        # the scalar helpers do.
+        value = np.minimum(np.maximum(value, lower), upper)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_halfwidth(cls, values, halfwidth: float) -> "BoundedArray":
+        """Symmetric intervals ``values +/- halfwidth`` (halfwidth >= 0)."""
+        if halfwidth < 0:
+            raise ConfigError(f"halfwidth must be >= 0, got {halfwidth}")
+        values = _as_float_array(values)
+        return cls(values, values - halfwidth, values + halfwidth)
+
+    @classmethod
+    def from_scalar(cls, scalar: BoundedValue, n: int) -> "BoundedArray":
+        """``n`` copies of one scalar interval."""
+        return cls(
+            np.full(n, scalar.value),
+            np.full(n, scalar.lower),
+            np.full(n, scalar.upper),
+        )
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def item(self, i: int) -> BoundedValue:
+        """Element ``i`` as a scalar :class:`BoundedValue`."""
+        return BoundedValue(
+            float(self.value[i]), float(self.lower[i]), float(self.upper[i])
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic (elementwise, conservative)
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "BoundedArray":
+        return BoundedArray(-self.value, -self.upper, -self.lower)
+
+    def scale(self, factor) -> "BoundedArray":
+        """Multiply by an exact scalar or per-element array."""
+        factor = np.asarray(factor, dtype=float)
+        lo = self.lower * factor
+        hi = self.upper * factor
+        flip = factor < 0
+        return BoundedArray(
+            self.value * factor,
+            np.where(flip, hi, lo),
+            np.where(flip, lo, hi),
+        )
+
+    def shift(self, offset) -> "BoundedArray":
+        """Add an exact scalar or per-element array."""
+        offset = np.asarray(offset, dtype=float)
+        return BoundedArray(
+            self.value + offset, self.lower + offset, self.upper + offset
+        )
+
+    def widen(self, margin) -> "BoundedArray":
+        """Grow both bounds outward by ``margin >= 0`` (scalar or array)."""
+        margin = np.asarray(margin, dtype=float)
+        if np.any(margin < 0):
+            raise ConfigError("widen margin must be >= 0 everywhere")
+        return BoundedArray(self.value, self.lower - margin, self.upper + margin)
+
+    def clamp_nonnegative(self) -> "BoundedArray":
+        """Clamp intervals (and estimates) to ``>= 0``."""
+        return BoundedArray(
+            np.maximum(self.value, 0.0),
+            np.maximum(self.lower, 0.0),
+            np.maximum(self.upper, 0.0),
+        )
+
+    def square(self) -> "BoundedArray":
+        """Elementwise interval of ``x**2``."""
+        lo_sq = self.lower * self.lower
+        hi_sq = self.upper * self.upper
+        straddles = (self.lower <= 0.0) & (self.upper >= 0.0)
+        return BoundedArray(
+            self.value * self.value,
+            np.where(straddles, 0.0, np.minimum(lo_sq, hi_sq)),
+            np.maximum(lo_sq, hi_sq),
+        )
+
+    def __add__(self, other) -> "BoundedArray":
+        if isinstance(other, BoundedArray):
+            return BoundedArray(
+                self.value + other.value,
+                self.lower + other.lower,
+                self.upper + other.upper,
+            )
+        return self.shift(other)
+
+    def sub_scalar(self, other: BoundedValue) -> "BoundedArray":
+        """Elementwise ``self - other`` for one scalar interval."""
+        return BoundedArray(
+            self.value - other.value,
+            self.lower - other.upper,
+            self.upper - other.lower,
+        )
+
+    def div_scalar(self, other: BoundedValue) -> "BoundedArray":
+        """Elementwise ``self / other`` for one scalar interval.
+
+        Mirrors :meth:`BoundedValue.__truediv__`: multiply by the
+        reciprocal interval, taking the endpoint-product hull.
+        """
+        if other.straddles_zero():
+            raise ConfigError("interval division by an interval containing zero")
+        reciprocals = (1.0 / other.lower, 1.0 / other.upper)
+        r_lo, r_hi = min(reciprocals), max(reciprocals)
+        products = np.stack(
+            [
+                self.lower * r_lo,
+                self.lower * r_hi,
+                self.upper * r_lo,
+                self.upper * r_hi,
+            ]
+        )
+        return BoundedArray(
+            self.value * (1.0 / other.value),
+            products.min(axis=0),
+            products.max(axis=0),
+        )
+
+
+def hypot_array(x: BoundedArray, y: BoundedArray) -> BoundedArray:
+    """Elementwise interval of ``sqrt(x^2 + y^2)`` over rectangles.
+
+    The array form of :func:`hypot_interval` (same bound construction;
+    the point estimate is clamped into the bounds the same way).
+    """
+    sq = x.square() + y.square()
+    lower = np.sqrt(np.maximum(sq.lower, 0.0))
+    upper = np.sqrt(np.maximum(sq.upper, 0.0))
+    value = np.hypot(x.value, y.value)
+    return BoundedArray(value, lower, upper)
+
+
+def atan2_array(y: BoundedArray, x: BoundedArray) -> BoundedArray:
+    """Elementwise angular range of rectangles: array :func:`atan2_interval`.
+
+    Identical geometry to the scalar version: corner angles unwrapped
+    around the centre angle (sound for convex regions avoiding the
+    origin), the grazing-``pi`` ambiguity kept conservative, and the
+    full circle returned for rectangles containing the origin.
+    """
+    centre = np.arctan2(y.value, x.value)
+    corners_x = np.stack([x.lower, x.lower, x.upper, x.upper])
+    corners_y = np.stack([y.lower, y.upper, y.lower, y.upper])
+    rel = np.arctan2(corners_y, corners_x) - centre[None, :]
+    rel = np.where(rel <= -math.pi, rel + TWO_PI, rel)
+    rel = np.where(rel > math.pi, rel - TWO_PI, rel)
+    # A box grazing the origin can subtend exactly pi; the unwrap
+    # direction is then ambiguous — include both signs to stay
+    # conservative (matches the scalar helper).
+    grazing = np.abs(np.abs(rel) - math.pi) < 1e-9
+    rel_min = np.minimum(
+        rel.min(axis=0), np.where(grazing, -rel, np.inf).min(axis=0)
+    )
+    rel_max = np.maximum(
+        rel.max(axis=0), np.where(grazing, -rel, -np.inf).max(axis=0)
+    )
+    lower = centre + rel_min
+    upper = centre + rel_max
+    unconstrained = (
+        (x.lower <= 0.0) & (x.upper >= 0.0) & (y.lower <= 0.0) & (y.upper >= 0.0)
+    )
+    lower = np.where(unconstrained, centre - math.pi, np.minimum(lower, centre))
+    upper = np.where(unconstrained, centre + math.pi, np.maximum(upper, centre))
+    return BoundedArray(centre, lower, upper)

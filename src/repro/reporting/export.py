@@ -28,7 +28,11 @@ def bode_to_csv(bode: BodeResult) -> str:
     """Flatten a Bode result into CSV text.
 
     Columns: frequency_hz, gain_db, gain_db_lower, gain_db_upper,
-    phase_deg, phase_deg_lower, phase_deg_upper.
+    phase_deg, phase_deg_lower, phase_deg_upper.  Phase columns use the
+    sweep's *unwrapped* trace (:meth:`~repro.core.bode.BodeResult.phase_deg`)
+    so an export of a response crossing ``-180`` degrees carries no
+    spurious 360-degree jump — the same convention as the analytic
+    reference the export is compared against.
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
@@ -43,18 +47,19 @@ def bode_to_csv(bode: BodeResult) -> str:
             "phase_deg_upper",
         ]
     )
-    for point in bode:
+    phase_values = bode.phase_deg()
+    phase_lo, phase_hi = bode.phase_deg_bounds()
+    for i, point in enumerate(bode):
         gain = point.gain_db
-        phase = point.phase_deg
         writer.writerow(
             [
                 f"{point.fwave:.6g}",
                 f"{gain.value:.6g}",
                 f"{gain.lower:.6g}",
                 f"{gain.upper:.6g}",
-                f"{phase.value:.6g}",
-                f"{phase.lower:.6g}",
-                f"{phase.upper:.6g}",
+                f"{phase_values[i]:.6g}",
+                f"{phase_lo[i]:.6g}",
+                f"{phase_hi[i]:.6g}",
             ]
         )
     return buffer.getvalue()

@@ -78,3 +78,138 @@ class TestTruthComparison:
 
         wrong = lowpass(300.0)  # a very different cutoff
         assert not bode.truth_within_bounds(wrong)
+
+
+class TestPhaseUnwrap:
+    """The measured trace must not jump 360 degrees at the -180 crossing.
+
+    A 2nd-order low-pass approaches -180 degrees; with the measurement
+    noise of the compensation offsets a dense sweep past the cutoff
+    crosses it, and each point's atan2-centred estimate flips sign.  The
+    sweep-level series unwraps — exactly as the analytic reference
+    (``truth_phase_deg``) already does — with values and bounds shifted
+    by the same whole turns.
+    """
+
+    @pytest.fixture(scope="class")
+    def crossing_bode(self):
+        from repro.dut.statespace import StateSpaceDUT
+
+        # A 4th-order low-pass runs to -360 degrees: the measured trace
+        # must cross -180 well inside the analyzer band.
+        w0 = 2.0 * np.pi * 800.0
+        q = 1.0 / np.sqrt(2.0)
+        biquad = [1.0, w0 / q, w0 * w0]
+        den = np.polymul(biquad, biquad)
+        dut = StateSpaceDUT.from_transfer_function([w0 ** 4], den)
+        an = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=40))
+        an.calibrate(800.0)
+        # Stop short of the deep stopband, where phase is legitimately
+        # unconstrained (the full-circle interval) and no unwrap policy
+        # can recover it.
+        frequencies = list(np.geomspace(300.0, 2500.0, 10))
+        return BodeResult(tuple(an.bode(frequencies))), dut
+
+    def test_raw_points_jump_but_series_does_not(self, crossing_bode):
+        bode, _ = crossing_bode
+        raw = np.array([p.phase_deg.value for p in bode.points])
+        assert np.max(np.abs(np.diff(raw))) > 180.0, "fixture lost its crossing"
+        unwrapped = bode.phase_deg()
+        assert np.max(np.abs(np.diff(unwrapped))) < 180.0
+
+    def test_offsets_are_whole_turns(self, crossing_bode):
+        bode, _ = crossing_bode
+        raw = np.array([p.phase_deg.value for p in bode.points])
+        offsets = bode.phase_deg() - raw
+        assert np.allclose(offsets % 360.0, 0.0)
+
+    def test_bounds_shift_with_values(self, crossing_bode):
+        bode, _ = crossing_bode
+        lo, hi = bode.phase_deg_bounds()
+        values = bode.phase_deg()
+        assert np.all(lo <= values) and np.all(values <= hi)
+        # Widths are untouched by the unwrap.
+        for (low, high, point) in zip(lo, hi, bode.points):
+            assert high - low == pytest.approx(point.phase_deg.width)
+
+    def test_measured_tracks_analytic_without_spurious_turn(self, crossing_bode):
+        bode, dut = crossing_bode
+        error = bode.phase_error_deg(dut)
+        assert np.max(np.abs(error)) < 30.0  # no 360-degree excursion
+
+    def test_csv_export_is_contiguous(self, crossing_bode):
+        import csv
+        import io
+
+        from repro.reporting.export import bode_to_csv
+
+        bode, _ = crossing_bode
+        rows = list(csv.DictReader(io.StringIO(bode_to_csv(bode))))
+        phases = np.array([float(r["phase_deg"]) for r in rows])
+        assert np.max(np.abs(np.diff(phases))) < 180.0
+        lows = np.array([float(r["phase_deg_lower"]) for r in rows])
+        highs = np.array([float(r["phase_deg_upper"]) for r in rows])
+        assert np.all(lows <= phases) and np.all(phases <= highs)
+
+    def test_monotone_sweep_is_untouched(self, bode_and_dut):
+        """No crossing, no offsets: behaviour is unchanged for the
+        ordinary 2nd-order sweep."""
+        bode, _ = bode_and_dut
+        raw = np.array([p.phase_deg.value for p in bode.points])
+        assert np.array_equal(bode.phase_deg(), raw)
+
+
+class TestUnwrapBridgesUnconstrainedPoints:
+    """A deep-stopband point (full-circle phase interval) carries a
+    noise-valued estimate; it must not inject a spurious turn into the
+    valid points after it."""
+
+    @staticmethod
+    def make_point(fwave, phase_deg_value, phase_halfwidth_deg):
+        from repro.core.measurement import GainPhaseMeasurement, StimulusMeasurement
+        from repro.evaluator.signatures import SignaturePair
+        from repro.intervals import BoundedValue
+
+        phase_rad = BoundedValue.from_halfwidth(
+            np.radians(phase_deg_value), np.radians(phase_halfwidth_deg)
+        )
+        amplitude = BoundedValue.from_halfwidth(1.0, 0.01)
+        signature = SignaturePair(
+            i1=0, i2=0, harmonic=1, m_periods=2, oversampling_ratio=96, vref=1.0
+        )
+        stimulus = StimulusMeasurement(
+            fwave=fwave, amplitude=amplitude, phase=phase_rad, signature=signature
+        )
+        return GainPhaseMeasurement(
+            fwave=fwave,
+            gain=amplitude,
+            phase_rad=phase_rad,
+            output=stimulus,
+            reference=stimulus,
+        )
+
+    def test_noise_point_does_not_shift_the_tail(self):
+        # Smooth trace ... -170, [garbage +175 full-circle], -175, -178:
+        # without bridging, the garbage point registers a fake turn and
+        # drags the tail to -535/-538.
+        points = (
+            self.make_point(100.0, -150.0, 3.0),
+            self.make_point(200.0, -170.0, 3.0),
+            self.make_point(300.0, 175.0, 360.0),  # unconstrained
+            self.make_point(400.0, -175.0, 3.0),
+            self.make_point(500.0, -178.0, 3.0),
+        )
+        unwrapped = BodeResult(points).phase_deg()
+        assert unwrapped[0] == -150.0
+        assert unwrapped[3] == -175.0 and unwrapped[4] == -178.0
+
+    def test_real_crossing_still_unwraps_through_a_noise_point(self):
+        # The constrained neighbours genuinely cross the cut; the
+        # bridged diff (-170 -> +170) still registers the turn.
+        points = (
+            self.make_point(100.0, -170.0, 3.0),
+            self.make_point(200.0, -20.0, 360.0),  # unconstrained
+            self.make_point(300.0, 170.0, 3.0),    # crossed: really -190
+        )
+        unwrapped = BodeResult(points).phase_deg()
+        assert unwrapped[2] == pytest.approx(-190.0)

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.sweep import FrequencySweepPlan, PAPER_MAX_FREQUENCY
+from repro.core.sweep import (
+    FrequencySweepPlan,
+    PAPER_MAX_FREQUENCY,
+    PAPER_MIN_FREQUENCY,
+)
 from repro.errors import ConfigError
 
 
@@ -46,3 +50,36 @@ class TestPaperSweep:
             FrequencySweepPlan.around(0.0)
         with pytest.raises(ConfigError):
             FrequencySweepPlan.around(100.0, decades=0.0)
+
+
+class TestAroundBandClamp:
+    """`around` must not silently plan points outside the analyzer band."""
+
+    def test_clamps_to_the_paper_band(self):
+        plan = FrequencySweepPlan.around(15_000.0, decades=2.0, n_points=5)
+        freqs = plan.frequencies()
+        assert freqs[0] >= PAPER_MIN_FREQUENCY
+        assert freqs[-1] <= PAPER_MAX_FREQUENCY
+        assert plan.f_stop == PAPER_MAX_FREQUENCY
+
+    def test_low_edge_clamps_too(self):
+        plan = FrequencySweepPlan.around(150.0, decades=2.0, n_points=5)
+        assert plan.f_start == PAPER_MIN_FREQUENCY
+
+    def test_in_band_window_is_untouched(self):
+        plan = FrequencySweepPlan.around(1000.0, decades=1.0, n_points=7)
+        half = 10.0 ** 0.5
+        assert plan.f_start == pytest.approx(1000.0 / half)
+        assert plan.f_stop == pytest.approx(1000.0 * half)
+
+    def test_entirely_outside_band_raises(self):
+        with pytest.raises(ConfigError, match="entirely outside"):
+            FrequencySweepPlan.around(500_000.0, decades=1.0)
+        with pytest.raises(ConfigError, match="entirely outside"):
+            FrequencySweepPlan.around(1.0, decades=1.0)
+
+    def test_clamp_false_rejects_out_of_band_edges(self):
+        with pytest.raises(ConfigError, match="beyond the analyzer"):
+            FrequencySweepPlan.around(15_000.0, decades=2.0, clamp=False)
+        # In-band windows are fine either way.
+        FrequencySweepPlan.around(1000.0, decades=1.0, clamp=False)

@@ -164,3 +164,81 @@ class TestAcquireCalibration:
         b = acquire_calibration(cfg, 1000.0, 20)
         assert a.amplitude.value == b.amplitude.value
         assert a.phase.value == b.phase.value
+
+
+class TestBoundedGrowth:
+    """Long multi-configuration campaigns must not grow memory without
+    limit: the cache is an LRU bounded at ``max_entries``."""
+
+    def test_capacity_is_enforced(self):
+        cache = CalibrationCache(max_entries=3)
+        for f in (500.0, 1000.0, 2000.0, 4000.0, 8000.0):
+            cache.get_or_acquire(CFG, f)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.misses == 5
+
+    def test_least_recently_used_is_evicted(self):
+        cache = CalibrationCache(max_entries=2)
+        first = cache.get_or_acquire(CFG, 500.0)
+        cache.get_or_acquire(CFG, 1000.0)
+        # Refresh 500 Hz: 1000 Hz becomes the LRU entry.
+        assert cache.get_or_acquire(CFG, 500.0) is first
+        cache.get_or_acquire(CFG, 2000.0)  # evicts 1000 Hz
+        assert cache.evictions == 1
+        # 500 Hz survived the eviction...
+        assert cache.get_or_acquire(CFG, 500.0) is first
+        assert cache.misses == 3
+        # ...and 1000 Hz re-acquires (a fresh miss), evicting again.
+        cache.get_or_acquire(CFG, 1000.0)
+        assert cache.misses == 4
+        assert cache.evictions == 2
+
+    def test_accounting_stays_exact_under_eviction(self):
+        cache = CalibrationCache(max_entries=1)
+        lookups = 0
+        for _ in range(3):
+            for f in (500.0, 1000.0):
+                cache.get_or_acquire(CFG, f)
+                lookups += 1
+        # Thrashing: every lookup re-acquires, all accounted.
+        assert cache.hits + cache.misses == lookups
+        assert cache.misses == lookups
+        assert cache.evictions == lookups - 1
+        assert len(cache) == 1
+
+    def test_clear_resets_eviction_count(self):
+        cache = CalibrationCache(max_entries=1)
+        cache.get_or_acquire(CFG, 500.0)
+        cache.get_or_acquire(CFG, 1000.0)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+        assert len(cache) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            CalibrationCache(max_entries=0)
+        with pytest.raises(ConfigError):
+            CalibrationCache(max_entries=2.5)
+
+    def test_concurrent_lookups_with_tiny_capacity_stay_exact(self):
+        """Thread-safety under eviction pressure: every lookup is
+        accounted exactly once even while entries churn."""
+        cache = CalibrationCache(max_entries=2)
+        frequencies = [500.0, 1000.0, 2000.0, 4000.0]
+        per_thread = 5
+
+        def worker(f):
+            for _ in range(per_thread):
+                cache.get_or_acquire(CFG, f)
+
+        with ThreadPoolExecutor(max_workers=len(frequencies)) as pool:
+            list(pool.map(worker, frequencies * 2))
+
+        lookups = 2 * len(frequencies) * per_thread
+        assert cache.hits + cache.misses == lookups
+        assert len(cache) <= 2
+        # Evictions follow insertions: every miss beyond the first two
+        # live entries displaced something.
+        assert cache.evictions == cache.misses - len(cache)

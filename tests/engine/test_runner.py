@@ -146,7 +146,8 @@ class TestValidation:
     def test_cli_sweep_rejects_bad_repeat(self):
         from repro.cli import main
 
-        with pytest.raises(ConfigError):
+        # Rejected at the parser, like every other >= 1 count option.
+        with pytest.raises(SystemExit):
             main(["sweep", "--points", "2", "--m-periods", "10", "--repeat", "0"])
 
     def test_empty_frequency_list(self, dut):

@@ -1,0 +1,261 @@
+"""Vectorized population backend: result equivalence and the seam.
+
+The contract under test (see :mod:`repro.engine.vectorized`): the
+vectorized backend consumes the same derived noise substreams, shares a
+bit-identical stimulus render, and produces **exactly** the reference
+backend's integer signatures; the derived float intervals may differ
+only by last-bit library rounding (NumPy vs :mod:`math` elementwise
+functions), bounded here at a few ulp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bist.limits import SpecMask
+from repro.bist.montecarlo import run_yield_analysis
+from repro.bist.program import BISTProgram
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+from repro.dut.faults import fault_catalog, full_catalog
+from repro.engine import BatchRunner, supports_vectorized
+from repro.errors import ConfigError
+from repro.faults.campaign import FaultCampaign
+from repro.sc.opamp import OpAmpModel
+
+TIGHT = dict(rel=1e-12, abs=1e-15)
+
+GOLDEN = ActiveRCLowpass.from_specs(cutoff=1000.0)
+FREQS = (300.0, 1000.0, 2000.0)
+M = 20
+
+IDEAL = AnalyzerConfig.ideal(m_periods=M)
+NOISY = AnalyzerConfig.ideal(
+    m_periods=M, evaluator_opamp=OpAmpModel(noise_rms=50e-6), noise_seed=7
+)
+NOISY_RANDOM_STATE = AnalyzerConfig.ideal(
+    m_periods=M,
+    evaluator_opamp=OpAmpModel(noise_rms=50e-6),
+    noise_seed=7,
+    random_modulator_state=True,
+)
+
+
+def small_catalog():
+    return [f.apply(GOLDEN) for f in fault_catalog([-0.5, -0.2, 0.2, 0.5])]
+
+
+def big_catalog():
+    """Large enough to engage the batched (not per-device) strategy."""
+    deviations = [-0.5, -0.4, -0.3, -0.2, -0.1, 0.1, 0.2, 0.3, 0.4, 0.5]
+    return [f.apply(GOLDEN) for f in fault_catalog(deviations)]
+
+
+def assert_measurements_equivalent(a, b):
+    """Signatures exact; every bounded float field within a few ulp."""
+    assert a.fwave == b.fwave
+    assert a.output.signature == b.output.signature
+    for interval_a, interval_b in (
+        (a.gain, b.gain),
+        (a.phase_rad, b.phase_rad),
+        (a.output.amplitude, b.output.amplitude),
+        (a.output.phase, b.output.phase),
+    ):
+        for field in ("value", "lower", "upper"):
+            assert getattr(interval_a, field) == pytest.approx(
+                getattr(interval_b, field), **TIGHT
+            )
+
+
+class TestFaultTrialEquivalence:
+    @pytest.mark.parametrize(
+        "config", [IDEAL, NOISY, NOISY_RANDOM_STATE], ids=["ideal", "noisy", "noisy-random-state"]
+    )
+    def test_batched_population(self, config):
+        duts = [GOLDEN] + big_catalog()
+        reference = BatchRunner().run_fault_trials(duts, config, FREQS, m_periods=M)
+        vectorized = BatchRunner(backend="vectorized").run_fault_trials(
+            duts, config, FREQS, m_periods=M
+        )
+        for trial_a, trial_b in zip(reference, vectorized):
+            for a, b in zip(trial_a, trial_b):
+                assert_measurements_equivalent(a, b)
+
+    @pytest.mark.parametrize("config", [IDEAL, NOISY], ids=["ideal", "noisy"])
+    def test_small_population(self, config):
+        """Below the batching threshold the per-device strategy engages."""
+        duts = [GOLDEN] + small_catalog()[:2]
+        reference = BatchRunner().run_fault_trials(duts, config, FREQS, m_periods=M)
+        vectorized = BatchRunner(backend="vectorized").run_fault_trials(
+            duts, config, FREQS, m_periods=M
+        )
+        for trial_a, trial_b in zip(reference, vectorized):
+            for a, b in zip(trial_a, trial_b):
+                assert_measurements_equivalent(a, b)
+
+    def test_overloading_faults(self):
+        """Catastrophic faults can overload the modulator; the reference
+        scalar branch must be reproduced for exactly those devices."""
+        duts = [GOLDEN] + [f.apply(GOLDEN) for f in full_catalog([-0.5, 0.5])]
+        reference = BatchRunner().run_fault_trials(duts, IDEAL, FREQS, m_periods=M)
+        vectorized = BatchRunner(backend="vectorized").run_fault_trials(
+            duts, IDEAL, FREQS, m_periods=M
+        )
+        overloads = [
+            trial[0].output.signature.overload_count for trial in reference
+        ]
+        assert any(count > 0 for count in overloads), "fixture lost its overloads"
+        for trial_a, trial_b in zip(reference, vectorized):
+            for a, b in zip(trial_a, trial_b):
+                assert_measurements_equivalent(a, b)
+
+    def test_start_index_preserves_substreams(self):
+        duts = big_catalog()
+        reference = BatchRunner().run_fault_trials(
+            duts, NOISY, FREQS, m_periods=M, start_index=3
+        )
+        vectorized = BatchRunner(backend="vectorized").run_fault_trials(
+            duts, NOISY, FREQS, m_periods=M, start_index=3
+        )
+        for trial_a, trial_b in zip(reference, vectorized):
+            for a, b in zip(trial_a, trial_b):
+                assert_measurements_equivalent(a, b)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("config", [IDEAL, NOISY], ids=["ideal", "noisy"])
+    def test_run_sweep(self, config):
+        frequencies = list(np.geomspace(200.0, 5000.0, 12))
+        reference = BatchRunner().run_sweep(GOLDEN, config, frequencies, m_periods=M)
+        vectorized = BatchRunner(backend="vectorized").run_sweep(
+            GOLDEN, config, frequencies, m_periods=M
+        )
+        for a, b in zip(reference, vectorized):
+            assert_measurements_equivalent(a, b)
+
+    def test_bode_forwards_backend(self):
+        analyzer = NetworkAnalyzer(GOLDEN, IDEAL)
+        analyzer.calibrate(1000.0, m_periods=M)
+        reference = analyzer.bode([500.0, 1000.0], m_periods=M)
+        vectorized = analyzer.bode([500.0, 1000.0], m_periods=M, backend="vectorized")
+        for a, b in zip(reference, vectorized):
+            assert_measurements_equivalent(a, b)
+
+
+class TestYieldEquivalence:
+    def setup_method(self):
+        self.nominal = design_mfb_lowpass(1000.0)
+        frequencies = [300.0, 1000.0, 2000.0]
+        self.mask = SpecMask.from_golden(
+            ActiveRCLowpass(self.nominal), frequencies, tolerance_db=2.0
+        )
+        self.program = BISTProgram(self.mask, frequencies, m_periods=M)
+
+    @pytest.mark.parametrize("config", [IDEAL, NOISY], ids=["ideal", "noisy"])
+    def test_trials_identical(self, config):
+        kwargs = dict(
+            n_devices=16, component_sigma=0.05, seed=11, config=config
+        )
+        reference = BatchRunner().run_trials(
+            self.nominal, self.mask, self.program, **kwargs
+        )
+        vectorized = BatchRunner(backend="vectorized").run_trials(
+            self.nominal, self.mask, self.program, **kwargs
+        )
+        assert [(t.device_index, t.verdict, t.truly_good) for t in reference] == [
+            (t.device_index, t.verdict, t.truly_good) for t in vectorized
+        ]
+
+    def test_run_yield_analysis_forwards_backend(self):
+        report = run_yield_analysis(
+            self.nominal,
+            self.mask,
+            self.program,
+            n_devices=6,
+            component_sigma=0.03,
+            seed=3,
+            config=IDEAL,
+            backend="vectorized",
+        )
+        baseline = run_yield_analysis(
+            self.nominal,
+            self.mask,
+            self.program,
+            n_devices=6,
+            component_sigma=0.03,
+            seed=3,
+            config=IDEAL,
+        )
+        assert report.test_yield == baseline.test_yield
+        assert report.true_yield == baseline.true_yield
+
+
+class TestCampaignBackend:
+    def test_dictionary_equivalent(self):
+        campaign = FaultCampaign(
+            GOLDEN, fault_catalog([-0.5, 0.5]), FREQS, config=IDEAL, m_periods=M
+        )
+        reference = campaign.run()
+        vectorized = campaign.run(backend="vectorized")
+        assert reference.labels == vectorized.labels
+        for label in reference.labels:
+            for a, b in zip(
+                reference.entry(label).points, vectorized.entry(label).points
+            ):
+                assert a.gain_db.value == pytest.approx(b.gain_db.value, **TIGHT)
+                assert a.phase_deg.value == pytest.approx(b.phase_deg.value, **TIGHT)
+        assert reference.ambiguity_groups() == vectorized.ambiguity_groups()
+
+
+class TestSeam:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            BatchRunner(backend="gpu")
+
+    def test_stats_record_backend(self):
+        runner = BatchRunner(backend="vectorized")
+        runner.run_sweep(GOLDEN, IDEAL, [500.0, 1000.0], m_periods=M)
+        assert runner.last_stats.backend == "vectorized"
+        assert runner.last_stats.n_workers == 1
+        reference = BatchRunner()
+        reference.run_sweep(GOLDEN, IDEAL, [500.0, 1000.0], m_periods=M)
+        assert reference.last_stats.backend == "reference"
+
+    def test_noisy_generator_falls_back(self):
+        """A noisy generator cannot share one stimulus render: the
+        vectorized runner must detect it and run the reference path."""
+        config = AnalyzerConfig.ideal(
+            m_periods=M,
+            generator_opamp=OpAmpModel(noise_rms=30e-6),
+            noise_seed=5,
+        )
+        assert not supports_vectorized(config)
+        runner = BatchRunner(backend="vectorized")
+        results = runner.run_sweep(GOLDEN, config, [500.0, 1000.0], m_periods=M)
+        assert runner.last_stats.backend == "reference"
+        reference = BatchRunner().run_sweep(
+            GOLDEN, config, [500.0, 1000.0], m_periods=M
+        )
+        for a, b in zip(reference, results):
+            assert a.output.signature == b.output.signature
+            assert a.gain.value == b.gain.value
+
+    def test_supported_configs(self):
+        assert supports_vectorized(IDEAL)
+        assert supports_vectorized(NOISY)
+        # Deterministic generator imperfections are fine; noise is not.
+        assert supports_vectorized(
+            AnalyzerConfig.ideal(
+                generator_opamp=OpAmpModel(noise_rms=30e-6)  # no seed: no draws
+            )
+        )
+        # The typical() die carries generator noise: falls back.
+        assert not supports_vectorized(AnalyzerConfig.typical())
+
+    def test_cache_shared_between_backends(self):
+        runner = BatchRunner(backend="vectorized")
+        runner.run_sweep(GOLDEN, IDEAL, [500.0], m_periods=M)
+        assert runner.last_stats.cache_misses == 1
+        runner.run_sweep(GOLDEN, IDEAL, [500.0], m_periods=M)
+        assert runner.last_stats.cache_hits == 1
+        assert runner.last_stats.cache_misses == 0

@@ -1,0 +1,152 @@
+"""Phase branch-cut regression: signatures at the +/-180 degree cut.
+
+The analyzer's phase intervals are unwrapped around their centre, so a
+signature near the cut may be reported as ``[174, 186]`` degrees by one
+acquisition and ``[-186, -174]`` by a physically identical one.  Every
+dictionary comparison — overlap, detectability, ambiguity groups,
+diagnosis ranking — must treat those as the same angles: the defining
+regression is that a *global* phase rotation of the whole catalog (a
+pure re-labelling of the same physics) changes nothing.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.dictionary import (
+    FaultDictionary,
+    FaultSignature,
+    SignaturePoint,
+)
+from repro.faults.diagnose import diagnose
+from repro.intervals import BoundedValue
+
+
+def point(gain_db, phase_deg, gain_half=0.2, phase_half=3.0, frequency=1000.0):
+    return SignaturePoint(
+        frequency=frequency,
+        gain_db=BoundedValue.from_halfwidth(gain_db, gain_half),
+        phase_deg=BoundedValue.from_halfwidth(phase_deg, phase_half),
+    )
+
+
+def signature(label, gain_db, phase_deg, **kwargs):
+    return FaultSignature(label=label, points=(point(gain_db, phase_deg, **kwargs),))
+
+
+def rotated(sig: FaultSignature, degrees: float) -> FaultSignature:
+    """The same physical signature with every phase rotated globally."""
+    return FaultSignature(
+        label=sig.label,
+        points=tuple(
+            SignaturePoint(
+                frequency=p.frequency,
+                gain_db=p.gain_db,
+                phase_deg=p.phase_deg.shift(degrees),
+            )
+            for p in sig.points
+        ),
+    )
+
+
+class TestOverlapAcrossTheCut:
+    def test_same_angle_both_sides_of_the_cut(self):
+        """The motivating bug: [174.2, 185.6] deg and [-180, -177.8] deg
+        share the angle 180 deg and must overlap."""
+        a = signature("a", 0.0, math.degrees(3.14))  # ~179.9 deg
+        b = signature("b", 0.0, math.degrees(-3.12))  # ~-178.8 deg
+        assert a.overlaps(b)
+        assert a.separation(b) == 0.0
+
+    def test_disjoint_angles_stay_disjoint(self):
+        a = signature("a", 0.0, 179.0, phase_half=2.0)
+        b = signature("b", 0.0, -90.0, phase_half=2.0)
+        assert not a.overlaps(b)
+        assert a.separation(b) > 0.0
+
+    def test_rotation_cannot_create_or_destroy_overlap(self):
+        a = signature("a", 0.0, 10.0)
+        b = signature("b", 0.0, 14.0)
+        c = signature("c", 0.0, 40.0)
+        for shift in (170.0, 180.0, -177.0, 360.0, 720.0):
+            assert rotated(a, shift).overlaps(rotated(b, shift))
+            assert not rotated(a, shift).overlaps(rotated(c, shift))
+
+    def test_estimate_distance_wraps(self):
+        a = signature("a", 0.0, 179.0)
+        b = signature("b", 0.0, -179.0)
+        # 2 degrees apart on the circle, not 358.
+        assert a.estimate_distance(b) == pytest.approx(2.0)
+
+    def test_full_circle_interval_overlaps_everything(self):
+        unconstrained = FaultSignature(
+            "deep-stopband",
+            (
+                SignaturePoint(
+                    frequency=1000.0,
+                    gain_db=BoundedValue.from_halfwidth(-60.0, 1.0),
+                    phase_deg=BoundedValue.from_halfwidth(0.0, 180.0),
+                ),
+            ),
+        )
+        for phase in (-179.0, -90.0, 0.0, 90.0, 179.0):
+            assert unconstrained.overlaps(signature("x", -60.0, phase))
+
+
+def catalog_at_the_cut():
+    """A dictionary whose fault signatures sit on the +/-180 degree cut,
+    with one pair reported on opposite sides of it."""
+    nominal = signature("nominal", 0.0, -160.0)
+    entries = (
+        signature("cut-high", -3.0, 178.0),  # physically ~179 deg
+        signature("cut-low", -3.0, -178.5),  # physically ~-178.5 deg: overlaps
+        signature("separate", -10.0, -120.0, phase_half=2.0),
+    )
+    return FaultDictionary(nominal=nominal, entries=entries)
+
+
+class TestDictionaryAtTheCut:
+    def test_cut_pair_is_one_ambiguity_group(self):
+        groups = catalog_at_the_cut().ambiguity_groups()
+        assert ("cut-high", "cut-low") in groups
+        assert ("separate",) in groups
+
+    def test_detectability_at_the_cut(self):
+        dictionary = catalog_at_the_cut()
+        for label in dictionary.labels:
+            assert dictionary.detectable(label)
+
+    def test_rotation_invariance_of_dictionary_analysis(self):
+        """The acceptance regression: a global +pi rotation of the whole
+        catalog must leave overlap, ambiguity and diagnosis identical."""
+        base = catalog_at_the_cut()
+        shift = math.degrees(math.pi)
+        turned = FaultDictionary(
+            nominal=rotated(base.nominal, shift),
+            entries=tuple(rotated(e, shift) for e in base.entries),
+        )
+        assert base.ambiguity_groups() == turned.ambiguity_groups()
+        for label in base.labels:
+            assert base.detectable(label) == turned.detectable(label)
+
+        measured = signature("measured", -3.0, 178.6)
+        before = diagnose(measured, base)
+        after = diagnose(rotated(measured, shift), turned)
+        assert before.best.label == after.best.label
+        assert before.ambiguity_group == after.ambiguity_group
+        assert [c.label for c in before.candidates] == [
+            c.label for c in after.candidates
+        ]
+        for b, a in zip(before.candidates, after.candidates):
+            assert b.separation == pytest.approx(a.separation, abs=1e-9)
+            assert b.estimate_distance == pytest.approx(a.estimate_distance, abs=1e-9)
+
+    def test_diagnosis_matches_across_the_cut(self):
+        """A device measured on the *other* side of the cut still
+        diagnoses as the cut fault pair, not as 'no candidate fits'."""
+        dictionary = catalog_at_the_cut()
+        measured = signature("measured", -3.0, -179.4)
+        result = diagnose(measured, dictionary)
+        assert result.best.label in ("cut-high", "cut-low")
+        assert set(result.ambiguity_group) >= {"cut-high", "cut-low"}
+        assert result.best.consistent

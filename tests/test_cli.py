@@ -181,3 +181,65 @@ class TestExecution:
                     "--inject", "r9:short",
                 ]
             )
+
+
+class TestWorkersValidation:
+    """--workers <= 0 is a parser-level usage error on every subcommand."""
+
+    @pytest.mark.parametrize(
+        "command", ["sweep", "yield", "coverage", "diagnose", "distortion",
+                    "dynamic-range"]
+    )
+    def test_nonpositive_workers_rejected(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--workers", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main([command, "--workers", "-3"])
+
+    def test_noninteger_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workers", "two"])
+        assert "expected an integer" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    def test_sweep_vectorized(self, capsys):
+        assert main(["sweep", "--points", "4", "--m-periods", "20",
+                     "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized backend" in out
+
+    def test_yield_vectorized(self, capsys):
+        assert main(["yield", "--devices", "6", "--m-periods", "20",
+                     "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out
+
+    def test_coverage_vectorized_matches_reference(self, capsys):
+        args = ["coverage", "--m-periods", "20", "--deviations", "0.5"]
+        assert main(args) == 0
+        reference = capsys.readouterr().out
+        assert main(args + ["--backend", "vectorized"]) == 0
+        vectorized = capsys.readouterr().out
+
+        def verdicts(text):
+            # Normalize column padding: table widths vary with the
+            # wall-time digits, the verdicts must not.
+            return [
+                " ".join(line.split())
+                for line in text.splitlines()
+                if "|" in line and ("pass" in line or "fail" in line
+                                    or "ambiguous" in line)
+                and "wall time" not in line
+            ]
+
+        ref_rows = verdicts(reference)
+        vec_rows = verdicts(vectorized)
+        assert ref_rows, "coverage output lost its verdict table"
+        assert ref_rows == vec_rows
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--backend", "gpu"])
+        assert "invalid choice" in capsys.readouterr().err
