@@ -37,6 +37,10 @@ Fault dictionaries and component-level diagnosis (which fault explains
 a failing signature, with honest ambiguity groups) live in
 :mod:`repro.faults`.
 
+Whole test programs — sweeps, yield lots, fault campaigns, distortion
+probes as one declarative JSON spec with golden-baseline record/check
+regression testing — live in :mod:`repro.scenarios`.
+
 See ``README.md`` for installation and a tour, ``DESIGN.md`` for the
 system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record
 of every table and figure.
@@ -68,6 +72,7 @@ from .errors import (
     TimingError,
 )
 from .intervals import BoundedArray, BoundedValue, angular_gap, angular_overlap
+from .scenarios import ScenarioResult, ScenarioSpec, run_scenario
 
 __version__ = "1.0.0"
 
@@ -95,6 +100,9 @@ __all__ = [
     "BatchStats",
     "CalibrationCache",
     "supports_vectorized",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
     "ReproError",
     "ConfigError",
     "TimingError",

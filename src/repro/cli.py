@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Eight subcommands mirror the library's main flows::
+Nine subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -34,10 +34,17 @@ Eight subcommands mirror the library's main flows::
         Evaluator + system dynamic range (the 70 dB claim); the
         evaluator's weak-tone probes run as engine jobs.
 
+    python -m repro scenarios run examples/scenarios/production_test.json
+    python -m repro scenarios record spec.json --out baseline.json
+    python -m repro scenarios check baseline.json [--update]
+        Declarative scenarios: whole test programs as JSON specs,
+        compiled onto the engine, with golden-baseline record/check
+        regression testing (see :mod:`repro.scenarios`).
+
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all eight.
+through all nine.
 """
 
 from __future__ import annotations
@@ -439,6 +446,64 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    """Declarative scenarios: run, record and check whole test programs.
+
+    A scenario is a JSON spec of typed steps (sweep, yield, coverage,
+    distortion, diagnose, dynamic_range) compiled onto the batch engine
+    (see :mod:`repro.scenarios`).  ``run`` executes a spec and prints a
+    per-step summary; ``record`` writes the golden baseline artifact;
+    ``check`` replays a baseline — on any ``--backend``, at any
+    ``--workers`` count — and reports drift by step and field
+    (``--update`` re-records after an intentional change).
+
+    Usage examples::
+
+        python -m repro scenarios run examples/scenarios/production_test.json
+        python -m repro scenarios run spec.json --backend vectorized
+        python -m repro scenarios record spec.json --out baseline.json
+        python -m repro scenarios check baseline.json --workers 2
+        python -m repro scenarios check baseline.json --update
+    """
+    from .scenarios import check, record, run_scenario
+    from .scenarios.spec import ScenarioSpec
+
+    backend = args.backend
+    workers = args.workers
+
+    if args.scenarios_command == "check":
+        report = check(
+            args.baseline, backend=backend, n_workers=workers, update=args.update
+        )
+        print(report.report())
+        return 0 if (report.ok or report.updated) else 1
+
+    spec = ScenarioSpec.from_json(_read_text(args.spec))
+    started = time.perf_counter()
+    if args.scenarios_command == "record":
+        out = args.out if args.out else f"{spec.name}.json"
+        result = record(spec, out, backend=backend, n_workers=workers)
+        elapsed = time.perf_counter() - started
+        print(f"recorded baseline for scenario {spec.name!r} -> {out}")
+    else:  # run
+        result = run_scenario(spec, backend=backend, n_workers=workers)
+        elapsed = time.perf_counter() - started
+    rows = [[s.kind, s.name, s.headline()] for s in result.steps]
+    rows.append(["", "wall time (s)", f"{elapsed:.2f}"])
+    rows.append(["", "backend", result.backend])
+    print(ascii_table(["step", "name", "result"], rows,
+                      title=f"Scenario {spec.name!r}"))
+    return 0
+
+
+def _read_text(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read scenario spec {path!r}: {exc}") from exc
+
+
 def _add_sweep_grid(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by the ``bode`` and ``sweep`` grids."""
     parser.add_argument("--cutoff", type=float, default=1000.0,
@@ -545,6 +610,46 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--workers", type=_positive_int, default=1,
                          help="worker processes (results identical at any count)")
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative scenarios: run/record/check whole test programs",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+
+    def _scenario_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=("reference", "vectorized"),
+                       default=None,
+                       help="override the spec's execution backend "
+                            "(results are equivalent either way)")
+        p.add_argument("--workers", type=_positive_int, default=None,
+                       help="override the spec's worker count "
+                            "(results identical at any count)")
+
+    run_p = scenarios_sub.add_parser(
+        "run", help="compile and execute a scenario spec"
+    )
+    run_p.add_argument("spec", help="path to a scenario spec (JSON)")
+    _scenario_common(run_p)
+
+    record_p = scenarios_sub.add_parser(
+        "record", help="run a spec and write its golden baseline artifact"
+    )
+    record_p.add_argument("spec", help="path to a scenario spec (JSON)")
+    record_p.add_argument("--out", default=None,
+                          help="baseline path (default: <scenario name>.json)")
+    _scenario_common(record_p)
+
+    check_p = scenarios_sub.add_parser(
+        "check", help="replay a recorded baseline and report drift"
+    )
+    check_p.add_argument("baseline", help="path to a recorded baseline (JSON)")
+    check_p.add_argument("--update", action="store_true",
+                         help="re-record the baseline in place when drift "
+                              "is found (after an intentional change)")
+    _scenario_common(check_p)
+
     return parser
 
 
@@ -583,6 +688,7 @@ _COMMANDS = {
     "diagnose": _cmd_diagnose,
     "distortion": _cmd_distortion,
     "dynamic-range": _cmd_dynamic_range,
+    "scenarios": _cmd_scenarios,
 }
 
 

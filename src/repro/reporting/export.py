@@ -10,6 +10,12 @@ Fault dictionaries (:mod:`repro.faults`) round-trip through JSON: a
 dictionary is built once by an expensive campaign, stored next to the
 test program, and reloaded by every diagnosis run — so the on-disk form
 must carry the *intervals*, not just point estimates.
+
+Scenario specs and golden baselines (:mod:`repro.scenarios`) round-trip
+through *canonical* JSON: keys sorted, floats in shortest repr-roundtrip
+form, NaN/infinity rejected outright — so a recorded baseline is
+byte-stable across platforms and a ``git diff`` of two artifacts shows
+real drift, never formatting noise.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 
 from ..core.bode import BodeResult
 from ..core.distortion import DistortionReport
@@ -247,3 +254,174 @@ def write_json(path, text: str) -> None:
         raise ConfigError("refusing to write empty JSON text")
     with open(path, "w") as handle:
         handle.write(text)
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON (byte-stable baseline artifacts)
+# ----------------------------------------------------------------------
+
+def canonical_float(value, where: str = "value") -> float:
+    """A float validated for canonical serialization.
+
+    CPython's shortest-repr float formatting (used by :mod:`json`) is
+    repr-roundtrip exact and platform-independent, so a *finite* float
+    serializes byte-identically everywhere.  NaN and infinity have no
+    portable JSON form at all — they are rejected with a
+    :class:`~repro.errors.ConfigError` naming the offending location
+    instead of leaking ``NaN``/``Infinity`` tokens no strict parser
+    accepts.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{where}: not a real number: {value!r}") from exc
+    if not math.isfinite(value):
+        raise ConfigError(
+            f"{where}: non-finite float {value!r} cannot be serialized "
+            f"canonically (NaN/Infinity have no strict-JSON form)"
+        )
+    return value
+
+
+def _validate_canonical(payload, where: str) -> None:
+    if isinstance(payload, bool) or payload is None:
+        return
+    if isinstance(payload, float):
+        canonical_float(payload, where)
+        return
+    if isinstance(payload, (int, str)):
+        return
+    if isinstance(payload, (list, tuple)):
+        for i, item in enumerate(payload):
+            _validate_canonical(item, f"{where}[{i}]")
+        return
+    if isinstance(payload, dict):
+        for key, item in payload.items():
+            if not isinstance(key, str):
+                raise ConfigError(
+                    f"{where}: non-string key {key!r} is not canonical JSON"
+                )
+            _validate_canonical(item, f"{where}.{key}")
+        return
+    raise ConfigError(
+        f"{where}: {type(payload).__name__} is not JSON-serializable"
+    )
+
+
+def canonical_json(payload) -> str:
+    """Dump a payload as canonical JSON text.
+
+    Keys sorted, two-space indent, floats in shortest repr-roundtrip
+    form, NaN/infinity rejected (:func:`canonical_float`) — the same
+    logical payload always produces the same bytes, on every platform.
+    Golden-baseline artifacts (:mod:`repro.scenarios.baseline`) depend
+    on this for meaningful ``git diff``\\ s.  The text ends with a
+    newline (the committed-file convention).
+    """
+    _validate_canonical(payload, "payload")
+    return json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Scenario-spec JSON round-trip (see repro.scenarios.spec)
+# ----------------------------------------------------------------------
+
+def scenario_to_json(spec) -> str:
+    """Serialize a :class:`~repro.scenarios.spec.ScenarioSpec` canonically."""
+    from ..scenarios.spec import scenario_to_payload
+
+    return canonical_json(scenario_to_payload(spec))
+
+
+def scenario_from_json(text: str):
+    """Rebuild a scenario spec serialized by :func:`scenario_to_json`."""
+    from ..scenarios.spec import scenario_from_payload
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"scenario spec is not valid JSON: {exc}") from exc
+    return scenario_from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Golden-baseline JSON round-trip (see repro.scenarios.baseline)
+# ----------------------------------------------------------------------
+
+BASELINE_FORMAT = "repro-scenario-baseline"
+BASELINE_VERSION = 1
+
+
+def baseline_to_json(spec, result) -> str:
+    """Serialize a recorded scenario result plus the spec that made it.
+
+    Embedding the spec makes the artifact self-contained: ``check`` can
+    replay a baseline from the file alone, and a baseline can never be
+    diffed against the wrong scenario.
+    """
+    from ..scenarios.spec import scenario_to_payload
+
+    if result.scenario != spec.name:
+        raise ConfigError(
+            f"result belongs to scenario {result.scenario!r}, "
+            f"spec is {spec.name!r}"
+        )
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "backend": result.backend,
+        "tolerance": {"rel": result.rel_tol, "abs": result.abs_tol},
+        "scenario": scenario_to_payload(spec),
+        "steps": [
+            {
+                "kind": step.kind,
+                "name": step.name,
+                "exact": step.exact,
+                "floats": step.floats,
+            }
+            for step in result.steps
+        ],
+    }
+    return canonical_json(payload)
+
+
+def baseline_from_json(text: str):
+    """Rebuild ``(spec, result)`` serialized by :func:`baseline_to_json`."""
+    from ..scenarios.result import ScenarioResult, StepResult
+    from ..scenarios.spec import scenario_from_payload
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise ConfigError(
+            f"not a scenario baseline (expected format {BASELINE_FORMAT!r})"
+        )
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"unsupported baseline version {payload.get('version')!r}; "
+            f"this build reads version {BASELINE_VERSION}"
+        )
+    try:
+        spec = scenario_from_payload(payload["scenario"])
+        tolerance = payload["tolerance"]
+        steps = tuple(
+            StepResult(
+                kind=step["kind"],
+                name=step["name"],
+                exact=step["exact"],
+                floats=step["floats"],
+            )
+            for step in payload["steps"]
+        )
+        result = ScenarioResult(
+            scenario=spec.name,
+            backend=str(payload["backend"]),
+            steps=steps,
+            rel_tol=float(tolerance["rel"]),
+            abs_tol=float(tolerance["abs"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"baseline missing/malformed field: {exc}") from exc
+    return spec, result

@@ -1,0 +1,97 @@
+"""Declarative scenarios: whole test programs as versionable data.
+
+The paper's network analyzer exists to run *test programs* — sequenced
+Bode sweeps, Monte-Carlo yield lots, fault campaigns, distortion probes,
+go/no-go limit checks.  This subsystem gives every such program one
+declarative, reproducible description:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` — a strict schema of
+  typed steps (:class:`~repro.scenarios.spec.SweepStep`,
+  :class:`~repro.scenarios.spec.YieldStep`,
+  :class:`~repro.scenarios.spec.CoverageStep`,
+  :class:`~repro.scenarios.spec.DistortionStep`,
+  :class:`~repro.scenarios.spec.DiagnoseStep`,
+  :class:`~repro.scenarios.spec.DynamicRangeStep`) plus analyzer, DUT,
+  seed, backend and worker settings, JSON round-tripped via
+  :func:`repro.reporting.export.scenario_to_json`;
+* :func:`~repro.scenarios.compiler.compile_scenario` /
+  :func:`~repro.scenarios.compiler.run_scenario` — the compiler that
+  lowers specs onto the existing batch engine
+  (:class:`~repro.engine.runner.BatchRunner`,
+  :class:`~repro.faults.campaign.FaultCampaign`, one shared
+  :class:`~repro.engine.cache.CalibrationCache`), honoring
+  ``backend=`` / ``n_workers=`` with result-equivalent numbers;
+* :mod:`~repro.scenarios.baseline` — the golden-baseline harness:
+  :func:`~repro.scenarios.baseline.record` writes a canonical,
+  seed-deterministic artifact (integer signatures exact, floats with
+  explicit tolerances), :func:`~repro.scenarios.baseline.check`
+  replays and reports drift by step and field.
+
+The CLI front end is ``python -m repro scenarios run|record|check``;
+example specs live under ``examples/scenarios/`` and the committed
+regression baselines under ``tests/baselines/scenarios/``.  See
+``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for how the
+shipped baselines were recorded.
+"""
+
+from .baseline import Baseline, CheckReport, check, default_baseline_path, load, record
+from .compiler import CompiledScenario, CompiledStep, compile_scenario, run_scenario
+from .result import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    Drift,
+    DriftReport,
+    ScenarioResult,
+    StepResult,
+    diff,
+)
+from .spec import (
+    STEP_KINDS,
+    AnalyzerSettings,
+    CoverageStep,
+    DiagnoseStep,
+    DistortionStep,
+    DUTSpec,
+    DynamicRangeStep,
+    ScenarioSpec,
+    SweepStep,
+    YieldStep,
+    scenario_from_payload,
+    scenario_to_payload,
+    step_from_payload,
+    step_to_payload,
+)
+
+__all__ = [
+    "AnalyzerSettings",
+    "Baseline",
+    "CheckReport",
+    "CompiledScenario",
+    "CompiledStep",
+    "CoverageStep",
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
+    "DiagnoseStep",
+    "DistortionStep",
+    "Drift",
+    "DriftReport",
+    "DUTSpec",
+    "DynamicRangeStep",
+    "STEP_KINDS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StepResult",
+    "SweepStep",
+    "YieldStep",
+    "check",
+    "compile_scenario",
+    "default_baseline_path",
+    "diff",
+    "load",
+    "record",
+    "run_scenario",
+    "scenario_from_payload",
+    "scenario_to_payload",
+    "step_from_payload",
+    "step_to_payload",
+]

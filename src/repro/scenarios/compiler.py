@@ -1,0 +1,394 @@
+"""The scenario compiler: lower declarative specs onto the batch engine.
+
+Compilation and execution are deliberately separate phases:
+
+* :func:`compile_scenario` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+  into a :class:`CompiledScenario` — device built, analyzer
+  configurations derived, fault catalogs enumerated, spec masks and
+  go/no-go programs constructed, sweep grids planned.  No measurement
+  runs; compile errors (an ``inject`` label missing from the catalog, a
+  sweep collapsing after band clamping) surface before any simulation
+  time is spent.
+* :meth:`CompiledScenario.run` executes the compiled steps in order on
+  one shared :class:`~repro.engine.runner.BatchRunner` — every step's
+  workload becomes existing engine jobs (sweep points, device trials,
+  fault trials, distortion experiments, evaluator probes), the whole
+  scenario shares a single :class:`~repro.engine.cache.CalibrationCache`,
+  and ``backend=`` / ``n_workers=`` select the execution strategy
+  without changing the numbers (the engine's equivalence contract).
+
+The result is a canonical :class:`~repro.scenarios.result.ScenarioResult`
+ready for golden-baseline recording (:mod:`repro.scenarios.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..bist.coverage import fault_coverage
+from ..bist.limits import SpecMask
+from ..bist.montecarlo import run_yield_analysis
+from ..bist.program import BISTProgram
+from ..core.config import AnalyzerConfig
+from ..core.dynamic_range import evaluator_dynamic_range
+from ..core.sweep import FrequencySweepPlan
+from ..dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+from ..dut.faults import fault_catalog, full_catalog
+from ..dut.nonlinear import WienerDUT, polynomial_for_distortion
+from ..engine.cache import CalibrationCache
+from ..engine.runner import BatchRunner
+from ..errors import ConfigError
+from ..faults import diagnose, measure_signature, select_probe_frequencies
+from ..faults.campaign import FaultCampaign
+from ..faults.dictionary import NOMINAL_LABEL
+from ..sc.opamp import OpAmpModel
+from .result import ScenarioResult, StepResult
+from .spec import (
+    CoverageStep,
+    DiagnoseStep,
+    DistortionStep,
+    DynamicRangeStep,
+    ScenarioSpec,
+    SweepStep,
+    YieldStep,
+)
+
+
+def base_config(spec: ScenarioSpec) -> AnalyzerConfig:
+    """The scenario's analyzer configuration.
+
+    Evaluator noise (when enabled) is seeded from the scenario seed, so
+    noisy scenarios replay exactly and stay vectorized-backend eligible
+    (only *generator* noise forces the reference fallback).
+    """
+    settings = spec.analyzer
+    noisy = settings.evaluator_noise_rms > 0
+    return AnalyzerConfig.ideal(
+        m_periods=settings.m_periods,
+        stimulus_amplitude=settings.stimulus_amplitude,
+        evaluator_opamp=(
+            OpAmpModel(noise_rms=settings.evaluator_noise_rms) if noisy else None
+        ),
+        noise_seed=spec.seed if noisy else None,
+    )
+
+
+def _signed_deviations(magnitudes) -> list[float]:
+    return sorted({sign * d for d in magnitudes for sign in (-1.0, 1.0)})
+
+
+def _catalog(magnitudes, catastrophic: bool):
+    deviations = _signed_deviations(magnitudes)
+    return full_catalog(deviations) if catastrophic else fault_catalog(deviations)
+
+
+def _floats(values) -> list[float]:
+    return [float(v) for v in values]
+
+
+@dataclass(frozen=True)
+class CompiledStep:
+    """One lowered step: its spec, workload size, and executor."""
+
+    step: object
+    n_jobs: int  # engine jobs this step dispatches (the workload size)
+    execute: Callable[[BatchRunner], StepResult]
+
+
+class CompiledScenario:
+    """A scenario lowered onto the engine, ready to run."""
+
+    def __init__(
+        self, spec: ScenarioSpec, config: AnalyzerConfig, steps: tuple[CompiledStep, ...]
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.steps = steps
+
+    @property
+    def n_jobs(self) -> int:
+        """Total engine jobs the scenario dispatches."""
+        return sum(s.n_jobs for s in self.steps)
+
+    def run(
+        self,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        runner: BatchRunner | None = None,
+        cache: CalibrationCache | None = None,
+    ) -> ScenarioResult:
+        """Execute every step in order on one shared runner.
+
+        ``backend`` and ``n_workers`` override the spec's defaults; pass
+        an existing ``runner`` to also share its calibration cache and
+        worker pool across scenarios (the overrides are then ignored in
+        favour of the runner's own settings).
+        """
+        if runner is not None:
+            engine = runner
+            return self._run_on(engine)
+        engine = BatchRunner(
+            n_workers=n_workers if n_workers is not None else self.spec.n_workers,
+            backend=backend if backend is not None else self.spec.backend,
+            cache=cache,
+        )
+        with engine:
+            return self._run_on(engine)
+
+    def _run_on(self, engine: BatchRunner) -> ScenarioResult:
+        results = tuple(step.execute(engine) for step in self.steps)
+        return ScenarioResult(
+            scenario=self.spec.name, backend=engine.backend, steps=results
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    backend: str | None = None,
+    n_workers: int | None = None,
+    runner: BatchRunner | None = None,
+    cache: CalibrationCache | None = None,
+) -> ScenarioResult:
+    """Compile and execute a scenario in one call."""
+    return compile_scenario(spec).run(
+        backend=backend, n_workers=n_workers, runner=runner, cache=cache
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-kind lowering
+# ----------------------------------------------------------------------
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Lower a spec into engine-ready steps (no simulation runs here)."""
+    config = base_config(spec)
+    dut = ActiveRCLowpass.from_specs(cutoff=spec.dut.cutoff, q=spec.dut.q)
+    lowered = []
+    for step in spec.steps:
+        compiler = _STEP_COMPILERS[step.kind]
+        lowered.append(compiler(spec, step, dut, config))
+    return CompiledScenario(spec, config, tuple(lowered))
+
+
+def _step_config(config: AnalyzerConfig, step) -> tuple[AnalyzerConfig, int]:
+    m = step.m_periods if step.m_periods is not None else config.m_periods
+    return config.with_m_periods(m), m
+
+
+def _compile_sweep(spec, step: SweepStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    plan = FrequencySweepPlan(step.f_start, step.f_stop, step.n_points)
+    frequencies = _floats(plan.frequencies())
+
+    def execute(engine: BatchRunner) -> StepResult:
+        measurements = engine.run_sweep(dut, config, frequencies, m_periods=m)
+        exact = {
+            "signature_counts": [
+                [m_.output.signature.i1, m_.output.signature.i2,
+                 m_.reference.signature.i1, m_.reference.signature.i2]
+                for m_ in measurements
+            ],
+            "overload_counts": [
+                m_.output.signature.overload_count
+                + m_.reference.signature.overload_count
+                for m_ in measurements
+            ],
+        }
+        floats = {
+            "frequency_hz": frequencies,
+            "gain_db": [float(m_.gain_db.value) for m_ in measurements],
+            "gain_db_lower": [float(m_.gain_db.lower) for m_ in measurements],
+            "gain_db_upper": [float(m_.gain_db.upper) for m_ in measurements],
+            "phase_deg": [float(m_.phase_deg.value) for m_ in measurements],
+            "phase_deg_lower": [float(m_.phase_deg.lower) for m_ in measurements],
+            "phase_deg_upper": [float(m_.phase_deg.upper) for m_ in measurements],
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=step.n_points, execute=execute)
+
+
+def _compile_yield(spec, step: YieldStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    nominal = design_mfb_lowpass(spec.dut.cutoff, q=spec.dut.q)
+    golden = ActiveRCLowpass(nominal)
+    frequencies = [spec.dut.cutoff * r for r in step.frequency_ratios]
+    mask = SpecMask.from_golden(golden, frequencies, tolerance_db=step.tolerance_db)
+    program = BISTProgram(mask, frequencies, m_periods=m)
+
+    def execute(engine: BatchRunner) -> StepResult:
+        report = run_yield_analysis(
+            nominal,
+            mask,
+            program,
+            n_devices=step.n_devices,
+            component_sigma=step.component_sigma,
+            seed=spec.seed,
+            config=config,
+            ambiguous_passes=step.ambiguous_passes,
+            runner=engine,
+        )
+        verdicts = [t.verdict for t in report.trials]
+        exact = {
+            "verdicts": verdicts,
+            "truly_good": [bool(t.truly_good) for t in report.trials],
+            "n_pass": verdicts.count("pass"),
+            "n_fail": verdicts.count("fail"),
+            "n_ambiguous": verdicts.count("ambiguous"),
+        }
+        floats = {
+            "test_yield": float(report.test_yield),
+            "true_yield": float(report.true_yield),
+            "escape_rate": float(report.escape_rate),
+            "overkill_rate": float(report.overkill_rate),
+            "ambiguous_rate": float(report.ambiguous_rate),
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=step.n_devices, execute=execute)
+
+
+def _compile_coverage(spec, step: CoverageStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    catalog = _catalog(step.deviations, step.catastrophic)
+    frequencies = [spec.dut.cutoff * r for r in step.frequency_ratios]
+    mask = SpecMask.from_golden(dut, frequencies, tolerance_db=step.tolerance_db)
+    program = BISTProgram(mask, frequencies, m_periods=m)
+
+    def execute(engine: BatchRunner) -> StepResult:
+        report = fault_coverage(dut, catalog, program, config=config, runner=engine)
+        exact = {
+            "fault_labels": [t.fault.label for t in report.trials],
+            "verdicts": [t.verdict for t in report.trials],
+            "good_verdict": report.good_verdict,
+            "escapes": [t.fault.label for t in report.escapes],
+        }
+        floats = {
+            "coverage": float(report.coverage),
+            "flagged": float(report.flagged),
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=len(catalog) + 1, execute=execute)
+
+
+def _compile_distortion(spec, step: DistortionStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    config = config.with_amplitude(step.amplitude)
+    # The polynomial is a property of the device: tuned once, at the
+    # first requested operating point (same convention as the CLI).
+    level = step.amplitude * dut.gain_at(step.fwaves[0])
+    wiener = WienerDUT(
+        dut, polynomial_for_distortion(level, step.hd2_dbc, step.hd3_dbc)
+    )
+
+    def execute(engine: BatchRunner) -> StepResult:
+        reports = engine.run_distortion(
+            wiener, config, step.fwaves, harmonics=step.harmonics, m_periods=m
+        )
+        rows = [(report, row) for report in reports for row in report.rows]
+        exact = {
+            "harmonics": [row.harmonic for _, row in rows],
+        }
+        floats = {
+            "fwave_hz": [float(report.fwave) for report, _ in rows],
+            "level_dbc": [float(row.level_dbc.value) for _, row in rows],
+            "level_dbc_lower": [float(row.level_dbc.lower) for _, row in rows],
+            "level_dbc_upper": [float(row.level_dbc.upper) for _, row in rows],
+            "reference_dbc": [float(row.reference_dbc) for _, row in rows],
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=len(step.fwaves), execute=execute)
+
+
+def _compile_diagnose(spec, step: DiagnoseStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    catalog = _catalog(step.deviations, step.catastrophic)
+    by_label = {f.label: f for f in catalog}
+    if step.inject != NOMINAL_LABEL and step.inject not in by_label:
+        raise ConfigError(
+            f"step {step.name!r}: inject {step.inject!r} is not in the "
+            f"catalog; choose from {sorted(by_label)} or {NOMINAL_LABEL!r}"
+        )
+    if step.n_probes > step.n_candidate_points:
+        raise ConfigError(
+            f"step {step.name!r}: n_probes {step.n_probes} exceeds "
+            f"n_candidate_points {step.n_candidate_points}"
+        )
+    plan = FrequencySweepPlan.around(
+        spec.dut.cutoff, decades=step.decades, n_points=step.n_candidate_points
+    )
+    campaign = FaultCampaign(dut, catalog, plan, config=config, m_periods=m)
+    device = (
+        dut if step.inject == NOMINAL_LABEL else by_label[step.inject].apply(dut)
+    )
+
+    def execute(engine: BatchRunner) -> StepResult:
+        dictionary = campaign.run(runner=engine)
+        probes = select_probe_frequencies(dictionary, step.n_probes)
+        production = dictionary.restrict(probes)
+        signature = measure_signature(
+            device,
+            probes,
+            config=config,
+            m_periods=m,
+            label=step.inject,
+            runner=engine,
+        )
+        result = diagnose(signature, production, top_n=step.top_n)
+        exact = {
+            "best": result.best.label,
+            "candidates": [c.label for c in result.candidates],
+            "consistent": [bool(c.consistent) for c in result.candidates],
+            "ambiguity_group": list(result.ambiguity_group),
+            "conclusive": bool(result.conclusive),
+            "correct": bool(result.names(step.inject)),
+        }
+        floats = {
+            "probe_frequencies_hz": _floats(probes),
+            "separations": [float(c.separation) for c in result.candidates],
+            "estimate_distances": [
+                float(c.estimate_distance) for c in result.candidates
+            ],
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=len(catalog) + 2, execute=execute)
+
+
+def _compile_dynamic_range(spec, step: DynamicRangeStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+
+    def execute(engine: BatchRunner) -> StepResult:
+        result = evaluator_dynamic_range(
+            m_periods=m,
+            levels_dbc=step.levels_dbc,
+            threshold_db=step.threshold_db,
+            harmonic=step.harmonic,
+            runner=engine,
+        )
+        exact = {
+            "detected": [bool(p.detected) for p in result.probes],
+        }
+        floats = {
+            "levels_dbc": [float(p.level_dbc) for p in result.probes],
+            "measured_amplitudes": [
+                float(p.measured_amplitude) for p in result.probes
+            ],
+            "dynamic_range_db": float(result.dynamic_range_db),
+        }
+        return StepResult(step.kind, step.name, exact, floats)
+
+    return CompiledStep(step, n_jobs=len(step.levels_dbc), execute=execute)
+
+
+_STEP_COMPILERS = {
+    SweepStep.kind: _compile_sweep,
+    YieldStep.kind: _compile_yield,
+    CoverageStep.kind: _compile_coverage,
+    DistortionStep.kind: _compile_distortion,
+    DiagnoseStep.kind: _compile_diagnose,
+    DynamicRangeStep.kind: _compile_dynamic_range,
+}

@@ -1,0 +1,279 @@
+"""Scenario results and golden-baseline drift detection.
+
+A :class:`ScenarioResult` is the canonical, comparable outcome of one
+scenario run.  Every step contributes one :class:`StepResult` that
+splits its payload into two channels with different comparison
+semantics:
+
+* ``exact`` — integer signature counts, verdict strings, labels,
+  booleans.  These derive from counted sigma-delta signatures and are
+  **bit-identical** across backends, worker counts and platforms; any
+  difference is a genuine regression.
+* ``floats`` — derived continuous quantities (dB gains, interval
+  endpoints, yield fractions).  These are compared within an explicit
+  recorded tolerance: the reference and vectorized backends agree to a
+  few ulp (NumPy vs :mod:`math` elementwise rounding), and the recorded
+  tolerance makes that contract part of the artifact instead of
+  something a reader has to know.
+
+:func:`diff` compares a recorded result against a replayed one and
+produces a :class:`DriftReport` whose entries name the step and field
+that moved — the human-readable core of the golden-baseline harness
+(:mod:`repro.scenarios.baseline`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+#: Default relative/absolute float tolerances recorded into baselines.
+#: Backend equivalence is ulp-level (~1e-15 relative); 1e-9 leaves three
+#: orders of magnitude of slack for cross-platform libm variation while
+#: still catching any real numeric change.
+DEFAULT_REL_TOL = 1e-9
+DEFAULT_ABS_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Canonical outcome of one scenario step."""
+
+    kind: str
+    name: str
+    exact: dict
+    floats: dict
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("step result needs a step name")
+        for key, value in self.floats.items():
+            values = value if isinstance(value, list) else [value]
+            for x in values:
+                if not isinstance(x, (int, float)) or not math.isfinite(x):
+                    raise ConfigError(
+                        f"step {self.name!r}: float field {key!r} contains "
+                        f"non-finite value {x!r}"
+                    )
+
+    def headline(self) -> str:
+        """A one-line human summary for CLI tables."""
+        if self.kind == "sweep":
+            return f"{len(self.floats['frequency_hz'])} points"
+        if self.kind == "yield":
+            return (
+                f"test yield {self.floats['test_yield']:.3f} "
+                f"(true {self.floats['true_yield']:.3f})"
+            )
+        if self.kind == "coverage":
+            return (
+                f"coverage {self.floats['coverage']:.3f}, "
+                f"flagged {self.floats['flagged']:.3f}"
+            )
+        if self.kind == "distortion":
+            return f"{len(self.floats['level_dbc'])} harmonic levels"
+        if self.kind == "diagnose":
+            verdict = "correct" if self.exact["correct"] else "incorrect"
+            return f"best {self.exact['best']!r} ({verdict})"
+        if self.kind == "dynamic_range":
+            return f"{self.floats['dynamic_range_db']:.0f} dB"
+        return f"{len(self.exact)} exact / {len(self.floats)} float fields"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All step results of one scenario run, plus comparison metadata.
+
+    ``backend`` records the engine backend the run was *configured*
+    with; it is metadata, not part of the comparison — a baseline
+    recorded on one backend must check clean on the other.
+    """
+
+    scenario: str
+    backend: str
+    steps: tuple[StepResult, ...]
+    rel_tol: float = DEFAULT_REL_TOL
+    abs_tol: float = DEFAULT_ABS_TOL
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+        if not self.steps:
+            raise ConfigError(f"scenario result {self.scenario!r} has no steps")
+        if not (self.rel_tol >= 0 and self.abs_tol >= 0):
+            raise ConfigError(
+                f"tolerances must be >= 0, got rel={self.rel_tol!r} "
+                f"abs={self.abs_tol!r}"
+            )
+
+    def step(self, name: str) -> StepResult:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise ConfigError(
+            f"scenario result {self.scenario!r} has no step {name!r}; "
+            f"have {[s.name for s in self.steps]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Drift:
+    """One recorded-vs-replayed discrepancy, naming step and field."""
+
+    step: str
+    field: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"step {self.step!r} field {self.field!r}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of comparing a replay against a recorded baseline."""
+
+    scenario: str
+    drifts: tuple[Drift, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def report(self) -> str:
+        """Human-readable drift summary."""
+        if self.ok:
+            return f"scenario {self.scenario!r}: baseline OK (no drift)"
+        lines = [
+            f"scenario {self.scenario!r}: {len(self.drifts)} drift(s) detected"
+        ]
+        lines.extend(f"  - {drift}" for drift in self.drifts)
+        return "\n".join(lines)
+
+
+def _first_unequal(a: list, b: list):
+    """Index and values of the first elementwise difference (or None)."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i, x, y
+    if len(a) != len(b):
+        return min(len(a), len(b)), None, None
+    return None
+
+
+def _diff_exact(step: str, recorded: dict, replayed: dict, out: list) -> None:
+    for key in sorted(set(recorded) | set(replayed)):
+        if key not in replayed:
+            out.append(Drift(step, key, "missing from replay"))
+            continue
+        if key not in recorded:
+            out.append(Drift(step, key, "not in recorded baseline"))
+            continue
+        a, b = recorded[key], replayed[key]
+        if a == b:
+            continue
+        if isinstance(a, list) and isinstance(b, list):
+            where = _first_unequal(a, b)
+            if where is not None and where[1] is not None:
+                i, x, y = where
+                out.append(
+                    Drift(step, key, f"[{i}]: recorded {x!r}, replayed {y!r}")
+                )
+                continue
+            out.append(
+                Drift(step, key, f"length {len(a)} recorded, {len(b)} replayed")
+            )
+            continue
+        out.append(Drift(step, key, f"recorded {a!r}, replayed {b!r}"))
+
+
+def _close(a: float, b: float, rel: float, abs_tol: float) -> bool:
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)
+
+
+def _diff_floats(
+    step: str, recorded: dict, replayed: dict, rel: float, abs_tol: float, out: list
+) -> None:
+    for key in sorted(set(recorded) | set(replayed)):
+        if key not in replayed:
+            out.append(Drift(step, key, "missing from replay"))
+            continue
+        if key not in recorded:
+            out.append(Drift(step, key, "not in recorded baseline"))
+            continue
+        a, b = recorded[key], replayed[key]
+        if isinstance(a, list) != isinstance(b, list):
+            out.append(Drift(step, key, f"shape changed: {a!r} vs {b!r}"))
+            continue
+        if not isinstance(a, list):
+            a, b = [a], [b]
+            scalar = True
+        else:
+            scalar = False
+        if len(a) != len(b):
+            out.append(
+                Drift(step, key, f"length {len(a)} recorded, {len(b)} replayed")
+            )
+            continue
+        for i, (x, y) in enumerate(zip(a, b)):
+            if not _close(x, y, rel, abs_tol):
+                where = key if scalar else f"{key}[{i}]"
+                out.append(
+                    Drift(
+                        step,
+                        key,
+                        f"{where}: recorded {x!r}, replayed {y!r} "
+                        f"(|delta| = {abs(x - y):.3g}, tolerance "
+                        f"rel={rel:g} abs={abs_tol:g})",
+                    )
+                )
+                break  # one drift per field keeps the report readable
+
+
+def diff(recorded: ScenarioResult, replayed: ScenarioResult) -> DriftReport:
+    """Compare a replayed result against the recorded baseline.
+
+    Exact channels must match bit-identically; float channels must agree
+    within the *recorded* tolerances (the baseline, not the replay,
+    owns the contract).  Structural changes — steps added, removed or
+    renamed — are reported as drift too.
+    """
+    drifts: list[Drift] = []
+    recorded_names = [s.name for s in recorded.steps]
+    replayed_names = [s.name for s in replayed.steps]
+    if recorded_names != replayed_names:
+        drifts.append(
+            Drift(
+                "<scenario>",
+                "steps",
+                f"recorded steps {recorded_names}, replayed {replayed_names}",
+            )
+        )
+    by_name = {s.name: s for s in replayed.steps}
+    for step in recorded.steps:
+        other = by_name.get(step.name)
+        if other is None:
+            continue
+        if step.kind != other.kind:
+            drifts.append(
+                Drift(
+                    step.name,
+                    "kind",
+                    f"recorded {step.kind!r}, replayed {other.kind!r}",
+                )
+            )
+            continue
+        _diff_exact(step.name, step.exact, other.exact, drifts)
+        _diff_floats(
+            step.name,
+            step.floats,
+            other.floats,
+            recorded.rel_tol,
+            recorded.abs_tol,
+            drifts,
+        )
+    return DriftReport(scenario=recorded.scenario, drifts=tuple(drifts))

@@ -1,0 +1,91 @@
+"""Canonical JSON: byte-stable baseline artifacts.
+
+The golden-baseline harness commits JSON artifacts to git; their bytes
+must be a pure function of the payload — keys sorted, floats in
+shortest repr-roundtrip form, NaN/infinity rejected outright (strict
+JSON has no token for them, and a baseline containing one could never
+be replayed).
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.reporting.export import canonical_float, canonical_json
+
+
+class TestCanonicalFloat:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        x=st.floats(allow_nan=False, allow_infinity=False)
+    )
+    def test_repr_roundtrip_exact(self, x):
+        assert float(repr(canonical_float(x))) == x
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigError, match="non-finite"):
+            canonical_float(float("nan"))
+
+    @pytest.mark.parametrize("x", [float("inf"), float("-inf")])
+    def test_infinity_rejected(self, x):
+        with pytest.raises(ConfigError, match="non-finite"):
+            canonical_float(x)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ConfigError, match="not a real number"):
+            canonical_float("fast")
+
+    def test_error_names_location(self):
+        with pytest.raises(ConfigError, match="gain_db"):
+            canonical_float(float("nan"), where="step 'bode' field 'gain_db'")
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        a = canonical_json({"b": 1, "a": [1.5, 2], "c": {"y": True, "x": None}})
+        b = canonical_json({"c": {"x": None, "y": True}, "a": [1.5, 2], "b": 1})
+        assert a == b
+
+    def test_round_trip_exact(self):
+        payload = {"values": [0.1, 1e-300, -2.5e17, 3.0], "n": 12, "s": "ok"}
+        assert json.loads(canonical_json(payload)) == payload
+
+    def test_ends_with_newline(self):
+        assert canonical_json({}).endswith("\n")
+
+    def test_nan_rejected_with_path(self):
+        with pytest.raises(ConfigError, match=r"payload\.steps\[1\]"):
+            canonical_json({"steps": [1.0, float("nan")]})
+
+    def test_infinity_rejected_with_path(self):
+        with pytest.raises(ConfigError, match=r"payload\.floor"):
+            canonical_json({"floor": float("-inf")})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ConfigError, match="non-string key"):
+            canonical_json({1: "x"})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(ConfigError, match="not JSON-serializable"):
+            canonical_json({"x": object()})
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False), max_size=8
+        )
+    )
+    def test_floats_survive_dump_load_dump(self, values):
+        """Dump -> parse -> dump is byte-stable for any finite floats."""
+        text = canonical_json({"values": values})
+        again = canonical_json(json.loads(text))
+        assert text == again
+        reloaded = json.loads(again)["values"]
+        assert all(
+            math.copysign(1, a) == math.copysign(1, b) and a == b
+            for a, b in zip(values, reloaded)
+        )

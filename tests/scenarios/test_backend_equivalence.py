@@ -1,0 +1,56 @@
+"""Whole-scenario backend equivalence.
+
+Extends the engine-level guarantee of tests/engine/test_vectorized.py to
+entire declarative scenarios: for **every shipped example spec**,
+
+* the ``reference`` and ``vectorized`` backends produce bit-identical
+  *exact* channels (integer sigma-delta signature counts, verdicts,
+  labels, booleans) and tolerance-clean float channels;
+* serial execution and ``n_workers=2`` produce **fully** bit-identical
+  results — exact and float channels alike (the engine's deterministic
+  per-job seeding contract, surfaced at the scenario level).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, diff, run_scenario
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples" / "scenarios")
+    .glob("*.json")
+)
+
+
+def example_specs():
+    return [
+        pytest.param(ScenarioSpec.from_json(path.read_text()), id=path.stem)
+        for path in EXAMPLES
+    ]
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4, "example scenario specs went missing"
+
+
+@pytest.mark.parametrize("spec", example_specs())
+class TestBackendEquivalence:
+    def test_reference_vs_vectorized(self, spec):
+        reference = run_scenario(spec, backend="reference")
+        vectorized = run_scenario(spec, backend="vectorized")
+        for ref_step, vec_step in zip(reference.steps, vectorized.steps):
+            assert ref_step.exact == vec_step.exact, (
+                f"step {ref_step.name!r}: integer/verdict channels diverged "
+                f"between backends"
+            )
+        # Floats agree within the recorded-baseline tolerance contract.
+        report = diff(reference, vectorized)
+        assert report.ok, report.report()
+
+    def test_serial_vs_two_workers(self, spec):
+        serial = run_scenario(spec, backend="reference", n_workers=1)
+        parallel = run_scenario(spec, backend="reference", n_workers=2)
+        # Parallel dispatch must be *fully* bit-identical to serial:
+        # exact and float channels, every step.
+        assert serial.steps == parallel.steps

@@ -1,0 +1,153 @@
+"""Committed golden baselines: the end-to-end regression pin.
+
+The artifacts under tests/baselines/scenarios/ were recorded with
+``python -m repro scenarios record`` (see EXPERIMENTS.md for the exact
+conditions) and pin the full analyzer -> evaluator -> engine -> faults
+pipeline.  Replaying them here makes any numeric change to any layer a
+tier-1 failure: integer signature counts must match bit-identically on
+*both* backends, floats within the tolerance recorded in the artifact.
+
+The tolerance-audit tests verify the harness itself has teeth: a
+deliberately perturbed artifact (a signature count off by one; an
+interval endpoint widened past tolerance) must be flagged, and the
+drift report must name the step and field that moved.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import baseline
+from repro.scenarios.result import diff
+
+BASELINES_DIR = pathlib.Path(__file__).parent.parent / "baselines" / "scenarios"
+BASELINES = sorted(BASELINES_DIR.glob("*.json"))
+
+
+def baseline_params():
+    return [pytest.param(path, id=path.stem) for path in BASELINES]
+
+
+def test_baselines_committed():
+    assert len(BASELINES) >= 4, "committed scenario baselines went missing"
+
+
+def test_every_example_spec_has_a_baseline():
+    examples = (
+        pathlib.Path(__file__).parent.parent.parent / "examples" / "scenarios"
+    )
+    recorded = {path.stem for path in BASELINES}
+    missing = {p.stem for p in examples.glob("*.json")} - recorded
+    assert not missing, f"example specs without a committed baseline: {missing}"
+
+
+@pytest.mark.parametrize("path", baseline_params())
+def test_baseline_replays_clean_on_reference_backend(path):
+    report = baseline.check(path, backend="reference")
+    assert report.ok, report.report()
+
+
+@pytest.mark.parametrize("path", baseline_params())
+def test_baseline_replays_clean_on_vectorized_backend(path):
+    report = baseline.check(path, backend="vectorized")
+    assert report.ok, report.report()
+
+
+def test_baseline_artifacts_are_canonical():
+    """Committed bytes must equal a fresh canonical serialization."""
+    from repro.reporting.export import baseline_to_json
+
+    for path in BASELINES:
+        loaded = baseline.load(path)
+        assert baseline_to_json(loaded.spec, loaded.result) == path.read_text(), (
+            f"{path.name} is not in canonical form (re-record it)"
+        )
+
+
+class TestToleranceAudit:
+    """check() must flag injected drift and name step + field."""
+
+    AUDIT = BASELINES_DIR / "bode_sweep.json"
+
+    def _perturbed_copy(self, tmp_path, mutate) -> pathlib.Path:
+        payload = json.loads(self.AUDIT.read_text())
+        mutate(payload)
+        target = tmp_path / "perturbed.json"
+        target.write_text(json.dumps(payload))
+        return target
+
+    def test_signature_count_off_by_one_is_flagged(self, tmp_path):
+        def mutate(payload):
+            step = payload["steps"][0]
+            step["exact"]["signature_counts"][0][0] += 1
+
+        report = baseline.check(self._perturbed_copy(tmp_path, mutate))
+        assert not report.ok
+        drift = report.drift.drifts[0]
+        assert drift.step == "bode"
+        assert drift.field == "signature_counts"
+        text = report.report()
+        assert "'bode'" in text and "signature_counts" in text
+
+    def test_interval_widened_past_tolerance_is_flagged(self, tmp_path):
+        def mutate(payload):
+            step = payload["steps"][0]
+            step["floats"]["gain_db_upper"][2] += 0.5  # half a dB of fake drift
+
+        report = baseline.check(self._perturbed_copy(tmp_path, mutate))
+        assert not report.ok
+        drift = report.drift.drifts[0]
+        assert drift.step == "bode"
+        assert drift.field == "gain_db_upper"
+        assert "tolerance" in drift.detail
+        assert "[2]" in drift.detail  # the drift report localizes the point
+
+    def test_unperturbed_copy_stays_clean(self, tmp_path):
+        report = baseline.check(self._perturbed_copy(tmp_path, lambda p: None))
+        assert report.ok
+
+    def test_update_rerecords_in_place(self, tmp_path):
+        def mutate(payload):
+            payload["steps"][0]["exact"]["signature_counts"][0][0] += 1
+
+        target = self._perturbed_copy(tmp_path, mutate)
+        report = baseline.check(target, update=True)
+        assert not report.ok and report.updated
+        assert "re-recorded" in report.report()
+        # The rewritten artifact now replays clean and is canonical.
+        again = baseline.check(target)
+        assert again.ok, again.report()
+
+    def test_update_preserves_the_recorded_tolerances(self, tmp_path):
+        """The artifact owns its tolerance contract; --update must not
+        silently reset a deliberately loosened tolerance."""
+
+        def mutate(payload):
+            payload["tolerance"]["rel"] = 1e-6  # loosened on purpose
+            payload["steps"][0]["exact"]["signature_counts"][0][0] += 1
+
+        target = self._perturbed_copy(tmp_path, mutate)
+        report = baseline.check(target, update=True)
+        assert report.updated
+        assert baseline.load(target).result.rel_tol == 1e-6
+
+
+class TestHarness:
+    def test_missing_baseline_raises(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="no baseline"):
+            baseline.check(tmp_path / "absent.json")
+
+    def test_record_then_check_round_trip(self, tmp_path):
+        loaded = baseline.load(self.smallest())
+        target = baseline.default_baseline_path(loaded.spec, tmp_path)
+        recorded = baseline.record(loaded.spec, target)
+        assert target.exists()
+        # The fresh recording equals the committed one (seed determinism).
+        assert diff(loaded.result, recorded).ok
+
+    @staticmethod
+    def smallest() -> pathlib.Path:
+        return BASELINES_DIR / "bode_sweep.json"

@@ -243,3 +243,79 @@ class TestBackendFlag:
         with pytest.raises(SystemExit):
             main(["sweep", "--backend", "gpu"])
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestScenarios:
+    """The scenarios run/record/check subcommand group."""
+
+    _ROOT = __import__("pathlib").Path(__file__).resolve().parent.parent
+    SPEC = str(_ROOT / "examples" / "scenarios" / "bode_sweep.json")
+    BASELINE = str(_ROOT / "tests" / "baselines" / "scenarios" / "bode_sweep.json")
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_run(self, capsys):
+        assert main(["scenarios", "run", self.SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'bode_sweep'" in out
+        assert "sweep" in out
+
+    def test_run_backend_override(self, capsys):
+        assert main(
+            ["scenarios", "run", self.SPEC, "--backend", "vectorized"]
+        ) == 0
+        assert "vectorized" in capsys.readouterr().out
+
+    def test_record_then_check(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        code = main(["scenarios", "record", self.SPEC, "--out", str(target)])
+        assert code == 0
+        assert "recorded baseline" in capsys.readouterr().out
+        # A fresh recording equals the committed artifact byte for byte.
+        import pathlib
+
+        assert target.read_text() == pathlib.Path(self.BASELINE).read_text()
+        assert main(["scenarios", "check", str(target)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+
+    def test_check_committed_baseline_with_workers(self, capsys):
+        code = main(["scenarios", "check", self.BASELINE, "--workers", "2"])
+        assert code == 0
+        assert "baseline OK" in capsys.readouterr().out
+
+    def test_check_drift_exits_nonzero(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        payload = json.loads(pathlib.Path(self.BASELINE).read_text())
+        payload["steps"][0]["exact"]["signature_counts"][0][0] += 1
+        target = tmp_path / "drifted.json"
+        target.write_text(json.dumps(payload))
+        assert main(["scenarios", "check", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "drift" in out and "signature_counts" in out
+
+    def test_check_update_rerecords(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        payload = json.loads(pathlib.Path(self.BASELINE).read_text())
+        payload["steps"][0]["exact"]["signature_counts"][0][0] += 1
+        target = tmp_path / "drifted.json"
+        target.write_text(json.dumps(payload))
+        assert main(["scenarios", "check", str(target), "--update"]) == 0
+        assert "re-recorded" in capsys.readouterr().out
+        assert main(["scenarios", "check", str(target)]) == 0
+
+    def test_missing_spec_file_raises_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="cannot read"):
+            main(["scenarios", "run", "no/such/spec.json"])
+
+    def test_nonpositive_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", self.SPEC, "--workers", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
