@@ -25,12 +25,11 @@ scaling assertion policy).
 import os
 import time
 
-from repro.bist.coverage import fault_coverage
+from repro.api import ExecutionPolicy, Session
 from repro.bist.limits import SpecMask
 from repro.bist.program import BISTProgram
 from repro.core.sweep import FrequencySweepPlan
 from repro.dut.active_rc import ActiveRCLowpass
-from repro.engine import BatchRunner
 from repro.faults import (
     FaultCampaign,
     diagnose,
@@ -69,23 +68,23 @@ def run_fault_campaign(
     campaign = FaultCampaign(dut, catalog, plan, m_periods=m_periods)
 
     # --- campaign throughput: serial vs parallel ----------------------
-    serial_runner = BatchRunner(n_workers=1)
+    serial_session = Session(dut, policy=ExecutionPolicy())
     t0 = time.perf_counter()
-    dictionary = campaign.run(runner=serial_runner)
+    dictionary = campaign.run(session=serial_session)
     t_serial = time.perf_counter() - t0
-    with BatchRunner(n_workers=N_WORKERS) as parallel_runner:
+    with Session(dut, policy=ExecutionPolicy(n_workers=N_WORKERS)) as parallel_session:
         t0 = time.perf_counter()
-        parallel_dictionary = campaign.run(runner=parallel_runner)
+        parallel_dictionary = campaign.run(session=parallel_session)
         t_parallel = time.perf_counter() - t0
     bit_identical = _flatten(dictionary) == _flatten(parallel_dictionary)
     n_devices = len(catalog) + 1  # catalog + nominal
-    calibration_misses = serial_runner.cache.misses
+    calibration_misses = serial_session.cache.misses
 
-    # --- coverage through the BIST wrapper ----------------------------
+    # --- coverage through the session surface -------------------------
     test_freqs = [300.0, 1000.0, 2000.0]
     mask = SpecMask.from_golden(dut, test_freqs, tolerance_db=2.0)
     program = BISTProgram(mask, test_freqs, m_periods=m_periods)
-    coverage = fault_coverage(dut, catalog, program, runner=serial_runner)
+    coverage = serial_session.fault_coverage(catalog, program).raw
 
     # --- dictionary compaction + diagnosis accuracy -------------------
     probes = select_probe_frequencies(dictionary, n_probes)
@@ -100,7 +99,7 @@ def run_fault_campaign(
             probes,
             m_periods=m_periods,
             label=fault.label,
-            runner=serial_runner,
+            session=serial_session,
         )
         result = diagnose(signature, production)
         correct += bool(result.names(fault.label))

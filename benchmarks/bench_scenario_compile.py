@@ -55,7 +55,7 @@ def _spec(n_points: int, n_devices: int, m_periods: int) -> ScenarioSpec:
 def _hand_written(spec: ScenarioSpec):
     """The same workload issued directly against the engine."""
     from repro.bist.limits import SpecMask
-    from repro.bist.montecarlo import run_yield_analysis
+    from repro.bist.montecarlo import YieldReport
     from repro.bist.program import BISTProgram
     from repro.core.sweep import FrequencySweepPlan
     from repro.dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
@@ -79,12 +79,13 @@ def _hand_written(spec: ScenarioSpec):
             dut, config, [float(f) for f in plan.frequencies()],
             m_periods=config.m_periods,
         )
-        report = run_yield_analysis(
+        trials = runner.run_trials(
             nominal, mask, program,
             n_devices=yield_step.n_devices,
             component_sigma=yield_step.component_sigma,
-            seed=spec.seed, config=config, runner=runner,
+            seed=spec.seed, config=config,
         )
+        report = YieldReport(trials=tuple(trials), ambiguous_passes=False)
     return measurements, report
 
 

@@ -19,8 +19,8 @@ import time
 
 import numpy as np
 
-from repro import AnalyzerConfig, BatchRunner
-from repro.bist import BISTProgram, SpecMask, run_yield_analysis
+from repro import AnalyzerConfig, BatchRunner, ExecutionPolicy, Session
+from repro.bist import BISTProgram, SpecMask
 from repro.dut import ActiveRCLowpass, design_mfb_lowpass
 
 
@@ -52,15 +52,20 @@ def main() -> None:
     )
 
     # -- 3. Monte-Carlo yield through a BIST program ----------------
+    # The session layer fronts the same engine: one policy decides
+    # backend/workers/seed, and the lot returns the uniform Result.
     nominal = design_mfb_lowpass(1000.0)
     golden = ActiveRCLowpass(nominal)
     test_freqs = [300.0, 1000.0, 2000.0]
     mask = SpecMask.from_golden(golden, test_freqs, tolerance_db=2.0)
     program = BISTProgram(mask, test_freqs, m_periods=40)
-    report = run_yield_analysis(
-        nominal, mask, program,
-        n_devices=20, component_sigma=0.08, seed=1, n_workers=4,
-    )
+    with Session(
+        config=AnalyzerConfig.ideal(m_periods=40),
+        policy=ExecutionPolicy(n_workers=4, seed=1),
+    ) as session:
+        report = session.yield_lot(
+            nominal, mask, program, n_devices=20, component_sigma=0.08
+        ).raw
     print(
         f"lot of {report.n_devices}: test yield {report.test_yield:.2f}, "
         f"true yield {report.true_yield:.2f}, escapes {report.escape_rate:.2f}, "

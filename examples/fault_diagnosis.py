@@ -23,10 +23,10 @@ Run:  PYTHONPATH=src python examples/fault_diagnosis.py
 
 import time
 
+from repro.api import ExecutionPolicy, Session
 from repro.core.sweep import FrequencySweepPlan
 from repro.dut import ActiveRCLowpass, CatastrophicFault, ParametricFault
 from repro.dut.faults import full_catalog
-from repro.engine import BatchRunner
 from repro.faults import (
     FaultCampaign,
     FaultDictionary,
@@ -42,17 +42,29 @@ def main() -> None:
     plan = FrequencySweepPlan.around(1000.0, decades=1.5, n_points=10)
 
     # -- 1. the campaign: one job per faulty device -----------------
-    campaign = FaultCampaign(dut, catalog, plan, m_periods=40)
-    runner = BatchRunner(n_workers=2)
-    t0 = time.perf_counter()
-    dictionary = campaign.run(runner=runner)
-    elapsed = time.perf_counter() - t0
-    print(
-        f"campaign: {len(catalog)} faults x {len(dictionary.frequencies)} "
-        f"frequencies in {elapsed:.2f} s "
-        f"({runner.cache.misses} calibration acquisition(s))\n"
-    )
+    # One session = one shared calibration cache and worker pool for
+    # the campaign and every diagnosis-time measurement after it (the
+    # with-block releases the pool when the program is done).
+    with Session(dut, policy=ExecutionPolicy(n_workers=2)) as session:
+        campaign = FaultCampaign(dut, catalog, plan, m_periods=40)
+        t0 = time.perf_counter()
+        dictionary = campaign.run(session=session)
+        elapsed = time.perf_counter() - t0
+        print(
+            f"campaign: {len(catalog)} faults x "
+            f"{len(dictionary.frequencies)} frequencies in {elapsed:.2f} s "
+            f"({session.cache.misses} calibration acquisition(s))\n"
+        )
+        _walk_dictionary(dut, dictionary, session)
 
+    # -- 5. the dictionary survives a round trip to disk -------------
+    production = dictionary.restrict(select_probe_frequencies(dictionary, 3))
+    clone = FaultDictionary.from_json(production.to_json())
+    print(f"JSON round-trip exact: {clone == production}")
+
+
+def _walk_dictionary(dut, dictionary, session) -> None:
+    """Steps 2-4: inspect, compact and diagnose against the dictionary."""
     # -- 2. what the dictionary knows --------------------------------
     undetectable = [l for l in dictionary.labels if not dictionary.detectable(l)]
     print(f"undetectable faults at this plan: {undetectable or 'none'}")
@@ -77,7 +89,7 @@ def main() -> None:
             probes,
             m_periods=40,
             label=fault.label,
-            runner=runner,
+            session=session,
         )
         result = diagnose(signature, production, top_n=3)
         ranked = ", ".join(
@@ -87,10 +99,6 @@ def main() -> None:
         print(f"  ranked    : {ranked}")
         print(f"  ambiguity : {', '.join(result.ambiguity_group)}")
         print(f"  correct   : {result.names(fault.label)}\n")
-
-    # -- 5. the dictionary survives a round trip to disk -------------
-    clone = FaultDictionary.from_json(production.to_json())
-    print(f"JSON round-trip exact: {clone == production}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,22 @@ Quickstart::
     point = analyzer.measure_gain_phase(fwave=1000.0)
     print(point.gain_db, point.phase_deg)
 
+The unified public seam over every workload — one validated
+:class:`~repro.api.policy.ExecutionPolicy`, one
+:class:`~repro.api.session.Session` facade, one common result protocol —
+lives in :mod:`repro.api`::
+
+    from repro import ExecutionPolicy, Session
+
+    session = Session(dut, policy=ExecutionPolicy(backend="vectorized"))
+    bode = session.bode([250.0, 1000.0, 4000.0])
+    print(bode.raw.gain_db(), bode.stats.cache_hits)
+
+Every session method (``bode``, ``yield_lot``, ``fault_coverage``,
+``diagnose``, ``distortion``, ``dynamic_range``, ``run_scenario``)
+shares one calibration cache and one batch runner, and returns the same
+exact/float channel split with uniform JSON/CSV export.
+
 Batch execution (sweeps and Monte-Carlo lots as parallel job batches)
 lives in :mod:`repro.engine`::
 
@@ -62,6 +78,7 @@ from .core import (
     measure_thd,
     system_dynamic_range,
 )
+from .api import ExecutionPolicy, Result, Session, SessionResult, SessionStats
 from .engine import BatchRunner, BatchStats, CalibrationCache, supports_vectorized
 from .errors import (
     CalibrationError,
@@ -100,6 +117,11 @@ __all__ = [
     "BatchStats",
     "CalibrationCache",
     "supports_vectorized",
+    "Session",
+    "ExecutionPolicy",
+    "Result",
+    "SessionResult",
+    "SessionStats",
     "ScenarioSpec",
     "ScenarioResult",
     "run_scenario",

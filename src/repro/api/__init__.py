@@ -1,0 +1,81 @@
+"""repro.api — the unified session layer over every workload.
+
+Four subsystems grew four calling conventions: the analyzer's
+``bode(n_workers=, backend=)``, the BIST layer's
+``run_yield_analysis(n_workers=)`` and ``fault_coverage(runner=)``, the
+fault subsystem's ``FaultCampaign.run(...)`` and the scenario layer's
+``compile_scenario(...).run(...)`` each re-plumbed workers, backend and
+calibration caching by hand.  This package is the single stable seam
+that replaces all of them:
+
+* :class:`~repro.api.policy.ExecutionPolicy` — backend, worker count,
+  seed and cache bound, validated once and round-trippable through
+  canonical JSON;
+* :class:`~repro.api.session.Session` — one DUT + analyzer config + one
+  shared calibration cache + one batch runner, exposing ``bode``,
+  ``sweep``, ``yield_lot``, ``fault_coverage``, ``diagnose``,
+  ``distortion``, ``dynamic_range`` and ``run_scenario`` as a uniform
+  method surface;
+* :class:`~repro.api.result.Result` /
+  :class:`~repro.api.result.SessionResult` — the common result
+  protocol: exact/float channel split, uniform ``to_json()``/
+  ``to_csv()``, cache/backend stats, raw domain object attached.
+
+The historical entry points still work as thin deprecation shims that
+forward here (bit-identical, both backends — asserted by
+``tests/api/test_shims.py``); the public surface is pinned by the
+snapshot under ``tests/baselines/api_surface.json``.  See ``DESIGN.md``
+("the api layer") for where policy, seeding and calibration-reuse
+decisions now live.
+"""
+
+from .channels import (
+    coverage_channels,
+    diagnose_channels,
+    distortion_channels,
+    dynamic_range_channels,
+    scenario_channels,
+    sweep_channels,
+    yield_channels,
+)
+from .policy import (
+    POLICY_FORMAT,
+    POLICY_VERSION,
+    ExecutionPolicy,
+    policy_for_runner,
+    policy_from_payload,
+    policy_to_payload,
+)
+from .result import (
+    RESULT_FORMAT,
+    RESULT_VERSION,
+    DiagnosisOutcome,
+    Result,
+    SessionResult,
+    SessionStats,
+)
+from .session import Session, legacy_session
+
+__all__ = [
+    "DiagnosisOutcome",
+    "ExecutionPolicy",
+    "POLICY_FORMAT",
+    "POLICY_VERSION",
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "Result",
+    "Session",
+    "SessionResult",
+    "SessionStats",
+    "coverage_channels",
+    "diagnose_channels",
+    "distortion_channels",
+    "dynamic_range_channels",
+    "legacy_session",
+    "policy_for_runner",
+    "policy_from_payload",
+    "policy_to_payload",
+    "scenario_channels",
+    "sweep_channels",
+    "yield_channels",
+]

@@ -6,13 +6,13 @@ scheme's usefulness is quantified, and it exercises the full stack:
 fault -> shifted frequency response -> out-of-mask bounded measurement
 -> fail verdict.
 
-Execution rides the fault-campaign subsystem (:mod:`repro.faults`): the
+Execution routes through the unified session layer (:mod:`repro.api`),
+which rides the fault-campaign subsystem (:mod:`repro.faults`): the
 good device and every faulty one are measured as batch-engine jobs, the
 program's one-off calibration is paid once for the entire catalog, and
-``n_workers > 1`` parallelizes the campaign with results bit-identical
-to the serial run.  The verdicts are then derived from the measured
-signatures with exactly the tri-state interval logic of
-:class:`~repro.bist.program.BISTProgram`.
+parallel or vectorized execution is bit-identical to the serial run.
+The verdicts are then derived from the measured signatures with exactly
+the tri-state interval logic of :class:`~repro.bist.program.BISTProgram`.
 """
 
 from __future__ import annotations
@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from ..core.config import AnalyzerConfig
 from ..dut.active_rc import ActiveRCLowpass
 from ..dut.faults import Fault
-from ..errors import ConfigError
 from .program import BISTProgram, BISTReport, point_verdict
 
 
@@ -63,11 +62,13 @@ class CoverageReport:
         return tuple(t for t in self.trials if t.verdict == "pass")
 
 
-def _signature_report(signature, program: BISTProgram) -> BISTReport:
+def signature_report(signature, program: BISTProgram) -> BISTReport:
     """A campaign signature scored against the program's mask.
 
     Scored at the *program's* frequencies (a program may list one
-    frequency twice; the campaign measures it once).
+    frequency twice; the campaign measures it once).  Public because the
+    session layer (:meth:`repro.api.session.Session.fault_coverage`)
+    derives its verdicts with exactly this scoring.
     """
     by_frequency = {p.frequency: p for p in signature.points}
     points = []
@@ -83,71 +84,31 @@ def fault_coverage(
     faults,
     program: BISTProgram,
     config: AnalyzerConfig | None = None,
-    n_workers: int = 1,
+    n_workers: int | None = None,
     runner=None,
-    backend: str = "reference",
+    backend: str | None = None,
 ) -> CoverageReport:
     """Evaluate a BIST program's coverage of a fault catalog.
 
-    The good device is measured first and must not fail — otherwise the
-    mask is mis-centred, the coverage numbers would be meaningless, and
-    the error is raised before the catalog is paid for.
-    ``n_workers > 1`` fans the campaign out over worker processes;
-    ``backend="vectorized"`` batches the whole catalog as in-process
-    array operations instead (see :mod:`repro.engine.vectorized`).
-    Pass an existing :class:`~repro.engine.runner.BatchRunner` as
-    ``runner`` to share its calibration cache across experiments
-    (``n_workers`` and ``backend`` then defer to the runner's own
-    settings).
+    A thin shim over the unified session layer: the workload lives in
+    :meth:`repro.api.session.Session.fault_coverage` (good device
+    measured first and required to pass, one cached calibration for the
+    whole catalog, bit-identical at any worker count or backend).  The
+    historical ``n_workers=``/``runner=``/``backend=`` kwargs are
+    deprecated — they emit a :class:`DeprecationWarning` and forward to
+    a one-shot session with bit-identical results.  Prefer::
+
+        from repro.api import ExecutionPolicy, Session
+
+        Session(good_dut, policy=ExecutionPolicy(backend="vectorized"))
+            .fault_coverage(faults, program)
     """
-    from ..engine.runner import BatchRunner
-    from ..faults.campaign import FaultCampaign, measure_signature
+    from ..api.session import legacy_session
 
-    faults = list(faults)
-    if not faults:
-        raise ConfigError("fault list is empty")
     config = config if config is not None else AnalyzerConfig.ideal()
-    engine = (
-        runner
-        if runner is not None
-        else BatchRunner(n_workers=n_workers, backend=backend)
+    session = legacy_session(
+        "fault_coverage", n_workers=n_workers, backend=backend, runner=runner
     )
-    frequencies = list(dict.fromkeys(program.frequencies))  # measured once each
-
-    # Fail fast on a mis-centred mask: one job (on the calibration the
-    # campaign will reuse) before the whole catalog is paid for.
-    good_signature = measure_signature(
-        good_dut,
-        frequencies,
-        config=config,
-        m_periods=program.m_periods,
-        runner=engine,
-    )
-    good_report = _signature_report(good_signature, program)
-    if good_report.verdict == "fail":
-        raise ConfigError(
-            "the known-good DUT fails the program; mask and DUT are inconsistent"
-        )
-
-    campaign = FaultCampaign(
-        good_dut,
-        faults,
-        frequencies,
-        config=config,
-        m_periods=program.m_periods,
-    )
-    # The good device is already measured: the campaign adopts its
-    # signature instead of simulating it a second time.
-    dictionary = campaign.run(runner=engine, nominal=good_signature)
-
-    trials = []
-    for fault in faults:
-        report = _signature_report(dictionary.entry(fault.label), program)
-        trials.append(
-            FaultTrial(
-                fault=fault,
-                verdict=report.verdict,
-                detected=report.verdict in ("fail", "ambiguous"),
-            )
-        )
-    return CoverageReport(trials=tuple(trials), good_verdict=good_report.verdict)
+    return session.fault_coverage(
+        faults, program, dut=good_dut, config=config
+    ).raw

@@ -106,6 +106,19 @@ def _truly_good(dut: ActiveRCLowpass, mask: SpecMask, frequencies) -> bool:
     return True
 
 
+def default_yield_config(program: BISTProgram) -> AnalyzerConfig:
+    """The default analyzer configuration for a yield program.
+
+    The program's own window when it is even (the chopped evaluator's
+    requirement), else the historical 40-period fallback.  One rule,
+    shared by :func:`run_yield_analysis` and the CLI ``yield``
+    subcommand, so their numbers can never diverge for odd windows.
+    """
+    return AnalyzerConfig.ideal(
+        m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
+    )
+
+
 def run_yield_analysis(
     nominal: FilterComponents,
     mask: SpecMask,
@@ -115,9 +128,9 @@ def run_yield_analysis(
     seed: int = 0,
     config: AnalyzerConfig | None = None,
     ambiguous_passes: bool = False,
-    n_workers: int = 1,
+    n_workers: int | None = None,
     runner=None,
-    backend: str = "reference",
+    backend: str | None = None,
 ) -> YieldReport:
     """Simulate a production lot through the BIST program.
 
@@ -125,42 +138,39 @@ def run_yield_analysis(
     nominal design (``component_sigma`` relative), runs the go/no-go
     program, and is compared against its *analytic* spec compliance.
 
-    Execution goes through the batch engine: the lot's component values
-    are drawn serially from one seeded RNG (so the lot is a function of
-    ``seed`` alone), the program's one-off calibration is acquired once
-    via the engine's cache instead of once per device, and the device
-    trials are dispatched as independent jobs — ``n_workers > 1``
-    parallelizes them with results bit-identical to the serial run.
-    ``backend="vectorized"`` evaluates the whole lot as one in-process
-    population batch instead (see :mod:`repro.engine.vectorized`) — the
-    single-core throughput path, result-equivalent to the reference
-    backend.
+    This entry point is a thin shim over the unified session layer:
+    execution routes through :meth:`repro.api.session.Session.yield_lot`
+    (one shared calibration cache, deterministic per-job seeding, the
+    engine's backend/parallelism equivalence contract).  The historical
+    ``n_workers=``/``runner=``/``backend=`` kwargs are deprecated — they
+    emit a :class:`DeprecationWarning` and forward to a one-shot session
+    with bit-identical results.  Prefer::
 
-    Pass an existing :class:`~repro.engine.runner.BatchRunner` as
-    ``runner`` to share its calibration cache across lots (``n_workers``
-    and ``backend`` are then ignored in favour of the runner's own
-    settings).
+        from repro.api import ExecutionPolicy, Session
+
+        Session(policy=ExecutionPolicy(n_workers=4)).yield_lot(
+            nominal, mask, program, n_devices=50, config=config
+        )
     """
-    from ..engine.runner import BatchRunner
+    from ..api.session import legacy_session
 
-    config = config if config is not None else AnalyzerConfig.ideal(
-        m_periods=program.m_periods if program.m_periods % 2 == 0 else 40
+    config = config if config is not None else default_yield_config(program)
+    session = legacy_session(
+        "run_yield_analysis",
+        n_workers=n_workers,
+        backend=backend,
+        runner=runner,
     )
-    engine = (
-        runner
-        if runner is not None
-        else BatchRunner(n_workers=n_workers, backend=backend)
-    )
-    trials = engine.run_trials(
+    return session.yield_lot(
         nominal,
         mask,
         program,
         n_devices=n_devices,
         component_sigma=component_sigma,
+        ambiguous_passes=ambiguous_passes,
         seed=seed,
         config=config,
-    )
-    return YieldReport(trials=tuple(trials), ambiguous_passes=ambiguous_passes)
+    ).raw
 
 
 def yield_analysis(
@@ -183,5 +193,4 @@ def yield_analysis(
         seed=seed,
         config=config,
         ambiguous_passes=ambiguous_passes,
-        n_workers=1,
     )

@@ -9,9 +9,9 @@ Nine subcommands mirror the library's main flows::
         Characterize an active-RC low-pass DUT (Fig. 10a/b style).
 
     python -m repro sweep --points 25 --workers 4 [--csv out.csv]
-        The same characterization, batch-executed by the engine:
-        process-parallel sweep points, cached calibration, identical
-        numbers at any worker count.
+        The same characterization with engine statistics printed:
+        parallel sweep points, cached calibration, identical numbers at
+        any worker count.
 
     python -m repro yield --devices 50 --sigma 0.03 --workers 4
         Monte-Carlo yield analysis of a production lot through a
@@ -41,6 +41,16 @@ Nine subcommands mirror the library's main flows::
         compiled onto the engine, with golden-baseline record/check
         regression testing (see :mod:`repro.scenarios`).
 
+Execution is decided in exactly one place: every measurement subcommand
+shares the same ``--workers`` / ``--backend`` / ``--policy policy.json``
+arguments (one argparse parent parser), mapped onto a validated
+:class:`~repro.api.policy.ExecutionPolicy` and executed through one
+:class:`~repro.api.session.Session` per invocation — shared calibration
+cache, one batch runner, identical numbers on either backend at any
+worker count.  A policy file (written by
+``ExecutionPolicy(...).to_json()``) pins the execution strategy next to
+the scenario specs it runs; explicit flags override its fields.
+
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
@@ -53,23 +63,19 @@ import argparse
 import sys
 import time
 
-from .bist.coverage import fault_coverage
+from .api import ExecutionPolicy, Session
 from .bist.limits import SpecMask
-from .bist.montecarlo import run_yield_analysis
+from .bist.montecarlo import default_yield_config
 from .bist.program import BISTProgram
 from .core.analyzer import NetworkAnalyzer
-from .core.bode import BodeResult
 from .core.config import AnalyzerConfig
-from .core.dynamic_range import evaluator_dynamic_range, system_dynamic_range
+from .core.dynamic_range import system_dynamic_range
 from .core.sweep import FrequencySweepPlan
 from .dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
-from .dut.faults import fault_catalog, full_catalog
-from .errors import ConfigError
 from .dut.base import PassthroughDUT
+from .dut.faults import fault_catalog, full_catalog
 from .dut.nonlinear import WienerDUT, polynomial_for_distortion
-from .engine.runner import BatchRunner
-from .faults import diagnose, measure_signature, select_probe_frequencies
-from .faults.campaign import FaultCampaign
+from .errors import ConfigError
 from .generator.design import design_summary
 from .reporting.export import (
     bode_to_csv,
@@ -98,6 +104,66 @@ def _positive_int(text: str) -> int:
     return value
 
 
+# ----------------------------------------------------------------------
+# Execution policy plumbing (shared by every measurement subcommand)
+# ----------------------------------------------------------------------
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """The one definition of the execution arguments.
+
+    Every subcommand that runs measurements inherits exactly these
+    flags, so ``--workers``/``--backend``/``--policy`` parse and
+    validate identically everywhere.  Defaults are ``None`` (not the
+    policy defaults) so explicit flags can be told apart from absent
+    ones: flags override a ``--policy`` file, which overrides the
+    built-in :class:`~repro.api.policy.ExecutionPolicy` defaults (or,
+    for scenarios, the spec's own defaults).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution policy")
+    group.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker processes (results identical at any count)")
+    group.add_argument(
+        "--backend", choices=("reference", "vectorized"), default=None,
+        help="execution backend: 'reference' runs one job per "
+             "measurement (parallelizable with --workers); 'vectorized' "
+             "batches the whole population as in-process array "
+             "operations — the single-core throughput path, "
+             "result-equivalent to the reference backend")
+    group.add_argument(
+        "--policy", type=str, default=None, metavar="POLICY_JSON",
+        help="execution-policy file (ExecutionPolicy(...).to_json()); "
+             "explicit --workers/--backend flags override its fields. "
+             "The scenario subcommands take backend/workers from the "
+             "file but always keep the spec's own seed (a recorded "
+             "baseline replays only under its own seed)")
+    return parent
+
+
+def _policy_from_args(args) -> ExecutionPolicy:
+    """The validated execution policy one invocation runs under."""
+    if getattr(args, "policy", None):
+        policy = ExecutionPolicy.from_json(
+            _read_text(args.policy, what="execution policy")
+        )
+    else:
+        policy = ExecutionPolicy()
+    overrides = {}
+    if getattr(args, "workers", None) is not None:
+        overrides["n_workers"] = args.workers
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return policy.replace(**overrides) if overrides else policy
+
+
+def _session_from_args(args, dut=None, config=None) -> Session:
+    """One session per invocation: the single execution decision point."""
+    return Session(dut=dut, config=config, policy=_policy_from_args(args))
+
+
 def _cmd_design(_args) -> int:
     """Print the derived Table I design summary.
 
@@ -113,20 +179,23 @@ def _cmd_design(_args) -> int:
 
 
 def _cmd_bode(args) -> int:
-    """Serial Bode characterization of an active-RC low-pass DUT.
+    """Bode characterization of an active-RC low-pass DUT.
 
-    Calibrates once at the cutoff, then measures gain and phase with
-    guaranteed error bands at each sweep point (paper Fig. 10a/b).
+    Calibrates once at the cutoff (served from the session's cache),
+    then measures gain and phase with guaranteed error bands at each
+    sweep point (paper Fig. 10a/b).
 
     Usage example::
 
         python -m repro bode --cutoff 1000 --points 11 --csv bode.csv
     """
     dut = ActiveRCLowpass.from_specs(cutoff=args.cutoff, q=args.q)
-    analyzer = NetworkAnalyzer(dut, AnalyzerConfig.ideal(m_periods=args.m_periods))
-    analyzer.calibrate(fwave=args.cutoff)
+    config = AnalyzerConfig.ideal(m_periods=args.m_periods)
     plan = FrequencySweepPlan(args.f_start, args.f_stop, args.points)
-    bode = BodeResult(tuple(analyzer.bode(plan.frequencies())))
+    with _session_from_args(args, dut=dut, config=config) as session:
+        bode = session.bode(
+            plan.frequencies(), calibration_fwave=args.cutoff
+        ).raw
     _print_bode(bode)
     if args.csv:
         write_csv(args.csv, bode_to_csv(bode))
@@ -137,10 +206,10 @@ def _cmd_bode(args) -> int:
 def _cmd_sweep(args) -> int:
     """Engine-batched Bode sweep: the production-throughput path.
 
-    Identical measurement to ``bode`` but executed by the batch engine:
-    the calibration is served from the engine cache and the sweep points
-    run as parallel jobs.  Deterministic per-job seeding makes the
-    numbers bit-identical at any ``--workers`` count.
+    Identical measurement to ``bode`` but with the engine accounting
+    printed: the calibration is served from the session cache and the
+    sweep points run as parallel jobs.  Deterministic per-job seeding
+    makes the numbers bit-identical at any ``--workers`` count.
 
     Usage example::
 
@@ -149,28 +218,29 @@ def _cmd_sweep(args) -> int:
     dut = ActiveRCLowpass.from_specs(cutoff=args.cutoff, q=args.q)
     config = AnalyzerConfig.ideal(m_periods=args.m_periods)
     plan = FrequencySweepPlan(args.f_start, args.f_stop, args.points)
-    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
-    started = time.perf_counter()
-    for _ in range(args.repeat):
-        bode = runner.run_bode(
-            dut, config, plan.frequencies(), calibration_fwave=args.cutoff
+    with _session_from_args(args, dut=dut, config=config) as session:
+        started = time.perf_counter()
+        for _ in range(args.repeat):
+            result = session.bode(
+                plan.frequencies(), calibration_fwave=args.cutoff
+            )
+        elapsed = time.perf_counter() - started
+        bode = result.raw
+        _print_bode(bode)
+        stats = session.runner.last_stats
+        print(
+            f"{args.repeat} sweep(s) x {stats.n_jobs} points on "
+            f"{stats.n_workers} worker(s) ({stats.backend} backend) in "
+            f"{elapsed:.2f} s; calibration cache "
+            f"{session.cache.hits} hit(s) / {session.cache.misses} miss(es)"
         )
-    elapsed = time.perf_counter() - started
-    _print_bode(bode)
-    stats = runner.last_stats
-    print(
-        f"{args.repeat} sweep(s) x {stats.n_jobs} points on "
-        f"{stats.n_workers} worker(s) ({stats.backend} backend) in "
-        f"{elapsed:.2f} s; calibration cache "
-        f"{runner.cache.hits} hit(s) / {runner.cache.misses} miss(es)"
-    )
     if args.csv:
         write_csv(args.csv, bode_to_csv(bode))
         print(f"wrote {args.csv}")
     return 0
 
 
-def _print_bode(bode: BodeResult) -> None:
+def _print_bode(bode) -> None:
     lo, hi = bode.gain_db_bounds()
     print(
         format_series(
@@ -204,30 +274,30 @@ def _cmd_yield(args) -> int:
     frequencies = [args.cutoff * r for r in (0.3, 1.0, 2.0)]
     mask = SpecMask.from_golden(golden, frequencies, tolerance_db=args.tolerance_db)
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
-    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
-    started = time.perf_counter()
-    report = run_yield_analysis(
-        nominal,
-        mask,
-        program,
-        n_devices=args.devices,
-        component_sigma=args.sigma,
-        seed=args.seed,
-        ambiguous_passes=args.ambiguous_passes,
-        runner=runner,
-    )
-    elapsed = time.perf_counter() - started
-    rows = [
-        ["devices", report.n_devices],
-        ["test yield", f"{report.test_yield:.3f}"],
-        ["true yield", f"{report.true_yield:.3f}"],
-        ["escape rate", f"{report.escape_rate:.3f}"],
-        ["overkill rate", f"{report.overkill_rate:.3f}"],
-        ["ambiguous rate", f"{report.ambiguous_rate:.3f}"],
-        ["wall time (s)", f"{elapsed:.2f}"],
-        ["workers", args.workers],
-        ["backend", runner.last_stats.backend],
-    ]
+    config = default_yield_config(program)
+    with _session_from_args(args, config=config) as session:
+        started = time.perf_counter()
+        result = session.yield_lot(
+            nominal,
+            mask,
+            program,
+            n_devices=args.devices,
+            component_sigma=args.sigma,
+            ambiguous_passes=args.ambiguous_passes,
+        )
+        elapsed = time.perf_counter() - started
+        report = result.raw
+        rows = [
+            ["devices", report.n_devices],
+            ["test yield", f"{report.test_yield:.3f}"],
+            ["true yield", f"{report.true_yield:.3f}"],
+            ["escape rate", f"{report.escape_rate:.3f}"],
+            ["overkill rate", f"{report.overkill_rate:.3f}"],
+            ["ambiguous rate", f"{report.ambiguous_rate:.3f}"],
+            ["wall time (s)", f"{elapsed:.2f}"],
+            ["workers", session.policy.n_workers],
+            ["backend", result.stats.backend],
+        ]
     print(ascii_table(["figure", "value"], rows, title="Monte-Carlo yield"))
     return 0
 
@@ -256,12 +326,11 @@ def _cmd_distortion(args) -> int:
         evaluator_opamp=OpAmpModel(noise_rms=50e-6),
         noise_seed=1,
     )
-    runner = BatchRunner(n_workers=args.workers)
-    started = time.perf_counter()
-    reports = runner.run_distortion(
-        dut, config, args.fwave, m_periods=args.m_periods
-    )
-    elapsed = time.perf_counter() - started
+    with _session_from_args(args, dut=dut, config=config) as session:
+        started = time.perf_counter()
+        reports = session.distortion(args.fwave, m_periods=args.m_periods).raw
+        elapsed = time.perf_counter() - started
+        n_workers = session.runner.last_stats.n_workers
     rows = [
         [f"{report.fwave:g}", f"HD{r.harmonic}", r.level_dbc.value,
          r.reference_dbc, r.agreement_db]
@@ -277,7 +346,7 @@ def _cmd_distortion(args) -> int:
         )
     )
     print(
-        f"{len(reports)} experiment(s) on {runner.last_stats.n_workers} "
+        f"{len(reports)} experiment(s) on {n_workers} "
         f"worker(s) in {elapsed:.2f} s"
     )
     if args.csv:
@@ -299,22 +368,24 @@ def _cmd_dynamic_range(args) -> int:
 
         python -m repro dynamic-range --m-periods 200 --workers 4
     """
-    started = time.perf_counter()
-    evaluator = evaluator_dynamic_range(
-        m_periods=args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1,
-        n_workers=args.workers,
-    )
-    analyzer = NetworkAnalyzer(
-        PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)
-    )
-    system = system_dynamic_range(analyzer, args.fwave)
-    elapsed = time.perf_counter() - started
-    rows = [
-        ["evaluator weak-tone range (dB)", evaluator.dynamic_range_db],
-        [f"system residual range @ {args.fwave:g} Hz (dB)", system],
-        ["wall time (s)", f"{elapsed:.2f}"],
-        ["workers", args.workers],
-    ]
+    with _session_from_args(args) as session:
+        started = time.perf_counter()
+        evaluator = session.dynamic_range(
+            m_periods=(
+                args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1
+            ),
+        ).raw
+        analyzer = NetworkAnalyzer(
+            PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)
+        )
+        system = system_dynamic_range(analyzer, args.fwave)
+        elapsed = time.perf_counter() - started
+        rows = [
+            ["evaluator weak-tone range (dB)", evaluator.dynamic_range_db],
+            [f"system residual range @ {args.fwave:g} Hz (dB)", system],
+            ["wall time (s)", f"{elapsed:.2f}"],
+            ["workers", session.policy.n_workers],
+        ]
     print(ascii_table(["figure", "value"], rows, title="Dynamic range"))
     return 0
 
@@ -347,10 +418,16 @@ def _cmd_coverage(args) -> int:
     mask = SpecMask.from_golden(golden, frequencies, tolerance_db=args.tolerance_db)
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
     catalog = _build_catalog(args)
-    started = time.perf_counter()
-    runner = BatchRunner(n_workers=args.workers, backend=args.backend)
-    report = fault_coverage(golden, catalog, program, runner=runner)
-    elapsed = time.perf_counter() - started
+    with _session_from_args(args, dut=golden) as session:
+        started = time.perf_counter()
+        result = session.fault_coverage(catalog, program)
+        elapsed = time.perf_counter() - started
+        report = result.raw
+        summary_tail = [
+            ["wall time (s)", f"{elapsed:.2f}"],
+            ["workers", session.policy.n_workers],
+            ["backend", result.stats.backend],
+        ]
     rows = [[t.fault.label, t.verdict] for t in report.trials]
     print(ascii_table(["fault", "verdict"], rows, title="Fault trials"))
     summary = [
@@ -359,10 +436,7 @@ def _cmd_coverage(args) -> int:
         ["flagged (fail+ambiguous)", f"{report.flagged:.3f}"],
         ["escapes", len(report.escapes)],
         ["good device verdict", report.good_verdict],
-        ["wall time (s)", f"{elapsed:.2f}"],
-        ["workers", args.workers],
-        ["backend", runner.last_stats.backend],
-    ]
+    ] + summary_tail
     print(ascii_table(["figure", "value"], summary, title="Fault coverage"))
     return 0
 
@@ -387,35 +461,19 @@ def _cmd_diagnose(args) -> int:
     plan = FrequencySweepPlan.around(
         args.cutoff, decades=args.decades, n_points=args.points
     )
-    campaign = FaultCampaign(
-        golden, catalog, plan, m_periods=args.m_periods
-    )
-    started = time.perf_counter()
-    runner = BatchRunner(n_workers=args.workers)
-    dictionary = campaign.run(runner=runner)
-    probes = select_probe_frequencies(dictionary, args.probes)
-    production = dictionary.restrict(probes)
-
-    if args.inject == "nominal":
-        device = golden
-    else:
-        by_label = {f.label: f for f in catalog}
-        if args.inject not in by_label:
-            raise ConfigError(
-                f"--inject {args.inject!r} is not in the catalog; "
-                f"choose from {sorted(by_label)} or 'nominal'"
-            )
-        device = by_label[args.inject].apply(golden)
-    signature = measure_signature(
-        device,
-        probes,
-        config=campaign.config,
-        m_periods=args.m_periods,
-        label=args.inject,
-        runner=runner,
-    )
-    result = diagnose(signature, production, top_n=args.top)
-    elapsed = time.perf_counter() - started
+    with _session_from_args(args, dut=golden) as session:
+        started = time.perf_counter()
+        outcome = session.diagnose(
+            catalog=catalog,
+            frequencies=plan,
+            inject=args.inject,
+            n_probes=args.probes,
+            top_n=args.top,
+            m_periods=args.m_periods,
+        ).raw
+        elapsed = time.perf_counter() - started
+        n_workers = session.policy.n_workers
+    result = outcome.diagnosis
 
     rows = [
         [c.label, f"{c.separation:.3f}", f"{c.estimate_distance:.3f}",
@@ -434,14 +492,14 @@ def _cmd_diagnose(args) -> int:
         ["ambiguity group", ", ".join(result.ambiguity_group)],
         ["conclusive", "yes" if result.conclusive else "no"],
         ["correct", "yes" if result.names(args.inject) else "no"],
-        ["dictionary faults", len(dictionary)],
-        ["probe frequencies", ", ".join(f"{f:.0f} Hz" for f in probes)],
+        ["dictionary faults", len(outcome.dictionary)],
+        ["probe frequencies", ", ".join(f"{f:.0f} Hz" for f in outcome.probes)],
         ["wall time (s)", f"{elapsed:.2f}"],
-        ["workers", args.workers],
+        ["workers", n_workers],
     ]
     print(ascii_table(["figure", "value"], summary, title="Diagnosis summary"))
     if args.dictionary:
-        write_json(args.dictionary, production.to_json())
+        write_json(args.dictionary, outcome.production.to_json())
         print(f"wrote {args.dictionary}")
     return 0
 
@@ -454,8 +512,9 @@ def _cmd_scenarios(args) -> int:
     (see :mod:`repro.scenarios`).  ``run`` executes a spec and prints a
     per-step summary; ``record`` writes the golden baseline artifact;
     ``check`` replays a baseline — on any ``--backend``, at any
-    ``--workers`` count — and reports drift by step and field
-    (``--update`` re-records after an intentional change).
+    ``--workers`` count, or under a ``--policy`` file — and reports
+    drift by step and field (``--update`` re-records after an
+    intentional change).
 
     Usage examples::
 
@@ -468,8 +527,7 @@ def _cmd_scenarios(args) -> int:
     from .scenarios import check, record, run_scenario
     from .scenarios.spec import ScenarioSpec
 
-    backend = args.backend
-    workers = args.workers
+    backend, workers = _scenario_overrides(args)
 
     if args.scenarios_command == "check":
         report = check(
@@ -496,12 +554,39 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
-def _read_text(path: str) -> str:
+def _scenario_overrides(args) -> tuple[str | None, int | None]:
+    """Backend/worker overrides for the scenario subcommands.
+
+    ``None`` means "use the spec's own default".  A ``--policy`` file
+    pins only the fields it actually writes down, so a hand-trimmed
+    file (say ``{"n_workers": 2}`` plus the format header) overrides
+    exactly what it names — note that ``ExecutionPolicy(...).to_json()``
+    writes *every* field and therefore pins both.  Explicit flags win
+    over the file.  The file's ``seed`` is deliberately ignored here:
+    a scenario's seed is part of the spec's reproducibility contract
+    (a recorded baseline replays only under its own seed), unlike the
+    other subcommands where ``--policy`` supplies the lot seed.
+    """
+    import json
+
+    backend, workers = args.backend, args.workers
+    if args.policy:
+        text = _read_text(args.policy, what="execution policy")
+        policy = ExecutionPolicy.from_json(text)  # full strict validation
+        present = set(json.loads(text))
+        if backend is None and "backend" in present:
+            backend = policy.backend
+        if workers is None and "n_workers" in present:
+            workers = policy.n_workers
+    return backend, workers
+
+
+def _read_text(path: str, what: str = "scenario spec") -> str:
     try:
         with open(path) as handle:
             return handle.read()
     except OSError as exc:
-        raise ConfigError(f"cannot read scenario spec {path!r}: {exc}") from exc
+        raise ConfigError(f"cannot read {what} {path!r}: {exc}") from exc
 
 
 def _add_sweep_grid(parser: argparse.ArgumentParser) -> None:
@@ -528,24 +613,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="DATE 2008 analog-BIST network analyzer (reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
     sub.add_parser("design", help="print the Table I design summary")
 
-    bode = sub.add_parser("bode", help="Bode characterization of an RC low-pass")
+    bode = sub.add_parser(
+        "bode", help="Bode characterization of an RC low-pass",
+        parents=[execution],
+    )
     _add_sweep_grid(bode)
 
     sweep = sub.add_parser(
-        "sweep", help="engine-batched Bode sweep (parallel workers, cached calibration)"
+        "sweep",
+        help="engine-batched Bode sweep (parallel workers, cached calibration)",
+        parents=[execution],
     )
     _add_sweep_grid(sweep)
-    sweep.add_argument("--workers", type=_positive_int, default=1,
-                       help="worker processes (results identical at any count)")
     sweep.add_argument("--repeat", type=_positive_int, default=1,
                        help="re-run the sweep N times (exercises the calibration cache)")
-    _add_backend(sweep)
 
     yld = sub.add_parser(
-        "yield", help="Monte-Carlo yield analysis through a BIST program"
+        "yield", help="Monte-Carlo yield analysis through a BIST program",
+        parents=[execution],
     )
     yld.add_argument("--cutoff", type=float, default=1000.0,
                      help="nominal DUT cutoff frequency in Hz")
@@ -557,24 +646,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="gain mask half-width around the golden device (dB)")
     yld.add_argument("--m-periods", type=int, default=40,
                      help="evaluation window M per test point")
-    yld.add_argument("--seed", type=int, default=0,
-                     help="lot seed (fixes every component draw)")
-    yld.add_argument("--workers", type=_positive_int, default=1,
-                     help="worker processes (results identical at any count)")
+    yld.add_argument("--seed", type=int, default=None,
+                     help="lot seed (fixes every component draw; "
+                          "default: the policy's seed, 0)")
     yld.add_argument("--ambiguous-passes", action="store_true",
                      help="disposition ambiguous devices as passing")
-    _add_backend(yld)
 
     coverage = sub.add_parser(
-        "coverage", help="fault coverage of a BIST program (engine campaign)"
+        "coverage", help="fault coverage of a BIST program (engine campaign)",
+        parents=[execution],
     )
     _add_fault_catalog(coverage)
     coverage.add_argument("--tolerance-db", type=float, default=2.0,
                           help="gain mask half-width around the golden device (dB)")
-    _add_backend(coverage)
 
     diagnose_cmd = sub.add_parser(
-        "diagnose", help="dictionary-based fault diagnosis of an injected fault"
+        "diagnose", help="dictionary-based fault diagnosis of an injected fault",
+        parents=[execution],
     )
     _add_fault_catalog(diagnose_cmd)
     diagnose_cmd.add_argument("--inject", type=str, default="r2+50%",
@@ -592,7 +680,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also export the production dictionary "
                                    "as JSON to this path")
 
-    distortion = sub.add_parser("distortion", help="HD2/HD3 measurement")
+    distortion = sub.add_parser(
+        "distortion", help="HD2/HD3 measurement", parents=[execution]
+    )
     distortion.add_argument("--cutoff", type=float, default=1000.0)
     distortion.add_argument("--fwave", type=float, nargs="+", default=[1600.0],
                             help="stimulus frequencies (one engine job each)")
@@ -601,14 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
     distortion.add_argument("--hd3", type=float, default=-64.5)
     distortion.add_argument("--m-periods", type=int, default=400)
     distortion.add_argument("--csv", type=str, default=None)
-    distortion.add_argument("--workers", type=_positive_int, default=1,
-                            help="worker processes (results identical at any count)")
 
-    dynamic = sub.add_parser("dynamic-range", help="dynamic range figures")
+    dynamic = sub.add_parser(
+        "dynamic-range", help="dynamic range figures", parents=[execution]
+    )
     dynamic.add_argument("--m-periods", type=int, default=200)
     dynamic.add_argument("--fwave", type=float, default=1000.0)
-    dynamic.add_argument("--workers", type=_positive_int, default=1,
-                         help="worker processes (results identical at any count)")
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -618,51 +706,29 @@ def build_parser() -> argparse.ArgumentParser:
         dest="scenarios_command", required=True
     )
 
-    def _scenario_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=("reference", "vectorized"),
-                       default=None,
-                       help="override the spec's execution backend "
-                            "(results are equivalent either way)")
-        p.add_argument("--workers", type=_positive_int, default=None,
-                       help="override the spec's worker count "
-                            "(results identical at any count)")
-
     run_p = scenarios_sub.add_parser(
-        "run", help="compile and execute a scenario spec"
+        "run", help="compile and execute a scenario spec", parents=[execution]
     )
     run_p.add_argument("spec", help="path to a scenario spec (JSON)")
-    _scenario_common(run_p)
 
     record_p = scenarios_sub.add_parser(
-        "record", help="run a spec and write its golden baseline artifact"
+        "record", help="run a spec and write its golden baseline artifact",
+        parents=[execution],
     )
     record_p.add_argument("spec", help="path to a scenario spec (JSON)")
     record_p.add_argument("--out", default=None,
                           help="baseline path (default: <scenario name>.json)")
-    _scenario_common(record_p)
 
     check_p = scenarios_sub.add_parser(
-        "check", help="replay a recorded baseline and report drift"
+        "check", help="replay a recorded baseline and report drift",
+        parents=[execution],
     )
     check_p.add_argument("baseline", help="path to a recorded baseline (JSON)")
     check_p.add_argument("--update", action="store_true",
                          help="re-record the baseline in place when drift "
                               "is found (after an intentional change)")
-    _scenario_common(check_p)
 
     return parser
-
-
-def _add_backend(parser: argparse.ArgumentParser) -> None:
-    """The engine backend selector shared by the batch subcommands."""
-    parser.add_argument(
-        "--backend", choices=("reference", "vectorized"), default="reference",
-        help="execution backend: 'reference' runs one job per "
-             "measurement (parallelizable with --workers); 'vectorized' "
-             "batches the whole population as in-process array "
-             "operations — the single-core throughput path, "
-             "result-equivalent to the reference backend",
-    )
 
 
 def _add_fault_catalog(parser: argparse.ArgumentParser) -> None:
@@ -675,8 +741,6 @@ def _add_fault_catalog(parser: argparse.ArgumentParser) -> None:
                         help="also include short/open faults for every component")
     parser.add_argument("--m-periods", type=int, default=40,
                         help="evaluation window M per probe point")
-    parser.add_argument("--workers", type=_positive_int, default=1,
-                        help="worker processes (results identical at any count)")
 
 
 _COMMANDS = {

@@ -321,21 +321,25 @@ class NetworkAnalyzer:
         frequencies,
         m_periods: int | None = None,
         calibration: CalibrationResult | None = None,
-        n_workers: int = 1,
-        backend: str = "reference",
+        n_workers: int | None = None,
+        backend: str | None = None,
     ) -> list[GainPhaseMeasurement]:
         """Sweep the master clock over a list of tone frequencies.
 
-        A thin wrapper over the batch engine: each sweep point is an
-        independent job with its own derived noise substream, so
-        ``n_workers > 1`` fans the sweep out over worker processes with
-        results bit-identical to the serial run (and returned in the
-        requested frequency order).  ``backend="vectorized"`` instead
-        evaluates the whole sweep as one in-process population batch
-        (see :mod:`repro.engine.vectorized`) — the single-core
-        throughput path, result-equivalent to the reference backend.
+        A thin shim over the unified session layer
+        (:meth:`repro.api.session.Session.sweep`): each sweep point is
+        an independent job with its own derived noise substream, results
+        bit-identical at any worker count or backend (and returned in
+        the requested frequency order).  The historical
+        ``n_workers=``/``backend=`` kwargs are deprecated — they emit a
+        :class:`DeprecationWarning` and forward to a one-shot session
+        with bit-identical results.  Prefer::
+
+            from repro.api import ExecutionPolicy, Session
+
+            Session(dut, config, ExecutionPolicy(n_workers=4)).bode([...])
         """
-        from ..engine.runner import BatchRunner
+        from ..api.session import legacy_session
 
         frequencies = list(frequencies)
         if not frequencies:
@@ -346,13 +350,16 @@ class NetworkAnalyzer:
                 "no calibration available; run calibrate() first (the paper's "
                 "one-off bypass measurement)"
             )
-        return BatchRunner(n_workers=n_workers, backend=backend).run_sweep(
-            self.dut,
-            self.config,
-            frequencies,
-            m_periods=m_periods,
-            calibration=cal,
+        session = legacy_session(
+            "NetworkAnalyzer.bode",
+            n_workers=n_workers,
+            backend=backend,
+            dut=self.dut,
+            config=self.config,
         )
+        return session.sweep(
+            frequencies, m_periods=m_periods, calibration=cal
+        ).raw
 
     # ------------------------------------------------------------------
     # DC level (the evaluator's k = 0 mode: DUT offset testing)

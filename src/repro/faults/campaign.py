@@ -91,33 +91,46 @@ class FaultCampaign:
 
     def run(
         self,
-        n_workers: int = 1,
+        n_workers: int | None = None,
         runner=None,
         nominal: FaultSignature | None = None,
-        backend: str = "reference",
+        backend: str | None = None,
+        *,
+        session=None,
     ) -> FaultDictionary:
         """Measure the whole catalog (plus the good device) once.
 
-        Pass an existing :class:`~repro.engine.runner.BatchRunner` as
-        ``runner`` to share its calibration cache and worker pool across
-        campaigns (``n_workers`` and ``backend`` are then ignored in
-        favour of the runner's own settings).  ``backend="vectorized"``
-        batches the whole catalog as in-process array operations (see
-        :mod:`repro.engine.vectorized`) — the single-core throughput
-        path.  A ``nominal`` signature already measured on this
-        campaign's probe grid (e.g. the fail-fast good-device check of
+        The campaign executes on a :class:`~repro.api.session.Session`'s
+        resources — pass one as ``session`` to share its calibration
+        cache and worker pool across campaigns (and with every other
+        workload the session runs).  The historical
+        ``n_workers=``/``runner=``/``backend=`` kwargs are deprecated:
+        they emit a :class:`DeprecationWarning` and forward to a
+        one-shot session with bit-identical results.  A ``nominal``
+        signature already measured on this campaign's probe grid (e.g.
+        the fail-fast good-device check of
         :func:`repro.bist.coverage.fault_coverage`) is adopted instead
         of re-simulating the good device; the faulty devices keep the
         seed indices they would have had in the full batch, so the
         dictionary is bit-identical either way.
         """
-        from ..engine.runner import BatchRunner
+        if session is not None:
+            if n_workers is not None or backend is not None or runner is not None:
+                raise ConfigError(
+                    "FaultCampaign.run: pass either session= or the "
+                    "deprecated n_workers=/backend=/runner= kwargs, not "
+                    "both (the session's policy decides execution)"
+                )
+        else:
+            from ..api.session import legacy_session
 
-        engine = (
-            runner
-            if runner is not None
-            else BatchRunner(n_workers=n_workers, backend=backend)
-        )
+            session = legacy_session(
+                "FaultCampaign.run",
+                n_workers=n_workers,
+                backend=backend,
+                runner=runner,
+            )
+        engine = session.runner
         if nominal is None:
             duts = [self.good_dut] + [f.apply(self.good_dut) for f in self.faults]
             results = engine.run_fault_trials(
@@ -156,20 +169,33 @@ def measure_signature(
     m_periods: int | None = None,
     label: str = "measured",
     runner=None,
-    backend: str = "reference",
+    backend: str | None = None,
+    session=None,
 ) -> FaultSignature:
     """Measure one device's signature on the dictionary's probe grid.
 
     This is the *diagnosis-time* acquisition: the device under diagnosis
     goes through exactly the same engine path as the dictionary entries
     (same calibration economy, same per-job seeding scheme), so its
-    signature is directly comparable.
+    signature is directly comparable.  Pass a
+    :class:`~repro.api.session.Session` to reuse its cache and pool;
+    the historical ``runner=``/``backend=`` kwargs are deprecated and
+    forward to a one-shot session with bit-identical results.
     """
-    from ..engine.runner import BatchRunner
+    if session is not None:
+        if runner is not None or backend is not None:
+            raise ConfigError(
+                "measure_signature: pass either session= or the deprecated "
+                "runner=/backend= kwargs, not both (the session's policy "
+                "decides execution)"
+            )
+        engine = session.runner
+    else:
+        from ..api.session import legacy_session
 
-    engine = (
-        runner if runner is not None else BatchRunner(n_workers=1, backend=backend)
-    )
+        engine = legacy_session(
+            "measure_signature", backend=backend, runner=runner
+        ).runner
     config = config if config is not None else AnalyzerConfig.ideal()
     results = engine.run_fault_trials(
         [dut], config, _plan_frequencies(frequencies), m_periods=m_periods

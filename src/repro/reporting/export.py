@@ -323,6 +323,33 @@ def canonical_json(payload) -> str:
 
 
 # ----------------------------------------------------------------------
+# Execution-policy JSON round-trip (see repro.api.policy)
+# ----------------------------------------------------------------------
+
+def policy_to_json(policy) -> str:
+    """Serialize an :class:`~repro.api.policy.ExecutionPolicy` canonically.
+
+    Policies ride next to scenario specs and golden baselines (the CLI's
+    ``--policy policy.json``), so they get the same byte-stable
+    canonical form.
+    """
+    from ..api.policy import policy_to_payload
+
+    return canonical_json(policy_to_payload(policy))
+
+
+def policy_from_json(text: str):
+    """Rebuild a policy serialized by :func:`policy_to_json`."""
+    from ..api.policy import policy_from_payload
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"execution policy is not valid JSON: {exc}") from exc
+    return policy_from_payload(payload)
+
+
+# ----------------------------------------------------------------------
 # Scenario-spec JSON round-trip (see repro.scenarios.spec)
 # ----------------------------------------------------------------------
 

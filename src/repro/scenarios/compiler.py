@@ -1,4 +1,4 @@
-"""The scenario compiler: lower declarative specs onto the batch engine.
+"""The scenario compiler: lower declarative specs onto the session layer.
 
 Compilation and execution are deliberately separate phases:
 
@@ -10,14 +10,20 @@ Compilation and execution are deliberately separate phases:
   sweep collapsing after band clamping) surface before any simulation
   time is spent.
 * :meth:`CompiledScenario.run` executes the compiled steps in order on
-  one shared :class:`~repro.engine.runner.BatchRunner` — every step's
-  workload becomes existing engine jobs (sweep points, device trials,
-  fault trials, distortion experiments, evaluator probes), the whole
-  scenario shares a single :class:`~repro.engine.cache.CalibrationCache`,
-  and ``backend=`` / ``n_workers=`` select the execution strategy
-  without changing the numbers (the engine's equivalence contract).
+  one shared :class:`~repro.api.session.Session` — every step becomes a
+  call on the session's uniform workload surface (``sweep``,
+  ``yield_lot``, ``fault_coverage``, ``distortion``, ``diagnose``,
+  ``dynamic_range``), so the whole scenario shares a single
+  :class:`~repro.engine.cache.CalibrationCache` and one
+  :class:`~repro.engine.runner.BatchRunner`, and ``backend=`` /
+  ``n_workers=`` select the execution strategy without changing the
+  numbers (the engine's equivalence contract).
 
-The result is a canonical :class:`~repro.scenarios.result.ScenarioResult`
+Step results reuse the session layer's channelization
+(:mod:`repro.api.channels`) verbatim, which is what makes a scenario
+replayed through :meth:`repro.api.session.Session.run_scenario`
+byte-identical to one recorded before the session layer existed.  The
+result is a canonical :class:`~repro.scenarios.result.ScenarioResult`
 ready for golden-baseline recording (:mod:`repro.scenarios.baseline`).
 """
 
@@ -26,12 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..bist.coverage import fault_coverage
+from ..api.policy import ExecutionPolicy
+from ..api.session import Session
 from ..bist.limits import SpecMask
-from ..bist.montecarlo import run_yield_analysis
 from ..bist.program import BISTProgram
 from ..core.config import AnalyzerConfig
-from ..core.dynamic_range import evaluator_dynamic_range
 from ..core.sweep import FrequencySweepPlan
 from ..dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
 from ..dut.faults import fault_catalog, full_catalog
@@ -39,7 +44,6 @@ from ..dut.nonlinear import WienerDUT, polynomial_for_distortion
 from ..engine.cache import CalibrationCache
 from ..engine.runner import BatchRunner
 from ..errors import ConfigError
-from ..faults import diagnose, measure_signature, select_probe_frequencies
 from ..faults.campaign import FaultCampaign
 from ..faults.dictionary import NOMINAL_LABEL
 from ..sc.opamp import OpAmpModel
@@ -93,11 +97,11 @@ class CompiledStep:
 
     step: object
     n_jobs: int  # engine jobs this step dispatches (the workload size)
-    execute: Callable[[BatchRunner], StepResult]
+    execute: Callable[[Session], StepResult]
 
 
 class CompiledScenario:
-    """A scenario lowered onto the engine, ready to run."""
+    """A scenario lowered onto the session layer, ready to run."""
 
     def __init__(
         self, spec: ScenarioSpec, config: AnalyzerConfig, steps: tuple[CompiledStep, ...]
@@ -117,29 +121,34 @@ class CompiledScenario:
         n_workers: int | None = None,
         runner: BatchRunner | None = None,
         cache: CalibrationCache | None = None,
+        session: Session | None = None,
     ) -> ScenarioResult:
-        """Execute every step in order on one shared runner.
+        """Execute every step in order on one shared session.
 
         ``backend`` and ``n_workers`` override the spec's defaults; pass
-        an existing ``runner`` to also share its calibration cache and
-        worker pool across scenarios (the overrides are then ignored in
-        favour of the runner's own settings).
+        an existing ``session`` (or legacy ``runner``) to also share its
+        calibration cache and worker pool across scenarios (the
+        overrides are then ignored in favour of the session's own
+        policy).
         """
+        if session is not None:
+            return self._run_on(session)
         if runner is not None:
-            engine = runner
-            return self._run_on(engine)
-        engine = BatchRunner(
-            n_workers=n_workers if n_workers is not None else self.spec.n_workers,
+            return self._run_on(Session(runner=runner))
+        policy = ExecutionPolicy(
             backend=backend if backend is not None else self.spec.backend,
-            cache=cache,
+            n_workers=n_workers if n_workers is not None else self.spec.n_workers,
+            seed=self.spec.seed,
         )
-        with engine:
-            return self._run_on(engine)
+        with Session(policy=policy, cache=cache) as shared:
+            return self._run_on(shared)
 
-    def _run_on(self, engine: BatchRunner) -> ScenarioResult:
-        results = tuple(step.execute(engine) for step in self.steps)
+    def _run_on(self, session: Session) -> ScenarioResult:
+        results = tuple(step.execute(session) for step in self.steps)
         return ScenarioResult(
-            scenario=self.spec.name, backend=engine.backend, steps=results
+            scenario=self.spec.name,
+            backend=session.runner.backend,
+            steps=results,
         )
 
 
@@ -149,10 +158,15 @@ def run_scenario(
     n_workers: int | None = None,
     runner: BatchRunner | None = None,
     cache: CalibrationCache | None = None,
+    session: Session | None = None,
 ) -> ScenarioResult:
     """Compile and execute a scenario in one call."""
     return compile_scenario(spec).run(
-        backend=backend, n_workers=n_workers, runner=runner, cache=cache
+        backend=backend,
+        n_workers=n_workers,
+        runner=runner,
+        cache=cache,
+        session=session,
     )
 
 
@@ -161,7 +175,7 @@ def run_scenario(
 # ----------------------------------------------------------------------
 
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
-    """Lower a spec into engine-ready steps (no simulation runs here)."""
+    """Lower a spec into session-ready steps (no simulation runs here)."""
     config = base_config(spec)
     dut = ActiveRCLowpass.from_specs(cutoff=spec.dut.cutoff, q=spec.dut.q)
     lowered = []
@@ -169,6 +183,11 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         compiler = _STEP_COMPILERS[step.kind]
         lowered.append(compiler(spec, step, dut, config))
     return CompiledScenario(spec, config, tuple(lowered))
+
+
+def _step_result(step, result) -> StepResult:
+    """A session result reshaped as this step's canonical record."""
+    return StepResult(step.kind, step.name, result.exact, result.floats)
 
 
 def _step_config(config: AnalyzerConfig, step) -> tuple[AnalyzerConfig, int]:
@@ -181,30 +200,13 @@ def _compile_sweep(spec, step: SweepStep, dut, config) -> CompiledStep:
     plan = FrequencySweepPlan(step.f_start, step.f_stop, step.n_points)
     frequencies = _floats(plan.frequencies())
 
-    def execute(engine: BatchRunner) -> StepResult:
-        measurements = engine.run_sweep(dut, config, frequencies, m_periods=m)
-        exact = {
-            "signature_counts": [
-                [m_.output.signature.i1, m_.output.signature.i2,
-                 m_.reference.signature.i1, m_.reference.signature.i2]
-                for m_ in measurements
-            ],
-            "overload_counts": [
-                m_.output.signature.overload_count
-                + m_.reference.signature.overload_count
-                for m_ in measurements
-            ],
-        }
-        floats = {
-            "frequency_hz": frequencies,
-            "gain_db": [float(m_.gain_db.value) for m_ in measurements],
-            "gain_db_lower": [float(m_.gain_db.lower) for m_ in measurements],
-            "gain_db_upper": [float(m_.gain_db.upper) for m_ in measurements],
-            "phase_deg": [float(m_.phase_deg.value) for m_ in measurements],
-            "phase_deg_lower": [float(m_.phase_deg.lower) for m_ in measurements],
-            "phase_deg_upper": [float(m_.phase_deg.upper) for m_ in measurements],
-        }
-        return StepResult(step.kind, step.name, exact, floats)
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.sweep(
+                frequencies, m_periods=m, dut=dut, config=config, name=step.name
+            ),
+        )
 
     return CompiledStep(step, n_jobs=step.n_points, execute=execute)
 
@@ -217,34 +219,21 @@ def _compile_yield(spec, step: YieldStep, dut, config) -> CompiledStep:
     mask = SpecMask.from_golden(golden, frequencies, tolerance_db=step.tolerance_db)
     program = BISTProgram(mask, frequencies, m_periods=m)
 
-    def execute(engine: BatchRunner) -> StepResult:
-        report = run_yield_analysis(
-            nominal,
-            mask,
-            program,
-            n_devices=step.n_devices,
-            component_sigma=step.component_sigma,
-            seed=spec.seed,
-            config=config,
-            ambiguous_passes=step.ambiguous_passes,
-            runner=engine,
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.yield_lot(
+                nominal,
+                mask,
+                program,
+                n_devices=step.n_devices,
+                component_sigma=step.component_sigma,
+                ambiguous_passes=step.ambiguous_passes,
+                seed=spec.seed,
+                config=config,
+                name=step.name,
+            ),
         )
-        verdicts = [t.verdict for t in report.trials]
-        exact = {
-            "verdicts": verdicts,
-            "truly_good": [bool(t.truly_good) for t in report.trials],
-            "n_pass": verdicts.count("pass"),
-            "n_fail": verdicts.count("fail"),
-            "n_ambiguous": verdicts.count("ambiguous"),
-        }
-        floats = {
-            "test_yield": float(report.test_yield),
-            "true_yield": float(report.true_yield),
-            "escape_rate": float(report.escape_rate),
-            "overkill_rate": float(report.overkill_rate),
-            "ambiguous_rate": float(report.ambiguous_rate),
-        }
-        return StepResult(step.kind, step.name, exact, floats)
 
     return CompiledStep(step, n_jobs=step.n_devices, execute=execute)
 
@@ -256,19 +245,13 @@ def _compile_coverage(spec, step: CoverageStep, dut, config) -> CompiledStep:
     mask = SpecMask.from_golden(dut, frequencies, tolerance_db=step.tolerance_db)
     program = BISTProgram(mask, frequencies, m_periods=m)
 
-    def execute(engine: BatchRunner) -> StepResult:
-        report = fault_coverage(dut, catalog, program, config=config, runner=engine)
-        exact = {
-            "fault_labels": [t.fault.label for t in report.trials],
-            "verdicts": [t.verdict for t in report.trials],
-            "good_verdict": report.good_verdict,
-            "escapes": [t.fault.label for t in report.escapes],
-        }
-        floats = {
-            "coverage": float(report.coverage),
-            "flagged": float(report.flagged),
-        }
-        return StepResult(step.kind, step.name, exact, floats)
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.fault_coverage(
+                catalog, program, dut=dut, config=config, name=step.name
+            ),
+        )
 
     return CompiledStep(step, n_jobs=len(catalog) + 1, execute=execute)
 
@@ -283,22 +266,18 @@ def _compile_distortion(spec, step: DistortionStep, dut, config) -> CompiledStep
         dut, polynomial_for_distortion(level, step.hd2_dbc, step.hd3_dbc)
     )
 
-    def execute(engine: BatchRunner) -> StepResult:
-        reports = engine.run_distortion(
-            wiener, config, step.fwaves, harmonics=step.harmonics, m_periods=m
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.distortion(
+                step.fwaves,
+                harmonics=step.harmonics,
+                m_periods=m,
+                dut=wiener,
+                config=config,
+                name=step.name,
+            ),
         )
-        rows = [(report, row) for report in reports for row in report.rows]
-        exact = {
-            "harmonics": [row.harmonic for _, row in rows],
-        }
-        floats = {
-            "fwave_hz": [float(report.fwave) for report, _ in rows],
-            "level_dbc": [float(row.level_dbc.value) for _, row in rows],
-            "level_dbc_lower": [float(row.level_dbc.lower) for _, row in rows],
-            "level_dbc_upper": [float(row.level_dbc.upper) for _, row in rows],
-            "reference_dbc": [float(row.reference_dbc) for _, row in rows],
-        }
-        return StepResult(step.kind, step.name, exact, floats)
 
     return CompiledStep(step, n_jobs=len(step.fwaves), execute=execute)
 
@@ -325,35 +304,18 @@ def _compile_diagnose(spec, step: DiagnoseStep, dut, config) -> CompiledStep:
         dut if step.inject == NOMINAL_LABEL else by_label[step.inject].apply(dut)
     )
 
-    def execute(engine: BatchRunner) -> StepResult:
-        dictionary = campaign.run(runner=engine)
-        probes = select_probe_frequencies(dictionary, step.n_probes)
-        production = dictionary.restrict(probes)
-        signature = measure_signature(
-            device,
-            probes,
-            config=config,
-            m_periods=m,
-            label=step.inject,
-            runner=engine,
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.diagnose(
+                campaign=campaign,
+                device=device,
+                inject=step.inject,
+                n_probes=step.n_probes,
+                top_n=step.top_n,
+                name=step.name,
+            ),
         )
-        result = diagnose(signature, production, top_n=step.top_n)
-        exact = {
-            "best": result.best.label,
-            "candidates": [c.label for c in result.candidates],
-            "consistent": [bool(c.consistent) for c in result.candidates],
-            "ambiguity_group": list(result.ambiguity_group),
-            "conclusive": bool(result.conclusive),
-            "correct": bool(result.names(step.inject)),
-        }
-        floats = {
-            "probe_frequencies_hz": _floats(probes),
-            "separations": [float(c.separation) for c in result.candidates],
-            "estimate_distances": [
-                float(c.estimate_distance) for c in result.candidates
-            ],
-        }
-        return StepResult(step.kind, step.name, exact, floats)
 
     return CompiledStep(step, n_jobs=len(catalog) + 2, execute=execute)
 
@@ -361,25 +323,17 @@ def _compile_diagnose(spec, step: DiagnoseStep, dut, config) -> CompiledStep:
 def _compile_dynamic_range(spec, step: DynamicRangeStep, dut, config) -> CompiledStep:
     config, m = _step_config(config, step)
 
-    def execute(engine: BatchRunner) -> StepResult:
-        result = evaluator_dynamic_range(
-            m_periods=m,
-            levels_dbc=step.levels_dbc,
-            threshold_db=step.threshold_db,
-            harmonic=step.harmonic,
-            runner=engine,
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.dynamic_range(
+                m_periods=m,
+                levels_dbc=step.levels_dbc,
+                threshold_db=step.threshold_db,
+                harmonic=step.harmonic,
+                name=step.name,
+            ),
         )
-        exact = {
-            "detected": [bool(p.detected) for p in result.probes],
-        }
-        floats = {
-            "levels_dbc": [float(p.level_dbc) for p in result.probes],
-            "measured_amplitudes": [
-                float(p.measured_amplitude) for p in result.probes
-            ],
-            "dynamic_range_db": float(result.dynamic_range_db),
-        }
-        return StepResult(step.kind, step.name, exact, floats)
 
     return CompiledStep(step, n_jobs=len(step.levels_dbc), execute=execute)
 

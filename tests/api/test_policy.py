@@ -1,0 +1,122 @@
+"""ExecutionPolicy: validated once, canonical-JSON round-trippable."""
+
+import pytest
+
+from repro.api import (
+    ExecutionPolicy,
+    policy_for_runner,
+    policy_from_payload,
+    policy_to_payload,
+)
+from repro.engine import BatchRunner, CalibrationCache
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_serial_reference(self):
+        policy = ExecutionPolicy()
+        assert policy.backend == "reference"
+        assert policy.n_workers == 1
+        assert policy.seed == 0
+        assert policy.cache_max_entries == 128
+
+    @pytest.mark.parametrize("backend", ["gpu", "", "Reference", None])
+    def test_unknown_backend_rejected(self, backend):
+        with pytest.raises(ConfigError, match="backend"):
+            ExecutionPolicy(backend=backend)
+
+    @pytest.mark.parametrize("n_workers", [0, -1, 1.5, "4", True])
+    def test_bad_workers_rejected(self, n_workers):
+        with pytest.raises(ConfigError, match="n_workers"):
+            ExecutionPolicy(n_workers=n_workers)
+
+    @pytest.mark.parametrize("seed", [-1, 0.5, "7", False])
+    def test_bad_seed_rejected(self, seed):
+        with pytest.raises(ConfigError, match="seed"):
+            ExecutionPolicy(seed=seed)
+
+    @pytest.mark.parametrize("bound", [0, -5, 2.0, True])
+    def test_bad_cache_bound_rejected(self, bound):
+        with pytest.raises(ConfigError, match="cache_max_entries"):
+            ExecutionPolicy(cache_max_entries=bound)
+
+    def test_replace_revalidates(self):
+        policy = ExecutionPolicy()
+        assert policy.replace(n_workers=4).n_workers == 4
+        with pytest.raises(ConfigError, match="n_workers"):
+            policy.replace(n_workers=0)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_identity(self):
+        policy = ExecutionPolicy(
+            backend="vectorized", n_workers=3, seed=11, cache_max_entries=16
+        )
+        assert ExecutionPolicy.from_json(policy.to_json()) == policy
+
+    def test_json_is_canonical_and_stable(self):
+        policy = ExecutionPolicy()
+        text = policy.to_json()
+        assert text == ExecutionPolicy.from_json(text).to_json()
+        assert text.endswith("\n")
+        # sorted keys: backend before n_workers before seed
+        assert text.index('"backend"') < text.index('"n_workers"')
+
+    def test_payload_format_tagged(self):
+        payload = policy_to_payload(ExecutionPolicy())
+        assert payload["format"] == "repro-execution-policy"
+        assert payload["version"] == 1
+
+    def test_unknown_field_rejected(self):
+        payload = policy_to_payload(ExecutionPolicy())
+        payload["turbo"] = True
+        with pytest.raises(ConfigError, match="turbo"):
+            policy_from_payload(payload)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigError, match="not an execution policy"):
+            policy_from_payload({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        payload = policy_to_payload(ExecutionPolicy())
+        payload["version"] = 99
+        with pytest.raises(ConfigError, match="version"):
+            policy_from_payload(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            ExecutionPolicy.from_json("{nope")
+
+    def test_invalid_values_rejected_through_payload(self):
+        payload = policy_to_payload(ExecutionPolicy())
+        payload["n_workers"] = 0
+        with pytest.raises(ConfigError, match="n_workers"):
+            policy_from_payload(payload)
+
+
+class TestDerivedResources:
+    def test_build_cache_honours_bound(self):
+        cache = ExecutionPolicy(cache_max_entries=7).build_cache()
+        assert isinstance(cache, CalibrationCache)
+        assert cache.max_entries == 7
+
+    def test_build_runner_matches_policy(self):
+        policy = ExecutionPolicy(backend="vectorized", n_workers=2)
+        runner = policy.build_runner()
+        assert runner.backend == "vectorized"
+        assert runner.n_workers == 2
+        assert runner.cache.max_entries == policy.cache_max_entries
+
+    def test_build_runner_adopts_cache(self):
+        cache = CalibrationCache(max_entries=3)
+        runner = ExecutionPolicy().build_runner(cache=cache)
+        assert runner.cache is cache
+
+    def test_policy_for_runner_reflects_reality(self):
+        runner = BatchRunner(
+            n_workers=2, backend="vectorized", cache=CalibrationCache(max_entries=9)
+        )
+        policy = policy_for_runner(runner, seed=5)
+        assert policy == ExecutionPolicy(
+            backend="vectorized", n_workers=2, seed=5, cache_max_entries=9
+        )

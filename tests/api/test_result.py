@@ -1,0 +1,134 @@
+"""The uniform Result protocol: channels, stats, JSON/CSV export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.api import (
+    ExecutionPolicy,
+    Result,
+    Session,
+    SessionResult,
+    SessionStats,
+)
+from repro.errors import ConfigError
+
+
+def _result(exact=None, floats=None) -> SessionResult:
+    return SessionResult(
+        workload="sweep",
+        name="demo",
+        exact=exact if exact is not None else {"counts": [1, 2]},
+        floats=floats if floats is not None else {"gain_db": [0.5, -3.0]},
+        policy=ExecutionPolicy(),
+        stats=SessionStats(
+            backend="reference", n_workers=1, cache_hits=1, cache_misses=1
+        ),
+        raw=object(),
+    )
+
+
+class TestProtocol:
+    def test_session_result_conforms(self):
+        assert isinstance(_result(), Result)
+
+    def test_every_session_workload_returns_a_result(self, paper_dut):
+        from repro.core.config import AnalyzerConfig
+
+        with Session(paper_dut, AnalyzerConfig.ideal(m_periods=10)) as session:
+            result = session.sweep([1000.0])
+        assert isinstance(result, Result)
+        assert result.workload == "sweep"
+        assert result.stats.cache_misses == 1  # one fresh calibration
+
+    def test_needs_workload_and_name(self):
+        with pytest.raises(ConfigError, match="workload"):
+            SessionResult(
+                workload="", name="x", exact={}, floats={},
+                policy=ExecutionPolicy(),
+                stats=SessionStats("reference", 1, 0, 0),
+            )
+        with pytest.raises(ConfigError, match="name"):
+            SessionResult(
+                workload="sweep", name="", exact={}, floats={},
+                policy=ExecutionPolicy(),
+                stats=SessionStats("reference", 1, 0, 0),
+            )
+
+
+class TestJsonExport:
+    def test_payload_carries_policy_stats_and_channels(self):
+        payload = _result().to_payload()
+        assert payload["format"] == "repro-api-result"
+        assert payload["policy"]["format"] == "repro-execution-policy"
+        assert payload["stats"]["cache_hits"] == 1
+        assert payload["exact"] == {"counts": [1, 2]}
+
+    def test_to_json_is_canonical(self):
+        text = _result().to_json()
+        assert text.endswith("\n")
+        assert json.loads(text)["workload"] == "sweep"
+        # Canonical: same payload, same bytes.
+        assert text == _result().to_json()
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(ConfigError, match="non-finite"):
+            _result(floats={"gain_db": [float("nan")]}).to_json()
+
+
+class TestCsvExport:
+    def _rows(self, result):
+        return list(csv.reader(io.StringIO(result.to_csv())))
+
+    def test_long_format_header_and_rows(self):
+        rows = self._rows(_result())
+        assert rows[0] == ["channel", "field", "index", "value"]
+        assert ["exact", "counts", "0", "1"] in rows
+        assert ["floats", "gain_db", "1", "-3.0"] in rows
+
+    def test_nested_dicts_flatten_with_dotted_fields(self):
+        result = _result(exact={"step_a": {"verdicts": ["pass", "fail"]}})
+        rows = self._rows(result)
+        assert ["exact", "step_a.verdicts", "0", "pass"] in rows
+        assert ["exact", "step_a.verdicts", "1", "fail"] in rows
+
+    def test_nested_lists_flatten_with_dotted_indices(self):
+        result = _result(exact={"signature_counts": [[3, 4], [5, 6]]})
+        rows = self._rows(result)
+        assert ["exact", "signature_counts", "0.1", "4"] in rows
+        assert ["exact", "signature_counts", "1.0", "5"] in rows
+
+    def test_scalar_fields_have_empty_index(self):
+        rows = self._rows(_result(floats={"test_yield": 0.9}))
+        assert ["floats", "test_yield", "", "0.9"] in rows
+
+    def test_same_schema_for_every_workload(self, paper_dut):
+        from repro.core.config import AnalyzerConfig
+
+        with Session(paper_dut, AnalyzerConfig.ideal(m_periods=10)) as session:
+            sweep = session.sweep([1000.0])
+            dr = session.dynamic_range(m_periods=10, levels_dbc=(-30.0,))
+        for result in (sweep, dr):
+            assert self._rows(result)[0] == ["channel", "field", "index", "value"]
+
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = SessionStats("reference", 2, cache_hits=3, cache_misses=1)
+        assert stats.cache_hit_rate == 0.75
+        assert SessionStats("reference", 1, 0, 0).cache_hit_rate == 0.0
+
+    def test_cache_stats_accumulate_across_one_workload(self, paper_dut):
+        from repro.core.config import AnalyzerConfig
+
+        config = AnalyzerConfig.ideal(m_periods=10)
+        with Session(paper_dut, config) as session:
+            first = session.sweep([500.0, 1000.0], calibration_fwave=500.0)
+            second = session.sweep([500.0, 1000.0], calibration_fwave=500.0)
+        assert first.stats.cache_misses == 1
+        assert first.stats.cache_hits == 0
+        # The session's shared cache serves the second sweep entirely.
+        assert second.stats.cache_misses == 0
+        assert second.stats.cache_hits == 1

@@ -1,0 +1,190 @@
+"""The Session facade: one policy, one cache, one runner, every workload."""
+
+import pytest
+
+from repro.api import DiagnosisOutcome, ExecutionPolicy, Session
+from repro.core.config import AnalyzerConfig
+from repro.engine import BatchRunner, CalibrationCache
+from repro.errors import ConfigError
+
+CONFIG = AnalyzerConfig.ideal(m_periods=10)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        session = Session()
+        assert session.policy == ExecutionPolicy()
+        assert session.runner.backend == "reference"
+        assert session.runner.cache is session.cache
+        assert session.config == AnalyzerConfig.ideal()
+
+    def test_policy_shapes_runner_and_cache(self):
+        policy = ExecutionPolicy(
+            backend="vectorized", n_workers=2, cache_max_entries=5
+        )
+        session = Session(policy=policy)
+        assert session.runner.backend == "vectorized"
+        assert session.runner.n_workers == 2
+        assert session.cache.max_entries == 5
+
+    def test_adopting_a_runner_reflects_its_policy(self):
+        runner = BatchRunner(n_workers=2, backend="vectorized")
+        session = Session(runner=runner)
+        assert session.runner is runner
+        assert session.cache is runner.cache
+        assert session.policy.backend == "vectorized"
+        assert session.policy.n_workers == 2
+
+    def test_runner_plus_cache_rejected(self):
+        runner = BatchRunner()
+        with pytest.raises(ConfigError, match="runner= or cache="):
+            Session(runner=runner, cache=CalibrationCache())
+
+    def test_explicit_cache_is_adopted(self):
+        cache = CalibrationCache(max_entries=4)
+        session = Session(cache=cache)
+        assert session.cache is cache
+        assert session.runner.cache is cache
+        # The recorded policy describes the cache actually in use.
+        assert session.policy.cache_max_entries == 4
+
+    def test_context_manager(self, paper_dut):
+        with Session(paper_dut, CONFIG) as session:
+            session.sweep([1000.0])
+        # close() is idempotent and safe after exit.
+        session.close()
+
+    def test_dut_required_for_dut_bound_workloads(self):
+        with pytest.raises(ConfigError, match="needs a DUT"):
+            Session().sweep([1000.0])
+
+
+class TestSharedCalibrationEconomy:
+    def test_one_cache_spans_every_workload(self, paper_dut):
+        """The tentpole invariant: one calibration acquisition serves
+        sweeps and fault campaigns alike within one session."""
+        from repro.bist.limits import SpecMask
+        from repro.bist.program import BISTProgram
+        from repro.dut.faults import fault_catalog
+
+        frequencies = [300.0, 1000.0, 2000.0]
+        mask = SpecMask.from_golden(paper_dut, frequencies, tolerance_db=2.0)
+        program = BISTProgram(mask, frequencies, m_periods=10)
+        with Session(paper_dut, CONFIG) as session:
+            session.sweep(frequencies, m_periods=10)
+            assert session.cache.misses == 1
+            session.fault_coverage(fault_catalog([-0.5, 0.5]), program)
+            # Same config, same window, same first frequency: every
+            # subsequent workload hits the session's one calibration.
+            assert session.cache.misses == 1
+            assert session.cache.hits >= 2
+
+    def test_per_call_dut_and_config_overrides(self, paper_dut):
+        from repro.dut.active_rc import ActiveRCLowpass
+
+        other = ActiveRCLowpass.from_specs(cutoff=2000.0)
+        with Session(paper_dut, CONFIG) as session:
+            a = session.sweep([1000.0])
+            b = session.sweep([1000.0], dut=other)
+            c = session.sweep(
+                [1000.0], config=AnalyzerConfig.ideal(m_periods=12)
+            )
+        assert a.floats["gain_db"] != b.floats["gain_db"]
+        assert a.exact["signature_counts"] != c.exact["signature_counts"]
+
+
+class TestWorkloadSurface:
+    def test_bode_sorts_and_wraps(self, paper_dut):
+        with Session(paper_dut, CONFIG) as session:
+            result = session.bode([2000.0, 500.0])
+        assert result.workload == "bode"
+        assert result.floats["frequency_hz"] == [500.0, 2000.0]
+        assert list(result.raw.frequencies()) == [500.0, 2000.0]
+
+    def test_sweep_preserves_caller_order(self, paper_dut):
+        with Session(paper_dut, CONFIG) as session:
+            result = session.sweep([2000.0, 500.0])
+        assert result.floats["frequency_hz"] == [2000.0, 500.0]
+
+    def test_diagnose_outcome_payload(self, paper_dut):
+        from repro.dut.faults import fault_catalog
+
+        with Session(paper_dut, CONFIG) as session:
+            result = session.diagnose(
+                catalog=fault_catalog([-0.5, 0.5]),
+                frequencies=[500.0, 1000.0, 2000.0],
+                inject="r2+50%",
+                n_probes=2,
+                m_periods=10,
+            )
+        outcome = result.raw
+        assert isinstance(outcome, DiagnosisOutcome)
+        assert len(outcome.probes) == 2
+        assert outcome.diagnosis.best.label == result.exact["best"]
+        assert len(outcome.production.frequencies) == 2
+
+    def test_diagnose_unknown_inject_rejected(self, paper_dut):
+        from repro.dut.faults import fault_catalog
+
+        with Session(paper_dut, CONFIG) as session:
+            with pytest.raises(ConfigError, match="not in the catalog"):
+                session.diagnose(
+                    catalog=fault_catalog([-0.5, 0.5]),
+                    frequencies=[500.0, 1000.0],
+                    inject="r99+400%",
+                    m_periods=10,
+                )
+
+    def test_diagnose_needs_campaign_or_catalog(self):
+        with pytest.raises(ConfigError, match="catalog"):
+            Session().diagnose()
+
+    def test_dynamic_range_needs_no_dut(self):
+        result = Session().dynamic_range(m_periods=10, levels_dbc=(-30.0,))
+        assert result.exact["detected"] == [True]
+        assert result.stats.backend == "reference"
+
+    def test_yield_lot_uses_policy_seed_by_default(self):
+        from repro.bist.limits import SpecMask
+        from repro.bist.program import BISTProgram
+        from repro.dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+
+        nominal = design_mfb_lowpass(1000.0)
+        golden = ActiveRCLowpass(nominal)
+        frequencies = [300.0, 1000.0]
+        mask = SpecMask.from_golden(golden, frequencies, tolerance_db=2.0)
+        program = BISTProgram(mask, frequencies, m_periods=10)
+
+        def lot(policy, **kwargs):
+            with Session(config=CONFIG, policy=policy) as session:
+                return session.yield_lot(
+                    nominal, mask, program, n_devices=4,
+                    component_sigma=0.05, **kwargs
+                ).exact
+
+        seeded = lot(ExecutionPolicy(seed=9))
+        explicit = lot(ExecutionPolicy(), seed=9)
+        assert seeded == explicit
+        # The policy's default seed (0) and an explicit 0 are one lot.
+        assert lot(ExecutionPolicy()) == lot(ExecutionPolicy(seed=0))
+
+
+class TestScenarioDispatch:
+    def test_session_policy_overrides_spec_defaults(self):
+        from repro.scenarios import ScenarioSpec, SweepStep
+        from repro.scenarios.spec import AnalyzerSettings
+
+        spec = ScenarioSpec(
+            name="mini",
+            seed=1,
+            analyzer=AnalyzerSettings(m_periods=10),
+            steps=(SweepStep(name="s", f_start=500.0, f_stop=2000.0,
+                             n_points=2),),
+            backend="reference",
+        )
+        with Session(policy=ExecutionPolicy(backend="vectorized")) as session:
+            result = session.run_scenario(spec)
+        assert result.workload == "scenario"
+        assert result.raw.backend == "vectorized"
+        assert result.exact == {"s": result.raw.steps[0].exact}
+        assert result.floats == {"s": result.raw.steps[0].floats}

@@ -1,0 +1,104 @@
+"""Session-level equivalence against the committed golden baselines.
+
+Every example scenario replayed through ``Session.run_scenario`` must
+reproduce the recorded golden artifact:
+
+* on the **reference** backend (serial and ``n_workers=2``) the full
+  re-serialized artifact is byte-for-byte identical to the committed
+  file;
+* on the **vectorized** backend the *exact* channel (integer signature
+  counts, verdicts, labels) is byte-for-byte identical, while the float
+  channel agrees within the tolerance *recorded in the artifact* (the
+  engine's documented cross-backend contract: exact integers, ulp-level
+  floats) — and vectorized serial vs vectorized parallel is again fully
+  byte-identical.
+
+This pins the whole Session dispatch path (policy -> runner -> compiler
+-> engine) to the pre-session-layer recordings: the api layer may route
+the work, it may not change a single measured byte.
+"""
+
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.api import ExecutionPolicy, Session
+from repro.reporting.export import baseline_to_json, canonical_json
+from repro.scenarios import baseline
+from repro.scenarios.result import diff
+from repro.scenarios.spec import ScenarioSpec
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SPECS_DIR = ROOT / "examples" / "scenarios"
+BASELINES_DIR = ROOT / "tests" / "baselines" / "scenarios"
+SPECS = sorted(SPECS_DIR.glob("*.json"))
+
+
+def spec_params():
+    return [pytest.param(path, id=path.stem) for path in SPECS]
+
+
+def _replay(path: pathlib.Path, backend: str, n_workers: int):
+    spec = ScenarioSpec.from_json(path.read_text())
+    committed = BASELINES_DIR / path.name
+    recorded = baseline.load(committed)
+    with Session(
+        policy=ExecutionPolicy(backend=backend, n_workers=n_workers)
+    ) as session:
+        result = session.run_scenario(spec)
+    return spec, committed, recorded, result.raw
+
+
+def _artifact(spec, recorded, replayed) -> str:
+    """The replay re-serialized under the recording's metadata.
+
+    ``backend`` and the tolerance fields are artifact *metadata* (a
+    baseline is explicitly valid for every execution strategy); pinning
+    them to the recorded values makes the byte comparison about the
+    measured channels alone.
+    """
+    normalized = replace(
+        replayed,
+        backend=recorded.result.backend,
+        rel_tol=recorded.result.rel_tol,
+        abs_tol=recorded.result.abs_tol,
+    )
+    return baseline_to_json(spec, normalized)
+
+
+def test_every_example_spec_is_covered():
+    assert len(SPECS) >= 5, "example scenario specs went missing"
+    missing = {p.stem for p in SPECS} - {p.stem for p in BASELINES_DIR.glob("*.json")}
+    assert not missing, f"specs without committed baselines: {missing}"
+
+
+@pytest.mark.parametrize("n_workers", [1, 2], ids=["serial", "workers2"])
+@pytest.mark.parametrize("path", spec_params())
+def test_reference_replay_is_byte_identical(path, n_workers):
+    spec, committed, recorded, replayed = _replay(path, "reference", n_workers)
+    assert _artifact(spec, recorded, replayed) == committed.read_text()
+
+
+@pytest.mark.parametrize("path", spec_params())
+def test_vectorized_replay_exact_channel_is_byte_identical(path):
+    spec, committed, recorded, replayed = _replay(path, "vectorized", 1)
+    exact_recorded = canonical_json(
+        {step.name: step.exact for step in recorded.result.steps}
+    )
+    exact_replayed = canonical_json(
+        {step.name: step.exact for step in replayed.steps}
+    )
+    assert exact_replayed == exact_recorded
+    # Floats: within the tolerance the artifact records.
+    report = diff(recorded.result, replayed)
+    assert report.ok, report.report()
+
+
+@pytest.mark.parametrize("path", spec_params())
+def test_vectorized_serial_vs_parallel_is_byte_identical(path):
+    spec, _, recorded, serial = _replay(path, "vectorized", 1)
+    _, _, _, parallel = _replay(path, "vectorized", 2)
+    assert _artifact(spec, recorded, serial) == _artifact(
+        spec, recorded, parallel
+    )

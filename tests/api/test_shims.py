@@ -1,0 +1,216 @@
+"""Deprecation shims: old entry points warn and stay bit-identical.
+
+The historical ``n_workers=``/``backend=``/``runner=`` kwargs on
+``NetworkAnalyzer.bode``, ``bist.run_yield_analysis``,
+``bist.coverage.fault_coverage`` and ``FaultCampaign.run`` are shims
+over the unified session layer.  Two contracts are pinned here:
+
+* passing any of the legacy execution kwargs emits a
+  ``DeprecationWarning`` (calls without them stay silent);
+* the shim path and the explicit ``Session`` path produce bit-identical
+  results — integer signature counts *and* float intervals — on both
+  execution backends.
+
+A noisy evaluator configuration is used throughout so the per-job
+seeding scheme (the part that could silently diverge between paths) is
+actually exercised.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import ExecutionPolicy, Session
+from repro.bist.coverage import fault_coverage
+from repro.bist.limits import SpecMask
+from repro.bist.montecarlo import run_yield_analysis
+from repro.bist.program import BISTProgram
+from repro.core.analyzer import NetworkAnalyzer
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass, design_mfb_lowpass
+from repro.dut.faults import fault_catalog
+from repro.faults.campaign import FaultCampaign
+from repro.reporting.export import dictionary_to_json
+from repro.sc.opamp import OpAmpModel
+
+BACKENDS = ("reference", "vectorized")
+
+#: Noisy evaluator, fixed seed: deterministic but seeding-sensitive.
+NOISY = AnalyzerConfig.ideal(
+    m_periods=20,
+    evaluator_opamp=OpAmpModel(noise_rms=100e-6),
+    noise_seed=7,
+)
+
+
+@pytest.fixture
+def golden():
+    return ActiveRCLowpass.from_specs(cutoff=1000.0)
+
+
+def _assert_no_deprecation(recorded):
+    messages = [w for w in recorded if issubclass(w.category, DeprecationWarning)]
+    assert not messages, [str(w.message) for w in messages]
+
+
+def _policy(backend: str) -> ExecutionPolicy:
+    return ExecutionPolicy(backend=backend)
+
+
+class TestBodeShim:
+    def _measure_old(self, golden, backend):
+        analyzer = NetworkAnalyzer(golden, NOISY)
+        cal = analyzer.calibrate(fwave=1000.0)
+        with pytest.warns(DeprecationWarning, match="NetworkAnalyzer.bode"):
+            points = analyzer.bode([500.0, 2000.0, 1000.0], backend=backend)
+        return cal, points
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_old_vs_session(self, golden, backend):
+        cal, old = self._measure_old(golden, backend)
+        with Session(golden, NOISY, _policy(backend)) as session:
+            new = session.sweep(
+                [500.0, 2000.0, 1000.0], calibration=cal
+            ).raw
+        assert old == new  # full dataclass equality: counts and intervals
+
+    def test_default_call_does_not_warn(self, golden):
+        analyzer = NetworkAnalyzer(golden, NOISY)
+        analyzer.calibrate(fwave=1000.0)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            analyzer.bode([1000.0])
+        _assert_no_deprecation(recorded)
+
+    def test_n_workers_kwarg_warns(self, golden):
+        analyzer = NetworkAnalyzer(golden, NOISY)
+        analyzer.calibrate(fwave=1000.0)
+        with pytest.warns(DeprecationWarning, match="n_workers"):
+            analyzer.bode([1000.0], n_workers=1)
+
+
+class TestYieldShim:
+    def _program(self):
+        nominal = design_mfb_lowpass(1000.0)
+        golden = ActiveRCLowpass(nominal)
+        frequencies = [300.0, 1000.0, 2000.0]
+        mask = SpecMask.from_golden(golden, frequencies, tolerance_db=2.0)
+        return nominal, mask, BISTProgram(mask, frequencies, m_periods=20)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_old_vs_session(self, backend):
+        nominal, mask, program = self._program()
+        with pytest.warns(DeprecationWarning, match="run_yield_analysis"):
+            old = run_yield_analysis(
+                nominal, mask, program,
+                n_devices=5, component_sigma=0.05, seed=3, config=NOISY,
+                backend=backend,
+            )
+        with Session(config=NOISY, policy=_policy(backend)) as session:
+            new = session.yield_lot(
+                nominal, mask, program,
+                n_devices=5, component_sigma=0.05, seed=3,
+            ).raw
+        assert old == new
+
+    def test_default_call_does_not_warn(self):
+        nominal, mask, program = self._program()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            run_yield_analysis(
+                nominal, mask, program, n_devices=2, config=NOISY
+            )
+        _assert_no_deprecation(recorded)
+
+    def test_runner_kwarg_warns_and_shares_cache(self):
+        from repro.engine import BatchRunner
+
+        nominal, mask, program = self._program()
+        runner = BatchRunner()
+        with pytest.warns(DeprecationWarning, match="runner"):
+            run_yield_analysis(
+                nominal, mask, program, n_devices=2, config=NOISY,
+                runner=runner,
+            )
+        assert runner.cache.misses == 1  # the shim adopted the runner
+
+
+class TestCoverageShim:
+    def _program(self, golden):
+        frequencies = [300.0, 1000.0, 2000.0]
+        mask = SpecMask.from_golden(golden, frequencies, tolerance_db=2.0)
+        return BISTProgram(mask, frequencies, m_periods=20)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_old_vs_session(self, golden, backend):
+        program = self._program(golden)
+        catalog = fault_catalog([-0.5, 0.5])
+        with pytest.warns(DeprecationWarning, match="fault_coverage"):
+            old = fault_coverage(
+                golden, catalog, program, config=NOISY, backend=backend
+            )
+        with Session(golden, NOISY, _policy(backend)) as session:
+            new = session.fault_coverage(catalog, program).raw
+        assert old == new
+
+    def test_default_call_does_not_warn(self, golden):
+        program = self._program(golden)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            fault_coverage(
+                golden, fault_catalog([-0.5]), program, config=NOISY
+            )
+        _assert_no_deprecation(recorded)
+
+
+class TestCampaignShim:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_old_vs_session(self, golden, backend):
+        campaign = FaultCampaign(
+            golden, fault_catalog([-0.5, 0.5]), [500.0, 1000.0, 2000.0],
+            config=NOISY, m_periods=20,
+        )
+        with pytest.warns(DeprecationWarning, match="FaultCampaign.run"):
+            old = campaign.run(backend=backend)
+        with Session(policy=_policy(backend)) as session:
+            new = campaign.run(session=session)
+        # Serialized form pins every interval byte of every signature.
+        assert dictionary_to_json(old) == dictionary_to_json(new)
+
+    def test_default_call_does_not_warn(self, golden):
+        campaign = FaultCampaign(
+            golden, fault_catalog([-0.5]), [1000.0], config=NOISY,
+            m_periods=20,
+        )
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            campaign.run()
+        _assert_no_deprecation(recorded)
+
+    def test_session_plus_legacy_kwargs_rejected(self, golden):
+        from repro.errors import ConfigError
+        from repro.faults.campaign import measure_signature
+
+        campaign = FaultCampaign(
+            golden, fault_catalog([-0.5]), [1000.0], config=NOISY,
+            m_periods=20,
+        )
+        with Session() as session:
+            with pytest.raises(ConfigError, match="not.*both"):
+                campaign.run(session=session, backend="vectorized")
+            with pytest.raises(ConfigError, match="not.*both"):
+                measure_signature(
+                    golden, [1000.0], config=NOISY, m_periods=20,
+                    session=session, runner=session.runner,
+                )
+
+    def test_session_path_does_not_warn(self, golden):
+        campaign = FaultCampaign(
+            golden, fault_catalog([-0.5]), [1000.0], config=NOISY,
+            m_periods=20,
+        )
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            with Session() as session:
+                campaign.run(session=session)
+        _assert_no_deprecation(recorded)

@@ -1,0 +1,76 @@
+"""Public-API surface snapshot: exports change on purpose or not at all.
+
+``tests/baselines/api_surface.json`` records ``repro.__all__`` and the
+``repro.api`` surface.  Accidental drift — a refactor silently dropping
+an export, an internal helper leaking into the public surface — fails
+here with the exact symbol names.  An *intentional* surface change is a
+one-liner: re-record the snapshot with::
+
+    PYTHONPATH=src python -c "import tests.api.test_surface_snapshot as t; t.record()"
+
+and commit the diff (which then documents the change for review).
+"""
+
+import json
+import pathlib
+
+import repro
+import repro.api
+
+SNAPSHOT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "baselines"
+    / "api_surface.json"
+)
+SURFACE_FORMAT = "repro-api-surface"
+SURFACE_VERSION = 1
+
+
+def current_payload() -> dict:
+    return {
+        "format": SURFACE_FORMAT,
+        "version": SURFACE_VERSION,
+        "repro": sorted(repro.__all__),
+        "repro.api": sorted(repro.api.__all__),
+    }
+
+
+def record() -> None:
+    """Re-record the snapshot (run after an intentional surface change)."""
+    from repro.reporting.export import canonical_json
+
+    SNAPSHOT.write_text(canonical_json(current_payload()))
+
+
+def test_snapshot_is_committed():
+    assert SNAPSHOT.exists(), "the API-surface snapshot went missing"
+
+
+def test_surface_matches_snapshot():
+    recorded = json.loads(SNAPSHOT.read_text())
+    assert recorded.get("format") == SURFACE_FORMAT
+    current = current_payload()
+    for module in ("repro", "repro.api"):
+        added = sorted(set(current[module]) - set(recorded[module]))
+        removed = sorted(set(recorded[module]) - set(current[module]))
+        assert not added and not removed, (
+            f"{module} public surface drifted: added {added}, removed "
+            f"{removed}.  If intentional, re-record the snapshot (see "
+            f"module docstring) and commit the diff."
+        )
+
+
+def test_snapshot_is_canonical():
+    from repro.reporting.export import canonical_json
+
+    recorded = json.loads(SNAPSHOT.read_text())
+    assert canonical_json(recorded) == SNAPSHOT.read_text()
+
+
+def test_all_names_resolve():
+    for module, names in (
+        (repro, json.loads(SNAPSHOT.read_text())["repro"]),
+        (repro.api, json.loads(SNAPSHOT.read_text())["repro.api"]),
+    ):
+        for name in names:
+            assert hasattr(module, name), name

@@ -11,6 +11,14 @@ from repro.engine.cache import CalibrationCache, acquire_calibration
 from repro.errors import ConfigError
 
 
+
+# These suites deliberately exercise the historical n_workers=/backend=/
+# runner= entry points, now deprecation shims over repro.api.Session (the
+# warning itself is asserted in tests/api/test_shims.py); filter the
+# expected DeprecationWarning so legacy-path coverage stays clean even
+# under -W error.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 @pytest.fixture
 def cache():
     return CalibrationCache()

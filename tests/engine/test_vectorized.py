@@ -23,6 +23,14 @@ from repro.errors import ConfigError
 from repro.faults.campaign import FaultCampaign
 from repro.sc.opamp import OpAmpModel
 
+
+# These suites deliberately exercise the historical n_workers=/backend=/
+# runner= entry points, now deprecation shims over repro.api.Session (the
+# warning itself is asserted in tests/api/test_shims.py); filter the
+# expected DeprecationWarning so legacy-path coverage stays clean even
+# under -W error.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 TIGHT = dict(rel=1e-12, abs=1e-15)
 
 GOLDEN = ActiveRCLowpass.from_specs(cutoff=1000.0)

@@ -22,6 +22,16 @@ class TestTopLevelExports:
         ):
             assert hasattr(repro, name), name
 
+    def test_session_layer_exported(self):
+        for name in (
+            "Session",
+            "ExecutionPolicy",
+            "Result",
+            "SessionResult",
+            "SessionStats",
+        ):
+            assert hasattr(repro, name), name
+
     def test_error_hierarchy_exported(self):
         for name in (
             "ReproError",
@@ -80,6 +90,21 @@ class TestSubpackageExports:
 
         for name in ("BISTProgram", "SpecMask", "fault_coverage", "yield_analysis"):
             assert hasattr(bist, name), name
+
+    def test_api_names(self):
+        from repro import api
+
+        for name in (
+            "Session",
+            "ExecutionPolicy",
+            "Result",
+            "SessionResult",
+            "DiagnosisOutcome",
+            "legacy_session",
+            "policy_to_payload",
+            "sweep_channels",
+        ):
+            assert hasattr(api, name), name
 
     def test_testbench_names(self):
         from repro import testbench
