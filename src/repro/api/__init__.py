@@ -13,7 +13,8 @@ that replaces all of them:
   canonical JSON;
 * :class:`~repro.api.session.Session` — one DUT + analyzer config + one
   shared calibration cache + one batch runner, exposing ``bode``,
-  ``sweep``, ``yield_lot``, ``fault_coverage``, ``diagnose``,
+  ``sweep``, ``yield_lot``, ``fault_coverage``,
+  ``pseudorandom_coverage``, ``signature_check``, ``diagnose``,
   ``distortion``, ``dynamic_range`` and ``run_scenario`` as a uniform
   method surface;
 * :class:`~repro.api.result.Result` /
@@ -34,7 +35,9 @@ from .channels import (
     diagnose_channels,
     distortion_channels,
     dynamic_range_channels,
+    prbist_coverage_channels,
     scenario_channels,
+    signature_check_channels,
     sweep_channels,
     yield_channels,
 )
@@ -75,7 +78,9 @@ __all__ = [
     "policy_for_runner",
     "policy_from_payload",
     "policy_to_payload",
+    "prbist_coverage_channels",
     "scenario_channels",
+    "signature_check_channels",
     "sweep_channels",
     "yield_channels",
 ]

@@ -134,6 +134,49 @@ def dynamic_range_channels(result) -> tuple[dict, dict]:
     return exact, floats
 
 
+def prbist_coverage_channels(report) -> tuple[dict, dict]:
+    """Channels of a :class:`~repro.prbist.campaign.PrbistCoverageReport`."""
+    exact = {
+        "fault_labels": [t.label for t in report.trials],
+        "responding": [bool(t.responding) for t in report.trials],
+        "detected": [bool(t.detected) for t in report.trials],
+        "aliased": [bool(t.aliased) for t in report.trials],
+        "signatures": [int(t.signature) for t in report.trials],
+        "escapes": list(report.escapes),
+        "golden_signature": int(report.golden_signature),
+        "golden_words": [int(w) for w in report.golden_words],
+        "misr_width": int(report.misr.width),
+        "lfsr_width": int(report.plan.lfsr.width),
+        "lfsr_form": report.plan.lfsr.form,
+    }
+    floats = {
+        "frequency_hz": [float(f) for f in report.frequencies],
+        "coverage": float(report.coverage),
+        "response_rate": float(report.response_rate),
+        "aliasing_rate": float(report.aliasing_rate),
+    }
+    return exact, floats
+
+
+def signature_check_channels(report) -> tuple[dict, dict]:
+    """Channels of a :class:`~repro.prbist.campaign.SignatureCheckReport`."""
+    exact = {
+        "inject": report.inject,
+        "match": bool(report.match),
+        "responding": bool(report.responding),
+        "aliased": bool(report.aliased),
+        "golden_signature": int(report.golden_signature),
+        "measured_signature": int(report.measured_signature),
+        "golden_words": [int(w) for w in report.golden_words],
+        "measured_words": [int(w) for w in report.measured_words],
+        "misr_width": int(report.misr.width),
+    }
+    floats = {
+        "frequency_hz": [float(f) for f in report.frequencies],
+    }
+    return exact, floats
+
+
 def scenario_channels(result) -> tuple[dict, dict]:
     """Channels of a :class:`~repro.scenarios.result.ScenarioResult`.
 

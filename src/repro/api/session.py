@@ -351,6 +351,145 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # Pseudorandom BIST
+    # ------------------------------------------------------------------
+    def pseudorandom_coverage(
+        self,
+        faults,
+        plan,
+        misr=None,
+        dut=None,
+        config: AnalyzerConfig | None = None,
+        m_periods: int | None = None,
+        name: str = "pseudorandom",
+    ) -> SessionResult:
+        """A pseudorandom-stimulus fault campaign with MISR compaction;
+        ``raw`` is a :class:`~repro.prbist.campaign.PrbistCoverageReport`.
+
+        The golden device is measured first (job index 0, on the
+        calibration the whole campaign reuses), then every catalog
+        fault; each device's quantized response words fold into an
+        n-bit MISR signature compared exactly against golden.  The
+        per-fault verdicts and signatures live on the exact channel —
+        bit-identical across backends and worker counts.
+        """
+        from ..prbist.campaign import (
+            PrbistCoverageReport,
+            PrbistFaultTrial,
+            PseudorandomPlan,
+        )
+        from ..prbist.misr import MISRConfig
+
+        if not isinstance(plan, PseudorandomPlan):
+            raise ConfigError(
+                f"pseudorandom_coverage: plan must be a PseudorandomPlan, "
+                f"got {plan!r}"
+            )
+        if misr is None:
+            misr = MISRConfig()
+        faults = list(faults)
+        if not faults:
+            raise ConfigError("fault list is empty")
+        good_dut = self._dut(dut)
+        config = self._config(config)
+        counters = self._counters()
+        frequencies = plan.frequencies()
+        duts = [good_dut] + [fault.apply(good_dut) for fault in faults]
+        trials = self.runner.run_pseudorandom_trials(
+            duts,
+            config,
+            frequencies,
+            misr,
+            m_periods=m_periods,
+        )
+        golden = trials[0]
+        fault_trials = tuple(
+            PrbistFaultTrial(
+                label=fault.label,
+                responding=trial.words != golden.words,
+                detected=trial.signature != golden.signature,
+                signature=trial.signature,
+            )
+            for fault, trial in zip(faults, trials[1:])
+        )
+        report = PrbistCoverageReport(
+            plan=plan,
+            misr=misr,
+            frequencies=frequencies,
+            golden_words=golden.words,
+            golden_signature=golden.signature,
+            trials=fault_trials,
+        )
+        return self._result(
+            "pseudorandom",
+            name,
+            channels.prbist_coverage_channels(report),
+            report,
+            counters,
+        )
+
+    def signature_check(
+        self,
+        device=None,
+        plan=None,
+        misr=None,
+        inject: str = "nominal",
+        dut=None,
+        config: AnalyzerConfig | None = None,
+        m_periods: int | None = None,
+        name: str = "signature_check",
+    ) -> SessionResult:
+        """One device's go/no-go MISR signature comparison; ``raw`` is a
+        :class:`~repro.prbist.campaign.SignatureCheckReport`.
+
+        The golden device and the device under check are measured as one
+        two-job batch (golden first), and their signatures compared
+        exactly.  ``device`` defaults to the golden DUT itself — the
+        all-pass sanity check; ``inject`` is a label recorded in the
+        report (the scenario compiler passes the catalog fault it
+        applied).
+        """
+        from ..prbist.campaign import PseudorandomPlan, SignatureCheckReport
+        from ..prbist.misr import MISRConfig
+
+        if not isinstance(plan, PseudorandomPlan):
+            raise ConfigError(
+                f"signature_check: plan must be a PseudorandomPlan, "
+                f"got {plan!r}"
+            )
+        if misr is None:
+            misr = MISRConfig()
+        good_dut = self._dut(dut)
+        if device is None:
+            device = good_dut
+        config = self._config(config)
+        counters = self._counters()
+        frequencies = plan.frequencies()
+        golden, measured = self.runner.run_pseudorandom_trials(
+            [good_dut, device],
+            config,
+            frequencies,
+            misr,
+            m_periods=m_periods,
+        )
+        report = SignatureCheckReport(
+            inject=inject,
+            misr=misr,
+            frequencies=frequencies,
+            golden_words=golden.words,
+            golden_signature=golden.signature,
+            measured_words=measured.words,
+            measured_signature=measured.signature,
+        )
+        return self._result(
+            "signature_check",
+            name,
+            channels.signature_check_channels(report),
+            report,
+            counters,
+        )
+
+    # ------------------------------------------------------------------
     # Harmonic distortion
     # ------------------------------------------------------------------
     def distortion(

@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Nine subcommands mirror the library's main flows::
+Ten subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -20,6 +20,11 @@ Nine subcommands mirror the library's main flows::
     python -m repro coverage --catastrophic --workers 4
         Fault coverage of a go/no-go program over a fault catalog,
         batch-executed as an engine fault campaign.
+
+    python -m repro prbist --lfsr-width 10 --patterns 6 --catastrophic
+        Pseudorandom BIST: LFSR-placed stimulus tones, each device's
+        quantized response folded into an n-bit MISR signature and
+        compared exactly against golden (coverage, aliasing, escapes).
 
     python -m repro diagnose --inject r2+50% --probes 3 --workers 4
         Build a fault dictionary, select the most discriminating probe
@@ -54,7 +59,7 @@ the scenario specs it runs; explicit flags override its fields.
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all nine.
+through all ten.
 """
 
 from __future__ import annotations
@@ -441,6 +446,71 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_prbist(args) -> int:
+    """Pseudorandom BIST over a fault catalog with MISR compaction.
+
+    An LFSR on a tabulated primitive polynomial draws ``--patterns``
+    pseudorandom words, each selecting an in-band stimulus tone; every
+    catalog device's quantized response folds into an n-bit MISR
+    signature compared exactly against golden.  One cached calibration
+    serves the whole campaign; signatures are bit-identical on either
+    backend at any worker count.
+
+    Usage example::
+
+        python -m repro prbist --lfsr-width 10 --patterns 6 --catastrophic
+        python -m repro prbist --form galois --misr-width 8 --workers 4
+    """
+    from .prbist import LFSRConfig, MISRConfig, PseudorandomPlan, derive_lfsr_seed
+
+    golden = ActiveRCLowpass.from_specs(cutoff=args.cutoff)
+    catalog = _build_catalog(args)
+    config = AnalyzerConfig.ideal(m_periods=args.m_periods)
+    with _session_from_args(args, dut=golden, config=config) as session:
+        plan = PseudorandomPlan(
+            LFSRConfig(
+                width=args.lfsr_width,
+                form=args.form,
+                seed=derive_lfsr_seed(session.policy.seed, args.lfsr_width),
+            ),
+            n_patterns=args.patterns,
+        )
+        started = time.perf_counter()
+        result = session.pseudorandom_coverage(
+            catalog, plan, misr=MISRConfig(width=args.misr_width)
+        )
+        elapsed = time.perf_counter() - started
+        report = result.raw
+        summary_tail = [
+            ["wall time (s)", f"{elapsed:.2f}"],
+            ["workers", session.policy.n_workers],
+            ["backend", result.stats.backend],
+        ]
+    rows = [
+        [t.label, f"0x{t.signature:0{(report.misr.width + 3) // 4}x}",
+         "yes" if t.responding else "no",
+         "aliased" if t.aliased else ("detected" if t.detected else "escape")]
+        for t in report.trials
+    ]
+    print(ascii_table(["fault", "signature", "responding", "verdict"], rows,
+                      title="Pseudorandom fault trials"))
+    summary = [
+        ["faults", len(report.trials)],
+        ["patterns (tones)", len(report.frequencies)],
+        ["LFSR", f"{plan.lfsr.width}-bit {plan.lfsr.form}"],
+        ["golden signature",
+         f"0x{report.golden_signature:0{(report.misr.width + 3) // 4}x}"],
+        ["coverage", f"{report.coverage:.3f}"],
+        ["response rate", f"{report.response_rate:.3f}"],
+        ["aliasing rate", f"{report.aliasing_rate:.4f}"],
+        ["aliasing bound (2^-n)", f"{report.aliasing_bound:.2e}"],
+        ["escapes", len(report.escapes)],
+    ] + summary_tail
+    print(ascii_table(["figure", "value"], summary,
+                      title="Pseudorandom BIST coverage"))
+    return 0
+
+
 def _cmd_diagnose(args) -> int:
     """Dictionary-based fault diagnosis of an injected fault.
 
@@ -508,7 +578,8 @@ def _cmd_scenarios(args) -> int:
     """Declarative scenarios: run, record and check whole test programs.
 
     A scenario is a JSON spec of typed steps (sweep, yield, coverage,
-    distortion, diagnose, dynamic_range) compiled onto the batch engine
+    distortion, diagnose, dynamic_range, pseudorandom, signature_check)
+    compiled onto the batch engine
     (see :mod:`repro.scenarios`).  ``run`` executes a spec and prints a
     per-step summary; ``record`` writes the golden baseline artifact;
     ``check`` replays a baseline — on any ``--backend``, at any
@@ -660,6 +731,27 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--tolerance-db", type=float, default=2.0,
                           help="gain mask half-width around the golden device (dB)")
 
+    prbist = sub.add_parser(
+        "prbist",
+        help="pseudorandom BIST: LFSR stimulus + MISR signature coverage",
+        parents=[execution],
+    )
+    _add_fault_catalog(prbist)
+    prbist.add_argument("--lfsr-width", type=int, default=10,
+                        help="LFSR register width in bits (tabulated "
+                             "primitive polynomials: 2..16)")
+    prbist.add_argument("--form", choices=("fibonacci", "galois"),
+                        default="fibonacci",
+                        help="LFSR feedback structure (same m-sequence)")
+    prbist.add_argument("--patterns", type=_positive_int, default=6,
+                        help="pseudorandom patterns (stimulus tones) to draw")
+    prbist.add_argument("--misr-width", type=int, default=16,
+                        help="MISR signature width in bits (aliasing "
+                             "probability is bounded by 2^-width)")
+    prbist.add_argument("--seed", type=int, default=None,
+                        help="campaign seed (fixes the LFSR start state; "
+                             "default: the policy's seed, 0)")
+
     diagnose_cmd = sub.add_parser(
         "diagnose", help="dictionary-based fault diagnosis of an injected fault",
         parents=[execution],
@@ -749,6 +841,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "yield": _cmd_yield,
     "coverage": _cmd_coverage,
+    "prbist": _cmd_prbist,
     "diagnose": _cmd_diagnose,
     "distortion": _cmd_distortion,
     "dynamic-range": _cmd_dynamic_range,

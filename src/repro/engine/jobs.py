@@ -82,6 +82,45 @@ def execute_fault_trial(job: FaultTrialJob) -> tuple[GainPhaseMeasurement, ...]:
 
 
 @dataclass(frozen=True)
+class PseudorandomTrialJob:
+    """One pseudorandom-BIST trial: measure a (possibly faulty) DUT at
+    its plan's pseudorandom tone placements and compact the quantized
+    response into a MISR signature.
+
+    Like :class:`FaultTrialJob`, the whole multi-frequency response is
+    one job: the MISR folds words in acquisition order, so keeping the
+    stream inside a single job is what makes the signature independent
+    of how the campaign is scheduled.  Compaction happens *in the
+    worker* — pure integer arithmetic on the measurement's counted
+    signatures, deterministic by construction.
+    """
+
+    index: int
+    dut: DUT
+    frequencies: tuple[float, ...]
+    m_periods: int | None
+    config: AnalyzerConfig
+    calibration: CalibrationResult
+    misr: object  # a repro.prbist.misr.MISRConfig (kept lazy here)
+
+
+def execute_pseudorandom_trial(job: PseudorandomTrialJob):
+    """Measure and compact one device's response (worker-process entry)."""
+    from ..prbist.misr import PrbistTrial, misr_compact, response_words
+
+    config = config_for_job(job.config, "prbist", job.index)
+    analyzer = NetworkAnalyzer(job.dut, config)
+    measurements = tuple(
+        analyzer.measure_gain_phase(
+            f, m_periods=job.m_periods, calibration=job.calibration
+        )
+        for f in job.frequencies
+    )
+    words = response_words(measurements, job.misr.width)
+    return PrbistTrial(words=words, signature=misr_compact(words, job.misr))
+
+
+@dataclass(frozen=True)
 class DistortionJob:
     """One full harmonic-distortion experiment at one stimulus frequency."""
 

@@ -50,10 +50,12 @@ from .jobs import (
     DeviceTrialJob,
     DistortionJob,
     FaultTrialJob,
+    PseudorandomTrialJob,
     SweepPointJob,
     execute_device_trial,
     execute_distortion,
     execute_fault_trial,
+    execute_pseudorandom_trial,
     execute_sweep_point,
 )
 
@@ -348,6 +350,91 @@ class BatchRunner:
             for i, dut in enumerate(duts)
         ]
         results = self.map_jobs(execute_fault_trial, jobs)
+        self._record(len(jobs), hits0, misses0)
+        return results
+
+    # ------------------------------------------------------------------
+    # Pseudorandom-BIST campaigns
+    # ------------------------------------------------------------------
+    def run_pseudorandom_trials(
+        self,
+        duts,
+        config: AnalyzerConfig,
+        frequencies,
+        misr,
+        m_periods: int | None = None,
+        calibration_fwave: float | None = None,
+        start_index: int = 0,
+    ) -> list:
+        """Measure and MISR-compact each DUT's pseudorandom response.
+
+        The pseudorandom-BIST workload: one (possibly faulty) device per
+        job, measured at every pseudorandom tone placement, its counted
+        sigma-delta signature integers folded into a ``misr``-configured
+        signature register inside the job (see
+        :func:`repro.engine.jobs.execute_pseudorandom_trial`).  Returns
+        one :class:`~repro.prbist.misr.PrbistTrial` per device, in
+        device order.  Calibration is stimulus-side and fault-
+        independent, so the whole campaign shares one cached
+        acquisition; on the vectorized backend the measurements batch
+        exactly like a fault campaign (with the ``"prbist"`` seed
+        stream) and compaction runs inline on the returned integers —
+        bit-identical signatures either way.
+        """
+        from ..prbist.misr import MISRConfig, PrbistTrial, misr_compact, response_words
+
+        if not isinstance(misr, MISRConfig):
+            raise ConfigError(
+                f"run_pseudorandom_trials: misr must be a MISRConfig, "
+                f"got {misr!r}"
+            )
+        frequencies = tuple(float(f) for f in frequencies)
+        if not frequencies:
+            raise ConfigError("frequency list is empty")
+        duts = list(duts)
+        if not duts:
+            raise ConfigError("DUT list is empty")
+        if start_index < 0:
+            raise ConfigError(f"start_index must be >= 0, got {start_index}")
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        fcal = (
+            calibration_fwave if calibration_fwave is not None else frequencies[0]
+        )
+        calibration = self.calibration_for(config, fcal, m_periods)
+        if self._vectorize(config):
+            from .vectorized import run_fault_trials_vectorized
+
+            measured = run_fault_trials_vectorized(
+                duts,
+                config,
+                frequencies,
+                m_periods,
+                calibration,
+                start_index=start_index,
+                stream="prbist",
+            )
+            results = []
+            for measurements in measured:
+                words = response_words(measurements, misr.width)
+                results.append(
+                    PrbistTrial(words=words, signature=misr_compact(words, misr))
+                )
+            self._last_effective_workers = 1
+            self._record(len(duts), hits0, misses0, backend="vectorized")
+            return results
+        jobs = [
+            PseudorandomTrialJob(
+                index=start_index + i,
+                dut=dut,
+                frequencies=frequencies,
+                m_periods=m_periods,
+                config=config,
+                calibration=calibration,
+                misr=misr,
+            )
+            for i, dut in enumerate(duts)
+        ]
+        results = self.map_jobs(execute_pseudorandom_trial, jobs)
         self._record(len(jobs), hits0, misses0)
         return results
 

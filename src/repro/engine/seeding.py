@@ -29,6 +29,7 @@ STREAMS = {
     "trial": 2,
     "fault": 3,
     "distortion": 4,
+    "prbist": 5,
 }
 
 

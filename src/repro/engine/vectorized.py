@@ -607,13 +607,19 @@ def run_fault_trials_vectorized(
     m_periods: int | None,
     calibration: CalibrationResult,
     start_index: int = 0,
+    stream: str = "fault",
 ) -> list[tuple[GainPhaseMeasurement, ...]]:
-    """A fault campaign batched per probe frequency (devices are the axis)."""
+    """A fault campaign batched per probe frequency (devices are the axis).
+
+    ``stream`` names the per-job seed substream; pseudorandom-BIST
+    campaigns pass ``"prbist"`` so each device consumes exactly the
+    substream its reference-backend job would.
+    """
     measurer = PopulationMeasurer(config, m_periods, calibration)
     duts = list(duts)
     measurer.reserve(duts, frequencies)
     rngs = [
-        _job_rng(config, "fault", start_index + i) for i in range(len(duts))
+        _job_rng(config, stream, start_index + i) for i in range(len(duts))
     ]
     per_frequency = [
         measurer.measure(

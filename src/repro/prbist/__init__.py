@@ -1,0 +1,88 @@
+"""Pseudorandom-stimulus BIST: LFSR pattern generation + MISR compaction.
+
+The paper's analyzer measures with swept-sine stimuli; the classic
+digital-BIST alternative applies *pseudorandom* patterns and compacts
+the response into a short signature register (Ahmad's MISR study,
+arXiv 1102.0884, grounds the structure and the aliasing analysis).  This
+package carries that workload family over to the analog analyzer:
+
+* :mod:`~repro.prbist.lfsr` — a configurable linear-feedback shift
+  register (Fibonacci and Galois forms, primitive-polynomial tap table
+  for widths 2..16, seed-deterministic), with a bitwise reference
+  implementation and a vectorized chunked-recurrence implementation on
+  the engine's backend seam;
+* :mod:`~repro.prbist.misr` — a multiple-input signature register that
+  folds the evaluator's integer sigma-delta signature counts into an
+  n-bit signature, plus a vectorized Monte-Carlo aliasing measurement
+  against the theoretical ``2^-n`` bound;
+* :mod:`~repro.prbist.campaign` — the campaign vocabulary: a
+  :class:`~repro.prbist.campaign.PseudorandomPlan` mapping LFSR words
+  onto in-band stimulus frequencies, per-fault trial records, coverage
+  and signature-check reports, and the hybrid (pseudorandom ∪
+  swept-sine) coverage combinator.
+
+End-to-end exposure lives in the existing layers: engine jobs
+(:class:`~repro.engine.jobs.PseudorandomTrialJob`), scenario steps
+(``pseudorandom`` / ``signature_check``), the session surface
+(:meth:`~repro.api.session.Session.pseudorandom_coverage`) and the CLI
+(``python -m repro prbist``).  See DESIGN.md ("the pseudorandom BIST
+path") and EXPERIMENTS.md for the head-to-head coverage figures.
+"""
+
+from .campaign import (
+    HybridCoverage,
+    PrbistCoverageReport,
+    PrbistFaultTrial,
+    PseudorandomPlan,
+    SignatureCheckReport,
+    derive_lfsr_seed,
+    hybrid_coverage,
+)
+from .lfsr import (
+    LFSR_FORMS,
+    PRIMITIVE_POLYNOMIALS,
+    LFSRConfig,
+    lfsr_bits,
+    lfsr_bits_reference,
+    lfsr_bits_vectorized,
+    lfsr_period,
+    lfsr_words,
+)
+from .misr import (
+    DEFAULT_MISR_WIDTH,
+    AliasingMeasurement,
+    MISRConfig,
+    PrbistTrial,
+    aliasing_bound,
+    measure_aliasing,
+    misr_compact,
+    misr_compact_array,
+    response_words,
+)
+
+__all__ = [
+    "AliasingMeasurement",
+    "DEFAULT_MISR_WIDTH",
+    "HybridCoverage",
+    "LFSR_FORMS",
+    "LFSRConfig",
+    "MISRConfig",
+    "PRIMITIVE_POLYNOMIALS",
+    "PrbistCoverageReport",
+    "PrbistFaultTrial",
+    "PrbistTrial",
+    "PseudorandomPlan",
+    "SignatureCheckReport",
+    "aliasing_bound",
+    "derive_lfsr_seed",
+    "hybrid_coverage",
+    "lfsr_bits",
+    "lfsr_bits_reference",
+    "lfsr_bits_vectorized",
+    "lfsr_period",
+    "lfsr_words",
+    "measure_aliasing",
+    "misr_compact",
+    "misr_compact_array",
+    "response_words",
+]

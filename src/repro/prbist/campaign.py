@@ -1,0 +1,257 @@
+"""Pseudorandom-BIST campaign vocabulary: plans, trials and reports.
+
+This module is deliberately engine-free: it defines the *data* of a
+pseudorandom fault-coverage campaign — the stimulus plan, the per-fault
+trial record, the coverage / signature-check reports, and the hybrid
+(pseudorandom ∪ swept-sine) combinator — while the orchestration lives
+on the session surface
+(:meth:`repro.api.session.Session.pseudorandom_coverage` /
+:meth:`~repro.api.session.Session.signature_check`) and the batched
+measurement in the engine
+(:meth:`repro.engine.runner.BatchRunner.run_pseudorandom_trials`).
+
+The stimulus mapping: each LFSR word ``v`` (``width`` bits, always
+non-zero — every ``width``-bit window of an m-sequence is) selects the
+log-spaced in-band frequency
+
+    ``f = f_lo * (f_hi / f_lo) ** (v / 2^width)``
+
+so a pseudorandom pattern is a pseudorandom *tone placement* inside the
+analyzer's band — the analog counterpart of applying a pseudorandom
+digital vector.  The detection taxonomy distinguishes three per-fault
+outcomes:
+
+* *responding* — the quantized response stream differs from golden;
+* *detected* — the MISR signature differs from golden;
+* *aliased* — responding but not detected (the compaction collision
+  whose probability the ``2^-width`` bound caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sweep import PAPER_MAX_FREQUENCY, PAPER_MIN_FREQUENCY
+from ..errors import ConfigError
+from .lfsr import LFSRConfig, lfsr_words
+from .misr import MISRConfig, aliasing_bound
+
+
+def derive_lfsr_seed(seed: int, width: int) -> int:
+    """A valid (non-zero) LFSR seed derived from a scenario/policy seed.
+
+    ``seed mod (2^width - 1) + 1`` maps any integer >= 0 onto the full
+    non-zero state range deterministically — the scenario compiler and
+    the CLI both use this, so a spec's single ``seed`` field fixes the
+    pattern sequence exactly.
+    """
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ConfigError(f"prbist: seed must be an integer >= 0, got {seed!r}")
+    return seed % ((1 << width) - 1) + 1
+
+
+@dataclass(frozen=True)
+class PseudorandomPlan:
+    """A pseudorandom stimulus plan: LFSR source + band mapping.
+
+    ``n_patterns`` words are drawn from the LFSR (each consuming
+    ``width`` bits) and mapped log-uniformly onto ``(f_lo, f_hi)``.
+    The plan is pure data — deterministic in the LFSR config alone.
+    """
+
+    lfsr: LFSRConfig
+    n_patterns: int = 6
+    f_lo: float = PAPER_MIN_FREQUENCY
+    f_hi: float = PAPER_MAX_FREQUENCY
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lfsr, LFSRConfig):
+            raise ConfigError(
+                f"prbist plan: lfsr must be an LFSRConfig, got {self.lfsr!r}"
+            )
+        if (
+            not isinstance(self.n_patterns, int)
+            or isinstance(self.n_patterns, bool)
+            or self.n_patterns < 1
+        ):
+            raise ConfigError(
+                f"prbist plan: n_patterns must be an integer >= 1, "
+                f"got {self.n_patterns!r}"
+            )
+        for fieldname, value in (("f_lo", self.f_lo), ("f_hi", self.f_hi)):
+            value = float(value)
+            if not PAPER_MIN_FREQUENCY <= value <= PAPER_MAX_FREQUENCY:
+                raise ConfigError(
+                    f"prbist plan: {fieldname} = {value:g} Hz is outside "
+                    f"the analyzer band [{PAPER_MIN_FREQUENCY:g}, "
+                    f"{PAPER_MAX_FREQUENCY:g}] Hz"
+                )
+        object.__setattr__(self, "f_lo", float(self.f_lo))
+        object.__setattr__(self, "f_hi", float(self.f_hi))
+        if not self.f_lo < self.f_hi:
+            raise ConfigError(
+                f"prbist plan: f_lo {self.f_lo:g} must be below "
+                f"f_hi {self.f_hi:g}"
+            )
+
+    def words(self) -> tuple[int, ...]:
+        """The plan's LFSR words (``n_patterns`` of them)."""
+        return lfsr_words(self.lfsr, self.n_patterns)
+
+    def frequencies(self) -> tuple[float, ...]:
+        """The pseudorandom tone placements, in pattern order.
+
+        Every word is non-zero, so every frequency lies strictly inside
+        ``(f_lo, f_hi)`` — always in the analyzer's valid band.
+        """
+        span = float(1 << self.lfsr.width)
+        ratio = self.f_hi / self.f_lo
+        return tuple(
+            self.f_lo * ratio ** (word / span) for word in self.words()
+        )
+
+
+@dataclass(frozen=True)
+class PrbistFaultTrial:
+    """One catalog fault's pseudorandom-campaign outcome."""
+
+    label: str
+    responding: bool
+    detected: bool
+    signature: int
+
+    @property
+    def aliased(self) -> bool:
+        """Response moved but the signature collided with golden."""
+        return self.responding and not self.detected
+
+
+@dataclass(frozen=True)
+class PrbistCoverageReport:
+    """A pseudorandom fault-coverage campaign's full record."""
+
+    plan: PseudorandomPlan
+    misr: MISRConfig
+    frequencies: tuple[float, ...]
+    golden_words: tuple[int, ...]
+    golden_signature: int
+    trials: tuple[PrbistFaultTrial, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of catalog faults the signature comparison detects."""
+        return sum(t.detected for t in self.trials) / len(self.trials)
+
+    @property
+    def response_rate(self) -> float:
+        """Fraction of faults that disturb the quantized response."""
+        return sum(t.responding for t in self.trials) / len(self.trials)
+
+    @property
+    def aliasing_rate(self) -> float:
+        """Aliased fraction *of responding faults* (0.0 when none respond).
+
+        The catalog-measured counterpart of :func:`aliasing_bound`; with
+        a healthy register it stays within counting tolerance of
+        ``2^-width``.
+        """
+        responding = sum(t.responding for t in self.trials)
+        if responding == 0:
+            return 0.0
+        return sum(t.aliased for t in self.trials) / responding
+
+    @property
+    def aliasing_bound(self) -> float:
+        """The theoretical ``2^-width`` bound for this register."""
+        return aliasing_bound(self.misr.width)
+
+    @property
+    def escapes(self) -> tuple[str, ...]:
+        """Labels of undetected faults."""
+        return tuple(t.label for t in self.trials if not t.detected)
+
+    @property
+    def aliased_labels(self) -> tuple[str, ...]:
+        """Labels of responding-but-undetected (aliased) faults."""
+        return tuple(t.label for t in self.trials if t.aliased)
+
+
+@dataclass(frozen=True)
+class SignatureCheckReport:
+    """One device's go/no-go signature comparison against golden."""
+
+    inject: str
+    misr: MISRConfig
+    frequencies: tuple[float, ...]
+    golden_words: tuple[int, ...]
+    golden_signature: int
+    measured_words: tuple[int, ...]
+    measured_signature: int
+
+    @property
+    def match(self) -> bool:
+        """Signature equality — the pass verdict."""
+        return self.measured_signature == self.golden_signature
+
+    @property
+    def responding(self) -> bool:
+        """Whether the quantized response stream moved at all."""
+        return self.measured_words != self.golden_words
+
+    @property
+    def aliased(self) -> bool:
+        """Response moved yet the signature matched (a compaction miss)."""
+        return self.responding and self.match
+
+
+@dataclass(frozen=True)
+class HybridCoverage:
+    """Union coverage of a pseudorandom and a swept-sine campaign.
+
+    A fault counts as detected when *either* stimulus family flags it —
+    the Fault-Trajectory argument (arXiv 0710.4725) that richer
+    stimulus families shrink the escape set.
+    """
+
+    labels: tuple[str, ...]
+    detected: tuple[bool, ...]
+
+    @property
+    def coverage(self) -> float:
+        return sum(self.detected) / len(self.detected)
+
+    @property
+    def escapes(self) -> tuple[str, ...]:
+        return tuple(
+            label
+            for label, hit in zip(self.labels, self.detected)
+            if not hit
+        )
+
+
+def hybrid_coverage(
+    labels,
+    pseudorandom_detected,
+    sweep_detected,
+) -> HybridCoverage:
+    """Combine per-fault detection verdicts from two stimulus families.
+
+    All three sequences must align element-wise on the same catalog
+    order (the head-to-head scenario guarantees it: both steps
+    enumerate the same catalog).
+    """
+    labels = tuple(str(label) for label in labels)
+    pr = tuple(bool(d) for d in pseudorandom_detected)
+    sw = tuple(bool(d) for d in sweep_detected)
+    if not labels:
+        raise ConfigError("hybrid coverage: fault label list is empty")
+    if len(pr) != len(labels) or len(sw) != len(labels):
+        raise ConfigError(
+            f"hybrid coverage: misaligned campaigns — {len(labels)} "
+            f"labels vs {len(pr)} pseudorandom and {len(sw)} sweep "
+            f"verdicts"
+        )
+    return HybridCoverage(
+        labels=labels,
+        detected=tuple(p or s for p, s in zip(pr, sw)),
+    )

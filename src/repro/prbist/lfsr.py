@@ -1,0 +1,261 @@
+"""Linear-feedback shift registers: the pseudorandom pattern source.
+
+An LFSR over a primitive polynomial ``p(x)`` of degree ``w`` emits a
+maximal-length (*m*-) sequence: period ``2^w - 1`` with exactly
+``2^(w-1)`` ones per period (the balance property the test suite pins
+for every tabulated polynomial).  Two classic register forms are
+implemented, both stepping the same polynomial:
+
+* **Fibonacci** (external feedback): the register shifts right, the new
+  MSB is the XOR of the tapped bits (parity of ``state & poly_mask``),
+  and the bit shifted out of the LSB is the output.
+* **Galois** (internal feedback): the register shifts left —
+  multiplication by ``x`` in ``GF(2)[x]/p(x)`` — the bit shifted out of
+  the MSB is the output, and when it is 1 the polynomial mask is XORed
+  back into the state (the reduction mod ``p``).
+
+Both forms' output sequences are sequences of the same characteristic
+polynomial, so both satisfy the linear recurrence
+
+    ``b[n] = b[n - w]  XOR  b[n - (w - t)]  for every middle tap t``
+
+— which is what the vectorized implementation exploits: after seeding
+the first ``w`` output bits with the bitwise reference stepper, the
+remainder fills in chunks of ``min(lag)`` bits as whole-array XORs.
+The reference and vectorized paths are bit-identical (property-tested
+in ``tests/prbist/test_lfsr_properties.py``), mirroring the engine's
+reference/vectorized backend contract.
+
+The tap table lists one primitive polynomial per width; every entry is
+verified maximal-length and balanced by the test suite, so a tabulated
+width is a *guaranteed* full-period pattern source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: One primitive polynomial per register width, as exponent tuples:
+#: ``(w, t1, t2, ...)`` stands for ``x^w + x^t1 + x^t2 + ... + 1``.
+#: Every entry yields a maximal-length sequence (period ``2^w - 1``);
+#: the property suite re-verifies period and balance for each width.
+PRIMITIVE_POLYNOMIALS = {
+    2: (2, 1),
+    3: (3, 1),
+    4: (4, 1),
+    5: (5, 2),
+    6: (6, 1),
+    7: (7, 1),
+    8: (8, 4, 3, 2),
+    9: (9, 4),
+    10: (10, 3),
+    11: (11, 2),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 10, 6, 1),
+    15: (15, 1),
+    16: (16, 12, 3, 1),
+}
+
+#: The two register forms an LFSR can step.
+LFSR_FORMS = ("fibonacci", "galois")
+
+
+@dataclass(frozen=True)
+class LFSRConfig:
+    """A fully determined LFSR: width, register form, and seed.
+
+    The seed is the initial register state and must be non-zero — the
+    all-zero state is the one fixed point of the feedback and would
+    lock the register up emitting zeros forever.
+    """
+
+    width: int = 10
+    form: str = "fibonacci"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width not in PRIMITIVE_POLYNOMIALS:
+            raise ConfigError(
+                f"lfsr: width must be one of "
+                f"{sorted(PRIMITIVE_POLYNOMIALS)} (tabulated primitive "
+                f"polynomials), got {self.width!r}"
+            )
+        if self.form not in LFSR_FORMS:
+            raise ConfigError(
+                f"lfsr: form must be one of {LFSR_FORMS}, got {self.form!r}"
+            )
+        if (
+            not isinstance(self.seed, int)
+            or isinstance(self.seed, bool)
+            or not 1 <= self.seed <= self.state_mask
+        ):
+            raise ConfigError(
+                f"lfsr: seed must be a non-zero integer in "
+                f"[1, {self.state_mask}] (the all-zero state locks the "
+                f"register), got {self.seed!r}"
+            )
+
+    @property
+    def taps(self) -> tuple[int, ...]:
+        """The tabulated polynomial's exponents (width included)."""
+        return PRIMITIVE_POLYNOMIALS[self.width]
+
+    @property
+    def state_mask(self) -> int:
+        """All-ones register mask, ``2^width - 1``."""
+        return (1 << self.width) - 1
+
+    @property
+    def polynomial_mask(self) -> int:
+        """``p(x)`` minus its leading term as a bit mask.
+
+        Bit 0 (the ``+ 1`` term) plus one bit per middle exponent —
+        the Fibonacci tap mask and the Galois reduction mask alike.
+        """
+        mask = 1
+        for t in self.taps:
+            if t != self.width:
+                mask |= 1 << t
+        return mask
+
+    @property
+    def period(self) -> int:
+        """The maximal-length period, ``2^width - 1``."""
+        return self.state_mask
+
+    @property
+    def recurrence_lags(self) -> tuple[int, ...]:
+        """Lags of the output recurrence, ascending.
+
+        ``{w} ∪ {w - t : t a middle exponent}`` — both register forms'
+        output sequences satisfy ``b[n] = XOR of b[n - lag]`` over these
+        lags (the characteristic-polynomial recurrence).
+        """
+        lags = {self.width}
+        for t in self.taps:
+            if t != self.width:
+                lags.add(self.width - t)
+        lags.discard(0)  # the + 1 term maps to lag w, already present
+        return tuple(sorted(lags))
+
+
+def _step_fibonacci(state: int, config: LFSRConfig) -> tuple[int, int]:
+    """One Fibonacci step: (output bit, next state)."""
+    out = state & 1
+    feedback = bin(state & config.polynomial_mask).count("1") & 1
+    return out, (state >> 1) | (feedback << (config.width - 1))
+
+
+def _step_galois(state: int, config: LFSRConfig) -> tuple[int, int]:
+    """One Galois step (multiply by ``x`` mod ``p``): (output, next)."""
+    out = (state >> (config.width - 1)) & 1
+    state = (state << 1) & config.state_mask
+    if out:
+        state ^= config.polynomial_mask
+    return out, state
+
+
+_STEPPERS = {"fibonacci": _step_fibonacci, "galois": _step_galois}
+
+
+def _require_count(n) -> int:
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        raise ConfigError(f"lfsr: bit count must be an integer >= 0, got {n!r}")
+    return n
+
+
+def lfsr_bits_reference(config: LFSRConfig, n: int) -> list[int]:
+    """The first ``n`` output bits, stepped one register tick at a time.
+
+    The ground-truth implementation: a literal hardware simulation of
+    the chosen register form.
+    """
+    n = _require_count(n)
+    step = _STEPPERS[config.form]
+    state = config.seed
+    bits = []
+    for _ in range(n):
+        out, state = step(state, config)
+        bits.append(out)
+    return bits
+
+
+def lfsr_bits_vectorized(config: LFSRConfig, n: int) -> np.ndarray:
+    """The first ``n`` output bits as a ``uint8`` array.
+
+    Seeds the first ``width`` bits with the reference stepper, then
+    fills the rest through the output recurrence in chunks of
+    ``min(recurrence_lags)`` bits — each chunk is one whole-array XOR
+    per lag instead of one Python call per bit.  Bit-identical to
+    :func:`lfsr_bits_reference` for both register forms.
+    """
+    n = _require_count(n)
+    bits = np.empty(n, dtype=np.uint8)
+    head = lfsr_bits_reference(config, min(config.width, n))
+    bits[: len(head)] = head
+    lags = config.recurrence_lags
+    chunk = lags[0]
+    i = config.width
+    while i < n:
+        j = min(chunk, n - i)
+        acc = bits[i - lags[0] : i - lags[0] + j].copy()
+        for lag in lags[1:]:
+            np.bitwise_xor(acc, bits[i - lag : i - lag + j], out=acc)
+        bits[i : i + j] = acc
+        i += j
+    return bits
+
+
+def lfsr_bits(config: LFSRConfig, n: int, backend: str = "reference") -> list[int]:
+    """The first ``n`` output bits on the chosen backend (as a list).
+
+    Mirrors the engine's backend seam: ``"reference"`` steps the
+    register bitwise, ``"vectorized"`` uses the chunked recurrence —
+    guaranteed bit-identical, so callers may pick freely by cost.
+    """
+    if backend == "reference":
+        return lfsr_bits_reference(config, n)
+    if backend == "vectorized":
+        return [int(b) for b in lfsr_bits_vectorized(config, n)]
+    raise ConfigError(
+        f"lfsr: unknown backend {backend!r}; expected 'reference' or "
+        f"'vectorized'"
+    )
+
+
+def lfsr_words(config: LFSRConfig, n_words: int, backend: str = "vectorized") -> tuple[int, ...]:
+    """``n_words`` register-width words, MSB-first from the bit stream.
+
+    Each word consumes ``width`` consecutive output bits.  Because every
+    ``width``-bit window of an m-sequence is non-zero, every word is in
+    ``[1, 2^width - 1]`` — a property the frequency mapping relies on.
+    """
+    bits = lfsr_bits(config, _require_count(n_words) * config.width, backend)
+    words = []
+    for i in range(n_words):
+        word = 0
+        for bit in bits[i * config.width : (i + 1) * config.width]:
+            word = (word << 1) | int(bit)
+        words.append(word)
+    return tuple(words)
+
+
+def lfsr_period(config: LFSRConfig) -> int:
+    """The measured state period: steps until the seed state recurs.
+
+    For a primitive polynomial this equals ``config.period``
+    (``2^width - 1``) from any non-zero seed — the maximal-length
+    property the test suite asserts for every tabulated width.
+    """
+    step = _STEPPERS[config.form]
+    state = config.seed
+    for count in range(1, (1 << config.width) + 1):
+        _, state = step(state, config)
+        if state == config.seed:
+            return count
+    raise AssertionError("state space exhausted without recurrence")

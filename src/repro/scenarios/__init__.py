@@ -11,7 +11,9 @@ declarative, reproducible description:
   :class:`~repro.scenarios.spec.CoverageStep`,
   :class:`~repro.scenarios.spec.DistortionStep`,
   :class:`~repro.scenarios.spec.DiagnoseStep`,
-  :class:`~repro.scenarios.spec.DynamicRangeStep`) plus analyzer, DUT,
+  :class:`~repro.scenarios.spec.DynamicRangeStep`,
+  :class:`~repro.scenarios.spec.PseudorandomStep`,
+  :class:`~repro.scenarios.spec.SignatureCheckStep`) plus analyzer, DUT,
   seed, backend and worker settings, JSON round-tripped via
   :func:`repro.reporting.export.scenario_to_json`;
 * :func:`~repro.scenarios.compiler.compile_scenario` /
@@ -53,7 +55,9 @@ from .spec import (
     DistortionStep,
     DUTSpec,
     DynamicRangeStep,
+    PseudorandomStep,
     ScenarioSpec,
+    SignatureCheckStep,
     SweepStep,
     YieldStep,
     scenario_from_payload,
@@ -77,9 +81,11 @@ __all__ = [
     "DriftReport",
     "DUTSpec",
     "DynamicRangeStep",
+    "PseudorandomStep",
     "STEP_KINDS",
     "ScenarioResult",
     "ScenarioSpec",
+    "SignatureCheckStep",
     "StepResult",
     "SweepStep",
     "YieldStep",

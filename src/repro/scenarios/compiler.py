@@ -46,6 +46,9 @@ from ..engine.runner import BatchRunner
 from ..errors import ConfigError
 from ..faults.campaign import FaultCampaign
 from ..faults.dictionary import NOMINAL_LABEL
+from ..prbist.campaign import PseudorandomPlan, derive_lfsr_seed
+from ..prbist.lfsr import LFSRConfig
+from ..prbist.misr import MISRConfig
 from ..sc.opamp import OpAmpModel
 from .result import ScenarioResult, StepResult
 from .spec import (
@@ -53,7 +56,9 @@ from .spec import (
     DiagnoseStep,
     DistortionStep,
     DynamicRangeStep,
+    PseudorandomStep,
     ScenarioSpec,
+    SignatureCheckStep,
     SweepStep,
     YieldStep,
 )
@@ -320,6 +325,78 @@ def _compile_diagnose(spec, step: DiagnoseStep, dut, config) -> CompiledStep:
     return CompiledStep(step, n_jobs=len(catalog) + 2, execute=execute)
 
 
+def _prbist_plan(spec, step) -> tuple[PseudorandomPlan, MISRConfig]:
+    """The step's stimulus plan and signature register.
+
+    The LFSR seed derives from the *scenario* seed (mapped onto the
+    non-zero state range), so the pattern sequence — like the yield
+    lot's component draws — is a function of the spec alone.
+    """
+    lfsr = LFSRConfig(
+        width=step.lfsr_width,
+        form=step.lfsr_form,
+        seed=derive_lfsr_seed(spec.seed, step.lfsr_width),
+    )
+    plan = PseudorandomPlan(
+        lfsr, n_patterns=step.n_patterns, f_lo=step.f_lo, f_hi=step.f_hi
+    )
+    return plan, MISRConfig(width=step.misr_width)
+
+
+def _compile_pseudorandom(spec, step: PseudorandomStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    catalog = _catalog(step.deviations, step.catastrophic)
+    plan, misr = _prbist_plan(spec, step)
+
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.pseudorandom_coverage(
+                catalog,
+                plan,
+                misr=misr,
+                dut=dut,
+                config=config,
+                m_periods=m,
+                name=step.name,
+            ),
+        )
+
+    return CompiledStep(step, n_jobs=len(catalog) + 1, execute=execute)
+
+
+def _compile_signature_check(spec, step: SignatureCheckStep, dut, config) -> CompiledStep:
+    config, m = _step_config(config, step)
+    catalog = _catalog(step.deviations, step.catastrophic)
+    by_label = {f.label: f for f in catalog}
+    if step.inject != NOMINAL_LABEL and step.inject not in by_label:
+        raise ConfigError(
+            f"step {step.name!r}: inject {step.inject!r} is not in the "
+            f"catalog; choose from {sorted(by_label)} or {NOMINAL_LABEL!r}"
+        )
+    plan, misr = _prbist_plan(spec, step)
+    device = (
+        dut if step.inject == NOMINAL_LABEL else by_label[step.inject].apply(dut)
+    )
+
+    def execute(session: Session) -> StepResult:
+        return _step_result(
+            step,
+            session.signature_check(
+                device,
+                plan,
+                misr=misr,
+                inject=step.inject,
+                dut=dut,
+                config=config,
+                m_periods=m,
+                name=step.name,
+            ),
+        )
+
+    return CompiledStep(step, n_jobs=2, execute=execute)
+
+
 def _compile_dynamic_range(spec, step: DynamicRangeStep, dut, config) -> CompiledStep:
     config, m = _step_config(config, step)
 
@@ -345,4 +422,6 @@ _STEP_COMPILERS = {
     DistortionStep.kind: _compile_distortion,
     DiagnoseStep.kind: _compile_diagnose,
     DynamicRangeStep.kind: _compile_dynamic_range,
+    PseudorandomStep.kind: _compile_pseudorandom,
+    SignatureCheckStep.kind: _compile_signature_check,
 }

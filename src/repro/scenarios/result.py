@@ -79,6 +79,17 @@ class StepResult:
             return f"best {self.exact['best']!r} ({verdict})"
         if self.kind == "dynamic_range":
             return f"{self.floats['dynamic_range_db']:.0f} dB"
+        if self.kind == "pseudorandom":
+            return (
+                f"coverage {self.floats['coverage']:.3f}, "
+                f"aliasing {self.floats['aliasing_rate']:.4f}"
+            )
+        if self.kind == "signature_check":
+            verdict = "match" if self.exact["match"] else "mismatch"
+            return (
+                f"{verdict} (0x{self.exact['measured_signature']:x} vs "
+                f"golden 0x{self.exact['golden_signature']:x})"
+            )
         return f"{len(self.exact)} exact / {len(self.floats)} float fields"
 
 

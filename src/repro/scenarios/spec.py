@@ -27,6 +27,7 @@ from typing import ClassVar
 from ..core.sweep import PAPER_MAX_FREQUENCY, PAPER_MIN_FREQUENCY
 from ..engine.runner import BACKENDS
 from ..errors import ConfigError
+from ..prbist.lfsr import LFSR_FORMS, PRIMITIVE_POLYNOMIALS
 
 #: Schema identifier of a serialized scenario.
 SCENARIO_FORMAT = "repro-scenario"
@@ -365,6 +366,119 @@ class DynamicRangeStep:
         _require_even_window(f"step {self.name!r}", "m_periods", self.m_periods)
 
 
+def _require_prbist_stimulus(step: "PseudorandomStep | SignatureCheckStep") -> None:
+    """Shared validation of the pseudorandom stimulus fields."""
+    if step.lfsr_width not in PRIMITIVE_POLYNOMIALS:
+        raise ConfigError(
+            f"step {step.name!r}: lfsr_width must be one of "
+            f"{sorted(PRIMITIVE_POLYNOMIALS)} (tabulated primitive "
+            f"polynomials), got {step.lfsr_width!r}"
+        )
+    if step.lfsr_form not in LFSR_FORMS:
+        raise ConfigError(
+            f"step {step.name!r}: lfsr_form must be one of {LFSR_FORMS}, "
+            f"got {step.lfsr_form!r}"
+        )
+    if (
+        not isinstance(step.n_patterns, int)
+        or isinstance(step.n_patterns, bool)
+        or step.n_patterns < 1
+    ):
+        raise ConfigError(
+            f"step {step.name!r}: n_patterns must be an integer >= 1, "
+            f"got {step.n_patterns!r}"
+        )
+    if step.misr_width not in PRIMITIVE_POLYNOMIALS:
+        raise ConfigError(
+            f"step {step.name!r}: misr_width must be one of "
+            f"{sorted(PRIMITIVE_POLYNOMIALS)} (tabulated primitive "
+            f"polynomials), got {step.misr_width!r}"
+        )
+    object.__setattr__(step, "f_lo", float(step.f_lo))
+    object.__setattr__(step, "f_hi", float(step.f_hi))
+    _require_in_band(step.name, "f_lo", step.f_lo)
+    _require_in_band(step.name, "f_hi", step.f_hi)
+    if not step.f_lo < step.f_hi:
+        raise ConfigError(
+            f"step {step.name!r}: f_lo {step.f_lo:g} must be below "
+            f"f_hi {step.f_hi:g}"
+        )
+    object.__setattr__(
+        step, "deviations", tuple(float(d) for d in step.deviations)
+    )
+    if not step.deviations or any(d <= 0 for d in step.deviations):
+        raise ConfigError(
+            f"step {step.name!r}: deviations must be a non-empty tuple of "
+            f"positive magnitudes, got {step.deviations}"
+        )
+    _require_even_window(f"step {step.name!r}", "m_periods", step.m_periods)
+
+
+@dataclass(frozen=True)
+class PseudorandomStep:
+    """A pseudorandom-stimulus fault-coverage campaign (LFSR + MISR).
+
+    An LFSR of ``lfsr_width`` bits (seeded deterministically from the
+    *scenario* seed) draws ``n_patterns`` words, each mapped to a
+    log-spaced tone inside ``[f_lo, f_hi]``; every catalog fault's
+    quantized response is compacted into a ``misr_width``-bit signature
+    and compared against the fault-free device's (see
+    :mod:`repro.prbist`).
+    """
+
+    kind: ClassVar[str] = "pseudorandom"
+
+    name: str
+    lfsr_width: int = 10
+    lfsr_form: str = "fibonacci"
+    n_patterns: int = 6
+    misr_width: int = 16
+    f_lo: float = PAPER_MIN_FREQUENCY
+    f_hi: float = PAPER_MAX_FREQUENCY
+    deviations: tuple[float, ...] = (0.2, 0.5)
+    catastrophic: bool = False
+    m_periods: int | None = None
+
+    def __post_init__(self) -> None:
+        _require_name(self.kind, self.name)
+        _require_prbist_stimulus(self)
+
+
+@dataclass(frozen=True)
+class SignatureCheckStep:
+    """A single-device go/no-go signature comparison.
+
+    Applies the ``inject`` catalog fault (or ``nominal`` for the
+    fault-free device), measures its pseudorandom response, and checks
+    the MISR signature against the golden device's — the leanest
+    possible production test: one stored signature, one comparison.
+    The catalog fields exist only to resolve ``inject``.
+    """
+
+    kind: ClassVar[str] = "signature_check"
+
+    name: str
+    inject: str = "nominal"
+    lfsr_width: int = 10
+    lfsr_form: str = "fibonacci"
+    n_patterns: int = 6
+    misr_width: int = 16
+    f_lo: float = PAPER_MIN_FREQUENCY
+    f_hi: float = PAPER_MAX_FREQUENCY
+    deviations: tuple[float, ...] = (0.2, 0.5)
+    catastrophic: bool = False
+    m_periods: int | None = None
+
+    def __post_init__(self) -> None:
+        _require_name(self.kind, self.name)
+        if not isinstance(self.inject, str) or not self.inject:
+            raise ConfigError(
+                f"step {self.name!r}: inject must be a fault label or "
+                f"'nominal', got {self.inject!r}"
+            )
+        _require_prbist_stimulus(self)
+
+
 #: Registry of step kinds: the only kinds a scenario may contain.
 STEP_KINDS = {
     cls.kind: cls
@@ -375,6 +489,8 @@ STEP_KINDS = {
         DistortionStep,
         DiagnoseStep,
         DynamicRangeStep,
+        PseudorandomStep,
+        SignatureCheckStep,
     )
 }
 
@@ -385,6 +501,8 @@ Step = (
     | DistortionStep
     | DiagnoseStep
     | DynamicRangeStep
+    | PseudorandomStep
+    | SignatureCheckStep
 )
 
 

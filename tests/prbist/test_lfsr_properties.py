@@ -1,0 +1,141 @@
+"""LFSR stimulus generator: the algebra the BIST scheme leans on.
+
+Three properties carry the whole pseudorandom-BIST argument:
+
+* every tabulated polynomial is *primitive* — the register walks all
+  ``2^n - 1`` non-zero states before repeating (maximal length), so the
+  stimulus never degenerates into a short cycle;
+* the m-sequence is *balanced* — exactly ``2^(n-1)`` ones per period,
+  so pseudorandom tone placements cover the band without bias;
+* the vectorized generator is **bit-identical** to the stepwise
+  reference — the same backend-equivalence contract the engine holds
+  everywhere else, proven here at the bit level by hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.prbist import (
+    LFSR_FORMS,
+    PRIMITIVE_POLYNOMIALS,
+    LFSRConfig,
+    lfsr_bits,
+    lfsr_bits_reference,
+    lfsr_bits_vectorized,
+    lfsr_period,
+    lfsr_words,
+)
+
+ALL_WIDTHS = sorted(PRIMITIVE_POLYNOMIALS)
+
+
+@pytest.mark.parametrize("form", LFSR_FORMS)
+@pytest.mark.parametrize("width", ALL_WIDTHS)
+class TestMaximalLength:
+    """Period and balance over one full period, both feedback forms.
+
+    Full-period enumeration is O(2^n) — capped at width 12 (4095 steps)
+    to keep tier-1 fast; the table's primitivity does not depend on the
+    starting seed, so one seed per width suffices.
+    """
+
+    def test_period_is_maximal(self, width, form):
+        if width > 12:
+            pytest.skip("full-period walk capped at width 12 for speed")
+        config = LFSRConfig(width=width, form=form, seed=1)
+        assert lfsr_period(config) == 2**width - 1
+        assert config.period == 2**width - 1
+
+    def test_sequence_is_balanced(self, width, form):
+        if width > 12:
+            pytest.skip("full-period walk capped at width 12 for speed")
+        config = LFSRConfig(width=width, form=form, seed=1)
+        bits = lfsr_bits_reference(config, config.period)
+        assert sum(bits) == 2 ** (width - 1)
+
+
+@pytest.mark.parametrize("width", [13, 14, 15, 16])
+@pytest.mark.parametrize("form", LFSR_FORMS)
+def test_wide_registers_do_not_cycle_early(width, form):
+    """The wide registers at least exceed every shorter maximal period.
+
+    A non-primitive polynomial's longest cycle divides ``2^n - 1``; its
+    largest proper divisor is at most ``(2^n - 1) / 3`` (the modulus is
+    odd), so running ``(2^n - 1) / 3`` steps without recurrence rules
+    out every shorter cycle a table error could introduce — at a third
+    of the full-walk cost.
+    """
+    from repro.prbist.lfsr import _STEPPERS
+
+    config = LFSRConfig(width=width, form=form, seed=1)
+    bound = (2**width - 1) // 3
+    step = _STEPPERS[form]
+    state = config.seed
+    for i in range(1, bound + 1):
+        _, state = step(state, config)
+        assert not (state == config.seed and i < bound), (
+            f"width {width} {form}: cycle of length {i} < {bound}"
+        )
+
+
+widths = st.sampled_from(ALL_WIDTHS)
+forms = st.sampled_from(LFSR_FORMS)
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(width=widths, form=forms, data=st.data(),
+           n=st.integers(min_value=0, max_value=400))
+    def test_reference_and_vectorized_bit_identical(self, width, form, data, n):
+        seed = data.draw(st.integers(min_value=1, max_value=2**width - 1))
+        config = LFSRConfig(width=width, form=form, seed=seed)
+        reference = lfsr_bits_reference(config, n)
+        vectorized = lfsr_bits_vectorized(config, n)
+        assert list(vectorized) == reference
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=widths, form=forms, data=st.data(),
+           n_words=st.integers(min_value=1, max_value=12))
+    def test_words_identical_on_both_backends(self, width, form, data, n_words):
+        seed = data.draw(st.integers(min_value=1, max_value=2**width - 1))
+        config = LFSRConfig(width=width, form=form, seed=seed)
+        ref = lfsr_words(config, n_words, backend="reference")
+        vec = lfsr_words(config, n_words, backend="vectorized")
+        assert ref == vec
+        assert all(1 <= w <= 2**width - 1 for w in ref)
+
+    def test_dispatcher_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError, match="backend"):
+            lfsr_bits(LFSRConfig(), 8, backend="quantum")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("width", ALL_WIDTHS)
+    def test_zero_seed_rejected_naming_the_field(self, width):
+        with pytest.raises(ConfigError, match="seed"):
+            LFSRConfig(width=width, seed=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=widths, data=st.data())
+    def test_out_of_range_seed_rejected(self, width, data):
+        seed = data.draw(st.one_of(
+            st.integers(min_value=2**width, max_value=2**width + 100),
+            st.integers(max_value=-1),
+        ))
+        with pytest.raises(ConfigError, match="seed"):
+            LFSRConfig(width=width, seed=seed)
+
+    @pytest.mark.parametrize("width", [0, 1, 17, 64, -3])
+    def test_untabulated_width_rejected(self, width):
+        with pytest.raises(ConfigError, match="width"):
+            LFSRConfig(width=width)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ConfigError, match="form"):
+            LFSRConfig(form="xorshift")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError, match="n"):
+            lfsr_bits_reference(LFSRConfig(), -1)

@@ -1,0 +1,145 @@
+"""MISR compaction: the aliasing contract, measured.
+
+The signature register's one quantitative promise is the ``2^-width``
+aliasing bound.  This suite measures it two ways:
+
+* **Monte-Carlo**: random non-zero error streams through
+  :func:`~repro.prbist.misr.measure_aliasing`, pinned to the bound
+  within binomial-counting tolerance for 8- and 16-bit registers;
+* **catalog**: the 30-fault campaign's realized aliasing rate, which a
+  healthy register keeps within the same tolerance of the bound.
+
+It also pins the execution-invariance half of the contract: MISR
+signatures are built from the evaluator's counted (integer) channel,
+so they must be **bit-identical** across ``backend=`` and
+``n_workers=`` — asserted end to end through the session facade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionPolicy, Session
+from repro.dut import ActiveRCLowpass
+from repro.dut.faults import full_catalog
+from repro.errors import ConfigError
+from repro.prbist import (
+    LFSRConfig,
+    MISRConfig,
+    PseudorandomPlan,
+    aliasing_bound,
+    derive_lfsr_seed,
+    measure_aliasing,
+    misr_compact,
+    misr_compact_array,
+)
+
+
+class TestCompactionEquivalence:
+    @pytest.mark.parametrize("width", [4, 8, 12, 16])
+    def test_array_compaction_matches_scalar(self, width):
+        rng = np.random.default_rng(width)
+        streams = rng.integers(0, 1 << width, size=(64, 24), dtype=np.uint32)
+        config = MISRConfig(width=width)
+        vectorized = misr_compact_array(streams, config)
+        for row, signature in zip(streams, vectorized):
+            assert misr_compact(row.tolist(), config) == int(signature)
+
+    def test_negative_words_fold_by_twos_complement(self):
+        config = MISRConfig(width=8)
+        assert misr_compact([-1], config) == misr_compact([0xFF], config)
+        assert misr_compact([-3, 7], config) == misr_compact([0xFD, 7], config)
+
+    def test_non_2d_streams_rejected(self):
+        with pytest.raises(ConfigError, match="n_streams"):
+            misr_compact_array(np.zeros(5, dtype=np.uint32), MISRConfig())
+
+    def test_zero_seed_is_legal_and_default(self):
+        assert MISRConfig().seed == 0
+
+    def test_untabulated_width_rejected(self):
+        with pytest.raises(ConfigError, match="width"):
+            MISRConfig(width=24)
+        with pytest.raises(ConfigError, match="width"):
+            aliasing_bound(1)
+
+
+class TestAliasingMeasurement:
+    """The measured rate sits within counting tolerance of ``2^-n``.
+
+    At 200k trials the binomial sigma is ``sqrt(p(1-p)/N)``; five
+    sigmas is a < 1-in-a-million false-alarm bound per width while
+    still catching a register wired to a non-primitive polynomial
+    (whose rate would sit at a multiple of the bound).
+    """
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_rate_within_counting_tolerance_of_bound(self, width):
+        measurement = measure_aliasing(
+            MISRConfig(width=width), n_words=16, n_trials=200_000, seed=0
+        )
+        assert measurement.bound == 2.0**-width
+        assert abs(measurement.rate - measurement.bound) <= (
+            5.0 * measurement.counting_sigma
+        )
+
+    def test_measurement_is_seed_deterministic(self):
+        first = measure_aliasing(MISRConfig(width=8), n_trials=5_000, seed=7)
+        again = measure_aliasing(MISRConfig(width=8), n_trials=5_000, seed=7)
+        assert first == again
+
+    def test_degenerate_counts_rejected(self):
+        with pytest.raises(ConfigError, match="n_words"):
+            measure_aliasing(MISRConfig(), n_words=0)
+        with pytest.raises(ConfigError, match="n_trials"):
+            measure_aliasing(MISRConfig(), n_trials=0)
+
+
+def _campaign(policy: ExecutionPolicy, misr_width: int = 16):
+    """One small pseudorandom campaign under the given policy."""
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    plan = PseudorandomPlan(
+        LFSRConfig(width=10, seed=derive_lfsr_seed(policy.seed, 10)),
+        n_patterns=3,
+    )
+    catalog = full_catalog((-0.5, -0.2, 0.2, 0.5))
+    with Session(dut, policy=policy) as session:
+        return session.pseudorandom_coverage(
+            catalog, plan, misr=MISRConfig(width=misr_width), m_periods=20
+        )
+
+
+class TestCatalogAliasing:
+    def test_catalog_rate_within_tolerance_of_bound(self):
+        """The 30-fault campaign's realized aliasing vs the bound.
+
+        With at most 30 responding faults the binomial tolerance
+        ``5 * sqrt(p(1-p)/n_responding)`` is loose — the test's real
+        teeth are against gross register defects (an aliasing rate of
+        0.5 from, say, a width-truncation bug fails immediately).
+        """
+        result = _campaign(ExecutionPolicy(backend="vectorized"))
+        report = result.raw
+        assert len(report.trials) == 30
+        responding = sum(t.responding for t in report.trials)
+        assert responding > 0, "catalog produced no responding faults"
+        bound = report.aliasing_bound
+        tolerance = 5.0 * (bound * (1.0 - bound) / responding) ** 0.5
+        assert abs(report.aliasing_rate - bound) <= tolerance
+
+    @pytest.mark.parametrize("misr_width", [8, 16])
+    def test_signatures_invariant_across_execution(self, misr_width):
+        """Exact-channel bit-identity: backend and worker count."""
+        results = [
+            _campaign(policy, misr_width)
+            for policy in (
+                ExecutionPolicy(backend="reference", n_workers=1),
+                ExecutionPolicy(backend="vectorized"),
+                ExecutionPolicy(backend="reference", n_workers=2),
+            )
+        ]
+        baseline = results[0]
+        for other in results[1:]:
+            assert other.exact == baseline.exact
+        assert baseline.exact["signatures"] == [
+            t.signature for t in baseline.raw.trials
+        ]

@@ -25,7 +25,9 @@ from repro.scenarios import (
     DistortionStep,
     DUTSpec,
     DynamicRangeStep,
+    PseudorandomStep,
     ScenarioSpec,
+    SignatureCheckStep,
     SweepStep,
     YieldStep,
     step_from_payload,
@@ -101,6 +103,38 @@ class TestValidation:
     def test_empty_inject_rejected(self):
         with pytest.raises(ConfigError, match="inject"):
             DiagnoseStep(name="dx", inject="")
+
+    def test_untabulated_lfsr_width_rejected(self):
+        with pytest.raises(ConfigError, match="lfsr_width"):
+            PseudorandomStep(name="pr", lfsr_width=17)
+
+    def test_unknown_lfsr_form_rejected(self):
+        with pytest.raises(ConfigError, match="lfsr_form"):
+            PseudorandomStep(name="pr", lfsr_form="xorshift")
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(ConfigError, match="n_patterns"):
+            PseudorandomStep(name="pr", n_patterns=0)
+
+    def test_untabulated_misr_width_rejected(self):
+        with pytest.raises(ConfigError, match="misr_width"):
+            PseudorandomStep(name="pr", misr_width=1)
+
+    def test_inverted_prbist_band_rejected(self):
+        with pytest.raises(ConfigError, match="f_lo"):
+            PseudorandomStep(name="pr", f_lo=3000.0, f_hi=300.0)
+
+    def test_zero_prbist_deviation_rejected(self):
+        with pytest.raises(ConfigError, match="deviations"):
+            SignatureCheckStep(name="sig", deviations=(0.0,))
+
+    def test_empty_signature_inject_rejected(self):
+        with pytest.raises(ConfigError, match="inject"):
+            SignatureCheckStep(name="sig", inject="")
+
+    def test_odd_prbist_window_rejected(self):
+        with pytest.raises(ConfigError, match="m_periods"):
+            PseudorandomStep(name="pr", m_periods=7)
 
 
 class TestPayloadParsing:
@@ -247,6 +281,39 @@ def dynamic_range_steps(draw):
     )
 
 
+@st.composite
+def pseudorandom_steps(draw):
+    lo = draw(st.floats(min_value=100.0, max_value=9_000.0, allow_nan=False))
+    hi = draw(st.floats(min_value=lo * 1.5, max_value=20_000.0, allow_nan=False))
+    return PseudorandomStep(
+        name=draw(names),
+        lfsr_width=draw(st.integers(min_value=2, max_value=16)),
+        lfsr_form=draw(st.sampled_from(["fibonacci", "galois"])),
+        n_patterns=draw(st.integers(min_value=1, max_value=8)),
+        misr_width=draw(st.integers(min_value=2, max_value=16)),
+        f_lo=lo,
+        f_hi=hi,
+        deviations=draw(magnitudes),
+        catastrophic=draw(st.booleans()),
+        m_periods=draw(maybe_windows),
+    )
+
+
+@st.composite
+def signature_check_steps(draw):
+    return SignatureCheckStep(
+        name=draw(names),
+        lfsr_width=draw(st.integers(min_value=2, max_value=16)),
+        lfsr_form=draw(st.sampled_from(["fibonacci", "galois"])),
+        n_patterns=draw(st.integers(min_value=1, max_value=8)),
+        misr_width=draw(st.integers(min_value=2, max_value=16)),
+        inject=draw(st.sampled_from(["nominal", "r2+50%", "c1:short"])),
+        deviations=draw(magnitudes),
+        catastrophic=draw(st.booleans()),
+        m_periods=draw(maybe_windows),
+    )
+
+
 steps = st.one_of(
     sweep_steps(),
     yield_steps(),
@@ -254,6 +321,8 @@ steps = st.one_of(
     distortion_steps(),
     diagnose_steps(),
     dynamic_range_steps(),
+    pseudorandom_steps(),
+    signature_check_steps(),
 )
 
 
