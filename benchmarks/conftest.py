@@ -35,6 +35,15 @@ def pytest_addoption(parser):
         help="tiny-N smoke run: exercise every bench without asserting "
         "full-size measured figures (recorded results are not rewritten)",
     )
+    parser.addoption(
+        "--obs-trace",
+        action="store_true",
+        default=False,
+        help="record a repro.obs trace of every bench (via the "
+        "process-wide default-recorder seam) and write it next to its "
+        "results as <bench>.trace.jsonl (--trace itself is pytest's "
+        "debugger flag)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +56,36 @@ def smoke(request) -> bool:
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(autouse=True)
+def bench_trace(request):
+    """Opt-in tracing (``--obs-trace``): every bench drops a trace artifact.
+
+    Sessions and runners built inside the bench pick the recorder up
+    through :func:`repro.obs.use_recorder` — the default-recorder seam —
+    so benches need no ``obs=`` plumbing of their own.  The artifact
+    lands next to the bench's results (``benchmarks/results/`` is
+    gitignored); timings in a traced run are perturbed by the recorder
+    itself, so recorded result tables should come from untraced runs.
+    """
+    if not request.config.getoption("--obs-trace"):
+        yield
+        return
+
+    from repro.obs import TraceRecorder, use_recorder
+    from repro.reporting.export import trace_to_jsonl
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        yield
+    results_dir = request.getfixturevalue("results_dir")
+    safe = "".join(
+        c if c.isalnum() or c in "-_" else "_" for c in request.node.name
+    )
+    (results_dir / f"{safe}.trace.jsonl").write_text(
+        trace_to_jsonl(recorder.trace())
+    )
 
 
 @pytest.fixture

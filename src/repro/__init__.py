@@ -37,6 +37,13 @@ Every session method (``bode``, ``yield_lot``, ``fault_coverage``,
 shares one calibration cache and one batch runner, and returns the same
 exact/float channel split with uniform JSON/CSV export.
 
+Observability (:mod:`repro.obs`) rides the same seam: pass a
+:class:`~repro.obs.TraceRecorder` as ``Session(..., obs=recorder)`` (or
+``--trace PATH.jsonl`` on the CLI) to capture the invocation's span tree
+— session calls, scenario steps, campaigns, engine batches, calibrations
+— with typed metrics and a deterministic exact channel; the default
+:class:`~repro.obs.NullRecorder` costs nothing.
+
 Batch execution (sweeps and Monte-Carlo lots as parallel job batches)
 lives in :mod:`repro.engine`::
 
@@ -89,6 +96,7 @@ from .errors import (
     TimingError,
 )
 from .intervals import BoundedArray, BoundedValue, angular_gap, angular_overlap
+from .obs import MetricRegistry, NullRecorder, Trace, TraceRecorder
 from .scenarios import ScenarioResult, ScenarioSpec, run_scenario
 
 __version__ = "1.0.0"
@@ -125,6 +133,10 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioResult",
     "run_scenario",
+    "TraceRecorder",
+    "NullRecorder",
+    "Trace",
+    "MetricRegistry",
     "ReproError",
     "ConfigError",
     "TimingError",

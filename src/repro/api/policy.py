@@ -90,16 +90,33 @@ class ExecutionPolicy:
     # ------------------------------------------------------------------
     # Derived resources
     # ------------------------------------------------------------------
-    def build_cache(self) -> CalibrationCache:
-        """A fresh calibration cache bounded by this policy."""
-        return CalibrationCache(max_entries=self.cache_max_entries)
+    def build_cache(self, *, obs=None, metrics=None) -> CalibrationCache:
+        """A fresh calibration cache bounded by this policy.
 
-    def build_runner(self, cache: CalibrationCache | None = None) -> BatchRunner:
+        ``obs``/``metrics`` thread a trace recorder and metric registry
+        through (see :mod:`repro.obs`); omitted, the cache uses the
+        process default recorder and a private registry.
+        """
+        return CalibrationCache(
+            max_entries=self.cache_max_entries, obs=obs, metrics=metrics
+        )
+
+    def build_runner(
+        self,
+        cache: CalibrationCache | None = None,
+        *,
+        obs=None,
+        metrics=None,
+    ) -> BatchRunner:
         """A fresh batch runner configured by this policy."""
         return BatchRunner(
             n_workers=self.n_workers,
             backend=self.backend,
-            cache=cache if cache is not None else self.build_cache(),
+            cache=cache if cache is not None else self.build_cache(
+                obs=obs, metrics=metrics
+            ),
+            obs=obs,
+            metrics=metrics,
         )
 
     def replace(self, **changes) -> "ExecutionPolicy":

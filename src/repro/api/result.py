@@ -58,12 +58,18 @@ class SessionStats:
     configuration forced the fallback); cache counters are deltas over
     the *whole* workload, which may span several engine batches (a
     coverage run measures the good device, then the catalog).
+    ``fallbacks`` counts the workload's batches that *requested* the
+    vectorized backend but were forced onto the reference path (see
+    :meth:`repro.engine.runner.BatchRunner._plan_backend`) — nonzero
+    means the policy asked for throughput the configuration could not
+    honor.
     """
 
     backend: str
     n_workers: int
     cache_hits: int
     cache_misses: int
+    fallbacks: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -76,6 +82,7 @@ class SessionStats:
             "n_workers": self.n_workers,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "fallbacks": self.fallbacks,
         }
 
 

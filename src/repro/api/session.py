@@ -45,6 +45,8 @@ from ..core.config import AnalyzerConfig
 from ..engine.cache import CalibrationCache
 from ..engine.runner import BatchRunner
 from ..errors import ConfigError
+from ..obs.metrics import MetricRegistry
+from ..obs.recorder import default_recorder
 from . import channels
 from .policy import ExecutionPolicy, policy_for_runner
 from .result import DiagnosisOutcome, SessionResult, SessionStats
@@ -70,6 +72,13 @@ class Session:
         An existing :class:`~repro.engine.runner.BatchRunner` to adopt —
         its backend, worker count and cache then *are* the session's
         (the policy's execution fields are ignored in its favour).
+    obs:
+        Trace recorder (see :mod:`repro.obs`).  Defaults to the
+        process-wide default recorder — the shared zero-cost
+        ``NullRecorder`` unless a harness installed one.  An adopted
+        runner's recorder is used when ``obs`` is omitted; passing one
+        explicitly re-points the adopted runner (and its cache) so the
+        whole session records into a single trace.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class Session:
         *,
         cache: CalibrationCache | None = None,
         runner: BatchRunner | None = None,
+        obs=None,
     ) -> None:
         if policy is None:
             policy = ExecutionPolicy()
@@ -89,21 +99,41 @@ class Session:
                     "pass either runner= or cache=, not both: an adopted "
                     "runner brings its own calibration cache"
                 )
+            if obs is not None:
+                runner.obs = obs
+                runner.cache.obs = obs
+            self.obs = runner.obs
             self.runner = runner
             self.cache = runner.cache
+            self.metrics = runner.metrics
             self.policy = policy_for_runner(runner, seed=policy.seed)
             self._owns_runner = False
         else:
+            self.obs = obs if obs is not None else default_recorder()
+            self.metrics = MetricRegistry()
             if cache is not None:
                 # The recorded policy must describe the resources
                 # actually in use — an adopted cache brings its bound.
                 policy = policy.replace(cache_max_entries=cache.max_entries)
                 self.cache = cache
+                if obs is not None:
+                    cache.obs = self.obs
             else:
-                self.cache = policy.build_cache()
-            self.runner = policy.build_runner(cache=self.cache)
+                self.cache = policy.build_cache(
+                    obs=self.obs, metrics=self.metrics
+                )
+            # Passing obs= explicitly makes the runner re-point the
+            # cache's recorder; an adopted cache keeps its own unless
+            # the caller asked for that.
+            self.runner = policy.build_runner(
+                cache=self.cache,
+                obs=obs if cache is not None else self.obs,
+                metrics=self.metrics,
+            )
             self.policy = policy
             self._owns_runner = True
+        self.obs.attach_metrics(self.metrics)
+        self.obs.attach_metrics(self.cache.metrics)
         self.dut = dut
         self.config = config if config is not None else AnalyzerConfig.ideal()
 
@@ -136,8 +166,14 @@ class Session:
     def _config(self, override) -> AnalyzerConfig:
         return override if override is not None else self.config
 
-    def _counters(self) -> tuple[int, int]:
-        return self.cache.hits, self.cache.misses
+    def _counters(self) -> tuple[int, int, int]:
+        return self.cache.hits, self.cache.misses, self.runner.fallbacks
+
+    def _span(self, workload: str, name: str):
+        """The per-workload-call trace span (``session.<workload>``)."""
+        return self.obs.span(
+            f"session.{workload}", kind="session", exact={"name": name}
+        )
 
     def _result(
         self,
@@ -145,7 +181,7 @@ class Session:
         name: str,
         channel_pair: tuple[dict, dict],
         raw,
-        counters: tuple[int, int],
+        counters: tuple[int, int, int],
         backend: str | None = None,
     ) -> SessionResult:
         if backend is None:
@@ -157,6 +193,7 @@ class Session:
             n_workers=self.runner.n_workers,
             cache_hits=self.cache.hits - counters[0],
             cache_misses=self.cache.misses - counters[1],
+            fallbacks=self.runner.fallbacks - counters[2],
         )
         return SessionResult(
             workload=workload,
@@ -188,21 +225,22 @@ class Session:
         """
         frequencies = [float(f) for f in frequencies]
         counters = self._counters()
-        measurements = self.runner.run_sweep(
-            self._dut(dut),
-            self._config(config),
-            frequencies,
-            m_periods=m_periods,
-            calibration=calibration,
-            calibration_fwave=calibration_fwave,
-        )
-        return self._result(
-            "sweep",
-            name,
-            channels.sweep_channels(frequencies, measurements),
-            measurements,
-            counters,
-        )
+        with self._span("sweep", name):
+            measurements = self.runner.run_sweep(
+                self._dut(dut),
+                self._config(config),
+                frequencies,
+                m_periods=m_periods,
+                calibration=calibration,
+                calibration_fwave=calibration_fwave,
+            )
+            return self._result(
+                "sweep",
+                name,
+                channels.sweep_channels(frequencies, measurements),
+                measurements,
+                counters,
+            )
 
     def bode(
         self,
@@ -220,18 +258,19 @@ class Session:
         from ..core.bode import BodeResult
 
         frequencies = sorted(float(f) for f in frequencies)
-        result = self.sweep(
-            frequencies,
-            m_periods=m_periods,
-            calibration=calibration,
-            calibration_fwave=calibration_fwave,
-            dut=dut,
-            config=config,
-            name=name,
-        )
-        return dataclasses.replace(
-            result, workload="bode", raw=BodeResult(tuple(result.raw))
-        )
+        with self._span("bode", name):
+            result = self.sweep(
+                frequencies,
+                m_periods=m_periods,
+                calibration=calibration,
+                calibration_fwave=calibration_fwave,
+                dut=dut,
+                config=config,
+                name=name,
+            )
+            return dataclasses.replace(
+                result, workload="bode", raw=BodeResult(tuple(result.raw))
+            )
 
     # ------------------------------------------------------------------
     # Monte-Carlo yield lots
@@ -257,21 +296,22 @@ class Session:
         from ..bist.montecarlo import YieldReport
 
         counters = self._counters()
-        trials = self.runner.run_trials(
-            nominal,
-            mask,
-            program,
-            n_devices=n_devices,
-            component_sigma=component_sigma,
-            seed=self.policy.seed if seed is None else seed,
-            config=self._config(config),
-        )
-        report = YieldReport(
-            trials=tuple(trials), ambiguous_passes=ambiguous_passes
-        )
-        return self._result(
-            "yield", name, channels.yield_channels(report), report, counters
-        )
+        with self._span("yield", name):
+            trials = self.runner.run_trials(
+                nominal,
+                mask,
+                program,
+                n_devices=n_devices,
+                component_sigma=component_sigma,
+                seed=self.policy.seed if seed is None else seed,
+                config=self._config(config),
+            )
+            report = YieldReport(
+                trials=tuple(trials), ambiguous_passes=ambiguous_passes
+            )
+            return self._result(
+                "yield", name, channels.yield_channels(report), report, counters
+            )
 
     # ------------------------------------------------------------------
     # Fault coverage
@@ -306,49 +346,52 @@ class Session:
         counters = self._counters()
         frequencies = list(dict.fromkeys(program.frequencies))
 
-        good_signature = measure_signature(
-            good_dut,
-            frequencies,
-            config=config,
-            m_periods=program.m_periods,
-            session=self,
-        )
-        good_report = signature_report(good_signature, program)
-        if good_report.verdict == "fail":
-            raise ConfigError(
-                "the known-good DUT fails the program; mask and DUT are "
-                "inconsistent"
+        with self._span("coverage", name):
+            good_signature = measure_signature(
+                good_dut,
+                frequencies,
+                config=config,
+                m_periods=program.m_periods,
+                session=self,
             )
-
-        campaign = FaultCampaign(
-            good_dut,
-            faults,
-            frequencies,
-            config=config,
-            m_periods=program.m_periods,
-        )
-        dictionary = campaign.run(session=self, nominal=good_signature)
-
-        trials = []
-        for fault in faults:
-            report = signature_report(dictionary.entry(fault.label), program)
-            trials.append(
-                FaultTrial(
-                    fault=fault,
-                    verdict=report.verdict,
-                    detected=report.verdict in ("fail", "ambiguous"),
+            good_report = signature_report(good_signature, program)
+            if good_report.verdict == "fail":
+                raise ConfigError(
+                    "the known-good DUT fails the program; mask and DUT are "
+                    "inconsistent"
                 )
+
+            campaign = FaultCampaign(
+                good_dut,
+                faults,
+                frequencies,
+                config=config,
+                m_periods=program.m_periods,
             )
-        coverage = CoverageReport(
-            trials=tuple(trials), good_verdict=good_report.verdict
-        )
-        return self._result(
-            "coverage",
-            name,
-            channels.coverage_channels(coverage),
-            coverage,
-            counters,
-        )
+            dictionary = campaign.run(session=self, nominal=good_signature)
+
+            trials = []
+            for fault in faults:
+                report = signature_report(
+                    dictionary.entry(fault.label), program
+                )
+                trials.append(
+                    FaultTrial(
+                        fault=fault,
+                        verdict=report.verdict,
+                        detected=report.verdict in ("fail", "ambiguous"),
+                    )
+                )
+            coverage = CoverageReport(
+                trials=tuple(trials), good_verdict=good_report.verdict
+            )
+            return self._result(
+                "coverage",
+                name,
+                channels.coverage_channels(coverage),
+                coverage,
+                counters,
+            )
 
     # ------------------------------------------------------------------
     # Pseudorandom BIST
@@ -377,6 +420,7 @@ class Session:
             PrbistCoverageReport,
             PrbistFaultTrial,
             PseudorandomPlan,
+            campaign_attrs,
         )
         from ..prbist.misr import MISRConfig
 
@@ -395,38 +439,44 @@ class Session:
         counters = self._counters()
         frequencies = plan.frequencies()
         duts = [good_dut] + [fault.apply(good_dut) for fault in faults]
-        trials = self.runner.run_pseudorandom_trials(
-            duts,
-            config,
-            frequencies,
-            misr,
-            m_periods=m_periods,
-        )
-        golden = trials[0]
-        fault_trials = tuple(
-            PrbistFaultTrial(
-                label=fault.label,
-                responding=trial.words != golden.words,
-                detected=trial.signature != golden.signature,
-                signature=trial.signature,
+        with self._span("pseudorandom", name):
+            with self.obs.span(
+                "prbist.campaign",
+                kind="campaign",
+                exact=campaign_attrs(plan, misr, len(duts)),
+            ):
+                trials = self.runner.run_pseudorandom_trials(
+                    duts,
+                    config,
+                    frequencies,
+                    misr,
+                    m_periods=m_periods,
+                )
+            golden = trials[0]
+            fault_trials = tuple(
+                PrbistFaultTrial(
+                    label=fault.label,
+                    responding=trial.words != golden.words,
+                    detected=trial.signature != golden.signature,
+                    signature=trial.signature,
+                )
+                for fault, trial in zip(faults, trials[1:])
             )
-            for fault, trial in zip(faults, trials[1:])
-        )
-        report = PrbistCoverageReport(
-            plan=plan,
-            misr=misr,
-            frequencies=frequencies,
-            golden_words=golden.words,
-            golden_signature=golden.signature,
-            trials=fault_trials,
-        )
-        return self._result(
-            "pseudorandom",
-            name,
-            channels.prbist_coverage_channels(report),
-            report,
-            counters,
-        )
+            report = PrbistCoverageReport(
+                plan=plan,
+                misr=misr,
+                frequencies=frequencies,
+                golden_words=golden.words,
+                golden_signature=golden.signature,
+                trials=fault_trials,
+            )
+            return self._result(
+                "pseudorandom",
+                name,
+                channels.prbist_coverage_channels(report),
+                report,
+                counters,
+            )
 
     def signature_check(
         self,
@@ -449,7 +499,11 @@ class Session:
         report (the scenario compiler passes the catalog fault it
         applied).
         """
-        from ..prbist.campaign import PseudorandomPlan, SignatureCheckReport
+        from ..prbist.campaign import (
+            PseudorandomPlan,
+            SignatureCheckReport,
+            campaign_attrs,
+        )
         from ..prbist.misr import MISRConfig
 
         if not isinstance(plan, PseudorandomPlan):
@@ -465,29 +519,35 @@ class Session:
         config = self._config(config)
         counters = self._counters()
         frequencies = plan.frequencies()
-        golden, measured = self.runner.run_pseudorandom_trials(
-            [good_dut, device],
-            config,
-            frequencies,
-            misr,
-            m_periods=m_periods,
-        )
-        report = SignatureCheckReport(
-            inject=inject,
-            misr=misr,
-            frequencies=frequencies,
-            golden_words=golden.words,
-            golden_signature=golden.signature,
-            measured_words=measured.words,
-            measured_signature=measured.signature,
-        )
-        return self._result(
-            "signature_check",
-            name,
-            channels.signature_check_channels(report),
-            report,
-            counters,
-        )
+        with self._span("signature_check", name):
+            with self.obs.span(
+                "prbist.campaign",
+                kind="campaign",
+                exact=campaign_attrs(plan, misr, 2),
+            ):
+                golden, measured = self.runner.run_pseudorandom_trials(
+                    [good_dut, device],
+                    config,
+                    frequencies,
+                    misr,
+                    m_periods=m_periods,
+                )
+            report = SignatureCheckReport(
+                inject=inject,
+                misr=misr,
+                frequencies=frequencies,
+                golden_words=golden.words,
+                golden_signature=golden.signature,
+                measured_words=measured.words,
+                measured_signature=measured.signature,
+            )
+            return self._result(
+                "signature_check",
+                name,
+                channels.signature_check_channels(report),
+                report,
+                counters,
+            )
 
     # ------------------------------------------------------------------
     # Harmonic distortion
@@ -504,20 +564,21 @@ class Session:
         """One Fig. 10c distortion experiment per stimulus frequency;
         ``raw`` is the list of distortion reports."""
         counters = self._counters()
-        reports = self.runner.run_distortion(
-            self._dut(dut),
-            self._config(config),
-            fwaves,
-            harmonics=tuple(harmonics),
-            m_periods=m_periods,
-        )
-        return self._result(
-            "distortion",
-            name,
-            channels.distortion_channels(reports),
-            reports,
-            counters,
-        )
+        with self._span("distortion", name):
+            reports = self.runner.run_distortion(
+                self._dut(dut),
+                self._config(config),
+                fwaves,
+                harmonics=tuple(harmonics),
+                m_periods=m_periods,
+            )
+            return self._result(
+                "distortion",
+                name,
+                channels.distortion_channels(reports),
+                reports,
+                counters,
+            )
 
     # ------------------------------------------------------------------
     # Dictionary diagnosis
@@ -593,32 +654,33 @@ class Session:
                 device = by_label[inject].apply(campaign.good_dut)
 
         counters = self._counters()
-        dictionary = campaign.run(session=self)
-        probes = select_probe_frequencies(dictionary, n_probes)
-        production = dictionary.restrict(probes)
-        signature = measure_signature(
-            device,
-            probes,
-            config=campaign.config,
-            m_periods=campaign.m_periods,
-            label=inject,
-            session=self,
-        )
-        diagnosis = run_diagnosis(signature, production, top_n=top_n)
-        outcome = DiagnosisOutcome(
-            dictionary=dictionary,
-            probes=tuple(float(f) for f in probes),
-            production=production,
-            signature=signature,
-            diagnosis=diagnosis,
-        )
-        return self._result(
-            "diagnose",
-            name,
-            channels.diagnose_channels(diagnosis, probes, inject),
-            outcome,
-            counters,
-        )
+        with self._span("diagnose", name):
+            dictionary = campaign.run(session=self)
+            probes = select_probe_frequencies(dictionary, n_probes)
+            production = dictionary.restrict(probes)
+            signature = measure_signature(
+                device,
+                probes,
+                config=campaign.config,
+                m_periods=campaign.m_periods,
+                label=inject,
+                session=self,
+            )
+            diagnosis = run_diagnosis(signature, production, top_n=top_n)
+            outcome = DiagnosisOutcome(
+                dictionary=dictionary,
+                probes=tuple(float(f) for f in probes),
+                production=production,
+                signature=signature,
+                diagnosis=diagnosis,
+            )
+            return self._result(
+                "diagnose",
+                name,
+                channels.diagnose_channels(diagnosis, probes, inject),
+                outcome,
+                counters,
+            )
 
     # ------------------------------------------------------------------
     # Dynamic range
@@ -642,23 +704,24 @@ class Session:
         from ..core.dynamic_range import evaluator_dynamic_range
 
         counters = self._counters()
-        result = evaluator_dynamic_range(
-            m_periods=m_periods,
-            carrier_amplitude=carrier_amplitude,
-            vref=vref,
-            harmonic=harmonic,
-            levels_dbc=levels_dbc,
-            threshold_db=threshold_db,
-            runner=self.runner,
-        )
-        return self._result(
-            "dynamic_range",
-            name,
-            channels.dynamic_range_channels(result),
-            result,
-            counters,
-            backend="reference",  # probe jobs have no vectorized form
-        )
+        with self._span("dynamic_range", name):
+            result = evaluator_dynamic_range(
+                m_periods=m_periods,
+                carrier_amplitude=carrier_amplitude,
+                vref=vref,
+                harmonic=harmonic,
+                levels_dbc=levels_dbc,
+                threshold_db=threshold_db,
+                runner=self.runner,
+            )
+            return self._result(
+                "dynamic_range",
+                name,
+                channels.dynamic_range_channels(result),
+                result,
+                counters,
+                backend="reference",  # probe jobs have no vectorized form
+            )
 
     # ------------------------------------------------------------------
     # Whole scenarios
@@ -675,14 +738,15 @@ class Session:
         from ..scenarios.compiler import compile_scenario
 
         counters = self._counters()
-        result = compile_scenario(spec).run(session=self)
-        return self._result(
-            "scenario",
-            spec.name,
-            channels.scenario_channels(result),
-            result,
-            counters,
-        )
+        with self._span("scenario", spec.name):
+            result = compile_scenario(spec).run(session=self)
+            return self._result(
+                "scenario",
+                spec.name,
+                channels.scenario_channels(result),
+                result,
+                counters,
+            )
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Ten subcommands mirror the library's main flows::
+Eleven subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -46,6 +46,13 @@ Ten subcommands mirror the library's main flows::
         compiled onto the engine, with golden-baseline record/check
         regression testing (see :mod:`repro.scenarios`).
 
+    python -m repro trace summarize run.jsonl
+        Per-span wall-time/count summary of a recorded trace.  Every
+        measurement subcommand accepts ``--trace PATH.jsonl`` and writes
+        the invocation's span tree (session calls, scenario steps,
+        campaigns, engine batches, calibrations) as canonical JSON lines
+        — see :mod:`repro.obs`.
+
 Execution is decided in exactly one place: every measurement subcommand
 shares the same ``--workers`` / ``--backend`` / ``--policy policy.json``
 arguments (one argparse parent parser), mapped onto a validated
@@ -59,7 +66,7 @@ the scenario specs it runs; explicit flags override its fields.
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all ten.
+through all eleven.
 """
 
 from __future__ import annotations
@@ -143,6 +150,11 @@ def _execution_parent() -> argparse.ArgumentParser:
              "The scenario subcommands take backend/workers from the "
              "file but always keep the spec's own seed (a recorded "
              "baseline replays only under its own seed)")
+    group.add_argument(
+        "--trace", type=str, default=None, metavar="TRACE_JSONL",
+        help="record the invocation's span tree (session calls, "
+             "campaigns, engine batches, calibrations) to this JSONL "
+             "file; inspect it with 'python -m repro trace summarize'")
     return parent
 
 
@@ -166,7 +178,12 @@ def _policy_from_args(args) -> ExecutionPolicy:
 
 def _session_from_args(args, dut=None, config=None) -> Session:
     """One session per invocation: the single execution decision point."""
-    return Session(dut=dut, config=config, policy=_policy_from_args(args))
+    return Session(
+        dut=dut,
+        config=config,
+        policy=_policy_from_args(args),
+        obs=getattr(args, "_obs", None),
+    )
 
 
 def _cmd_design(_args) -> int:
@@ -599,10 +616,12 @@ def _cmd_scenarios(args) -> int:
     from .scenarios.spec import ScenarioSpec
 
     backend, workers = _scenario_overrides(args)
+    obs = getattr(args, "_obs", None)
 
     if args.scenarios_command == "check":
         report = check(
-            args.baseline, backend=backend, n_workers=workers, update=args.update
+            args.baseline, backend=backend, n_workers=workers,
+            update=args.update, obs=obs,
         )
         print(report.report())
         return 0 if (report.ok or report.updated) else 1
@@ -611,17 +630,41 @@ def _cmd_scenarios(args) -> int:
     started = time.perf_counter()
     if args.scenarios_command == "record":
         out = args.out if args.out else f"{spec.name}.json"
-        result = record(spec, out, backend=backend, n_workers=workers)
+        result = record(spec, out, backend=backend, n_workers=workers, obs=obs)
         elapsed = time.perf_counter() - started
         print(f"recorded baseline for scenario {spec.name!r} -> {out}")
     else:  # run
-        result = run_scenario(spec, backend=backend, n_workers=workers)
+        result = run_scenario(spec, backend=backend, n_workers=workers, obs=obs)
         elapsed = time.perf_counter() - started
     rows = [[s.kind, s.name, s.headline()] for s in result.steps]
     rows.append(["", "wall time (s)", f"{elapsed:.2f}"])
     rows.append(["", "backend", result.backend])
     print(ascii_table(["step", "name", "result"], rows,
                       title=f"Scenario {spec.name!r}"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Inspect a recorded trace file.
+
+    ``summarize`` reads the canonical JSONL written by any measurement
+    subcommand's ``--trace`` flag and renders a per-span table —
+    occurrence count, total and self wall time, mean duration —
+    aggregated over repeated span patterns (``job[17]`` folds into
+    ``job[*]``), ordered by where the time actually went.
+
+    Usage example::
+
+        python -m repro sweep --points 25 --trace sweep.jsonl
+        python -m repro trace summarize sweep.jsonl
+    """
+    from .obs import summary_table
+    from .reporting.export import trace_from_jsonl
+
+    trace = trace_from_jsonl(_read_text(args.trace_file, what="trace"))
+    header, rows = summary_table(trace)
+    print(ascii_table(header, rows,
+                      title=f"Trace summary ({len(trace)} spans)"))
     return 0
 
 
@@ -820,6 +863,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-record the baseline in place when drift "
                               "is found (after an intentional change)")
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="inspect trace files recorded with --trace (see repro.obs)",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    summarize_p = trace_sub.add_parser(
+        "summarize",
+        help="per-span wall-time/count table of a recorded trace",
+    )
+    summarize_p.add_argument(
+        "trace_file", help="path to a trace written by --trace PATH.jsonl"
+    )
+
     return parser
 
 
@@ -846,6 +902,7 @@ _COMMANDS = {
     "distortion": _cmd_distortion,
     "dynamic-range": _cmd_dynamic_range,
     "scenarios": _cmd_scenarios,
+    "trace": _cmd_trace,
 }
 
 
@@ -853,7 +910,25 @@ def main(argv=None) -> int:
     """Entry point (``python -m repro ...``)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _COMMANDS[args.command](args)
+
+    from .obs import TraceRecorder
+    from .reporting.export import trace_to_jsonl
+
+    # One recorder for the whole invocation: the session (or scenario
+    # harness) the subcommand builds picks it up via args._obs, and the
+    # file is written even when the command fails partway — a trace of
+    # a failed run is exactly when you want one.
+    recorder = TraceRecorder()
+    args._obs = recorder
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        with open(trace_path, "w") as handle:
+            handle.write(trace_to_jsonl(recorder.trace()))
+        print(f"wrote trace {trace_path}")
 
 
 if __name__ == "__main__":

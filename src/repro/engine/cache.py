@@ -29,6 +29,8 @@ from collections import OrderedDict
 from ..core.calibration import CalibrationResult
 from ..core.config import AnalyzerConfig
 from ..errors import ConfigError
+from ..obs.metrics import MetricRegistry
+from ..obs.recorder import default_recorder
 
 #: Default bound on cached calibrations.  Each entry is small, but a
 #: long multi-configuration campaign (config studies, window-size
@@ -55,7 +57,13 @@ class CalibrationCache:
     memory — never correctness.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        *,
+        metrics: MetricRegistry | None = None,
+        obs=None,
+    ) -> None:
         if not isinstance(max_entries, int) or max_entries < 1:
             raise ConfigError(
                 f"max_entries must be an integer >= 1, got {max_entries!r}"
@@ -64,9 +72,11 @@ class CalibrationCache:
         self._store: OrderedDict[tuple, CalibrationResult] = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: dict[tuple, threading.Event] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.obs = obs if obs is not None else default_recorder()
+        self._hits = self.metrics.counter("calibration_cache.hits")
+        self._misses = self.metrics.counter("calibration_cache.misses")
+        self._evictions = self.metrics.counter("calibration_cache.evictions")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -85,31 +95,41 @@ class CalibrationCache:
         """Return the cached calibration, acquiring it on first use."""
         m = m_periods if m_periods is not None else config.m_periods
         key = self.key(config, fwave, m)
+        with self.obs.span(
+            "calibration",
+            kind="calibration",
+            exact={"fwave_hz": key[1], "m_periods": key[2]},
+        ) as span:
+            return self._lookup(key, config, span)
+
+    def _lookup(self, key: tuple, config: AnalyzerConfig, span) -> CalibrationResult:
         while True:
             with self._lock:
                 cached = self._store.get(key)
                 if cached is not None:
                     self._store.move_to_end(key)
-                    self.hits += 1
+                    self._hits.inc()
+                    span.annotate(hit=True)
                     return cached
                 pending = self._inflight.get(key)
                 if pending is None:
                     # This thread owns the acquisition.
                     pending = threading.Event()
                     self._inflight[key] = pending
-                    self.misses += 1
+                    self._misses.inc()
+                    span.annotate(hit=False)
                     break
             # Another thread is acquiring this key: wait, then re-check
             # (on its failure, one waiter becomes the next owner).
             pending.wait()
         try:
-            calibration = acquire_calibration(config, fwave, m)
+            calibration = acquire_calibration(config, key[1], key[2])
             with self._lock:
                 self._store[key] = calibration
                 self._store.move_to_end(key)
                 while len(self._store) > self.max_entries:
                     self._store.popitem(last=False)
-                    self.evictions += 1
+                    self._evictions.inc()
             return calibration
         finally:
             with self._lock:
@@ -121,6 +141,21 @@ class CalibrationCache:
         return len(self._store)
 
     @property
+    def hits(self) -> int:
+        """Lookups served from the cache (``calibration_cache.hits``)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that acquired fresh (``calibration_cache.misses``)."""
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions (``calibration_cache.evictions``)."""
+        return self._evictions.value
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache."""
         total = self.hits + self.misses
@@ -130,9 +165,9 @@ class CalibrationCache:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._store.clear()
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._evictions.reset()
 
 
 def acquire_calibration(

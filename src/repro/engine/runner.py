@@ -45,6 +45,8 @@ from ..core.measurement import GainPhaseMeasurement
 from ..dut.active_rc import FilterComponents
 from ..dut.base import DUT
 from ..errors import ConfigError
+from ..obs.metrics import MetricRegistry
+from ..obs.recorder import default_recorder
 from .cache import CalibrationCache
 from .jobs import (
     DeviceTrialJob,
@@ -115,6 +117,18 @@ class BatchRunner:
         batches run inline — ``n_workers`` only affects batches that
         fall back to the reference backend (e.g. noisy-generator
         configurations, or the distortion workload).
+    obs:
+        Trace recorder (see :mod:`repro.obs`).  Defaults to the
+        process-wide default recorder — the shared ``NullRecorder``
+        unless a harness installed one — so tracing is zero-cost until
+        opted into.  Passing an explicit recorder also re-points an
+        *adopted* cache's recorder, so calibration spans land in the
+        same trace as the batches that triggered them.
+    metrics:
+        Registry for the runner's ``engine.*`` counters; a private one
+        is created when not provided.  An adopted cache keeps its own
+        registry (its counters stay the one source of truth for
+        hit/miss accounting) — trace export merges the snapshots.
     """
 
     def __init__(
@@ -122,6 +136,9 @@ class BatchRunner:
         n_workers: int = 1,
         cache: CalibrationCache | None = None,
         backend: str = "reference",
+        *,
+        obs=None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigError(f"n_workers must be an integer >= 1, got {n_workers!r}")
@@ -131,7 +148,19 @@ class BatchRunner:
             )
         self.n_workers = n_workers
         self.backend = backend
-        self.cache = cache if cache is not None else CalibrationCache()
+        self.obs = obs if obs is not None else default_recorder()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        if cache is None:
+            self.cache = CalibrationCache(metrics=self.metrics, obs=self.obs)
+        else:
+            self.cache = cache
+            if obs is not None:
+                cache.obs = self.obs
+        self.obs.attach_metrics(self.metrics)
+        self.obs.attach_metrics(self.cache.metrics)
+        self._batches = self.metrics.counter("engine.batches")
+        self._jobs = self.metrics.counter("engine.jobs")
+        self._fallbacks = self.metrics.counter("engine.fallbacks")
         self.last_stats: BatchStats | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._last_effective_workers = 1
@@ -143,6 +172,29 @@ class BatchRunner:
         from .vectorized import supports_vectorized
 
         return supports_vectorized(config)
+
+    def _plan_backend(
+        self, config: AnalyzerConfig, vectorizable: bool = True
+    ) -> tuple[str, bool]:
+        """``(backend actually used, is it a fallback)`` for one batch.
+
+        A *fallback* is a batch whose workload has a vectorized path and
+        whose runner requested it, but whose configuration the
+        vectorized backend cannot honor (noisy generator — see
+        :func:`repro.engine.vectorized.supports_vectorized`).  A
+        workload with no vectorized path at all (distortion) is not a
+        fallback; it simply always runs on the reference backend.
+        """
+        if self.backend != "vectorized" or not vectorizable:
+            return "reference", False
+        if self._vectorize(config):
+            return "vectorized", False
+        return "reference", True
+
+    @property
+    def fallbacks(self) -> int:
+        """Batches forced off the vectorized backend (``engine.fallbacks``)."""
+        return self._fallbacks.value
 
     # ------------------------------------------------------------------
     # Generic dispatch
@@ -162,12 +214,48 @@ class BatchRunner:
         workers = min(self.n_workers, len(jobs))
         if workers <= 1:
             self._last_effective_workers = 1
-            return [fn(job) for job in jobs]
+            if not self.obs.enabled:
+                return [fn(job) for job in jobs]
+            results = []
+            for i, job in enumerate(jobs):
+                with self._job_span(job, i, worker="inline"):
+                    results.append(fn(job))
+            return results
         self._last_effective_workers = workers
         chunk = max(1, len(jobs) // (4 * workers))
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
-        return list(self._executor.map(fn, jobs, chunksize=chunk))
+        results = list(self._executor.map(fn, jobs, chunksize=chunk))
+        if self.obs.enabled:
+            # Pool jobs execute in worker processes; their spans are
+            # emitted here with zero-ish duration so the tree *shape*
+            # matches a serial run — worker attribution is timing-channel.
+            for i, job in enumerate(jobs):
+                with self._job_span(job, i, worker="pool"):
+                    pass
+        return results
+
+    def _job_span(self, job, i: int, worker: str):
+        """The per-job span: exact name ``job[<seed index>]``."""
+        span = self.obs.span(
+            f"job[{getattr(job, 'index', i)}]", kind="engine.job"
+        )
+        span.annotate_timing(worker=worker)
+        return span
+
+    def _array_job_spans(self, indices) -> None:
+        """Synthetic per-job spans for a vectorized (stacked-array) batch.
+
+        The vectorized backend evaluates the whole population at once;
+        emitting one zero-duration span per logical job keeps the span
+        tree shape identical to the reference backend's, which is what
+        lets traces be diffed across backends.
+        """
+        if not self.obs.enabled:
+            return
+        for i in indices:
+            with self.obs.span(f"job[{i}]", kind="engine.job") as span:
+                span.annotate_timing(worker="array")
 
     def close(self) -> None:
         """Shut down the worker pool (no-op if none was created)."""
@@ -196,6 +284,50 @@ class BatchRunner:
             cache_hits=self.cache.hits - hits0,
             cache_misses=self.cache.misses - misses0,
             backend=backend,
+        )
+
+    def _finish_batch(
+        self,
+        span,
+        n_jobs: int,
+        hits0: int,
+        misses0: int,
+        used: str,
+        fallback: bool,
+    ) -> None:
+        """Close out one batch: stats, counters, and the backend event.
+
+        The ``backend`` event is emitted on *every* batch with its whole
+        payload in the timing channel: the backend actually used (and
+        whether it was a fallback) may legitimately differ between a
+        reference and a vectorized run of the same workload, and must
+        not perturb the exact-channel determinism contract.  Cache
+        deltas, by contrast, are backend-invariant (calibration is
+        acquired once per batch in this process) and go in the exact
+        channel.
+        """
+        self._batches.inc()
+        self._jobs.inc(n_jobs)
+        if fallback:
+            self._fallbacks.inc()
+        self._record(n_jobs, hits0, misses0, backend=used)
+        span.annotate(
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - misses0,
+        )
+        span.annotate_timing(
+            backend=used,
+            fallback=fallback,
+            n_workers=self._last_effective_workers,
+        )
+        span.event(
+            "backend",
+            timing={
+                "requested": self.backend,
+                "used": used,
+                "fallback": fallback,
+                "n_workers": self._last_effective_workers,
+            },
         )
 
     # ------------------------------------------------------------------
@@ -230,36 +362,45 @@ class BatchRunner:
         if not frequencies:
             raise ConfigError("frequency list is empty")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        if calibration is None:
-            fcal = (
-                calibration_fwave
-                if calibration_fwave is not None
-                else frequencies[0]
-            )
-            calibration = self.calibration_for(config, fcal, m_periods)
-        if self._vectorize(config):
-            from .vectorized import run_sweep_vectorized
+        used, fallback = self._plan_backend(config)
+        with self.obs.span(
+            "engine.sweep",
+            kind="engine.batch",
+            exact={"n_jobs": len(frequencies)},
+        ) as span:
+            if calibration is None:
+                fcal = (
+                    calibration_fwave
+                    if calibration_fwave is not None
+                    else frequencies[0]
+                )
+                calibration = self.calibration_for(config, fcal, m_periods)
+            if used == "vectorized":
+                from .vectorized import run_sweep_vectorized
 
-            results = run_sweep_vectorized(
-                dut, config, frequencies, m_periods, calibration
-            )
-            self._last_effective_workers = 1
-            self._record(len(frequencies), hits0, misses0, backend="vectorized")
+                results = run_sweep_vectorized(
+                    dut, config, frequencies, m_periods, calibration
+                )
+                self._last_effective_workers = 1
+                self._array_job_spans(range(len(frequencies)))
+                self._finish_batch(
+                    span, len(frequencies), hits0, misses0, used, fallback
+                )
+                return results
+            jobs = [
+                SweepPointJob(
+                    index=i,
+                    fwave=f,
+                    m_periods=m_periods,
+                    dut=dut,
+                    config=config,
+                    calibration=calibration,
+                )
+                for i, f in enumerate(frequencies)
+            ]
+            results = self.map_jobs(execute_sweep_point, jobs)
+            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
             return results
-        jobs = [
-            SweepPointJob(
-                index=i,
-                fwave=f,
-                m_periods=m_periods,
-                dut=dut,
-                config=config,
-                calibration=calibration,
-            )
-            for i, f in enumerate(frequencies)
-        ]
-        results = self.map_jobs(execute_sweep_point, jobs)
-        self._record(len(jobs), hits0, misses0)
-        return results
 
     def run_bode(
         self,
@@ -320,38 +461,51 @@ class BatchRunner:
         if start_index < 0:
             raise ConfigError(f"start_index must be >= 0, got {start_index}")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        fcal = (
-            calibration_fwave if calibration_fwave is not None else frequencies[0]
-        )
-        calibration = self.calibration_for(config, fcal, m_periods)
-        if self._vectorize(config):
-            from .vectorized import run_fault_trials_vectorized
+        used, fallback = self._plan_backend(config)
+        with self.obs.span(
+            "engine.fault_trials",
+            kind="engine.batch",
+            exact={"n_jobs": len(duts), "start_index": start_index},
+        ) as span:
+            fcal = (
+                calibration_fwave
+                if calibration_fwave is not None
+                else frequencies[0]
+            )
+            calibration = self.calibration_for(config, fcal, m_periods)
+            if used == "vectorized":
+                from .vectorized import run_fault_trials_vectorized
 
-            results = run_fault_trials_vectorized(
-                duts,
-                config,
-                frequencies,
-                m_periods,
-                calibration,
-                start_index=start_index,
-            )
-            self._last_effective_workers = 1
-            self._record(len(duts), hits0, misses0, backend="vectorized")
+                results = run_fault_trials_vectorized(
+                    duts,
+                    config,
+                    frequencies,
+                    m_periods,
+                    calibration,
+                    start_index=start_index,
+                )
+                self._last_effective_workers = 1
+                self._array_job_spans(
+                    range(start_index, start_index + len(duts))
+                )
+                self._finish_batch(
+                    span, len(duts), hits0, misses0, used, fallback
+                )
+                return results
+            jobs = [
+                FaultTrialJob(
+                    index=start_index + i,
+                    dut=dut,
+                    frequencies=frequencies,
+                    m_periods=m_periods,
+                    config=config,
+                    calibration=calibration,
+                )
+                for i, dut in enumerate(duts)
+            ]
+            results = self.map_jobs(execute_fault_trial, jobs)
+            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
             return results
-        jobs = [
-            FaultTrialJob(
-                index=start_index + i,
-                dut=dut,
-                frequencies=frequencies,
-                m_periods=m_periods,
-                config=config,
-                calibration=calibration,
-            )
-            for i, dut in enumerate(duts)
-        ]
-        results = self.map_jobs(execute_fault_trial, jobs)
-        self._record(len(jobs), hits0, misses0)
-        return results
 
     # ------------------------------------------------------------------
     # Pseudorandom-BIST campaigns
@@ -397,46 +551,61 @@ class BatchRunner:
         if start_index < 0:
             raise ConfigError(f"start_index must be >= 0, got {start_index}")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        fcal = (
-            calibration_fwave if calibration_fwave is not None else frequencies[0]
-        )
-        calibration = self.calibration_for(config, fcal, m_periods)
-        if self._vectorize(config):
-            from .vectorized import run_fault_trials_vectorized
+        used, fallback = self._plan_backend(config)
+        with self.obs.span(
+            "engine.pseudorandom_trials",
+            kind="engine.batch",
+            exact={"n_jobs": len(duts), "start_index": start_index},
+        ) as span:
+            fcal = (
+                calibration_fwave
+                if calibration_fwave is not None
+                else frequencies[0]
+            )
+            calibration = self.calibration_for(config, fcal, m_periods)
+            if used == "vectorized":
+                from .vectorized import run_fault_trials_vectorized
 
-            measured = run_fault_trials_vectorized(
-                duts,
-                config,
-                frequencies,
-                m_periods,
-                calibration,
-                start_index=start_index,
-                stream="prbist",
-            )
-            results = []
-            for measurements in measured:
-                words = response_words(measurements, misr.width)
-                results.append(
-                    PrbistTrial(words=words, signature=misr_compact(words, misr))
+                measured = run_fault_trials_vectorized(
+                    duts,
+                    config,
+                    frequencies,
+                    m_periods,
+                    calibration,
+                    start_index=start_index,
+                    stream="prbist",
                 )
-            self._last_effective_workers = 1
-            self._record(len(duts), hits0, misses0, backend="vectorized")
+                results = []
+                for measurements in measured:
+                    words = response_words(measurements, misr.width)
+                    results.append(
+                        PrbistTrial(
+                            words=words, signature=misr_compact(words, misr)
+                        )
+                    )
+                self._last_effective_workers = 1
+                self._array_job_spans(
+                    range(start_index, start_index + len(duts))
+                )
+                self._finish_batch(
+                    span, len(duts), hits0, misses0, used, fallback
+                )
+                return results
+            jobs = [
+                PseudorandomTrialJob(
+                    index=start_index + i,
+                    dut=dut,
+                    frequencies=frequencies,
+                    m_periods=m_periods,
+                    config=config,
+                    calibration=calibration,
+                    misr=misr,
+                )
+                for i, dut in enumerate(duts)
+            ]
+            results = self.map_jobs(execute_pseudorandom_trial, jobs)
+            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
             return results
-        jobs = [
-            PseudorandomTrialJob(
-                index=start_index + i,
-                dut=dut,
-                frequencies=frequencies,
-                m_periods=m_periods,
-                config=config,
-                calibration=calibration,
-                misr=misr,
-            )
-            for i, dut in enumerate(duts)
-        ]
-        results = self.map_jobs(execute_pseudorandom_trial, jobs)
-        self._record(len(jobs), hits0, misses0)
-        return results
 
     # ------------------------------------------------------------------
     # Harmonic distortion
@@ -458,20 +627,26 @@ class BatchRunner:
         if not fwaves:
             raise ConfigError("stimulus frequency list is empty")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        jobs = [
-            DistortionJob(
-                index=i,
-                fwave=f,
-                harmonics=tuple(harmonics),
-                m_periods=m_periods,
-                dut=dut,
-                config=config,
-            )
-            for i, f in enumerate(fwaves)
-        ]
-        reports = self.map_jobs(execute_distortion, jobs)
-        self._record(len(jobs), hits0, misses0)
-        return reports
+        used, fallback = self._plan_backend(config, vectorizable=False)
+        with self.obs.span(
+            "engine.distortion",
+            kind="engine.batch",
+            exact={"n_jobs": len(fwaves)},
+        ) as span:
+            jobs = [
+                DistortionJob(
+                    index=i,
+                    fwave=f,
+                    harmonics=tuple(harmonics),
+                    m_periods=m_periods,
+                    dut=dut,
+                    config=config,
+                )
+                for i, f in enumerate(fwaves)
+            ]
+            reports = self.map_jobs(execute_distortion, jobs)
+            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
+            return reports
 
     # ------------------------------------------------------------------
     # Monte-Carlo yield analysis
@@ -501,37 +676,46 @@ class BatchRunner:
                 f"component_sigma must be >= 0, got {component_sigma!r}"
             )
         hits0, misses0 = self.cache.hits, self.cache.misses
-        calibration = self.calibration_for(
-            config, program.frequencies[0], program.m_periods
-        )
-        if self._vectorize(config):
-            from .vectorized import run_trials_vectorized
+        used, fallback = self._plan_backend(config)
+        with self.obs.span(
+            "engine.trials",
+            kind="engine.batch",
+            exact={"n_jobs": n_devices},
+        ) as span:
+            calibration = self.calibration_for(
+                config, program.frequencies[0], program.m_periods
+            )
+            if used == "vectorized":
+                from .vectorized import run_trials_vectorized
 
-            trials = run_trials_vectorized(
-                nominal,
-                mask,
-                program,
-                n_devices=n_devices,
-                component_sigma=component_sigma,
-                seed=seed,
-                config=config,
-                calibration=calibration,
-            )
-            self._last_effective_workers = 1
-            self._record(n_devices, hits0, misses0, backend="vectorized")
+                trials = run_trials_vectorized(
+                    nominal,
+                    mask,
+                    program,
+                    n_devices=n_devices,
+                    component_sigma=component_sigma,
+                    seed=seed,
+                    config=config,
+                    calibration=calibration,
+                )
+                self._last_effective_workers = 1
+                self._array_job_spans(range(n_devices))
+                self._finish_batch(
+                    span, n_devices, hits0, misses0, used, fallback
+                )
+                return trials
+            rng = np.random.default_rng(seed)
+            jobs = [
+                DeviceTrialJob(
+                    index=i,
+                    components=nominal.with_tolerance(component_sigma, rng),
+                    mask=mask,
+                    program=program,
+                    config=config,
+                    calibration=calibration,
+                )
+                for i in range(n_devices)
+            ]
+            trials = self.map_jobs(execute_device_trial, jobs)
+            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
             return trials
-        rng = np.random.default_rng(seed)
-        jobs = [
-            DeviceTrialJob(
-                index=i,
-                components=nominal.with_tolerance(component_sigma, rng),
-                mask=mask,
-                program=program,
-                config=config,
-                calibration=calibration,
-            )
-            for i in range(n_devices)
-        ]
-        trials = self.map_jobs(execute_device_trial, jobs)
-        self._record(len(jobs), hits0, misses0)
-        return trials

@@ -131,35 +131,46 @@ class FaultCampaign:
                 runner=runner,
             )
         engine = session.runner
-        if nominal is None:
-            duts = [self.good_dut] + [f.apply(self.good_dut) for f in self.faults]
-            results = engine.run_fault_trials(
-                duts, self.config, self.frequencies, m_periods=self.m_periods
-            )
-            nominal = signature_from_measurements(NOMINAL_LABEL, results[0])
-            fault_results = results[1:]
-        else:
-            if nominal.frequencies != self.frequencies:
-                raise ConfigError(
-                    f"nominal signature probes {nominal.frequencies}, the "
-                    f"campaign {self.frequencies}"
+        with session.obs.span(
+            "faults.campaign",
+            kind="campaign",
+            exact={
+                "n_faults": len(self.faults),
+                "n_frequencies": len(self.frequencies),
+                "adopted_nominal": nominal is not None,
+            },
+        ):
+            if nominal is None:
+                duts = [self.good_dut] + [
+                    f.apply(self.good_dut) for f in self.faults
+                ]
+                results = engine.run_fault_trials(
+                    duts, self.config, self.frequencies, m_periods=self.m_periods
                 )
-            if nominal.label != NOMINAL_LABEL:
-                nominal = FaultSignature(NOMINAL_LABEL, nominal.points)
-            fault_results = engine.run_fault_trials(
-                [f.apply(self.good_dut) for f in self.faults],
-                self.config,
-                self.frequencies,
-                m_periods=self.m_periods,
-                start_index=1,  # index 0 belongs to the (adopted) nominal
+                nominal = signature_from_measurements(NOMINAL_LABEL, results[0])
+                fault_results = results[1:]
+            else:
+                if nominal.frequencies != self.frequencies:
+                    raise ConfigError(
+                        f"nominal signature probes {nominal.frequencies}, the "
+                        f"campaign {self.frequencies}"
+                    )
+                if nominal.label != NOMINAL_LABEL:
+                    nominal = FaultSignature(NOMINAL_LABEL, nominal.points)
+                fault_results = engine.run_fault_trials(
+                    [f.apply(self.good_dut) for f in self.faults],
+                    self.config,
+                    self.frequencies,
+                    m_periods=self.m_periods,
+                    start_index=1,  # index 0 belongs to the (adopted) nominal
+                )
+            entries = tuple(
+                signature_from_measurements(fault.label, measurements)
+                for fault, measurements in zip(self.faults, fault_results)
             )
-        entries = tuple(
-            signature_from_measurements(fault.label, measurements)
-            for fault, measurements in zip(self.faults, fault_results)
-        )
-        return FaultDictionary(
-            nominal=nominal, entries=entries, m_periods=self.m_periods
-        )
+            return FaultDictionary(
+                nominal=nominal, entries=entries, m_periods=self.m_periods
+            )
 
 
 def measure_signature(
@@ -193,11 +204,17 @@ def measure_signature(
     else:
         from ..api.session import legacy_session
 
-        engine = legacy_session(
+        session = legacy_session(
             "measure_signature", backend=backend, runner=runner
-        ).runner
+        )
+        engine = session.runner
     config = config if config is not None else AnalyzerConfig.ideal()
-    results = engine.run_fault_trials(
-        [dut], config, _plan_frequencies(frequencies), m_periods=m_periods
-    )
-    return signature_from_measurements(label, results[0])
+    with session.obs.span(
+        "faults.measure_signature",
+        kind="campaign",
+        exact={"label": label},
+    ):
+        results = engine.run_fault_trials(
+            [dut], config, _plan_frequencies(frequencies), m_periods=m_periods
+        )
+        return signature_from_measurements(label, results[0])

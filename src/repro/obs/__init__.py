@@ -1,0 +1,64 @@
+"""repro.obs — the observability spine: tracing + metrics for every layer.
+
+Built for the ROADMAP's analyzer-as-a-service step: a job queue
+streaming incremental results cannot be operated blind, so execution is
+instrumented once, here, and every layer threads through it:
+
+* :class:`~repro.obs.recorder.TraceRecorder` — a span tree (session
+  call → scenario step → campaign → job batch → calibration) with
+  monotonic timings, outcomes, backend and worker attribution, split
+  into an *exact* channel (bit-identical across execution strategies)
+  and a *timing* channel (everything that may legitimately vary).
+* :class:`~repro.obs.recorder.NullRecorder` — the zero-cost default;
+  instrumented hot paths guard per-job work behind ``obs.enabled``.
+* :class:`~repro.obs.metrics.MetricRegistry` — typed counters, gauges
+  and histograms; the calibration cache's hit/miss/eviction counters
+  and the engine's batch/fallback accounting live here (one source of
+  truth for ``SessionStats`` and trace export alike).
+* :func:`~repro.obs.summary.summarize_trace` /
+  :func:`~repro.obs.compare.diff_traces` — per-span time/count
+  aggregation (the CLI's ``repro trace summarize``) and golden-style
+  exact-channel trace comparison reported by span path.
+
+Canonical JSONL serialization lives with the other byte-stable formats
+in :mod:`repro.reporting.export` (``trace_to_jsonl`` /
+``trace_from_jsonl``).  See DESIGN.md ("observability") for the span
+taxonomy and the channel-split rationale.
+"""
+
+from .compare import TraceDiffReport, TraceDrift, diff_traces
+from .metrics import Counter, Gauge, Histogram, MetricRegistry, merge_snapshots
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    Trace,
+    TraceRecorder,
+    default_recorder,
+    set_default_recorder,
+    use_recorder,
+)
+from .summary import SpanSummary, normalize_path, summarize_trace, summary_table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "SpanSummary",
+    "Trace",
+    "TraceDiffReport",
+    "TraceDrift",
+    "TraceRecorder",
+    "default_recorder",
+    "diff_traces",
+    "merge_snapshots",
+    "normalize_path",
+    "set_default_recorder",
+    "summarize_trace",
+    "summary_table",
+    "use_recorder",
+]

@@ -1,0 +1,121 @@
+"""Exact-channel trace comparison, reported by span path.
+
+The tolerance-audit counterpart of the golden-baseline harness's
+:func:`repro.scenarios.result.diff`: two recordings of the same
+workload — under different worker counts, different backends, or a
+recording against a replay — must agree on *tree shape* (the same span
+paths in the same order) and on every exact-channel payload; only the
+timing channels may differ.  :func:`diff_traces` names every
+discrepancy by span path, so "a span went missing under n_workers=2"
+reads as exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .recorder import Trace
+
+
+@dataclass(frozen=True)
+class TraceDrift:
+    """One recorded-vs-replayed trace discrepancy, naming the span path."""
+
+    path: str
+    field: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"span {self.path!r} field {self.field!r}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class TraceDiffReport:
+    """Outcome of comparing two traces on the exact channel."""
+
+    drifts: tuple[TraceDrift, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def report(self) -> str:
+        if self.ok:
+            return "traces agree on the exact channel"
+        lines = [f"{len(self.drifts)} trace drift(s) detected"]
+        lines.extend(f"  - {drift}" for drift in self.drifts)
+        return "\n".join(lines)
+
+
+def _diff_payload(path: str, where: str, recorded: dict, replayed: dict,
+                  out: list) -> None:
+    for key in sorted(set(recorded) | set(replayed)):
+        name = f"{where}.{key}" if where else key
+        if key not in replayed:
+            out.append(TraceDrift(path, name, "missing from replay"))
+        elif key not in recorded:
+            out.append(TraceDrift(path, name, "not in recorded trace"))
+        elif recorded[key] != replayed[key]:
+            out.append(TraceDrift(
+                path, name,
+                f"recorded {recorded[key]!r}, replayed {replayed[key]!r}",
+            ))
+
+
+def _diff_events(path: str, recorded: list, replayed: list, out: list) -> None:
+    if [e["name"] for e in recorded] != [e["name"] for e in replayed]:
+        out.append(TraceDrift(
+            path, "events",
+            f"recorded {[e['name'] for e in recorded]}, "
+            f"replayed {[e['name'] for e in replayed]}",
+        ))
+        return
+    for i, (a, b) in enumerate(zip(recorded, replayed)):
+        _diff_payload(path, f"events[{i}].exact", a["exact"], b["exact"], out)
+
+
+def diff_traces(recorded: Trace, replayed: Trace) -> TraceDiffReport:
+    """Compare two traces on shape and exact channels.
+
+    Span paths must occur in the same order with the same name/kind;
+    every span's exact payload and its event names + exact payloads
+    must match bit-identically.  Timing channels (and the metrics
+    snapshot) are never compared — that is the whole point of the
+    channel split.
+    """
+    for trace in (recorded, replayed):
+        if not isinstance(trace, Trace):
+            raise ConfigError(f"diff_traces expects Trace objects, got {trace!r}")
+    drifts: list[TraceDrift] = []
+    recorded_paths = recorded.paths()
+    replayed_paths = replayed.paths()
+    recorded_set = set(recorded_paths)
+    replayed_set = set(replayed_paths)
+    for path in recorded_paths:
+        if path not in replayed_set:
+            drifts.append(TraceDrift(path, "span", "missing from replay"))
+    for path in replayed_paths:
+        if path not in recorded_set:
+            drifts.append(TraceDrift(path, "span", "not in recorded trace"))
+    if not drifts and recorded_paths != replayed_paths:
+        drifts.append(TraceDrift(
+            "<trace>", "order",
+            f"span order changed: recorded {list(recorded_paths)}, "
+            f"replayed {list(replayed_paths)}",
+        ))
+    by_path = {record["path"]: record for record in replayed.spans}
+    for record in recorded.spans:
+        other = by_path.get(record["path"])
+        if other is None:
+            continue
+        path = record["path"]
+        for key in ("name", "kind"):
+            if record[key] != other[key]:
+                drifts.append(TraceDrift(
+                    path, key,
+                    f"recorded {record[key]!r}, replayed {other[key]!r}",
+                ))
+        _diff_payload(path, "exact", record["exact"], other["exact"], drifts)
+        _diff_events(path, record["events"], other["events"], drifts)
+    return TraceDiffReport(drifts=tuple(drifts))

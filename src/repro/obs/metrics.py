@@ -1,0 +1,233 @@
+"""Typed metrics: counters, gauges and histograms behind one registry.
+
+Before this module, execution accounting was scattered across ad-hoc
+integer attributes: :class:`~repro.engine.cache.CalibrationCache` kept
+``hits``/``misses``/``evictions`` as plain ints, and backend/fallback
+accounting lived only on :class:`~repro.engine.runner.BatchStats`.  A
+:class:`MetricRegistry` names those quantities once, with a type each:
+
+* :class:`Counter` — monotonically increasing event count (cache hits,
+  dispatched jobs, backend fallbacks).  ``reset()`` exists only for
+  owners with an explicit reset semantic (``CalibrationCache.clear``).
+* :class:`Gauge` — a last-written value (effective workers of the most
+  recent batch).
+* :class:`Histogram` — summary statistics (count/total/min/max) of an
+  observed distribution (batch sizes, span durations).
+
+A registry is cheap and thread-safe: one lock guards creation and every
+update, so the cache's lock-held increments and a parallel dispatcher's
+updates stay exact.  Re-requesting a metric name returns the *same*
+instrument (shared semantics — the cache and the session report from
+one source of truth); re-requesting it as a different type is a
+:class:`~repro.errors.ConfigError`.
+
+``snapshot()`` emits a canonical-JSON-friendly payload; trace export
+(:func:`repro.reporting.export.trace_to_jsonl`) embeds it as the trace's
+final metrics line.  Metric values include timings and platform-varying
+quantities, so snapshots belong to the trace's *timing* channel — they
+are never part of the exact-channel determinism contract
+(see :mod:`repro.obs.recorder`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from ..errors import ConfigError
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(
+                f"counter {self.name!r}: increments must be >= 0, got {n!r}"
+            )
+        with self._lock:
+            self._value += n
+
+    def reset(self) -> None:
+        """Zero the count (owners with an explicit reset, e.g. cache.clear)."""
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ConfigError(
+                f"gauge {self.name!r}: value must be finite, got {value!r}"
+            )
+        with self._lock:
+            self._value = value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Summary statistics of an observed distribution."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ConfigError(
+                f"histogram {self.name!r}: observed value must be finite, "
+                f"got {value!r}"
+            )
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricRegistry:
+    """A named set of typed instruments with shared-instance semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        if not name or not isinstance(name, str):
+            raise ConfigError(f"metric name must be a non-empty string, got {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigError(
+                        f"metric {name!r} is a {existing.kind}, not a "
+                        f"{cls.kind}; one name, one type"
+                    )
+                return existing
+            metric = cls(name, self._lock)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict:
+        """Canonical-JSON-friendly payload: ``{name: {type, ...}}``."""
+        with self._lock:
+            return {
+                name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())
+            }
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Combine registry snapshots into one payload.
+
+    A session's cache and runner may carry *separate* registries (an
+    adopted cache keeps its own); trace export merges their snapshots.
+    Counters and histograms of the same name accumulate; a gauge keeps
+    the last snapshot's value; merging a name across different types is
+    a :class:`~repro.errors.ConfigError`.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, payload in snapshot.items():
+            if name not in merged:
+                merged[name] = dict(payload)
+                continue
+            kept = merged[name]
+            if kept["type"] != payload["type"]:
+                raise ConfigError(
+                    f"cannot merge metric {name!r}: {kept['type']} vs "
+                    f"{payload['type']}"
+                )
+            if payload["type"] == "counter":
+                kept["value"] += payload["value"]
+            elif payload["type"] == "gauge":
+                kept["value"] = payload["value"]
+            else:  # histogram
+                kept["count"] += payload["count"]
+                kept["total"] += payload["total"]
+                for key, pick in (("min", min), ("max", max)):
+                    if kept[key] is None:
+                        kept[key] = payload[key]
+                    elif payload[key] is not None:
+                        kept[key] = pick(kept[key], payload[key])
+    return dict(sorted(merged.items()))

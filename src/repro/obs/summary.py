@@ -1,0 +1,107 @@
+"""Per-span aggregation of a trace: the ``repro trace summarize`` table.
+
+A raw trace names every span occurrence uniquely (``job[17]``,
+``engine.sweep#3``); the summary collapses those occurrences onto their
+*pattern* — repetition suffixes stripped, job indices wildcarded — and
+aggregates count, total/self/mean time per pattern.  Self time is the
+span's duration minus its direct children's, so the table answers "where
+does the time actually go" rather than double-counting every parent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .recorder import Trace
+
+_REPEAT_SUFFIX = re.compile(r"#\d+$")
+_JOB_INDEX = re.compile(r"\[\d+\]")
+
+
+def normalize_path(path: str) -> str:
+    """Collapse one span occurrence path onto its pattern.
+
+    ``scenario:x/step#2/job[17]`` → ``scenario:x/step/job[*]``.
+    """
+    parts = []
+    for part in path.split("/"):
+        part = _REPEAT_SUFFIX.sub("", part)
+        part = _JOB_INDEX.sub("[*]", part)
+        parts.append(part)
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregated figures for one span pattern."""
+
+    path: str
+    kind: str
+    count: int
+    total_ms: float
+    self_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+def summarize_trace(trace: Trace) -> tuple[SpanSummary, ...]:
+    """Aggregate a trace per span pattern, ordered by self time.
+
+    Deterministic for a given trace: rows sort by descending self time
+    with the pattern path as tiebreak, so summarizing a committed trace
+    file always renders the same table.
+    """
+    if not isinstance(trace, Trace):
+        raise ConfigError(f"summarize_trace expects a Trace, got {trace!r}")
+    child_us: dict[str, float] = {}
+    for record in trace.spans:
+        parent = record.get("parent")
+        if parent is not None:
+            child_us[parent] = (
+                child_us.get(parent, 0.0) + record["timing"]["duration_us"]
+            )
+    rows: dict[str, dict] = {}
+    for record in trace.spans:
+        pattern = normalize_path(record["path"])
+        duration = record["timing"]["duration_us"]
+        self_us = max(0.0, duration - child_us.get(record["path"], 0.0))
+        row = rows.setdefault(
+            pattern,
+            {"kind": record["kind"], "count": 0, "total": 0.0, "self": 0.0},
+        )
+        row["count"] += 1
+        row["total"] += duration
+        row["self"] += self_us
+    summaries = [
+        SpanSummary(
+            path=pattern,
+            kind=row["kind"],
+            count=row["count"],
+            total_ms=row["total"] / 1000.0,
+            self_ms=row["self"] / 1000.0,
+        )
+        for pattern, row in rows.items()
+    ]
+    summaries.sort(key=lambda s: (-s.self_ms, s.path))
+    return tuple(summaries)
+
+
+def summary_table(trace: Trace) -> tuple[list[str], list[list[str]]]:
+    """Header and rows for :func:`repro.reporting.tables.ascii_table`."""
+    header = ["span", "kind", "count", "total (ms)", "self (ms)", "mean (ms)"]
+    rows = [
+        [
+            s.path,
+            s.kind,
+            str(s.count),
+            f"{s.total_ms:.3f}",
+            f"{s.self_ms:.3f}",
+            f"{s.mean_ms:.3f}",
+        ]
+        for s in summarize_trace(trace)
+    ]
+    return header, rows

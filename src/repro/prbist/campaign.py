@@ -111,6 +111,21 @@ class PseudorandomPlan:
         )
 
 
+def campaign_attrs(plan: PseudorandomPlan, misr: MISRConfig, n_devices: int) -> dict:
+    """Exact-channel span attributes of one pseudorandom campaign.
+
+    Everything here is pure plan/register data — deterministic in the
+    spec alone — so the ``prbist.campaign`` trace span carries it on the
+    exact channel (see :mod:`repro.obs.recorder`).
+    """
+    return {
+        "n_devices": int(n_devices),
+        "n_patterns": plan.n_patterns,
+        "lfsr_width": plan.lfsr.width,
+        "misr_width": misr.width,
+    }
+
+
 @dataclass(frozen=True)
 class PrbistFaultTrial:
     """One catalog fault's pseudorandom-campaign outcome."""

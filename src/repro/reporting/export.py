@@ -323,6 +323,108 @@ def canonical_json(payload) -> str:
 
 
 # ----------------------------------------------------------------------
+# Trace JSONL round-trip (see repro.obs.recorder)
+# ----------------------------------------------------------------------
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+def compact_canonical_json(payload) -> str:
+    """One-line canonical JSON: sorted keys, no whitespace, strict floats.
+
+    The JSONL sibling of :func:`canonical_json` — same validation, same
+    byte stability, but each payload fits on a single line so a trace
+    file can be streamed and diffed record by record.  No trailing
+    newline; the caller joins lines.
+    """
+    _validate_canonical(payload, "payload")
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def trace_to_jsonl(trace) -> str:
+    """Serialize a :class:`~repro.obs.recorder.Trace` as canonical JSONL.
+
+    Line 1 is the format header; then one line per span record, in the
+    trace's deterministic pre-order; then, if the recorder had metrics
+    attached, one final ``{"type": "metrics", ...}`` line.  Exact and
+    timing channels stay segregated inside each record, so a golden
+    comparison can parse the file and read only the exact channel.
+    """
+    from ..obs.recorder import Trace
+
+    if not isinstance(trace, Trace):
+        raise ConfigError(f"trace_to_jsonl expects a Trace, got {trace!r}")
+    lines = [
+        compact_canonical_json(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "n_spans": len(trace.spans),
+            }
+        )
+    ]
+    lines.extend(compact_canonical_json(record) for record in trace.spans)
+    if trace.metrics is not None:
+        lines.append(
+            compact_canonical_json({"type": "metrics", "metrics": trace.metrics})
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str):
+    """Rebuild a :class:`~repro.obs.recorder.Trace` from JSONL text."""
+    from ..obs.recorder import Trace
+
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigError("trace file is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"trace header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ConfigError(f"not a trace file (expected format {TRACE_FORMAT!r})")
+    if header.get("version") != TRACE_VERSION:
+        raise ConfigError(
+            f"unsupported trace version {header.get('version')!r}; "
+            f"this build reads version {TRACE_VERSION}"
+        )
+    spans: list[dict] = []
+    metrics = None
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"trace line {i} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ConfigError(f"trace line {i}: expected an object")
+        kind = record.get("type")
+        if kind == "span":
+            missing = {"path", "name", "kind", "exact", "timing", "events"} - set(
+                record
+            )
+            if missing:
+                raise ConfigError(
+                    f"trace line {i}: span record missing {sorted(missing)}"
+                )
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record.get("metrics")
+        else:
+            raise ConfigError(f"trace line {i}: unknown record type {kind!r}")
+    declared = header.get("n_spans")
+    if declared is not None and declared != len(spans):
+        raise ConfigError(
+            f"trace header declares {declared} spans, file has {len(spans)} "
+            f"(truncated or hand-edited?)"
+        )
+    return Trace(spans=tuple(spans), metrics=metrics)
+
+
+# ----------------------------------------------------------------------
 # Execution-policy JSON round-trip (see repro.api.policy)
 # ----------------------------------------------------------------------
 

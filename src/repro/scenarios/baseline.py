@@ -45,12 +45,24 @@ def record(
     n_workers: int | None = None,
     runner: BatchRunner | None = None,
     cache: CalibrationCache | None = None,
+    obs=None,
 ) -> ScenarioResult:
-    """Run a scenario and write its golden baseline artifact."""
+    """Run a scenario and write its golden baseline artifact.
+
+    Tracing a recording (``obs=``, see :mod:`repro.obs`) never changes
+    the artifact: span payloads live beside the run, not in it, so a
+    baseline recorded with tracing enabled is byte-identical to one
+    recorded without.
+    """
     from ..reporting.export import baseline_to_json, write_json
 
     result = run_scenario(
-        spec, backend=backend, n_workers=n_workers, runner=runner, cache=cache
+        spec,
+        backend=backend,
+        n_workers=n_workers,
+        runner=runner,
+        cache=cache,
+        obs=obs,
     )
     write_json(path, baseline_to_json(spec, result))
     return result
@@ -103,6 +115,7 @@ def check(
     runner: BatchRunner | None = None,
     cache: CalibrationCache | None = None,
     update: bool = False,
+    obs=None,
 ) -> CheckReport:
     """Replay a recorded baseline and report any drift.
 
@@ -122,6 +135,7 @@ def check(
         n_workers=n_workers,
         runner=runner,
         cache=cache,
+        obs=obs,
     )
     drift = diff(baseline.result, replayed)
     updated = False

@@ -127,6 +127,7 @@ class CompiledScenario:
         runner: BatchRunner | None = None,
         cache: CalibrationCache | None = None,
         session: Session | None = None,
+        obs=None,
     ) -> ScenarioResult:
         """Execute every step in order on one shared session.
 
@@ -134,26 +135,55 @@ class CompiledScenario:
         an existing ``session`` (or legacy ``runner``) to also share its
         calibration cache and worker pool across scenarios (the
         overrides are then ignored in favour of the session's own
-        policy).
+        policy).  ``obs`` threads a trace recorder through the one-shot
+        session (see :mod:`repro.obs`); an adopted session already
+        brings its own recorder.
         """
         if session is not None:
+            if obs is not None:
+                raise ConfigError(
+                    "pass either session= or obs=, not both: an adopted "
+                    "session brings its own trace recorder"
+                )
             return self._run_on(session)
         if runner is not None:
-            return self._run_on(Session(runner=runner))
+            return self._run_on(Session(runner=runner, obs=obs))
         policy = ExecutionPolicy(
             backend=backend if backend is not None else self.spec.backend,
             n_workers=n_workers if n_workers is not None else self.spec.n_workers,
             seed=self.spec.seed,
         )
-        with Session(policy=policy, cache=cache) as shared:
+        with Session(policy=policy, cache=cache, obs=obs) as shared:
             return self._run_on(shared)
 
     def _run_on(self, session: Session) -> ScenarioResult:
-        results = tuple(step.execute(session) for step in self.steps)
+        obs = session.obs
+        with obs.span(
+            f"scenario:{self.spec.name}",
+            kind="scenario",
+            exact={"n_steps": len(self.steps)},
+        ):
+            results = []
+            for compiled in self.steps:
+                # The span is named by the *step*, not its headline:
+                # step names are path-stable identifiers (trace diffs
+                # report by span path), so the human-readable headline
+                # rides along as an exact attribute instead.
+                with obs.span(
+                    compiled.step.name,
+                    kind="scenario.step",
+                    exact={
+                        "step_kind": compiled.step.kind,
+                        "n_jobs": compiled.n_jobs,
+                    },
+                ) as span:
+                    result = compiled.execute(session)
+                    span.annotate(headline=result.headline())
+                results.append(result)
         return ScenarioResult(
             scenario=self.spec.name,
             backend=session.runner.backend,
-            steps=results,
+            steps=tuple(results),
         )
 
 
@@ -164,6 +194,7 @@ def run_scenario(
     runner: BatchRunner | None = None,
     cache: CalibrationCache | None = None,
     session: Session | None = None,
+    obs=None,
 ) -> ScenarioResult:
     """Compile and execute a scenario in one call."""
     return compile_scenario(spec).run(
@@ -172,6 +203,7 @@ def run_scenario(
         runner=runner,
         cache=cache,
         session=session,
+        obs=obs,
     )
 
 

@@ -1,0 +1,74 @@
+"""Satellite: CalibrationCache accounting lives on the MetricRegistry.
+
+``hits``/``misses``/``evictions`` used to be plain int attributes; they
+are now read-only views over registry counters.  Same numbers, same
+reset semantics — plus one named source of truth the session and the
+trace exporter both read.
+"""
+
+import pytest
+
+from repro.core.config import AnalyzerConfig
+from repro.engine import CalibrationCache
+from repro.obs import MetricRegistry, TraceRecorder
+
+CONFIG = AnalyzerConfig.ideal(m_periods=20)
+
+
+def warm(cache: CalibrationCache, fwave: float = 1000.0) -> None:
+    cache.get_or_acquire(CONFIG, fwave=fwave)
+
+
+class TestCounters:
+    def test_hit_miss_accounting_unchanged(self):
+        cache = CalibrationCache()
+        warm(cache)
+        warm(cache)
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+
+    def test_counters_live_on_the_registry(self):
+        registry = MetricRegistry()
+        cache = CalibrationCache(metrics=registry)
+        warm(cache)
+        warm(cache)
+        assert registry.counter("calibration_cache.hits").value == cache.hits
+        assert registry.counter("calibration_cache.misses").value == cache.misses
+        assert "calibration_cache.evictions" in registry
+
+    def test_eviction_counter(self):
+        cache = CalibrationCache(max_entries=1)
+        warm(cache, 1000.0)
+        warm(cache, 2000.0)  # evicts the 1000 Hz entry
+        assert cache.evictions == 1
+
+    def test_attributes_are_read_only_views(self):
+        cache = CalibrationCache()
+        with pytest.raises(AttributeError):
+            cache.hits = 7
+
+    def test_clear_resets_counters(self):
+        cache = CalibrationCache()
+        warm(cache)
+        warm(cache)
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+
+
+class TestCalibrationSpans:
+    def test_lookup_emits_a_calibration_span(self):
+        recorder = TraceRecorder()
+        cache = CalibrationCache(obs=recorder)
+        warm(cache)
+        warm(cache)
+        spans = recorder.trace().spans
+        assert [s["name"] for s in spans] == ["calibration", "calibration"]
+        assert [s["kind"] for s in spans] == ["calibration", "calibration"]
+        assert [s["exact"]["hit"] for s in spans] == [False, True]
+        assert spans[0]["exact"]["fwave_hz"] == 1000.0
+
+    def test_invalid_fwave_still_raises_before_any_span(self):
+        recorder = TraceRecorder()
+        cache = CalibrationCache(obs=recorder)
+        with pytest.raises(Exception):
+            cache.get_or_acquire(CONFIG, fwave=-1.0)
+        assert len(recorder.trace()) == 0

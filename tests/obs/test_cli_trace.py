@@ -1,0 +1,78 @@
+"""The CLI trace surface: --trace recording and `trace summarize`."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+from repro.reporting.export import trace_from_jsonl
+
+SWEEP = ["sweep", "--points", "2", "--m-periods", "10",
+         "--f-start", "500", "--f-stop", "2000"]
+
+
+class TestParser:
+    def test_every_measurement_subcommand_takes_trace(self):
+        parser = build_parser()
+        for command in (["bode"], ["sweep"], ["yield"], ["coverage"],
+                        ["prbist"], ["diagnose"], ["distortion"],
+                        ["dynamic-range"], ["scenarios", "run", "spec.json"]):
+            args = parser.parse_args(command + ["--trace", "t.jsonl"])
+            assert args.trace == "t.jsonl"
+
+    def test_trace_summarize_args(self):
+        args = build_parser().parse_args(["trace", "summarize", "run.jsonl"])
+        assert args.command == "trace"
+        assert args.trace_command == "summarize"
+        assert args.trace_file == "run.jsonl"
+
+
+class TestRecording:
+    def test_sweep_writes_a_parseable_trace(self, tmp_path, capsys):
+        target = tmp_path / "sweep.jsonl"
+        assert main(SWEEP + ["--trace", str(target)]) == 0
+        assert f"wrote trace {target}" in capsys.readouterr().out
+        trace = trace_from_jsonl(target.read_text())
+        assert "session.bode/session.sweep" in trace.paths()
+        assert trace.metrics["engine.jobs"]["value"] == 2
+
+    def test_scenario_run_traces_steps(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"format": "repro-scenario", "version": 1, "name": "cli",\n'
+            ' "analyzer": {"m_periods": 10},\n'
+            ' "steps": [{"kind": "sweep", "name": "probe",\n'
+            '            "f_start": 500.0, "f_stop": 2000.0, "n_points": 2}]}'
+        )
+        target = tmp_path / "scenario.jsonl"
+        assert main(["scenarios", "run", str(spec),
+                     "--trace", str(target)]) == 0
+        paths = trace_from_jsonl(target.read_text()).paths()
+        assert "scenario:cli" in paths
+        assert "scenario:cli/probe" in paths
+
+    def test_untraced_invocation_writes_nothing(self, tmp_path, capsys):
+        assert main(SWEEP) == 0
+        assert "wrote trace" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSummarize:
+    def test_summarize_renders_the_table(self, tmp_path, capsys):
+        target = tmp_path / "sweep.jsonl"
+        main(SWEEP + ["--trace", str(target)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "self (ms)" in out
+        assert "engine.sweep/job[*]" in out
+
+    def test_missing_file_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read trace"):
+            main(["trace", "summarize", str(tmp_path / "absent.jsonl")])
+
+    def test_non_trace_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"hello": "world"}\n')
+        with pytest.raises(ConfigError, match="not a trace file"):
+            main(["trace", "summarize", str(bogus)])

@@ -1,0 +1,45 @@
+"""The committed example trace: the trace-format regression pin.
+
+``tests/baselines/traces/`` holds one trace recorded with
+``python -m repro scenarios run examples/scenarios/bode_sweep.json
+--trace ...`` plus the ``trace summarize`` rendering of it.  Summaries
+are deterministic in the file alone, so any drift in the JSONL reader,
+the path normalizer or the table renderer shows up here as a tier-1
+failure (and the CI ``obs`` job replays the same comparison through the
+CLI).
+"""
+
+import pathlib
+
+from repro.cli import main
+from repro.obs import diff_traces
+from repro.reporting.export import trace_from_jsonl, trace_to_jsonl
+
+TRACES_DIR = pathlib.Path(__file__).parent.parent / "baselines" / "traces"
+TRACE = TRACES_DIR / "bode_sweep.trace.jsonl"
+SUMMARY = TRACES_DIR / "bode_sweep.summary.txt"
+
+
+def test_committed_trace_parses_and_reserializes_byte_identically():
+    text = TRACE.read_text()
+    assert trace_to_jsonl(trace_from_jsonl(text)) == text
+
+
+def test_committed_summary_matches_a_fresh_rendering(capsys):
+    assert main(["trace", "summarize", str(TRACE)]) == 0
+    assert capsys.readouterr().out == SUMMARY.read_text()
+
+
+def test_committed_trace_exact_channel_replays(tmp_path):
+    """A fresh run of the same spec must agree on the exact channel."""
+    spec = (
+        pathlib.Path(__file__).parent.parent.parent
+        / "examples" / "scenarios" / "bode_sweep.json"
+    )
+    replay = tmp_path / "replay.jsonl"
+    assert main(["scenarios", "run", str(spec), "--trace", str(replay)]) == 0
+    report = diff_traces(
+        trace_from_jsonl(TRACE.read_text()),
+        trace_from_jsonl(replay.read_text()),
+    )
+    assert report.ok, report.report()

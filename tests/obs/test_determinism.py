@@ -1,0 +1,126 @@
+"""Satellite: trace determinism across execution strategies.
+
+The exact channel is part of the reproducibility contract: the same
+spec + seed + policy produces the identical span tree shape and the
+identical exact payloads whether the run is serial or parallel,
+reference or vectorized.  Only the timing channels may differ.  And the
+comparator itself must have teeth: a span that goes missing (or appears
+from nowhere) is reported *by span path*.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs import Trace, TraceRecorder, diff_traces
+from repro.scenarios import (
+    AnalyzerSettings,
+    CoverageStep,
+    ScenarioSpec,
+    SweepStep,
+    baseline,
+    run_scenario,
+)
+
+SPEC = ScenarioSpec(
+    name="determinism",
+    analyzer=AnalyzerSettings(m_periods=20),
+    steps=(
+        SweepStep(name="probe", f_start=500.0, f_stop=2000.0, n_points=3),
+        CoverageStep(name="cov", deviations=(0.5,)),
+    ),
+)
+
+
+def trace_under(backend: str, n_workers: int) -> Trace:
+    recorder = TraceRecorder()
+    run_scenario(SPEC, backend=backend, n_workers=n_workers, obs=recorder)
+    return recorder.trace()
+
+
+@pytest.fixture(scope="module")
+def reference_w1() -> Trace:
+    return trace_under("reference", 1)
+
+
+class TestCrossStrategyDeterminism:
+    def test_parallel_matches_serial(self, reference_w1):
+        report = diff_traces(reference_w1, trace_under("reference", 2))
+        assert report.ok, report.report()
+
+    def test_vectorized_matches_reference(self, reference_w1):
+        report = diff_traces(reference_w1, trace_under("vectorized", 1))
+        assert report.ok, report.report()
+
+    def test_repeat_run_is_identical(self, reference_w1):
+        report = diff_traces(reference_w1, trace_under("reference", 1))
+        assert report.ok, report.report()
+
+    def test_timings_may_differ_without_drift(self, reference_w1):
+        other = trace_under("vectorized", 1)
+        assert diff_traces(reference_w1, other).ok
+        # ...even though the timing channels genuinely disagree:
+        batches_a = [s for s in reference_w1.spans if s["kind"] == "engine.batch"]
+        batches_b = [s for s in other.spans if s["kind"] == "engine.batch"]
+        assert any(
+            a["timing"].get("backend") != b["timing"].get("backend")
+            for a, b in zip(batches_a, batches_b)
+        )
+
+
+class TestComparatorTeeth:
+    def test_missing_span_is_reported_by_path(self, reference_w1):
+        pruned = Trace(
+            spans=tuple(
+                s for s in reference_w1.spans if s["kind"] != "calibration"
+            ),
+            metrics=reference_w1.metrics,
+        )
+        report = diff_traces(reference_w1, pruned)
+        assert not report.ok
+        dropped = [s["path"] for s in reference_w1.spans
+                   if s["kind"] == "calibration"]
+        reported = {d.path for d in report.drifts}
+        assert set(dropped) <= reported
+        assert "missing from replay" in report.report()
+
+    def test_extra_span_is_reported_by_path(self, reference_w1):
+        intruder = dict(reference_w1.spans[-1])
+        intruder["path"] = "scenario:determinism/phantom"
+        intruder["name"] = "phantom"
+        padded = Trace(
+            spans=reference_w1.spans + (intruder,),
+            metrics=reference_w1.metrics,
+        )
+        report = diff_traces(reference_w1, padded)
+        assert not report.ok
+        assert any(
+            d.path == "scenario:determinism/phantom"
+            and d.detail == "not in recorded trace"
+            for d in report.drifts
+        )
+
+    def test_exact_payload_drift_is_reported_by_field(self, reference_w1):
+        mutated = [dict(s) for s in reference_w1.spans]
+        mutated[0] = dict(mutated[0], exact=dict(mutated[0]["exact"], n_steps=99))
+        report = diff_traces(
+            reference_w1, Trace(spans=tuple(mutated))
+        )
+        assert any(d.field == "exact.n_steps" for d in report.drifts)
+
+
+class TestGoldenBaselinesUnderTracing:
+    def test_recording_with_tracing_is_byte_identical(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        baseline.record(SPEC, plain)
+        baseline.record(SPEC, traced, obs=TraceRecorder())
+        assert plain.read_bytes() == traced.read_bytes()
+
+    def test_committed_baseline_checks_clean_under_tracing(self):
+        path = (
+            pathlib.Path(__file__).parent.parent
+            / "baselines" / "scenarios" / "bode_sweep.json"
+        )
+        report = baseline.check(path, obs=TraceRecorder())
+        assert report.ok, report.report()

@@ -1,0 +1,85 @@
+"""Satellite: the backend *actually used* is recorded per job batch.
+
+A vectorized policy can meet a workload the array backend cannot
+reproduce (a noisy generator renders per-job noise); the runner falls
+back to the reference path.  That decision is now observable three
+ways: a ``backend`` trace event on the batch span, the runner's
+``engine.fallbacks`` counter, and ``SessionStats.fallbacks``.
+"""
+
+from repro.api import ExecutionPolicy, Session
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.obs import TraceRecorder
+from repro.sc.opamp import OpAmpModel
+
+FREQS = [800.0, 1600.0]
+
+
+def noisy_config() -> AnalyzerConfig:
+    """The one configuration supports_vectorized refuses."""
+    return AnalyzerConfig.ideal(
+        m_periods=20,
+        generator_opamp=OpAmpModel(noise_rms=50e-6),
+        noise_seed=7,
+    )
+
+
+def clean_config() -> AnalyzerConfig:
+    return AnalyzerConfig.ideal(m_periods=20)
+
+
+def run_sweep(config, backend: str, obs=None):
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    policy = ExecutionPolicy(backend=backend)
+    with Session(dut=dut, config=config, policy=policy, obs=obs) as session:
+        return session.sweep(FREQS)
+
+
+class TestFallbackAccounting:
+    def test_noisy_generator_falls_back_and_is_counted(self):
+        result = run_sweep(noisy_config(), "vectorized")
+        assert result.stats.backend == "reference"
+        assert result.stats.fallbacks == 1
+
+    def test_supported_vectorized_workload_does_not_count(self):
+        result = run_sweep(clean_config(), "vectorized")
+        assert result.stats.backend == "vectorized"
+        assert result.stats.fallbacks == 0
+
+    def test_reference_policy_is_never_a_fallback(self):
+        result = run_sweep(noisy_config(), "reference")
+        assert result.stats.fallbacks == 0
+
+    def test_fallbacks_in_stats_payload(self):
+        result = run_sweep(noisy_config(), "vectorized")
+        assert result.stats.to_payload()["fallbacks"] == 1
+
+
+class TestBackendEvent:
+    def batch_record(self, config, backend: str) -> dict:
+        recorder = TraceRecorder()
+        run_sweep(config, backend, obs=recorder)
+        spans = recorder.trace().spans
+        (batch,) = [s for s in spans if s["kind"] == "engine.batch"]
+        return batch
+
+    def test_event_reports_requested_vs_used(self):
+        batch = self.batch_record(noisy_config(), "vectorized")
+        (event,) = [e for e in batch["events"] if e["name"] == "backend"]
+        assert event["timing"]["requested"] == "vectorized"
+        assert event["timing"]["used"] == "reference"
+        assert event["timing"]["fallback"] is True
+        assert batch["timing"]["fallback"] is True
+        assert batch["timing"]["backend"] == "reference"
+
+    def test_event_present_without_fallback_too(self):
+        batch = self.batch_record(clean_config(), "vectorized")
+        (event,) = [e for e in batch["events"] if e["name"] == "backend"]
+        assert event["timing"]["used"] == "vectorized"
+        assert event["timing"]["fallback"] is False
+
+    def test_event_payload_stays_off_the_exact_channel(self):
+        batch = self.batch_record(noisy_config(), "vectorized")
+        (event,) = [e for e in batch["events"] if e["name"] == "backend"]
+        assert event["exact"] == {}

@@ -1,0 +1,137 @@
+"""Typed metrics: counters, gauges, histograms and the registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricRegistry, merge_snapshots
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricRegistry().counter("jobs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricRegistry().counter("jobs")
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = MetricRegistry().counter("jobs")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_snapshot(self):
+        counter = MetricRegistry().counter("jobs")
+        counter.inc(2)
+        assert counter.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_last_written_value(self):
+        gauge = MetricRegistry().gauge("workers")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_non_finite_rejected(self):
+        gauge = MetricRegistry().gauge("workers")
+        with pytest.raises(ConfigError, match="finite"):
+            gauge.set(float("nan"))
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricRegistry().histogram("batch_size")
+        for value in (3.0, 7.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.min == 3.0
+        assert histogram.max == 7.0
+        assert histogram.mean == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert MetricRegistry().histogram("empty").mean == 0.0
+
+    def test_non_finite_rejected(self):
+        histogram = MetricRegistry().histogram("batch_size")
+        with pytest.raises(ConfigError, match="finite"):
+            histogram.observe(float("inf"))
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        registry = MetricRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_one_name_one_type(self):
+        registry = MetricRegistry()
+        registry.counter("hits")
+        with pytest.raises(ConfigError, match="one name, one type"):
+            registry.gauge("hits")
+
+    def test_name_must_be_nonempty_string(self):
+        registry = MetricRegistry()
+        with pytest.raises(ConfigError, match="non-empty string"):
+            registry.counter("")
+        with pytest.raises(ConfigError, match="non-empty string"):
+            registry.counter(None)
+
+    def test_container_protocol(self):
+        registry = MetricRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert len(registry) == 2
+        assert "a" in registry and "c" not in registry
+        assert registry.names() == ("a", "b")
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc(2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "z"]
+        assert snapshot["a"] == {"type": "counter", "value": 2}
+
+
+class TestMergeSnapshots:
+    def test_counters_accumulate_gauges_last_win(self):
+        merged = merge_snapshots([
+            {"hits": {"type": "counter", "value": 2},
+             "workers": {"type": "gauge", "value": 1.0}},
+            {"hits": {"type": "counter", "value": 3},
+             "workers": {"type": "gauge", "value": 4.0}},
+        ])
+        assert merged["hits"]["value"] == 5
+        assert merged["workers"]["value"] == 4.0
+
+    def test_histograms_merge(self):
+        merged = merge_snapshots([
+            {"h": {"type": "histogram", "count": 2, "total": 4.0,
+                   "min": 1.0, "max": 3.0}},
+            {"h": {"type": "histogram", "count": 1, "total": 9.0,
+                   "min": 9.0, "max": 9.0}},
+        ])
+        assert merged["h"] == {
+            "type": "histogram", "count": 3, "total": 13.0,
+            "min": 1.0, "max": 9.0,
+        }
+
+    def test_type_conflict_rejected(self):
+        with pytest.raises(ConfigError, match="cannot merge"):
+            merge_snapshots([
+                {"x": {"type": "counter", "value": 1}},
+                {"x": {"type": "gauge", "value": 1.0}},
+            ])
+
+    def test_result_is_sorted(self):
+        merged = merge_snapshots([
+            {"z": {"type": "counter", "value": 1}},
+            {"a": {"type": "counter", "value": 1}},
+        ])
+        assert list(merged) == ["a", "z"]

@@ -1,0 +1,187 @@
+"""The obs= seam on the session surface, and the span taxonomy it emits."""
+
+import pytest
+
+from repro.api import ExecutionPolicy, Session
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.engine import BatchRunner, CalibrationCache
+from repro.errors import ConfigError
+from repro.obs import NULL_RECORDER, TraceRecorder, normalize_path
+from repro.scenarios import AnalyzerSettings, ScenarioSpec, SweepStep, run_scenario
+
+SMALL = AnalyzerConfig.ideal(m_periods=20)
+FREQS = [500.0, 2000.0]
+
+
+def small_session(obs=None, **kwargs) -> Session:
+    return Session(
+        dut=ActiveRCLowpass.from_specs(cutoff=1000.0),
+        config=SMALL,
+        obs=obs,
+        **kwargs,
+    )
+
+
+def patterns(recorder: TraceRecorder) -> list[str]:
+    return [normalize_path(p) for p in recorder.trace().paths()]
+
+
+class TestTaxonomy:
+    def test_sweep_spans(self):
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            session.sweep(FREQS)
+        assert patterns(recorder) == [
+            "session.sweep",
+            "session.sweep/engine.sweep",
+            "session.sweep/engine.sweep/calibration",
+            "session.sweep/engine.sweep/job[*]",
+            "session.sweep/engine.sweep/job[*]",
+        ]
+
+    def test_bode_nests_the_delegated_sweep(self):
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            session.bode(FREQS)
+        assert patterns(recorder)[:2] == [
+            "session.bode", "session.bode/session.sweep"
+        ]
+
+    def test_session_span_carries_workload_name(self):
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            session.sweep(FREQS, name="my-sweep")
+        root = recorder.trace().spans[0]
+        assert root["kind"] == "session"
+        assert root["exact"]["name"] == "my-sweep"
+
+    def test_scenario_spans_use_step_names_with_headline_attr(self):
+        spec = ScenarioSpec(
+            name="unit",
+            analyzer=AnalyzerSettings(m_periods=20),
+            steps=(
+                SweepStep(name="probe", f_start=500.0, f_stop=2000.0,
+                          n_points=2),
+            ),
+        )
+        recorder = TraceRecorder()
+        run_scenario(spec, obs=recorder)
+        spans = {s["path"]: s for s in recorder.trace().spans}
+        scenario = spans["scenario:unit"]
+        assert scenario["kind"] == "scenario"
+        assert scenario["exact"]["n_steps"] == 1
+        step = spans["scenario:unit/probe"]
+        assert step["kind"] == "scenario.step"
+        assert step["exact"]["step_kind"] == "sweep"
+        assert isinstance(step["exact"]["headline"], str)
+
+
+class TestObsSeam:
+    def test_default_is_the_null_recorder(self):
+        with small_session() as session:
+            assert session.obs is NULL_RECORDER
+            session.sweep(FREQS)  # must run untraced without error
+
+    def test_session_wires_runner_and_cache(self):
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            assert session.runner.obs is recorder
+            assert session.cache.obs is recorder
+
+    def test_adopted_runner_recorder_is_inherited(self):
+        recorder = TraceRecorder()
+        runner = BatchRunner(obs=recorder)
+        with Session(runner=runner) as session:
+            assert session.obs is recorder
+
+    def test_explicit_obs_repoints_an_adopted_runner(self):
+        recorder = TraceRecorder()
+        runner = BatchRunner()
+        with Session(runner=runner, obs=recorder) as session:
+            assert session.obs is recorder
+            assert runner.obs is recorder
+            assert runner.cache.obs is recorder
+
+    def test_adopted_cache_keeps_its_own_recorder(self):
+        cache_recorder = TraceRecorder()
+        cache = CalibrationCache(obs=cache_recorder)
+        with small_session(cache=cache) as session:
+            session.sweep(FREQS)
+        assert cache.obs is cache_recorder
+        assert any(
+            s["name"] == "calibration" for s in cache_recorder.trace().spans
+        )
+
+    def test_scenario_rejects_session_plus_obs(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        spec = ScenarioSpec(
+            name="unit",
+            analyzer=AnalyzerSettings(m_periods=20),
+            steps=(
+                SweepStep(name="probe", f_start=500.0, f_stop=2000.0,
+                          n_points=2),
+            ),
+        )
+        compiled = compile_scenario(spec)
+        with small_session() as session:
+            with pytest.raises(ConfigError, match="session= or obs="):
+                compiled.run(session=session, obs=TraceRecorder())
+
+    def test_metrics_ride_along_in_the_trace(self):
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            session.sweep(FREQS)
+        metrics = recorder.trace().metrics
+        assert metrics["engine.jobs"]["value"] == 2
+        assert metrics["engine.batches"]["value"] == 1
+        assert metrics["calibration_cache.misses"]["value"] == 1
+
+    def test_tracing_changes_no_numbers(self):
+        with small_session() as session:
+            plain = session.sweep(FREQS)
+        with small_session(obs=TraceRecorder()) as session:
+            traced = session.sweep(FREQS)
+        assert traced.exact == plain.exact
+        assert traced.floats == plain.floats
+
+
+class TestCampaignSpans:
+    def test_fault_coverage_nests_campaign_spans(self):
+        from repro.bist.limits import SpecMask
+        from repro.bist.program import BISTProgram
+        from repro.dut.faults import fault_catalog
+
+        golden = ActiveRCLowpass.from_specs(cutoff=1000.0)
+        frequencies = [300.0, 1000.0]
+        mask = SpecMask.from_golden(golden, frequencies, tolerance_db=2.0)
+        program = BISTProgram(mask, frequencies, m_periods=20)
+        recorder = TraceRecorder()
+        with Session(
+            dut=golden, policy=ExecutionPolicy(), obs=recorder
+        ) as session:
+            session.fault_coverage(fault_catalog((0.5, -0.5)), program)
+        kinds = {s["path"]: s["kind"] for s in recorder.trace().spans}
+        assert kinds["session.coverage"] == "session"
+        assert kinds["session.coverage/faults.measure_signature"] == "campaign"
+        assert kinds["session.coverage/faults.campaign"] == "campaign"
+
+    def test_prbist_campaign_span_attrs(self):
+        from repro.dut.faults import fault_catalog
+        from repro.prbist import LFSRConfig, MISRConfig, PseudorandomPlan
+
+        catalog = fault_catalog((0.5,))
+        plan = PseudorandomPlan(LFSRConfig(width=8, seed=3), n_patterns=2)
+        recorder = TraceRecorder()
+        with small_session(obs=recorder) as session:
+            session.pseudorandom_coverage(
+                catalog, plan, misr=MISRConfig(width=8)
+            )
+        spans = {s["path"]: s for s in recorder.trace().spans}
+        campaign = spans["session.pseudorandom/prbist.campaign"]
+        assert campaign["kind"] == "campaign"
+        assert campaign["exact"]["n_patterns"] == 2
+        assert campaign["exact"]["lfsr_width"] == 8
+        assert campaign["exact"]["misr_width"] == 8
+        assert campaign["exact"]["n_devices"] == len(catalog) + 1

@@ -1,0 +1,118 @@
+"""Canonical trace export: byte-stable JSONL, round trips, summaries."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricRegistry,
+    Trace,
+    TraceRecorder,
+    normalize_path,
+    summarize_trace,
+    summary_table,
+)
+from repro.reporting.export import (
+    compact_canonical_json,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+
+
+def small_trace() -> Trace:
+    recorder = TraceRecorder()
+    registry = MetricRegistry()
+    registry.counter("engine.jobs").inc(3)
+    recorder.attach_metrics(registry)
+    with recorder.span("session.sweep", kind="session", exact={"name": "s"}):
+        with recorder.span("engine.sweep", kind="engine.batch",
+                           exact={"n_jobs": 3}) as span:
+            span.event("backend", timing={"used": "reference"})
+            for i in range(3):
+                with recorder.span(f"job[{i}]", kind="engine.job"):
+                    pass
+    return recorder.trace()
+
+
+class TestJsonl:
+    def test_round_trip_preserves_everything(self):
+        trace = small_trace()
+        loaded = trace_from_jsonl(trace_to_jsonl(trace))
+        assert loaded.spans == trace.spans
+        assert loaded.metrics == trace.metrics
+
+    def test_serialization_is_byte_stable(self):
+        trace = small_trace()
+        assert trace_to_jsonl(trace) == trace_to_jsonl(trace)
+
+    def test_layout(self):
+        text = trace_to_jsonl(small_trace())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert lines[0] == '{"format":"repro-trace","n_spans":5,"version":1}'
+        assert all("\n" not in line for line in lines)
+        assert lines[-1].startswith('{"metrics":')
+
+    def test_not_a_trace_rejected(self):
+        with pytest.raises(ConfigError, match="expects a Trace"):
+            trace_to_jsonl({"spans": []})
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            trace_from_jsonl("")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigError, match="not a trace file"):
+            trace_from_jsonl('{"format":"something-else","version":1}')
+
+    def test_truncated_file_rejected(self):
+        text = trace_to_jsonl(small_trace())
+        lines = text.splitlines()
+        truncated = "\n".join(lines[:-2]) + "\n" + lines[-1] + "\n"
+        with pytest.raises(ConfigError, match="truncated"):
+            trace_from_jsonl(truncated)
+
+    def test_unknown_record_type_rejected(self):
+        text = trace_to_jsonl(Trace()) + '{"type":"mystery"}\n'
+        with pytest.raises(ConfigError, match="mystery"):
+            trace_from_jsonl(text)
+
+
+class TestCompactCanonicalJson:
+    def test_one_line_sorted_keys(self):
+        assert compact_canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigError):
+            compact_canonical_json({"x": float("nan")})
+
+
+class TestSummary:
+    def test_normalize_path(self):
+        assert (
+            normalize_path("scenario:x/step#2/job[17]")
+            == "scenario:x/step/job[*]"
+        )
+
+    def test_aggregates_by_pattern_with_self_time(self):
+        summaries = summarize_trace(small_trace())
+        by_path = {s.path: s for s in summaries}
+        jobs = by_path["session.sweep/engine.sweep/job[*]"]
+        assert jobs.count == 3
+        assert jobs.kind == "engine.job"
+        batch = by_path["session.sweep/engine.sweep"]
+        assert batch.count == 1
+        assert batch.self_ms <= batch.total_ms
+
+    def test_ordering_is_deterministic(self):
+        trace = small_trace()
+        assert summarize_trace(trace) == summarize_trace(trace)
+
+    def test_table_shape(self):
+        header, rows = summary_table(small_trace())
+        assert header[0] == "span"
+        assert len(header) == 6
+        assert all(len(row) == 6 for row in rows)
+
+    def test_rejects_non_trace(self):
+        with pytest.raises(ConfigError, match="Trace"):
+            summarize_trace([])
