@@ -1,11 +1,26 @@
-"""Legacy setuptools shim.
+"""Packaging for the repro distribution.
 
-The execution environment ships setuptools without the ``wheel`` package,
-so PEP 517 editable installs (which build a wheel) fail offline.  This
-shim lets ``pip install -e .`` fall back to the classic ``setup.py
-develop`` path; all metadata lives in ``pyproject.toml``.
+Classic ``setup.py`` on purpose: the execution environment ships
+setuptools without the ``wheel`` package, so PEP 517 builds (which
+produce a wheel) fail offline, while ``pip install -e .`` falls back to
+the ``setup.py develop`` path.  All metadata therefore lives here.
+
+``package_data`` ships the ``py.typed`` marker (PEP 561) so downstream
+type-checkers consume the package's inline annotations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of the DATE 2008 analog-BIST network analyzer "
+        "(Barragan, Vazquez, Rueda)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,83 @@
+"""repro.analysis — repo-aware static analysis for the repro contracts.
+
+The runtime suites *witness* the repository's guarantees (bit-identical
+exact channels, deterministic seeding, byte-stable baselines); this
+package *enforces the preconditions* at review time, the way the
+paper's BIST philosophy moves verification from external bench
+equipment into the design itself.  An AST-visitor rule engine walks the
+tree and reports precise ``file:line:col`` findings for five contracts:
+
+========  =====================================================
+REP001    determinism (no ambient randomness/clocks in library code)
+REP002    seam compliance (execution resources built only in repro.api)
+REP003    error discipline (ReproError-family raises naming the field)
+REP004    canonical serialization (all JSON via canonical_json)
+REP005    lock discipline (declared guarded attrs mutate under the lock)
+========  =====================================================
+
+plus engine diagnostics REP900 (malformed suppression), REP901 (unused
+suppression) and REP902 (syntax error).  Intentional violations are
+kept with an inline ``# repro: allow[CODE]: justification`` directive;
+inherited debt lives in a committed multiset baseline that only
+shrinks.  Run it as ``repro lint`` (see the CLI) or via
+:func:`lint_paths`; tier-1 asserts the tree is clean.
+"""
+
+from .baseline import (
+    apply_baseline,
+    baseline_from_json,
+    baseline_to_json,
+    load_baseline,
+    write_baseline,
+)
+from .engine import LintReport, Module, iter_python_files, lint_paths, lint_source
+from .findings import Finding, format_findings
+from .rules import (
+    RULES,
+    CanonicalJsonRule,
+    DeterminismRule,
+    ErrorDisciplineRule,
+    LockDisciplineRule,
+    Rule,
+    SeamRule,
+    rule_catalog,
+    rule_codes,
+)
+from .suppressions import (
+    ENGINE_CODES,
+    MALFORMED_SUPPRESSION,
+    SYNTAX_ERROR,
+    UNUSED_SUPPRESSION,
+    Suppression,
+    scan_suppressions,
+)
+
+__all__ = [
+    "Finding",
+    "format_findings",
+    "Rule",
+    "RULES",
+    "DeterminismRule",
+    "SeamRule",
+    "ErrorDisciplineRule",
+    "CanonicalJsonRule",
+    "LockDisciplineRule",
+    "rule_catalog",
+    "rule_codes",
+    "Module",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "Suppression",
+    "scan_suppressions",
+    "ENGINE_CODES",
+    "MALFORMED_SUPPRESSION",
+    "UNUSED_SUPPRESSION",
+    "SYNTAX_ERROR",
+    "apply_baseline",
+    "baseline_to_json",
+    "baseline_from_json",
+    "load_baseline",
+    "write_baseline",
+]

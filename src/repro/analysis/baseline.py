@@ -1,0 +1,140 @@
+"""The grandfather baseline: committed debt, shrinking by construction.
+
+A baseline entry is a finding the team has decided to live with *for
+now* — recorded by fingerprint (path, code, message; deliberately no
+line number, so unrelated edits don't resurrect it) in a canonical-JSON
+file committed at the repository root (``lint-baseline.json``).
+
+Matching is a **multiset** subtraction: each entry absorbs exactly one
+live finding.  Two consequences make the mechanism honest:
+
+- a grandfathered problem cannot silently multiply — the second
+  occurrence of the same fingerprint is a fresh finding;
+- a fixed problem surfaces its entry as *stale* (informational), so the
+  file only ever shrinks as debt is paid down.
+
+The file itself is written with
+:func:`repro.reporting.export.canonical_json` — the baseline obeys
+REP004 like every other committed artifact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import ConfigError
+from .findings import Finding
+
+FORMAT_NAME = "repro-lint-baseline"
+FORMAT_VERSION = 1
+
+
+def baseline_to_json(findings: Iterable[Finding]) -> str:
+    """Serialize findings as a canonical-JSON baseline document."""
+    from ..reporting.export import canonical_json
+
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    return canonical_json(payload)
+
+
+def baseline_from_json(text: str) -> list[Finding]:
+    """Parse a baseline document back into (line-less) findings."""
+    import json
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"baseline file must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    if payload.get("format") != FORMAT_NAME:
+        raise ConfigError(
+            f"baseline file field 'format' must be {FORMAT_NAME!r}, got "
+            f"{payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"baseline file field 'version' must be {FORMAT_VERSION}, got "
+            f"{payload.get('version')!r}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ConfigError(
+            "baseline file field 'findings' must be a list of "
+            "{path, code, message} objects"
+        )
+    findings: list[Finding] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigError(
+                f"baseline entry [{i}] must be an object, got "
+                f"{type(entry).__name__}"
+            )
+        for key in ("path", "code", "message"):
+            if not isinstance(entry.get(key), str):
+                raise ConfigError(
+                    f"baseline entry [{i}] field {key!r} must be a string, "
+                    f"got {entry.get(key)!r}"
+                )
+        findings.append(
+            Finding(path=entry["path"], line=0, col=0,
+                    code=entry["code"], message=entry["message"])
+        )
+    return findings
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    """Read and parse a baseline file."""
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline file {str(p)!r}: {exc}")
+    return baseline_from_json(text)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write findings as the new baseline (canonical JSON)."""
+    Path(path).write_text(baseline_to_json(findings), encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Iterable[Finding]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Subtract the baseline from live findings, multiset-style.
+
+    Returns ``(fresh, stale, matched)``: findings not absorbed by the
+    baseline, baseline entries that absorbed nothing, and the count of
+    absorbed findings.
+    """
+    budget = Counter(f.fingerprint() for f in baseline)
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in sorted(findings):
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    by_fp: dict[tuple[str, str, str], Finding] = {}
+    for entry in baseline:
+        by_fp.setdefault(entry.fingerprint(), entry)
+    stale = [
+        by_fp[fp]
+        for fp, remaining in sorted(budget.items())
+        for _ in range(remaining)
+    ]
+    return fresh, stale, matched

@@ -1,0 +1,224 @@
+"""The lint engine: parse, run rules, apply suppressions, report.
+
+Flow per file: read → locate the library-relative path (``repro/...`` if
+the file sits under ``src/repro``) → :func:`ast.parse` (a file that does
+not parse is itself a finding, ``REP902``) → scan suppression directives
+(malformed ones are ``REP900``) → run every applicable rule → silence
+findings covered by a directive, marking it used → report directives
+that silenced nothing (``REP901``).
+
+:func:`lint_paths` adds the baseline step on top: grandfathered findings
+(committed in ``lint-baseline.json``) are subtracted as a *multiset* —
+a baseline entry absorbs exactly one live finding, so a grandfathered
+problem cannot silently multiply — and baseline entries with no matching
+finding are surfaced as stale (informational, not fatal) so the file
+shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+from .findings import Finding, format_findings
+from .rules import RULES, Rule
+from .suppressions import (
+    MALFORMED_SUPPRESSION,
+    SYNTAX_ERROR,
+    UNUSED_SUPPRESSION,
+    scan_suppressions,
+)
+
+#: Directory segment that marks the start of a library-relative path.
+_LIBRARY_MARKER = ("src", "repro")
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file, as rules see it.
+
+    Attributes
+    ----------
+    path:
+        The path as given by the caller (used verbatim in findings).
+    package_path:
+        The library-relative path (``"repro/engine/cache.py"``) when the
+        file lives under ``src/repro``; ``None`` for tests, benchmarks
+        and scripts.  Rules scope themselves with this: contract rules
+        apply only to library code, while parse errors and suppression
+        hygiene are checked everywhere.
+    tree:
+        The parsed AST.
+    source:
+        The raw text (rules rarely need it; suppressions are scanned by
+        the engine).
+    """
+
+    path: str
+    package_path: str | None
+    tree: ast.AST
+    source: str
+
+
+def _package_path(path: str) -> str | None:
+    parts = Path(path).parts
+    for i in range(len(parts) - 1):
+        if parts[i : i + 2] == _LIBRARY_MARKER:
+            return "/".join(parts[i + 1 :])
+    return None
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source string.
+
+    ``path`` determines rule scoping exactly as for a real file — pass
+    ``"src/repro/foo.py"`` to exercise library-code rules on a fixture.
+    Returns location-sorted findings after suppression handling.
+    """
+    active = tuple(RULES if rules is None else rules)
+    known_codes = [rule.code for rule in active]
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        return [
+            Finding(
+                path=path, line=line, col=max(col, 0), code=SYNTAX_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    module = Module(
+        path=path, package_path=_package_path(path), tree=tree, source=source
+    )
+    suppressions, problems = scan_suppressions(source, known_codes)
+
+    findings: list[Finding] = [
+        Finding(path=path, line=line, col=col,
+                code=MALFORMED_SUPPRESSION, message=message)
+        for line, col, message in problems
+    ]
+
+    for rule in active:
+        if not rule.applies(module):
+            continue
+        for line, col, message in rule.check(module):
+            suppressed = False
+            for supp in suppressions:
+                if supp.matches(rule.code, line):
+                    supp.used = True
+                    suppressed = True
+                    break
+            if not suppressed:
+                findings.append(
+                    Finding(path=path, line=line, col=col,
+                            code=rule.code, message=message)
+                )
+
+    for supp in suppressions:
+        if not supp.used:
+            findings.append(
+                Finding(
+                    path=path, line=supp.line, col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=(
+                        f"suppression allow[{','.join(supp.codes)}] silences "
+                        f"nothing on line {supp.target_line}; remove it (or "
+                        f"the violation it covered moved)"
+                    ),
+                )
+            )
+
+    return sorted(findings)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one :func:`lint_paths` run."""
+
+    findings: tuple[Finding, ...]
+    stale_baseline: tuple[Finding, ...] = ()
+    checked_files: int = 0
+    baseline_matched: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        """Full human-readable report (findings + stale notes + summary)."""
+        lines: list[str] = []
+        if self.findings:
+            lines.append(format_findings(self.findings))
+        for stale in sorted(self.stale_baseline):
+            lines.append(
+                f"note: stale baseline entry {stale.path}: {stale.code} "
+                f"{stale.message!r} no longer occurs — remove it from the "
+                f"baseline"
+            )
+        n = len(self.findings)
+        summary = (
+            f"{self.checked_files} file(s) checked, "
+            f"{n} finding(s)"
+        )
+        if self.baseline_matched:
+            summary += f", {self.baseline_matched} grandfathered by baseline"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.is_file():
+            out.add(p)
+        else:
+            raise ConfigError(
+                f"lint path {str(p)!r} is neither a file nor a directory"
+            )
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Iterable[Finding] | None = None,
+) -> LintReport:
+    """Lint files and directories, applying an optional baseline."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ConfigError(f"cannot read lint path {str(file)!r}: {exc}")
+        findings.extend(lint_source(source, str(file), rules=rules))
+
+    matched = 0
+    stale: list[Finding] = []
+    if baseline is not None:
+        from .baseline import apply_baseline
+
+        findings, stale, matched = apply_baseline(findings, baseline)
+
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        stale_baseline=tuple(sorted(stale)),
+        checked_files=len(files),
+        baseline_matched=matched,
+    )

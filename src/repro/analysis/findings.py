@@ -1,0 +1,59 @@
+"""Lint findings: one precise, sortable record per contract violation.
+
+A :class:`Finding` is the unit everything else in :mod:`repro.analysis`
+trades in: rules emit them, suppressions consume them, the baseline
+grandfathers them, and the CLI prints them one per line in the classic
+``path:line:col: CODE message`` compiler format (clickable in most
+editors and CI log viewers).
+
+Findings sort by location (path, line, column, code) so output is
+deterministic regardless of rule execution order — the same property
+the rest of the repository demands of its measurement results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        The file the finding is in, as given to the engine (kept
+        verbatim so output paths match what the caller typed).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    code:
+        The rule code (``REP001`` ... ``REP005``, or an engine
+        diagnostic ``REP9xx``).
+    message:
+        Human-readable statement of the violation and the repair.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the one output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes line/column: a grandfathered finding must
+        not resurface just because unrelated edits shifted it, and must
+        not silently multiply (the baseline matches as a multiset).
+        """
+        return (self.path, self.code, self.message)
+
+
+def format_findings(findings) -> str:
+    """All findings, one per line, location-sorted."""
+    return "\n".join(f.format() for f in sorted(findings))

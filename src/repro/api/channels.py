@@ -21,8 +21,26 @@ either path byte-identical.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-def sweep_channels(frequencies, measurements) -> tuple[dict, dict]:
+if TYPE_CHECKING:
+    from ..bist.coverage import CoverageReport
+    from ..bist.montecarlo import YieldReport
+    from ..core.analyzer import GainPhaseMeasurement
+    from ..core.distortion import DistortionReport
+    from ..core.dynamic_range import DynamicRangeResult
+    from ..faults.diagnose import Diagnosis
+    from ..prbist.campaign import PrbistCoverageReport, SignatureCheckReport
+    from ..scenarios.result import ScenarioResult
+
+#: One lowered channel: field name -> JSON-shaped payload.
+Channel = dict[str, Any]
+
+
+def sweep_channels(
+    frequencies: Iterable[float],
+    measurements: Sequence[GainPhaseMeasurement],
+) -> tuple[Channel, Channel]:
     """Channels of a frequency sweep (list of gain/phase measurements)."""
     exact = {
         "signature_counts": [
@@ -48,7 +66,7 @@ def sweep_channels(frequencies, measurements) -> tuple[dict, dict]:
     return exact, floats
 
 
-def yield_channels(report) -> tuple[dict, dict]:
+def yield_channels(report: YieldReport) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.bist.montecarlo.YieldReport`."""
     verdicts = [t.verdict for t in report.trials]
     exact = {
@@ -68,7 +86,7 @@ def yield_channels(report) -> tuple[dict, dict]:
     return exact, floats
 
 
-def coverage_channels(report) -> tuple[dict, dict]:
+def coverage_channels(report: CoverageReport) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.bist.coverage.CoverageReport`."""
     exact = {
         "fault_labels": [t.fault.label for t in report.trials],
@@ -83,7 +101,9 @@ def coverage_channels(report) -> tuple[dict, dict]:
     return exact, floats
 
 
-def distortion_channels(reports) -> tuple[dict, dict]:
+def distortion_channels(
+    reports: Sequence[DistortionReport],
+) -> tuple[Channel, Channel]:
     """Channels of a list of distortion reports (one per stimulus)."""
     rows = [(report, row) for report in reports for row in report.rows]
     exact = {
@@ -99,7 +119,9 @@ def distortion_channels(reports) -> tuple[dict, dict]:
     return exact, floats
 
 
-def diagnose_channels(diagnosis, probes, inject: str) -> tuple[dict, dict]:
+def diagnose_channels(
+    diagnosis: Diagnosis, probes: Iterable[float], inject: str
+) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.faults.diagnose.Diagnosis`."""
     exact = {
         "best": diagnosis.best.label,
@@ -119,7 +141,9 @@ def diagnose_channels(diagnosis, probes, inject: str) -> tuple[dict, dict]:
     return exact, floats
 
 
-def dynamic_range_channels(result) -> tuple[dict, dict]:
+def dynamic_range_channels(
+    result: DynamicRangeResult,
+) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.core.dynamic_range.DynamicRangeResult`."""
     exact = {
         "detected": [bool(p.detected) for p in result.probes],
@@ -134,7 +158,9 @@ def dynamic_range_channels(result) -> tuple[dict, dict]:
     return exact, floats
 
 
-def prbist_coverage_channels(report) -> tuple[dict, dict]:
+def prbist_coverage_channels(
+    report: PrbistCoverageReport,
+) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.prbist.campaign.PrbistCoverageReport`."""
     exact = {
         "fault_labels": [t.label for t in report.trials],
@@ -158,7 +184,9 @@ def prbist_coverage_channels(report) -> tuple[dict, dict]:
     return exact, floats
 
 
-def signature_check_channels(report) -> tuple[dict, dict]:
+def signature_check_channels(
+    report: SignatureCheckReport,
+) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.prbist.campaign.SignatureCheckReport`."""
     exact = {
         "inject": report.inject,
@@ -177,7 +205,7 @@ def signature_check_channels(report) -> tuple[dict, dict]:
     return exact, floats
 
 
-def scenario_channels(result) -> tuple[dict, dict]:
+def scenario_channels(result: ScenarioResult) -> tuple[Channel, Channel]:
     """Channels of a :class:`~repro.scenarios.result.ScenarioResult`.
 
     Nested one level by step name — the step results already carry the

@@ -22,6 +22,9 @@ from dataclasses import dataclass
 from ..engine.cache import DEFAULT_MAX_ENTRIES, CalibrationCache
 from ..engine.runner import BACKENDS, BatchRunner
 from ..errors import ConfigError
+from ..obs import MetricRegistry, NullRecorder, TraceRecorder
+
+Recorder = NullRecorder | TraceRecorder
 
 #: Schema identifier of a serialized execution policy.
 POLICY_FORMAT = "repro-execution-policy"
@@ -90,7 +93,12 @@ class ExecutionPolicy:
     # ------------------------------------------------------------------
     # Derived resources
     # ------------------------------------------------------------------
-    def build_cache(self, *, obs=None, metrics=None) -> CalibrationCache:
+    def build_cache(
+        self,
+        *,
+        obs: Recorder | None = None,
+        metrics: MetricRegistry | None = None,
+    ) -> CalibrationCache:
         """A fresh calibration cache bounded by this policy.
 
         ``obs``/``metrics`` thread a trace recorder and metric registry
@@ -105,8 +113,8 @@ class ExecutionPolicy:
         self,
         cache: CalibrationCache | None = None,
         *,
-        obs=None,
-        metrics=None,
+        obs: Recorder | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> BatchRunner:
         """A fresh batch runner configured by this policy."""
         return BatchRunner(
@@ -119,7 +127,7 @@ class ExecutionPolicy:
             metrics=metrics,
         )
 
-    def replace(self, **changes) -> "ExecutionPolicy":
+    def replace(self, **changes: object) -> "ExecutionPolicy":
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
 

@@ -23,7 +23,7 @@ results without importing the concrete class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Any, Iterator, Protocol, runtime_checkable
 
 from ..errors import ConfigError
 from .policy import ExecutionPolicy, policy_to_payload
@@ -146,14 +146,18 @@ class SessionResult:
         return buffer.getvalue()
 
 
-def _flatten(payload, prefix: str = ""):
+def _flatten(
+    payload: dict[str, Any], prefix: str = ""
+) -> Iterator[tuple[str, str, object]]:
     """Yield ``(field, index, scalar)`` rows for a channel payload."""
     for key in payload:
         name = f"{prefix}{key}"
         yield from _flatten_value(name, "", payload[key])
 
 
-def _flatten_value(name: str, index: str, value):
+def _flatten_value(
+    name: str, index: str, value: object
+) -> Iterator[tuple[str, str, object]]:
     if isinstance(value, dict):
         for key in value:
             yield from _flatten_value(f"{name}.{key}", index, value[key])

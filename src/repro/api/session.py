@@ -40,6 +40,7 @@ deprecation shims that build a one-shot session here
 from __future__ import annotations
 
 import warnings
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..core.config import AnalyzerConfig
 from ..engine.cache import CalibrationCache
@@ -48,8 +49,20 @@ from ..errors import ConfigError
 from ..obs.metrics import MetricRegistry
 from ..obs.recorder import default_recorder
 from . import channels
-from .policy import ExecutionPolicy, policy_for_runner
+from .policy import ExecutionPolicy, Recorder, policy_for_runner
 from .result import DiagnosisOutcome, SessionResult, SessionStats
+
+if TYPE_CHECKING:
+    from ..bist.limits import SpecMask
+    from ..bist.program import BISTProgram
+    from ..core.calibration import CalibrationResult
+    from ..dut.base import DUT
+    from ..dut.faults import Fault
+    from ..faults.campaign import FaultCampaign
+    from ..obs.recorder import Span, _NullSpan
+    from ..prbist.campaign import PseudorandomPlan
+    from ..prbist.misr import MISRConfig
+    from ..scenarios.spec import ScenarioSpec
 
 
 class Session:
@@ -83,13 +96,13 @@ class Session:
 
     def __init__(
         self,
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         policy: ExecutionPolicy | None = None,
         *,
         cache: CalibrationCache | None = None,
         runner: BatchRunner | None = None,
-        obs=None,
+        obs: Recorder | None = None,
     ) -> None:
         if policy is None:
             policy = ExecutionPolicy()
@@ -148,13 +161,13 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # Defaults and accounting
     # ------------------------------------------------------------------
-    def _dut(self, override):
+    def _dut(self, override: DUT | None) -> DUT:
         dut = override if override is not None else self.dut
         if dut is None:
             raise ConfigError(
@@ -163,13 +176,13 @@ class Session:
             )
         return dut
 
-    def _config(self, override) -> AnalyzerConfig:
+    def _config(self, override: AnalyzerConfig | None) -> AnalyzerConfig:
         return override if override is not None else self.config
 
     def _counters(self) -> tuple[int, int, int]:
         return self.cache.hits, self.cache.misses, self.runner.fallbacks
 
-    def _span(self, workload: str, name: str):
+    def _span(self, workload: str, name: str) -> "Span | _NullSpan":
         """The per-workload-call trace span (``session.<workload>``)."""
         return self.obs.span(
             f"session.{workload}", kind="session", exact={"name": name}
@@ -180,7 +193,7 @@ class Session:
         workload: str,
         name: str,
         channel_pair: tuple[dict, dict],
-        raw,
+        raw: object,
         counters: tuple[int, int, int],
         backend: str | None = None,
     ) -> SessionResult:
@@ -210,11 +223,11 @@ class Session:
     # ------------------------------------------------------------------
     def sweep(
         self,
-        frequencies,
+        frequencies: Iterable[float],
         m_periods: int | None = None,
-        calibration=None,
+        calibration: CalibrationResult | None = None,
         calibration_fwave: float | None = None,
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         name: str = "sweep",
     ) -> SessionResult:
@@ -244,11 +257,11 @@ class Session:
 
     def bode(
         self,
-        frequencies,
+        frequencies: Iterable[float],
         m_periods: int | None = None,
-        calibration=None,
+        calibration: CalibrationResult | None = None,
         calibration_fwave: float | None = None,
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         name: str = "bode",
     ) -> SessionResult:
@@ -277,9 +290,9 @@ class Session:
     # ------------------------------------------------------------------
     def yield_lot(
         self,
-        nominal,
-        mask,
-        program,
+        nominal: DUT,
+        mask: SpecMask,
+        program: BISTProgram,
         n_devices: int = 50,
         component_sigma: float = 0.02,
         ambiguous_passes: bool = False,
@@ -318,9 +331,9 @@ class Session:
     # ------------------------------------------------------------------
     def fault_coverage(
         self,
-        faults,
-        program,
-        dut=None,
+        faults: Iterable[Fault],
+        program: BISTProgram,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         name: str = "coverage",
     ) -> SessionResult:
@@ -398,10 +411,10 @@ class Session:
     # ------------------------------------------------------------------
     def pseudorandom_coverage(
         self,
-        faults,
-        plan,
-        misr=None,
-        dut=None,
+        faults: Iterable[Fault],
+        plan: PseudorandomPlan,
+        misr: MISRConfig | None = None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         m_periods: int | None = None,
         name: str = "pseudorandom",
@@ -480,11 +493,11 @@ class Session:
 
     def signature_check(
         self,
-        device=None,
-        plan=None,
-        misr=None,
+        device: DUT | None = None,
+        plan: PseudorandomPlan | None = None,
+        misr: MISRConfig | None = None,
         inject: str = "nominal",
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         m_periods: int | None = None,
         name: str = "signature_check",
@@ -554,10 +567,10 @@ class Session:
     # ------------------------------------------------------------------
     def distortion(
         self,
-        fwaves,
+        fwaves: Iterable[float],
         harmonics: tuple[int, ...] = (2, 3),
         m_periods: int = 400,
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
         name: str = "distortion",
     ) -> SessionResult:
@@ -585,16 +598,16 @@ class Session:
     # ------------------------------------------------------------------
     def diagnose(
         self,
-        catalog=None,
-        frequencies=None,
+        catalog: Iterable[Fault] | None = None,
+        frequencies: Iterable[float] | None = None,
         inject: str = "nominal",
         n_probes: int = 3,
         top_n: int = 5,
         m_periods: int | None = None,
-        dut=None,
+        dut: DUT | None = None,
         config: AnalyzerConfig | None = None,
-        campaign=None,
-        device=None,
+        campaign: FaultCampaign | None = None,
+        device: DUT | None = None,
         name: str = "diagnose",
     ) -> SessionResult:
         """Build a dictionary, compact it, measure and rank; ``raw`` is a
@@ -691,7 +704,9 @@ class Session:
         carrier_amplitude: float = 0.4,
         vref: float = 0.5,
         harmonic: int = 3,
-        levels_dbc=(-30.0, -40.0, -50.0, -60.0, -70.0, -80.0, -90.0),
+        levels_dbc: Sequence[float] = (
+            -30.0, -40.0, -50.0, -60.0, -70.0, -80.0, -90.0,
+        ),
         threshold_db: float = 3.0,
         name: str = "dynamic_range",
     ) -> SessionResult:
@@ -726,7 +741,7 @@ class Session:
     # ------------------------------------------------------------------
     # Whole scenarios
     # ------------------------------------------------------------------
-    def run_scenario(self, spec) -> SessionResult:
+    def run_scenario(self, spec: ScenarioSpec) -> SessionResult:
         """Compile and execute a scenario on this session's resources.
 
         The spec's own ``backend``/``n_workers`` defaults are ignored in
@@ -758,7 +773,7 @@ def legacy_session(
     n_workers: int | None = None,
     backend: str | None = None,
     runner: BatchRunner | None = None,
-    dut=None,
+    dut: DUT | None = None,
     config: AnalyzerConfig | None = None,
     seed: int = 0,
 ) -> Session:

@@ -84,9 +84,9 @@ def fault_coverage(
     faults,
     program: BISTProgram,
     config: AnalyzerConfig | None = None,
-    n_workers: int | None = None,
+    n_workers: int | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.fault_coverage
     runner=None,
-    backend: str | None = None,
+    backend: str | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.fault_coverage
 ) -> CoverageReport:
     """Evaluate a BIST program's coverage of a fault catalog.
 

@@ -128,9 +128,9 @@ def run_yield_analysis(
     seed: int = 0,
     config: AnalyzerConfig | None = None,
     ambiguous_passes: bool = False,
-    n_workers: int | None = None,
+    n_workers: int | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.yield_lot
     runner=None,
-    backend: str | None = None,
+    backend: str | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.yield_lot
 ) -> YieldReport:
     """Simulate a production lot through the BIST program.
 

@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Eleven subcommands mirror the library's main flows::
+Twelve subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -46,6 +46,13 @@ Eleven subcommands mirror the library's main flows::
         compiled onto the engine, with golden-baseline record/check
         regression testing (see :mod:`repro.scenarios`).
 
+    python -m repro lint [src tests benchmarks] [--list-rules]
+        Repo-aware static analysis: the REP001–REP005 contract rules
+        (determinism, execution seam, error discipline, canonical
+        serialization, lock discipline) with precise file:line:col
+        findings, inline justified suppressions and a committed
+        grandfather baseline — see :mod:`repro.analysis`.
+
     python -m repro trace summarize run.jsonl
         Per-span wall-time/count summary of a recorded trace.  Every
         measurement subcommand accepts ``--trace PATH.jsonl`` and writes
@@ -66,7 +73,7 @@ the scenario specs it runs; explicit flags override its fields.
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all eleven.
+through all twelve.
 """
 
 from __future__ import annotations
@@ -98,6 +105,16 @@ from .reporting.export import (
 from .reporting.series import format_series
 from .reporting.tables import ascii_table
 from .sc.opamp import OpAmpModel
+
+
+def _wall_clock() -> float:
+    """Monotonic seconds for the CLI's ``elapsed`` footer lines.
+
+    The one sanctioned clock read in this module: elapsed times are
+    operator-facing display only and never enter a result or a baseline
+    (structured timing belongs to the ``repro.obs`` timing channel).
+    """
+    return time.perf_counter()  # repro: allow[REP001]: wall-clock display only; never enters results
 
 
 def _positive_int(text: str) -> int:
@@ -241,12 +258,12 @@ def _cmd_sweep(args) -> int:
     config = AnalyzerConfig.ideal(m_periods=args.m_periods)
     plan = FrequencySweepPlan(args.f_start, args.f_stop, args.points)
     with _session_from_args(args, dut=dut, config=config) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         for _ in range(args.repeat):
             result = session.bode(
                 plan.frequencies(), calibration_fwave=args.cutoff
             )
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         bode = result.raw
         _print_bode(bode)
         stats = session.runner.last_stats
@@ -298,7 +315,7 @@ def _cmd_yield(args) -> int:
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
     config = default_yield_config(program)
     with _session_from_args(args, config=config) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         result = session.yield_lot(
             nominal,
             mask,
@@ -307,7 +324,7 @@ def _cmd_yield(args) -> int:
             component_sigma=args.sigma,
             ambiguous_passes=args.ambiguous_passes,
         )
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         report = result.raw
         rows = [
             ["devices", report.n_devices],
@@ -349,9 +366,9 @@ def _cmd_distortion(args) -> int:
         noise_seed=1,
     )
     with _session_from_args(args, dut=dut, config=config) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         reports = session.distortion(args.fwave, m_periods=args.m_periods).raw
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         n_workers = session.runner.last_stats.n_workers
     rows = [
         [f"{report.fwave:g}", f"HD{r.harmonic}", r.level_dbc.value,
@@ -391,7 +408,7 @@ def _cmd_dynamic_range(args) -> int:
         python -m repro dynamic-range --m-periods 200 --workers 4
     """
     with _session_from_args(args) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         evaluator = session.dynamic_range(
             m_periods=(
                 args.m_periods if args.m_periods % 2 == 0 else args.m_periods + 1
@@ -401,7 +418,7 @@ def _cmd_dynamic_range(args) -> int:
             PassthroughDUT(), AnalyzerConfig.ideal(m_periods=200)
         )
         system = system_dynamic_range(analyzer, args.fwave)
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         rows = [
             ["evaluator weak-tone range (dB)", evaluator.dynamic_range_db],
             [f"system residual range @ {args.fwave:g} Hz (dB)", system],
@@ -441,9 +458,9 @@ def _cmd_coverage(args) -> int:
     program = BISTProgram(mask, frequencies, m_periods=args.m_periods)
     catalog = _build_catalog(args)
     with _session_from_args(args, dut=golden) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         result = session.fault_coverage(catalog, program)
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         report = result.raw
         summary_tail = [
             ["wall time (s)", f"{elapsed:.2f}"],
@@ -492,11 +509,11 @@ def _cmd_prbist(args) -> int:
             ),
             n_patterns=args.patterns,
         )
-        started = time.perf_counter()
+        started = _wall_clock()
         result = session.pseudorandom_coverage(
             catalog, plan, misr=MISRConfig(width=args.misr_width)
         )
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         report = result.raw
         summary_tail = [
             ["wall time (s)", f"{elapsed:.2f}"],
@@ -549,7 +566,7 @@ def _cmd_diagnose(args) -> int:
         args.cutoff, decades=args.decades, n_points=args.points
     )
     with _session_from_args(args, dut=golden) as session:
-        started = time.perf_counter()
+        started = _wall_clock()
         outcome = session.diagnose(
             catalog=catalog,
             frequencies=plan,
@@ -558,7 +575,7 @@ def _cmd_diagnose(args) -> int:
             top_n=args.top,
             m_periods=args.m_periods,
         ).raw
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         n_workers = session.policy.n_workers
     result = outcome.diagnosis
 
@@ -627,21 +644,72 @@ def _cmd_scenarios(args) -> int:
         return 0 if (report.ok or report.updated) else 1
 
     spec = ScenarioSpec.from_json(_read_text(args.spec))
-    started = time.perf_counter()
+    started = _wall_clock()
     if args.scenarios_command == "record":
         out = args.out if args.out else f"{spec.name}.json"
         result = record(spec, out, backend=backend, n_workers=workers, obs=obs)
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
         print(f"recorded baseline for scenario {spec.name!r} -> {out}")
     else:  # run
         result = run_scenario(spec, backend=backend, n_workers=workers, obs=obs)
-        elapsed = time.perf_counter() - started
+        elapsed = _wall_clock() - started
     rows = [[s.kind, s.name, s.headline()] for s in result.steps]
     rows.append(["", "wall time (s)", f"{elapsed:.2f}"])
     rows.append(["", "backend", result.backend])
     print(ascii_table(["step", "name", "result"], rows,
                       title=f"Scenario {spec.name!r}"))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the repo-aware static-analysis rules over source trees.
+
+    Findings print in the classic ``path:line:col: CODE message``
+    compiler format; the exit status is 0 for a clean tree, 1 when
+    findings remain, 2 for a usage error (bad path, malformed baseline).
+    Intentional violations are kept with an inline
+    ``# repro: allow[CODE]: justification`` comment; inherited debt is
+    grandfathered in a committed baseline that only shrinks
+    (``--write-baseline`` records the current findings; a stale entry
+    is reported so it can be deleted).
+
+    Usage examples::
+
+        python -m repro lint                      # src tests benchmarks
+        python -m repro lint src/repro/engine
+        python -m repro lint --list-rules
+        python -m repro lint --baseline lint-baseline.json
+        python -m repro lint --write-baseline lint-baseline.json
+    """
+    from .analysis import (
+        load_baseline,
+        lint_paths,
+        rule_catalog,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+
+    paths = args.paths or ["src", "tests", "benchmarks"]
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        report = lint_paths(paths, baseline=baseline)
+    except ConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote baseline {args.write_baseline} "
+            f"({len(report.findings)} grandfathered finding(s))"
+        )
+        return 0
+
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -863,6 +931,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-record the baseline in place when drift "
                               "is found (after an intentional change)")
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis (REP001-REP005 contract rules)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src tests benchmarks)")
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="BASELINE_JSON",
+        help="grandfather baseline file; its entries absorb matching "
+             "findings (multiset) and stale entries are reported")
+    lint_p.add_argument(
+        "--write-baseline", default=None, metavar="BASELINE_JSON",
+        help="record the current findings as the new baseline and exit 0")
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (codes + one-line summaries) and exit")
+
     trace_p = sub.add_parser(
         "trace",
         help="inspect trace files recorded with --trace (see repro.obs)",
@@ -902,6 +988,7 @@ _COMMANDS = {
     "distortion": _cmd_distortion,
     "dynamic-range": _cmd_dynamic_range,
     "scenarios": _cmd_scenarios,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
 }
 

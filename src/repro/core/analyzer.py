@@ -321,8 +321,8 @@ class NetworkAnalyzer:
         frequencies,
         m_periods: int | None = None,
         calibration: CalibrationResult | None = None,
-        n_workers: int | None = None,
-        backend: str | None = None,
+        n_workers: int | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.sweep
+        backend: str | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.sweep
     ) -> list[GainPhaseMeasurement]:
         """Sweep the master clock over a list of tone frequencies.
 

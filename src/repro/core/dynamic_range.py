@@ -100,6 +100,8 @@ def evaluator_dynamic_range(
     levels_dbc=(-30.0, -40.0, -50.0, -60.0, -70.0, -80.0, -90.0),
     threshold_db: float = 3.0,
     oversampling_ratio: int = OVERSAMPLING_RATIO,
+    # repro: allow[REP002]: documented deprecation shim — forwards into an
+    # ExecutionPolicy below; new callers use Session.dynamic_range()
     n_workers: int = 1,
     runner=None,
 ) -> DynamicRangeResult:
@@ -116,8 +118,8 @@ def evaluator_dynamic_range(
     :class:`~repro.engine.runner.BatchRunner` as ``runner`` to reuse its
     pool; its calibration cache is not involved).
     """
+    from ..api.policy import ExecutionPolicy
     from ..engine.jobs import EvaluatorProbeJob, execute_evaluator_probe
-    from ..engine.runner import BatchRunner
 
     if not 0 < carrier_amplitude < vref:
         raise ConfigError(
@@ -138,7 +140,10 @@ def evaluator_dynamic_range(
         )
         for level in sorted(levels_dbc, reverse=True)
     ]
-    engine = runner if runner is not None else BatchRunner(n_workers=n_workers)
+    if runner is not None:
+        engine = runner
+    else:
+        engine = ExecutionPolicy(n_workers=n_workers).build_runner()
     probes = engine.map_jobs(execute_evaluator_probe, jobs)
     return DynamicRangeResult(
         m_periods=m_periods,

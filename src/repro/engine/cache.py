@@ -57,6 +57,10 @@ class CalibrationCache:
     memory — never correctness.
     """
 
+    #: Attributes that may only be mutated under ``self._lock``
+    #: (enforced by the REP005 lint rule; see ``repro.analysis``).
+    _lock_guarded = ("_store", "_inflight")
+
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,

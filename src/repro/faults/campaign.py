@@ -91,10 +91,11 @@ class FaultCampaign:
 
     def run(
         self,
-        n_workers: int | None = None,
+        n_workers: int | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.build_dictionary
         runner=None,
         nominal: FaultSignature | None = None,
-        backend: str | None = None,
+        backend: str | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to Session.build_dictionary
+
         *,
         session=None,
     ) -> FaultDictionary:
@@ -180,7 +181,7 @@ def measure_signature(
     m_periods: int | None = None,
     label: str = "measured",
     runner=None,
-    backend: str | None = None,
+    backend: str | None = None,  # repro: allow[REP002]: documented deprecation shim — forwards to a one-shot Session
     session=None,
 ) -> FaultSignature:
     """Measure one device's signature on the dictionary's probe grid.

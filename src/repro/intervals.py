@@ -36,6 +36,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from .errors import ConfigError
 
@@ -122,12 +123,12 @@ class BoundedValue:
     # ------------------------------------------------------------------
     # Arithmetic (conservative interval semantics)
     # ------------------------------------------------------------------
-    def _coerce(self, other) -> "BoundedValue":
+    def _coerce(self, other: "BoundedValue | float | int") -> "BoundedValue":
         if isinstance(other, BoundedValue):
             return other
         return BoundedValue.exact(float(other))
 
-    def __add__(self, other) -> "BoundedValue":
+    def __add__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         other = self._coerce(other)
         return BoundedValue(
             self.value + other.value, self.lower + other.lower, self.upper + other.upper
@@ -138,13 +139,13 @@ class BoundedValue:
     def __neg__(self) -> "BoundedValue":
         return BoundedValue(-self.value, -self.upper, -self.lower)
 
-    def __sub__(self, other) -> "BoundedValue":
+    def __sub__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         return self + (-self._coerce(other))
 
-    def __rsub__(self, other) -> "BoundedValue":
+    def __rsub__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         return self._coerce(other) + (-self)
 
-    def __mul__(self, other) -> "BoundedValue":
+    def __mul__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         other = self._coerce(other)
         products = (
             self.lower * other.lower,
@@ -156,7 +157,7 @@ class BoundedValue:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other) -> "BoundedValue":
+    def __truediv__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         other = self._coerce(other)
         if other.straddles_zero():
             raise ConfigError("interval division by an interval containing zero")
@@ -164,7 +165,7 @@ class BoundedValue:
         recip = BoundedValue(1.0 / other.value, min(reciprocals), max(reciprocals))
         return self * recip
 
-    def __rtruediv__(self, other) -> "BoundedValue":
+    def __rtruediv__(self, other: "BoundedValue | float | int") -> "BoundedValue":
         return self._coerce(other) / self
 
     def scale(self, factor: float) -> "BoundedValue":
@@ -377,7 +378,7 @@ def angular_overlap(a: BoundedValue, b: BoundedValue, period: float = TWO_PI) ->
 # ----------------------------------------------------------------------
 
 
-def _as_float_array(x) -> np.ndarray:
+def _as_float_array(x: "npt.ArrayLike") -> np.ndarray:
     return np.asarray(x, dtype=float)
 
 
@@ -413,15 +414,17 @@ class BoundedArray:
         # The point estimate may drift out of the bounds by a last-bit
         # rounding error when value and endpoints come from different
         # (equally valid) floating-point expressions; clamp it in, as
-        # the scalar helpers do.
-        value = np.minimum(np.maximum(value, lower), upper)
+        # the scalar helpers do.  In-bounds elements are kept bit-for-bit
+        # (np.minimum/np.maximum would rewrite -0.0 to +0.0 on ties,
+        # flipping the atan2 branch the scalar path takes).
+        value = np.where(value < lower, lower, np.where(value > upper, upper, value))
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "lower", lower)
         object.__setattr__(self, "upper", upper)
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_halfwidth(cls, values, halfwidth: float) -> "BoundedArray":
+    def from_halfwidth(cls, values: "npt.ArrayLike", halfwidth: float) -> "BoundedArray":
         """Symmetric intervals ``values +/- halfwidth`` (halfwidth >= 0)."""
         if halfwidth < 0:
             raise ConfigError(f"halfwidth must be >= 0, got {halfwidth}")
@@ -452,7 +455,7 @@ class BoundedArray:
     def __neg__(self) -> "BoundedArray":
         return BoundedArray(-self.value, -self.upper, -self.lower)
 
-    def scale(self, factor) -> "BoundedArray":
+    def scale(self, factor: "float | npt.ArrayLike") -> "BoundedArray":
         """Multiply by an exact scalar or per-element array."""
         factor = np.asarray(factor, dtype=float)
         lo = self.lower * factor
@@ -464,14 +467,14 @@ class BoundedArray:
             np.where(flip, lo, hi),
         )
 
-    def shift(self, offset) -> "BoundedArray":
+    def shift(self, offset: "float | npt.ArrayLike") -> "BoundedArray":
         """Add an exact scalar or per-element array."""
         offset = np.asarray(offset, dtype=float)
         return BoundedArray(
             self.value + offset, self.lower + offset, self.upper + offset
         )
 
-    def widen(self, margin) -> "BoundedArray":
+    def widen(self, margin: "float | npt.ArrayLike") -> "BoundedArray":
         """Grow both bounds outward by ``margin >= 0`` (scalar or array)."""
         margin = np.asarray(margin, dtype=float)
         if np.any(margin < 0):
@@ -497,7 +500,7 @@ class BoundedArray:
             np.maximum(lo_sq, hi_sq),
         )
 
-    def __add__(self, other) -> "BoundedArray":
+    def __add__(self, other: "BoundedArray | float | npt.ArrayLike") -> "BoundedArray":
         if isinstance(other, BoundedArray):
             return BoundedArray(
                 self.value + other.value,

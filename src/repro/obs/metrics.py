@@ -41,6 +41,8 @@ class Counter:
     """A monotonically increasing event count."""
 
     kind = "counter"
+    #: Mutated only under ``self._lock`` (enforced by REP005).
+    _lock_guarded = ("_value",)
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
@@ -72,6 +74,8 @@ class Gauge:
     """A last-written value."""
 
     kind = "gauge"
+    #: Mutated only under ``self._lock`` (enforced by REP005).
+    _lock_guarded = ("_value",)
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
@@ -103,6 +107,8 @@ class Histogram:
     """Summary statistics of an observed distribution."""
 
     kind = "histogram"
+    #: Mutated only under ``self._lock`` (enforced by REP005).
+    _lock_guarded = ("count", "total", "min", "max")
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
@@ -148,6 +154,9 @@ class Histogram:
 
 class MetricRegistry:
     """A named set of typed instruments with shared-instance semantics."""
+
+    #: Mutated only under ``self._lock`` (enforced by REP005).
+    _lock_guarded = ("_metrics",)
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -211,6 +211,8 @@ def lfsr_bits_vectorized(config: LFSRConfig, n: int) -> np.ndarray:
     return bits
 
 
+# repro: allow[REP002]: compute-backend selector (bit-identical by
+# contract, mirrors the engine seam) — not an execution resource
 def lfsr_bits(config: LFSRConfig, n: int, backend: str = "reference") -> list[int]:
     """The first ``n`` output bits on the chosen backend (as a list).
 
@@ -228,6 +230,8 @@ def lfsr_bits(config: LFSRConfig, n: int, backend: str = "reference") -> list[in
     )
 
 
+# repro: allow[REP002]: compute-backend selector (bit-identical by
+# contract, mirrors the engine seam) — not an execution resource
 def lfsr_words(config: LFSRConfig, n_words: int, backend: str = "vectorized") -> tuple[int, ...]:
     """``n_words`` register-width words, MSB-first from the bit stream.
 
@@ -258,4 +262,8 @@ def lfsr_period(config: LFSRConfig) -> int:
         _, state = step(state, config)
         if state == config.seed:
             return count
-    raise AssertionError("state space exhausted without recurrence")
+    raise ConfigError(
+        f"lfsr: state space exhausted without the seed state recurring "
+        f"(width={config.width}, taps={config.taps!r}, "
+        f"seed={config.seed:#x}) — the step function is not invertible"
+    )

@@ -198,7 +198,8 @@ def dictionary_to_json(dictionary) -> str:
 
     The schema keeps every bounded value as ``[value, lower, upper]`` so
     a reloaded dictionary diagnoses *identically* to the freshly built
-    one — including its ambiguity groups.
+    one — including its ambiguity groups.  Encoded with
+    :func:`canonical_json` so the committed artifact is byte-stable.
     """
     payload = {
         "format": DICTIONARY_FORMAT,
@@ -208,7 +209,7 @@ def dictionary_to_json(dictionary) -> str:
         "nominal": _signature_payload(dictionary.nominal),
         "entries": [_signature_payload(entry) for entry in dictionary.entries],
     }
-    return json.dumps(payload, indent=2)
+    return canonical_json(payload)
 
 
 def dictionary_from_json(text: str):

@@ -1,0 +1,31 @@
+"""Helpers for the static-analysis fixture tests.
+
+Fixtures are in-memory snippets linted at a *virtual* path: a path under
+``src/repro`` exercises the library-code rules; any other path shows a
+rule correctly staying silent outside its scope.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+@pytest.fixture
+def lint():
+    """Lint a dedented snippet at a virtual path; returns the findings."""
+
+    def run(source: str, path: str = LIB, **kwargs):
+        return lint_source(textwrap.dedent(source), path, **kwargs)
+
+    return run
+
+
+def codes(findings):
+    return [f.code for f in findings]

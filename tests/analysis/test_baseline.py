@@ -1,0 +1,106 @@
+"""Grandfather baseline: serialization, multiset matching, staleness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    baseline_from_json,
+    baseline_to_json,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import ConfigError
+
+
+def finding(path="src/repro/x.py", line=3, code="REP003", message="raise ValueError"):
+    return Finding(path=path, line=line, col=0, code=code, message=message)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        entries = [finding(), finding(code="REP001", message="time.time")]
+        text = baseline_to_json(entries)
+        loaded = baseline_from_json(text)
+        assert [f.fingerprint() for f in loaded] == sorted(
+            f.fingerprint() for f in entries
+        )
+
+    def test_byte_stable(self):
+        entries = [finding(), finding(code="REP001", message="time.time")]
+        assert baseline_to_json(entries) == baseline_to_json(reversed(list(entries)))
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            baseline_from_json("{nope")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ConfigError, match="format"):
+            baseline_from_json('{"format": "other", "version": 1, "findings": []}')
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(ConfigError, match="path"):
+            baseline_from_json(
+                '{"format": "repro-lint-baseline", "version": 1, '
+                '"findings": [{"code": "REP001", "message": "m"}]}'
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [finding()])
+        assert [f.fingerprint() for f in load_baseline(target)] == [
+            finding().fingerprint()
+        ]
+
+
+class TestMatching:
+    def test_entry_absorbs_matching_finding(self):
+        live = [finding(line=10)]
+        fresh, stale, matched = apply_baseline(live, [finding(line=0)])
+        assert fresh == [] and stale == [] and matched == 1
+
+    def test_line_changes_do_not_resurface(self):
+        # The fingerprint excludes line/col on purpose.
+        fresh, _, matched = apply_baseline(
+            [finding(line=99)], [finding(line=3)]
+        )
+        assert fresh == [] and matched == 1
+
+    def test_multiset_does_not_absorb_duplicates(self):
+        live = [finding(line=3), finding(line=9)]
+        fresh, _, matched = apply_baseline(live, [finding(line=0)])
+        assert matched == 1
+        assert len(fresh) == 1
+
+    def test_fixed_finding_surfaces_stale_entry(self):
+        fresh, stale, matched = apply_baseline([], [finding()])
+        assert fresh == [] and matched == 0
+        assert [s.fingerprint() for s in stale] == [finding().fingerprint()]
+
+
+class TestLintPathsIntegration:
+    def test_baseline_grandfathers_real_finding(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True)
+        bad = src_dir / "bad.py"
+        bad.write_text("def f(x):\n    raise ValueError('bad')\n")
+
+        report = lint_paths([tmp_path / "src"])
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["REP003"]
+
+        report2 = lint_paths([tmp_path / "src"], baseline=report.findings)
+        assert report2.ok
+        assert report2.baseline_matched == 1
+
+    def test_stale_entries_reported_not_fatal(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True)
+        (src_dir / "good.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path / "src"], baseline=[finding()])
+        assert report.ok
+        assert len(report.stale_baseline) == 1
+        assert "stale baseline entry" in report.format()

@@ -1,0 +1,67 @@
+"""The ``repro lint`` subcommand."""
+
+from __future__ import annotations
+
+from repro.cli import build_parser, main
+
+
+def _write_violation(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad.py"
+    bad.write_text("def f(x):\n    raise ValueError('bad')\n")
+    return tmp_path / "src"
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == []
+        assert args.baseline is None
+
+    def test_paths_and_baseline(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "--baseline", "lint-baseline.json"]
+        )
+        assert args.paths == ["src"]
+        assert args.baseline == "lint-baseline.json"
+
+
+class TestExecution:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "good.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        src = _write_violation(tmp_path)
+        assert main(["lint", str(src)]) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out and "bad.py:2:" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP005" in out
+
+    def test_write_then_consume_baseline(self, tmp_path, capsys):
+        src = _write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(src), "--write-baseline", str(baseline)]) == 0
+        assert "1 grandfathered" in capsys.readouterr().out
+        assert main(["lint", str(src), "--baseline", str(baseline)]) == 0
+        assert "1 grandfathered by baseline" in capsys.readouterr().out
+
+    def test_bad_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        src = _write_violation(tmp_path)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{nope")
+        assert main(["lint", str(src), "--baseline", str(bad)]) == 2
+        assert "repro lint:" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""The lint engine: scoping, ordering, reporting, path handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    LintReport,
+    format_findings,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+    rule_codes,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_five_rules_shipped(self):
+        assert len(RULES) >= 5
+        assert rule_codes() == ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+    def test_codes_unique(self):
+        assert len(set(rule_codes())) == len(rule_codes())
+
+    def test_catalog_mentions_every_code(self):
+        catalog = rule_catalog()
+        for code in rule_codes() + ("REP900", "REP901", "REP902"):
+            assert code in catalog
+
+
+class TestLintSource:
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import time\n"
+            "def f(x):\n"
+            "    raise ValueError('bad')\n"
+            "t = time.time()\n"
+        )
+        findings = lint_source(src, "src/repro/f.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_rule_subset(self):
+        src = "import time\nt = time.time()\nassert t\n"
+        only_errors = [r for r in RULES if r.code == "REP003"]
+        findings = lint_source(src, "src/repro/f.py", rules=only_errors)
+        assert [f.code for f in findings] == ["REP003"]
+
+    def test_non_library_path_still_checks_hygiene(self):
+        findings = lint_source(
+            "x = 1  # repro: allow[REP001]: unused here\n",
+            "tests/test_x.py",
+        )
+        assert [f.code for f in findings] == ["REP901"]
+
+    def test_format_findings_compiler_style(self):
+        findings = lint_source(
+            "def f(x):\n    raise ValueError('bad')\n", "src/repro/f.py"
+        )
+        line = format_findings(findings)
+        assert line.startswith("src/repro/f.py:2:")
+        assert " REP003 " in line
+
+
+class TestLintPaths:
+    def test_directory_walk(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("import time\nt = time.time()\n")
+        (pkg / "b.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path / "src"])
+        assert report.checked_files == 2
+        assert [f.code for f in report.findings] == ["REP001"]
+
+    def test_missing_path_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="neither a file nor a directory"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_report_format_summary(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path / "src"])
+        assert report.ok
+        assert "1 file(s) checked, 0 finding(s)" in report.format()
+
+    def test_report_is_a_value(self):
+        report = LintReport(findings=(), checked_files=0)
+        assert report.ok and report.stale_baseline == ()

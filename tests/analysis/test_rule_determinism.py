@@ -1,0 +1,195 @@
+"""REP001: the determinism rule."""
+
+from __future__ import annotations
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFires:
+    def test_stdlib_random_call(self, lint):
+        findings = lint("""
+            import random
+            x = random.random()
+        """)
+        assert codes(findings) == ["REP001"]
+        assert "global state" in findings[0].message
+
+    def test_stdlib_random_from_import(self, lint):
+        findings = lint("from random import random\n")
+        assert codes(findings) == ["REP001"]
+
+    def test_time_time(self, lint):
+        findings = lint("""
+            import time
+            t = time.time()
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_perf_counter_from_import(self, lint):
+        findings = lint("from time import perf_counter\n")
+        assert codes(findings) == ["REP001"]
+
+    def test_datetime_now(self, lint):
+        findings = lint("""
+            import datetime
+            t = datetime.datetime.now()
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_datetime_class_utcnow(self, lint):
+        findings = lint("""
+            from datetime import datetime
+            t = datetime.utcnow()
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_os_urandom(self, lint):
+        findings = lint("""
+            import os
+            b = os.urandom(8)
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_uuid4(self, lint):
+        findings = lint("""
+            import uuid
+            u = uuid.uuid4()
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_unseeded_default_rng(self, lint):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert codes(findings) == ["REP001"]
+        assert "seed" in findings[0].message
+
+    def test_unseeded_default_rng_from_import(self, lint):
+        findings = lint("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_numpy_global_rng(self, lint):
+        findings = lint("""
+            import numpy as np
+            x = np.random.normal(0.0, 1.0)
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_numpy_global_seed(self, lint):
+        findings = lint("""
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_set_iteration(self, lint):
+        findings = lint("""
+            for item in {"a", "b"}:
+                print(item)
+        """)
+        assert codes(findings) == ["REP001"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_set_call_iteration(self, lint):
+        findings = lint("""
+            def f(xs):
+                return [x for x in set(xs)]
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_list_of_set(self, lint):
+        findings = lint("""
+            def f(xs):
+                return list(set(xs))
+        """)
+        assert codes(findings) == ["REP001"]
+
+    def test_finding_location(self, lint):
+        findings = lint("""
+            import random
+            x = random.choice([1, 2])
+        """)
+        assert findings[0].line == 3
+        assert findings[0].path == LIB
+
+
+class TestSilent:
+    def test_seeded_default_rng(self, lint):
+        assert lint("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """) == []
+
+    def test_seed_sequence_machinery(self, lint):
+        assert lint("""
+            import numpy as np
+            ss = np.random.SeedSequence(7)
+        """) == []
+
+    def test_sorted_set_is_fine(self, lint):
+        assert lint("""
+            def f(xs):
+                return sorted(set(xs))
+        """) == []
+
+    def test_set_membership_is_fine(self, lint):
+        assert lint("""
+            def f(xs, x):
+                return x in set(xs)
+        """) == []
+
+    def test_outside_library_scope(self, lint):
+        assert lint("""
+            import random
+            x = random.random()
+        """, path=TEST) == []
+
+    def test_seeding_allowlist(self, lint):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert lint(src, path="src/repro/engine/seeding.py") == []
+
+    def test_obs_recorder_allowlist(self, lint):
+        src = """
+            import time
+            t = time.perf_counter()
+        """
+        assert lint(src, path="src/repro/obs/recorder.py") == []
+
+
+class TestSuppression:
+    def test_trailing_suppression(self, lint):
+        findings = lint(
+            "import time\n"
+            "t = time.perf_counter()  "
+            "# repro: allow[REP001]: wall-clock display only\n"
+        )
+        assert findings == []
+
+    def test_standalone_suppression(self, lint):
+        findings = lint(
+            "import time\n"
+            "# repro: allow[REP001]: wall-clock display only\n"
+            "t = time.perf_counter()\n"
+        )
+        assert findings == []
+
+    def test_suppression_only_covers_its_line(self, lint):
+        findings = lint(
+            "import time\n"
+            "t = time.perf_counter()  # repro: allow[REP001]: display\n"
+            "u = time.perf_counter()\n"
+        )
+        assert codes(findings) == ["REP001"]
+        assert findings[0].line == 3

@@ -1,0 +1,93 @@
+"""REP003: the error-discipline rule."""
+
+from __future__ import annotations
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFires:
+    def test_bare_value_error(self, lint):
+        findings = lint("""
+            def f(x):
+                raise ValueError("bad x")
+        """)
+        assert codes(findings) == ["REP003"]
+        assert "ReproError" in findings[0].message
+
+    def test_bare_type_error(self, lint):
+        findings = lint("""
+            def f(x):
+                raise TypeError(f"bad type for {x}")
+        """)
+        assert codes(findings) == ["REP003"]
+
+    def test_assert_statement(self, lint):
+        findings = lint("""
+            def f(x):
+                assert x > 0
+                return x
+        """)
+        assert codes(findings) == ["REP003"]
+        assert "python -O" in findings[0].message
+
+    def test_raise_without_call(self, lint):
+        findings = lint("""
+            def f():
+                raise ValueError
+        """)
+        assert codes(findings) == ["REP003"]
+
+    def test_config_error_without_message(self, lint):
+        findings = lint("""
+            from repro.errors import ConfigError
+            def f():
+                raise ConfigError()
+        """)
+        assert codes(findings) == ["REP003"]
+        assert "message" in findings[0].message
+
+
+class TestSilent:
+    def test_config_error_with_field(self, lint):
+        assert lint("""
+            from repro.errors import ConfigError
+            def f(m_periods):
+                raise ConfigError(f"m_periods must be even, got {m_periods}")
+        """) == []
+
+    def test_family_members_pass(self, lint):
+        assert lint("""
+            from repro.errors import CalibrationError, FaultError
+            def f():
+                raise CalibrationError("calibration diverged at fwave=1000")
+        """) == []
+
+    def test_reraise_is_fine(self, lint):
+        assert lint("""
+            def f():
+                try:
+                    g()
+                except Exception:
+                    raise
+        """) == []
+
+    def test_tests_may_assert(self, lint):
+        assert lint("""
+            def test_f():
+                assert 1 + 1 == 2
+        """, path=TEST) == []
+
+
+class TestSuppression:
+    def test_justified_assert(self, lint):
+        findings = lint(
+            "def f(x):\n"
+            "    assert x > 0  # repro: allow[REP003]: internal invariant\n"
+            "    return x\n"
+        )
+        assert findings == []

@@ -1,0 +1,134 @@
+"""REP005: the lock-discipline rule."""
+
+from __future__ import annotations
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFires:
+    def test_assignment_outside_lock(self, lint):
+        findings = lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def reset(self):
+                    self._store = {}
+        """)
+        assert codes(findings) == ["REP005"]
+        assert "_store" in findings[0].message
+
+    def test_mutator_method_outside_lock(self, lint):
+        findings = lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def put(self, key, value):
+                    self._store.update({key: value})
+        """)
+        assert codes(findings) == ["REP005"]
+
+    def test_subscript_assignment_outside_lock(self, lint):
+        findings = lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def put(self, key, value):
+                    self._store[key] = value
+        """)
+        assert codes(findings) == ["REP005"]
+
+    def test_augmented_assignment_outside_lock(self, lint):
+        findings = lint("""
+            class Counter:
+                _lock_guarded = ("_value",)
+                def bump(self):
+                    self._value += 1
+        """)
+        assert codes(findings) == ["REP005"]
+
+    def test_del_outside_lock(self, lint):
+        findings = lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def evict(self, key):
+                    del self._store[key]
+        """)
+        assert codes(findings) == ["REP005"]
+
+    def test_mutation_after_lock_block(self, lint):
+        findings = lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def put(self, key, value):
+                    with self._lock:
+                        self._store[key] = value
+                    self._store.clear()
+        """)
+        assert codes(findings) == ["REP005"]
+        assert findings[0].line == 7
+
+
+class TestSilent:
+    def test_mutation_under_lock(self, lint):
+        assert lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def put(self, key, value):
+                    with self._lock:
+                        self._store[key] = value
+        """) == []
+
+    def test_nested_block_under_lock(self, lint):
+        assert lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def put(self, key, value):
+                    with self._lock:
+                        if key not in self._store:
+                            self._store[key] = value
+        """) == []
+
+    def test_init_is_exempt(self, lint):
+        assert lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def __init__(self):
+                    self._store = {}
+        """) == []
+
+    def test_reads_are_fine(self, lint):
+        assert lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def size(self):
+                    return len(self._store)
+        """) == []
+
+    def test_undeclared_class_is_unchecked(self, lint):
+        assert lint("""
+            class Plain:
+                def put(self, key, value):
+                    self._store[key] = value
+        """) == []
+
+    def test_unguarded_attribute_is_fine(self, lint):
+        assert lint("""
+            class Cache:
+                _lock_guarded = ("_store",)
+                def note(self, n):
+                    self._hits = n
+        """) == []
+
+
+class TestSuppression:
+    def test_justified_unlocked_mutation(self, lint):
+        findings = lint(
+            "class Cache:\n"
+            "    _lock_guarded = (\"_store\",)\n"
+            "    def reset_unsafe(self):\n"
+            "        self._store = {}  "
+            "# repro: allow[REP005]: single-threaded teardown path\n"
+        )
+        assert findings == []

@@ -1,0 +1,99 @@
+"""REP002: the execution-seam rule."""
+
+from __future__ import annotations
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFires:
+    def test_batch_runner_construction(self, lint):
+        findings = lint("""
+            from repro.engine import BatchRunner
+            runner = BatchRunner(n_workers=4)
+        """)
+        assert "REP002" in codes(findings)
+        assert any("BatchRunner" in f.message for f in findings)
+
+    def test_calibration_cache_construction(self, lint):
+        findings = lint("""
+            from repro.engine import CalibrationCache
+            cache = CalibrationCache()
+        """)
+        assert "REP002" in codes(findings)
+
+    def test_pool_construction(self, lint):
+        findings = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+            pool = ProcessPoolExecutor(max_workers=2)
+        """)
+        assert "REP002" in codes(findings)
+
+    def test_attribute_construction(self, lint):
+        findings = lint("""
+            import repro.engine as engine
+            runner = engine.BatchRunner()
+        """)
+        assert "REP002" in codes(findings)
+
+    def test_n_workers_parameter(self, lint):
+        findings = lint("""
+            def sweep(frequencies, n_workers=1):
+                return frequencies
+        """)
+        assert codes(findings) == ["REP002"]
+        assert "n_workers" in findings[0].message
+
+    def test_backend_keyword_only_parameter(self, lint):
+        findings = lint("""
+            def sweep(frequencies, *, backend=None):
+                return frequencies
+        """)
+        assert codes(findings) == ["REP002"]
+
+
+class TestSilent:
+    def test_seam_packages_may_construct(self, lint):
+        src = """
+            from .runner import BatchRunner
+            def build():
+                return BatchRunner(n_workers=2)
+        """
+        assert lint(src, path="src/repro/api/policy.py") == []
+        assert lint(src, path="src/repro/engine/runner.py") == []
+
+    def test_scenarios_may_take_backend_kwargs(self, lint):
+        src = """
+            def run_scenario(spec, backend=None, n_workers=None):
+                return spec
+        """
+        assert lint(src, path="src/repro/scenarios/compiler.py") == []
+
+    def test_tests_may_construct(self, lint):
+        src = """
+            from repro.engine import BatchRunner
+            runner = BatchRunner(n_workers=4)
+        """
+        assert lint(src, path=TEST) == []
+
+    def test_unrelated_call_names(self, lint):
+        assert lint("""
+            def f(pool):
+                return pool.map(str, [1])
+        """) == []
+
+
+class TestSuppression:
+    def test_shim_parameter_suppressed(self, lint):
+        findings = lint(
+            "def sweep(\n"
+            "    frequencies,\n"
+            "    n_workers=None,  # repro: allow[REP002]: deprecation shim\n"
+            "):\n"
+            "    return frequencies\n"
+        )
+        assert findings == []

@@ -1,0 +1,91 @@
+"""REP004: the canonical-serialization rule."""
+
+from __future__ import annotations
+
+LIB = "src/repro/fixture.py"
+TEST = "tests/fixture_test.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFires:
+    def test_json_dumps(self, lint):
+        findings = lint("""
+            import json
+            def export(payload):
+                return json.dumps(payload)
+        """)
+        assert codes(findings) == ["REP004"]
+        assert "canonical_json" in findings[0].message
+
+    def test_json_dump(self, lint):
+        findings = lint("""
+            import json
+            def export(payload, handle):
+                json.dump(payload, handle)
+        """)
+        assert codes(findings) == ["REP004"]
+
+    def test_from_import_dumps(self, lint):
+        findings = lint("""
+            from json import dumps
+            def export(payload):
+                return dumps(payload)
+        """)
+        assert codes(findings) == ["REP004"]
+
+    def test_aliased_import(self, lint):
+        findings = lint("""
+            import json as j
+            def export(payload):
+                return j.dumps(payload)
+        """)
+        assert codes(findings) == ["REP004"]
+
+    def test_dumps_outside_allowed_function_in_export_module(self, lint):
+        src = """
+            import json
+            def stray(payload):
+                return json.dumps(payload)
+        """
+        findings = lint(src, path="src/repro/reporting/export.py")
+        assert codes(findings) == ["REP004"]
+
+
+class TestSilent:
+    def test_canonical_json_body_is_the_allowed_site(self, lint):
+        src = """
+            import json
+            def canonical_json(payload):
+                return json.dumps(payload, sort_keys=True) + "\\n"
+            def compact_canonical_json(payload):
+                return json.dumps(payload, sort_keys=True)
+        """
+        assert lint(src, path="src/repro/reporting/export.py") == []
+
+    def test_json_loads_is_fine(self, lint):
+        assert lint("""
+            import json
+            def parse(text):
+                return json.loads(text)
+        """) == []
+
+    def test_tests_may_dump(self, lint):
+        assert lint("""
+            import json
+            def test_x():
+                assert json.dumps({}) == "{}"
+        """, path=TEST) == []
+
+
+class TestSuppression:
+    def test_justified_dumps(self, lint):
+        findings = lint(
+            "import json\n"
+            "def debug_repr(payload):\n"
+            "    return json.dumps(payload)  "
+            "# repro: allow[REP004]: debug repr, never committed\n"
+        )
+        assert findings == []

@@ -1,0 +1,39 @@
+"""Tier-1 self-check: the committed tree is lint-clean.
+
+This is the static-analysis analogue of the golden-baseline scenario
+checks: every contract rule runs over the real ``src``, ``tests`` and
+``benchmarks`` trees on every test run, so a PR that reintroduces a
+nondeterministic call, a seam bypass or a raw ``json.dumps`` fails
+tier-1 before review — no CI round-trip needed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TREES = ["src", "tests", "benchmarks"]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    paths = [REPO_ROOT / tree for tree in TREES if (REPO_ROOT / tree).exists()]
+    return lint_paths(paths, baseline=load_baseline(BASELINE))
+
+
+def test_tree_is_lint_clean(report):
+    assert report.ok, "\n" + report.format()
+
+
+def test_no_stale_baseline_entries(report):
+    assert not report.stale_baseline, "\n" + report.format()
+
+
+def test_whole_tree_was_checked(report):
+    # A refactor that silently empties the walk would pass trivially.
+    assert report.checked_files > 200

@@ -1,7 +1,7 @@
 """Public-API surface snapshot: exports change on purpose or not at all.
 
 ``tests/baselines/api_surface.json`` records ``repro.__all__`` and the
-``repro.api`` surface.  Accidental drift — a refactor silently dropping
+``repro.api`` and ``repro.analysis`` surfaces.  Accidental drift — a refactor silently dropping
 an export, an internal helper leaking into the public surface — fails
 here with the exact symbol names.  An *intentional* surface change is a
 one-liner: re-record the snapshot with::
@@ -15,6 +15,7 @@ import json
 import pathlib
 
 import repro
+import repro.analysis
 import repro.api
 
 SNAPSHOT = (
@@ -32,6 +33,7 @@ def current_payload() -> dict:
         "version": SURFACE_VERSION,
         "repro": sorted(repro.__all__),
         "repro.api": sorted(repro.api.__all__),
+        "repro.analysis": sorted(repro.analysis.__all__),
     }
 
 
@@ -50,7 +52,7 @@ def test_surface_matches_snapshot():
     recorded = json.loads(SNAPSHOT.read_text())
     assert recorded.get("format") == SURFACE_FORMAT
     current = current_payload()
-    for module in ("repro", "repro.api"):
+    for module in ("repro", "repro.api", "repro.analysis"):
         added = sorted(set(current[module]) - set(recorded[module]))
         removed = sorted(set(recorded[module]) - set(current[module]))
         assert not added and not removed, (
@@ -71,6 +73,7 @@ def test_all_names_resolve():
     for module, names in (
         (repro, json.loads(SNAPSHOT.read_text())["repro"]),
         (repro.api, json.loads(SNAPSHOT.read_text())["repro.api"]),
+        (repro.analysis, json.loads(SNAPSHOT.read_text())["repro.analysis"]),
     ):
         for name in names:
             assert hasattr(module, name), name
