@@ -88,15 +88,47 @@ def bench_trace(request):
     )
 
 
+def _plain(value):
+    """Coerce a figures payload to canonical-JSON-compatible types.
+
+    Benches hand over whatever their measurement produced — numpy
+    scalars included — and the machine-readable artifact must still be
+    canonical (finite floats, plain containers).
+    """
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _plain(value.item())
+    return str(value)
+
+
 @pytest.fixture
 def record_result(results_dir, smoke):
     """Write a bench's regenerated table to disk and echo it.
 
-    Smoke runs only echo: the committed results record full-size
-    experiments and must not be clobbered by tiny-N output.
-    """
+    Smoke runs only echo the table: the committed results record
+    full-size experiments and must not be clobbered by tiny-N output.
 
-    def _write(name: str, text: str) -> None:
+    Every run — smoke included — additionally writes a machine-readable
+    ``BENCH_<name>.json`` artifact (canonical JSON, byte-stable for the
+    same figures) carrying the measured figures the bench passed in, so
+    downstream tooling never has to parse the human-readable table.
+    The payload marks smoke runs as such.
+    """
+    from repro.reporting.export import canonical_json, write_json
+
+    def _write(name: str, text: str, figures: dict | None = None) -> None:
+        payload = {
+            "bench": name,
+            "smoke": smoke,
+            "figures": _plain(figures or {}),
+            "table": text,
+        }
+        write_json(results_dir / f"BENCH_{name}.json", canonical_json(payload))
         if not smoke:
             path = results_dir / f"{name}.txt"
             path.write_text(text + "\n")

@@ -379,7 +379,8 @@ class SeamRule(Rule):
     name = "seam-compliance"
     summary = (
         "no BatchRunner/CalibrationCache/worker-pool construction and no "
-        "n_workers=/backend= parameters outside the repro.api seam"
+        "n_workers=/backend=/chunk_size= parameters outside the repro.api "
+        "seam"
     )
 
     #: Packages allowed to build execution resources.
@@ -393,7 +394,7 @@ class SeamRule(Rule):
         "BatchRunner", "CalibrationCache",
         "ProcessPoolExecutor", "ThreadPoolExecutor", "Pool", "ThreadPool",
     }
-    PARAM_NAMES = {"n_workers", "backend"}
+    PARAM_NAMES = {"n_workers", "backend", "chunk_size"}
 
     def applies(self, module) -> bool:
         path = module.package_path

@@ -50,12 +50,20 @@ class ExecutionPolicy:
     cache_max_entries:
         LRU bound of the session's shared
         :class:`~repro.engine.cache.CalibrationCache`.
+    chunk_size:
+        Device-axis shard size for population batches, or ``None``
+        (default) to run each batch whole.  Chunking bounds peak memory
+        at O(chunk) instead of O(lot) and never changes results: per-job
+        seed substreams are indexed by absolute lot position, so the
+        exact channel is invariant to where chunk boundaries fall (see
+        :class:`~repro.engine.runner.BatchRunner`).
     """
 
     backend: str = "reference"
     n_workers: int = 1
     seed: int = 0
     cache_max_entries: int = DEFAULT_MAX_ENTRIES
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -88,6 +96,15 @@ class ExecutionPolicy:
             raise ConfigError(
                 f"policy: cache_max_entries must be an integer >= 1, "
                 f"got {self.cache_max_entries!r}"
+            )
+        if self.chunk_size is not None and (
+            not isinstance(self.chunk_size, int)
+            or isinstance(self.chunk_size, bool)
+            or self.chunk_size < 1
+        ):
+            raise ConfigError(
+                f"policy: chunk_size must be an integer >= 1 or None, "
+                f"got {self.chunk_size!r}"
             )
 
     # ------------------------------------------------------------------
@@ -123,6 +140,7 @@ class ExecutionPolicy:
             cache=cache if cache is not None else self.build_cache(
                 obs=obs, metrics=metrics
             ),
+            chunk_size=self.chunk_size,
             obs=obs,
             metrics=metrics,
         )
@@ -157,6 +175,7 @@ def policy_to_payload(policy: ExecutionPolicy) -> dict:
         "n_workers": policy.n_workers,
         "seed": policy.seed,
         "cache_max_entries": policy.cache_max_entries,
+        "chunk_size": policy.chunk_size,
     }
 
 
@@ -172,7 +191,7 @@ def policy_from_payload(payload: dict) -> ExecutionPolicy:
             f"this build reads version {POLICY_VERSION}"
         )
     known = {"format", "version", "backend", "n_workers", "seed",
-             "cache_max_entries"}
+             "cache_max_entries", "chunk_size"}
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ConfigError(
@@ -196,4 +215,5 @@ def policy_for_runner(
         n_workers=runner.n_workers,
         seed=seed,
         cache_max_entries=runner.cache.max_entries,
+        chunk_size=runner.chunk_size,
     )

@@ -55,14 +55,15 @@ class SessionStats:
 
     ``backend`` is the backend that executed the workload's last engine
     batch (``"reference"`` even under a vectorized policy when the
-    configuration forced the fallback); cache counters are deltas over
+    workload has no vectorized path); cache counters are deltas over
     the *whole* workload, which may span several engine batches (a
     coverage run measures the good device, then the catalog).
     ``fallbacks`` counts the workload's batches that *requested* the
-    vectorized backend but were forced onto the reference path (see
-    :meth:`repro.engine.runner.BatchRunner._plan_backend`) — nonzero
-    means the policy asked for throughput the configuration could not
-    honor.
+    vectorized backend but were forced onto the reference path because
+    their workload has no vectorized form — distortion today (see
+    :meth:`repro.engine.runner.BatchRunner._plan_backend`).  Every
+    analyzer *configuration* vectorizes, so nonzero fallbacks name a
+    workload gap, never a configuration gap.
     """
 
     backend: str

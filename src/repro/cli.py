@@ -161,6 +161,12 @@ def _execution_parent() -> argparse.ArgumentParser:
              "operations — the single-core throughput path, "
              "result-equivalent to the reference backend")
     group.add_argument(
+        "--chunk-size", type=_positive_int, default=None, metavar="N",
+        help="device-axis shard size for population batches: lots "
+             "stream through the engine N jobs at a time, bounding "
+             "peak memory with bit-identical results (per-job seeds "
+             "are indexed by absolute lot position, not chunk)")
+    group.add_argument(
         "--policy", type=str, default=None, metavar="POLICY_JSON",
         help="execution-policy file (ExecutionPolicy(...).to_json()); "
              "explicit --workers/--backend flags override its fields. "
@@ -190,6 +196,8 @@ def _policy_from_args(args) -> ExecutionPolicy:
         overrides["backend"] = args.backend
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "chunk_size", None) is not None:
+        overrides["chunk_size"] = args.chunk_size
     return policy.replace(**overrides) if overrides else policy
 
 
@@ -632,13 +640,13 @@ def _cmd_scenarios(args) -> int:
     from .scenarios import check, record, run_scenario
     from .scenarios.spec import ScenarioSpec
 
-    backend, workers = _scenario_overrides(args)
+    backend, workers, chunk = _scenario_overrides(args)
     obs = getattr(args, "_obs", None)
 
     if args.scenarios_command == "check":
         report = check(
             args.baseline, backend=backend, n_workers=workers,
-            update=args.update, obs=obs,
+            update=args.update, obs=obs, chunk_size=chunk,
         )
         print(report.report())
         return 0 if (report.ok or report.updated) else 1
@@ -647,11 +655,13 @@ def _cmd_scenarios(args) -> int:
     started = _wall_clock()
     if args.scenarios_command == "record":
         out = args.out if args.out else f"{spec.name}.json"
-        result = record(spec, out, backend=backend, n_workers=workers, obs=obs)
+        result = record(spec, out, backend=backend, n_workers=workers,
+                        obs=obs, chunk_size=chunk)
         elapsed = _wall_clock() - started
         print(f"recorded baseline for scenario {spec.name!r} -> {out}")
     else:  # run
-        result = run_scenario(spec, backend=backend, n_workers=workers, obs=obs)
+        result = run_scenario(spec, backend=backend, n_workers=workers,
+                              obs=obs, chunk_size=chunk)
         elapsed = _wall_clock() - started
     rows = [[s.kind, s.name, s.headline()] for s in result.steps]
     rows.append(["", "wall time (s)", f"{elapsed:.2f}"])
@@ -736,22 +746,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _scenario_overrides(args) -> tuple[str | None, int | None]:
-    """Backend/worker overrides for the scenario subcommands.
+def _scenario_overrides(args) -> tuple[str | None, int | None, int | None]:
+    """Backend/worker/chunk overrides for the scenario subcommands.
 
     ``None`` means "use the spec's own default".  A ``--policy`` file
     pins only the fields it actually writes down, so a hand-trimmed
     file (say ``{"n_workers": 2}`` plus the format header) overrides
     exactly what it names — note that ``ExecutionPolicy(...).to_json()``
-    writes *every* field and therefore pins both.  Explicit flags win
-    over the file.  The file's ``seed`` is deliberately ignored here:
-    a scenario's seed is part of the spec's reproducibility contract
-    (a recorded baseline replays only under its own seed), unlike the
-    other subcommands where ``--policy`` supplies the lot seed.
+    writes *every* field and therefore pins all of them.  Explicit
+    flags win over the file.  The file's ``seed`` is deliberately
+    ignored here: a scenario's seed is part of the spec's
+    reproducibility contract (a recorded baseline replays only under
+    its own seed), unlike the other subcommands where ``--policy``
+    supplies the lot seed.
     """
     import json
 
     backend, workers = args.backend, args.workers
+    chunk = getattr(args, "chunk_size", None)
     if args.policy:
         text = _read_text(args.policy, what="execution policy")
         policy = ExecutionPolicy.from_json(text)  # full strict validation
@@ -760,7 +772,9 @@ def _scenario_overrides(args) -> tuple[str | None, int | None]:
             backend = policy.backend
         if workers is None and "n_workers" in present:
             workers = policy.n_workers
-    return backend, workers
+        if chunk is None and "chunk_size" in present:
+            chunk = policy.chunk_size
+    return backend, workers, chunk
 
 
 def _read_text(path: str, what: str = "scenario spec") -> str:

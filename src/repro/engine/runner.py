@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,7 +43,7 @@ from ..core.bode import BodeResult
 from ..core.calibration import CalibrationResult
 from ..core.config import AnalyzerConfig
 from ..core.measurement import GainPhaseMeasurement
-from ..dut.active_rc import FilterComponents
+from ..dut.active_rc import ActiveRCLowpass, FilterComponents
 from ..dut.base import DUT
 from ..errors import ConfigError
 from ..obs.metrics import MetricRegistry
@@ -79,8 +80,9 @@ class BatchStats:
     used (1 when the batch ran inline), not the runner's configured
     maximum.  ``backend`` is the backend that actually executed the
     batch — ``"reference"`` even on a vectorized runner when the
-    configuration forced a fallback (see
-    :func:`repro.engine.vectorized.supports_vectorized`).
+    workload has no vectorized path (distortion) and the batch fell
+    back.  Every :class:`~repro.core.config.AnalyzerConfig` itself
+    vectorizes (see :func:`repro.engine.vectorized.supports_vectorized`).
     """
 
     n_jobs: int
@@ -113,10 +115,22 @@ class BatchRunner:
         ``"vectorized"`` evaluates whole populations as stacked array
         operations in this process (see
         :mod:`repro.engine.vectorized`): the single-core throughput
-        path, result-equivalent to the reference backend.  Vectorized
-        batches run inline — ``n_workers`` only affects batches that
-        fall back to the reference backend (e.g. noisy-generator
-        configurations, or the distortion workload).
+        path, result-equivalent to the reference backend for *every*
+        configuration.  Vectorized batches run inline — ``n_workers``
+        only affects batches that fall back to the reference backend
+        because their workload has no vectorized path (the distortion
+        workload).
+    chunk_size:
+        Device-axis shard size, or ``None`` (default) to run each batch
+        whole.  When set, population batches — sweeps, fault campaigns,
+        pseudorandom campaigns, Monte-Carlo lots — stream through the
+        engine ``chunk_size`` jobs at a time, bounding peak memory at
+        O(chunk) instead of O(lot) while producing bit-identical exact
+        channels: per-job seed substreams are indexed by each job's
+        *absolute* lot position, so results never depend on where the
+        chunk boundaries fall.  Each chunk gets its own trace span
+        (``chunk[k]``); unchunked runs emit no chunk spans, so their
+        traces are byte-identical to pre-chunking traces.
     obs:
         Trace recorder (see :mod:`repro.obs`).  Defaults to the
         process-wide default recorder — the shared ``NullRecorder``
@@ -137,6 +151,7 @@ class BatchRunner:
         cache: CalibrationCache | None = None,
         backend: str = "reference",
         *,
+        chunk_size: int | None = None,
         obs=None,
         metrics: MetricRegistry | None = None,
     ) -> None:
@@ -146,8 +161,17 @@ class BatchRunner:
             raise ConfigError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if chunk_size is not None and (
+            not isinstance(chunk_size, int)
+            or isinstance(chunk_size, bool)
+            or chunk_size < 1
+        ):
+            raise ConfigError(
+                f"chunk_size must be an integer >= 1 or None, got {chunk_size!r}"
+            )
         self.n_workers = n_workers
         self.backend = backend
+        self.chunk_size = chunk_size
         self.obs = obs if obs is not None else default_recorder()
         self.metrics = metrics if metrics is not None else MetricRegistry()
         if cache is None:
@@ -165,36 +189,51 @@ class BatchRunner:
         self._executor: ProcessPoolExecutor | None = None
         self._last_effective_workers = 1
 
-    def _vectorize(self, config: AnalyzerConfig) -> bool:
-        """Whether this batch runs on the vectorized backend."""
-        if self.backend != "vectorized":
-            return False
-        from .vectorized import supports_vectorized
-
-        return supports_vectorized(config)
-
-    def _plan_backend(
-        self, config: AnalyzerConfig, vectorizable: bool = True
-    ) -> tuple[str, bool]:
+    def _plan_backend(self, vectorizable: bool = True) -> tuple[str, bool]:
         """``(backend actually used, is it a fallback)`` for one batch.
 
-        A *fallback* is a batch whose workload has a vectorized path and
-        whose runner requested it, but whose configuration the
-        vectorized backend cannot honor (noisy generator — see
-        :func:`repro.engine.vectorized.supports_vectorized`).  A
-        workload with no vectorized path at all (distortion) is not a
-        fallback; it simply always runs on the reference backend.
+        The one seam where the backend decision is made: the trace
+        ``"backend"`` event, :attr:`BatchStats.backend`, and the
+        ``engine.fallbacks`` counter all consume this single result, so
+        they can never disagree about what actually ran.  A *fallback*
+        is a batch whose runner requested the vectorized backend but
+        whose *workload* has no vectorized path (distortion); every
+        :class:`~repro.core.config.AnalyzerConfig` itself vectorizes
+        (see :func:`repro.engine.vectorized.supports_vectorized`).
         """
-        if self.backend != "vectorized" or not vectorizable:
+        if self.backend != "vectorized":
             return "reference", False
-        if self._vectorize(config):
-            return "vectorized", False
-        return "reference", True
+        if not vectorizable:
+            return "reference", True
+        return "vectorized", False
 
     @property
     def fallbacks(self) -> int:
         """Batches forced off the vectorized backend (``engine.fallbacks``)."""
         return self._fallbacks.value
+
+    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        """Device-axis shard boundaries for a batch of ``n`` jobs."""
+        size = self.chunk_size
+        if size is None or size >= n:
+            return [(0, n)]
+        return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+    def _chunk_span(self, k: int, start: int, stop: int):
+        """The span for one device-axis chunk.
+
+        Emitted only when chunking is configured — an unchunked runner's
+        trace stays byte-identical to a pre-chunking trace.  The payload
+        is exact-channel: which jobs land in which chunk is a pure
+        function of ``(n_jobs, chunk_size)``, never of timing.
+        """
+        if self.chunk_size is None:
+            return nullcontext()
+        return self.obs.span(
+            f"chunk[{k}]",
+            kind="engine.chunk",
+            exact={"index": k, "start": start, "n_jobs": stop - start},
+        )
 
     # ------------------------------------------------------------------
     # Generic dispatch
@@ -362,7 +401,7 @@ class BatchRunner:
         if not frequencies:
             raise ConfigError("frequency list is empty")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        used, fallback = self._plan_backend(config)
+        used, fallback = self._plan_backend()
         with self.obs.span(
             "engine.sweep",
             kind="engine.batch",
@@ -375,31 +414,51 @@ class BatchRunner:
                     else frequencies[0]
                 )
                 calibration = self.calibration_for(config, fcal, m_periods)
+            results: list[GainPhaseMeasurement] = []
             if used == "vectorized":
-                from .vectorized import run_sweep_vectorized
+                from .vectorized import PopulationMeasurer, run_sweep_vectorized
 
-                results = run_sweep_vectorized(
-                    dut, config, frequencies, m_periods, calibration
-                )
+                measurer = PopulationMeasurer(config, m_periods, calibration)
+                for k, (start, stop) in enumerate(
+                    self._chunk_bounds(len(frequencies))
+                ):
+                    with self._chunk_span(k, start, stop):
+                        results.extend(
+                            run_sweep_vectorized(
+                                dut,
+                                config,
+                                frequencies[start:stop],
+                                m_periods,
+                                calibration,
+                                start_index=start,
+                                measurer=measurer,
+                            )
+                        )
+                        self._array_job_spans(range(start, stop))
                 self._last_effective_workers = 1
-                self._array_job_spans(range(len(frequencies)))
                 self._finish_batch(
                     span, len(frequencies), hits0, misses0, used, fallback
                 )
                 return results
-            jobs = [
-                SweepPointJob(
-                    index=i,
-                    fwave=f,
-                    m_periods=m_periods,
-                    dut=dut,
-                    config=config,
-                    calibration=calibration,
-                )
-                for i, f in enumerate(frequencies)
-            ]
-            results = self.map_jobs(execute_sweep_point, jobs)
-            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
+            for k, (start, stop) in enumerate(
+                self._chunk_bounds(len(frequencies))
+            ):
+                jobs = [
+                    SweepPointJob(
+                        index=start + i,
+                        fwave=f,
+                        m_periods=m_periods,
+                        dut=dut,
+                        config=config,
+                        calibration=calibration,
+                    )
+                    for i, f in enumerate(frequencies[start:stop])
+                ]
+                with self._chunk_span(k, start, stop):
+                    results.extend(self.map_jobs(execute_sweep_point, jobs))
+            self._finish_batch(
+                span, len(frequencies), hits0, misses0, used, fallback
+            )
             return results
 
     def run_bode(
@@ -461,7 +520,7 @@ class BatchRunner:
         if start_index < 0:
             raise ConfigError(f"start_index must be >= 0, got {start_index}")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        used, fallback = self._plan_backend(config)
+        used, fallback = self._plan_backend()
         with self.obs.span(
             "engine.fault_trials",
             kind="engine.batch",
@@ -473,38 +532,54 @@ class BatchRunner:
                 else frequencies[0]
             )
             calibration = self.calibration_for(config, fcal, m_periods)
+            results: list[tuple[GainPhaseMeasurement, ...]] = []
             if used == "vectorized":
-                from .vectorized import run_fault_trials_vectorized
+                from .vectorized import (
+                    PopulationMeasurer,
+                    run_fault_trials_vectorized,
+                )
 
-                results = run_fault_trials_vectorized(
-                    duts,
-                    config,
-                    frequencies,
-                    m_periods,
-                    calibration,
-                    start_index=start_index,
-                )
+                measurer = PopulationMeasurer(config, m_periods, calibration)
+                for k, (start, stop) in enumerate(
+                    self._chunk_bounds(len(duts))
+                ):
+                    with self._chunk_span(k, start, stop):
+                        results.extend(
+                            run_fault_trials_vectorized(
+                                duts[start:stop],
+                                config,
+                                frequencies,
+                                m_periods,
+                                calibration,
+                                start_index=start_index + start,
+                                measurer=measurer,
+                            )
+                        )
+                        self._array_job_spans(
+                            range(start_index + start, start_index + stop)
+                        )
                 self._last_effective_workers = 1
-                self._array_job_spans(
-                    range(start_index, start_index + len(duts))
-                )
                 self._finish_batch(
                     span, len(duts), hits0, misses0, used, fallback
                 )
                 return results
-            jobs = [
-                FaultTrialJob(
-                    index=start_index + i,
-                    dut=dut,
-                    frequencies=frequencies,
-                    m_periods=m_periods,
-                    config=config,
-                    calibration=calibration,
-                )
-                for i, dut in enumerate(duts)
-            ]
-            results = self.map_jobs(execute_fault_trial, jobs)
-            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
+            for k, (start, stop) in enumerate(self._chunk_bounds(len(duts))):
+                jobs = [
+                    FaultTrialJob(
+                        index=start_index + start + i,
+                        dut=dut,
+                        frequencies=frequencies,
+                        m_periods=m_periods,
+                        config=config,
+                        calibration=calibration,
+                    )
+                    for i, dut in enumerate(duts[start:stop])
+                ]
+                with self._chunk_span(k, start, stop):
+                    results.extend(self.map_jobs(execute_fault_trial, jobs))
+            self._finish_batch(
+                span, len(duts), hits0, misses0, used, fallback
+            )
             return results
 
     # ------------------------------------------------------------------
@@ -551,7 +626,7 @@ class BatchRunner:
         if start_index < 0:
             raise ConfigError(f"start_index must be >= 0, got {start_index}")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        used, fallback = self._plan_backend(config)
+        used, fallback = self._plan_backend()
         with self.obs.span(
             "engine.pseudorandom_trials",
             kind="engine.batch",
@@ -563,48 +638,64 @@ class BatchRunner:
                 else frequencies[0]
             )
             calibration = self.calibration_for(config, fcal, m_periods)
+            results: list = []
             if used == "vectorized":
-                from .vectorized import run_fault_trials_vectorized
+                from .vectorized import (
+                    PopulationMeasurer,
+                    run_fault_trials_vectorized,
+                )
 
-                measured = run_fault_trials_vectorized(
-                    duts,
-                    config,
-                    frequencies,
-                    m_periods,
-                    calibration,
-                    start_index=start_index,
-                    stream="prbist",
-                )
-                results = []
-                for measurements in measured:
-                    words = response_words(measurements, misr.width)
-                    results.append(
-                        PrbistTrial(
-                            words=words, signature=misr_compact(words, misr)
+                measurer = PopulationMeasurer(config, m_periods, calibration)
+                for k, (start, stop) in enumerate(
+                    self._chunk_bounds(len(duts))
+                ):
+                    with self._chunk_span(k, start, stop):
+                        measured = run_fault_trials_vectorized(
+                            duts[start:stop],
+                            config,
+                            frequencies,
+                            m_periods,
+                            calibration,
+                            start_index=start_index + start,
+                            stream="prbist",
+                            measurer=measurer,
                         )
-                    )
+                        for measurements in measured:
+                            words = response_words(measurements, misr.width)
+                            results.append(
+                                PrbistTrial(
+                                    words=words,
+                                    signature=misr_compact(words, misr),
+                                )
+                            )
+                        self._array_job_spans(
+                            range(start_index + start, start_index + stop)
+                        )
                 self._last_effective_workers = 1
-                self._array_job_spans(
-                    range(start_index, start_index + len(duts))
-                )
                 self._finish_batch(
                     span, len(duts), hits0, misses0, used, fallback
                 )
                 return results
-            jobs = [
-                PseudorandomTrialJob(
-                    index=start_index + i,
-                    dut=dut,
-                    frequencies=frequencies,
-                    m_periods=m_periods,
-                    config=config,
-                    calibration=calibration,
-                    misr=misr,
-                )
-                for i, dut in enumerate(duts)
-            ]
-            results = self.map_jobs(execute_pseudorandom_trial, jobs)
-            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
+            for k, (start, stop) in enumerate(self._chunk_bounds(len(duts))):
+                jobs = [
+                    PseudorandomTrialJob(
+                        index=start_index + start + i,
+                        dut=dut,
+                        frequencies=frequencies,
+                        m_periods=m_periods,
+                        config=config,
+                        calibration=calibration,
+                        misr=misr,
+                    )
+                    for i, dut in enumerate(duts[start:stop])
+                ]
+                with self._chunk_span(k, start, stop):
+                    results.extend(
+                        self.map_jobs(execute_pseudorandom_trial, jobs)
+                    )
+            self._finish_batch(
+                span, len(duts), hits0, misses0, used, fallback
+            )
             return results
 
     # ------------------------------------------------------------------
@@ -622,12 +713,16 @@ class BatchRunner:
 
         Needs no calibration (distortion is a ratio against the measured
         fundamental), so each frequency is simply an independent job.
+        The workload has no vectorized path — on a vectorized runner it
+        falls back to the reference backend (and counts as a fallback).
+        It is also never chunked: a distortion batch is a handful of
+        frequencies, not a device lot.
         """
         fwaves = [float(f) for f in fwaves]
         if not fwaves:
             raise ConfigError("stimulus frequency list is empty")
         hits0, misses0 = self.cache.hits, self.cache.misses
-        used, fallback = self._plan_backend(config, vectorizable=False)
+        used, fallback = self._plan_backend(vectorizable=False)
         with self.obs.span(
             "engine.distortion",
             kind="engine.batch",
@@ -663,11 +758,15 @@ class BatchRunner:
     ) -> list:
         """Simulate a lot of devices through a BIST program.
 
-        Component values are drawn serially from one seeded RNG (so the
-        lot is a function of ``seed`` alone), then each device trial is
-        dispatched as an independent job.  The program's one-off
-        calibration is acquired once via the cache instead of once per
-        device.
+        Component values are drawn serially from one seeded RNG in
+        device order (so the lot is a function of ``seed`` alone —
+        identical across backends and across chunk boundaries), then
+        each device trial is dispatched as an independent job.  When
+        ``chunk_size`` is set the lot streams through the engine one
+        chunk of devices at a time, so a million-device lot never holds
+        more than one chunk's devices and responses in memory.  The
+        program's one-off calibration is acquired once via the cache
+        instead of once per device.
         """
         if n_devices < 1:
             raise ConfigError(f"n_devices must be >= 1, got {n_devices}")
@@ -676,7 +775,7 @@ class BatchRunner:
                 f"component_sigma must be >= 0, got {component_sigma!r}"
             )
         hits0, misses0 = self.cache.hits, self.cache.misses
-        used, fallback = self._plan_backend(config)
+        used, fallback = self._plan_backend()
         with self.obs.span(
             "engine.trials",
             kind="engine.batch",
@@ -685,37 +784,59 @@ class BatchRunner:
             calibration = self.calibration_for(
                 config, program.frequencies[0], program.m_periods
             )
+            rng = np.random.default_rng(seed)
+            trials: list = []
             if used == "vectorized":
-                from .vectorized import run_trials_vectorized
+                from .vectorized import PopulationMeasurer, run_trials_vectorized
 
-                trials = run_trials_vectorized(
-                    nominal,
-                    mask,
-                    program,
-                    n_devices=n_devices,
-                    component_sigma=component_sigma,
-                    seed=seed,
-                    config=config,
-                    calibration=calibration,
+                measurer = PopulationMeasurer(
+                    config, program.m_periods, calibration
                 )
+                for k, (start, stop) in enumerate(
+                    self._chunk_bounds(n_devices)
+                ):
+                    devices = [
+                        ActiveRCLowpass(
+                            nominal.with_tolerance(component_sigma, rng),
+                            name=f"device #{i}",
+                        )
+                        for i in range(start, stop)
+                    ]
+                    with self._chunk_span(k, start, stop):
+                        trials.extend(
+                            run_trials_vectorized(
+                                devices,
+                                mask,
+                                program,
+                                config=config,
+                                calibration=calibration,
+                                start_index=start,
+                                measurer=measurer,
+                            )
+                        )
+                        self._array_job_spans(range(start, stop))
                 self._last_effective_workers = 1
-                self._array_job_spans(range(n_devices))
                 self._finish_batch(
                     span, n_devices, hits0, misses0, used, fallback
                 )
                 return trials
-            rng = np.random.default_rng(seed)
-            jobs = [
-                DeviceTrialJob(
-                    index=i,
-                    components=nominal.with_tolerance(component_sigma, rng),
-                    mask=mask,
-                    program=program,
-                    config=config,
-                    calibration=calibration,
-                )
-                for i in range(n_devices)
-            ]
-            trials = self.map_jobs(execute_device_trial, jobs)
-            self._finish_batch(span, len(jobs), hits0, misses0, used, fallback)
+            for k, (start, stop) in enumerate(self._chunk_bounds(n_devices)):
+                jobs = [
+                    DeviceTrialJob(
+                        index=i,
+                        components=nominal.with_tolerance(
+                            component_sigma, rng
+                        ),
+                        mask=mask,
+                        program=program,
+                        config=config,
+                        calibration=calibration,
+                    )
+                    for i in range(start, stop)
+                ]
+                with self._chunk_span(k, start, stop):
+                    trials.extend(self.map_jobs(execute_device_trial, jobs))
+            self._finish_batch(
+                span, n_devices, hits0, misses0, used, fallback
+            )
             return trials

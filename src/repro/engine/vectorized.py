@@ -39,9 +39,16 @@ which may differ in the last bit; results agree to within a few ulp
 
 Configurations whose *generator* consumes the noise stream (a noisy
 ``generator_opamp`` with ``noise_seed`` set) cannot share one stimulus
-render; :func:`supports_vectorized` reports them and the
-:class:`~repro.engine.runner.BatchRunner` falls back to the reference
-backend for those batches.
+render — each job's stimulus is perturbed by its private substream.
+Those populations render as a *batched* noisy stimulus instead: the
+biquad recurrence runs as a time loop over device-axis vectors with
+each device's interleaved amplifier-noise draws taken from its own job
+RNG, op-for-op the reference :meth:`~repro.sc.biquad.SCBiquad.step`
+arithmetic, so the per-device stimuli (and hence the integer
+signatures) are bit-identical to the reference backend's.  Every valid
+:class:`~repro.core.config.AnalyzerConfig` is therefore supported;
+:func:`supports_vectorized` is retained as the (now always-true) seam
+predicate.
 """
 
 from __future__ import annotations
@@ -50,7 +57,7 @@ import math
 
 import numpy as np
 
-from ..clocking.master import OVERSAMPLING_RATIO, ClockTree
+from ..clocking.master import GENERATOR_STEPS, OVERSAMPLING_RATIO, ClockTree
 from ..clocking.sequencer import ModulationSequence
 from ..core import compensation
 from ..core.calibration import CalibrationResult
@@ -72,17 +79,16 @@ from .seeding import derive_seed
 def supports_vectorized(config: AnalyzerConfig) -> bool:
     """True when the population backend reproduces the reference path.
 
-    The only unsupported case is a *noisy generator*: with
-    ``noise_seed`` set and a ``generator_opamp`` carrying noise, every
-    job renders its own noise-perturbed stimulus, so a shared render
-    cannot match.  Everything else — mismatch dies, deterministic
-    non-ideal amplifiers, noisy evaluators, random modulator power-up
-    states — is supported exactly.
+    Always true: every valid configuration — mismatch dies,
+    deterministic non-ideal amplifiers, noisy evaluators, random
+    modulator power-up states, and noisy generators (rendered as a
+    batched per-device stimulus consuming each job's substream in the
+    reference order) — is reproduced exactly.  The predicate is kept as
+    the seam's documented extension point for future backends with
+    narrower coverage (e.g. array namespaces without a batched noisy
+    render).
     """
-    if config.noise_seed is None:
-        return True
-    generator_opamp = config.generator_opamp
-    return generator_opamp is None or generator_opamp.noise_rms == 0.0
+    return isinstance(config, AnalyzerConfig)
 
 
 def _job_rng(
@@ -239,12 +245,6 @@ class PopulationMeasurer:
         m_periods: int | None,
         calibration: CalibrationResult,
     ) -> None:
-        if not supports_vectorized(config):
-            raise ConfigError(
-                "configuration has a noisy generator; the vectorized "
-                "population backend cannot share one stimulus render "
-                "(use the reference backend)"
-            )
         self.config = config
         self.m_periods = m_periods if m_periods is not None else config.m_periods
         calibration.check_amplitude_setting(config.stimulus_amplitude)
@@ -262,24 +262,28 @@ class PopulationMeasurer:
         self._q1 = np.asarray(q1, dtype=float)
         self._q2 = np.asarray(q2, dtype=float)
         self._has_rng = config.noise_seed is not None
+        self._noisy_generator = (
+            self._has_rng
+            and config.generator_opamp is not None
+            and config.generator_opamp.noise_rms != 0.0
+        )
+        self._generator: SinewaveGenerator | None = None
         self._stimulus = np.empty(0)
         self._settle_cache: dict[int, tuple[object, float]] = {}
 
     # ------------------------------------------------------------------
     # Shared stimulus
     # ------------------------------------------------------------------
-    def _stimulus_samples(self, n_periods: int) -> np.ndarray:
-        """The held stimulus for ``n_periods`` tone periods (shared).
+    def _template_generator(self) -> SinewaveGenerator:
+        """The campaign's generator die (cached; noise-free template).
 
-        The generator's sample values depend only on the period count —
-        not on the master clock (every internal rate is a fixed ratio of
-        it) and, under the supported configurations, not on the job —
-        and a longer render extends a shorter one sample-for-sample
-        (the recurrences are causal).  One cached render therefore
-        serves every device, lead-in and sweep frequency as a prefix.
+        Built exactly as the reference analyzer builds one — same
+        mismatched die (a fresh :class:`~repro.sc.mismatch.MismatchModel`
+        from the config's template reproduces the seeded perturbations),
+        same amplitude programming — but with no RNG: the noisy path
+        draws each job's noise itself, in the reference order.
         """
-        needed = n_periods * OVERSAMPLING_RATIO
-        if len(self._stimulus) < needed:
+        if self._generator is None:
             config = self.config
             template = config.mismatch
             mismatch = (
@@ -295,9 +299,25 @@ class PopulationMeasurer:
                 rng=None,
             )
             generator.set_amplitude(config.stimulus_amplitude)
-            held = generator.render_held(
+            self._generator = generator
+        return self._generator
+
+    def _stimulus_samples(self, n_periods: int) -> np.ndarray:
+        """The held stimulus for ``n_periods`` tone periods (shared).
+
+        The generator's sample values depend only on the period count —
+        not on the master clock (every internal rate is a fixed ratio of
+        it) and, for noise-free generators, not on the job — and a
+        longer render extends a shorter one sample-for-sample (the
+        recurrences are causal).  One cached render therefore serves
+        every device, lead-in and sweep frequency as a prefix.  Noisy
+        generators never take this path (see :meth:`_noisy_responses`).
+        """
+        needed = n_periods * OVERSAMPLING_RATIO
+        if len(self._stimulus) < needed:
+            held = self._template_generator().render_held(
                 n_periods=n_periods,
-                settle_periods=config.generator_settle_periods,
+                settle_periods=self.config.generator_settle_periods,
             )
             self._stimulus = held.samples
         return self._stimulus[:needed]
@@ -324,9 +344,18 @@ class PopulationMeasurer:
         A multi-slot campaign (one slot per probe frequency) otherwise
         re-renders whenever a later slot needs a longer lead; rendering
         the worst case once up front makes every slot a prefix hit.
+
+        ``reserve`` also marks a chunk boundary: the measurer outlives
+        chunks (one measurer per batch), so settle-seconds memos for
+        earlier chunks' devices are dead weight — and their strong
+        references would grow the footprint with the lot instead of the
+        chunk.  Each reservation starts the memo fresh.
         """
+        self._settle_cache.clear()
         fwaves = [float(f) for f in fwaves]
-        if not fwaves:
+        if not fwaves or self._noisy_generator:
+            # A noisy generator renders per device (no shared prefix to
+            # warm); the settle-seconds cache still fills lazily.
             return
         worst_seconds = max(
             (self._settle_seconds(dut) for dut in duts), default=0.0
@@ -348,13 +377,16 @@ class PopulationMeasurer:
         n = OVERSAMPLING_RATIO
         n_devices = len(entries)
         leads = [self._lead_periods(dut, fwave) for dut, fwave, _ in entries]
-        stimulus = self._stimulus_samples(max(leads) + m)
 
-        responses = np.empty((n_devices, self.mn))
-        for i, ((dut, fwave, _), lead) in enumerate(zip(entries, leads)):
-            prefix = stimulus[: (lead + m) * n]
-            output = dut.batch_response(prefix, fwave * n)
-            responses[i] = output[lead * n : lead * n + self.mn]
+        if self._noisy_generator:
+            responses = self._noisy_responses(entries, leads)
+        else:
+            stimulus = self._stimulus_samples(max(leads) + m)
+            responses = np.empty((n_devices, self.mn))
+            for i, ((dut, fwave, _), lead) in enumerate(zip(entries, leads)):
+                prefix = stimulus[: (lead + m) * n]
+                output = dut.batch_response(prefix, fwave * n)
+                responses[i] = output[lead * n : lead * n + self.mn]
 
         # Per-job RNG consumption, reference order: power-up states
         # first, then channel-1 noise, then channel-2 noise.
@@ -433,6 +465,87 @@ class PopulationMeasurer:
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    def _noisy_responses(self, entries, leads) -> np.ndarray:
+        """Per-device noise-perturbed stimuli, rendered as one batch.
+
+        A noisy generator gives every job its own stimulus: the biquad's
+        two amplifiers each draw one noise sample per generator step
+        from the job's private RNG.  This runs the reference
+        :meth:`~repro.sc.biquad.SCBiquad.step` recurrence as a time loop
+        over device-axis vectors — the same IEEE operations in the same
+        order, with each device's interleaved (amp1, amp2) draws taken
+        from its own substream up front (batched ``normal(size=2k)``
+        equals ``2k`` sequential scalar draws) — so every device's
+        render is bit-identical to the private render its reference job
+        would perform.  Devices with shorter lead-ins simply stop
+        consuming their render early (the recurrence is causal; their
+        noise tails are never drawn).
+        """
+        config = self.config
+        m = self.m_periods
+        n = OVERSAMPLING_RATIO
+        settle_head = config.generator_settle_periods
+        generator = self._template_generator()
+        biquad = generator.biquad
+        caps = biquad.caps
+        amp1, amp2 = biquad.opamp1, biquad.opamp2
+        rms = amp1.noise_rms
+
+        n_devices = len(entries)
+        steps = [
+            (settle_head + lead + m) * GENERATOR_STEPS for lead in leads
+        ]
+        max_steps = max(steps)
+        charges = generator.control.charge_sequence(max_steps)
+
+        noise1 = np.zeros((max_steps, n_devices))
+        noise2 = np.zeros((max_steps, n_devices))
+        for i, ((_, _, rng), k) in enumerate(zip(entries, steps)):
+            if rng is not None:
+                draws = rng.normal(0.0, rms, size=2 * k)
+                # The reference accumulates each draw into `total = 0.0`
+                # (SCBiquad._noise); adding 0.0 reproduces that exactly
+                # (it canonicalizes a -0.0 draw to +0.0).
+                np.add(draws, 0.0, out=draws)
+                noise1[:k, i] = draws[0::2]
+                noise2[:k, i] = draws[1::2]
+
+        # The reference step's precomputed coefficients, reused so every
+        # scalar is the very float the per-job biquad would multiply by.
+        leak1, gain1 = biquad._leak1, biquad._gain1
+        leak2 = biquad._leak2
+        g2c2 = biquad._gain2 * biquad._c2
+        a = caps.a
+        be = caps.b + caps.e
+        boff1 = caps.b * amp1.offset
+        off2 = amp2.offset
+        se1, vs1 = amp1.settling_error, amp1.v_sat
+        se2, vs2 = amp2.settling_error, amp2.v_sat
+
+        v1 = np.zeros(n_devices)
+        v2 = np.zeros(n_devices)
+        out = np.empty((max_steps, n_devices))
+        for i in range(max_steps):
+            q = charges[i]
+            target1 = leak1 * v1 - gain1 * ((q + a * v2) + boff1) / be + noise1[i]
+            v1 = target1 - se1 * (target1 - v1)
+            np.clip(v1, -vs1, vs1, out=v1)
+            target2 = leak2 * v2 + g2c2 * (v1 + off2) + noise2[i]
+            v2 = target2 - se2 * (target2 - v2)
+            np.clip(v2, -vs2, vs2, out=v2)
+            out[i] = v2
+
+        hold = OVERSAMPLING_RATIO // GENERATOR_STEPS
+        head = settle_head * GENERATOR_STEPS
+        responses = np.empty((n_devices, self.mn))
+        for i, ((dut, fwave, _), lead) in enumerate(zip(entries, leads)):
+            samples = out[head : head + (lead + m) * GENERATOR_STEPS, i]
+            held = np.repeat(samples, hold)
+            output = dut.batch_response(held, fwave * n)
+            responses[i] = output[lead * n : lead * n + self.mn]
+        return responses
 
     # ------------------------------------------------------------------
     def _per_device_counts(
@@ -590,11 +703,20 @@ def run_sweep_vectorized(
     frequencies,
     m_periods: int | None,
     calibration: CalibrationResult,
+    start_index: int = 0,
+    measurer: PopulationMeasurer | None = None,
 ) -> list[GainPhaseMeasurement]:
-    """A frequency sweep as one population slot (points are the axis)."""
-    measurer = PopulationMeasurer(config, m_periods, calibration)
+    """A frequency sweep as one population slot (points are the axis).
+
+    ``start_index`` offsets the per-point seed indices and ``measurer``
+    carries a shared :class:`PopulationMeasurer` across calls — together
+    they let the runner shard one logical sweep into device-axis chunks
+    whose jobs stay on the substreams the unsharded sweep would use.
+    """
+    if measurer is None:
+        measurer = PopulationMeasurer(config, m_periods, calibration)
     entries = [
-        (dut, float(f), _job_rng(config, "sweep", i))
+        (dut, float(f), _job_rng(config, "sweep", start_index + i))
         for i, f in enumerate(frequencies)
     ]
     return measurer.measure(entries)
@@ -608,14 +730,18 @@ def run_fault_trials_vectorized(
     calibration: CalibrationResult,
     start_index: int = 0,
     stream: str = "fault",
+    measurer: PopulationMeasurer | None = None,
 ) -> list[tuple[GainPhaseMeasurement, ...]]:
     """A fault campaign batched per probe frequency (devices are the axis).
 
     ``stream`` names the per-job seed substream; pseudorandom-BIST
     campaigns pass ``"prbist"`` so each device consumes exactly the
-    substream its reference-backend job would.
+    substream its reference-backend job would.  ``start_index`` and a
+    shared ``measurer`` support chunked execution exactly as in
+    :func:`run_sweep_vectorized`.
     """
-    measurer = PopulationMeasurer(config, m_periods, calibration)
+    if measurer is None:
+        measurer = PopulationMeasurer(config, m_periods, calibration)
     duts = list(duts)
     measurer.reserve(duts, frequencies)
     rngs = [
@@ -633,36 +759,34 @@ def run_fault_trials_vectorized(
 
 
 def run_trials_vectorized(
-    nominal,
+    devices,
     mask,
     program,
-    n_devices: int,
-    component_sigma: float,
-    seed: int,
     config: AnalyzerConfig,
     calibration: CalibrationResult,
+    start_index: int = 0,
+    measurer: PopulationMeasurer | None = None,
 ) -> list:
     """A Monte-Carlo lot batched per program frequency.
 
-    The lot's component values are drawn exactly as the reference
-    dispatcher draws them (one seeded RNG, device order), so the
-    population is the same lot; the measurements then run as one slot
-    per program frequency, and the go/no-go verdicts reuse the same
-    tri-state interval logic.
+    ``devices`` are the lot's pre-built DUTs — the dispatcher draws
+    their component values exactly as the reference path draws them
+    (one seeded RNG, device order), which keeps the population
+    identical across backends *and* across chunk boundaries; the
+    measurements then run as one slot per program frequency, and the
+    go/no-go verdicts reuse the same tri-state interval logic.
+    ``start_index`` is the lot index of ``devices[0]``.
     """
     from ..bist.montecarlo import DeviceTrial, _truly_good
     from ..bist.program import BISTReport, point_verdict
-    from ..dut.active_rc import ActiveRCLowpass
 
-    rng = np.random.default_rng(seed)
-    devices = [
-        ActiveRCLowpass(
-            nominal.with_tolerance(component_sigma, rng), name=f"device #{i}"
-        )
-        for i in range(n_devices)
+    devices = list(devices)
+    n_devices = len(devices)
+    job_rngs = [
+        _job_rng(config, "trial", start_index + i) for i in range(n_devices)
     ]
-    job_rngs = [_job_rng(config, "trial", i) for i in range(n_devices)]
-    measurer = PopulationMeasurer(config, program.m_periods, calibration)
+    if measurer is None:
+        measurer = PopulationMeasurer(config, program.m_periods, calibration)
     measurer.reserve(devices, program.frequencies)
     points: list[list] = [[] for _ in range(n_devices)]
     for f in program.frequencies:
@@ -674,7 +798,7 @@ def run_trials_vectorized(
             points[i].append(point_verdict(f, measurement.gain_db, lo, hi))
     return [
         DeviceTrial(
-            device_index=i,
+            device_index=start_index + i,
             verdict=BISTReport(points=tuple(points[i])).verdict,
             truly_good=_truly_good(devices[i], mask, program.frequencies),
         )

@@ -46,6 +46,7 @@ def record(
     runner: BatchRunner | None = None,
     cache: CalibrationCache | None = None,
     obs=None,
+    chunk_size: int | None = None,
 ) -> ScenarioResult:
     """Run a scenario and write its golden baseline artifact.
 
@@ -63,6 +64,7 @@ def record(
         runner=runner,
         cache=cache,
         obs=obs,
+        chunk_size=chunk_size,
     )
     write_json(path, baseline_to_json(spec, result))
     return result
@@ -116,15 +118,17 @@ def check(
     cache: CalibrationCache | None = None,
     update: bool = False,
     obs=None,
+    chunk_size: int | None = None,
 ) -> CheckReport:
     """Replay a recorded baseline and report any drift.
 
     The artifact is self-contained: the embedded spec is compiled and
-    re-run (``backend``/``n_workers`` override the spec's defaults —
-    the whole point is that the recording is valid for every execution
-    strategy), and the replay is diffed against the recording.  With
-    ``update=True`` a drifting baseline is re-recorded in place from
-    the replay; the returned report still lists what changed.
+    re-run (``backend``/``n_workers``/``chunk_size`` override the
+    spec's defaults — the whole point is that the recording is valid
+    for every execution strategy), and the replay is diffed against the
+    recording.  With ``update=True`` a drifting baseline is re-recorded
+    in place from the replay; the returned report still lists what
+    changed.
     """
     from ..reporting.export import baseline_to_json, write_json
 
@@ -136,6 +140,7 @@ def check(
         runner=runner,
         cache=cache,
         obs=obs,
+        chunk_size=chunk_size,
     )
     drift = diff(baseline.result, replayed)
     updated = False

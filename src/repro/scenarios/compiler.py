@@ -67,17 +67,26 @@ from .spec import (
 def base_config(spec: ScenarioSpec) -> AnalyzerConfig:
     """The scenario's analyzer configuration.
 
-    Evaluator noise (when enabled) is seeded from the scenario seed, so
-    noisy scenarios replay exactly and stay vectorized-backend eligible
-    (only *generator* noise forces the reference fallback).
+    Evaluator and generator noise (when enabled) are seeded from the
+    scenario seed, so noisy scenarios replay exactly — and every
+    combination stays vectorized-backend eligible: a noisy generator
+    renders as a batched per-device stimulus there (see
+    :mod:`repro.engine.vectorized`).
     """
     settings = spec.analyzer
-    noisy = settings.evaluator_noise_rms > 0
+    noisy = settings.evaluator_noise_rms > 0 or settings.generator_noise_rms > 0
     return AnalyzerConfig.ideal(
         m_periods=settings.m_periods,
         stimulus_amplitude=settings.stimulus_amplitude,
         evaluator_opamp=(
-            OpAmpModel(noise_rms=settings.evaluator_noise_rms) if noisy else None
+            OpAmpModel(noise_rms=settings.evaluator_noise_rms)
+            if settings.evaluator_noise_rms > 0
+            else None
+        ),
+        generator_opamp=(
+            OpAmpModel(noise_rms=settings.generator_noise_rms)
+            if settings.generator_noise_rms > 0
+            else None
         ),
         noise_seed=spec.seed if noisy else None,
     )
@@ -128,16 +137,17 @@ class CompiledScenario:
         cache: CalibrationCache | None = None,
         session: Session | None = None,
         obs=None,
+        chunk_size: int | None = None,
     ) -> ScenarioResult:
         """Execute every step in order on one shared session.
 
-        ``backend`` and ``n_workers`` override the spec's defaults; pass
-        an existing ``session`` (or legacy ``runner``) to also share its
-        calibration cache and worker pool across scenarios (the
-        overrides are then ignored in favour of the session's own
-        policy).  ``obs`` threads a trace recorder through the one-shot
-        session (see :mod:`repro.obs`); an adopted session already
-        brings its own recorder.
+        ``backend``, ``n_workers`` and ``chunk_size`` override the
+        spec's defaults; pass an existing ``session`` (or legacy
+        ``runner``) to also share its calibration cache and worker pool
+        across scenarios (the overrides are then ignored in favour of
+        the session's own policy).  ``obs`` threads a trace recorder
+        through the one-shot session (see :mod:`repro.obs`); an adopted
+        session already brings its own recorder.
         """
         if session is not None:
             if obs is not None:
@@ -152,6 +162,9 @@ class CompiledScenario:
             backend=backend if backend is not None else self.spec.backend,
             n_workers=n_workers if n_workers is not None else self.spec.n_workers,
             seed=self.spec.seed,
+            chunk_size=(
+                chunk_size if chunk_size is not None else self.spec.chunk_size
+            ),
         )
         with Session(policy=policy, cache=cache, obs=obs) as shared:
             return self._run_on(shared)
@@ -195,6 +208,7 @@ def run_scenario(
     cache: CalibrationCache | None = None,
     session: Session | None = None,
     obs=None,
+    chunk_size: int | None = None,
 ) -> ScenarioResult:
     """Compile and execute a scenario in one call."""
     return compile_scenario(spec).run(
@@ -204,6 +218,7 @@ def run_scenario(
         cache=cache,
         session=session,
         obs=obs,
+        chunk_size=chunk_size,
     )
 
 

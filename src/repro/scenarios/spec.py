@@ -85,15 +85,19 @@ class DUTSpec:
 class AnalyzerSettings:
     """Scenario-wide analyzer configuration.
 
-    ``evaluator_noise_rms`` > 0 enables evaluator amplifier noise; the
-    noise stream is seeded from the scenario's ``seed``, so a noisy
-    scenario stays exactly as reproducible as a clean one (and remains
-    eligible for the vectorized backend — generator noise would not be).
+    ``evaluator_noise_rms`` > 0 enables evaluator amplifier noise and
+    ``generator_noise_rms`` > 0 enables stimulus-generator amplifier
+    noise; both streams are seeded from the scenario's ``seed``, so a
+    noisy scenario stays exactly as reproducible as a clean one.  Every
+    combination is eligible for the vectorized backend — a noisy
+    generator renders as a batched per-device stimulus there (see
+    :mod:`repro.engine.vectorized`).
     """
 
     m_periods: int = 40
     stimulus_amplitude: float = 0.3
     evaluator_noise_rms: float = 0.0
+    generator_noise_rms: float = 0.0
 
     def __post_init__(self) -> None:
         _require_even_window("analyzer", "m_periods", self.m_periods)
@@ -106,6 +110,11 @@ class AnalyzerSettings:
             raise ConfigError(
                 f"analyzer: evaluator_noise_rms must be >= 0, "
                 f"got {self.evaluator_noise_rms!r}"
+            )
+        if self.generator_noise_rms < 0:
+            raise ConfigError(
+                f"analyzer: generator_noise_rms must be >= 0, "
+                f"got {self.generator_noise_rms!r}"
             )
 
 
@@ -514,11 +523,12 @@ Step = (
 class ScenarioSpec:
     """A complete, versionable test-program description.
 
-    ``backend`` and ``n_workers`` are the spec's *defaults*; the
-    compiler, CLI and golden-baseline harness can override both at run
-    time — results are guaranteed equivalent (exactly the engine's
-    backend/parallelism contract), which is what makes one recorded
-    baseline valid for every execution strategy.
+    ``backend``, ``n_workers`` and ``chunk_size`` are the spec's
+    *defaults*; the compiler, CLI and golden-baseline harness can
+    override them at run time — results are guaranteed equivalent
+    (exactly the engine's backend/parallelism/chunking contract), which
+    is what makes one recorded baseline valid for every execution
+    strategy.
     """
 
     name: str
@@ -529,6 +539,7 @@ class ScenarioSpec:
     analyzer: AnalyzerSettings = field(default_factory=AnalyzerSettings)
     backend: str = "reference"
     n_workers: int = 1
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -567,6 +578,15 @@ class ScenarioSpec:
             raise ConfigError(
                 f"scenario {self.name!r}: n_workers must be an integer >= 1, "
                 f"got {self.n_workers!r}"
+            )
+        if self.chunk_size is not None and (
+            not isinstance(self.chunk_size, int)
+            or isinstance(self.chunk_size, bool)
+            or self.chunk_size < 1
+        ):
+            raise ConfigError(
+                f"scenario {self.name!r}: chunk_size must be an integer >= 1 "
+                f"or None, got {self.chunk_size!r}"
             )
 
     @property
@@ -663,6 +683,7 @@ def scenario_to_payload(spec: ScenarioSpec) -> dict:
         "seed": spec.seed,
         "backend": spec.backend,
         "n_workers": spec.n_workers,
+        "chunk_size": spec.chunk_size,
         "dut": _dataclass_payload(spec.dut),
         "analyzer": _dataclass_payload(spec.analyzer),
         "steps": [step_to_payload(step) for step in spec.steps],
@@ -685,7 +706,7 @@ def scenario_from_payload(payload: dict) -> ScenarioSpec:
         raise ConfigError("scenario: steps must be a JSON array")
     known = {
         "format", "version", "name", "description", "seed", "backend",
-        "n_workers", "dut", "analyzer", "steps",
+        "n_workers", "chunk_size", "dut", "analyzer", "steps",
     }
     unknown = sorted(set(payload) - known)
     if unknown:
@@ -698,6 +719,7 @@ def scenario_from_payload(payload: dict) -> ScenarioSpec:
         seed=payload.get("seed", 0),
         backend=payload.get("backend", "reference"),
         n_workers=payload.get("n_workers", 1),
+        chunk_size=payload.get("chunk_size"),
         dut=_dataclass_from_payload(DUTSpec, payload.get("dut", {}), "dut"),
         analyzer=_dataclass_from_payload(
             AnalyzerSettings, payload.get("analyzer", {}), "analyzer"

@@ -55,6 +55,14 @@ class TestFires:
         """)
         assert codes(findings) == ["REP002"]
 
+    def test_chunk_size_parameter(self, lint):
+        findings = lint("""
+            def lot(devices, chunk_size=None):
+                return devices
+        """)
+        assert codes(findings) == ["REP002"]
+        assert "chunk_size" in findings[0].message
+
 
 class TestSilent:
     def test_seam_packages_may_construct(self, lint):
@@ -68,7 +76,7 @@ class TestSilent:
 
     def test_scenarios_may_take_backend_kwargs(self, lint):
         src = """
-            def run_scenario(spec, backend=None, n_workers=None):
+            def run_scenario(spec, backend=None, n_workers=None, chunk_size=None):
                 return spec
         """
         assert lint(src, path="src/repro/scenarios/compiler.py") == []

@@ -40,6 +40,14 @@ class TestValidation:
         with pytest.raises(ConfigError, match="cache_max_entries"):
             ExecutionPolicy(cache_max_entries=bound)
 
+    def test_chunk_size_defaults_to_unchunked(self):
+        assert ExecutionPolicy().chunk_size is None
+
+    @pytest.mark.parametrize("chunk", [0, -1, 1.5, "8", True])
+    def test_bad_chunk_size_rejected(self, chunk):
+        with pytest.raises(ConfigError, match="chunk_size"):
+            ExecutionPolicy(chunk_size=chunk)
+
     def test_replace_revalidates(self):
         policy = ExecutionPolicy()
         assert policy.replace(n_workers=4).n_workers == 4
@@ -50,9 +58,19 @@ class TestValidation:
 class TestRoundTrip:
     def test_json_round_trip_identity(self):
         policy = ExecutionPolicy(
-            backend="vectorized", n_workers=3, seed=11, cache_max_entries=16
+            backend="vectorized",
+            n_workers=3,
+            seed=11,
+            cache_max_entries=16,
+            chunk_size=500,
         )
         assert ExecutionPolicy.from_json(policy.to_json()) == policy
+
+    def test_payload_without_chunk_size_still_loads(self):
+        """Policy files recorded before chunking default to unchunked."""
+        payload = policy_to_payload(ExecutionPolicy())
+        del payload["chunk_size"]
+        assert policy_from_payload(payload).chunk_size is None
 
     def test_json_is_canonical_and_stable(self):
         policy = ExecutionPolicy()
@@ -101,10 +119,11 @@ class TestDerivedResources:
         assert cache.max_entries == 7
 
     def test_build_runner_matches_policy(self):
-        policy = ExecutionPolicy(backend="vectorized", n_workers=2)
+        policy = ExecutionPolicy(backend="vectorized", n_workers=2, chunk_size=64)
         runner = policy.build_runner()
         assert runner.backend == "vectorized"
         assert runner.n_workers == 2
+        assert runner.chunk_size == 64
         assert runner.cache.max_entries == policy.cache_max_entries
 
     def test_build_runner_adopts_cache(self):
@@ -114,9 +133,16 @@ class TestDerivedResources:
 
     def test_policy_for_runner_reflects_reality(self):
         runner = BatchRunner(
-            n_workers=2, backend="vectorized", cache=CalibrationCache(max_entries=9)
+            n_workers=2,
+            backend="vectorized",
+            cache=CalibrationCache(max_entries=9),
+            chunk_size=32,
         )
         policy = policy_for_runner(runner, seed=5)
         assert policy == ExecutionPolicy(
-            backend="vectorized", n_workers=2, seed=5, cache_max_entries=9
+            backend="vectorized",
+            n_workers=2,
+            seed=5,
+            cache_max_entries=9,
+            chunk_size=32,
         )

@@ -11,6 +11,7 @@ one-liner: re-record the snapshot with::
 and commit the diff (which then documents the change for review).
 """
 
+import dataclasses
 import json
 import pathlib
 
@@ -24,7 +25,10 @@ SNAPSHOT = (
     / "api_surface.json"
 )
 SURFACE_FORMAT = "repro-api-surface"
-SURFACE_VERSION = 1
+SURFACE_VERSION = 2
+
+#: Modules whose ``__all__`` the snapshot pins.
+MODULES = ("repro", "repro.api", "repro.analysis")
 
 
 def current_payload() -> dict:
@@ -34,6 +38,12 @@ def current_payload() -> dict:
         "repro": sorted(repro.__all__),
         "repro.api": sorted(repro.api.__all__),
         "repro.analysis": sorted(repro.analysis.__all__),
+        # Field names are surface too: an ExecutionPolicy field rides
+        # into every serialized policy file and recorded baseline, so
+        # adding one (chunk_size) must show up in this diff.
+        "repro.api.ExecutionPolicy": sorted(
+            f.name for f in dataclasses.fields(repro.api.ExecutionPolicy)
+        ),
     }
 
 
@@ -52,11 +62,11 @@ def test_surface_matches_snapshot():
     recorded = json.loads(SNAPSHOT.read_text())
     assert recorded.get("format") == SURFACE_FORMAT
     current = current_payload()
-    for module in ("repro", "repro.api", "repro.analysis"):
-        added = sorted(set(current[module]) - set(recorded[module]))
-        removed = sorted(set(recorded[module]) - set(current[module]))
+    for surface in MODULES + ("repro.api.ExecutionPolicy",):
+        added = sorted(set(current[surface]) - set(recorded[surface]))
+        removed = sorted(set(recorded[surface]) - set(current[surface]))
         assert not added and not removed, (
-            f"{module} public surface drifted: added {added}, removed "
+            f"{surface} public surface drifted: added {added}, removed "
             f"{removed}.  If intentional, re-record the snapshot (see "
             f"module docstring) and commit the diff."
         )

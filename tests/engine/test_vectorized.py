@@ -229,18 +229,20 @@ class TestSeam:
         reference.run_sweep(GOLDEN, IDEAL, [500.0, 1000.0], m_periods=M)
         assert reference.last_stats.backend == "reference"
 
-    def test_noisy_generator_falls_back(self):
-        """A noisy generator cannot share one stimulus render: the
-        vectorized runner must detect it and run the reference path."""
+    def test_noisy_generator_vectorizes(self):
+        """A noisy generator renders as a batched per-device stimulus:
+        the vectorized runner stays on the vectorized path and matches
+        the reference signatures bit for bit."""
         config = AnalyzerConfig.ideal(
             m_periods=M,
             generator_opamp=OpAmpModel(noise_rms=30e-6),
             noise_seed=5,
         )
-        assert not supports_vectorized(config)
+        assert supports_vectorized(config)
         runner = BatchRunner(backend="vectorized")
         results = runner.run_sweep(GOLDEN, config, [500.0, 1000.0], m_periods=M)
-        assert runner.last_stats.backend == "reference"
+        assert runner.last_stats.backend == "vectorized"
+        assert runner.fallbacks == 0
         reference = BatchRunner().run_sweep(
             GOLDEN, config, [500.0, 1000.0], m_periods=M
         )
@@ -249,16 +251,29 @@ class TestSeam:
             assert a.gain.value == b.gain.value
 
     def test_supported_configs(self):
+        # Every valid AnalyzerConfig vectorizes — including noisy
+        # generators and the typical() die.
         assert supports_vectorized(IDEAL)
         assert supports_vectorized(NOISY)
-        # Deterministic generator imperfections are fine; noise is not.
         assert supports_vectorized(
             AnalyzerConfig.ideal(
-                generator_opamp=OpAmpModel(noise_rms=30e-6)  # no seed: no draws
+                generator_opamp=OpAmpModel(noise_rms=30e-6)
             )
         )
-        # The typical() die carries generator noise: falls back.
-        assert not supports_vectorized(AnalyzerConfig.typical())
+        assert supports_vectorized(AnalyzerConfig.typical())
+
+    def test_typical_die_equivalence(self):
+        """The paper's typical() die (noisy generator + evaluator) is
+        bit-identical across backends."""
+        config = AnalyzerConfig.typical()
+        reference = BatchRunner().run_sweep(
+            GOLDEN, config, [500.0, 1000.0], m_periods=M
+        )
+        vectorized = BatchRunner(backend="vectorized").run_sweep(
+            GOLDEN, config, [500.0, 1000.0], m_periods=M
+        )
+        for a, b in zip(reference, vectorized):
+            assert_measurements_equivalent(a, b)
 
     def test_cache_shared_between_backends(self):
         runner = BatchRunner(backend="vectorized")

@@ -1,10 +1,12 @@
 """Satellite: the backend *actually used* is recorded per job batch.
 
-A vectorized policy can meet a workload the array backend cannot
-reproduce (a noisy generator renders per-job noise); the runner falls
-back to the reference path.  That decision is now observable three
-ways: a ``backend`` trace event on the batch span, the runner's
-``engine.fallbacks`` counter, and ``SessionStats.fallbacks``.
+Every analyzer configuration vectorizes (noisy generators render as a
+batched per-device stimulus), so the only batches a vectorized policy
+falls back on are workloads with no vectorized path — distortion.  That
+decision is made at one seam (``BatchRunner._plan_backend``) and is
+observable three consistent ways: a ``backend`` trace event on the
+batch span, the runner's ``engine.fallbacks`` counter, and
+``SessionStats.fallbacks``.
 """
 
 from repro.api import ExecutionPolicy, Session
@@ -17,7 +19,7 @@ FREQS = [800.0, 1600.0]
 
 
 def noisy_config() -> AnalyzerConfig:
-    """The one configuration supports_vectorized refuses."""
+    """A noisy-generator configuration — vectorizes like any other."""
     return AnalyzerConfig.ideal(
         m_periods=20,
         generator_opamp=OpAmpModel(noise_rms=50e-6),
@@ -36,9 +38,21 @@ def run_sweep(config, backend: str, obs=None):
         return session.sweep(FREQS)
 
 
+def run_distortion(config, backend: str, obs=None):
+    dut = ActiveRCLowpass.from_specs(cutoff=1000.0)
+    policy = ExecutionPolicy(backend=backend)
+    with Session(dut=dut, config=config, policy=policy, obs=obs) as session:
+        return session.distortion([1600.0], m_periods=20)
+
+
 class TestFallbackAccounting:
-    def test_noisy_generator_falls_back_and_is_counted(self):
+    def test_noisy_generator_stays_vectorized(self):
         result = run_sweep(noisy_config(), "vectorized")
+        assert result.stats.backend == "vectorized"
+        assert result.stats.fallbacks == 0
+
+    def test_unvectorizable_workload_falls_back_and_is_counted(self):
+        result = run_distortion(clean_config(), "vectorized")
         assert result.stats.backend == "reference"
         assert result.stats.fallbacks == 1
 
@@ -48,24 +62,24 @@ class TestFallbackAccounting:
         assert result.stats.fallbacks == 0
 
     def test_reference_policy_is_never_a_fallback(self):
-        result = run_sweep(noisy_config(), "reference")
+        result = run_distortion(clean_config(), "reference")
         assert result.stats.fallbacks == 0
 
     def test_fallbacks_in_stats_payload(self):
-        result = run_sweep(noisy_config(), "vectorized")
+        result = run_distortion(clean_config(), "vectorized")
         assert result.stats.to_payload()["fallbacks"] == 1
 
 
 class TestBackendEvent:
-    def batch_record(self, config, backend: str) -> dict:
+    def batch_record(self, run, config, backend: str) -> dict:
         recorder = TraceRecorder()
-        run_sweep(config, backend, obs=recorder)
+        run(config, backend, obs=recorder)
         spans = recorder.trace().spans
         (batch,) = [s for s in spans if s["kind"] == "engine.batch"]
         return batch
 
     def test_event_reports_requested_vs_used(self):
-        batch = self.batch_record(noisy_config(), "vectorized")
+        batch = self.batch_record(run_distortion, clean_config(), "vectorized")
         (event,) = [e for e in batch["events"] if e["name"] == "backend"]
         assert event["timing"]["requested"] == "vectorized"
         assert event["timing"]["used"] == "reference"
@@ -73,13 +87,19 @@ class TestBackendEvent:
         assert batch["timing"]["fallback"] is True
         assert batch["timing"]["backend"] == "reference"
 
+    def test_noisy_generator_event_reports_vectorized(self):
+        batch = self.batch_record(run_sweep, noisy_config(), "vectorized")
+        (event,) = [e for e in batch["events"] if e["name"] == "backend"]
+        assert event["timing"]["used"] == "vectorized"
+        assert event["timing"]["fallback"] is False
+
     def test_event_present_without_fallback_too(self):
-        batch = self.batch_record(clean_config(), "vectorized")
+        batch = self.batch_record(run_sweep, clean_config(), "vectorized")
         (event,) = [e for e in batch["events"] if e["name"] == "backend"]
         assert event["timing"]["used"] == "vectorized"
         assert event["timing"]["fallback"] is False
 
     def test_event_payload_stays_off_the_exact_channel(self):
-        batch = self.batch_record(noisy_config(), "vectorized")
+        batch = self.batch_record(run_distortion, clean_config(), "vectorized")
         (event,) = [e for e in batch["events"] if e["name"] == "backend"]
         assert event["exact"] == {}

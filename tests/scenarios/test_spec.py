@@ -64,6 +64,14 @@ class TestValidation:
         with pytest.raises(ConfigError, match="backend"):
             make_spec(backend="gpu")
 
+    @pytest.mark.parametrize("chunk", [0, -2, 1.5, True])
+    def test_bad_chunk_size_rejected(self, chunk):
+        with pytest.raises(ConfigError, match="chunk_size"):
+            make_spec(chunk_size=chunk)
+
+    def test_chunk_size_none_is_unchunked(self):
+        assert make_spec().chunk_size is None
+
     def test_negative_seed_rejected(self):
         with pytest.raises(ConfigError, match="seed"):
             make_spec(seed=-1)

@@ -203,6 +203,45 @@ class TestWorkersValidation:
         assert "expected an integer" in capsys.readouterr().err
 
 
+class TestChunkSizeValidation:
+    """--chunk-size < 1 is a parser-level usage error on every subcommand."""
+
+    @pytest.mark.parametrize(
+        "command", ["sweep", "yield", "coverage", "diagnose", "distortion",
+                    "dynamic-range"]
+    )
+    def test_nonpositive_chunk_size_rejected(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--chunk-size", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main([command, "--chunk-size", "-5"])
+
+    def test_noninteger_chunk_size_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--chunk-size", "many"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_chunked_sweep_matches_unchunked(self, capsys):
+        args = ["sweep", "--points", "4", "--m-periods", "20",
+                "--backend", "vectorized"]
+        assert main(args) == 0
+        unchunked = capsys.readouterr().out
+        assert main(args + ["--chunk-size", "2"]) == 0
+        chunked = capsys.readouterr().out
+
+        def rows(text):
+            # Everything but the timing summary (wall time varies).
+            return [
+                " ".join(line.split())
+                for line in text.splitlines()
+                if line.strip() and "sweep(s)" not in line
+            ]
+
+        assert rows(unchunked), "sweep output lost its table"
+        assert rows(chunked) == rows(unchunked)
+
+
 class TestBackendFlag:
     def test_sweep_vectorized(self, capsys):
         assert main(["sweep", "--points", "4", "--m-periods", "20",
