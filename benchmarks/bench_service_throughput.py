@@ -1,0 +1,121 @@
+"""Experiment SVC — analyzer-as-a-service throughput under client load.
+
+Eight concurrent clients each submit a Monte-Carlo yield lot over the
+service's TCP socket; together the lots cover a 50 000-device batch.
+The bench records aggregate **jobs/s** and **devices/s** (the production
+figure of merit: how fast the service screens a lot), plus the wall
+time and the scheduler's terminal queue depths.  One client's streamed
+result is additionally compared byte-for-byte against a synchronous
+:meth:`~repro.api.session.Session.run_scenario` of the same spec — load
+must never cost determinism.
+
+Smoke mode shrinks the lot (8 clients x 40 devices) but exercises the
+full path: TCP framing, scheduling, streaming, reassembly.
+"""
+
+import asyncio
+import threading
+import time
+
+from repro.api import ExecutionPolicy, Session
+from repro.reporting.export import baseline_to_json
+from repro.scenarios import AnalyzerSettings, ScenarioSpec, YieldStep
+from repro.service import AnalyzerServer, AnalyzerService, ServiceClient
+
+N_CLIENTS = 8
+MAX_RUNNING = 4
+M_PERIODS = 20
+FULL_LOT = 50_000
+SMOKE_LOT = 320
+
+
+def lot_spec(index: int, n_devices: int) -> ScenarioSpec:
+    """Client ``index``'s slice of the batch — distinct seed, no dedupe."""
+    return ScenarioSpec(
+        name=f"svc_lot_{index}",
+        analyzer=AnalyzerSettings(m_periods=M_PERIODS),
+        seed=index,
+        steps=(YieldStep(name="lot", n_devices=n_devices),),
+    )
+
+
+def run_service_throughput_bench(n_devices_total: int = FULL_LOT):
+    policy = ExecutionPolicy(backend="vectorized")
+    devices_each = n_devices_total // N_CLIENTS
+    specs = [lot_spec(i, devices_each) for i in range(N_CLIENTS)]
+    streamed: dict[int, object] = {}
+    failures: list[str] = []
+
+    def client(index: int, port: int) -> None:
+        try:
+            streamed[index] = ServiceClient(
+                port=port, timeout=600.0
+            ).run_scenario(specs[index], policy)
+        except Exception as exc:  # noqa: BLE001 — recorded, not swallowed
+            failures.append(f"client {index}: {exc}")
+
+    async def main():
+        service = AnalyzerService(max_running=MAX_RUNNING)
+        async with AnalyzerServer(service) as server:
+            threads = [
+                threading.Thread(target=client, args=(i, server.port))
+                for i in range(N_CLIENTS)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            while any(thread.is_alive() for thread in threads):
+                await asyncio.sleep(0.02)
+            elapsed = time.perf_counter() - t0
+            return elapsed, service.status()
+
+    elapsed, status = asyncio.run(main())
+    assert not failures, failures
+    assert len(streamed) == N_CLIENTS
+
+    # Load never costs determinism: client 0's streamed result is
+    # byte-identical to a synchronous run of the same spec.
+    with Session(policy=policy) as session:
+        sync = session.run_scenario(specs[0]).raw
+    deterministic = (
+        baseline_to_json(specs[0], streamed[0])
+        == baseline_to_json(specs[0], sync)
+    )
+
+    n_devices = devices_each * N_CLIENTS
+    figures = {
+        "n_clients": N_CLIENTS,
+        "max_running": MAX_RUNNING,
+        "n_devices": n_devices,
+        "wall_s": elapsed,
+        "jobs_per_s": N_CLIENTS / elapsed,
+        "devices_per_s": n_devices / elapsed,
+        "deterministic_under_load": deterministic,
+        "jobs_done": status["jobs"]["done"],
+    }
+    text = (
+        f"Service throughput ({N_CLIENTS} concurrent clients, "
+        f"{n_devices} devices total, max_running={MAX_RUNNING}, "
+        f"M = {M_PERIODS})\n\n"
+        f"wall time                   : {elapsed:8.2f} s\n"
+        f"jobs/s                      : {N_CLIENTS / elapsed:8.3f}\n"
+        f"devices/s                   : {n_devices / elapsed:8.1f}\n"
+        f"jobs finished 'done'        : {status['jobs']['done']}\n"
+        f"streamed == synchronous     : {deterministic}\n"
+    )
+    return text, figures
+
+
+def test_service_throughput(benchmark, record_result, smoke):
+    if smoke:
+        text, figures = run_service_throughput_bench(SMOKE_LOT)
+        record_result("service_throughput", text, figures)
+        assert figures["deterministic_under_load"]
+        assert figures["jobs_done"] == N_CLIENTS
+        return
+    text, figures = benchmark.pedantic(
+        run_service_throughput_bench, rounds=1, iterations=1
+    )
+    record_result("service_throughput", text, figures)
+    assert figures["deterministic_under_load"]
+    assert figures["jobs_done"] == N_CLIENTS

@@ -16,13 +16,19 @@ REP001    **Determinism.** No ambient randomness or clock reads inside
           two allowlisted homes of nondeterminism.
 REP002    **Seam compliance.** Execution resources are decided in one
           place (``repro.api``): no ``BatchRunner``/``CalibrationCache``
-          or worker-pool construction outside ``repro.api`` /
-          ``repro.engine``, and no new ``n_workers=``/``backend=``
-          parameters outside the documented deprecation shims.  The
-          scenario layer's ``backend=``/``n_workers=`` overrides are a
-          sanctioned forwarding surface (they pass verbatim into an
+          or process/thread-pool construction outside ``repro.api`` /
+          ``repro.engine``, no job-queue/worker-pool construction
+          (``JobQueue``/``WorkerPool``/stdlib ``Queue`` family) outside
+          ``repro.service`` / ``repro.engine``, and no new
+          ``n_workers=``/``backend=`` parameters outside the documented
+          deprecation shims.  The scenario layer's
+          ``backend=``/``n_workers=`` overrides are a sanctioned
+          forwarding surface (they pass verbatim into an
           ``ExecutionPolicy`` and are part of the recorded-baseline
-          contract), so ``repro/scenarios`` is exempt.
+          contract), so ``repro/scenarios`` is exempt; the service
+          layer wraps the seam (its ``ShardingRunner`` subclasses
+          ``BatchRunner``), so ``repro/service`` is parameter-exempt
+          too.
 REP003    **Error discipline.** Raises inside ``src/repro`` must be
           :class:`~repro.errors.ConfigError`-family exceptions naming
           the offending field — never bare ``ValueError``/``TypeError``/
@@ -378,21 +384,35 @@ class SeamRule(Rule):
     code = "REP002"
     name = "seam-compliance"
     summary = (
-        "no BatchRunner/CalibrationCache/worker-pool construction and no "
-        "n_workers=/backend=/chunk_size= parameters outside the repro.api "
-        "seam"
+        "no BatchRunner/CalibrationCache/worker-pool construction outside "
+        "the repro.api seam, no queue/worker-pool construction outside "
+        "repro.service/repro.engine, and no n_workers=/backend=/"
+        "chunk_size= parameters outside the seam"
     )
 
     #: Packages allowed to build execution resources.
     SEAM_PREFIXES = ("repro/api/", "repro/engine/")
+    #: Packages allowed to build job queues and worker pools: the service
+    #: layer (which owns scheduling) and the engine (which owns process
+    #: pools; skipped entirely via SEAM_PREFIXES above).
+    QUEUE_PREFIXES = ("repro/service/", "repro/engine/")
     #: Additional packages whose backend=/n_workers= *parameters* are a
-    #: documented forwarding surface (they pass verbatim into an
-    #: ExecutionPolicy; part of the recorded-baseline contract).
-    KWARG_EXEMPT_PREFIXES = SEAM_PREFIXES + ("repro/scenarios/",)
+    #: documented forwarding surface: the scenario layer forwards them
+    #: verbatim into an ExecutionPolicy (part of the recorded-baseline
+    #: contract) and the service layer wraps the seam (its
+    #: ShardingRunner subclasses BatchRunner).
+    KWARG_EXEMPT_PREFIXES = SEAM_PREFIXES + (
+        "repro/scenarios/", "repro/service/",
+    )
 
     RESOURCE_NAMES = {
         "BatchRunner", "CalibrationCache",
         "ProcessPoolExecutor", "ThreadPoolExecutor", "Pool", "ThreadPool",
+    }
+    #: Job-queue / worker-pool types: legal only under QUEUE_PREFIXES.
+    QUEUE_NAMES = {
+        "JobQueue", "WorkerPool",
+        "Queue", "PriorityQueue", "LifoQueue", "SimpleQueue",
     }
     PARAM_NAMES = {"n_workers", "backend", "chunk_size"}
 
@@ -404,6 +424,7 @@ class SeamRule(Rule):
         kwargs_exempt = module.package_path.startswith(
             self.KWARG_EXEMPT_PREFIXES
         )
+        queues_allowed = module.package_path.startswith(self.QUEUE_PREFIXES)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 name = None
@@ -418,6 +439,14 @@ class SeamRule(Rule):
                         f"repro.engine — execution resources are decided "
                         f"by ExecutionPolicy and owned by Session "
                         f"(build via policy.build_runner()/build_cache())",
+                    )
+                elif name in self.QUEUE_NAMES and not queues_allowed:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"construction of {name} outside repro.service/"
+                        f"repro.engine — job queues and worker pools are "
+                        f"owned by the service layer (submit work through "
+                        f"repro.service.AnalyzerService)",
                     )
             elif isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -455,7 +484,7 @@ class ErrorDisciplineRule(Rule):
     #: ReproError family (repro.errors) — raises must use one of these.
     FAMILY = {
         "ConfigError", "TimingError", "EvaluationError",
-        "CalibrationError", "FaultError", "ReproError",
+        "CalibrationError", "FaultError", "ServiceError", "ReproError",
     }
 
     def check(self, module) -> Iterator[Violation]:

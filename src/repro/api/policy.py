@@ -17,6 +17,7 @@ one :class:`~repro.engine.runner.BatchRunner`) exactly once.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 
 from ..engine.cache import DEFAULT_MAX_ENTRIES, CalibrationCache
@@ -164,6 +165,18 @@ class ExecutionPolicy:
         from ..reporting.export import policy_from_json
 
         return policy_from_json(text)
+
+    def policy_key(self) -> str:
+        """Stable content hash of this policy (SHA-256 hex digest).
+
+        Hashes the canonical JSON form, so the key is a pure function
+        of the policy's *values*: two equal policies built from
+        differently ordered payloads hash identically, and any field
+        change (including a future schema version bump) changes the
+        key.  The service layer uses it to dedupe identical in-flight
+        jobs and to key calibration reuse.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
 
 def policy_to_payload(policy: ExecutionPolicy) -> dict:

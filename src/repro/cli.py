@@ -1,6 +1,6 @@
 """Command-line interface: drive the analyzer from a shell.
 
-Twelve subcommands mirror the library's main flows::
+Thirteen subcommands mirror the library's main flows::
 
     python -m repro design
         Print the Table I design summary.
@@ -53,6 +53,13 @@ Twelve subcommands mirror the library's main flows::
         findings, inline justified suppressions and a committed
         grandfather baseline — see :mod:`repro.analysis`.
 
+    python -m repro serve --port 7351 --max-running 4
+        Long-running analyzer-as-a-service: accept scenario submissions
+        over a newline-delimited canonical-JSON socket protocol, with a
+        priority job queue, fault-tolerant lot sharding and per-step
+        result streaming (``--status`` queries a running server) — see
+        :mod:`repro.service`.
+
     python -m repro trace summarize run.jsonl
         Per-span wall-time/count summary of a recorded trace.  Every
         measurement subcommand accepts ``--trace PATH.jsonl`` and writes
@@ -73,7 +80,7 @@ the scenario specs it runs; explicit flags override its fields.
 The CLI builds everything from the public API — it doubles as an
 executable usage example.  Every subcommand documents its own usage in
 ``--help`` (``python -m repro <command> --help``); README.md walks
-through all twelve.
+through all thirteen.
 """
 
 from __future__ import annotations
@@ -722,6 +729,68 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Serve the analyzer as a long-running localhost job service.
+
+    Boots an :class:`~repro.service.AnalyzerService` behind a
+    newline-delimited canonical-JSON socket
+    (:class:`~repro.service.AnalyzerServer`): clients submit scenario
+    specs with execution policies, jobs flow through a priority queue
+    with bounded concurrency and in-flight dedupe, population lots shard
+    across a fault-tolerant worker pool, and step results stream back as
+    they finish — byte-identical to a synchronous run (see
+    :mod:`repro.service`).  ``--port 0`` (the default) binds an
+    ephemeral port and prints it; ``--status`` instead queries a
+    *running* server and prints its health snapshot as canonical JSON.
+
+    Usage examples::
+
+        python -m repro serve --port 7351
+        python -m repro serve --max-running 4
+        python -m repro serve --status --port 7351
+    """
+    import asyncio
+
+    from .reporting.export import canonical_json
+    from .service import ServiceClient
+    from .service.server import serve
+
+    if args.status:
+        if not args.port:
+            print(
+                "repro serve: --status needs the running server's --port",
+                file=sys.stderr,
+            )
+            return 2
+        client = ServiceClient(port=args.port, host=args.host)
+        try:
+            status = client.status()
+        except OSError as exc:
+            print(
+                f"repro serve: no server at {args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            return 1
+        print(canonical_json(status), end="")
+        return 0
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro service listening on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                max_running=args.max_running,
+                announce=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro service stopped")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """Inspect a recorded trace file.
 
@@ -963,6 +1032,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog (codes + one-line summaries) and exit")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the analyzer as a localhost job service "
+             "(see repro.service)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral, printed "
+                              "on startup)")
+    serve_p.add_argument("--max-running", type=int, default=2,
+                         help="jobs executing concurrently (default 2)")
+    serve_p.add_argument("--status", action="store_true",
+                         help="query a running server's health snapshot "
+                              "(canonical JSON) and exit")
+
     trace_p = sub.add_parser(
         "trace",
         help="inspect trace files recorded with --trace (see repro.obs)",
@@ -1003,6 +1088,7 @@ _COMMANDS = {
     "dynamic-range": _cmd_dynamic_range,
     "scenarios": _cmd_scenarios,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -389,6 +389,7 @@ class BatchRunner:
         m_periods: int | None = None,
         calibration: CalibrationResult | None = None,
         calibration_fwave: float | None = None,
+        start_index: int = 0,
     ) -> list[GainPhaseMeasurement]:
         """Execute a frequency sweep as a job batch.
 
@@ -396,10 +397,19 @@ class BatchRunner:
         acquired at ``calibration_fwave`` (default: the first sweep
         frequency — the paper's point is that the choice does not
         matter).
+
+        ``start_index`` offsets the per-point seed indices, exactly as
+        on :meth:`run_fault_trials`: a batch measuring a *slice* of a
+        larger sweep keeps every point on the substream it would have
+        had in the full sweep.  A sliced sweep must also pass the full
+        sweep's ``calibration_fwave`` explicitly — the default (its own
+        first frequency) differs per slice.
         """
         frequencies = [float(f) for f in frequencies]
         if not frequencies:
             raise ConfigError("frequency list is empty")
+        if start_index < 0:
+            raise ConfigError(f"start_index must be >= 0, got {start_index}")
         hits0, misses0 = self.cache.hits, self.cache.misses
         used, fallback = self._plan_backend()
         with self.obs.span(
@@ -430,11 +440,13 @@ class BatchRunner:
                                 frequencies[start:stop],
                                 m_periods,
                                 calibration,
-                                start_index=start,
+                                start_index=start_index + start,
                                 measurer=measurer,
                             )
                         )
-                        self._array_job_spans(range(start, stop))
+                        self._array_job_spans(
+                            range(start_index + start, start_index + stop)
+                        )
                 self._last_effective_workers = 1
                 self._finish_batch(
                     span, len(frequencies), hits0, misses0, used, fallback
@@ -445,7 +457,7 @@ class BatchRunner:
             ):
                 jobs = [
                     SweepPointJob(
-                        index=start + i,
+                        index=start_index + start + i,
                         fwave=f,
                         m_periods=m_periods,
                         dut=dut,

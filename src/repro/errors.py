@@ -47,3 +47,15 @@ class CalibrationError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection request targets a component that does not exist."""
+
+
+class ServiceError(ReproError):
+    """The analyzer service could not accept or complete a job.
+
+    Examples: a submit request references an unknown job id, a job was
+    cancelled while a client was waiting on its result, or a shard
+    exhausted its retry budget after repeated worker deaths.  Malformed
+    *payloads* (bad scenario/policy JSON) stay :class:`ConfigError` —
+    they name the offending field; ``ServiceError`` is about the job and
+    worker lifecycle.
+    """

@@ -21,6 +21,7 @@ worker counts must be >= 1; step kinds must be one of
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import ClassVar
 
@@ -608,6 +609,18 @@ class ScenarioSpec:
         from ..reporting.export import scenario_from_json
 
         return scenario_from_json(text)
+
+    def spec_key(self) -> str:
+        """Stable content hash of this spec (SHA-256 hex digest).
+
+        Hashes the canonical JSON form, so the key depends only on the
+        spec's *values* — field order in a source payload, a hand-edited
+        file's whitespace, or tuple-vs-list representation never change
+        it, while any value change does.  The service layer pairs it
+        with :meth:`repro.api.ExecutionPolicy.policy_key` to dedupe
+        identical in-flight jobs.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

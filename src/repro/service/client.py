@@ -1,0 +1,153 @@
+"""The reference client: blocking socket calls against an analyzer server.
+
+:class:`ServiceClient` is the thin synchronous counterpart of
+:class:`~repro.service.server.AnalyzerServer` — plain stdlib sockets, one
+connection per call, newline-delimited canonical JSON.  It exists so a
+test program (or a CI job) can drive the service without touching
+asyncio:
+
+    client = ServiceClient(port=server_port)
+    result = client.run_scenario(spec, policy)     # a ScenarioResult
+    for frame in client.stream(spec):              # or frame by frame
+        print(frame["type"])
+
+:meth:`ServiceClient.run_scenario` reassembles the streamed frames into
+the same :class:`~repro.scenarios.result.ScenarioResult` a synchronous
+:meth:`~repro.api.session.Session.run_scenario` returns — byte-identical
+under :func:`~repro.reporting.export.baseline_to_json`; a terminal
+``error`` frame raises :class:`~repro.errors.ServiceError` with the
+server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import ConfigError, ServiceError
+from .server import DEFAULT_HOST
+from .wire import (
+    cancel_request,
+    encode_request,
+    parse_frame,
+    result_from_frames,
+    result_request,
+    status_request,
+    submit_request,
+)
+
+if TYPE_CHECKING:
+    from ..api.policy import ExecutionPolicy
+    from ..scenarios.result import ScenarioResult
+    from ..scenarios.spec import ScenarioSpec
+
+#: Frame types that end a submit/result stream.
+_TERMINAL_FRAMES = ("result", "error")
+
+
+class ServiceClient:
+    """Blocking client for one analyzer server endpoint.
+
+    ``timeout`` bounds every socket operation (connect and each line
+    read); it must cover the longest *step*, not the whole job, because
+    the server streams a frame per step.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = DEFAULT_HOST,
+        timeout: float = 300.0,
+    ) -> None:
+        if not isinstance(port, int) or isinstance(port, bool) or port < 1:
+            raise ConfigError(
+                f"client: port must be an integer >= 1, got {port!r}"
+            )
+        if not (isinstance(timeout, (int, float)) and timeout > 0):
+            raise ConfigError(
+                f"client: timeout must be a positive number, got {timeout!r}"
+            )
+        self.host = host
+        self.port = port
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _exchange(self, request: dict) -> Iterator[dict]:
+        """Send one request; yield frames until the stream terminates."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            with sock.makefile("rwb") as wire:
+                wire.write(encode_request(request).encode("utf-8") + b"\n")
+                wire.flush()
+                while True:
+                    line = wire.readline()
+                    if not line:
+                        return  # server closed the connection
+                    try:
+                        frame = parse_frame(json.loads(line.decode("utf-8")))
+                    except json.JSONDecodeError as exc:
+                        raise ServiceError(
+                            f"server sent a non-JSON line: {exc}"
+                        ) from exc
+                    yield frame
+                    if frame["type"] in _TERMINAL_FRAMES:
+                        return
+
+    def _one_frame(self, request: dict) -> dict:
+        """Send one request; exactly one reply frame (status/cancel ops)."""
+        for frame in self._exchange(request):
+            if frame["type"] == "error":
+                raise ServiceError(frame["message"])
+            return frame
+        raise ServiceError("server closed the stream without a reply")
+
+    @staticmethod
+    def _reassemble(frames: list[dict]) -> "ScenarioResult":
+        for frame in frames:
+            if frame["type"] == "error":
+                job_id = frame.get("job_id")
+                where = f"job {job_id}: " if job_id else ""
+                raise ServiceError(f"{where}{frame['message']}")
+        if not frames:
+            raise ServiceError("server closed the stream without any frames")
+        return result_from_frames(frames)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def run_scenario(
+        self,
+        spec: "ScenarioSpec",
+        policy: "ExecutionPolicy | None" = None,
+        priority: int = 0,
+    ) -> "ScenarioResult":
+        """Submit a scenario and block for its reassembled result."""
+        frames = list(self.stream(spec, policy=policy, priority=priority))
+        return self._reassemble(frames)
+
+    def stream(
+        self,
+        spec: "ScenarioSpec",
+        policy: "ExecutionPolicy | None" = None,
+        priority: int = 0,
+    ) -> Iterator[dict]:
+        """Submit a scenario; yield its frames live (ack first)."""
+        request = submit_request(spec, policy=policy, priority=priority)
+        return self._exchange(request)
+
+    def result(self, job_id: str) -> "ScenarioResult":
+        """Fetch (and block for) an already-submitted job's result."""
+        frames = list(self._exchange(result_request(job_id)))
+        return self._reassemble(frames)
+
+    def status(self) -> dict:
+        """The service's health snapshot (queue depths, cache, metrics)."""
+        return self._one_frame(status_request())["status"]
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; the server's state frame for the job."""
+        return self._one_frame(cancel_request(job_id))

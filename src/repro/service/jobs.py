@@ -1,0 +1,144 @@
+"""The service job model: typed states and deterministic identity.
+
+A :class:`Job` is one submitted scenario plus the
+:class:`~repro.api.policy.ExecutionPolicy` it runs under.  Its lifecycle
+is a small explicit state machine::
+
+    queued ──▶ running ──▶ streaming ──▶ done
+       │          │            │
+       │          ├──────────▶ failed
+       └──────────┴──────────▶ cancelled
+
+``queued`` jobs wait for scheduler capacity; ``running`` jobs are
+executing their first step; ``streaming`` jobs have emitted at least one
+:class:`~repro.scenarios.result.StepResult` frame to subscribers;
+``done``/``failed``/``cancelled`` are terminal.  Every transition is
+validated — an illegal one is a bug in the scheduler, reported as a
+:class:`~repro.errors.ServiceError` rather than silently corrupting
+accounting.
+
+Identity is deterministic: job ids derive from a monotonic submission
+sequence (``job-000042``), never from clocks or random UUIDs — the
+service obeys the same REP001 determinism contract as the engine.  The
+``(spec_key, policy_key)`` content-hash pair (see
+:meth:`~repro.scenarios.spec.ScenarioSpec.spec_key`) identifies
+byte-identical work for in-flight dedupe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError, ServiceError
+
+if TYPE_CHECKING:
+    from ..api.policy import ExecutionPolicy
+    from ..scenarios.result import ScenarioResult
+    from ..scenarios.spec import ScenarioSpec
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "streaming", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: The legal state machine: state -> states it may advance to.
+_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    "queued": ("running", "cancelled"),
+    "running": ("streaming", "done", "failed", "cancelled"),
+    "streaming": ("done", "failed", "cancelled"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+}
+
+
+def job_id_for(sequence: int) -> str:
+    """The deterministic id of the ``sequence``-th submitted job."""
+    if not isinstance(sequence, int) or isinstance(sequence, bool) or sequence < 0:
+        raise ConfigError(
+            f"job: sequence must be an integer >= 0, got {sequence!r}"
+        )
+    return f"job-{sequence:06d}"
+
+
+class Job:
+    """One submitted scenario riding through the service lifecycle.
+
+    Mutable by design — the scheduler advances its state — but only ever
+    from the event-loop thread, so no lock is needed; worker threads
+    communicate through the executor's return values.
+    """
+
+    def __init__(
+        self,
+        sequence: int,
+        spec: "ScenarioSpec",
+        policy: "ExecutionPolicy",
+        priority: int = 0,
+    ) -> None:
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ConfigError(
+                f"job: priority must be an integer, got {priority!r}"
+            )
+        self.sequence = sequence
+        self.job_id = job_id_for(sequence)
+        self.spec = spec
+        self.policy = policy
+        self.priority = priority
+        self.spec_key = spec.spec_key()
+        self.policy_key = policy.policy_key()
+        self.state: str = "queued"
+        self.error: str | None = None
+        self.scenario_result: "ScenarioResult | None" = None
+        self.cancel_requested = False
+        #: Every frame emitted for this job, in order — late subscribers
+        #: (a deduped resubmission) replay these before going live.
+        self.frames: list[dict] = []
+        self._done = asyncio.Event()
+
+    @property
+    def dedupe_key(self) -> tuple[str, str]:
+        """Content identity: byte-identical work hashes identically."""
+        return (self.spec_key, self.policy_key)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def advance(self, state: str) -> None:
+        """Move to ``state``, enforcing the lifecycle state machine."""
+        if state not in JOB_STATES:
+            raise ServiceError(
+                f"job {self.job_id}: unknown state {state!r}; "
+                f"valid states: {JOB_STATES}"
+            )
+        if state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state!r} -> {state!r}"
+            )
+        self.state = state
+        if self.terminal:
+            self._done.set()
+
+    async def result(self) -> "ScenarioResult":
+        """Block until the job finishes; the reassembled scenario result.
+
+        Raises :class:`~repro.errors.ServiceError` if the job failed or
+        was cancelled (carrying the recorded error message).
+        """
+        await self._done.wait()
+        if self.state == "done" and self.scenario_result is not None:
+            return self.scenario_result
+        detail = f": {self.error}" if self.error else ""
+        raise ServiceError(
+            f"job {self.job_id} finished {self.state!r}, not 'done'{detail}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id}, scenario={self.spec.name!r}, "
+            f"state={self.state!r}, priority={self.priority})"
+        )

@@ -1,0 +1,136 @@
+"""The job queue: priorities, bounded concurrency, in-flight dedupe.
+
+:class:`JobQueue` is a plain synchronous data structure — deliberately
+free of any asyncio machinery so it can be unit-tested exhaustively.
+The :class:`~repro.service.service.AnalyzerService` scheduler drives it
+from the event-loop thread.
+
+Scheduling order is deterministic: higher ``priority`` first, FIFO by
+submission sequence within a priority (a max-heap keyed on
+``(-priority, sequence)``).  Capacity is bounded — at most
+``max_running`` jobs execute concurrently; the rest wait ``queued``.
+
+Dedupe is by content: a submission whose ``(spec_key, policy_key)``
+matches an *in-flight* (queued/running/streaming) job returns that
+existing job instead of enqueueing duplicate work — both clients then
+stream the same frames.  Finished jobs never dedupe (a re-run after
+completion is a legitimate fresh request).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import ConfigError, ServiceError
+from .jobs import JOB_STATES, Job
+
+
+class JobQueue:
+    """Priority scheduling with bounded concurrency and content dedupe."""
+
+    def __init__(self, max_running: int = 1) -> None:
+        if (
+            not isinstance(max_running, int)
+            or isinstance(max_running, bool)
+            or max_running < 1
+        ):
+            raise ConfigError(
+                f"queue: max_running must be an integer >= 1, "
+                f"got {max_running!r}"
+            )
+        self.max_running = max_running
+        #: Max-heap of (-priority, sequence, job); cancelled entries are
+        #: skipped lazily on pop.
+        self._heap: list[tuple[int, int, Job]] = []
+        self._running: dict[str, Job] = {}
+        self._jobs: dict[str, Job] = {}
+        self._in_flight: dict[tuple[str, str], Job] = {}
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> tuple[Job, bool]:
+        """Enqueue ``job`` (or return the in-flight duplicate).
+
+        Returns ``(job, deduped)``: when an in-flight job already covers
+        the same ``(spec_key, policy_key)`` content, that existing job
+        comes back with ``deduped=True`` and the submission is dropped.
+        """
+        existing = self._in_flight.get(job.dedupe_key)
+        if existing is not None and not existing.terminal:
+            return existing, True
+        if job.job_id in self._jobs:
+            raise ServiceError(f"job {job.job_id} was already submitted")
+        self._jobs[job.job_id] = job
+        self._in_flight[job.dedupe_key] = job
+        heapq.heappush(self._heap, (-job.priority, job.sequence, job))
+        return job, False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def next_ready(self) -> Job | None:
+        """Claim the next runnable job, or None (empty or at capacity).
+
+        The claimed job is advanced to ``running`` and counted against
+        ``max_running`` until :meth:`finish` releases it.
+        """
+        if len(self._running) >= self.max_running:
+            return None
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.state != "queued":
+                continue  # cancelled while waiting; lazily dropped
+            job.advance("running")
+            self._running[job.job_id] = job
+            return job
+        return None
+
+    def finish(self, job: Job) -> None:
+        """Release a terminal job's capacity and dedupe slot."""
+        if not job.terminal:
+            raise ServiceError(
+                f"job {job.job_id} is {job.state!r}; only terminal jobs "
+                f"can be finished"
+            )
+        self._running.pop(job.job_id, None)
+        if self._in_flight.get(job.dedupe_key) is job:
+            del self._in_flight[job.dedupe_key]
+
+    # ------------------------------------------------------------------
+    # Control and introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately when queued, cooperatively when running.
+
+        A queued job goes terminal here; a running/streaming job gets
+        its ``cancel_requested`` flag set and the executing scheduler
+        stops at the next step boundary.  Cancelling a terminal job is a
+        no-op.
+        """
+        job = self.get(job_id)
+        job.cancel_requested = True
+        if job.state == "queued":
+            job.advance("cancelled")
+            self.finish(job)
+        return job
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def depths(self) -> dict[str, int]:
+        """Job counts by state, every state present (zeros included)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,360 @@
+"""The service wire format: canonical-JSON requests and result frames.
+
+Everything that crosses the service boundary is one line of *compact
+canonical JSON* (:func:`repro.reporting.export.compact_canonical_json`):
+sorted keys, no whitespace, strict floats.  Two tagged formats:
+
+* ``repro-service-request`` — what a client sends.  Four operations:
+  ``submit`` (a scenario spec, an optional execution policy and a
+  priority), ``status``, ``cancel`` and ``result``.
+* ``repro-service-frame`` — what the service emits.  A submitted job
+  streams ``ack`` → ``state``/``step`` frames → one terminal ``result``
+  or ``error`` frame; ``status`` requests get a single ``status`` frame.
+
+Frames are *self-describing and replayable*: a client that saw every
+``step`` frame plus the ``result`` frame can reassemble the full
+:class:`~repro.scenarios.result.ScenarioResult` with
+:func:`result_from_frames` — byte-identical (under
+:func:`~repro.reporting.export.baseline_to_json`) to what a synchronous
+:meth:`~repro.api.session.Session.run_scenario` returns.  That identity
+is the streaming contract, pinned by golden JSONL baselines under
+``tests/baselines/service/``.
+
+Malformed payloads are rejected with :class:`~repro.errors.ConfigError`
+messages that name the offending field — the same validation style as
+:func:`~repro.api.policy.policy_from_payload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigError
+from ..reporting.export import compact_canonical_json
+from ..scenarios.result import ScenarioResult, StepResult
+
+if TYPE_CHECKING:
+    from ..api.policy import ExecutionPolicy
+    from ..scenarios.spec import ScenarioSpec
+    from .jobs import Job
+
+REQUEST_FORMAT = "repro-service-request"
+REQUEST_VERSION = 1
+
+FRAME_FORMAT = "repro-service-frame"
+FRAME_VERSION = 1
+
+#: Every operation a request may carry.
+REQUEST_OPS = ("submit", "status", "cancel", "result")
+
+#: Every frame type the service emits.
+FRAME_TYPES = ("ack", "state", "step", "result", "error", "status")
+
+
+def _header(kind: str) -> dict:
+    fmt = REQUEST_FORMAT if kind == "request" else FRAME_FORMAT
+    version = REQUEST_VERSION if kind == "request" else FRAME_VERSION
+    return {"format": fmt, "version": version}
+
+
+# ----------------------------------------------------------------------
+# Request builders
+# ----------------------------------------------------------------------
+
+def submit_request(
+    spec: "ScenarioSpec",
+    policy: "ExecutionPolicy | None" = None,
+    priority: int = 0,
+) -> dict:
+    """A ``submit`` request payload for ``spec`` (and optional policy)."""
+    from ..api.policy import policy_to_payload
+    from ..scenarios.spec import scenario_to_payload
+
+    payload = _header("request")
+    payload["op"] = "submit"
+    payload["scenario"] = scenario_to_payload(spec)
+    payload["policy"] = None if policy is None else policy_to_payload(policy)
+    payload["priority"] = priority
+    return payload
+
+
+def status_request() -> dict:
+    payload = _header("request")
+    payload["op"] = "status"
+    return payload
+
+
+def cancel_request(job_id: str) -> dict:
+    payload = _header("request")
+    payload["op"] = "cancel"
+    payload["job_id"] = job_id
+    return payload
+
+
+def result_request(job_id: str) -> dict:
+    payload = _header("request")
+    payload["op"] = "result"
+    payload["job_id"] = job_id
+    return payload
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated, decoded client request."""
+
+    op: str
+    spec: "ScenarioSpec | None" = None
+    policy: "ExecutionPolicy | None" = None
+    priority: int = 0
+    job_id: str | None = None
+
+
+def parse_request(payload: Any) -> Request:
+    """Validate and decode a request payload (strict, field-naming)."""
+    from ..api.policy import policy_from_payload
+    from ..scenarios.spec import scenario_from_payload
+
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"request: expected a JSON object, got {type(payload).__name__}"
+        )
+    if payload.get("format") != REQUEST_FORMAT:
+        raise ConfigError(
+            f"request: not a service request (expected format "
+            f"{REQUEST_FORMAT!r}, got {payload.get('format')!r})"
+        )
+    if payload.get("version") != REQUEST_VERSION:
+        raise ConfigError(
+            f"request: unsupported version {payload.get('version')!r}; "
+            f"this build speaks version {REQUEST_VERSION}"
+        )
+    op = payload.get("op")
+    if op not in REQUEST_OPS:
+        raise ConfigError(
+            f"request: unknown op {op!r}; expected one of {REQUEST_OPS}"
+        )
+    if op == "submit":
+        allowed = {"format", "version", "op", "scenario", "policy", "priority"}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ConfigError(f"submit request: unknown field(s) {unknown}")
+        if "scenario" not in payload:
+            raise ConfigError("submit request: missing field 'scenario'")
+        spec = scenario_from_payload(payload["scenario"])
+        policy_payload = payload.get("policy")
+        policy = (
+            None if policy_payload is None
+            else policy_from_payload(policy_payload)
+        )
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ConfigError(
+                f"submit request: priority must be an integer, "
+                f"got {priority!r}"
+            )
+        return Request(op="submit", spec=spec, policy=policy, priority=priority)
+    if op == "status":
+        return Request(op="status")
+    # cancel / result both address a job by id
+    job_id = payload.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ConfigError(
+            f"{op} request: job_id must be a non-empty string, got {job_id!r}"
+        )
+    return Request(op=op, job_id=job_id)
+
+
+# ----------------------------------------------------------------------
+# Frame builders
+# ----------------------------------------------------------------------
+
+def ack_frame(job: "Job", deduped: bool) -> dict:
+    """The first frame of every submission: the job's identity."""
+    frame = _header("frame")
+    frame.update(
+        type="ack",
+        job_id=job.job_id,
+        state=job.state,
+        deduped=deduped,
+        spec_key=job.spec_key,
+        policy_key=job.policy_key,
+        priority=job.priority,
+    )
+    return frame
+
+
+def state_frame(job: "Job") -> dict:
+    """A lifecycle transition (queued → running → streaming → ...)."""
+    frame = _header("frame")
+    frame.update(type="state", job_id=job.job_id, state=job.state)
+    return frame
+
+
+def step_frame(job_id: str, index: int, step: StepResult) -> dict:
+    """One completed scenario step, streamed as soon as it finishes."""
+    frame = _header("frame")
+    frame.update(
+        type="step",
+        job_id=job_id,
+        index=index,
+        step={
+            "kind": step.kind,
+            "name": step.name,
+            "exact": step.exact,
+            "floats": step.floats,
+        },
+    )
+    return frame
+
+
+def result_frame(job_id: str, result: ScenarioResult) -> dict:
+    """The terminal success frame: result metadata (steps already sent)."""
+    frame = _header("frame")
+    frame.update(
+        type="result",
+        job_id=job_id,
+        scenario=result.scenario,
+        backend=result.backend,
+        n_steps=len(result.steps),
+        tolerance={"rel": result.rel_tol, "abs": result.abs_tol},
+    )
+    return frame
+
+
+def error_frame(message: str, job_id: str | None = None) -> dict:
+    """The terminal failure frame (job failure or malformed request)."""
+    frame = _header("frame")
+    frame.update(type="error", job_id=job_id, message=message)
+    return frame
+
+
+def status_frame(status: dict) -> dict:
+    """A service-health snapshot (queue depths, cache stats, metrics)."""
+    frame = _header("frame")
+    frame.update(type="status", status=status)
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Encoding and decoding
+# ----------------------------------------------------------------------
+
+def encode_frame(frame: dict) -> str:
+    """One wire line (no trailing newline) for a frame payload."""
+    if frame.get("format") != FRAME_FORMAT:
+        raise ConfigError(
+            f"encode_frame: not a service frame: {frame.get('format')!r}"
+        )
+    return compact_canonical_json(frame)
+
+
+def encode_request(request: dict) -> str:
+    """One wire line (no trailing newline) for a request payload."""
+    if request.get("format") != REQUEST_FORMAT:
+        raise ConfigError(
+            f"encode_request: not a service request: {request.get('format')!r}"
+        )
+    return compact_canonical_json(request)
+
+
+def parse_frame(payload: Any) -> dict:
+    """Validate a frame payload; the (unmodified) frame dict.
+
+    Shallow structural validation — enough for a client to dispatch on
+    ``type`` safely; deep reassembly checks live in
+    :func:`result_from_frames`.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"frame: expected a JSON object, got {type(payload).__name__}"
+        )
+    if payload.get("format") != FRAME_FORMAT:
+        raise ConfigError(
+            f"frame: not a service frame (expected format {FRAME_FORMAT!r}, "
+            f"got {payload.get('format')!r})"
+        )
+    if payload.get("version") != FRAME_VERSION:
+        raise ConfigError(
+            f"frame: unsupported version {payload.get('version')!r}; "
+            f"this build speaks version {FRAME_VERSION}"
+        )
+    kind = payload.get("type")
+    if kind not in FRAME_TYPES:
+        raise ConfigError(
+            f"frame: unknown type {kind!r}; expected one of {FRAME_TYPES}"
+        )
+    required = {
+        "ack": ("job_id", "state", "deduped", "spec_key", "policy_key"),
+        "state": ("job_id", "state"),
+        "step": ("job_id", "index", "step"),
+        "result": ("job_id", "scenario", "backend", "n_steps", "tolerance"),
+        "error": ("message",),
+        "status": ("status",),
+    }[kind]
+    missing = sorted(field for field in required if field not in payload)
+    if missing:
+        raise ConfigError(f"{kind} frame: missing field(s) {missing}")
+    return payload
+
+
+def result_from_frames(frames: list[dict]) -> ScenarioResult:
+    """Reassemble a :class:`ScenarioResult` from a job's streamed frames.
+
+    Requires the ``step`` frames (contiguous indices from 0) and the
+    terminal ``result`` frame; other frame types are ignored.  The
+    reassembled result is byte-identical — under
+    :func:`~repro.reporting.export.baseline_to_json` — to the result a
+    synchronous run of the same job produces.
+    """
+    steps: dict[int, StepResult] = {}
+    tail: dict | None = None
+    for frame in frames:
+        frame = parse_frame(frame)
+        if frame["type"] == "step":
+            index = frame["index"]
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise ConfigError(
+                    f"step frame: index must be an integer, got {index!r}"
+                )
+            if index in steps:
+                raise ConfigError(f"step frame: duplicate index {index}")
+            step = frame["step"]
+            try:
+                steps[index] = StepResult(
+                    kind=step["kind"],
+                    name=step["name"],
+                    exact=step["exact"],
+                    floats=step["floats"],
+                )
+            except (KeyError, TypeError) as exc:
+                raise ConfigError(
+                    f"step frame {index}: malformed step payload: {exc}"
+                ) from exc
+        elif frame["type"] == "result":
+            if tail is not None:
+                raise ConfigError("stream carries more than one result frame")
+            tail = frame
+    if tail is None:
+        raise ConfigError(
+            "stream has no result frame; the job did not finish 'done'"
+        )
+    n_steps = tail["n_steps"]
+    if sorted(steps) != list(range(n_steps)):
+        raise ConfigError(
+            f"stream is missing step frames: result declares {n_steps} "
+            f"step(s), stream carries indices {sorted(steps)}"
+        )
+    try:
+        tolerance = tail["tolerance"]
+        return ScenarioResult(
+            scenario=str(tail["scenario"]),
+            backend=str(tail["backend"]),
+            steps=tuple(steps[i] for i in range(n_steps)),
+            rel_tol=float(tolerance["rel"]),
+            abs_tol=float(tolerance["abs"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"result frame: malformed field: {exc}"
+        ) from exc

@@ -17,10 +17,11 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-#: The acceptance surface: strict typing on the public seam and the two
-#: foundational leaf modules.
+#: The acceptance surface: strict typing on the public seam, the service
+#: layer built on top of it, and the two foundational leaf modules.
 STRICT_TARGETS = [
     "src/repro/api",
+    "src/repro/service",
     "src/repro/engine/seeding.py",
     "src/repro/intervals.py",
 ]
@@ -55,5 +56,6 @@ def test_setup_ships_py_typed():
 
 def test_mypy_config_covers_targets():
     text = (REPO_ROOT / "mypy.ini").read_text(encoding="utf-8")
-    for section in ("repro.api", "repro.engine.seeding", "repro.intervals"):
+    for section in ("repro.api", "repro.service", "repro.engine.seeding",
+                    "repro.intervals"):
         assert section in text

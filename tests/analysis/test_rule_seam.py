@@ -63,6 +63,22 @@ class TestFires:
         assert codes(findings) == ["REP002"]
         assert "chunk_size" in findings[0].message
 
+    def test_worker_pool_construction_outside_the_service(self, lint):
+        findings = lint("""
+            from repro.service import WorkerPool
+            pool = WorkerPool(2, lambda: None)
+        """)
+        assert "REP002" in codes(findings)
+        assert any("repro.service" in f.message for f in findings)
+
+    def test_stdlib_queue_construction_outside_the_service(self, lint):
+        for name in ("Queue", "PriorityQueue", "SimpleQueue"):
+            findings = lint(f"""
+                import queue
+                q = queue.{name}()
+            """)
+            assert "REP002" in codes(findings), name
+
 
 class TestSilent:
     def test_seam_packages_may_construct(self, lint):
@@ -87,6 +103,24 @@ class TestSilent:
             runner = BatchRunner(n_workers=4)
         """
         assert lint(src, path=TEST) == []
+
+    def test_service_package_may_build_queues_and_pools(self, lint):
+        src = """
+            import queue
+            def build(factory):
+                from .sharding import WorkerPool
+                pool = WorkerPool(2, factory)
+                return pool, queue.Queue()
+        """
+        assert lint(src, path="src/repro/service/service.py") == []
+        assert lint(src, path="src/repro/engine/pool.py") == []
+
+    def test_service_package_may_take_seam_kwargs(self, lint):
+        src = """
+            def worker_runner_factory(policy, cache, n_workers=1):
+                return policy
+        """
+        assert lint(src, path="src/repro/service/sharding.py") == []
 
     def test_unrelated_call_names(self, lint):
         assert lint("""

@@ -1,7 +1,7 @@
 """Public-API surface snapshot: exports change on purpose or not at all.
 
 ``tests/baselines/api_surface.json`` records ``repro.__all__`` and the
-``repro.api`` and ``repro.analysis`` surfaces.  Accidental drift — a refactor silently dropping
+``repro.api``, ``repro.analysis`` and ``repro.service`` surfaces.  Accidental drift — a refactor silently dropping
 an export, an internal helper leaking into the public surface — fails
 here with the exact symbol names.  An *intentional* surface change is a
 one-liner: re-record the snapshot with::
@@ -18,6 +18,7 @@ import pathlib
 import repro
 import repro.analysis
 import repro.api
+import repro.service
 
 SNAPSHOT = (
     pathlib.Path(__file__).resolve().parent.parent
@@ -25,10 +26,10 @@ SNAPSHOT = (
     / "api_surface.json"
 )
 SURFACE_FORMAT = "repro-api-surface"
-SURFACE_VERSION = 2
+SURFACE_VERSION = 3
 
 #: Modules whose ``__all__`` the snapshot pins.
-MODULES = ("repro", "repro.api", "repro.analysis")
+MODULES = ("repro", "repro.api", "repro.analysis", "repro.service")
 
 
 def current_payload() -> dict:
@@ -38,6 +39,7 @@ def current_payload() -> dict:
         "repro": sorted(repro.__all__),
         "repro.api": sorted(repro.api.__all__),
         "repro.analysis": sorted(repro.analysis.__all__),
+        "repro.service": sorted(repro.service.__all__),
         # Field names are surface too: an ExecutionPolicy field rides
         # into every serialized policy file and recorded baseline, so
         # adding one (chunk_size) must show up in this diff.
@@ -84,6 +86,7 @@ def test_all_names_resolve():
         (repro, json.loads(SNAPSHOT.read_text())["repro"]),
         (repro.api, json.loads(SNAPSHOT.read_text())["repro.api"]),
         (repro.analysis, json.loads(SNAPSHOT.read_text())["repro.analysis"]),
+        (repro.service, json.loads(SNAPSHOT.read_text())["repro.service"]),
     ):
         for name in names:
             assert hasattr(module, name), name

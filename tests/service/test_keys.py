@@ -1,0 +1,110 @@
+"""Content hashes: spec_key()/policy_key() stability and sensitivity.
+
+The service dedupes in-flight work by ``(spec_key, policy_key)``, so two
+properties are load-bearing: the keys are pure functions of the *values*
+(any payload field ordering hashes identically — canonical JSON sorts
+keys), and any value change — however small — changes the key.
+"""
+
+import json
+
+from repro.api import ExecutionPolicy
+from repro.scenarios import AnalyzerSettings, ScenarioSpec, SweepStep
+from repro.scenarios.spec import scenario_from_payload, scenario_to_payload
+
+SMALL = AnalyzerSettings(m_periods=20)
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="keys",
+        analyzer=SMALL,
+        steps=(SweepStep(name="bode", f_start=500.0, f_stop=2000.0,
+                         n_points=3),),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def _reordered(payload: dict) -> dict:
+    """The same payload with every mapping's key order reversed."""
+    if isinstance(payload, dict):
+        return {k: _reordered(payload[k]) for k in reversed(list(payload))}
+    if isinstance(payload, list):
+        return [_reordered(item) for item in payload]
+    return payload
+
+
+class TestPolicyKey:
+    def test_is_a_sha256_hex_digest(self):
+        key = ExecutionPolicy().policy_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_policies_hash_identically(self):
+        a = ExecutionPolicy(backend="vectorized", n_workers=2, chunk_size=5)
+        b = ExecutionPolicy(backend="vectorized", n_workers=2, chunk_size=5)
+        assert a is not b
+        assert a.policy_key() == b.policy_key()
+
+    def test_every_field_is_hashed(self):
+        base = ExecutionPolicy()
+        changed = [
+            base.replace(backend="vectorized"),
+            base.replace(n_workers=3),
+            base.replace(seed=7),
+            base.replace(cache_max_entries=5),
+            base.replace(chunk_size=4),
+        ]
+        keys = {p.policy_key() for p in [base, *changed]}
+        assert len(keys) == len(changed) + 1
+
+    def test_payload_field_order_does_not_matter(self):
+        from repro.api.policy import policy_from_payload, policy_to_payload
+
+        policy = ExecutionPolicy(backend="vectorized", seed=3)
+        payload = policy_to_payload(policy)
+        permuted = policy_from_payload(_reordered(payload))
+        assert permuted.policy_key() == policy.policy_key()
+
+
+class TestSpecKey:
+    def test_is_a_sha256_hex_digest(self):
+        key = small_spec().spec_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_specs_hash_identically(self):
+        assert small_spec().spec_key() == small_spec().spec_key()
+
+    def test_content_changes_change_the_key(self):
+        base = small_spec()
+        renamed = small_spec(name="other")
+        reseeded = small_spec(seed=1)
+        restepped = small_spec(
+            steps=(SweepStep(name="bode", f_start=500.0, f_stop=2000.0,
+                             n_points=4),),
+        )
+        keys = {s.spec_key() for s in [base, renamed, reseeded, restepped]}
+        assert len(keys) == 4
+
+    def test_payload_field_order_does_not_matter(self):
+        spec = small_spec()
+        payload = scenario_to_payload(spec)
+        permuted = scenario_from_payload(_reordered(payload))
+        assert permuted.spec_key() == spec.spec_key()
+
+    def test_json_round_trip_preserves_the_key(self):
+        spec = small_spec()
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.spec_key() == spec.spec_key()
+
+    def test_key_hashes_the_canonical_text(self):
+        import hashlib
+
+        spec = small_spec()
+        expected = hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+        assert spec.spec_key() == expected
+        # ...and the canonical text is itself key-order invariant.
+        scrambled = json.dumps(_reordered(scenario_to_payload(spec)))
+        assert ScenarioSpec.from_json(scrambled).spec_key() == expected

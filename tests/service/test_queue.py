@@ -1,0 +1,202 @@
+"""Job model and queue: state machine, priorities, capacity, dedupe."""
+
+import asyncio
+
+import pytest
+
+from repro.api import ExecutionPolicy
+from repro.errors import ConfigError, ServiceError
+from repro.scenarios import AnalyzerSettings, ScenarioSpec, SweepStep
+from repro.service import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+    job_id_for,
+)
+
+SMALL = AnalyzerSettings(m_periods=20)
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="queued",
+        analyzer=SMALL,
+        steps=(SweepStep(name="bode", f_start=500.0, f_stop=2000.0,
+                         n_points=3),),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def make_job(sequence=0, *, name="queued", priority=0, policy=None) -> Job:
+    return Job(
+        sequence,
+        small_spec(name=name),
+        policy if policy is not None else ExecutionPolicy(),
+        priority=priority,
+    )
+
+
+class TestJobIds:
+    def test_ids_are_zero_padded_sequences(self):
+        assert job_id_for(0) == "job-000000"
+        assert job_id_for(42) == "job-000042"
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "7"])
+    def test_bad_sequence_rejected(self, bad):
+        with pytest.raises(ConfigError, match="sequence"):
+            job_id_for(bad)
+
+    @pytest.mark.parametrize("bad", [1.5, True, "high"])
+    def test_bad_priority_rejected(self, bad):
+        with pytest.raises(ConfigError, match="priority"):
+            make_job(priority=bad)
+
+
+class TestJobStateMachine:
+    def test_lifecycle_happy_path(self):
+        job = make_job()
+        assert job.state == "queued"
+        for state in ("running", "streaming", "done"):
+            job.advance(state)
+        assert job.terminal
+
+    def test_every_state_is_reachable(self):
+        assert set(TERMINAL_STATES) <= set(JOB_STATES)
+
+    def test_illegal_transition_is_a_service_error(self):
+        job = make_job()
+        with pytest.raises(ServiceError, match="illegal transition"):
+            job.advance("done")  # queued jobs must run first
+
+    def test_unknown_state_is_a_service_error(self):
+        with pytest.raises(ServiceError, match="unknown state"):
+            make_job().advance("paused")
+
+    def test_terminal_states_are_final(self):
+        job = make_job()
+        job.advance("cancelled")
+        with pytest.raises(ServiceError, match="illegal transition"):
+            job.advance("running")
+
+    def test_result_raises_for_non_done_terminals(self):
+        async def scenario():
+            job = make_job()
+            job.error = "worker exploded"
+            job.advance("running")
+            job.advance("failed")
+            with pytest.raises(ServiceError, match="worker exploded"):
+                await job.result()
+
+        asyncio.run(scenario())
+
+    def test_dedupe_key_is_the_content_hash_pair(self):
+        job = make_job()
+        assert job.dedupe_key == (job.spec_key, job.policy_key)
+        other = make_job(sequence=1)
+        assert other.dedupe_key == job.dedupe_key  # same content
+        assert other.job_id != job.job_id  # different identity
+
+
+class TestJobQueue:
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue(max_running=3)
+        jobs = [make_job(i, name=f"spec{i}") for i in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        claimed = [queue.next_ready() for _ in range(3)]
+        assert [j.job_id for j in claimed] == [j.job_id for j in jobs]
+
+    def test_higher_priority_runs_first(self):
+        queue = JobQueue(max_running=2)
+        low = make_job(0, name="low", priority=0)
+        high = make_job(1, name="high", priority=5)
+        queue.submit(low)
+        queue.submit(high)
+        assert queue.next_ready() is high
+        assert queue.next_ready() is low
+
+    def test_capacity_bounds_concurrency(self):
+        queue = JobQueue(max_running=1)
+        queue.submit(make_job(0, name="a"))
+        queue.submit(make_job(1, name="b"))
+        first = queue.next_ready()
+        assert first is not None and first.state == "running"
+        assert queue.next_ready() is None  # at capacity
+        first.advance("done")
+        queue.finish(first)
+        second = queue.next_ready()
+        assert second is not None and second.state == "running"
+
+    def test_in_flight_dedupe_returns_the_existing_job(self):
+        queue = JobQueue(max_running=1)
+        original = make_job(0)
+        duplicate = make_job(1)  # same spec+policy content
+        assert queue.submit(original) == (original, False)
+        assert queue.submit(duplicate) == (original, True)
+        assert len(queue) == 1
+
+    def test_finished_jobs_do_not_dedupe(self):
+        queue = JobQueue(max_running=1)
+        first = make_job(0)
+        queue.submit(first)
+        claimed = queue.next_ready()
+        assert claimed is first
+        first.advance("done")
+        queue.finish(first)
+        rerun, deduped = queue.submit(make_job(1))
+        assert not deduped
+        assert rerun is not first
+
+    def test_resubmitting_the_same_job_id_is_rejected(self):
+        queue = JobQueue(max_running=1)
+        job = make_job(0)
+        queue.submit(job)
+        clone = make_job(0, name="different")  # same sequence -> same id
+        with pytest.raises(ServiceError, match="already submitted"):
+            queue.submit(clone)
+
+    def test_cancel_queued_job_is_immediate(self):
+        queue = JobQueue(max_running=1)
+        job = make_job(0)
+        queue.submit(job)
+        cancelled = queue.cancel(job.job_id)
+        assert cancelled is job and job.state == "cancelled"
+        assert queue.next_ready() is None  # lazily dropped from the heap
+
+    def test_cancel_running_job_is_cooperative(self):
+        queue = JobQueue(max_running=1)
+        job = make_job(0)
+        queue.submit(job)
+        queue.next_ready()
+        queue.cancel(job.job_id)
+        assert job.state == "running"  # still executing...
+        assert job.cancel_requested  # ...but asked to stop
+
+    def test_unknown_job_id_is_a_service_error(self):
+        with pytest.raises(ServiceError, match="unknown job id"):
+            JobQueue().get("job-999999")
+
+    def test_finish_requires_a_terminal_job(self):
+        queue = JobQueue(max_running=1)
+        job = make_job(0)
+        queue.submit(job)
+        queue.next_ready()
+        with pytest.raises(ServiceError, match="terminal"):
+            queue.finish(job)
+
+    def test_depths_cover_every_state(self):
+        queue = JobQueue(max_running=1)
+        assert queue.depths() == {state: 0 for state in JOB_STATES}
+        queue.submit(make_job(0, name="a"))
+        queue.submit(make_job(1, name="b"))
+        queue.next_ready()
+        depths = queue.depths()
+        assert depths["running"] == 1 and depths["queued"] == 1
+        assert queue.n_running == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_max_running_rejected(self, bad):
+        with pytest.raises(ConfigError, match="max_running"):
+            JobQueue(max_running=bad)

@@ -1,0 +1,246 @@
+"""Lot sharding: boundary mirroring, pool fault tolerance, byte-identity.
+
+The heart of the service determinism contract: a sharded dispatch must
+produce *the same objects* as a plain chunked runner — sweeps, fault
+campaigns and pseudorandom campaigns — and a worker death mid-shard must
+not change a single bit of the answer.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import ExecutionPolicy
+from repro.core.config import AnalyzerConfig
+from repro.dut.active_rc import ActiveRCLowpass
+from repro.dut.faults import fault_catalog
+from repro.engine import BatchRunner
+from repro.errors import ConfigError, ServiceError
+from repro.prbist.misr import MISRConfig
+from repro.sc.opamp import OpAmpModel
+from repro.service import (
+    Shard,
+    ShardingRunner,
+    WorkerDied,
+    WorkerPool,
+    plan_shards,
+    worker_runner_factory,
+)
+
+DUT = ActiveRCLowpass.from_specs(cutoff=1000.0)
+#: A *noisy* config, so per-job seed substreams actually matter: if a
+#: shard ran at the wrong absolute index, the noise draws would differ.
+CONFIG = AnalyzerConfig.ideal(
+    m_periods=20,
+    evaluator_opamp=OpAmpModel(noise_rms=1e-3),
+    noise_seed=11,
+)
+FREQS = [400.0, 700.0, 1000.0, 1500.0, 2200.0, 3000.0, 4200.0]
+FAULTY = [f.apply(DUT) for f in fault_catalog([-0.5, 0.5])]
+
+
+def pool_for(policy: ExecutionPolicy, cache) -> WorkerPool:
+    return WorkerPool(
+        policy.n_workers, worker_runner_factory(policy, cache)
+    )
+
+
+class TestPlanShards:
+    def test_single_shard_when_unchunked(self):
+        assert plan_shards(10, None) == [Shard(index=0, start=0, stop=10)]
+
+    def test_single_shard_when_chunk_covers_the_batch(self):
+        assert plan_shards(4, 9) == [Shard(index=0, start=0, stop=4)]
+
+    def test_mirrors_the_engine_chunk_bounds(self):
+        runner = BatchRunner(chunk_size=3)
+        for n in (1, 2, 3, 7, 9, 10):
+            shards = plan_shards(n, 3)
+            assert [(s.start, s.stop) for s in shards] == (
+                runner._chunk_bounds(n)
+            )
+            assert [s.index for s in shards] == list(range(len(shards)))
+        runner.close()
+
+    @pytest.mark.parametrize("n,chunk", [(0, 3), (-1, 3), (5, 0), (5, -2),
+                                         (5, 1.5), (True, 3)])
+    def test_bad_arguments_rejected(self, n, chunk):
+        with pytest.raises(ConfigError):
+            plan_shards(n, chunk)
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(ConfigError, match="shard"):
+            Shard(index=0, start=3, stop=3)
+
+
+class TestWorkerPool:
+    def test_results_come_back_in_task_order(self):
+        pool = WorkerPool(3, lambda: BatchRunner())
+        try:
+            tasks = [
+                (lambda k: lambda runner: k * 10)(k) for k in range(8)
+            ]
+            assert pool.run_all(tasks) == [k * 10 for k in range(8)]
+        finally:
+            pool.close()
+
+    def test_worker_death_reenqueues_and_respawns(self):
+        pool = WorkerPool(2, lambda: BatchRunner())
+        died = threading.Lock()
+        state = {"deaths": 0}
+
+        def flaky(runner):
+            with died:
+                if state["deaths"] == 0:
+                    state["deaths"] += 1
+                    raise WorkerDied("injected")
+            return "survived"
+
+        try:
+            assert pool.run_all([flaky]) == ["survived"]
+            assert pool.worker_deaths == 1
+            assert pool.retries == 1
+            # The replacement thread keeps the pool at full strength.
+            assert pool.run_all([lambda r: 1, lambda r: 2]) == [1, 2]
+        finally:
+            pool.close()
+
+    def test_retry_budget_exhaustion_fails_the_shard(self):
+        pool = WorkerPool(1, lambda: BatchRunner(), max_retries=1)
+
+        def always_dies(runner):
+            raise WorkerDied("hopeless")
+
+        try:
+            with pytest.raises(ServiceError, match="2 attempt"):
+                pool.run_all([always_dies])
+            assert pool.worker_deaths == 2  # initial + one retry
+            assert pool.retries == 1
+        finally:
+            pool.close()
+
+    def test_ordinary_exceptions_fail_the_shard_not_the_pool(self):
+        pool = WorkerPool(1, lambda: BatchRunner())
+
+        def broken(runner):
+            raise ConfigError("bad shard arguments")
+
+        try:
+            with pytest.raises(ConfigError, match="bad shard arguments"):
+                pool.run_all([broken])
+            # The worker thread survived an ordinary failure.
+            assert pool.run_all([lambda r: "alive"]) == ["alive"]
+            assert pool.worker_deaths == 0
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(1, lambda: BatchRunner())
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ServiceError, match="closed"):
+            pool.run_all([lambda r: 1])
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_worker_count_rejected(self, bad):
+        with pytest.raises(ConfigError, match="n_workers"):
+            WorkerPool(bad, lambda: BatchRunner())
+
+
+class TestShardingRunnerByteIdentity:
+    """Sharded dispatch ≡ plain chunked runner, object for object."""
+
+    POLICY = ExecutionPolicy(backend="reference", n_workers=2, chunk_size=3)
+
+    def _pair(self, chaos_kill_shard=None):
+        plain = self.POLICY.replace(n_workers=1).build_runner()
+        cache = self.POLICY.build_cache()
+        pool = pool_for(self.POLICY, cache)
+        sharded = ShardingRunner(
+            self.POLICY, pool=pool, cache=cache,
+            chaos_kill_shard=chaos_kill_shard,
+        )
+        return plain, sharded, pool
+
+    def test_sweep_matches(self):
+        plain, sharded, pool = self._pair()
+        try:
+            expected = plain.run_sweep(DUT, CONFIG, FREQS)
+            assert sharded.run_sweep(DUT, CONFIG, FREQS) == expected
+        finally:
+            pool.close()
+            plain.close()
+            sharded.close()
+
+    def test_fault_trials_match(self):
+        plain, sharded, pool = self._pair()
+        try:
+            probes = (700.0, 1400.0)
+            expected = plain.run_fault_trials(FAULTY, CONFIG, probes)
+            assert sharded.run_fault_trials(FAULTY, CONFIG, probes) == expected
+        finally:
+            pool.close()
+            plain.close()
+            sharded.close()
+
+    def test_pseudorandom_trials_match(self):
+        plain, sharded, pool = self._pair()
+        try:
+            misr = MISRConfig(width=8)
+            tones = (500.0, 1200.0, 2100.0)
+            expected = plain.run_pseudorandom_trials(
+                FAULTY, CONFIG, tones, misr
+            )
+            assert (
+                sharded.run_pseudorandom_trials(FAULTY, CONFIG, tones, misr)
+                == expected
+            )
+        finally:
+            pool.close()
+            plain.close()
+            sharded.close()
+
+    def test_worker_death_replays_the_shard_bit_identically(self):
+        plain, sharded, pool = self._pair(chaos_kill_shard=2)
+        try:
+            expected = plain.run_sweep(DUT, CONFIG, FREQS)
+            assert sharded.run_sweep(DUT, CONFIG, FREQS) == expected
+            assert pool.worker_deaths == 1
+            assert pool.retries == 1
+        finally:
+            pool.close()
+            plain.close()
+            sharded.close()
+
+    def test_without_a_pool_it_is_a_plain_runner(self):
+        plain = self.POLICY.replace(n_workers=1).build_runner()
+        solo = ShardingRunner(self.POLICY)
+        try:
+            assert solo.run_sweep(DUT, CONFIG, FREQS) == plain.run_sweep(
+                DUT, CONFIG, FREQS
+            )
+        finally:
+            plain.close()
+            solo.close()
+
+    def test_shard_metrics_and_stats_are_recorded(self):
+        cache = self.POLICY.build_cache()
+        pool = pool_for(self.POLICY, cache)
+        sharded = ShardingRunner(self.POLICY, pool=pool, cache=cache)
+        try:
+            sharded.run_sweep(DUT, CONFIG, FREQS)
+            # 7 frequencies / chunk_size 3 -> 3 shards
+            snapshot = sharded.metrics.snapshot()
+            assert snapshot["service.shards"]["value"] == 3
+            stats = sharded.last_stats
+            assert stats is not None
+            assert stats.n_jobs == len(FREQS)
+            assert stats.n_workers == 2
+        finally:
+            pool.close()
+            sharded.close()
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_chaos_shard_rejected(self, bad):
+        with pytest.raises(ConfigError, match="chaos_kill_shard"):
+            ShardingRunner(self.POLICY, chaos_kill_shard=bad)

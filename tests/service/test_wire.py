@@ -1,0 +1,283 @@
+"""Wire format: golden JSONL baselines, parsing errors, streamed≡sync.
+
+``tests/baselines/service/`` pins the canonical bytes of the two frame
+sequences every client must understand: the job envelope (ack + state
+frames) and a result stream (step frames + terminal result frame).  Any
+drift in the frame builders or the canonical JSON encoder shows up here
+as a byte diff.  To regenerate after an *intentional* format change::
+
+    PYTHONPATH=src python tests/service/test_wire.py --regen
+"""
+
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ExecutionPolicy
+from repro.errors import ConfigError
+from repro.scenarios import AnalyzerSettings, ScenarioSpec, SweepStep
+from repro.scenarios.result import ScenarioResult, StepResult
+from repro.service import (
+    Job,
+    ack_frame,
+    encode_frame,
+    encode_request,
+    error_frame,
+    parse_frame,
+    parse_request,
+    result_frame,
+    result_from_frames,
+    state_frame,
+    status_request,
+    step_frame,
+    submit_request,
+)
+
+BASELINES = pathlib.Path(__file__).parent.parent / "baselines" / "service"
+ENVELOPE = BASELINES / "job_envelope.jsonl"
+RESULT_FRAMES = BASELINES / "result_frames.jsonl"
+
+
+def golden_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="golden",
+        analyzer=AnalyzerSettings(m_periods=20),
+        steps=(SweepStep(name="bode", f_start=500.0, f_stop=2000.0,
+                         n_points=3),),
+    )
+
+
+def golden_result() -> ScenarioResult:
+    """A handcrafted result with literal floats — platform-independent."""
+    return ScenarioResult(
+        scenario="golden",
+        backend="reference",
+        steps=(
+            StepResult(
+                kind="sweep",
+                name="bode",
+                exact={"n_points": 2},
+                floats={
+                    "frequency_hz": [100.0, 200.0],
+                    "gain_db": [-1.5, -3.25],
+                },
+            ),
+            StepResult(
+                kind="coverage",
+                name="cov",
+                exact={"n_faults": 4, "detected": 3},
+                floats={"coverage": 0.75},
+            ),
+        ),
+    )
+
+
+def envelope_lines() -> str:
+    """The ack + lifecycle state frames of the golden job, as JSONL."""
+    job = Job(7, golden_spec(), ExecutionPolicy(), priority=3)
+    lines = [encode_frame(ack_frame(job, deduped=False))]
+    for state in ("running", "streaming", "done"):
+        job.advance(state)
+        lines.append(encode_frame(state_frame(job)))
+    return "".join(line + "\n" for line in lines)
+
+
+def result_lines() -> str:
+    """The step + result frames of the golden result, as JSONL."""
+    result = golden_result()
+    job_id = "job-000007"
+    lines = [
+        encode_frame(step_frame(job_id, i, step))
+        for i, step in enumerate(result.steps)
+    ]
+    lines.append(encode_frame(result_frame(job_id, result)))
+    return "".join(line + "\n" for line in lines)
+
+
+class TestGoldenBaselines:
+    def test_job_envelope_matches_the_committed_bytes(self):
+        assert envelope_lines() == ENVELOPE.read_text()
+
+    def test_result_frames_match_the_committed_bytes(self):
+        assert result_lines() == RESULT_FRAMES.read_text()
+
+    def test_committed_result_frames_reassemble_the_golden_result(self):
+        import json
+
+        frames = [
+            json.loads(line)
+            for line in RESULT_FRAMES.read_text().splitlines()
+        ]
+        assert result_from_frames(frames) == golden_result()
+
+
+class TestRequestParsing:
+    def test_submit_round_trip(self):
+        import json
+
+        spec = golden_spec()
+        policy = ExecutionPolicy(backend="vectorized", chunk_size=2)
+        payload = json.loads(encode_request(
+            submit_request(spec, policy, priority=2)
+        ))
+        request = parse_request(payload)
+        assert request.op == "submit"
+        assert request.spec == spec
+        assert request.policy == policy
+        assert request.priority == 2
+
+    def test_submit_without_policy_leaves_it_to_the_spec(self):
+        import json
+
+        payload = json.loads(encode_request(submit_request(golden_spec())))
+        assert parse_request(payload).policy is None
+
+    @pytest.mark.parametrize("mutate,field", [
+        (lambda p: p.update(format="nope"), "format"),
+        (lambda p: p.update(version=99), "version"),
+        (lambda p: p.update(op="explode"), "op"),
+        (lambda p: p.pop("scenario"), "scenario"),
+        (lambda p: p.update(priority=1.5), "priority"),
+        (lambda p: p.update(bonus=True), "bonus"),
+    ])
+    def test_bad_submit_payloads_name_the_field(self, mutate, field):
+        import json
+
+        payload = json.loads(encode_request(submit_request(golden_spec())))
+        mutate(payload)
+        with pytest.raises(ConfigError, match=field):
+            parse_request(payload)
+
+    @pytest.mark.parametrize("job_id", [None, "", 7])
+    def test_cancel_and_result_need_a_job_id(self, job_id):
+        import json
+
+        for op in ("cancel", "result"):
+            payload = json.loads(encode_request(status_request()))
+            payload["op"] = op
+            payload["job_id"] = job_id
+            with pytest.raises(ConfigError, match="job_id"):
+                parse_request(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ConfigError, match="object"):
+            parse_request(["not", "a", "dict"])
+
+
+class TestFrameParsing:
+    def test_every_builder_output_parses(self):
+        job = Job(0, golden_spec(), ExecutionPolicy())
+        result = golden_result()
+        frames = [
+            ack_frame(job, deduped=True),
+            state_frame(job),
+            step_frame(job.job_id, 0, result.steps[0]),
+            result_frame(job.job_id, result),
+            error_frame("boom", job_id=job.job_id),
+        ]
+        for frame in frames:
+            assert parse_frame(frame) == frame
+
+    @pytest.mark.parametrize("mutate,field", [
+        (lambda f: f.update(format="nope"), "format"),
+        (lambda f: f.update(version=2), "version"),
+        (lambda f: f.update(type="mystery"), "type"),
+        (lambda f: f.pop("state"), "state"),
+    ])
+    def test_bad_frames_name_the_field(self, mutate, field):
+        job = Job(0, golden_spec(), ExecutionPolicy())
+        frame = state_frame(job)
+        mutate(frame)
+        with pytest.raises(ConfigError, match=field):
+            parse_frame(frame)
+
+
+class TestReassembly:
+    def _frames(self, result: ScenarioResult) -> list[dict]:
+        frames = [
+            step_frame("job-000000", i, step)
+            for i, step in enumerate(result.steps)
+        ]
+        frames.append(result_frame("job-000000", result))
+        return frames
+
+    def test_missing_step_frame_is_detected(self):
+        frames = self._frames(golden_result())
+        del frames[0]
+        with pytest.raises(ConfigError, match="missing step frames"):
+            result_from_frames(frames)
+
+    def test_duplicate_step_index_is_detected(self):
+        frames = self._frames(golden_result())
+        frames.insert(0, frames[0])
+        with pytest.raises(ConfigError, match="duplicate index"):
+            result_from_frames(frames)
+
+    def test_missing_result_frame_is_detected(self):
+        frames = self._frames(golden_result())[:-1]
+        with pytest.raises(ConfigError, match="no result frame"):
+            result_from_frames(frames)
+
+    def test_two_result_frames_are_detected(self):
+        frames = self._frames(golden_result())
+        frames.append(frames[-1])
+        with pytest.raises(ConfigError, match="more than one result"):
+            result_from_frames(frames)
+
+
+# --- property: an arbitrary result survives the wire unchanged ---------
+
+name_st = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+finite_st = st.floats(allow_nan=False, allow_infinity=False, width=64)
+floats_st = st.dictionaries(
+    name_st,
+    st.one_of(finite_st, st.lists(finite_st, max_size=5)),
+    max_size=3,
+)
+exact_st = st.dictionaries(
+    name_st,
+    st.one_of(st.integers(-10**6, 10**6), name_st),
+    max_size=3,
+)
+step_st = st.builds(
+    StepResult,
+    kind=st.sampled_from(["sweep", "coverage", "yield", "distortion"]),
+    name=name_st,
+    exact=exact_st,
+    floats=floats_st,
+)
+result_st = st.builds(
+    ScenarioResult,
+    scenario=name_st,
+    backend=st.sampled_from(["reference", "vectorized"]),
+    steps=st.lists(step_st, min_size=1, max_size=4,
+                   unique_by=lambda s: s.name).map(tuple),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(result=result_st)
+def test_streamed_frames_reassemble_any_result_exactly(result):
+    """Wire-level streamed ≡ sync: encode, decode, reassemble, compare."""
+    import json
+
+    frames = [
+        json.loads(encode_frame(step_frame("job-000001", i, step)))
+        for i, step in enumerate(result.steps)
+    ]
+    frames.append(json.loads(encode_frame(result_frame("job-000001", result))))
+    assert result_from_frames(frames) == result
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        BASELINES.mkdir(parents=True, exist_ok=True)
+        ENVELOPE.write_text(envelope_lines())
+        RESULT_FRAMES.write_text(result_lines())
+        print(f"wrote {ENVELOPE}\nwrote {RESULT_FRAMES}")

@@ -358,3 +358,22 @@ class TestScenarios:
         with pytest.raises(SystemExit):
             main(["scenarios", "run", self.SPEC, "--workers", "0"])
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestServe:
+    """The `serve` subcommand: argument validation and status queries."""
+
+    def test_status_without_port_is_a_usage_error(self, capsys):
+        assert main(["serve", "--status"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_status_against_a_dead_port_fails_cleanly(self, capsys):
+        assert main(["serve", "--status", "--port", "1"]) == 1
+        assert "no server" in capsys.readouterr().err
+
+    def test_serve_is_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_running == 2
+        assert args.host == "127.0.0.1"
